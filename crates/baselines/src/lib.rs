@@ -1,0 +1,98 @@
+//! # periodica-baselines
+//!
+//! The comparison algorithms the paper evaluates against or discusses in
+//! related work (Sect. 1.1), each implemented from its published scheme:
+//!
+//! * [`indyk`] — Indyk/Koudas/Muthukrishnan "periodic trends" via random
+//!   sketches, O(n log^2 n); the head-to-head baseline of Figs. 4 and 5;
+//! * [`shift_distance`] — the exact distance spectrum the sketches
+//!   estimate (verification ground truth, O(n log n));
+//! * [`ma_hellerstein`] — linear adjacent-inter-arrival mining, including
+//!   the paper's "misses period 5" counterexample;
+//! * [`berberidis`] — per-symbol autocorrelation filtering + confirmation,
+//!   a >= 2-pass pipeline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod berberidis;
+pub mod indyk;
+pub mod ma_hellerstein;
+pub mod periodogram;
+pub mod shift_distance;
+
+pub use berberidis::{candidate_periods, BerberidisConfig, CandidatePeriod};
+pub use indyk::{PeriodicTrends, PeriodicTrendsConfig, TrendReport};
+pub use ma_hellerstein::{find_periods, InterArrivalCandidate, MaHellersteinConfig};
+pub use periodogram::{PeriodHint, PeriodogramConfig};
+pub use shift_distance::{shift_distance_spectrum, symbol_values};
+
+#[cfg(test)]
+mod proptests {
+    use crate::indyk::rank_confidence;
+    use crate::shift_distance::{shift_distance_naive, shift_distance_spectrum};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn fft_shift_distance_matches_naive(
+            values in proptest::collection::vec(-10.0f64..10.0, 2..200),
+        ) {
+            let max_p = values.len() - 1;
+            let fast = shift_distance_spectrum(&values, max_p);
+            let slow = shift_distance_naive(&values, max_p);
+            for (p, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()), "p={} {} vs {}", p, a, b);
+            }
+        }
+
+        #[test]
+        fn distances_are_non_negative(
+            values in proptest::collection::vec(-100.0f64..100.0, 2..120),
+        ) {
+            for d in shift_distance_spectrum(&values, values.len() - 1) {
+                prop_assert!(d >= 0.0);
+            }
+        }
+
+        #[test]
+        fn rank_confidence_is_a_bijection_onto_grid(
+            dists in proptest::collection::vec(0.0f64..100.0, 2..60),
+        ) {
+            // spectrum[0] is the unused lag-0 slot.
+            let mut spectrum = vec![0.0];
+            spectrum.extend(dists);
+            let (ranked, conf) = rank_confidence(&spectrum);
+            prop_assert_eq!(ranked.len(), spectrum.len() - 1);
+            // Confidences of ranked periods are non-increasing from 1 to 0.
+            let ordered: Vec<f64> = ranked.iter().map(|&p| conf[p]).collect();
+            prop_assert!((ordered[0] - 1.0).abs() < 1e-12);
+            prop_assert!(ordered.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+            prop_assert!(ordered.last().expect("non-empty").abs() < 1e-12);
+        }
+
+        #[test]
+        fn sketch_estimator_is_nonnegative_and_tracks_zero(
+            period in 2usize..12,
+            reps in 6usize..20,
+        ) {
+            // A perfectly periodic numeric sequence has D(p) = 0 at the
+            // period; the sketch estimate must agree exactly there (every
+            // projection of a zero vector is zero).
+            let n = period * reps;
+            let values: Vec<f64> = (0..n).map(|i| (i % period) as f64).collect();
+            let trends = crate::indyk::PeriodicTrends::new(
+                crate::indyk::PeriodicTrendsConfig { sketches: Some(8), ..Default::default() },
+            );
+            let est = trends.distance_spectrum(&values, n / 2);
+            for (p, &e) in est.iter().enumerate() {
+                prop_assert!(e >= 0.0);
+                if p > 0 && p % period == 0 && p <= n / 2 {
+                    prop_assert!(e.abs() < 1e-9, "p={} est={}", p, e);
+                }
+            }
+        }
+    }
+}

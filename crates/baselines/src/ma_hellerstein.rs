@@ -1,0 +1,183 @@
+//! The linear distance-based period finder of Ma & Hellerstein \[16\].
+//!
+//! For each symbol, collect the inter-arrival distances between *adjacent*
+//! occurrences and flag distances whose counts are improbably high under a
+//! random-placement null model (a chi-squared-style test against the
+//! geometric inter-arrival distribution).
+//!
+//! The paper's Sect. 1.1 critique is reproduced faithfully: because only
+//! adjacent inter-arrivals are examined, a symbol occurring at positions
+//! 0, 4, 5, 7, 10 yields candidate distances {4, 1, 2, 3} and the true
+//! period 5 is *missed* (asserted by a test below and surfaced in the
+//! baselines experiment binary).
+
+use periodica_series::{SymbolId, SymbolSeries};
+
+/// A candidate period for one symbol, with its evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterArrivalCandidate {
+    /// The symbol.
+    pub symbol: SymbolId,
+    /// The candidate period (an adjacent inter-arrival distance).
+    pub period: usize,
+    /// How many adjacent occurrence pairs had this distance.
+    pub count: usize,
+    /// Expected count under the random-placement null model.
+    pub expected: f64,
+    /// Standardized excess `(count - expected) / sqrt(max(expected, 1))`.
+    pub score: f64,
+}
+
+/// Configuration of the inter-arrival detector.
+#[derive(Debug, Clone)]
+pub struct MaHellersteinConfig {
+    /// Minimum standardized excess for a distance to become a candidate.
+    pub min_score: f64,
+    /// Minimum raw count for a candidate.
+    pub min_count: usize,
+}
+
+impl Default for MaHellersteinConfig {
+    fn default() -> Self {
+        MaHellersteinConfig {
+            min_score: 3.0,
+            min_count: 2,
+        }
+    }
+}
+
+/// Runs the detector over every symbol; candidates sorted by descending
+/// score. Linear time and one pass over the series.
+pub fn find_periods(
+    series: &SymbolSeries,
+    config: &MaHellersteinConfig,
+) -> Vec<InterArrivalCandidate> {
+    let n = series.len();
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    for sym in series.alphabet().ids() {
+        let occurrences = series.occurrences(sym);
+        let pairs = occurrences.len().saturating_sub(1);
+        if pairs == 0 {
+            continue;
+        }
+        // Histogram of adjacent inter-arrival distances.
+        let mut histogram: Vec<usize> = Vec::new();
+        for w in occurrences.windows(2) {
+            let d = w[1] - w[0];
+            if d >= histogram.len() {
+                histogram.resize(d + 1, 0);
+            }
+            histogram[d] += 1;
+        }
+        // Null model: occurrences placed at rate q = |occ| / n give
+        // geometric adjacent gaps, P(gap = d) = q (1-q)^{d-1}.
+        let q = occurrences.len() as f64 / n as f64;
+        for (d, &count) in histogram.iter().enumerate() {
+            if d == 0 || count == 0 {
+                continue;
+            }
+            let p_d = q * (1.0 - q).powi(d as i32 - 1);
+            let expected = pairs as f64 * p_d;
+            let score = (count as f64 - expected) / expected.max(1.0).sqrt();
+            if count >= config.min_count && score >= config.min_score {
+                out.push(InterArrivalCandidate {
+                    symbol: sym,
+                    period: d,
+                    count,
+                    expected,
+                    score,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    out
+}
+
+/// The raw adjacent inter-arrival distances observed for a symbol
+/// (the algorithm's entire view of the data; exposed for the miss
+/// demonstration).
+pub fn adjacent_distances(series: &SymbolSeries, symbol: SymbolId) -> Vec<usize> {
+    let occ = series.occurrences(symbol);
+    occ.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::{Alphabet, SymbolSeries};
+    use std::sync::Arc;
+
+    /// Builds a series with symbol 'a' at the given positions, 'b' elsewhere.
+    fn series_with_positions(n: usize, positions: &[usize]) -> SymbolSeries {
+        let alphabet = Alphabet::latin(2).expect("ok");
+        let mut text = vec!['b'; n];
+        for &p in positions {
+            text[p] = 'a';
+        }
+        SymbolSeries::parse(&text.iter().collect::<String>(), &Arc::clone(&alphabet)).expect("ok")
+    }
+
+    #[test]
+    fn reproduces_the_papers_miss_example() {
+        // Paper Sect. 1.1: occurrences at 0, 4, 5, 7, 10 — "although the
+        // underlying period should be 5, the algorithm only considers the
+        // periods 4, 1, 2, and 3".
+        let s = series_with_positions(11, &[0, 4, 5, 7, 10]);
+        let a = s.alphabet().lookup("a").expect("ok");
+        let distances = adjacent_distances(&s, a);
+        assert_eq!(distances, vec![4, 1, 2, 3]);
+        assert!(
+            !distances.contains(&5),
+            "period 5 is invisible to this baseline"
+        );
+        // No configuration can surface 5: it is absent from the candidate
+        // universe entirely.
+        let cands = find_periods(
+            &s,
+            &MaHellersteinConfig {
+                min_score: -100.0,
+                min_count: 1,
+            },
+        );
+        assert!(cands.iter().all(|c| c.period != 5));
+    }
+
+    #[test]
+    fn detects_a_strong_periodic_symbol() {
+        // 'a' every 10 positions in a 1000-long series.
+        let positions: Vec<usize> = (0..1000).step_by(10).collect();
+        let s = series_with_positions(1000, &positions);
+        let a = s.alphabet().lookup("a").expect("ok");
+        let cands = find_periods(&s, &MaHellersteinConfig::default());
+        let top = cands
+            .iter()
+            .find(|c| c.symbol == a)
+            .expect("a candidate for a");
+        assert_eq!(top.period, 10);
+        assert!(top.score > 10.0);
+    }
+
+    #[test]
+    fn random_series_produces_few_candidates() {
+        let alphabet = Alphabet::latin(4).expect("ok");
+        let s = periodica_series::generate::random_series(2_000, &alphabet, 13).expect("ok");
+        let cands = find_periods(&s, &MaHellersteinConfig::default());
+        // With a 3-sigma bar, false positives are rare.
+        assert!(cands.len() <= 4, "unexpected candidates: {cands:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let alphabet = Alphabet::latin(2).expect("ok");
+        let empty = SymbolSeries::parse("", &alphabet).expect("ok");
+        assert!(find_periods(&empty, &MaHellersteinConfig::default()).is_empty());
+        let single = SymbolSeries::parse("a", &alphabet).expect("ok");
+        assert!(find_periods(&single, &MaHellersteinConfig::default()).is_empty());
+        let a = single.alphabet().lookup("a").expect("ok");
+        assert!(adjacent_distances(&single, a).is_empty());
+    }
+}

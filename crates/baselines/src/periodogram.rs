@@ -1,0 +1,192 @@
+//! Periodogram + autocorrelation hybrid period detector.
+//!
+//! The classical signal-processing route to unknown periods (later
+//! systematized as AUTOPERIOD): take the Fourier periodogram of the numeric
+//! series, keep frequencies whose power is significant, convert each to a
+//! *period hint* `n / k`, and validate hints on the (exact) autocorrelation
+//! — a hint survives only if it lands on a local maximum of the ACF. This
+//! is a useful contrast to the paper's symbol-level approach: it finds
+//! dominant rates but is blind to which *symbol* at which *phase* carries
+//! the periodicity.
+
+use periodica_series::SymbolSeries;
+use periodica_transform::complex::Complex;
+use periodica_transform::conv::autocorrelation_f64;
+use periodica_transform::FftPlanner;
+
+use crate::shift_distance::symbol_values;
+
+/// One validated period hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodHint {
+    /// Candidate period (rounded from `n / frequency_bin`).
+    pub period: usize,
+    /// Periodogram power at the originating bin.
+    pub power: f64,
+    /// Normalized autocorrelation at the candidate lag, in `[-1, 1]`.
+    pub acf: f64,
+}
+
+/// Configuration of the periodogram detector.
+#[derive(Debug, Clone)]
+pub struct PeriodogramConfig {
+    /// Keep bins whose power exceeds `power_factor` times the mean power.
+    pub power_factor: f64,
+    /// Largest period reported; `None` = `n / 2`.
+    pub max_period: Option<usize>,
+    /// Minimum normalized ACF at the hinted lag for validation.
+    pub min_acf: f64,
+}
+
+impl Default for PeriodogramConfig {
+    fn default() -> Self {
+        PeriodogramConfig {
+            power_factor: 4.0,
+            max_period: None,
+            min_acf: 0.1,
+        }
+    }
+}
+
+/// The raw periodogram `|X_k|^2` of mean-centered values, bins `1..n/2`.
+pub fn periodogram(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    if n < 4 {
+        return Vec::new();
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let mut buf: Vec<Complex> = values.iter().map(|&v| Complex::from_re(v - mean)).collect();
+    FftPlanner::new().forward(&mut buf);
+    buf[1..n / 2].iter().map(|z| z.norm_sqr()).collect()
+}
+
+/// Runs the detector over a numeric series; hints sorted by power,
+/// strongest first.
+pub fn find_period_hints(values: &[f64], config: &PeriodogramConfig) -> Vec<PeriodHint> {
+    let n = values.len();
+    let spectrum = periodogram(values);
+    if spectrum.is_empty() {
+        return Vec::new();
+    }
+    let mean_power = spectrum.iter().sum::<f64>() / spectrum.len() as f64;
+    if mean_power <= 0.0 {
+        return Vec::new();
+    }
+    let max_period = config.max_period.unwrap_or(n / 2).min(n - 1);
+
+    // Normalized, mean-centered autocorrelation for validation.
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let centered: Vec<f64> = values.iter().map(|&v| v - mean).collect();
+    let mut planner = FftPlanner::new();
+    let raw_acf = autocorrelation_f64(&mut planner, &centered);
+    let norm = raw_acf[0].max(1e-12);
+
+    let mut hints = Vec::new();
+    for (i, &power) in spectrum.iter().enumerate() {
+        let bin = i + 1;
+        if power < config.power_factor * mean_power {
+            continue;
+        }
+        let period = (n as f64 / bin as f64).round() as usize;
+        if period < 2 || period > max_period {
+            continue;
+        }
+        let acf = raw_acf[period] / norm;
+        // Validate: the ACF at the hinted lag must be a local maximum and
+        // strong enough.
+        let left = raw_acf.get(period - 1).copied().unwrap_or(f64::MIN) / norm;
+        let right = raw_acf.get(period + 1).copied().unwrap_or(f64::MIN) / norm;
+        if acf >= config.min_acf && acf >= left && acf >= right {
+            hints.push(PeriodHint { period, power, acf });
+        }
+    }
+    hints.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("finite power"));
+    hints.dedup_by_key(|h| h.period);
+    hints
+}
+
+/// Symbol-series convenience over [`find_period_hints`].
+pub fn find_periods(series: &SymbolSeries, config: &PeriodogramConfig) -> Vec<PeriodHint> {
+    find_period_hints(&symbol_values(series), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
+    use periodica_series::Alphabet;
+
+    #[test]
+    fn pure_tone_is_pinned_exactly() {
+        let n = 1024;
+        let values: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 32.0).sin())
+            .collect();
+        let hints = find_period_hints(&values, &PeriodogramConfig::default());
+        assert!(!hints.is_empty());
+        assert_eq!(hints[0].period, 32);
+        assert!(hints[0].acf > 0.9);
+    }
+
+    #[test]
+    fn planted_symbol_period_is_found() {
+        let g = PeriodicSeriesSpec {
+            length: 4_096,
+            period: 25,
+            alphabet_size: 8,
+            distribution: SymbolDistribution::Uniform,
+        }
+        .generate(5)
+        .expect("generate");
+        let hints = find_periods(&g.series, &PeriodogramConfig::default());
+        assert!(
+            hints
+                .iter()
+                .take(6)
+                .any(|h| h.period == 25 || 25 % h.period == 0),
+            "{hints:?}"
+        );
+    }
+
+    #[test]
+    fn random_series_yields_no_strong_hints() {
+        let a = Alphabet::latin(6).expect("alphabet");
+        let s = periodica_series::generate::random_series(4_096, &a, 11).expect("random");
+        let hints = find_periods(&s, &PeriodogramConfig::default());
+        for h in &hints {
+            assert!(h.acf < 0.3, "suspiciously strong hint {h:?}");
+        }
+    }
+
+    #[test]
+    fn acf_validation_rejects_spectral_leakage() {
+        // A frequency that drifts (chirp) lights up periodogram bins but
+        // has no stable lag; validation should reject most hints.
+        let n = 4_096;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                (std::f64::consts::TAU * (t / 64.0 + t * t / (2.0 * n as f64 * 48.0))).sin()
+            })
+            .collect();
+        let spectrum = periodogram(&values);
+        let mean_power = spectrum.iter().sum::<f64>() / spectrum.len() as f64;
+        let significant_bins = spectrum.iter().filter(|&&p| p >= 4.0 * mean_power).count();
+        let validated = find_period_hints(&values, &PeriodogramConfig::default());
+        assert!(
+            validated.len() < significant_bins,
+            "validation should prune: {} hints vs {significant_bins} hot bins",
+            validated.len()
+        );
+        for h in &validated {
+            assert!(h.acf >= 0.1);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(periodogram(&[]).is_empty());
+        assert!(periodogram(&[1.0, 2.0]).is_empty());
+        assert!(find_period_hints(&[0.0; 64], &PeriodogramConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Exact shift-distance spectrum.
+//!
+//! The "relaxed period" objective of Indyk et al. \[13\] measures, for each
+//! candidate period `p`, how far the series is from its own `p`-shift:
+//! tiling the series into length-`p` blocks and summing consecutive block
+//! distances telescopes into the plain shift self-distance
+//! `D(p) = sum_{m < n-p} (x[m] - x[m+p])^2`.
+//!
+//! For symbol series mapped to numeric values this is computable *exactly*
+//! for every `p` at once from one autocorrelation plus prefix sums:
+//! `D(p) = prefix(n-p) + suffix(p) - 2 * autocorr(p)`. This module is the
+//! ground truth the sketch-based estimator in [`crate::indyk`] is verified
+//! against.
+
+use periodica_series::SymbolSeries;
+use periodica_transform::conv::autocorrelation_f64;
+use periodica_transform::FftPlanner;
+
+/// Exact `D(p)` for `p in 0..max_period+1`.
+///
+/// `values` is the numeric view of the series (see
+/// [`symbol_values`]). `D(0) = 0` by definition.
+pub fn shift_distance_spectrum(values: &[f64], max_period: usize) -> Vec<f64> {
+    let n = values.len();
+    let upper = max_period.min(n.saturating_sub(1));
+    let mut out = vec![0.0; max_period + 1];
+    if n < 2 {
+        return out;
+    }
+    let mut planner = FftPlanner::new();
+    let auto = autocorrelation_f64(&mut planner, values);
+    // prefix[i] = sum of squares of values[..i]; suffix via total - prefix.
+    let mut prefix = vec![0.0; n + 1];
+    for (i, &v) in values.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v * v;
+    }
+    let total = prefix[n];
+    for (p, slot) in out.iter_mut().enumerate().take(upper + 1).skip(1) {
+        let head = prefix[n - p]; // sum_{m < n-p} x[m]^2
+        let tail = total - prefix[p]; // sum_{m >= p} x[m]^2
+        *slot = (head + tail - 2.0 * auto[p]).max(0.0);
+    }
+    out
+}
+
+/// Schoolbook oracle for [`shift_distance_spectrum`].
+pub fn shift_distance_naive(values: &[f64], max_period: usize) -> Vec<f64> {
+    let n = values.len();
+    (0..=max_period)
+        .map(|p| {
+            if p == 0 || p >= n {
+                0.0
+            } else {
+                (0..n - p)
+                    .map(|m| (values[m] - values[m + p]).powi(2))
+                    .sum()
+            }
+        })
+        .collect()
+}
+
+/// The numeric view of a symbol series used by the distance baselines: each
+/// symbol is its level index (the paper's discretization levels are
+/// ordered, so index distance is meaningful).
+pub fn symbol_values(series: &SymbolSeries) -> Vec<f64> {
+    series.symbols().iter().map(|s| s.index() as f64).collect()
+}
+
+/// Normalizes a distance spectrum by the number of overlapping terms, so
+/// long shifts are not favored merely for having fewer terms. Used by the
+/// rank-bias ablation.
+pub fn normalize_by_overlap(spectrum: &[f64], n: usize) -> Vec<f64> {
+    spectrum
+        .iter()
+        .enumerate()
+        .map(|(p, &d)| {
+            let terms = n.saturating_sub(p);
+            if p == 0 || terms == 0 {
+                0.0
+            } else {
+                d / terms as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::Alphabet;
+
+    #[test]
+    fn fft_spectrum_matches_naive() {
+        let values: Vec<f64> = (0..257).map(|i| ((i * 37) % 11) as f64).collect();
+        let fast = shift_distance_spectrum(&values, 128);
+        let slow = shift_distance_naive(&values, 128);
+        for (p, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!((a - b).abs() < 1e-6 * (1.0 + b), "p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn perfectly_periodic_series_has_zero_distance_at_period() {
+        let a = Alphabet::latin(5).expect("ok");
+        let s = SymbolSeries::parse(&"abcde".repeat(50), &a).expect("ok");
+        let values = symbol_values(&s);
+        let d = shift_distance_spectrum(&values, 100);
+        for p in (5..=100).step_by(5) {
+            assert!(d[p].abs() < 1e-6, "p={p}: {}", d[p]);
+        }
+        for p in [1usize, 2, 3, 4, 7, 13] {
+            assert!(d[p] > 1.0, "p={p} unexpectedly small: {}", d[p]);
+        }
+    }
+
+    #[test]
+    fn raw_distance_shrinks_with_shift_length() {
+        // The paper observes (Fig. 4) that the periodic-trends objective is
+        // biased toward long periods; the raw telescoped distance indeed
+        // tends to shrink as overlap shrinks.
+        let values: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 13) as f64).collect();
+        let d = shift_distance_spectrum(&values, 999);
+        assert!(d[990] < d[10]);
+        let norm = normalize_by_overlap(&d, values.len());
+        // After normalization the bias largely disappears.
+        let ratio = norm[990] / norm[10];
+        assert!(ratio > 0.5 && ratio < 2.0, "normalized ratio {ratio}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(shift_distance_spectrum(&[], 4), vec![0.0; 5]);
+        assert_eq!(shift_distance_spectrum(&[1.0], 4), vec![0.0; 5]);
+        let d = shift_distance_spectrum(&[1.0, 2.0], 4);
+        assert!((d[1] - 1.0).abs() < 1e-9);
+        assert_eq!(d[2], 0.0);
+    }
+}

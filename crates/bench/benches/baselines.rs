@@ -1,0 +1,72 @@
+//! Criterion bench: every baseline detector on one workload, for the
+//! cost-per-algorithm overview that complements Fig. 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use periodica_baselines::berberidis::{self, BerberidisConfig};
+use periodica_baselines::indyk::{PeriodicTrends, PeriodicTrendsConfig};
+use periodica_baselines::ma_hellerstein::{self, MaHellersteinConfig};
+use periodica_baselines::shift_distance::{shift_distance_spectrum, symbol_values};
+use periodica_bench::workloads::noisy;
+use periodica_core::{DetectorConfig, EngineKind, PeriodicityDetector};
+use periodica_series::generate::SymbolDistribution;
+use periodica_series::noise::NoiseKind;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_detectors");
+    group.sample_size(10);
+    let n = 1 << 14;
+    let series = noisy(
+        SymbolDistribution::Uniform,
+        25,
+        n,
+        &[NoiseKind::Replacement],
+        0.2,
+        11,
+    );
+    let values = symbol_values(&series);
+
+    let detector = PeriodicityDetector::new(
+        DetectorConfig {
+            threshold: 0.5,
+            ..Default::default()
+        },
+        EngineKind::Spectrum.build(),
+    );
+    // The detection *phase* (candidate periods), matching the period-level
+    // granularity the other baselines produce.
+    group.bench_function("ours_one_pass", |b| {
+        b.iter(|| black_box(detector.candidate_periods(&series).expect("detect")))
+    });
+
+    let trends = PeriodicTrends::new(PeriodicTrendsConfig::default());
+    group.bench_function("indyk_periodic_trends", |b| {
+        b.iter(|| black_box(trends.distance_spectrum(&values, n / 2)))
+    });
+
+    group.bench_function("exact_shift_distance", |b| {
+        b.iter(|| black_box(shift_distance_spectrum(&values, n / 2)))
+    });
+
+    group.bench_function("ma_hellerstein", |b| {
+        b.iter(|| {
+            black_box(ma_hellerstein::find_periods(
+                &series,
+                &MaHellersteinConfig::default(),
+            ))
+        })
+    });
+
+    group.bench_function("berberidis_filter", |b| {
+        b.iter(|| {
+            black_box(
+                berberidis::candidate_periods(&series, &BerberidisConfig::default()).expect("ok"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

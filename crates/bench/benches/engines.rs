@@ -1,0 +1,52 @@
+//! Criterion bench: the three convolution engines (ablation XA1).
+//!
+//! Naive shift-and-compare vs bit-parallel shift-AND vs exact-NTT spectrum,
+//! producing the identical match spectrum. Expected shape: naive quadratic,
+//! bitset quadratic/64, spectrum n log n — with the crossovers visible as
+//! n grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use periodica_bench::workloads::{noisy, PAPER_SIGMA};
+use periodica_core::EngineKind;
+use periodica_series::generate::SymbolDistribution;
+use periodica_series::noise::NoiseKind;
+use periodica_series::SymbolSeries;
+
+fn workload(n: usize) -> SymbolSeries {
+    noisy(
+        SymbolDistribution::Uniform,
+        25,
+        n,
+        &[NoiseKind::Replacement],
+        0.2,
+        7,
+    )
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_spectrum");
+    group.sample_size(10);
+    for &n in &[1usize << 10, 1 << 12, 1 << 14] {
+        let series = workload(n);
+        let max_p = n / 2;
+        group.throughput(Throughput::Elements((n * PAPER_SIGMA) as u64));
+        for kind in EngineKind::all() {
+            // The naive engine at the largest size is exactly the quadratic
+            // cost the paper's convolution replaces; keep it to show the
+            // crossover, but skip absurd sizes.
+            if kind == EngineKind::Naive && n > 1 << 13 {
+                continue;
+            }
+            let engine = kind.build();
+            group.bench_with_input(BenchmarkId::new(engine.name(), n), &n, |b, _| {
+                b.iter(|| black_box(engine.match_spectrum(&series, max_p).expect("spectrum")))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

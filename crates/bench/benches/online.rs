@@ -1,0 +1,72 @@
+//! Criterion bench: online-detector ingest throughput and query cost
+//! versus batch re-detection at increasing watched-period bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use periodica_bench::workloads::noisy;
+use periodica_core::{DetectorConfig, EngineKind, OnlineDetector, PeriodicityDetector};
+use periodica_series::generate::SymbolDistribution;
+use periodica_series::noise::NoiseKind;
+
+fn bench_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_detector");
+    group.sample_size(10);
+    let n = 1 << 15;
+    let series = noisy(
+        SymbolDistribution::Uniform,
+        24,
+        n,
+        &[NoiseKind::Replacement],
+        0.2,
+        21,
+    );
+
+    for &max_period in &[64usize, 256, 1024] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ingest_stream", max_period),
+            &max_period,
+            |b, &max_period| {
+                b.iter(|| {
+                    let mut online = OnlineDetector::new(series.alphabet().clone(), max_period);
+                    online
+                        .extend(series.symbols().iter().copied())
+                        .expect("extend");
+                    black_box(online.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ingest_plus_query", max_period),
+            &max_period,
+            |b, &max_period| {
+                b.iter(|| {
+                    let mut online = OnlineDetector::new(series.alphabet().clone(), max_period);
+                    online
+                        .extend(series.symbols().iter().copied())
+                        .expect("extend");
+                    black_box(online.candidates(0.6).expect("candidates").len())
+                })
+            },
+        );
+        // Batch equivalent: re-run the spectrum detector from scratch.
+        let batch = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 0.6,
+                max_period: Some(max_period),
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch_candidates", max_period),
+            &max_period,
+            |b, _| b.iter(|| black_box(batch.candidate_periods(&series).expect("batch"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

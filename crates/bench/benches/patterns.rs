@@ -1,0 +1,56 @@
+//! Criterion bench: pattern assembly — closed (LCM) versus full
+//! enumeration (Apriori) after one detection pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use periodica_bench::workloads::noisy;
+use periodica_core::{
+    mine_patterns, DetectorConfig, EngineKind, PatternMinerConfig, PatternMode, PeriodicityDetector,
+};
+use periodica_series::generate::SymbolDistribution;
+use periodica_series::noise::NoiseKind;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_assembly");
+    group.sample_size(10);
+    let n = 1 << 14;
+    // Noise keeps the frequent-position set dense-but-not-complete, the
+    // regime where the two modes genuinely differ.
+    let series = noisy(
+        SymbolDistribution::Uniform,
+        24,
+        n,
+        &[NoiseKind::Replacement],
+        0.25,
+        13,
+    );
+    let detection = PeriodicityDetector::new(
+        DetectorConfig {
+            threshold: 0.4,
+            max_period: Some(48),
+            ..Default::default()
+        },
+        EngineKind::Spectrum.build(),
+    )
+    .detect(&series)
+    .expect("detect");
+
+    for (label, mode) in [
+        ("closed_lcm", PatternMode::Closed),
+        ("enumerate_apriori", PatternMode::EnumerateAll),
+    ] {
+        let config = PatternMinerConfig {
+            min_support: 0.4,
+            mode,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, _| {
+            b.iter(|| black_box(mine_patterns(&series, &detection, &config).expect("mine")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench: the detector's spectrum prune on/off (ablation XA2).
+//!
+//! The prune is output-identical (tested in periodica-core); this measures
+//! what it buys: on high thresholds most periods never need a phase scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use periodica_bench::workloads::noisy;
+use periodica_core::{DetectorConfig, EngineKind, PeriodicityDetector};
+use periodica_series::generate::SymbolDistribution;
+use periodica_series::noise::NoiseKind;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_pruning");
+    group.sample_size(10);
+    let n = 1 << 15;
+    let series = noisy(
+        SymbolDistribution::Uniform,
+        25,
+        n,
+        &[NoiseKind::Replacement],
+        0.15,
+        9,
+    );
+    for threshold in [0.3, 0.6, 0.9] {
+        for prune in [true, false] {
+            let detector = PeriodicityDetector::new(
+                DetectorConfig {
+                    threshold,
+                    prune,
+                    // Bound the period range: the ablation targets scan
+                    // cost, not the output-sensitive tail of Def.-1
+                    // enumeration at huge periods.
+                    max_period: Some(2_048),
+                    ..Default::default()
+                },
+                EngineKind::Spectrum.build(),
+            );
+            let label = format!("psi={threshold}/prune={prune}");
+            group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, _| {
+                b.iter(|| black_box(detector.detect(&series).expect("detect")))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

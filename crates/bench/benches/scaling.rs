@@ -1,0 +1,52 @@
+//! Criterion bench: Fig. 5's head-to-head in bench form — our
+//! periodicity-detection phase (convolution + candidate determination,
+//! O(n log n); see DESIGN.md §8.2 for why the *full* Def.-1 enumeration is
+//! output-sensitive and not a meaningful scaling target) versus the
+//! periodic-trends sketch spectrum (O(n log^2 n)) at growing sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use periodica_baselines::indyk::{PeriodicTrends, PeriodicTrendsConfig};
+use periodica_baselines::shift_distance::symbol_values;
+use periodica_bench::workloads::noisy;
+use periodica_core::{DetectorConfig, EngineKind, PeriodicityDetector};
+use periodica_series::generate::SymbolDistribution;
+use periodica_series::noise::NoiseKind;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detect_vs_periodic_trends");
+    group.sample_size(10);
+    for &n in &[1usize << 12, 1 << 14, 1 << 16] {
+        let series = noisy(
+            SymbolDistribution::Uniform,
+            25,
+            n,
+            &[NoiseKind::Replacement],
+            0.2,
+            3,
+        );
+        group.throughput(Throughput::Elements(n as u64));
+
+        let detector = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 0.6,
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        );
+        group.bench_with_input(BenchmarkId::new("ours_detect", n), &n, |b, _| {
+            b.iter(|| black_box(detector.candidate_periods(&series).expect("detect")))
+        });
+
+        let values = symbol_values(&series);
+        let trends = PeriodicTrends::new(PeriodicTrendsConfig::default());
+        group.bench_with_input(BenchmarkId::new("periodic_trends", n), &n, |b, _| {
+            b.iter(|| black_box(trends.distance_spectrum(&values, n / 2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion bench: the transform substrate (ablation XA1, transform half).
+//!
+//! Compares the from-scratch FFT paths (radix-2 vs Bluestein) and the exact
+//! NTT convolution against the schoolbook oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use periodica_transform::complex::Complex;
+use periodica_transform::fft::{FftDirection, FftPlanner};
+use periodica_transform::ntt::{convolve_exact, convolve_naive, Ntt};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_forward");
+    for &n in &[1usize << 10, 1 << 14, 1 << 17] {
+        group.throughput(Throughput::Elements(n as u64));
+        let mut planner = FftPlanner::new();
+        let plan = planner.plan(n, FftDirection::Forward);
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = input.clone();
+                plan.process(&mut buf);
+                black_box(buf[0])
+            })
+        });
+        // Bluestein at a nearby non-power-of-two size.
+        let m = n + 1;
+        let blu = planner.plan(m, FftDirection::Forward);
+        let input_m: Vec<Complex> = (0..m)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bluestein", m), &m, |b, _| {
+            b.iter(|| {
+                let mut buf = input_m.clone();
+                blu.process(&mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt_forward");
+    for &n in &[1usize << 10, 1 << 14, 1 << 17] {
+        group.throughput(Throughput::Elements(n as u64));
+        let plan = Ntt::new(n).expect("plan");
+        let input: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = input.clone();
+                plan.forward(&mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_convolution");
+    group.sample_size(20);
+    for &n in &[256usize, 1024, 4096] {
+        let a: Vec<u64> = (0..n).map(|i| u64::from(i % 3 == 0)).collect();
+        group.bench_with_input(BenchmarkId::new("ntt", n), &n, |b, _| {
+            b.iter(|| black_box(convolve_exact(&a, &a).expect("fits")))
+        });
+        if n <= 1024 {
+            group.bench_with_input(BenchmarkId::new("schoolbook", n), &n, |b, _| {
+                b.iter(|| black_box(convolve_naive(&a, &a)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_ntt, bench_exact_convolution);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Ablations XA1/XA2 as one runnable table (Criterion holds the rigorous
+//! versions; this binary gives the quick CSV/stdout view EXPERIMENTS.md
+//! quotes).
+//!
+//! * engines: naive vs bitset vs spectrum wall time at growing sizes
+//!   (identical outputs are asserted, not assumed);
+//! * pruning: detector time and scan counts with the spectrum prune
+//!   on/off at several thresholds;
+//! * pattern assembly: closed (LCM) vs enumerate-all (Apriori).
+//!
+//! Usage: `ablation [--max-pow 14]`.
+
+use periodica_bench::harness::{measure, Args, ExperimentWriter};
+use periodica_bench::workloads::noisy;
+use periodica_core::{
+    mine_patterns, DetectorConfig, EngineKind, PatternMinerConfig, PatternMode, PeriodicityDetector,
+};
+use periodica_series::generate::SymbolDistribution;
+use periodica_series::noise::NoiseKind;
+use periodica_series::SymbolId;
+
+fn main() -> std::io::Result<()> {
+    let args = Args::parse();
+    let max_pow = args.get("max-pow", 14u32);
+
+    // --- XA1: engines ---
+    let mut writer = ExperimentWriter::new(
+        "ablation_engines",
+        &["n", "engine", "seconds", "total_matches_at_p25"],
+    );
+    for pow in 10..=max_pow {
+        let n = 1usize << pow;
+        let series = noisy(
+            SymbolDistribution::Uniform,
+            25,
+            n,
+            &[NoiseKind::Replacement],
+            0.2,
+            7,
+        );
+        let mut reference: Option<u64> = None;
+        for kind in EngineKind::all() {
+            if kind == EngineKind::Naive && n > 1 << 13 {
+                continue; // quadratic; the point is made by 2^13
+            }
+            let engine = kind.build();
+            let (spectrum, elapsed) =
+                measure(|| engine.match_spectrum(&series, n / 2).expect("spectrum"));
+            let probe: u64 = (0..series.sigma())
+                .map(|k| spectrum.matches(SymbolId::from_index(k), 25))
+                .sum();
+            match reference {
+                None => reference = Some(probe),
+                Some(r) => assert_eq!(r, probe, "engines disagree at n={n}"),
+            }
+            writer.row(&[
+                n.to_string(),
+                engine.name().into(),
+                format!("{:.4}", elapsed.as_secs_f64()),
+                probe.to_string(),
+            ]);
+        }
+    }
+    writer.finish()?;
+
+    // --- XA2: pruning ---
+    // The count-level prune is sound but phase-blind: a dense symbol's
+    // total matches can exceed the per-phase requirement at most periods,
+    // so whole periods are rarely skipped on symbol-dense data. Its real
+    // saving is *within* each scan — only flagged symbols are counted
+    // (phase_counts_for) — which the timing column shows. Output equality
+    // is asserted either way.
+    let mut writer = ExperimentWriter::new(
+        "ablation_pruning",
+        &[
+            "threshold",
+            "prune",
+            "seconds",
+            "scanned_periods",
+            "periodicities",
+        ],
+    );
+    let n = 1usize << max_pow;
+    let series = periodica_datagen::composite::CompositeConfig {
+        length: n,
+        alphabet_size: 10,
+        rhythms: vec![periodica_datagen::composite::Rhythm {
+            symbol: SymbolId(0),
+            period: 24,
+            phase: 3,
+            reliability: 0.9,
+            active: None,
+        }],
+        seed: 9,
+    }
+    .generate()
+    .expect("composite workload");
+    for threshold in [0.3, 0.6, 0.9] {
+        let mut reference: Option<usize> = None;
+        for prune in [true, false] {
+            let detector = PeriodicityDetector::new(
+                DetectorConfig {
+                    threshold,
+                    prune,
+                    ..Default::default()
+                },
+                EngineKind::Spectrum.build(),
+            );
+            let (result, elapsed) = measure(|| detector.detect(&series).expect("detect"));
+            match reference {
+                None => reference = Some(result.periodicities.len()),
+                Some(r) => assert_eq!(r, result.periodicities.len(), "prune changed output"),
+            }
+            writer.row(&[
+                format!("{threshold}"),
+                prune.to_string(),
+                format!("{:.4}", elapsed.as_secs_f64()),
+                result.scanned_periods.to_string(),
+                result.periodicities.len().to_string(),
+            ]);
+        }
+    }
+    writer.finish()?;
+
+    // --- pattern assembly: closed vs enumerate ---
+    let mut writer = ExperimentWriter::new("ablation_patterns", &["mode", "seconds", "patterns"]);
+    let series = noisy(
+        SymbolDistribution::Uniform,
+        24,
+        1 << 14,
+        &[NoiseKind::Replacement],
+        0.25,
+        13,
+    );
+    let detection = PeriodicityDetector::new(
+        DetectorConfig {
+            threshold: 0.4,
+            max_period: Some(48),
+            ..Default::default()
+        },
+        EngineKind::Spectrum.build(),
+    )
+    .detect(&series)
+    .expect("detect");
+    for (label, mode) in [
+        ("closed_lcm", PatternMode::Closed),
+        ("enumerate_apriori", PatternMode::EnumerateAll),
+    ] {
+        let config = PatternMinerConfig {
+            min_support: 0.4,
+            mode,
+            ..Default::default()
+        };
+        let (patterns, elapsed) =
+            measure(|| mine_patterns(&series, &detection, &config).expect("mine"));
+        writer.row(&[
+            label.into(),
+            format!("{:.4}", elapsed.as_secs_f64()),
+            patterns.len().to_string(),
+        ]);
+    }
+    writer.finish()?;
+    Ok(())
+}

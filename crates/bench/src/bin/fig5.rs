@@ -1,0 +1,84 @@
+//! Figure 5 — time behaviour versus series length (log-log).
+//!
+//! The paper times its periodicity-detection phase against the periodic
+//! trends algorithm on data slices of power-of-two sizes. The workload here
+//! resembles the paper's real trace: a mostly irregular stream carrying a
+//! planted periodic event (a retail-like signal at period 24), so the
+//! period-candidate set stays realistic. (A *perfectly* periodic series
+//! would make Definition 1's output itself quadratic — every phase of every
+//! multiple qualifies — which measures output enumeration, not detection.)
+//!
+//! Expected shape: both curves quasi-linear on the log-log plot, ours
+//! below, the gap growing with n (O(n log n) vs O(n log^2 n)).
+//!
+//! Usage: `fig5 [--min-pow 13] [--max-pow 19] [--full]`
+//! (`--full` = up to 2^22 symbols).
+
+use periodica_baselines::indyk::{PeriodicTrends, PeriodicTrendsConfig};
+use periodica_baselines::shift_distance::symbol_values;
+use periodica_bench::harness::{measure, Args, ExperimentWriter};
+use periodica_core::{DetectorConfig, EngineKind, PeriodicityDetector};
+use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random background over 10 symbols with one symbol beating at period 24
+/// (reliability 0.9) — the event-log shape of the paper's Wal-Mart hours.
+fn workload(n: usize) -> SymbolSeries {
+    let alphabet = Alphabet::latin(10).expect("alphabet");
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut data: Vec<SymbolId> = (0..n)
+        .map(|_| SymbolId::from_index(rng.random_range(0..10)))
+        .collect();
+    for t in (7..n).step_by(24) {
+        if rng.random::<f64>() < 0.9 {
+            data[t] = SymbolId(0);
+        }
+    }
+    SymbolSeries::from_ids(data, alphabet).expect("valid series")
+}
+
+fn main() -> std::io::Result<()> {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let min_pow = args.get("min-pow", 13u32);
+    let max_pow = args.get("max-pow", if full { 22 } else { 19 });
+
+    let mut writer = ExperimentWriter::new(
+        "fig5_time_behaviour",
+        &["n", "ours_detect_secs", "periodic_trends_secs", "speedup"],
+    );
+
+    for pow in min_pow..=max_pow {
+        let n = 1usize << pow;
+        let series = workload(n);
+
+        // Ours: the periodicity-detection phase the paper times — one
+        // convolution pass plus the per-(symbol, period) threshold test.
+        let detector = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 0.6,
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        );
+        let (ours, ours_time) = measure(|| detector.candidate_periods(&series).expect("detect"));
+        std::hint::black_box(ours.len());
+
+        // Baseline: the periodic-trends sketch spectrum over the same
+        // period range.
+        let values = symbol_values(&series);
+        let trends = PeriodicTrends::new(PeriodicTrendsConfig::default());
+        let (spectrum, trends_time) = measure(|| trends.distance_spectrum(&values, n / 2));
+        std::hint::black_box(spectrum.len());
+
+        writer.row(&[
+            n.to_string(),
+            format!("{:.4}", ours_time.as_secs_f64()),
+            format!("{:.4}", trends_time.as_secs_f64()),
+            format!("{:.2}", trends_time.as_secs_f64() / ours_time.as_secs_f64()),
+        ]);
+    }
+    writer.finish()?;
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Table 2 — periodic single-symbol patterns at the expected periods
+//! (retail period 24, power period 7) per periodicity threshold.
+//!
+//! Each pattern is reported as the paper does: a `(symbol, position)` pair,
+//! e.g. `(b, 7)` meaning "level b recurs at hour 7 of the day". Expected
+//! shapes: nothing at 100%, the overnight-closed hours (`a` at the closed
+//! positions) and off-peak levels appearing as the threshold drops, with
+//! lower-threshold rows containing the higher-threshold rows.
+//!
+//! Usage: `table2 [--retail-days 456] [--power-days 365]`.
+
+use periodica_bench::harness::{Args, ExperimentWriter};
+use periodica_core::{DetectorConfig, EngineKind, PeriodicityDetector};
+use periodica_datagen::{PowerConfig, RetailConfig};
+use periodica_series::SymbolSeries;
+
+fn single_patterns(series: &SymbolSeries, threshold: f64, period: usize) -> Vec<String> {
+    let detection = PeriodicityDetector::new(
+        DetectorConfig {
+            threshold,
+            min_period: period,
+            max_period: Some(period),
+            ..Default::default()
+        },
+        EngineKind::Spectrum.build(),
+    )
+    .detect(series)
+    .expect("detection succeeds");
+    detection
+        .at_period(period)
+        .iter()
+        .map(|sp| format!("({},{})", series.alphabet().name(sp.symbol), sp.phase))
+        .collect()
+}
+
+fn main() -> std::io::Result<()> {
+    let args = Args::parse();
+    let retail_days = args.get("retail-days", 456usize);
+    let power_days = args.get("power-days", 365usize);
+
+    let retail = RetailConfig {
+        days: retail_days,
+        ..Default::default()
+    }
+    .generate_series()
+    .expect("retail surrogate generates");
+    let power = PowerConfig {
+        days: power_days,
+        ..Default::default()
+    }
+    .generate_series()
+    .expect("power surrogate generates");
+
+    let mut writer = ExperimentWriter::new(
+        "table2_single_symbol_patterns",
+        &[
+            "threshold_pct",
+            "retail_p24_count",
+            "retail_p24_patterns",
+            "power_p7_count",
+            "power_p7_patterns",
+        ],
+    );
+
+    for pct in (10..=100).rev().step_by(10) {
+        let threshold = pct as f64 / 100.0;
+        let rp = single_patterns(&retail, threshold, 24);
+        let pp = single_patterns(&power, threshold, 7);
+        let clip = |v: &[String]| {
+            if v.is_empty() {
+                "-".to_string()
+            } else if v.len() <= 8 {
+                v.join(" ")
+            } else {
+                format!("{} ...", v[..8].join(" "))
+            }
+        };
+        writer.row(&[
+            pct.to_string(),
+            rp.len().to_string(),
+            clip(&rp),
+            pp.len().to_string(),
+            clip(&pp),
+        ]);
+    }
+    writer.finish()?;
+    Ok(())
+}

@@ -1,0 +1,164 @@
+//! Result recording and timing utilities shared by the experiment binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+/// Where experiment outputs land (`PERIODICA_RESULTS` or `./results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("PERIODICA_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Runs a closure and returns its output together with the wall time.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Records one experiment's rows as CSV (+ a JSON twin) and echoes a
+/// human-readable table to stdout.
+#[derive(Debug)]
+pub struct ExperimentWriter {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentWriter {
+    /// Starts an experiment record with a CSV header.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        println!("== {name} ==");
+        ExperimentWriter {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells) and echoes it.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        println!("  {}", cells.join("\t"));
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for mixed displayable cells.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Writes `results/<name>.csv` and `results/<name>.json`.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let csv_path = dir.join(format!("{}.csv", self.name));
+        let mut file = fs::File::create(&csv_path)?;
+        writeln!(file, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(file, "{}", row.join(","))?;
+        }
+
+        #[derive(Serialize)]
+        struct JsonDoc<'a> {
+            name: &'a str,
+            header: &'a [String],
+            rows: &'a [Vec<String>],
+        }
+        let json_path = dir.join(format!("{}.json", self.name));
+        let doc = JsonDoc {
+            name: &self.name,
+            header: &self.header,
+            rows: &self.rows,
+        };
+        fs::write(&json_path, serde_json::to_string_pretty(&doc)?)?;
+        println!("  -> {}", csv_path.display());
+        Ok(csv_path)
+    }
+}
+
+/// Parses `--key value` style CLI overrides used by the experiment
+/// binaries (`--length 1048576 --runs 100 --full`).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = argv[i].trim_start_matches("--").to_string();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                pairs.push((arg, argv[i + 1].clone()));
+                i += 2;
+            } else {
+                flags.push(arg);
+                i += 1;
+            }
+        }
+        Args { pairs, flags }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_nonzero_time() {
+        let (value, elapsed) = measure(|| (0..100_000u64).sum::<u64>());
+        assert_eq!(value, 4_999_950_000);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn writer_produces_csv_and_json() {
+        let dir = std::env::temp_dir().join(format!("periodica-bench-{}", std::process::id()));
+        // SAFETY: test-local env var; experiment binaries read it at startup.
+        unsafe { std::env::set_var("PERIODICA_RESULTS", &dir) };
+        let mut w = ExperimentWriter::new("unit_test_experiment", &["a", "b"]);
+        w.row(&["1".into(), "2".into()]);
+        w.row_display(&[&3, &4.5]);
+        let path = w.finish().expect("ok");
+        let csv = std::fs::read_to_string(&path).expect("ok");
+        assert_eq!(csv, "a,b\n1,2\n3,4.5\n");
+        let json = std::fs::read_to_string(path.with_extension("json")).expect("ok");
+        assert!(json.contains("unit_test_experiment"));
+        unsafe { std::env::remove_var("PERIODICA_RESULTS") };
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn writer_rejects_ragged_rows() {
+        let mut w = ExperimentWriter::new("ragged", &["a", "b"]);
+        w.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,18 @@
+//! # periodica-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (Sect. 4), plus Criterion micro/macro benches.
+//!
+//! Each `fig*`/`table*` binary prints the same rows/series the paper
+//! reports and writes CSV + JSON into `results/` (override with
+//! `PERIODICA_RESULTS`). Absolute numbers are re-measured on this crate's
+//! surrogates; the reproduction targets are the *shapes*: who wins, decay
+//! trends, bias directions, which periods surface.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{measure, ExperimentWriter};

@@ -1,0 +1,90 @@
+//! Shared workload builders for the experiment binaries.
+//!
+//! Mirrors the paper's synthetic setup (Sect. 4): repeat a random pattern
+//! of length `P` drawn from a uniform or normal symbol distribution over an
+//! alphabet of 10, then optionally corrupt with replacement / insertion /
+//! deletion noise.
+
+use periodica_series::generate::{GeneratedSeries, PeriodicSeriesSpec, SymbolDistribution};
+use periodica_series::noise::{NoiseKind, NoiseSpec};
+use periodica_series::SymbolSeries;
+
+/// The paper's synthetic alphabet size.
+pub const PAPER_SIGMA: usize = 10;
+
+/// The two (distribution, period) pairs every correctness figure uses.
+pub fn paper_settings() -> [(SymbolDistribution, usize); 4] {
+    [
+        (SymbolDistribution::Uniform, 25),
+        (SymbolDistribution::Normal { std_dev: 1.5 }, 25),
+        (SymbolDistribution::Uniform, 32),
+        (SymbolDistribution::Normal { std_dev: 1.5 }, 32),
+    ]
+}
+
+/// An inerrant synthetic series.
+pub fn inerrant(
+    distribution: SymbolDistribution,
+    period: usize,
+    length: usize,
+    seed: u64,
+) -> GeneratedSeries {
+    PeriodicSeriesSpec {
+        length,
+        period,
+        alphabet_size: PAPER_SIGMA,
+        distribution,
+    }
+    .generate(seed)
+    .expect("valid synthetic spec")
+}
+
+/// A noisy synthetic series: inerrant, then the given mixture at `ratio`.
+pub fn noisy(
+    distribution: SymbolDistribution,
+    period: usize,
+    length: usize,
+    mix: &[NoiseKind],
+    ratio: f64,
+    seed: u64,
+) -> SymbolSeries {
+    let g = inerrant(distribution, period, length, seed);
+    NoiseSpec::new(mix.to_vec(), ratio)
+        .expect("valid noise spec")
+        .apply(&g.series, seed ^ 0x5EED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_core::period_confidence;
+
+    #[test]
+    fn inerrant_workload_has_unit_confidence_at_its_period() {
+        for (dist, period) in paper_settings() {
+            let g = inerrant(dist, period, 4 * period * 10, 1);
+            let c = period_confidence(&g.series, period);
+            assert!((c - 1.0).abs() < 1e-12, "{} P={period}: {c}", dist.label());
+        }
+    }
+
+    #[test]
+    fn noise_lowers_confidence() {
+        let clean = inerrant(SymbolDistribution::Uniform, 25, 5_000, 2);
+        let corrupted = noisy(
+            SymbolDistribution::Uniform,
+            25,
+            5_000,
+            &[NoiseKind::Replacement],
+            0.3,
+            2,
+        );
+        let c_clean = period_confidence(&clean.series, 25);
+        let c_noisy = period_confidence(&corrupted, 25);
+        assert!(c_noisy < c_clean);
+        assert!(
+            c_noisy > 0.2,
+            "replacement noise should degrade gracefully: {c_noisy}"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal `--key value` / `--flag` argument parsing.
+//!
+//! No external parser crates: the surface is small and a hand-rolled
+//! parser keeps the dependency policy intact (DESIGN.md §2).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::CliError;
+
+/// Flags that take no value.
+const BARE_FLAGS: &[&str] = &["no-patterns", "enumerate-all", "prune-off", "fundamentals"];
+
+/// Parsed command-line arguments for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: HashSet<String>,
+}
+
+impl CliArgs {
+    /// Parses everything after the subcommand.
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut out = CliArgs::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                if BARE_FLAGS.contains(&name) {
+                    out.flags.insert(name.to_string());
+                    i += 1;
+                } else {
+                    let value = argv.get(i + 1).ok_or_else(|| {
+                        CliError::Usage(format!("option --{name} requires a value"))
+                    })?;
+                    out.options.insert(name.to_string(), value.clone());
+                    i += 2;
+                }
+            } else {
+                out.positional.push(arg.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The input path: the first positional argument, `-` = stdin
+    /// (also the default when absent).
+    pub fn input_path(&self) -> &str {
+        self.positional.first().map_or("-", String::as_str)
+    }
+
+    /// Raw option lookup.
+    pub fn raw(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Typed option with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("cannot parse --{key} value {v:?}"))),
+        }
+    }
+
+    /// Typed *required* option.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        let v = self
+            .options
+            .get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{key}")))?;
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("cannot parse --{key} value {v:?}")))
+    }
+
+    /// Whether a bare flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CliArgs {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        CliArgs::parse(&argv).expect("parse")
+    }
+
+    #[test]
+    fn positional_options_and_flags() {
+        let a = parse(&["input.txt", "--threshold", "0.7", "--no-patterns"]);
+        assert_eq!(a.input_path(), "input.txt");
+        assert_eq!(a.get("threshold", 0.5).expect("ok"), 0.7);
+        assert!(a.flag("no-patterns"));
+        assert!(!a.flag("enumerate-all"));
+    }
+
+    #[test]
+    fn stdin_is_the_default_input() {
+        let a = parse(&["--threshold", "0.7"]);
+        assert_eq!(a.input_path(), "-");
+    }
+
+    #[test]
+    fn missing_value_and_bad_parse_are_usage_errors() {
+        let argv = vec!["--threshold".to_string()];
+        assert!(CliArgs::parse(&argv).is_err());
+        let a = parse(&["--threshold", "abc"]);
+        assert!(a.get("threshold", 0.5).is_err());
+        assert!(a.require::<usize>("length").is_err());
+    }
+
+    #[test]
+    fn required_options() {
+        let a = parse(&["--length", "100"]);
+        assert_eq!(a.require::<usize>("length").expect("ok"), 100);
+    }
+}

@@ -1,0 +1,347 @@
+//! The CLI subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::Arc;
+
+use periodica_baselines::indyk::{PeriodicTrends, PeriodicTrendsConfig};
+use periodica_core::{
+    fundamentals, DetectorConfig, EngineKind, MiningReport, ObscureMiner, PatternMode,
+    PeriodicityDetector,
+};
+use periodica_series::discretize::{Discretizer, EqualFrequency, EqualWidth, GaussianBins};
+use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
+use periodica_series::noise::{NoiseKind, NoiseSpec};
+use periodica_series::{Alphabet, SymbolSeries};
+
+use crate::args::CliArgs;
+use crate::error::CliError;
+
+/// Reads the whole input (file path or `-` for the provided stdin).
+fn read_input(args: &CliArgs, stdin: &mut dyn BufRead) -> Result<String, CliError> {
+    let mut text = String::new();
+    match args.input_path() {
+        "-" => {
+            stdin.read_to_string(&mut text)?;
+        }
+        path => {
+            BufReader::new(File::open(path)?).read_to_string(&mut text)?;
+        }
+    }
+    Ok(text)
+}
+
+/// Builds the series: explicit `--alphabet` characters or inference.
+fn read_series(args: &CliArgs, stdin: &mut dyn BufRead) -> Result<SymbolSeries, CliError> {
+    let text = read_input(args, stdin)?;
+    let flat: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+    let alphabet: Arc<Alphabet> = match args.raw("alphabet") {
+        Some(chars) => Alphabet::from_symbols(chars.chars().map(|c| c.to_string()))?,
+        None => Alphabet::infer_from_text(&flat)?,
+    };
+    Ok(SymbolSeries::parse(&flat, &alphabet)?)
+}
+
+fn engine_kind(args: &CliArgs) -> Result<EngineKind, CliError> {
+    match args.raw("engine").unwrap_or("spectrum") {
+        "spectrum" => Ok(EngineKind::Spectrum),
+        "parallel" => Ok(EngineKind::ParallelSpectrum),
+        "bitset" => Ok(EngineKind::Bitset),
+        "naive" => Ok(EngineKind::Naive),
+        other => Err(CliError::Usage(format!("unknown engine {other:?}"))),
+    }
+}
+
+fn detector_config(args: &CliArgs) -> Result<DetectorConfig, CliError> {
+    Ok(DetectorConfig {
+        threshold: args.get("threshold", 0.5)?,
+        min_period: args.get("min-period", 1)?,
+        max_period: args
+            .raw("max-period")
+            .map(|_| args.require("max-period"))
+            .transpose()?,
+        prune: !args.flag("prune-off"),
+    })
+}
+
+/// `periodica mine` — the full pipeline.
+pub fn mine(args: &CliArgs, stdin: &mut dyn BufRead, out: &mut dyn Write) -> Result<i32, CliError> {
+    let series = read_series(args, stdin)?;
+    let config = detector_config(args)?;
+    let mut builder = ObscureMiner::builder()
+        .threshold(config.threshold)
+        .engine(engine_kind(args)?)
+        .min_period(config.min_period)
+        .prune(config.prune)
+        .mine_patterns(!args.flag("no-patterns"))
+        .pattern_mode(if args.flag("enumerate-all") {
+            PatternMode::EnumerateAll
+        } else {
+            PatternMode::Closed
+        });
+    if let Some(max) = config.max_period {
+        builder = builder.max_period(max);
+    }
+    let report = builder.build().mine(&series)?;
+    render_report(&series, &report, args, out)?;
+    Ok(0)
+}
+
+fn render_report(
+    series: &SymbolSeries,
+    report: &MiningReport,
+    args: &CliArgs,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let alphabet = series.alphabet();
+    let limit: usize = args.get("limit", 50)?;
+    writeln!(
+        out,
+        "series: {} symbols over {} ({} periods examined, {} scanned)",
+        series.len(),
+        alphabet,
+        report.detection.examined_periods,
+        report.detection.scanned_periods,
+    )?;
+
+    let shown: Vec<_> = if args.flag("fundamentals") {
+        fundamentals(&report.detection)
+    } else {
+        report.detection.periodicities.clone()
+    };
+    writeln!(
+        out,
+        "\nsymbol periodicities (psi = {}){}:",
+        report.detection.threshold,
+        if args.flag("fundamentals") {
+            ", fundamentals only"
+        } else {
+            ""
+        },
+    )?;
+    for sp in shown.iter().take(limit) {
+        writeln!(
+            out,
+            "  {:>4}  period {:>5}  position {:>5}  confidence {:.3}",
+            alphabet.name(sp.symbol),
+            sp.period,
+            sp.phase,
+            sp.confidence,
+        )?;
+    }
+    if shown.len() > limit {
+        writeln!(out, "  ... ({} more; raise --limit)", shown.len() - limit)?;
+    }
+
+    if !report.patterns.is_empty() {
+        writeln!(out, "\nperiodic patterns:")?;
+        let mut patterns: Vec<_> = report.patterns.iter().collect();
+        patterns.sort_by(|a, b| {
+            (
+                a.pattern.period(),
+                std::cmp::Reverse(a.pattern.cardinality()),
+            )
+                .cmp(&(
+                    b.pattern.period(),
+                    std::cmp::Reverse(b.pattern.cardinality()),
+                ))
+        });
+        for m in patterns.iter().take(limit) {
+            writeln!(
+                out,
+                "  {}  (period {}, support {:.3})",
+                m.pattern.render(alphabet),
+                m.pattern.period(),
+                m.support.support,
+            )?;
+        }
+        if patterns.len() > limit {
+            writeln!(
+                out,
+                "  ... ({} more; raise --limit)",
+                patterns.len() - limit
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `periodica periods` — candidate periods from the convolution phase.
+pub fn periods(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let series = read_series(args, stdin)?;
+    let detector = PeriodicityDetector::new(detector_config(args)?, engine_kind(args)?.build());
+    let candidates = detector.candidate_periods(&series)?;
+    writeln!(
+        out,
+        "# {} candidate periods at psi = {} (convolution phase only)",
+        candidates.len(),
+        detector.config().threshold,
+    )?;
+    let limit: usize = args.get("limit", 50)?;
+    for p in candidates.iter().take(limit) {
+        writeln!(out, "{p}")?;
+    }
+    if candidates.len() > limit {
+        writeln!(
+            out,
+            "# ... ({} more; raise --limit)",
+            candidates.len() - limit
+        )?;
+    }
+    Ok(0)
+}
+
+/// `periodica trends` — the Indyk baseline ranking, for comparison.
+pub fn trends(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let series = read_series(args, stdin)?;
+    let max_period: usize = args.get("max-period", series.len() / 2)?;
+    let config = PeriodicTrendsConfig {
+        sketches: args
+            .raw("sketches")
+            .map(|_| args.require("sketches"))
+            .transpose()?,
+        seed: args.get("seed", 0x1DCD65)?,
+        normalize: args.flag("fundamentals"), // reuse: normalized ranking
+    };
+    let report = PeriodicTrends::new(config).analyze(&series, max_period);
+    let limit: usize = args.get("limit", 20)?;
+    writeln!(out, "# period  rank_confidence  (most candidate first)")?;
+    for &p in report.top(limit) {
+        writeln!(out, "{p:>8}  {:.4}", report.confidence_of(p))?;
+    }
+    Ok(0)
+}
+
+/// `periodica generate` — synthetic periodic series to stdout.
+pub fn generate(args: &CliArgs, out: &mut dyn Write) -> Result<i32, CliError> {
+    let length: usize = args.require("length")?;
+    let period: usize = args.require("period")?;
+    let sigma: usize = args.get("sigma", 10)?;
+    let distribution = match args.raw("dist").unwrap_or("uniform") {
+        "uniform" => SymbolDistribution::Uniform,
+        "normal" => SymbolDistribution::Normal { std_dev: 1.5 },
+        other => return Err(CliError::Usage(format!("unknown distribution {other:?}"))),
+    };
+    if sigma > 26 {
+        return Err(CliError::Usage(
+            "generate emits one character per symbol; --sigma must be <= 26".into(),
+        ));
+    }
+    let seed: u64 = args.get("seed", 0)?;
+    let g = PeriodicSeriesSpec {
+        length,
+        period,
+        alphabet_size: sigma,
+        distribution,
+    }
+    .generate(seed)?;
+    let mut series = g.series;
+
+    let noise: f64 = args.get("noise", 0.0)?;
+    if noise > 0.0 {
+        let mix: Vec<NoiseKind> = args
+            .raw("noise-mix")
+            .unwrap_or("R")
+            .chars()
+            .map(|c| match c {
+                'R' | 'r' => Ok(NoiseKind::Replacement),
+                'I' | 'i' => Ok(NoiseKind::Insertion),
+                'D' | 'd' => Ok(NoiseKind::Deletion),
+                other => Err(CliError::Usage(format!("unknown noise kind {other:?}"))),
+            })
+            .collect::<Result<_, _>>()?;
+        series = NoiseSpec::new(mix, noise)?.apply(&series, seed ^ 0x5EED);
+    }
+
+    let text = series.to_text().expect("latin alphabets render to text");
+    for chunk in text.as_bytes().chunks(80) {
+        out.write_all(chunk)?;
+        out.write_all(b"\n")?;
+    }
+    Ok(0)
+}
+
+/// `periodica discretize` — numeric lines to symbol text.
+pub fn discretize(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let text = read_input(args, stdin)?;
+    let values = periodica_series::io::read_values(text.as_bytes())?;
+    if values.is_empty() {
+        return Err(CliError::Usage("no numeric values in input".into()));
+    }
+    let levels: usize = args.get("levels", 5)?;
+    if levels > 26 {
+        return Err(CliError::Usage("--levels must be <= 26".into()));
+    }
+    let alphabet = Alphabet::latin(levels)?;
+    let series = match args.raw("scheme").unwrap_or("width") {
+        "width" => {
+            let (min, max) = values
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let max = if min < max { max } else { min + 1.0 };
+            EqualWidth::new(min, max, levels)?.discretize(&values, &alphabet)?
+        }
+        "freq" => EqualFrequency::fit(&values, levels)?.discretize(&values, &alphabet)?,
+        "gauss" => GaussianBins::fit(&values, levels)?.discretize(&values, &alphabet)?,
+        other => return Err(CliError::Usage(format!("unknown scheme {other:?}"))),
+    };
+    let rendered = series.to_text().expect("latin alphabets render to text");
+    for chunk in rendered.as_bytes().chunks(80) {
+        out.write_all(chunk)?;
+        out.write_all(b"\n")?;
+    }
+    Ok(0)
+}
+
+/// `periodica stats` — one-pass descriptive statistics.
+pub fn stats(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    use periodica_series::stats::SeriesStats;
+    let series = read_series(args, stdin)?;
+    let alphabet = series.alphabet();
+    let stats = SeriesStats::compute(&series);
+    writeln!(out, "length     : {}", stats.len)?;
+    writeln!(out, "alphabet   : {} (sigma = {})", alphabet, stats.sigma)?;
+    writeln!(
+        out,
+        "entropy    : {:.4} bits (max {:.4})",
+        stats.entropy_bits,
+        (stats.sigma as f64).log2()
+    )?;
+    writeln!(
+        out,
+        "stickiness : {:.4} (fraction of equal adjacent symbols)",
+        stats.stickiness
+    )?;
+    writeln!(out, "densities  :")?;
+    for (id, name) in alphabet.iter() {
+        writeln!(
+            out,
+            "  {:>4}  {:>8}  {:.4}",
+            name,
+            stats.histogram[id.index()],
+            stats.density(id)
+        )?;
+    }
+    if let Some(dom) = stats.dominant() {
+        writeln!(out, "dominant   : {}", alphabet.name(dom))?;
+    }
+    Ok(0)
+}

@@ -1,0 +1,60 @@
+//! CLI error type.
+
+use std::fmt;
+
+/// Anything that can abort a CLI invocation.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line (unknown command/option, unparsable value).
+    Usage(String),
+    /// I/O failure reading input or writing output.
+    Io(std::io::Error),
+    /// Error from the mining stack.
+    Mining(periodica_core::MiningError),
+    /// Error from the series substrate.
+    Series(periodica_series::SeriesError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m} (try `periodica help`)"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Mining(e) => write!(f, "mining error: {e}"),
+            CliError::Series(e) => write!(f, "input error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<periodica_core::MiningError> for CliError {
+    fn from(e: periodica_core::MiningError) -> Self {
+        CliError::Mining(e)
+    }
+}
+
+impl From<periodica_series::SeriesError> for CliError {
+    fn from(e: periodica_series::SeriesError) -> Self {
+        CliError::Series(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_actionable() {
+        let e = CliError::Usage("missing --length".into());
+        assert!(e.to_string().contains("periodica help"));
+        let e: CliError = periodica_series::SeriesError::EmptyAlphabet.into();
+        assert!(e.to_string().contains("input error"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Implementation of the `periodica` command-line miner.
+//!
+//! The binary in `main.rs` is a thin shell over [`run`], which is fully
+//! testable against in-memory readers/writers. Subcommands:
+//!
+//! * `mine`       — full mining: symbol periodicities + patterns;
+//! * `periods`    — the fast convolution-only candidate-period phase;
+//! * `trends`     — the Indyk periodic-trends baseline ranking;
+//! * `generate`   — synthetic periodic series (optionally noisy);
+//! * `discretize` — numeric values (one per line / last CSV field) to
+//!   symbols;
+//! * `help`       — usage.
+//!
+//! Series input is one-character-per-symbol text from a file argument or
+//! stdin (`-`); the alphabet is inferred from the input unless `--alphabet`
+//! supplies one.
+
+pub mod args;
+pub mod commands;
+pub mod error;
+
+use std::io::{BufRead, Write};
+
+pub use args::CliArgs;
+pub use error::CliError;
+
+/// Usage text shown by `help` and on bad invocations.
+pub const USAGE: &str = "\
+periodica — one-pass mining of periodic patterns with unknown periods
+
+USAGE:
+  periodica <COMMAND> [FILE|-] [OPTIONS]
+
+COMMANDS:
+  mine        detect symbol periodicities and mine periodic patterns
+  periods     list candidate periods (convolution-only phase; fast)
+  trends      rank periods with the Indyk et al. baseline (comparison)
+  generate    emit a synthetic periodic series
+  discretize  map numeric values (one per line) to symbol levels
+  stats       describe a series (entropy, densities, stickiness)
+  help        show this message
+
+COMMON OPTIONS:
+  --threshold <psi>      periodicity threshold in (0,1]   [default 0.5]
+  --alphabet <chars>     explicit alphabet, e.g. abcde    [default inferred]
+  --engine <name>        spectrum | parallel | bitset | naive  [default spectrum]
+  --min-period <p>       smallest period examined         [default 1]
+  --max-period <p>       largest period examined          [default n/2]
+  --no-patterns          skip pattern assembly (mine)
+  --enumerate-all        enumerate every frequent pattern (mine)
+  --limit <k>            cap printed rows                 [default 50]
+
+GENERATE OPTIONS:
+  --length <n> --period <p> [--sigma <k>] [--dist uniform|normal]
+  [--seed <s>] [--noise <ratio>] [--noise-mix <RID subset, e.g. RI>]
+
+DISCRETIZE OPTIONS:
+  --levels <k> [--scheme width|freq|gauss]
+
+EXAMPLES:
+  periodica generate --length 10000 --period 24 | periodica mine - --threshold 0.8
+  periodica mine trace.txt --threshold 0.6 --max-period 500
+  periodica periods trace.txt --threshold 0.7
+";
+
+/// Dispatches a full CLI invocation. `argv` excludes the program name.
+/// Returns the process exit code.
+pub fn run(
+    argv: &[String],
+    stdin: &mut dyn BufRead,
+    stdout: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let Some((command, rest)) = argv.split_first() else {
+        writeln!(stdout, "{USAGE}")?;
+        return Ok(2);
+    };
+    let args = CliArgs::parse(rest)?;
+    match command.as_str() {
+        "mine" => commands::mine(&args, stdin, stdout),
+        "periods" => commands::periods(&args, stdin, stdout),
+        "trends" => commands::trends(&args, stdin, stdout),
+        "generate" => commands::generate(&args, stdout),
+        "discretize" => commands::discretize(&args, stdin, stdout),
+        "stats" => commands::stats(&args, stdin, stdout),
+        "help" | "--help" | "-h" => {
+            writeln!(stdout, "{USAGE}")?;
+            Ok(0)
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn invoke(argv: &[&str], input: &str) -> (i32, String) {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut stdin = Cursor::new(input.as_bytes().to_vec());
+        let mut out = Vec::new();
+        let code = run(&argv, &mut stdin, &mut out).expect("cli run");
+        (code, String::from_utf8(out).expect("utf8"))
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let (code, out) = invoke(&[], "");
+        assert_eq!(code, 2);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage_successfully() {
+        let (code, out) = invoke(&["help"], "");
+        assert_eq!(code, 0);
+        assert!(out.contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let argv = vec!["frobnicate".to_string()];
+        let mut stdin = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        let err = run(&argv, &mut stdin, &mut out).expect_err("should fail");
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn mine_on_the_paper_example() {
+        let (code, out) = invoke(&["mine", "-", "--threshold", "0.66"], "abcabbabcb\n");
+        assert_eq!(code, 0);
+        assert!(out.contains("ab*"), "{out}");
+        assert!(out.contains("period 3"), "{out}");
+    }
+
+    #[test]
+    fn periods_lists_candidates() {
+        let (code, out) = invoke(&["periods", "-", "--threshold", "0.9"], &"abc".repeat(50));
+        assert_eq!(code, 0);
+        assert!(out.lines().any(|l| l.trim() == "3"), "{out}");
+    }
+
+    #[test]
+    fn generate_pipes_into_mine() {
+        let (code, series) = invoke(
+            &[
+                "generate", "--length", "600", "--period", "12", "--seed", "5",
+            ],
+            "",
+        );
+        assert_eq!(code, 0);
+        let flat: String = series.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(flat.len(), 600);
+        let (code, out) = invoke(&["mine", "-", "--threshold", "0.95"], &series);
+        assert_eq!(code, 0);
+        assert!(out.contains("period 12"), "{out}");
+    }
+
+    #[test]
+    fn discretize_maps_values_to_levels() {
+        let (code, out) = invoke(
+            &["discretize", "-", "--levels", "3", "--scheme", "width"],
+            "0\n5\n10\n1\n9\n",
+        );
+        assert_eq!(code, 0);
+        let line = out.lines().next().expect("one line");
+        assert_eq!(line.len(), 5);
+        assert!(line.starts_with('a'));
+        assert!(line.contains('c'));
+    }
+
+    #[test]
+    fn trends_ranks_the_planted_period_high() {
+        let series = "abcde".repeat(200);
+        let (code, out) = invoke(
+            &["trends", "-", "--max-period", "50", "--limit", "5"],
+            &series,
+        );
+        assert_eq!(code, 0);
+        // Some multiple of 5 leads the candidate list.
+        let first = out
+            .lines()
+            .find(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .expect("a ranked row");
+        let period: usize = first
+            .split_whitespace()
+            .next()
+            .expect("period column")
+            .parse()
+            .expect("numeric period");
+        assert_eq!(period % 5, 0, "{out}");
+    }
+
+    #[test]
+    fn stats_describes_the_series() {
+        let (code, out) = invoke(&["stats", "-"], "aabbccaa\n");
+        assert_eq!(code, 0);
+        assert!(out.contains("length     : 8"), "{out}");
+        assert!(out.contains("entropy"), "{out}");
+        assert!(out.contains("dominant   : a"), "{out}");
+    }
+
+    #[test]
+    fn parallel_engine_is_selectable() {
+        let (code, out) = invoke(
+            &["mine", "-", "--threshold", "0.9", "--engine", "parallel"],
+            &"abc".repeat(40),
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("period     3"), "{out}");
+    }
+
+    #[test]
+    fn bad_options_surface_as_usage_errors() {
+        let argv: Vec<String> = ["mine", "-", "--threshold", "zero"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut stdin = Cursor::new(b"abab".to_vec());
+        let mut out = Vec::new();
+        assert!(run(&argv, &mut stdin, &mut out).is_err());
+    }
+}

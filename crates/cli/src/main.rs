@@ -1,0 +1,22 @@
+//! The `periodica` binary: a thin shell over [`periodica_cli::run`].
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdin = std::io::stdin();
+    let mut locked_in = stdin.lock();
+    let stdout = std::io::stdout();
+    let mut locked_out = stdout.lock();
+    match periodica_cli::run(&argv, &mut locked_in, &mut locked_out) {
+        Ok(code) => {
+            let _ = locked_out.flush();
+            ExitCode::from(code as u8)
+        }
+        Err(e) => {
+            eprintln!("periodica: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! A fixed-length bit vector over `u64` limbs.
+//!
+//! Supports exactly the operations the bitset convolution engine needs:
+//! set/get, `AND` with a right-shifted copy, popcount, and iteration over
+//! set bits. No dependency on external bitset crates.
+
+/// A fixed-length bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    len: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            limbs: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i` to 1.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.limbs[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// `popcount(self & (self >> shift))` without materializing the shifted
+    /// vector: counts positions `i` with bit `i` and bit `i + shift` both
+    /// set. This is the bitset engine's entire inner loop.
+    pub fn count_and_shifted(&self, shift: usize) -> usize {
+        if shift >= self.len {
+            return 0;
+        }
+        let word_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let limbs = &self.limbs;
+        let mut count = 0usize;
+        if bit_shift == 0 {
+            for i in 0..limbs.len() - word_shift {
+                count += (limbs[i] & limbs[i + word_shift]).count_ones() as usize;
+            }
+        } else {
+            for i in 0..limbs.len() - word_shift {
+                let hi = limbs.get(i + word_shift + 1).copied().unwrap_or(0);
+                let shifted = (limbs[i + word_shift] >> bit_shift) | (hi << (64 - bit_shift));
+                count += (limbs[i] & shifted).count_ones() as usize;
+            }
+        }
+        count
+    }
+
+    /// Materializes `self & (self >> shift)` as a new vector (used by the
+    /// paper-literal mapping to expose the weight sets `W_p`).
+    pub fn and_shifted(&self, shift: usize) -> BitVec {
+        let mut out = BitVec::zeros(self.len);
+        if shift >= self.len {
+            return out;
+        }
+        for i in 0..self.len - shift {
+            if self.get(i) && self.get(i + shift) {
+                out.set(i);
+            }
+        }
+        out
+    }
+
+    /// `popcount(self & other)` without allocating.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_count(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len, "bit vector lengths differ");
+        self.limbs
+            .iter()
+            .zip(&other.limbs)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The intersection `self & other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn intersection(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "bit vector lengths differ");
+        BitVec {
+            len: self.len,
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&other.limbs)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "bit vector lengths differ");
+        self.limbs
+            .iter()
+            .zip(&other.limbs)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.limbs.iter().enumerate().flat_map(move |(w, &limb)| {
+            let mut rest = limb;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    None
+                } else {
+                    let bit = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    Some(w * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_count() {
+        let mut b = BitVec::zeros(130);
+        assert_eq!(b.len(), 130);
+        for i in [0usize, 63, 64, 65, 129] {
+            b.set(i);
+        }
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(65) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        assert_eq!(b.count_ones(), 5);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut b = BitVec::zeros(10);
+        b.set(10);
+    }
+
+    #[test]
+    fn count_and_shifted_matches_reference() {
+        // Periodic pattern: ones at multiples of 5 in 200 bits.
+        let mut b = BitVec::zeros(200);
+        for i in (0..200).step_by(5) {
+            b.set(i);
+        }
+        for shift in 0..200 {
+            let reference = (0..200 - shift)
+                .filter(|&i| b.get(i) && b.get(i + shift))
+                .count();
+            assert_eq!(b.count_and_shifted(shift), reference, "shift={shift}");
+            assert_eq!(
+                b.and_shifted(shift).count_ones(),
+                reference,
+                "shift={shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_and_shifted_random_pattern() {
+        let mut b = BitVec::zeros(333);
+        let mut state = 0x1234_5678_9ABC_DEFu64;
+        for i in 0..333 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state & 1 == 1 {
+                b.set(i);
+            }
+        }
+        for shift in [0usize, 1, 7, 63, 64, 65, 128, 200, 332, 333, 400] {
+            let reference = if shift >= 333 {
+                0
+            } else {
+                (0..333 - shift)
+                    .filter(|&i| b.get(i) && b.get(i + shift))
+                    .count()
+            };
+            assert_eq!(b.count_and_shifted(shift), reference, "shift={shift}");
+        }
+    }
+
+    #[test]
+    fn shift_beyond_length_is_zero() {
+        let mut b = BitVec::zeros(64);
+        b.set(0);
+        assert_eq!(b.count_and_shifted(64), 0);
+        assert_eq!(b.count_and_shifted(1000), 0);
+        assert_eq!(b.and_shifted(64).count_ones(), 0);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut a = BitVec::zeros(100);
+        let mut b = BitVec::zeros(100);
+        for i in (0..100).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..100).step_by(6) {
+            b.set(i);
+        }
+        assert_eq!(a.and_count(&b), b.count_ones());
+        assert_eq!(a.intersection(&b), b);
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert!(a.is_subset_of(&a));
+        let empty = BitVec::zeros(100);
+        assert!(empty.is_subset_of(&a));
+        assert_eq!(a.and_count(&empty), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn set_operations_require_equal_lengths() {
+        let a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        let _ = a.and_count(&b);
+    }
+
+    #[test]
+    fn empty_vector_is_safe() {
+        let b = BitVec::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.count_and_shifted(0), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

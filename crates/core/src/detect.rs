@@ -1,0 +1,541 @@
+//! Symbol-periodicity detection (Def. 1 of the paper).
+//!
+//! Pipeline:
+//! 1. one convolution pass ([`MatchEngine::match_spectrum`]) yields the
+//!    total lag-`p` match count `C_k(p)` for every symbol and period;
+//! 2. a *sound* prune discards `(k, p)` pairs that cannot reach the
+//!    periodicity threshold at any phase (`C_k(p) >= psi * d_min` is
+//!    necessary, since `F2 <= C` and every detectable phase has denominator
+//!    `>= d_min`);
+//! 3. surviving periods get one O(n) phase scan binning matches into
+//!    `F2(s_k, pi(p,l))`, and Def. 1 is applied exactly.
+//!
+//! The prune is an optimization only — `prune: false` produces identical
+//! output (asserted by tests and measured by the pruning ablation bench).
+
+use periodica_series::{pair_denominator, SymbolId, SymbolSeries};
+
+use crate::engine::{phase_counts, phase_counts_for, MatchEngine, MatchSpectrum};
+use crate::error::{MiningError, Result};
+
+/// Tolerance for floating-point threshold comparisons.
+const EPS: f64 = 1e-12;
+
+/// Configuration of the periodicity detector.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// The periodicity threshold `psi` in `(0, 1]`.
+    pub threshold: f64,
+    /// Smallest period examined (>= 1).
+    pub min_period: usize,
+    /// Largest period examined; defaults to `n / 2` as in the paper's
+    /// algorithm (Fig. 2, step 4).
+    pub max_period: Option<usize>,
+    /// Whether to apply the sound spectrum prune before phase scans.
+    pub prune: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            threshold: 0.5,
+            min_period: 1,
+            max_period: None,
+            prune: true,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validates the configuration against a series length.
+    pub fn validate(&self, n: usize) -> Result<(usize, usize)> {
+        if !(self.threshold > 0.0 && self.threshold <= 1.0) || self.threshold.is_nan() {
+            return Err(MiningError::InvalidThreshold(self.threshold));
+        }
+        let min = self.min_period.max(1);
+        let max = self.max_period.unwrap_or(n / 2).min(n.saturating_sub(1));
+        if let Some(explicit) = self.max_period {
+            if explicit < self.min_period {
+                return Err(MiningError::InvalidPeriodRange {
+                    min: self.min_period,
+                    max: explicit,
+                });
+            }
+        }
+        Ok((min, max))
+    }
+}
+
+/// One detected symbol periodicity: `symbol` recurs every `period`
+/// timestamps starting at `phase`, with the stated confidence (Def. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolPeriodicity {
+    /// The periodic symbol.
+    pub symbol: SymbolId,
+    /// Its period `p`.
+    pub period: usize,
+    /// Its starting position `l < p`.
+    pub phase: usize,
+    /// `F2(symbol, pi(period, phase))`.
+    pub f2: u32,
+    /// The projection's pair count `ceil((n-l)/p) - 1`.
+    pub denominator: u32,
+    /// `f2 / denominator`, in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Output of a detection run.
+#[derive(Debug, Clone)]
+pub struct DetectionResult {
+    /// Series length the run was performed on.
+    pub series_len: usize,
+    /// Threshold the run used.
+    pub threshold: f64,
+    /// All periodicities meeting the threshold, ordered by
+    /// (period, phase, symbol).
+    pub periodicities: Vec<SymbolPeriodicity>,
+    /// Number of periods in the configured range.
+    pub examined_periods: usize,
+    /// Number of periods that required a phase scan (after pruning).
+    pub scanned_periods: usize,
+}
+
+impl DetectionResult {
+    /// Distinct detected periods, ascending.
+    pub fn detected_periods(&self) -> Vec<usize> {
+        let mut ps: Vec<usize> = self.periodicities.iter().map(|s| s.period).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    }
+
+    /// The paper's `S_{p,l}`: symbols periodic with period `p` at phase `l`.
+    pub fn symbols_at(&self, period: usize, phase: usize) -> Vec<SymbolId> {
+        self.periodicities
+            .iter()
+            .filter(|s| s.period == period && s.phase == phase)
+            .map(|s| s.symbol)
+            .collect()
+    }
+
+    /// All periodicities of one period.
+    pub fn at_period(&self, period: usize) -> Vec<&SymbolPeriodicity> {
+        self.periodicities
+            .iter()
+            .filter(|s| s.period == period)
+            .collect()
+    }
+
+    /// Highest confidence recorded for `period`, if detected.
+    pub fn best_confidence(&self, period: usize) -> Option<f64> {
+        self.periodicities
+            .iter()
+            .filter(|s| s.period == period)
+            .map(|s| s.confidence)
+            .fold(None, |acc, c| Some(acc.map_or(c, |a: f64| a.max(c))))
+    }
+}
+
+/// The symbol-periodicity detector.
+///
+/// ```
+/// use periodica_core::{DetectorConfig, EngineKind, PeriodicityDetector};
+/// use periodica_series::{Alphabet, SymbolSeries};
+///
+/// let alphabet = Alphabet::latin(3)?;
+/// let series = SymbolSeries::parse("abcabbabcb", &alphabet)?;
+/// let detector = PeriodicityDetector::new(
+///     DetectorConfig { threshold: 2.0 / 3.0, ..Default::default() },
+///     EngineKind::Spectrum.build(),
+/// );
+/// let result = detector.detect(&series)?;
+/// // The paper's Sect. 2.2: `a` periodic with period 3 at position 0.
+/// let a = alphabet.lookup("a")?;
+/// assert!(result
+///     .periodicities
+///     .iter()
+///     .any(|sp| sp.symbol == a && sp.period == 3 && sp.phase == 0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PeriodicityDetector {
+    config: DetectorConfig,
+    engine: Box<dyn MatchEngine>,
+}
+
+impl PeriodicityDetector {
+    /// Builds a detector from a config and an engine.
+    pub fn new(config: DetectorConfig, engine: Box<dyn MatchEngine>) -> Self {
+        PeriodicityDetector { config, engine }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Runs detection over `series`.
+    pub fn detect(&self, series: &SymbolSeries) -> Result<DetectionResult> {
+        let n = series.len();
+        let (min_p, max_p) = self.config.validate(n)?;
+        let threshold = self.config.threshold;
+        let mut result = DetectionResult {
+            series_len: n,
+            threshold,
+            periodicities: Vec::new(),
+            examined_periods: 0,
+            scanned_periods: 0,
+        };
+        if n < 2 || min_p > max_p {
+            return Ok(result);
+        }
+
+        let spectrum = self.engine.match_spectrum(series, max_p)?;
+        let sigma = series.sigma();
+        let mut flagged: Vec<SymbolId> = Vec::with_capacity(sigma);
+
+        for p in min_p..=max_p {
+            result.examined_periods += 1;
+            // Denominators across phases take at most two adjacent values;
+            // the smallest *detectable* one bounds any phase's requirement.
+            let d_first = pair_denominator(n, p, 0);
+            if d_first == 0 {
+                continue; // no phase has two projection entries
+            }
+            let d_min_pos = pair_denominator(n, p, p - 1).max(1);
+
+            flagged.clear();
+            if self.config.prune {
+                let bound = threshold * d_min_pos as f64 - EPS;
+                for k in 0..sigma {
+                    let sym = SymbolId::from_index(k);
+                    if spectrum.matches(sym, p) as f64 >= bound {
+                        flagged.push(sym);
+                    }
+                }
+                if flagged.is_empty() {
+                    continue;
+                }
+            } else {
+                flagged.extend((0..sigma).map(SymbolId::from_index));
+            }
+
+            result.scanned_periods += 1;
+            let counts = phase_counts_for(series, p, &flagged);
+            for (&sym, row) in flagged.iter().zip(&counts) {
+                for (l, &f2) in row.iter().enumerate() {
+                    let denom = pair_denominator(n, p, l);
+                    if denom == 0 {
+                        continue;
+                    }
+                    let confidence = f2 as f64 / denom as f64;
+                    if confidence + EPS >= threshold {
+                        result.periodicities.push(SymbolPeriodicity {
+                            symbol: sym,
+                            period: p,
+                            phase: l,
+                            f2,
+                            denominator: denom as u32,
+                            confidence,
+                        });
+                    }
+                }
+            }
+        }
+        result
+            .periodicities
+            .sort_by_key(|s| (s.period, s.phase, s.symbol));
+        Ok(result)
+    }
+
+    /// Internal access to the spectrum for callers that post-process counts.
+    pub fn spectrum(&self, series: &SymbolSeries, max_period: usize) -> Result<MatchSpectrum> {
+        self.engine.match_spectrum(series, max_period)
+    }
+
+    /// The convolution-only *periodicity detection phase*: one spectrum
+    /// pass plus the sound threshold test per `(symbol, period)` —
+    /// O(n log n + sigma * max_p), no per-phase enumeration.
+    ///
+    /// Returns the ascending periods at which at least one symbol's total
+    /// match count could meet the threshold. This is a superset of
+    /// [`Self::detect`]'s periods (phase-exact confirmation is `detect`'s
+    /// job) and is the phase the paper times in its Fig. 5: full Def.-1
+    /// output is inherently output-sensitive (a perfectly periodic series
+    /// admits every phase of every multiple), whereas this phase stays
+    /// O(n log n) regardless of how periodic the data is.
+    pub fn candidate_periods(&self, series: &SymbolSeries) -> Result<Vec<usize>> {
+        let n = series.len();
+        let (min_p, max_p) = self.config.validate(n)?;
+        if n < 2 || min_p > max_p {
+            return Ok(Vec::new());
+        }
+        let spectrum = self.engine.match_spectrum(series, max_p)?;
+        let sigma = series.sigma();
+        let mut out = Vec::new();
+        for p in min_p..=max_p {
+            if pair_denominator(n, p, 0) == 0 {
+                continue;
+            }
+            let d_min_pos = pair_denominator(n, p, p - 1).max(1);
+            let bound = self.config.threshold * d_min_pos as f64 - EPS;
+            if (0..sigma).any(|k| spectrum.matches(SymbolId::from_index(k), p) as f64 >= bound) {
+                out.push(p);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The confidence of a *period* regardless of symbol/phase: the maximum
+/// Def.-1 confidence over all `(symbol, phase)` at that period. This is the
+/// "minimum periodicity threshold required to detect the period" plotted in
+/// the paper's Figs. 3 and 6.
+pub fn period_confidence(series: &SymbolSeries, period: usize) -> f64 {
+    let n = series.len();
+    if period == 0 || period >= n {
+        return 0.0;
+    }
+    let counts = phase_counts(series, period);
+    let mut best = 0.0f64;
+    for row in &counts {
+        for (l, &f2) in row.iter().enumerate() {
+            let denom = pair_denominator(n, period, l);
+            if denom > 0 {
+                best = best.max(f2 as f64 / denom as f64);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineKind;
+    use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
+    use periodica_series::Alphabet;
+
+    fn detector(threshold: f64, kind: EngineKind) -> PeriodicityDetector {
+        PeriodicityDetector::new(
+            DetectorConfig {
+                threshold,
+                ..Default::default()
+            },
+            kind.build(),
+        )
+    }
+
+    fn paper_series() -> SymbolSeries {
+        let a = Alphabet::latin(3).expect("ok");
+        SymbolSeries::parse("abcabbabcb", &a).expect("ok")
+    }
+
+    #[test]
+    fn detects_the_paper_example_periodicities() {
+        // At psi <= 2/3: a is periodic with period 3 at position 0; at
+        // psi = 1: b with period 3 at position 1 (Sect. 2.2).
+        let s = paper_series();
+        let r = detector(2.0 / 3.0, EngineKind::Spectrum)
+            .detect(&s)
+            .expect("ok");
+        let a = s.alphabet().lookup("a").expect("ok");
+        let b = s.alphabet().lookup("b").expect("ok");
+        assert!(r
+            .periodicities
+            .iter()
+            .any(|sp| sp.symbol == a && sp.period == 3 && sp.phase == 0));
+        assert!(r.periodicities.iter().any(|sp| sp.symbol == b
+            && sp.period == 3
+            && sp.phase == 1
+            && (sp.confidence - 1.0).abs() < EPS));
+        assert_eq!(r.symbols_at(3, 0), vec![a]);
+        assert_eq!(r.symbols_at(3, 1), vec![b]);
+        assert!(r.symbols_at(3, 2).is_empty());
+    }
+
+    #[test]
+    fn threshold_filters_lower_confidence() {
+        let s = paper_series();
+        let r = detector(0.9, EngineKind::Spectrum).detect(&s).expect("ok");
+        let a = s.alphabet().lookup("a").expect("ok");
+        // a's confidence at (3,0) is 2/3 < 0.9: must be filtered out.
+        assert!(!r
+            .periodicities
+            .iter()
+            .any(|sp| sp.symbol == a && sp.period == 3));
+        // b at (3,1) has confidence 1: still present.
+        assert!(r
+            .periodicities
+            .iter()
+            .any(|sp| sp.period == 3 && sp.phase == 1));
+    }
+
+    #[test]
+    fn engines_and_pruning_produce_identical_results() {
+        let spec = PeriodicSeriesSpec {
+            length: 600,
+            period: 25,
+            alphabet_size: 8,
+            distribution: SymbolDistribution::Uniform,
+        };
+        let g = spec.generate(3).expect("ok");
+        let noisy = periodica_series::noise::NoiseSpec::replacement(0.2)
+            .expect("ok")
+            .apply(&g.series, 3);
+        let mut reference: Option<Vec<SymbolPeriodicity>> = None;
+        for kind in EngineKind::all() {
+            for prune in [true, false] {
+                let det = PeriodicityDetector::new(
+                    DetectorConfig {
+                        threshold: 0.5,
+                        prune,
+                        ..Default::default()
+                    },
+                    kind.build(),
+                );
+                let r = det.detect(&noisy).expect("ok");
+                match &reference {
+                    None => reference = Some(r.periodicities),
+                    Some(base) => assert_eq!(
+                        &r.periodicities, base,
+                        "kind={kind:?} prune={prune} diverged"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_series_detects_embedded_period_with_confidence_one() {
+        let spec = PeriodicSeriesSpec {
+            length: 1_000,
+            period: 25,
+            alphabet_size: 10,
+            distribution: SymbolDistribution::Uniform,
+        };
+        let g = spec.generate(11).expect("ok");
+        let r = detector(1.0, EngineKind::Spectrum)
+            .detect(&g.series)
+            .expect("ok");
+        let periods = r.detected_periods();
+        assert!(periods.contains(&25), "detected {periods:?}");
+        // Multiples of the embedded period are periodicities too.
+        assert!(periods.contains(&50));
+        assert!((r.best_confidence(25).expect("found") - 1.0).abs() < EPS);
+        // Every embedded (symbol, phase) is reported at p = 25.
+        for (sym, phase) in g.embedded_periodicities() {
+            assert!(
+                r.periodicities
+                    .iter()
+                    .any(|sp| sp.period == 25 && sp.symbol == sym && sp.phase == phase),
+                "missing ({sym}, {phase})"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_scanned_periods_on_clean_data() {
+        let spec = PeriodicSeriesSpec {
+            length: 800,
+            period: 32,
+            alphabet_size: 10,
+            distribution: SymbolDistribution::Uniform,
+        };
+        let g = spec.generate(5).expect("ok");
+        let pruned = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 0.9,
+                prune: true,
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        )
+        .detect(&g.series)
+        .expect("ok");
+        let unpruned = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 0.9,
+                prune: false,
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        )
+        .detect(&g.series)
+        .expect("ok");
+        assert_eq!(pruned.periodicities, unpruned.periodicities);
+        assert!(pruned.scanned_periods < unpruned.scanned_periods);
+        assert_eq!(unpruned.scanned_periods, unpruned.examined_periods);
+    }
+
+    #[test]
+    fn period_confidence_matches_detection() {
+        let s = paper_series();
+        assert!((period_confidence(&s, 3) - 1.0).abs() < EPS); // b at (3,1)
+        assert!((period_confidence(&s, 4) - 1.0).abs() < EPS); // b at (4,1) = "bbb"
+        assert_eq!(period_confidence(&s, 0), 0.0);
+        assert_eq!(period_confidence(&s, 10), 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let s = paper_series();
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let det = detector(bad, EngineKind::Naive);
+            assert!(det.detect(&s).is_err(), "threshold {bad} accepted");
+        }
+        let det = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 0.5,
+                min_period: 8,
+                max_period: Some(4),
+                prune: true,
+            },
+            EngineKind::Naive.build(),
+        );
+        assert!(matches!(
+            det.detect(&s),
+            Err(MiningError::InvalidPeriodRange { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_series_are_safe() {
+        let a = Alphabet::latin(2).expect("ok");
+        for text in ["", "a", "ab"] {
+            let s = SymbolSeries::parse(text, &a).expect("ok");
+            let r = detector(0.5, EngineKind::Spectrum).detect(&s).expect("ok");
+            assert!(r.periodicities.is_empty(), "text {text:?}");
+        }
+        // "aaaa": Def. 1 admits (p=1, l=0) and both phases of p=2, all with
+        // confidence 1 (every projection is all-a).
+        let s = SymbolSeries::parse("aaaa", &a).expect("ok");
+        let r = detector(1.0, EngineKind::Spectrum).detect(&s).expect("ok");
+        let found: Vec<(usize, usize)> = r
+            .periodicities
+            .iter()
+            .map(|sp| (sp.period, sp.phase))
+            .collect();
+        assert_eq!(found, vec![(1, 0), (2, 0), (2, 1)]);
+        assert!(r
+            .periodicities
+            .iter()
+            .all(|sp| (sp.confidence - 1.0).abs() < EPS));
+    }
+
+    #[test]
+    fn default_max_period_is_half_series_length() {
+        let spec = PeriodicSeriesSpec {
+            length: 100,
+            period: 10,
+            alphabet_size: 4,
+            distribution: SymbolDistribution::Uniform,
+        };
+        let g = spec.generate(1).expect("ok");
+        let r = detector(0.9, EngineKind::Naive)
+            .detect(&g.series)
+            .expect("ok");
+        assert_eq!(r.examined_periods, 50);
+        assert!(r.detected_periods().iter().all(|&p| p <= 50));
+    }
+}

@@ -1,0 +1,89 @@
+//! Bit-parallel match counting.
+//!
+//! The carry-free view of the paper's weighted convolution (see
+//! [`crate::mapping`]): the component for period `p` is a bitmask, and the
+//! detector only needs its per-symbol popcounts. Splitting the interleaved
+//! `sigma*n`-bit vector by symbol gives `sigma` plain indicator bit vectors
+//! `X_k`, and
+//! `C_k(p) = popcount(X_k & (X_k >> p))` —
+//! 64 lag comparisons per machine word. Quadratic in the worst case but with
+//! a 1/64 constant, it beats the transform engines on short series and is
+//! exact by construction.
+
+use periodica_series::SymbolSeries;
+
+use crate::bitvec::BitVec;
+use crate::engine::{MatchEngine, MatchSpectrum};
+use crate::error::Result;
+
+/// Shift-AND popcount engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitsetEngine;
+
+impl MatchEngine for BitsetEngine {
+    fn name(&self) -> &'static str {
+        "bitset"
+    }
+
+    fn match_spectrum(&self, series: &SymbolSeries, max_period: usize) -> Result<MatchSpectrum> {
+        let n = series.len();
+        let sigma = series.sigma();
+        // One indicator bit vector per symbol.
+        let mut indicators = vec![BitVec::zeros(n); sigma];
+        for (i, &sym) in series.symbols().iter().enumerate() {
+            indicators[sym.index()].set(i);
+        }
+        let mut per_symbol = vec![vec![0u64; max_period + 1]; sigma];
+        for (row, ind) in per_symbol.iter_mut().zip(&indicators) {
+            for (p, slot) in row.iter_mut().enumerate() {
+                *slot = ind.count_and_shifted(p) as u64;
+            }
+            // count_and_shifted(0) is the popcount (= occurrences), matching
+            // the other engines' lag-0 semantics.
+        }
+        Ok(MatchSpectrum::new(n, max_period, per_symbol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NaiveEngine;
+    use periodica_series::{Alphabet, SymbolId};
+
+    #[test]
+    fn agrees_with_naive_on_paper_series() {
+        let a = Alphabet::latin(3).expect("ok");
+        let s = SymbolSeries::parse("abcabbabcb", &a).expect("ok");
+        let fast = BitsetEngine.match_spectrum(&s, 9).expect("ok");
+        let slow = NaiveEngine.match_spectrum(&s, 9).expect("ok");
+        for p in 0..=9 {
+            for k in 0..3 {
+                let sym = SymbolId::from_index(k);
+                assert_eq!(fast.matches(sym, p), slow.matches(sym, p), "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_long_irregular_series() {
+        let a = Alphabet::latin(5).expect("ok");
+        let text: String = (0..700)
+            .map(|i: usize| (b'a' + ((i * i + i / 3) % 5) as u8) as char)
+            .collect();
+        let s = SymbolSeries::parse(&text, &a).expect("ok");
+        let fast = BitsetEngine.match_spectrum(&s, 350).expect("ok");
+        let slow = NaiveEngine.match_spectrum(&s, 350).expect("ok");
+        for p in 0..=350 {
+            assert_eq!(fast.total_matches(p), slow.total_matches(p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let a = Alphabet::latin(2).expect("ok");
+        let s = SymbolSeries::parse("", &a).expect("ok");
+        let sp = BitsetEngine.match_spectrum(&s, 8).expect("ok");
+        assert_eq!(sp.total_matches(3), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Interchangeable match-counting engines.
+//!
+//! The detector needs, for every period `p` up to a bound and every symbol
+//! `s_k`, the total lag-`p` match count
+//! `C_k(p) = #{ j : t_j = t_{j+p} = s_k } = sum_l F2(s_k, pi(p,l))`.
+//! Four engines produce it:
+//!
+//! * [`NaiveEngine`] — direct O(n * max_p) loops; the oracle;
+//! * [`BitsetEngine`] — per-symbol bit vectors with shift-AND popcounts,
+//!   O(sigma * max_p * n / 64); the carry-free realization of the paper's
+//!   weighted convolution (see [`crate::mapping`]);
+//! * [`SpectrumEngine`] — exact NTT autocorrelation per symbol,
+//!   O(sigma * n log n); the paper's FFT path and the production default;
+//! * [`ParallelSpectrumEngine`] — the same, fanned across threads.
+//!
+//! All engines are equivalence-tested against each other.
+
+mod bitset;
+mod naive;
+mod parallel;
+mod spectrum;
+
+pub use bitset::BitsetEngine;
+pub use naive::NaiveEngine;
+pub use parallel::ParallelSpectrumEngine;
+pub use spectrum::SpectrumEngine;
+
+use periodica_series::{SymbolId, SymbolSeries};
+
+use crate::error::Result;
+
+/// Per-symbol, per-period total lag-match counts.
+#[derive(Debug, Clone)]
+pub struct MatchSpectrum {
+    n: usize,
+    max_period: usize,
+    /// `per_symbol[k][p]` = `C_k(p)`, `p` in `0..=max_period`.
+    per_symbol: Vec<Vec<u64>>,
+}
+
+impl MatchSpectrum {
+    /// Builds a spectrum from raw per-symbol count rows.
+    pub fn new(n: usize, max_period: usize, per_symbol: Vec<Vec<u64>>) -> Self {
+        debug_assert!(per_symbol.iter().all(|row| row.len() == max_period + 1));
+        MatchSpectrum {
+            n,
+            max_period,
+            per_symbol,
+        }
+    }
+
+    /// Series length the spectrum was computed over.
+    pub fn series_len(&self) -> usize {
+        self.n
+    }
+
+    /// Largest period covered.
+    pub fn max_period(&self) -> usize {
+        self.max_period
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> usize {
+        self.per_symbol.len()
+    }
+
+    /// Total lag-`p` matches for `symbol`.
+    #[inline]
+    pub fn matches(&self, symbol: SymbolId, p: usize) -> u64 {
+        self.per_symbol[symbol.index()][p]
+    }
+
+    /// Total lag-`p` matches summed over all symbols (the unweighted
+    /// "how similar is T to T(p)" count).
+    pub fn total_matches(&self, p: usize) -> u64 {
+        self.per_symbol.iter().map(|row| row[p]).sum()
+    }
+}
+
+/// A match-counting engine.
+pub trait MatchEngine: std::fmt::Debug + Send + Sync {
+    /// Engine name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Computes `C_k(p)` for all symbols and all `p <= max_period`.
+    fn match_spectrum(&self, series: &SymbolSeries, max_period: usize) -> Result<MatchSpectrum>;
+}
+
+/// Which engine a miner should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Direct loops (oracle; quadratic).
+    Naive,
+    /// Bit-parallel shift-AND popcounts.
+    Bitset,
+    /// Exact NTT autocorrelation (the paper's O(n log n) path).
+    #[default]
+    Spectrum,
+    /// The spectrum engine fanned across threads (one symbol set per
+    /// thread); identical output, lower wall time for larger alphabets.
+    ParallelSpectrum,
+}
+
+impl EngineKind {
+    /// Instantiates the engine.
+    pub fn build(self) -> Box<dyn MatchEngine> {
+        match self {
+            EngineKind::Naive => Box::new(NaiveEngine),
+            EngineKind::Bitset => Box::new(BitsetEngine),
+            EngineKind::Spectrum => Box::new(SpectrumEngine),
+            EngineKind::ParallelSpectrum => Box::new(ParallelSpectrumEngine),
+        }
+    }
+
+    /// All engine kinds (for equivalence tests and benches).
+    pub fn all() -> [EngineKind; 4] {
+        [
+            EngineKind::Naive,
+            EngineKind::Bitset,
+            EngineKind::Spectrum,
+            EngineKind::ParallelSpectrum,
+        ]
+    }
+}
+
+/// Per-phase `F2` counts for one period: `counts[k][l] = F2(s_k, pi(p,l))`.
+///
+/// One O(n + sigma*p) pass serves every symbol at once; the detector only
+/// invokes it for periods that survive spectrum pruning.
+pub fn phase_counts(series: &SymbolSeries, p: usize) -> Vec<Vec<u32>> {
+    let all: Vec<SymbolId> = series.alphabet().ids().collect();
+    phase_counts_for(series, p, &all)
+}
+
+/// Per-phase `F2` counts restricted to `symbols`: `counts[i][l]` is the
+/// count for `symbols[i]`. Allocation is `|symbols| * p` rather than
+/// `sigma * p`, which matters when the detector scans many periods with
+/// few surviving symbols each.
+pub fn phase_counts_for(series: &SymbolSeries, p: usize, symbols: &[SymbolId]) -> Vec<Vec<u32>> {
+    let n = series.len();
+    let mut counts = vec![vec![0u32; p.max(1)]; symbols.len()];
+    if p == 0 || p >= n || symbols.is_empty() {
+        return counts;
+    }
+    // Symbol index -> row in `counts` (sigma entries, tiny).
+    let mut slot = vec![usize::MAX; series.sigma()];
+    for (i, s) in symbols.iter().enumerate() {
+        slot[s.index()] = i;
+    }
+    let data = series.symbols();
+    let mut phase = 0usize;
+    for j in 0..n - p {
+        if data[j] == data[j + p] {
+            let row = slot[data[j].index()];
+            if row != usize::MAX {
+                counts[row][phase] += 1;
+            }
+        }
+        phase += 1;
+        if phase == p {
+            phase = 0;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::Alphabet;
+
+    fn paper_series() -> SymbolSeries {
+        let a = Alphabet::latin(3).expect("ok");
+        SymbolSeries::parse("abcabbabcb", &a).expect("ok")
+    }
+
+    #[test]
+    fn phase_counts_match_series_f2() {
+        let s = paper_series();
+        for p in 1..s.len() {
+            let pc = phase_counts(&s, p);
+            for k in 0..s.sigma() {
+                for l in 0..p {
+                    assert_eq!(
+                        pc[k][l] as usize,
+                        s.f2_projected(SymbolId::from_index(k), p, l),
+                        "p={p} k={k} l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_counts_degenerate_periods() {
+        let s = paper_series();
+        assert!(phase_counts(&s, 0).iter().flatten().all(|&c| c == 0));
+        assert!(phase_counts(&s, s.len()).iter().flatten().all(|&c| c == 0));
+        assert!(phase_counts(&s, s.len() + 5)
+            .iter()
+            .flatten()
+            .all(|&c| c == 0));
+    }
+
+    #[test]
+    fn all_engines_agree_on_the_paper_series() {
+        let s = paper_series();
+        let max_p = s.len() - 1;
+        let spectra: Vec<MatchSpectrum> = EngineKind::all()
+            .iter()
+            .map(|k| k.build().match_spectrum(&s, max_p).expect("ok"))
+            .collect();
+        for p in 0..=max_p {
+            for k in 0..s.sigma() {
+                let sym = SymbolId::from_index(k);
+                let counts: Vec<u64> = spectra.iter().map(|sp| sp.matches(sym, p)).collect();
+                assert!(
+                    counts.windows(2).all(|w| w[0] == w[1]),
+                    "engines disagree at p={p} k={k}: {counts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_totals_decompose_by_symbol() {
+        let s = paper_series();
+        let sp = EngineKind::Naive.build().match_spectrum(&s, 9).expect("ok");
+        assert_eq!(sp.sigma(), 3);
+        assert_eq!(sp.series_len(), 10);
+        assert_eq!(sp.max_period(), 9);
+        // Lag 3 on abcabbabcb: 2 a-matches + 2 b-matches = 4 total
+        // (Sect. 3 of the paper: "four symbol matches").
+        assert_eq!(sp.matches(SymbolId(0), 3), 2);
+        assert_eq!(sp.matches(SymbolId(1), 3), 2);
+        assert_eq!(sp.matches(SymbolId(2), 3), 0);
+        assert_eq!(sp.total_matches(3), 4);
+    }
+
+    #[test]
+    fn engine_kind_default_is_spectrum() {
+        assert_eq!(EngineKind::default(), EngineKind::Spectrum);
+        assert_eq!(EngineKind::Spectrum.build().name(), "spectrum");
+    }
+}

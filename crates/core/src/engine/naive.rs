@@ -1,0 +1,86 @@
+//! The brute-force shift-and-compare engine.
+//!
+//! This is the O(n^2) approach the paper's convolution replaces (Sect. 3.1):
+//! compare the series against every shifted copy of itself directly. It is
+//! the correctness oracle for the other engines and the baseline for the
+//! engine-ablation bench.
+
+use periodica_series::SymbolSeries;
+
+use crate::engine::{MatchEngine, MatchSpectrum};
+use crate::error::Result;
+
+/// Direct nested-loop match counting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveEngine;
+
+impl MatchEngine for NaiveEngine {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn match_spectrum(&self, series: &SymbolSeries, max_period: usize) -> Result<MatchSpectrum> {
+        let n = series.len();
+        let sigma = series.sigma();
+        let data = series.symbols();
+        let mut per_symbol = vec![vec![0u64; max_period + 1]; sigma];
+        for p in 0..=max_period.min(n.saturating_sub(1)) {
+            for j in 0..n - p {
+                if data[j] == data[j + p] {
+                    per_symbol[data[j].index()][p] += 1;
+                }
+            }
+        }
+        Ok(MatchSpectrum::new(n, max_period, per_symbol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::{Alphabet, SymbolId};
+
+    #[test]
+    fn lag_zero_counts_occurrences() {
+        let a = Alphabet::latin(3).expect("ok");
+        let s = SymbolSeries::parse("abcabbabcb", &a).expect("ok");
+        let sp = NaiveEngine.match_spectrum(&s, 5).expect("ok");
+        assert_eq!(sp.matches(SymbolId(0), 0), 3);
+        assert_eq!(sp.matches(SymbolId(1), 0), 5);
+        assert_eq!(sp.matches(SymbolId(2), 0), 2);
+    }
+
+    #[test]
+    fn counts_match_series_lag_matches() {
+        let a = Alphabet::latin(3).expect("ok");
+        let s = SymbolSeries::parse("abcabbabcbacb", &a).expect("ok");
+        let sp = NaiveEngine.match_spectrum(&s, s.len() - 1).expect("ok");
+        for p in 1..s.len() {
+            for k in 0..3 {
+                let sym = SymbolId::from_index(k);
+                assert_eq!(sp.matches(sym, p) as usize, s.lag_matches(sym, p));
+            }
+        }
+    }
+
+    #[test]
+    fn max_period_beyond_length_is_zero_padded() {
+        let a = Alphabet::latin(2).expect("ok");
+        let s = SymbolSeries::parse("abab", &a).expect("ok");
+        let sp = NaiveEngine.match_spectrum(&s, 10).expect("ok");
+        for p in 4..=10 {
+            assert_eq!(sp.total_matches(p), 0);
+        }
+        assert_eq!(sp.matches(SymbolId(0), 2), 1);
+    }
+
+    #[test]
+    fn empty_series_yields_empty_counts() {
+        let a = Alphabet::latin(2).expect("ok");
+        let s = SymbolSeries::parse("", &a).expect("ok");
+        let sp = NaiveEngine.match_spectrum(&s, 4).expect("ok");
+        for p in 0..=4 {
+            assert_eq!(sp.total_matches(p), 0);
+        }
+    }
+}

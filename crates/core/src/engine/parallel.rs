@@ -1,0 +1,117 @@
+//! Thread-parallel variant of the spectrum engine.
+//!
+//! The `sigma` per-symbol autocorrelations are independent, so they fan out
+//! across scoped threads (one NTT plan per thread — plans are cheap next to
+//! the transforms themselves). Output is bit-identical to
+//! [`super::SpectrumEngine`]; the equivalence tests cover this engine
+//! through [`super::EngineKind::all`].
+
+use periodica_series::SymbolSeries;
+use periodica_transform::ExactCorrelator;
+
+use crate::engine::{MatchEngine, MatchSpectrum};
+use crate::error::Result;
+
+/// Multi-threaded exact NTT autocorrelation engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelSpectrumEngine;
+
+impl MatchEngine for ParallelSpectrumEngine {
+    fn name(&self) -> &'static str {
+        "parallel-spectrum"
+    }
+
+    fn match_spectrum(&self, series: &SymbolSeries, max_period: usize) -> Result<MatchSpectrum> {
+        let n = series.len();
+        let sigma = series.sigma();
+        if n == 0 {
+            return Ok(MatchSpectrum::new(
+                0,
+                max_period,
+                vec![vec![0; max_period + 1]; sigma],
+            ));
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(sigma)
+            .max(1);
+        let symbols: Vec<_> = series.alphabet().ids().collect();
+        let mut rows: Vec<Option<Vec<u64>>> = vec![None; sigma];
+
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::with_capacity(threads);
+            for chunk in symbols.chunks(sigma.div_ceil(threads)) {
+                handles.push(scope.spawn(move || -> Result<Vec<(usize, Vec<u64>)>> {
+                    // Per-thread plan: shares nothing, needs no locking.
+                    let correlator = ExactCorrelator::new(n)?;
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for &sym in chunk {
+                        let auto = correlator.autocorrelation(&series.indicator(sym))?;
+                        let mut row = vec![0u64; max_period + 1];
+                        let upto = max_period.min(n - 1);
+                        row[..=upto].copy_from_slice(&auto[..=upto]);
+                        out.push((sym.index(), row));
+                    }
+                    Ok(out)
+                }));
+            }
+            for handle in handles {
+                for (k, row) in handle.join().expect("engine thread panicked")? {
+                    rows[k] = Some(row);
+                }
+            }
+            Ok(())
+        })?;
+
+        let per_symbol = rows
+            .into_iter()
+            .map(|r| r.expect("every symbol row computed"))
+            .collect();
+        Ok(MatchSpectrum::new(n, max_period, per_symbol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SpectrumEngine;
+    use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+
+    #[test]
+    fn identical_to_sequential_spectrum() {
+        let a = Alphabet::latin(7).expect("alphabet");
+        let text: String = (0..4_097)
+            .map(|i: usize| (b'a' + ((i * 31 + i / 5) % 7) as u8) as char)
+            .collect();
+        let s = SymbolSeries::parse(&text, &a).expect("series");
+        let max_p = 2_000;
+        let par = ParallelSpectrumEngine
+            .match_spectrum(&s, max_p)
+            .expect("parallel");
+        let seq = SpectrumEngine
+            .match_spectrum(&s, max_p)
+            .expect("sequential");
+        for p in 0..=max_p {
+            for k in 0..7 {
+                let sym = SymbolId::from_index(k);
+                assert_eq!(par.matches(sym, p), seq.matches(sym, p), "p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let a = Alphabet::latin(2).expect("alphabet");
+        let empty = SymbolSeries::parse("", &a).expect("series");
+        let sp = ParallelSpectrumEngine
+            .match_spectrum(&empty, 8)
+            .expect("spectrum");
+        assert_eq!(sp.total_matches(3), 0);
+        let single = SymbolSeries::parse("a", &a).expect("series");
+        let sp = ParallelSpectrumEngine
+            .match_spectrum(&single, 8)
+            .expect("spectrum");
+        assert_eq!(sp.matches(SymbolId(0), 0), 1);
+    }
+}

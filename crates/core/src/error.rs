@@ -1,0 +1,108 @@
+//! Error type for the core miner.
+
+use std::fmt;
+
+use periodica_series::SeriesError;
+use periodica_transform::TransformError;
+
+/// Errors from mining configuration or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// The periodicity threshold must lie in `(0, 1]` (paper Def. 1).
+    InvalidThreshold(f64),
+    /// Period bounds are inconsistent with each other or the series.
+    InvalidPeriodRange {
+        /// Smallest period requested.
+        min: usize,
+        /// Largest period requested.
+        max: usize,
+    },
+    /// A pattern operation received inconsistent periods or positions.
+    InvalidPattern(String),
+    /// Candidate generation exceeded the configured safety cap.
+    CandidateExplosion {
+        /// Number of candidates that would have been generated.
+        candidates: usize,
+        /// Configured cap.
+        cap: usize,
+    },
+    /// An error from the transform substrate.
+    Transform(TransformError),
+    /// An error from the series substrate.
+    Series(SeriesError),
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningError::InvalidThreshold(t) => {
+                write!(f, "periodicity threshold {t} is outside (0, 1]")
+            }
+            MiningError::InvalidPeriodRange { min, max } => {
+                write!(f, "invalid period range [{min}, {max}]")
+            }
+            MiningError::InvalidPattern(m) => write!(f, "invalid pattern: {m}"),
+            MiningError::CandidateExplosion { candidates, cap } => write!(
+                f,
+                "candidate pattern generation would produce {candidates} candidates \
+                 (cap {cap}); raise the threshold or the cap"
+            ),
+            MiningError::Transform(e) => write!(f, "transform error: {e}"),
+            MiningError::Series(e) => write!(f, "series error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MiningError::Transform(e) => Some(e),
+            MiningError::Series(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransformError> for MiningError {
+    fn from(e: TransformError) -> Self {
+        MiningError::Transform(e)
+    }
+}
+
+impl From<SeriesError> for MiningError {
+    fn from(e: SeriesError) -> Self {
+        MiningError::Series(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MiningError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_detail() {
+        assert!(MiningError::InvalidThreshold(0.0)
+            .to_string()
+            .contains("(0, 1]"));
+        assert!(MiningError::InvalidPeriodRange { min: 5, max: 2 }
+            .to_string()
+            .contains('5'));
+        let e = MiningError::CandidateExplosion {
+            candidates: 1000,
+            cap: 10,
+        };
+        assert!(e.to_string().contains("1000"));
+    }
+
+    #[test]
+    fn wraps_substrate_errors_with_source() {
+        use std::error::Error;
+        let e: MiningError = TransformError::EmptyTransform.into();
+        assert!(e.source().is_some());
+        let e: MiningError = SeriesError::EmptyAlphabet.into();
+        assert!(e.to_string().contains("series error"));
+    }
+}

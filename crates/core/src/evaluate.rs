@@ -1,0 +1,248 @@
+//! Detection-quality metrics against planted ground truth.
+//!
+//! The paper's correctness experiments (Sect. 4.1) plant periodicities and
+//! check they come back; this module turns that check into reusable
+//! metrics: hit/miss per embedded periodicity, precision/recall over
+//! detected periods with harmonic awareness (a detected `2P` is a harmonic
+//! of the truth, not a false positive), and confidence summaries.
+
+use periodica_series::SymbolId;
+
+use crate::detect::DetectionResult;
+
+/// Ground truth for one planted periodicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlantedPeriodicity {
+    /// The planted symbol.
+    pub symbol: SymbolId,
+    /// Its period.
+    pub period: usize,
+    /// Its phase.
+    pub phase: usize,
+}
+
+/// Outcome of scoring a detection run against planted truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionScore {
+    /// Planted periodicities that were reported exactly (symbol, period,
+    /// phase all matching).
+    pub exact_hits: usize,
+    /// Planted periodicities reported at a harmonic (k*period, compatible
+    /// phase) but not exactly.
+    pub harmonic_hits: usize,
+    /// Planted periodicities not reported at all.
+    pub misses: usize,
+    /// Detected periods that are neither a planted period, a multiple of
+    /// one, nor a divisor of one.
+    pub spurious_periods: usize,
+    /// Total distinct detected periods.
+    pub detected_periods: usize,
+}
+
+impl DetectionScore {
+    /// Recall over planted periodicities, counting harmonic hits.
+    pub fn recall(&self) -> f64 {
+        let total = self.exact_hits + self.harmonic_hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            (self.exact_hits + self.harmonic_hits) as f64 / total as f64
+        }
+    }
+
+    /// Precision over detected periods: the fraction explainable by the
+    /// planted structure.
+    pub fn period_precision(&self) -> f64 {
+        if self.detected_periods == 0 {
+            1.0
+        } else {
+            (self.detected_periods - self.spurious_periods) as f64 / self.detected_periods as f64
+        }
+    }
+}
+
+/// Scores a detection result against planted periodicities.
+pub fn score_detection(
+    detection: &DetectionResult,
+    planted: &[PlantedPeriodicity],
+) -> DetectionScore {
+    let mut exact_hits = 0;
+    let mut harmonic_hits = 0;
+    let mut misses = 0;
+    for p in planted {
+        let exact = detection
+            .periodicities
+            .iter()
+            .any(|sp| sp.symbol == p.symbol && sp.period == p.period && sp.phase == p.phase);
+        if exact {
+            exact_hits += 1;
+            continue;
+        }
+        // A harmonic report: period k*P, phase congruent to the planted
+        // phase modulo P.
+        let harmonic = detection.periodicities.iter().any(|sp| {
+            sp.symbol == p.symbol
+                && sp.period > p.period
+                && sp.period % p.period == 0
+                && sp.phase % p.period == p.phase
+        });
+        if harmonic {
+            harmonic_hits += 1;
+        } else {
+            misses += 1;
+        }
+    }
+
+    let detected = detection.detected_periods();
+    let spurious_periods = detected
+        .iter()
+        .filter(|&&d| {
+            !planted
+                .iter()
+                .any(|p| d == p.period || d % p.period == 0 || (d != 0 && p.period % d == 0))
+        })
+        .count();
+
+    DetectionScore {
+        exact_hits,
+        harmonic_hits,
+        misses,
+        spurious_periods,
+        detected_periods: detected.len(),
+    }
+}
+
+/// Mean confidence the detection assigns to each planted periodicity
+/// (0 for missed ones) — the quantity the paper's Fig. 3 averages.
+pub fn mean_planted_confidence(detection: &DetectionResult, planted: &[PlantedPeriodicity]) -> f64 {
+    if planted.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = planted
+        .iter()
+        .map(|p| {
+            detection
+                .periodicities
+                .iter()
+                .find(|sp| sp.symbol == p.symbol && sp.period == p.period && sp.phase == p.phase)
+                .map_or(0.0, |sp| sp.confidence)
+        })
+        .sum();
+    total / planted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{DetectorConfig, PeriodicityDetector};
+    use crate::engine::EngineKind;
+    use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
+    use periodica_series::noise::NoiseSpec;
+
+    fn run(threshold: f64, noise: f64) -> (DetectionResult, Vec<PlantedPeriodicity>) {
+        let spec = PeriodicSeriesSpec {
+            length: 2_500,
+            period: 25,
+            alphabet_size: 8,
+            distribution: SymbolDistribution::Uniform,
+        };
+        let g = spec.generate(3).expect("generate");
+        let planted: Vec<PlantedPeriodicity> = g
+            .embedded_periodicities()
+            .into_iter()
+            .map(|(symbol, phase)| PlantedPeriodicity {
+                symbol,
+                period: 25,
+                phase,
+            })
+            .collect();
+        let series = NoiseSpec::replacement(noise)
+            .expect("spec")
+            .apply(&g.series, 3);
+        let detection = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold,
+                max_period: Some(125),
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        )
+        .detect(&series)
+        .expect("detect");
+        (detection, planted)
+    }
+
+    #[test]
+    fn clean_data_scores_perfectly() {
+        let (detection, planted) = run(1.0, 0.0);
+        let score = score_detection(&detection, &planted);
+        assert_eq!(score.misses, 0);
+        assert_eq!(score.exact_hits, planted.len());
+        assert_eq!(score.spurious_periods, 0);
+        assert!((score.recall() - 1.0).abs() < 1e-12);
+        assert!((score.period_precision() - 1.0).abs() < 1e-12);
+        assert!((mean_planted_confidence(&detection, &planted) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_lowers_confidence_before_recall() {
+        let (detection, planted) = run(0.4, 0.2);
+        let score = score_detection(&detection, &planted);
+        assert!(score.recall() > 0.9, "{score:?}");
+        let mean = mean_planted_confidence(&detection, &planted);
+        assert!(mean > 0.4 && mean < 0.95, "mean confidence {mean}");
+    }
+
+    #[test]
+    fn too_high_a_threshold_turns_into_misses() {
+        let (detection, planted) = run(0.95, 0.3);
+        let score = score_detection(&detection, &planted);
+        assert!(score.misses > planted.len() / 2, "{score:?}");
+        assert!(score.recall() < 0.5);
+    }
+
+    #[test]
+    fn harmonic_hits_are_distinguished_from_exact() {
+        // Detect only periods 50..125: the planted 25 is absent, but its
+        // multiples carry the structure.
+        let spec = PeriodicSeriesSpec {
+            length: 2_500,
+            period: 25,
+            alphabet_size: 8,
+            distribution: SymbolDistribution::Uniform,
+        };
+        let g = spec.generate(3).expect("generate");
+        let planted: Vec<PlantedPeriodicity> = g
+            .embedded_periodicities()
+            .into_iter()
+            .map(|(symbol, phase)| PlantedPeriodicity {
+                symbol,
+                period: 25,
+                phase,
+            })
+            .collect();
+        let detection = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 1.0,
+                min_period: 50,
+                max_period: Some(125),
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        )
+        .detect(&g.series)
+        .expect("detect");
+        let score = score_detection(&detection, &planted);
+        assert_eq!(score.exact_hits, 0);
+        assert_eq!(score.harmonic_hits, planted.len());
+        assert_eq!(score.misses, 0);
+    }
+
+    #[test]
+    fn empty_truth_is_vacuously_perfect() {
+        let (detection, _) = run(0.5, 0.1);
+        let score = score_detection(&detection, &[]);
+        assert_eq!(score.recall(), 1.0);
+        assert_eq!(mean_planted_confidence(&detection, &[]), 0.0);
+    }
+}

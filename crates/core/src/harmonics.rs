@@ -1,0 +1,210 @@
+//! Harmonic analysis of detection results.
+//!
+//! Definition 1 makes every multiple of a true period a periodicity too
+//! (the paper embraces this in Fig. 3 but also argues, against the
+//! periodic-trends baseline, that "the smaller periods are more accurate
+//! than the larger ones since they are more informative"). This module
+//! groups detected periodicities into harmonic families and surfaces the
+//! *fundamental* — the smallest period explaining each family — which is
+//! what a user usually wants reported.
+
+use periodica_series::SymbolId;
+
+use crate::detect::{DetectionResult, SymbolPeriodicity};
+
+/// One harmonic family: a fundamental periodicity plus its multiples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarmonicFamily {
+    /// The family's smallest-period member.
+    pub fundamental: SymbolPeriodicity,
+    /// Members at multiples of the fundamental (excluding it), ascending
+    /// by period.
+    pub harmonics: Vec<SymbolPeriodicity>,
+}
+
+impl HarmonicFamily {
+    /// Total members including the fundamental.
+    pub fn len(&self) -> usize {
+        1 + self.harmonics.len()
+    }
+
+    /// Whether the family is a lone fundamental.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The strongest confidence anywhere in the family.
+    pub fn best_confidence(&self) -> f64 {
+        self.harmonics
+            .iter()
+            .map(|sp| sp.confidence)
+            .fold(self.fundamental.confidence, f64::max)
+    }
+}
+
+/// A detected periodicity `(s, kp, l)` belongs to the family of `(s, p, l
+/// mod p)` when the latter was also detected: same symbol, period an exact
+/// multiple, phase congruent.
+fn is_harmonic_of(member: &SymbolPeriodicity, root: &SymbolPeriodicity) -> bool {
+    member.symbol == root.symbol
+        && member.period > root.period
+        && member.period.is_multiple_of(root.period)
+        && member.phase % root.period == root.phase
+}
+
+/// Groups a detection result into harmonic families, fundamentals first by
+/// (period, phase, symbol). Every detected periodicity lands in exactly one
+/// family (the one with the smallest compatible fundamental).
+pub fn harmonic_families(detection: &DetectionResult) -> Vec<HarmonicFamily> {
+    // Ascending by period, so fundamentals are seen before their multiples.
+    let mut sorted: Vec<&SymbolPeriodicity> = detection.periodicities.iter().collect();
+    sorted.sort_by_key(|sp| (sp.period, sp.phase, sp.symbol));
+
+    let mut families: Vec<HarmonicFamily> = Vec::new();
+    for sp in sorted {
+        if let Some(family) = families
+            .iter_mut()
+            .find(|f| is_harmonic_of(sp, &f.fundamental))
+        {
+            family.harmonics.push(*sp);
+        } else {
+            families.push(HarmonicFamily {
+                fundamental: *sp,
+                harmonics: Vec::new(),
+            });
+        }
+    }
+    families
+}
+
+/// The fundamental periodicities only — the compact answer to "what is
+/// periodic in this series?".
+///
+/// ```
+/// use periodica_core::{fundamental_periods, ObscureMiner};
+/// use periodica_series::{Alphabet, SymbolSeries};
+///
+/// // A perfectly 3-periodic series is also periodic at 6, 9, 12, ... —
+/// // fundamentals collapse the harmonics back to the one true period.
+/// let alphabet = Alphabet::latin(3)?;
+/// let series = SymbolSeries::parse(&"abc".repeat(50), &alphabet)?;
+/// let report = ObscureMiner::builder()
+///     .threshold(1.0)
+///     .mine_patterns(false)
+///     .build()
+///     .mine(&series)?;
+/// assert!(report.detection.detected_periods().len() > 10);
+/// assert_eq!(fundamental_periods(&report.detection), vec![3]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fundamentals(detection: &DetectionResult) -> Vec<SymbolPeriodicity> {
+    harmonic_families(detection)
+        .into_iter()
+        .map(|f| f.fundamental)
+        .collect()
+}
+
+/// Distinct fundamental periods, ascending.
+pub fn fundamental_periods(detection: &DetectionResult) -> Vec<usize> {
+    let mut periods: Vec<usize> = fundamentals(detection).iter().map(|sp| sp.period).collect();
+    periods.sort_unstable();
+    periods.dedup();
+    periods
+}
+
+/// Convenience: the fundamentals of one symbol.
+pub fn fundamentals_of(detection: &DetectionResult, symbol: SymbolId) -> Vec<SymbolPeriodicity> {
+    fundamentals(detection)
+        .into_iter()
+        .filter(|sp| sp.symbol == symbol)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{DetectorConfig, PeriodicityDetector};
+    use crate::engine::EngineKind;
+    use periodica_series::{Alphabet, SymbolSeries};
+
+    fn detect(text: &str, sigma: usize, threshold: f64) -> DetectionResult {
+        let a = Alphabet::latin(sigma).expect("alphabet");
+        let s = SymbolSeries::parse(text, &a).expect("series");
+        PeriodicityDetector::new(
+            DetectorConfig {
+                threshold,
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        )
+        .detect(&s)
+        .expect("detect")
+    }
+
+    #[test]
+    fn perfect_series_collapses_to_its_base_period() {
+        let detection = detect(&"abc".repeat(40), 3, 1.0);
+        // Raw output has every multiple of 3 up to n/2…
+        assert!(detection.detected_periods().len() > 10);
+        // …but only one fundamental period: 3.
+        assert_eq!(fundamental_periods(&detection), vec![3]);
+        let families = harmonic_families(&detection);
+        assert_eq!(families.len(), 3); // one family per symbol/phase
+        for f in &families {
+            assert_eq!(f.fundamental.period, 3);
+            assert!(f.len() > 10);
+            assert!((f.best_confidence() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn independent_phases_stay_separate_families() {
+        // Alternating "ab": 'a' periodic at (2, 0), 'b' at (2, 1); all
+        // higher detections are their harmonics.
+        let detection = detect(&"ab".repeat(50), 2, 1.0);
+        assert_eq!(fundamental_periods(&detection), vec![2]);
+        let fams = harmonic_families(&detection);
+        assert_eq!(fams.len(), 2);
+        assert!(fams.iter().all(|f| f.fundamental.period == 2));
+        let phases: Vec<usize> = fams.iter().map(|f| f.fundamental.phase).collect();
+        assert_eq!(phases, vec![0, 1]);
+    }
+
+    #[test]
+    fn phase_congruence_is_required_for_family_membership() {
+        // 'a' at phase 0 of period 4 within "abcb": at period 8 the phases
+        // 0 and 4 are both detected and both belong to the phase-0 family
+        // of period 4 (4 mod 4 == 0).
+        let detection = detect(&"abcb".repeat(30), 3, 1.0);
+        let a = SymbolId(0);
+        let a_fundamentals = fundamentals_of(&detection, a);
+        assert_eq!(a_fundamentals.len(), 1);
+        assert_eq!(a_fundamentals[0].period, 4);
+        assert_eq!(a_fundamentals[0].phase, 0);
+        // The period-8 'a' periodicities are harmonics, not fundamentals.
+        let families = harmonic_families(&detection);
+        let fam = families
+            .iter()
+            .find(|f| f.fundamental.symbol == a)
+            .expect("a family");
+        assert!(fam
+            .harmonics
+            .iter()
+            .any(|sp| sp.period == 8 && sp.phase == 0));
+        assert!(fam
+            .harmonics
+            .iter()
+            .any(|sp| sp.period == 8 && sp.phase == 4));
+    }
+
+    #[test]
+    fn empty_detection_gives_no_families() {
+        let detection = detect("abcabc", 3, 1.0);
+        // n = 6 allows periods up to 3; "abcabc" has period 3 with one pair.
+        let fams = harmonic_families(&detection);
+        assert_eq!(fams.len(), detection.periodicities.len());
+        let none = detect("abc", 3, 1.0);
+        assert!(harmonic_families(&none).is_empty());
+        assert!(fundamental_periods(&none).is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! # periodica-core
+//!
+//! The paper's primary contribution: **one-pass, O(n log n) mining of
+//! periodic patterns with unknown ("obscure") periods** in symbol time
+//! series, via convolution (Elfeky, Aref, Elmagarmid — EDBT 2004).
+//!
+//! Layout mirrors the algorithm in the paper's Fig. 2:
+//!
+//! * [`mapping`] — the symbol-to-`2^k` binary mapping and the weight-set
+//!   decomposition `W_p -> W_{p,k} -> W_{p,k,l}` (steps 1-3, 4a-4b), kept
+//!   runnable and tested against the paper's worked examples;
+//! * [`engine`] — three interchangeable realizations of the convolution
+//!   step (naive / bit-parallel / exact-NTT spectrum);
+//! * [`detect`] — symbol-periodicity detection against the threshold `psi`
+//!   (step 4c) with a sound candidate prune;
+//! * [`pattern`] — single-symbol and multi-symbol periodic patterns with
+//!   support estimation (steps 4d-4e), grown Apriori-style;
+//! * [`miner`] — the [`ObscureMiner`] facade tying it together;
+//! * [`stream`] — the one-pass ingestion contract ([`OneTouchMiner`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitvec;
+pub mod closed;
+pub mod detect;
+pub mod engine;
+pub mod error;
+pub mod evaluate;
+pub mod harmonics;
+pub mod localize;
+pub mod mapping;
+pub mod miner;
+pub mod online;
+pub mod pattern;
+pub mod segment;
+pub mod stream;
+
+pub use detect::{
+    period_confidence, DetectionResult, DetectorConfig, PeriodicityDetector, SymbolPeriodicity,
+};
+pub use engine::{EngineKind, MatchEngine, MatchSpectrum};
+pub use error::{MiningError, Result};
+pub use evaluate::{score_detection, DetectionScore, PlantedPeriodicity};
+pub use harmonics::{fundamental_periods, fundamentals, harmonic_families, HarmonicFamily};
+pub use localize::{confidence_profile, localize, ActiveInterval, LocalizeConfig};
+pub use miner::{MinerBuilder, MinerConfig, MiningReport, ObscureMiner};
+pub use online::{OnlineCandidate, OnlineDetector};
+pub use pattern::{
+    cartesian_candidates, mine_patterns, pattern_support, MinedPattern, Pattern,
+    PatternMinerConfig, PatternMode, SupportEstimate,
+};
+pub use segment::MaxSubpatternTree;
+pub use stream::{mine_reader, OneTouchMiner};
+
+#[cfg(test)]
+mod proptests {
+    use crate::detect::{DetectorConfig, PeriodicityDetector};
+    use crate::engine::{phase_counts, EngineKind};
+    use crate::mapping::PaperMapping;
+    use crate::pattern::{pattern_support, Pattern};
+    use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+    use proptest::prelude::*;
+
+    fn arb_series() -> impl Strategy<Value = SymbolSeries> {
+        (2usize..5).prop_flat_map(|sigma| {
+            proptest::collection::vec(0usize..sigma, 2..160).prop_map(move |ids| {
+                let a = Alphabet::latin(sigma).unwrap();
+                SymbolSeries::from_ids(ids.into_iter().map(SymbolId::from_index).collect(), a)
+                    .unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn engines_always_agree(s in arb_series()) {
+            let max_p = s.len() / 2;
+            let naive = EngineKind::Naive.build().match_spectrum(&s, max_p).unwrap();
+            let bitset = EngineKind::Bitset.build().match_spectrum(&s, max_p).unwrap();
+            let spectrum = EngineKind::Spectrum.build().match_spectrum(&s, max_p).unwrap();
+            for p in 0..=max_p {
+                for k in 0..s.sigma() {
+                    let sym = SymbolId::from_index(k);
+                    prop_assert_eq!(naive.matches(sym, p), bitset.matches(sym, p));
+                    prop_assert_eq!(naive.matches(sym, p), spectrum.matches(sym, p));
+                }
+            }
+        }
+
+        #[test]
+        fn paper_mapping_weights_bin_to_f2(s in arb_series()) {
+            let m = PaperMapping::encode(&s);
+            let p = (s.len() / 3).max(1);
+            let f2 = m.f2_counts(p);
+            for k in 0..s.sigma() {
+                for l in 0..p {
+                    prop_assert_eq!(
+                        f2[k][l],
+                        s.f2_projected(SymbolId::from_index(k), p, l)
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn detection_with_and_without_prune_agree(
+            s in arb_series(),
+            threshold in 0.05f64..1.0,
+        ) {
+            let run = |prune| {
+                PeriodicityDetector::new(
+                    DetectorConfig { threshold, prune, ..Default::default() },
+                    EngineKind::Bitset.build(),
+                )
+                .detect(&s)
+                .unwrap()
+                .periodicities
+            };
+            prop_assert_eq!(run(true), run(false));
+        }
+
+        #[test]
+        fn every_reported_periodicity_satisfies_definition_one(
+            s in arb_series(),
+            threshold in 0.1f64..1.0,
+        ) {
+            let r = PeriodicityDetector::new(
+                DetectorConfig { threshold, ..Default::default() },
+                EngineKind::Spectrum.build(),
+            ).detect(&s).unwrap();
+            for sp in &r.periodicities {
+                prop_assert!(sp.phase < sp.period);
+                prop_assert_eq!(
+                    sp.f2 as usize,
+                    s.f2_projected(sp.symbol, sp.period, sp.phase)
+                );
+                prop_assert!(sp.confidence + 1e-9 >= threshold);
+                prop_assert!(sp.confidence <= 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn detection_is_exhaustive_at_threshold(
+            s in arb_series(),
+        ) {
+            // Everything Definition 1 admits at psi = 0.5 must be reported.
+            let threshold = 0.5;
+            let r = PeriodicityDetector::new(
+                DetectorConfig { threshold, ..Default::default() },
+                EngineKind::Spectrum.build(),
+            ).detect(&s).unwrap();
+            let n = s.len();
+            for p in 1..=n / 2 {
+                let counts = phase_counts(&s, p);
+                for k in 0..s.sigma() {
+                    for l in 0..p {
+                        let denom = periodica_series::pair_denominator(n, p, l);
+                        if denom == 0 { continue; }
+                        let conf = counts[k][l] as f64 / denom as f64;
+                        if conf >= threshold {
+                            prop_assert!(
+                                r.periodicities.iter().any(|sp|
+                                    sp.symbol.index() == k
+                                        && sp.period == p
+                                        && sp.phase == l),
+                                "missing (k={}, p={}, l={}) conf={}", k, p, l, conf
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn pattern_support_is_anti_monotone(
+            s in arb_series(),
+            p in 2usize..12,
+            l1 in 0usize..12,
+            l2 in 0usize..12,
+        ) {
+            let l1 = l1 % p;
+            let l2 = l2 % p;
+            prop_assume!(l1 != l2);
+            let s0 = SymbolId::from_index(0);
+            let s1 = SymbolId::from_index(1);
+            let sub = Pattern::single(p, l1, s0).unwrap();
+            let sup = Pattern::new(p, &[(l1, s0), (l2, s1)]).unwrap();
+            prop_assert!(
+                pattern_support(&s, &sup).count <= pattern_support(&s, &sub).count
+            );
+        }
+
+        #[test]
+        fn single_pattern_support_equals_confidence(
+            s in arb_series(),
+            p in 1usize..12,
+            l in 0usize..12,
+        ) {
+            let l = l % p;
+            let sym = SymbolId::from_index(0);
+            let pat = Pattern::single(p, l, sym).unwrap();
+            let est = pattern_support(&s, &pat);
+            let conf = s.confidence(sym, p, l);
+            prop_assert!((est.support - conf).abs() < 1e-12);
+        }
+
+        #[test]
+        fn online_matches_equal_batch_lag_matches(s in arb_series()) {
+            let max_p = (s.len() / 2).max(1);
+            let mut online = crate::online::OnlineDetector::new(
+                s.alphabet().clone(), max_p,
+            );
+            online.extend(s.symbols().iter().copied()).unwrap();
+            for p in 1..=max_p {
+                for k in 0..s.sigma() {
+                    let sym = SymbolId::from_index(k);
+                    prop_assert_eq!(
+                        online.matches(sym, p).unwrap() as usize,
+                        s.lag_matches(sym, p)
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn online_candidates_equal_batch_candidate_periods(
+            s in arb_series(),
+            threshold in 0.2f64..1.0,
+        ) {
+            let max_p = (s.len() / 2).max(1);
+            let mut online = crate::online::OnlineDetector::new(
+                s.alphabet().clone(), max_p,
+            );
+            online.extend(s.symbols().iter().copied()).unwrap();
+            let online_periods: Vec<usize> = online
+                .candidates(threshold).unwrap()
+                .iter().map(|c| c.period).collect();
+            let batch = PeriodicityDetector::new(
+                DetectorConfig {
+                    threshold,
+                    max_period: Some(max_p),
+                    ..Default::default()
+                },
+                EngineKind::Bitset.build(),
+            );
+            prop_assert_eq!(online_periods, batch.candidate_periods(&s).unwrap());
+        }
+
+        #[test]
+        fn harmonic_families_partition_the_detection(
+            s in arb_series(),
+            threshold in 0.3f64..1.0,
+        ) {
+            let detection = PeriodicityDetector::new(
+                DetectorConfig { threshold, ..Default::default() },
+                EngineKind::Spectrum.build(),
+            ).detect(&s).unwrap();
+            let families = crate::harmonics::harmonic_families(&detection);
+            let members: usize = families.iter().map(|f| f.len()).sum();
+            prop_assert_eq!(members, detection.periodicities.len());
+            // Fundamentals are minimal within their family.
+            for f in &families {
+                for h in &f.harmonics {
+                    prop_assert!(h.period > f.fundamental.period);
+                    prop_assert_eq!(h.period % f.fundamental.period, 0);
+                    prop_assert_eq!(h.phase % f.fundamental.period, f.fundamental.phase);
+                }
+            }
+        }
+
+        #[test]
+        fn closed_patterns_are_genuinely_closed(
+            s in arb_series(),
+            threshold in 0.3f64..0.9,
+        ) {
+            let detection = PeriodicityDetector::new(
+                DetectorConfig {
+                    threshold,
+                    max_period: Some((s.len() / 3).max(1)),
+                    ..Default::default()
+                },
+                EngineKind::Spectrum.build(),
+            ).detect(&s).unwrap();
+            let config = crate::pattern::PatternMinerConfig {
+                min_support: threshold,
+                ..Default::default()
+            };
+            let mined = crate::pattern::mine_patterns(&s, &detection, &config).unwrap();
+            for m in mined.iter().filter(|m| m.pattern.cardinality() >= 2) {
+                // No same-period detected item extends the pattern without
+                // strictly dropping its count.
+                for sp in detection.at_period(m.pattern.period()) {
+                    let extra = Pattern::single(
+                        m.pattern.period(), sp.phase, sp.symbol,
+                    ).unwrap();
+                    if extra.is_subpattern_of(&m.pattern) { continue; }
+                    if let Some(bigger) = m.pattern.merge(&extra) {
+                        prop_assert!(
+                            pattern_support(&s, &bigger).count < m.support.count
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Localizing periodicities in time.
+//!
+//! Def. 1 scores a periodicity over the *whole* series; a rhythm active in
+//! only part of a stream (a job that was enabled mid-quarter, a sensor that
+//! failed) dilutes to mediocre global confidence. This module slides a
+//! window over the series, measures the Def.-1 confidence of one
+//! `(symbol, period, phase)` inside each window, and merges the strong
+//! windows into **active intervals** — answering *when* the rhythm held,
+//! not just whether it ever did.
+
+use periodica_series::{SymbolId, SymbolSeries};
+
+use crate::error::{MiningError, Result};
+
+/// Configuration of the sliding-window localization.
+#[derive(Debug, Clone)]
+pub struct LocalizeConfig {
+    /// Window width in symbols (should cover at least a few periods).
+    pub window: usize,
+    /// Step between window starts.
+    pub step: usize,
+    /// Minimum in-window confidence for the window to count as active.
+    pub threshold: f64,
+    /// Number of consecutive below-threshold windows tolerated inside one
+    /// interval before it is closed. Noisy rhythms dip under any fixed
+    /// per-window threshold occasionally; without tolerance a single weak
+    /// window fragments the regime.
+    pub max_gap_windows: usize,
+}
+
+impl LocalizeConfig {
+    /// A sensible default for a given period: windows of 20 periods,
+    /// stepping by 5. Because windows overlap (window/step = 4), one bad
+    /// patch in the data drags several *consecutive* windows under the
+    /// threshold; the gap tolerance must cover a full window of weak
+    /// readings plus slack, or regimes fragment.
+    pub fn for_period(period: usize, threshold: f64) -> Self {
+        let window = 20 * period;
+        let step = 5 * period;
+        LocalizeConfig {
+            window,
+            step,
+            threshold,
+            max_gap_windows: window / step + 2,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.window == 0 || self.step == 0 {
+            return Err(MiningError::InvalidPattern(
+                "localization window and step must be positive".into(),
+            ));
+        }
+        if !(self.threshold > 0.0 && self.threshold <= 1.0) || self.threshold.is_nan() {
+            return Err(MiningError::InvalidThreshold(self.threshold));
+        }
+        Ok(())
+    }
+}
+
+/// One maximal run of active windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActiveInterval {
+    /// First series position covered by an active window.
+    pub start: usize,
+    /// One past the last covered position.
+    pub end: usize,
+    /// Mean in-window confidence over the run.
+    pub mean_confidence: f64,
+}
+
+/// Per-window confidence of one `(symbol, period, phase)`:
+/// `(window_start, confidence)` pairs, in order.
+pub fn confidence_profile(
+    series: &SymbolSeries,
+    symbol: SymbolId,
+    period: usize,
+    phase: usize,
+    config: &LocalizeConfig,
+) -> Result<Vec<(usize, f64)>> {
+    config.validate()?;
+    if period == 0 || phase >= period {
+        return Err(MiningError::InvalidPattern(format!(
+            "phase {phase} must be below period {period}"
+        )));
+    }
+    let mut out = Vec::new();
+    if series.len() < config.window {
+        return Ok(out);
+    }
+    for (idx, window) in series.windows(config.window, config.step).enumerate() {
+        let start = idx * config.step;
+        // The rhythm's phase relative to this window's origin.
+        let local_phase = (phase + period - (start % period)) % period;
+        out.push((start, window.confidence(symbol, period, local_phase)));
+    }
+    Ok(out)
+}
+
+/// Merges the strong windows of [`confidence_profile`] into maximal active
+/// intervals.
+///
+/// ```
+/// use periodica_core::{localize, LocalizeConfig};
+/// use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+///
+/// // 'a' beats every 10 slots, but only in the second half.
+/// let alphabet = Alphabet::latin(2)?;
+/// let text: String = (0..2_000)
+///     .map(|i| if i >= 1_000 && i % 10 == 0 { 'a' } else { 'b' })
+///     .collect();
+/// let series = SymbolSeries::parse(&text, &alphabet)?;
+/// let intervals = localize(
+///     &series,
+///     SymbolId(0),
+///     10,
+///     0,
+///     &LocalizeConfig::for_period(10, 0.9),
+/// )?;
+/// assert_eq!(intervals.len(), 1);
+/// assert!(intervals[0].start >= 900 && intervals[0].start <= 1_050);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn localize(
+    series: &SymbolSeries,
+    symbol: SymbolId,
+    period: usize,
+    phase: usize,
+    config: &LocalizeConfig,
+) -> Result<Vec<ActiveInterval>> {
+    let profile = confidence_profile(series, symbol, period, phase, config)?;
+    let mut out: Vec<ActiveInterval> = Vec::new();
+    // start, end-of-last-active-window, confidence sum, active count,
+    // current gap length.
+    struct Run {
+        start: usize,
+        end: usize,
+        sum: f64,
+        count: usize,
+        gap: usize,
+    }
+    let mut run: Option<Run> = None;
+    for (start, conf) in profile {
+        let window_end = start + config.window;
+        let active = conf + 1e-12 >= config.threshold;
+        match (&mut run, active) {
+            (None, true) => {
+                run = Some(Run {
+                    start,
+                    end: window_end,
+                    sum: conf,
+                    count: 1,
+                    gap: 0,
+                });
+            }
+            (None, false) => {}
+            (Some(r), true) => {
+                r.end = window_end;
+                r.sum += conf;
+                r.count += 1;
+                r.gap = 0;
+            }
+            (Some(r), false) => {
+                r.gap += 1;
+                if r.gap > config.max_gap_windows {
+                    let r = run.take().expect("run present");
+                    out.push(ActiveInterval {
+                        start: r.start,
+                        end: r.end,
+                        mean_confidence: r.sum / r.count as f64,
+                    });
+                }
+            }
+        }
+    }
+    if let Some(r) = run {
+        out.push(ActiveInterval {
+            start: r.start,
+            end: r.end,
+            mean_confidence: r.sum / r.count as f64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::{Alphabet, SymbolSeries};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Background over 5 symbols with symbol 0 beating at period 20 phase 4
+    /// inside `active` only.
+    fn regime_series(n: usize, active: std::ops::Range<usize>) -> SymbolSeries {
+        let alphabet = Alphabet::latin(5).expect("alphabet");
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut data: Vec<SymbolId> = (0..n)
+            .map(|_| SymbolId::from_index(1 + rng.random_range(0..4)))
+            .collect();
+        let mut t = 4;
+        while t < n {
+            if active.contains(&t) {
+                data[t] = SymbolId(0);
+            }
+            t += 20;
+        }
+        SymbolSeries::from_ids(data, alphabet).expect("series")
+    }
+
+    #[test]
+    fn localization_finds_the_active_regime() {
+        let s = regime_series(20_000, 5_000..15_000);
+        let config = LocalizeConfig::for_period(20, 0.8);
+        let intervals = localize(&s, SymbolId(0), 20, 4, &config).expect("localize");
+        assert_eq!(intervals.len(), 1, "{intervals:?}");
+        let iv = intervals[0];
+        // Window granularity blurs the edges by at most one window.
+        assert!(iv.start >= 4_000 && iv.start <= 5_600, "start {}", iv.start);
+        assert!(iv.end >= 14_400 && iv.end <= 16_000, "end {}", iv.end);
+        assert!(iv.mean_confidence > 0.8);
+        // The global confidence is diluted below the local one.
+        assert!(s.confidence(SymbolId(0), 20, 4) < iv.mean_confidence);
+    }
+
+    #[test]
+    fn always_on_rhythm_yields_one_full_interval() {
+        let n = 8_000;
+        let s = regime_series(n, 0..n);
+        let config = LocalizeConfig::for_period(20, 0.8);
+        let intervals = localize(&s, SymbolId(0), 20, 4, &config).expect("localize");
+        assert_eq!(intervals.len(), 1);
+        assert_eq!(intervals[0].start, 0);
+        assert!(intervals[0].end >= n - config.step);
+    }
+
+    #[test]
+    fn absent_rhythm_yields_no_intervals() {
+        let s = regime_series(6_000, 0..0);
+        let config = LocalizeConfig::for_period(20, 0.5);
+        let intervals = localize(&s, SymbolId(0), 20, 4, &config).expect("localize");
+        assert!(intervals.is_empty(), "{intervals:?}");
+    }
+
+    #[test]
+    fn two_regimes_yield_two_intervals() {
+        // Active in [0, 4000) and [12000, 16000).
+        let alphabet = Alphabet::latin(5).expect("alphabet");
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 16_000;
+        let mut data: Vec<SymbolId> = (0..n)
+            .map(|_| SymbolId::from_index(1 + rng.random_range(0..4)))
+            .collect();
+        let mut t = 4;
+        while t < n {
+            if t < 4_000 || t >= 12_000 {
+                data[t] = SymbolId(0);
+            }
+            t += 20;
+        }
+        let s = SymbolSeries::from_ids(data, alphabet).expect("series");
+        let config = LocalizeConfig::for_period(20, 0.8);
+        let intervals = localize(&s, SymbolId(0), 20, 4, &config).expect("localize");
+        assert_eq!(intervals.len(), 2, "{intervals:?}");
+        assert!(intervals[0].end <= intervals[1].start);
+    }
+
+    #[test]
+    fn profile_respects_phase_alignment_across_windows() {
+        // A perfectly periodic rhythm must read confidence 1 in *every*
+        // window regardless of the window's start offset modulo the period.
+        let s = regime_series(4_000, 0..4_000);
+        let config = LocalizeConfig {
+            window: 400,
+            step: 7,
+            threshold: 0.5,
+            max_gap_windows: 0,
+        };
+        let profile = confidence_profile(&s, SymbolId(0), 20, 4, &config).expect("profile");
+        assert!(!profile.is_empty());
+        for (start, conf) in profile {
+            assert!((conf - 1.0).abs() < 1e-12, "window at {start}: {conf}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_error() {
+        let s = regime_series(1_000, 0..1_000);
+        let bad_window = LocalizeConfig {
+            window: 0,
+            step: 10,
+            threshold: 0.5,
+            max_gap_windows: 0,
+        };
+        assert!(localize(&s, SymbolId(0), 20, 4, &bad_window).is_err());
+        let bad_threshold = LocalizeConfig {
+            window: 100,
+            step: 10,
+            threshold: 0.0,
+            max_gap_windows: 0,
+        };
+        assert!(localize(&s, SymbolId(0), 20, 4, &bad_threshold).is_err());
+        let good = LocalizeConfig {
+            window: 100,
+            step: 10,
+            threshold: 0.5,
+            max_gap_windows: 0,
+        };
+        assert!(localize(&s, SymbolId(0), 0, 0, &good).is_err());
+        assert!(localize(&s, SymbolId(0), 20, 20, &good).is_err());
+        // Series shorter than the window: empty, not an error.
+        let tiny = regime_series(50, 0..50);
+        assert!(localize(&tiny, SymbolId(0), 20, 4, &good)
+            .expect("ok")
+            .is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! The paper's symbol-mapping scheme (Sect. 3.2), realized exactly.
+//!
+//! Each symbol `s_k` maps to the `sigma`-bit binary representation of `2^k`;
+//! the series becomes a `sigma * n`-bit vector, and the *modified* weighted
+//! convolution `(x . y)_i = sum_j 2^j x_j y_{i-j}` of that vector with its
+//! own reverse produces — at the component for period `p` — a huge integer
+//! `c_p` whose set of binary exponents `W_p` encodes every lag-`p` symbol
+//! match losslessly.
+//!
+//! Because each exponent `j` contributes at most one `2^j` (products of 0/1
+//! bits), **no carries ever occur**: `c_p` is a pure bitmask. This module
+//! exploits that to materialize `c_p` directly as
+//! `B & (B >> sigma * p)` over the encoded vector `B`, where
+//! `B[sigma*q + r] = 1` iff `t_{n-1-q} = s_r` — the integer-exponent view of
+//! "convolve with the reversed copy". The weight-decoding rules are the
+//! paper's own:
+//!
+//! * symbol: `k = w mod sigma` (the set `W_{p,k}`);
+//! * phase:  `l = (n - p - 1 - floor(w / sigma)) mod p` (the set `W_{p,k,l}`),
+//!
+//! and `|W_{p,k,l}| = F2(s_k, pi(p,l)(T))` exactly (Sect. 3.2; verified here
+//! against both of the paper's worked examples).
+//!
+//! The production engines never materialize `c_p` — they only need the
+//! binned cardinalities — but this module keeps the paper's construction
+//! runnable, testable, and documented.
+
+use periodica_series::{SymbolId, SymbolSeries};
+
+use crate::bitvec::BitVec;
+
+/// One decoded weight: a single lag-`p` symbol match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightMatch {
+    /// The matching symbol `s_k` (`k = w mod sigma`).
+    pub symbol: SymbolId,
+    /// Timestamp `m` with `t_m = t_{m+p} = s_k`
+    /// (`m = n - p - 1 - floor(w / sigma)`).
+    pub time: usize,
+    /// Phase `l = m mod p` of the paper's `W_{p,k,l}` decomposition.
+    pub phase: usize,
+}
+
+/// The encoded binary vector of a series under the paper's mapping.
+#[derive(Debug, Clone)]
+pub struct PaperMapping {
+    sigma: usize,
+    n: usize,
+    bits: BitVec,
+}
+
+impl PaperMapping {
+    /// Encodes a series: bit `sigma*q + r` is set iff `t_{n-1-q} = s_r`.
+    pub fn encode(series: &SymbolSeries) -> Self {
+        let sigma = series.sigma();
+        let n = series.len();
+        let mut bits = BitVec::zeros(sigma * n);
+        for (i, &sym) in series.symbols().iter().enumerate() {
+            let q = n - 1 - i;
+            bits.set(sigma * q + sym.index());
+        }
+        PaperMapping { sigma, n, bits }
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Series length.
+    pub fn series_len(&self) -> usize {
+        self.n
+    }
+
+    /// Total bits (`sigma * n`).
+    pub fn bit_len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The component `c_p` of the weighted convolution, as the bitmask it
+    /// provably is (`B & (B >> sigma*p)`).
+    pub fn component(&self, p: usize) -> BitVec {
+        self.bits.and_shifted(self.sigma * p)
+    }
+
+    /// The weight set `W_p`: binary exponents present in `c_p`, ascending.
+    pub fn weights(&self, p: usize) -> Vec<usize> {
+        self.component(p).iter_ones().collect()
+    }
+
+    /// Decodes one weight of `W_p` into its symbol / time / phase.
+    ///
+    /// # Panics
+    /// Panics if `w` cannot belong to `W_p` (i.e. `floor(w/sigma) > n-p-1`).
+    pub fn decode(&self, w: usize, p: usize) -> WeightMatch {
+        let q = w / self.sigma;
+        assert!(
+            p < self.n && q < self.n - p,
+            "weight {w} is out of range for period {p} (n = {})",
+            self.n
+        );
+        let time = self.n - p - 1 - q;
+        WeightMatch {
+            symbol: SymbolId::from_index(w % self.sigma),
+            time,
+            phase: time % p,
+        }
+    }
+
+    /// The weight subset `W_{p,k}` for symbol index `k`.
+    pub fn weights_for_symbol(&self, p: usize, k: usize) -> Vec<usize> {
+        self.weights(p)
+            .into_iter()
+            .filter(|w| w % self.sigma == k)
+            .collect()
+    }
+
+    /// The weight subset `W_{p,k,l}`.
+    pub fn weights_for_symbol_phase(&self, p: usize, k: usize, l: usize) -> Vec<usize> {
+        self.weights(p)
+            .into_iter()
+            .filter(|&w| w % self.sigma == k && self.decode(w, p).phase == l)
+            .collect()
+    }
+
+    /// All `F2(s_k, pi(p,l))` values for one period, binned from the weight
+    /// set: `out[k][l] = |W_{p,k,l}|`.
+    pub fn f2_counts(&self, p: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![vec![0usize; p]; self.sigma];
+        if p == 0 || p >= self.n {
+            return out;
+        }
+        for w in self.component(p).iter_ones() {
+            let m = self.decode(w, p);
+            out[m.symbol.index()][m.phase] += 1;
+        }
+        out
+    }
+
+    /// The value `c_p` as an integer, when it fits in a `u128`
+    /// (`sigma * n <= 128`). Mirrors the paper's presentation of components
+    /// as sums of powers of two (e.g. `c_3 = 2^18 + 2^16 + 2^9 + 2^7`).
+    pub fn component_value_u128(&self, p: usize) -> Option<u128> {
+        if self.bit_len() > 128 {
+            return None;
+        }
+        let mut v = 0u128;
+        for w in self.component(p).iter_ones() {
+            v |= 1u128 << w;
+        }
+        Some(v)
+    }
+}
+
+/// The paper's *presentation* of the binary vector: one `sigma`-character
+/// group per timestamp in series order, most significant bit leftmost —
+/// `acccabb` over `{a,b,c}` renders as `001 100 100 100 001 010 010`
+/// (without the spaces), exactly as in Sect. 3.2.
+pub fn paper_binary_string(series: &SymbolSeries) -> String {
+    let sigma = series.sigma();
+    let mut out = String::with_capacity(sigma * series.len());
+    for &sym in series.symbols() {
+        for r in (0..sigma).rev() {
+            out.push(if r == sym.index() { '1' } else { '0' });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::Alphabet;
+
+    fn series(text: &str, sigma: usize) -> SymbolSeries {
+        let a = Alphabet::latin(sigma).expect("ok");
+        SymbolSeries::parse(text, &a).expect("ok")
+    }
+
+    #[test]
+    fn binary_string_matches_paper_example() {
+        // T = acccabb with a:001, b:010, c:100.
+        let s = series("acccabb", 3);
+        assert_eq!(paper_binary_string(&s), "001100100100001010010");
+    }
+
+    #[test]
+    fn w3_of_abcabbabcb_matches_paper() {
+        // Paper Sect. 3.2: for T = abcabbabcb, p = 3:
+        // W_3 = {18, 16, 9, 7}, W_{3,0} = {18, 9}, W_{3,0,0} = {18, 9}.
+        let m = PaperMapping::encode(&series("abcabbabcb", 3));
+        assert_eq!(m.weights(3), vec![7, 9, 16, 18]);
+        assert_eq!(m.weights_for_symbol(3, 0), vec![9, 18]);
+        assert_eq!(m.weights_for_symbol_phase(3, 0, 0), vec![9, 18]);
+        // F2(a, pi(3,0)) = 2.
+        assert_eq!(m.f2_counts(3)[0][0], 2);
+        // And the b matches sit at phase 1: W_{3,1,1} = {7, 16}.
+        assert_eq!(m.weights_for_symbol_phase(3, 1, 1), vec![7, 16]);
+        assert_eq!(m.f2_counts(3)[1][1], 2);
+        // c_3 as an integer: 2^18 + 2^16 + 2^9 + 2^7.
+        assert_eq!(
+            m.component_value_u128(3).expect("fits"),
+            (1u128 << 18) | (1 << 16) | (1 << 9) | (1 << 7)
+        );
+    }
+
+    #[test]
+    fn w4_of_cabccbacd_matches_paper() {
+        // Paper Sect. 3.2: T = cabccbacd, n = 9, sigma = 4, p = 4:
+        // W_4 = {18, 6}; W_{4,2} = {18, 6};
+        // W_{4,2,0} = {18} => F2(c, pi(4,0)) = 1;
+        // W_{4,2,3} = {6}  => F2(c, pi(4,3)) = 1.
+        let m = PaperMapping::encode(&series("cabccbacd", 4));
+        assert_eq!(m.weights(4), vec![6, 18]);
+        assert_eq!(m.weights_for_symbol(4, 2), vec![6, 18]);
+        assert_eq!(m.weights_for_symbol_phase(4, 2, 0), vec![18]);
+        assert_eq!(m.weights_for_symbol_phase(4, 2, 3), vec![6]);
+        let f2 = m.f2_counts(4);
+        assert_eq!(f2[2][0], 1);
+        assert_eq!(f2[2][3], 1);
+    }
+
+    #[test]
+    fn acccabb_components_match_paper_figure_1() {
+        // Fig. 1: comparing T to T(1) gives matches encoded as
+        // c_1 = 2^14 + 2^11 + 2^1 (two c's and one b);
+        // comparing T to T(4) gives c_4 = 2^6 (one a at position 0).
+        let m = PaperMapping::encode(&series("acccabb", 3));
+        assert_eq!(m.weights(1), vec![1, 11, 14]);
+        let decoded: Vec<usize> = m
+            .weights(1)
+            .iter()
+            .map(|&w| m.decode(w, 1).symbol.index())
+            .collect();
+        assert_eq!(decoded, vec![1, 2, 2]); // b, c, c
+
+        assert_eq!(m.weights(4), vec![6]);
+        let w = m.decode(6, 4);
+        assert_eq!(w.symbol.index(), 0); // symbol a
+        assert_eq!(w.time, 0); // at position 0
+        assert_eq!(m.component_value_u128(4).expect("fits"), 1 << 6);
+    }
+
+    #[test]
+    fn weight_counts_equal_series_f2_everywhere() {
+        // The load-bearing identity: |W_{p,k,l}| == F2(s_k, pi(p,l)) for all
+        // (p, k, l), on an irregular series.
+        let s = series("abcabbabcbacbabccabab", 3);
+        let m = PaperMapping::encode(&s);
+        for p in 1..s.len() {
+            let f2 = m.f2_counts(p);
+            for k in 0..s.sigma() {
+                for l in 0..p {
+                    assert_eq!(
+                        f2[k][l],
+                        s.f2_projected(SymbolId::from_index(k), p, l),
+                        "p={p} k={k} l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_convolution_literally_produces_the_component() {
+        // Independent check that c_p really is the weighted convolution the
+        // paper defines: compute sum_j 2^j * B[j] * B[j + sigma*p] directly
+        // over u128 and compare with the bitmask construction.
+        let s = series("abcabbabcb", 3);
+        let m = PaperMapping::encode(&s);
+        let bits: Vec<u128> = (0..m.bit_len())
+            .map(|i| u128::from(m.bits.get(i)))
+            .collect();
+        for p in 1..=4usize {
+            let shift = 3 * p;
+            let mut value = 0u128;
+            for j in 0..bits.len().saturating_sub(shift) {
+                value += (1u128 << j) * bits[j] * bits[j + shift];
+            }
+            assert_eq!(value, m.component_value_u128(p).expect("fits"), "p={p}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_weights() {
+        let m = PaperMapping::encode(&series("abc", 3));
+        let result = std::panic::catch_unwind(|| m.decode(8, 1));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn large_series_has_no_u128_value() {
+        let s = series(&"abc".repeat(20), 3);
+        let m = PaperMapping::encode(&s);
+        assert_eq!(m.component_value_u128(3), None);
+        // But weight decoding still works.
+        assert!(!m.weights(3).is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! The top-level mining facade: the complete algorithm of the paper's
+//! Fig. 2 behind one builder-configured entry point.
+
+use periodica_series::SymbolSeries;
+
+use crate::detect::{DetectionResult, DetectorConfig, PeriodicityDetector};
+use crate::engine::EngineKind;
+use crate::error::Result;
+use crate::pattern::{mine_patterns, MinedPattern, PatternMinerConfig, PatternMode};
+
+/// Full miner configuration.
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// The periodicity threshold `psi` (Def. 1); also the default minimum
+    /// pattern support, as in the paper.
+    pub threshold: f64,
+    /// Convolution engine choice.
+    pub engine: EngineKind,
+    /// Smallest period examined.
+    pub min_period: usize,
+    /// Largest period examined (default `n / 2`).
+    pub max_period: Option<usize>,
+    /// Whether to apply the sound spectrum prune.
+    pub prune: bool,
+    /// Whether to assemble multi-symbol patterns (step 4e of Fig. 2) after
+    /// the symbol-periodicity phase.
+    pub mine_patterns: bool,
+    /// Minimum support for output patterns; `None` reuses `threshold`.
+    pub min_support: Option<f64>,
+    /// Cap on pattern cardinality.
+    pub max_pattern_positions: Option<usize>,
+    /// Safety cap on generated candidates per period.
+    pub candidate_cap: usize,
+    /// Closed-pattern output (default) versus full enumeration.
+    pub pattern_mode: PatternMode,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            threshold: 0.5,
+            engine: EngineKind::Spectrum,
+            min_period: 1,
+            max_period: None,
+            prune: true,
+            mine_patterns: true,
+            min_support: None,
+            max_pattern_positions: None,
+            candidate_cap: 1 << 20,
+            pattern_mode: PatternMode::Closed,
+        }
+    }
+}
+
+/// Builder for [`ObscureMiner`].
+#[derive(Debug, Clone, Default)]
+pub struct MinerBuilder {
+    config: MinerConfig,
+}
+
+impl MinerBuilder {
+    /// Sets the periodicity threshold `psi`.
+    pub fn threshold(mut self, psi: f64) -> Self {
+        self.config.threshold = psi;
+        self
+    }
+
+    /// Selects the convolution engine.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets the smallest period examined.
+    pub fn min_period(mut self, p: usize) -> Self {
+        self.config.min_period = p;
+        self
+    }
+
+    /// Sets the largest period examined.
+    pub fn max_period(mut self, p: usize) -> Self {
+        self.config.max_period = Some(p);
+        self
+    }
+
+    /// Enables or disables the spectrum prune.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.config.prune = on;
+        self
+    }
+
+    /// Enables or disables pattern assembly.
+    pub fn mine_patterns(mut self, on: bool) -> Self {
+        self.config.mine_patterns = on;
+        self
+    }
+
+    /// Overrides the minimum pattern support (defaults to the threshold).
+    pub fn min_support(mut self, s: f64) -> Self {
+        self.config.min_support = Some(s);
+        self
+    }
+
+    /// Caps pattern cardinality.
+    pub fn max_pattern_positions(mut self, k: usize) -> Self {
+        self.config.max_pattern_positions = Some(k);
+        self
+    }
+
+    /// Selects closed-pattern output versus full enumeration.
+    pub fn pattern_mode(mut self, mode: PatternMode) -> Self {
+        self.config.pattern_mode = mode;
+        self
+    }
+
+    /// Finalizes the miner.
+    pub fn build(self) -> ObscureMiner {
+        ObscureMiner {
+            config: self.config,
+        }
+    }
+}
+
+/// Everything a mining run produces.
+#[derive(Debug, Clone)]
+pub struct MiningReport {
+    /// Phase 1: symbol periodicities (Def. 1).
+    pub detection: DetectionResult,
+    /// Phase 2: periodic patterns with supports (Defs. 2-3); empty when
+    /// pattern mining is disabled.
+    pub patterns: Vec<MinedPattern>,
+}
+
+impl MiningReport {
+    /// Patterns of one period, most-supported first.
+    pub fn patterns_at(&self, period: usize) -> Vec<&MinedPattern> {
+        let mut v: Vec<&MinedPattern> = self
+            .patterns
+            .iter()
+            .filter(|m| m.pattern.period() == period)
+            .collect();
+        v.sort_by(|a, b| {
+            b.support
+                .support
+                .partial_cmp(&a.support.support)
+                .expect("supports are finite")
+        });
+        v
+    }
+}
+
+/// The obscure-periodic-pattern miner (the paper's primary contribution).
+///
+/// ```
+/// use periodica_core::{ObscureMiner, EngineKind};
+/// use periodica_series::{Alphabet, SymbolSeries};
+///
+/// let alphabet = Alphabet::latin(3)?;
+/// let series = SymbolSeries::parse("abcabbabcb", &alphabet)?;
+/// let miner = ObscureMiner::builder()
+///     .threshold(2.0 / 3.0)
+///     .engine(EngineKind::Spectrum)
+///     .build();
+/// let report = miner.mine(&series)?;
+/// // The paper's Sect. 2 candidates: a**, *b*, and ab* at period 3.
+/// assert!(report.patterns.iter().any(|m| m.pattern.render(&alphabet) == "ab*"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObscureMiner {
+    config: MinerConfig,
+}
+
+impl ObscureMiner {
+    /// Starts a builder with default configuration.
+    pub fn builder() -> MinerBuilder {
+        MinerBuilder::default()
+    }
+
+    /// Builds a miner directly from a config.
+    pub fn from_config(config: MinerConfig) -> Self {
+        ObscureMiner { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Mines `series`: one detection pass, then (optionally) pattern
+    /// assembly.
+    pub fn mine(&self, series: &SymbolSeries) -> Result<MiningReport> {
+        let detector = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: self.config.threshold,
+                min_period: self.config.min_period,
+                max_period: self.config.max_period,
+                prune: self.config.prune,
+            },
+            self.config.engine.build(),
+        );
+        let detection = detector.detect(series)?;
+        let patterns = if self.config.mine_patterns {
+            let pm_config = PatternMinerConfig {
+                min_support: self.config.min_support.unwrap_or(self.config.threshold),
+                max_positions: self.config.max_pattern_positions,
+                candidate_cap: self.config.candidate_cap,
+                mode: self.config.pattern_mode,
+            };
+            mine_patterns(series, &detection, &pm_config)?
+        } else {
+            Vec::new()
+        };
+        Ok(MiningReport {
+            detection,
+            patterns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
+    use periodica_series::Alphabet;
+
+    #[test]
+    fn end_to_end_on_the_paper_example() {
+        let alphabet = Alphabet::latin(3).expect("ok");
+        let series = SymbolSeries::parse("abcabbabcb", &alphabet).expect("ok");
+        let report = ObscureMiner::builder()
+            .threshold(2.0 / 3.0)
+            .build()
+            .mine(&series)
+            .expect("ok");
+        let rendered: Vec<String> = report
+            .patterns_at(3)
+            .iter()
+            .map(|m| m.pattern.render(&alphabet))
+            .collect();
+        assert!(rendered.contains(&"a**".to_string()));
+        assert!(rendered.contains(&"*b*".to_string()));
+        assert!(rendered.contains(&"ab*".to_string()));
+        // Sorted by support: *b* (1.0) precedes the 2/3-support patterns.
+        assert_eq!(rendered[0], "*b*");
+    }
+
+    #[test]
+    fn pattern_mining_can_be_disabled() {
+        let alphabet = Alphabet::latin(3).expect("ok");
+        let series = SymbolSeries::parse("abcabbabcb", &alphabet).expect("ok");
+        let report = ObscureMiner::builder()
+            .threshold(0.5)
+            .mine_patterns(false)
+            .build()
+            .mine(&series)
+            .expect("ok");
+        assert!(report.patterns.is_empty());
+        assert!(!report.detection.periodicities.is_empty());
+    }
+
+    #[test]
+    fn builder_options_are_respected() {
+        let miner = ObscureMiner::builder()
+            .threshold(0.8)
+            .engine(EngineKind::Bitset)
+            .min_period(2)
+            .max_period(40)
+            .prune(false)
+            .min_support(0.9)
+            .max_pattern_positions(3)
+            .build();
+        let c = miner.config();
+        assert_eq!(c.threshold, 0.8);
+        assert_eq!(c.engine, EngineKind::Bitset);
+        assert_eq!(c.min_period, 2);
+        assert_eq!(c.max_period, Some(40));
+        assert!(!c.prune);
+        assert_eq!(c.min_support, Some(0.9));
+        assert_eq!(c.max_pattern_positions, Some(3));
+    }
+
+    #[test]
+    fn synthetic_embedded_pattern_is_recovered_in_full() {
+        let spec = PeriodicSeriesSpec {
+            length: 2_000,
+            period: 20,
+            alphabet_size: 6,
+            distribution: SymbolDistribution::Uniform,
+        };
+        let g = spec.generate(21).expect("ok");
+        let report = ObscureMiner::builder()
+            .threshold(1.0)
+            .max_period(25)
+            .build()
+            .mine(&g.series)
+            .expect("ok");
+        // The highest-cardinality period-20 pattern is the embedded pattern
+        // itself.
+        let best = report
+            .patterns_at(20)
+            .into_iter()
+            .max_by_key(|m| m.pattern.cardinality())
+            .expect("some pattern")
+            .clone();
+        assert_eq!(best.pattern.cardinality(), 20);
+        let expected: Vec<Option<_>> = g.pattern.iter().map(|&s| Some(s)).collect();
+        assert_eq!(best.pattern.slots(), &expected[..]);
+    }
+
+    #[test]
+    fn invalid_threshold_is_rejected_at_mine_time() {
+        let alphabet = Alphabet::latin(2).expect("ok");
+        let series = SymbolSeries::parse("abab", &alphabet).expect("ok");
+        assert!(ObscureMiner::builder()
+            .threshold(0.0)
+            .build()
+            .mine(&series)
+            .is_err());
+    }
+}

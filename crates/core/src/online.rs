@@ -1,0 +1,330 @@
+//! Online (incremental) periodicity detection over unbounded streams.
+//!
+//! The paper motivates one-pass mining with data-stream environments that
+//! "cannot abide the time nor the storage needed for multiple passes";
+//! its companion line of work (reference \[4\]) develops incremental and
+//! online mining. This module provides that capability for the period-
+//! discovery phase: an [`OnlineDetector`] consumes symbols forever in
+//! **O(sigma * L)** memory (L = the largest period watched), keeps exact
+//! lag-match counts via the bounded-memory streaming correlator, and can
+//! report the current candidate periods at any moment — without storing
+//! the stream.
+//!
+//! The trade-off versus batch [`crate::PeriodicityDetector`]: phases are
+//! not resolved (that requires revisiting data), so the online answer is
+//! the same sound period-level test that [`crate::PeriodicityDetector::candidate_periods`]
+//! computes, continuously maintained. Like any phase-blind test, it is
+//! sharp for *sparse* symbols (dedicated event types, heartbeat markers)
+//! and permissive for symbols dense enough to match at many phases — batch
+//! confirmation over a retained window settles those.
+
+use std::sync::Arc;
+
+use periodica_series::{pair_denominator, Alphabet, SymbolId};
+use periodica_transform::external::StreamingAutocorrelator;
+
+use crate::error::Result;
+
+/// Tolerance for threshold comparisons (matches the batch detector).
+const EPS: f64 = 1e-12;
+
+/// How many symbols are buffered before feeding the correlators.
+const FLUSH_BLOCK: usize = 1 << 12;
+
+/// A period-level candidate with its current evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineCandidate {
+    /// The candidate period.
+    pub period: usize,
+    /// The strongest symbol at this period.
+    pub symbol: SymbolId,
+    /// Exact total lag-`period` match count for that symbol so far.
+    pub matches: u64,
+    /// `matches / (ceil(n/p) - 1)`: an upper bound on any phase's Def.-1
+    /// confidence (phases are not resolved online).
+    pub confidence_bound: f64,
+}
+
+/// Streaming periodicity detector with bounded memory.
+///
+/// ```
+/// use periodica_core::OnlineDetector;
+/// use periodica_series::{Alphabet, SymbolId};
+///
+/// let alphabet = Alphabet::latin(4)?;
+/// let mut online = OnlineDetector::new(alphabet, 32);
+/// // An endless abcd... stream, consumed once.
+/// online.extend((0..10_000).map(|i| SymbolId::from_index(i % 4)))?;
+/// let candidates = online.candidates(0.9)?;
+/// assert!(candidates.iter().any(|c| c.period == 4));
+/// assert_eq!(online.matches(SymbolId(0), 4)?, 2_499);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct OnlineDetector {
+    alphabet: Arc<Alphabet>,
+    max_period: usize,
+    correlators: Vec<StreamingAutocorrelator>,
+    buffer: Vec<SymbolId>,
+    consumed: usize,
+}
+
+impl OnlineDetector {
+    /// Creates a detector watching periods `1..=max_period`.
+    pub fn new(alphabet: Arc<Alphabet>, max_period: usize) -> Self {
+        let sigma = alphabet.len();
+        OnlineDetector {
+            alphabet,
+            max_period,
+            correlators: (0..sigma)
+                .map(|_| StreamingAutocorrelator::new(max_period))
+                .collect(),
+            buffer: Vec::with_capacity(FLUSH_BLOCK),
+            consumed: 0,
+        }
+    }
+
+    /// The alphabet symbols are validated against.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// Largest period watched.
+    pub fn max_period(&self) -> usize {
+        self.max_period
+    }
+
+    /// Symbols consumed so far.
+    pub fn len(&self) -> usize {
+        self.consumed
+    }
+
+    /// Whether no symbol has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.consumed == 0
+    }
+
+    /// Consumes one symbol.
+    pub fn push(&mut self, symbol: SymbolId) -> Result<()> {
+        self.alphabet
+            .check(symbol)
+            .map_err(crate::error::MiningError::Series)?;
+        self.buffer.push(symbol);
+        self.consumed += 1;
+        if self.buffer.len() >= FLUSH_BLOCK {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Consumes a batch of symbols.
+    pub fn extend<I: IntoIterator<Item = SymbolId>>(&mut self, iter: I) -> Result<()> {
+        for s in iter {
+            self.push(s)?;
+        }
+        Ok(())
+    }
+
+    /// Drains the internal buffer into the per-symbol correlators.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        // One indicator block per symbol; the correlators keep their own
+        // max_period-sized tails, so cross-block pairs are never lost.
+        let mut indicator = vec![0u64; self.buffer.len()];
+        for (k, correlator) in self.correlators.iter_mut().enumerate() {
+            for (slot, s) in indicator.iter_mut().zip(&self.buffer) {
+                *slot = u64::from(s.index() == k);
+            }
+            correlator
+                .push_block(&indicator)
+                .map_err(crate::error::MiningError::Transform)?;
+        }
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Exact total lag-`period` match count for one symbol so far.
+    pub fn matches(&mut self, symbol: SymbolId, period: usize) -> Result<u64> {
+        self.flush()?;
+        Ok(self.correlators[symbol.index()].counts()[period])
+    }
+
+    /// The current phase-blind confidence bound for one `(symbol, period)`:
+    /// `min(1, matches / (ceil(n/p) - 1))`. An upper bound on every phase's
+    /// Def.-1 confidence; sharp for sparse symbols.
+    pub fn confidence_bound(&mut self, symbol: SymbolId, period: usize) -> Result<f64> {
+        let matches = self.matches(symbol, period)?;
+        let denom = pair_denominator(self.consumed, period, 0);
+        Ok(if denom == 0 {
+            0.0
+        } else {
+            (matches as f64 / denom as f64).min(1.0)
+        })
+    }
+
+    /// The current candidate periods at threshold `psi`: periods where some
+    /// symbol's total match count could still satisfy Def. 1 at some phase
+    /// (the same sound test as the batch detector's pruning stage),
+    /// ascending, with per-period evidence.
+    pub fn candidates(&mut self, threshold: f64) -> Result<Vec<OnlineCandidate>> {
+        self.flush()?;
+        let n = self.consumed;
+        let mut out = Vec::new();
+        if n < 2 {
+            return Ok(out);
+        }
+        let upper = self.max_period.min(n - 1);
+        for p in 1..=upper {
+            let denom = pair_denominator(n, p, 0);
+            if denom == 0 {
+                continue;
+            }
+            let d_min_pos = pair_denominator(n, p, p - 1).max(1);
+            let bound = threshold * d_min_pos as f64 - EPS;
+            let mut best: Option<(usize, u64)> = None;
+            for (k, correlator) in self.correlators.iter().enumerate() {
+                let m = correlator.counts()[p];
+                if m as f64 >= bound && best.is_none_or(|(_, b)| m > b) {
+                    best = Some((k, m));
+                }
+            }
+            if let Some((k, matches)) = best {
+                out.push(OnlineCandidate {
+                    period: p,
+                    symbol: SymbolId::from_index(k),
+                    matches,
+                    confidence_bound: (matches as f64 / denom as f64).min(1.0),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{DetectorConfig, PeriodicityDetector};
+    use crate::engine::EngineKind;
+    use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
+    use periodica_series::SymbolSeries;
+
+    fn planted(length: usize, period: usize, seed: u64) -> SymbolSeries {
+        PeriodicSeriesSpec {
+            length,
+            period,
+            alphabet_size: 6,
+            distribution: SymbolDistribution::Uniform,
+        }
+        .generate(seed)
+        .expect("generate")
+        .series
+    }
+
+    #[test]
+    fn online_counts_equal_batch_counts() {
+        let series = planted(10_000, 30, 1);
+        let mut online = OnlineDetector::new(series.alphabet().clone(), 120);
+        online
+            .extend(series.symbols().iter().copied())
+            .expect("extend");
+        assert_eq!(online.len(), 10_000);
+        for p in [1usize, 15, 30, 60, 119] {
+            for k in 0..series.sigma() {
+                let sym = SymbolId::from_index(k);
+                assert_eq!(
+                    online.matches(sym, p).expect("matches") as usize,
+                    series.lag_matches(sym, p),
+                    "p={p} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_candidates_match_batch_candidate_periods() {
+        let series = planted(6_000, 25, 2);
+        let mut online = OnlineDetector::new(series.alphabet().clone(), 200);
+        online
+            .extend(series.symbols().iter().copied())
+            .expect("extend");
+        let online_periods: Vec<usize> = online
+            .candidates(0.8)
+            .expect("candidates")
+            .iter()
+            .map(|c| c.period)
+            .collect();
+
+        let batch = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 0.8,
+                max_period: Some(200),
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        );
+        let batch_periods = batch.candidate_periods(&series).expect("batch");
+        assert_eq!(online_periods, batch_periods);
+        assert!(online_periods.contains(&25));
+    }
+
+    #[test]
+    fn candidates_evolve_as_the_stream_grows() {
+        // Stream switches from period 10 to random: the bound decays.
+        let periodic = planted(4_000, 10, 3);
+        let alphabet = periodic.alphabet().clone();
+        let mut online = OnlineDetector::new(alphabet.clone(), 50);
+        online
+            .extend(periodic.symbols().iter().copied())
+            .expect("extend");
+        let early = online
+            .candidates(0.9)
+            .expect("candidates")
+            .iter()
+            .find(|c| c.period == 10)
+            .expect("period 10 present")
+            .confidence_bound;
+        assert!(early > 0.9);
+
+        let random =
+            periodica_series::generate::random_series(8_000, &alphabet, 7).expect("random");
+        online
+            .extend(random.symbols().iter().copied())
+            .expect("extend");
+        let late = online.candidates(0.2).expect("candidates");
+        let still = late.iter().find(|c| c.period == 10);
+        // Two-thirds of the stream is now structureless: the bound fell.
+        if let Some(c) = still {
+            assert!(
+                c.confidence_bound < early - 0.1,
+                "bound {:.3}",
+                c.confidence_bound
+            );
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_max_period_not_stream_length() {
+        // The detector never stores the stream: only sigma tails of
+        // max_period samples plus the flush buffer.
+        let alphabet = periodica_series::Alphabet::latin(4).expect("alphabet");
+        let mut online = OnlineDetector::new(alphabet, 64);
+        for i in 0..200_000usize {
+            online.push(SymbolId::from_index(i % 4)).expect("push");
+        }
+        assert_eq!(online.len(), 200_000);
+        let candidates = online.candidates(0.9).expect("candidates");
+        assert!(candidates.iter().any(|c| c.period == 4));
+    }
+
+    #[test]
+    fn rejects_foreign_symbols() {
+        let alphabet = periodica_series::Alphabet::latin(3).expect("alphabet");
+        let mut online = OnlineDetector::new(alphabet, 16);
+        assert!(online.push(SymbolId(3)).is_err());
+        assert!(online.push(SymbolId(2)).is_ok());
+        assert!(online.is_empty() || online.len() == 1);
+    }
+}

@@ -1,0 +1,660 @@
+//! Periodic patterns over `Sigma ∪ {*}` and their support (Defs. 2-3).
+//!
+//! A pattern of length `p` fixes a symbol at some phases and leaves `*`
+//! (don't-care) elsewhere. Its support counts *consecutive* segment pairs
+//! that match at every fixed phase, normalized by the number of such pairs —
+//! the multi-symbol generalization of Def. 1's `F2`-ratio (and exactly
+//! Def. 2's value for single-symbol patterns).
+//!
+//! Candidate generation follows the Apriori property the paper invokes in
+//! its footnote: pattern support is anti-monotone in the set of fixed
+//! positions, so frequent patterns are grown level-wise from the detected
+//! single-symbol periodicities instead of materializing the full Cartesian
+//! product `S_p` (which is still available, capped, for validation).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use periodica_series::{pair_denominator, Alphabet, SymbolId, SymbolSeries};
+
+use crate::detect::DetectionResult;
+use crate::error::{MiningError, Result};
+
+/// Tolerance for support/threshold comparisons.
+const EPS: f64 = 1e-12;
+
+/// A periodic pattern: one optional symbol per phase of a period.
+///
+/// ```
+/// use periodica_core::{pattern_support, Pattern};
+/// use periodica_series::{Alphabet, SymbolSeries};
+///
+/// // The paper's Sect. 2.3: in T = abcabbabcb, the pattern ab* has
+/// // support 2/3.
+/// let alphabet = Alphabet::latin(3)?;
+/// let series = SymbolSeries::parse("abcabbabcb", &alphabet)?;
+/// let a = alphabet.lookup("a")?;
+/// let b = alphabet.lookup("b")?;
+/// let ab = Pattern::new(3, &[(0, a), (1, b)])?;
+/// assert_eq!(ab.render(&alphabet), "ab*");
+/// let est = pattern_support(&series, &ab);
+/// assert!((est.support - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    period: usize,
+    slots: Vec<Option<SymbolId>>,
+}
+
+impl Pattern {
+    /// Builds a pattern of length `period` with the given `(phase, symbol)`
+    /// fixings; all other phases are don't-care.
+    pub fn new(period: usize, fixed: &[(usize, SymbolId)]) -> Result<Self> {
+        if period == 0 {
+            return Err(MiningError::InvalidPattern(
+                "period must be positive".into(),
+            ));
+        }
+        let mut slots = vec![None; period];
+        for &(l, s) in fixed {
+            if l >= period {
+                return Err(MiningError::InvalidPattern(format!(
+                    "phase {l} out of range for period {period}"
+                )));
+            }
+            if let Some(prev) = slots[l] {
+                if prev != s {
+                    return Err(MiningError::InvalidPattern(format!(
+                        "conflicting symbols at phase {l}"
+                    )));
+                }
+            }
+            slots[l] = Some(s);
+        }
+        Ok(Pattern { period, slots })
+    }
+
+    /// A single-symbol pattern (Def. 2): `*^phase symbol *^(period-1-phase)`.
+    pub fn single(period: usize, phase: usize, symbol: SymbolId) -> Result<Self> {
+        Pattern::new(period, &[(phase, symbol)])
+    }
+
+    /// Pattern length (the period `p`).
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Slot view: `None` is don't-care.
+    pub fn slots(&self) -> &[Option<SymbolId>] {
+        &self.slots
+    }
+
+    /// `(phase, symbol)` pairs of the fixed positions, ascending by phase.
+    pub fn fixed(&self) -> impl Iterator<Item = (usize, SymbolId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(l, s)| s.map(|s| (l, s)))
+    }
+
+    /// Number of fixed positions.
+    pub fn cardinality(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether every phase is don't-care.
+    pub fn is_dont_care(&self) -> bool {
+        self.cardinality() == 0
+    }
+
+    /// Merges two same-period patterns; `None` on period mismatch or a
+    /// conflicting fixed phase.
+    pub fn merge(&self, other: &Pattern) -> Option<Pattern> {
+        if self.period != other.period {
+            return None;
+        }
+        let mut slots = self.slots.clone();
+        for (l, s) in other.fixed() {
+            match slots[l] {
+                Some(prev) if prev != s => return None,
+                _ => slots[l] = Some(s),
+            }
+        }
+        Some(Pattern {
+            period: self.period,
+            slots,
+        })
+    }
+
+    /// Whether every fixed position of `self` appears identically in
+    /// `other`.
+    pub fn is_subpattern_of(&self, other: &Pattern) -> bool {
+        self.period == other.period && self.fixed().all(|(l, s)| other.slots[l] == Some(s))
+    }
+
+    /// Renders the pattern as in the paper (`ab*`, `aaaa********bbbbc***aa**`
+    /// style), using `*` for don't-care.
+    pub fn render(&self, alphabet: &Arc<Alphabet>) -> String {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                Some(s) => alphabet.name(*s).to_string(),
+                None => "*".to_string(),
+            })
+            .collect()
+    }
+}
+
+/// A support measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupportEstimate {
+    /// Number of consecutive segment pairs matching every fixed phase.
+    pub count: u32,
+    /// Number of eligible pairs.
+    pub denominator: u32,
+    /// `count / denominator` (0 when the denominator is 0).
+    pub support: f64,
+}
+
+/// Measures the support of a pattern over a series.
+///
+/// Single-symbol patterns use the phase-specific denominator
+/// `ceil((n-l)/p) - 1` (Def. 2); multi-symbol patterns use
+/// `ceil(n/p) - 1` whole-segment pairs (Def. 3's `|W'_p| / (n/p)` estimate —
+/// both reproduce the paper's worked values of 2/3 and 1).
+pub fn pattern_support(series: &SymbolSeries, pattern: &Pattern) -> SupportEstimate {
+    let n = series.len();
+    let p = pattern.period();
+    let fixed: Vec<(usize, SymbolId)> = pattern.fixed().collect();
+    if fixed.is_empty() || n == 0 {
+        return SupportEstimate {
+            count: 0,
+            denominator: 0,
+            support: 0.0,
+        };
+    }
+    let denominator = if fixed.len() == 1 {
+        pair_denominator(n, p, fixed[0].0)
+    } else {
+        pair_denominator(n, p, 0)
+    };
+    if denominator == 0 {
+        return SupportEstimate {
+            count: 0,
+            denominator: 0,
+            support: 0.0,
+        };
+    }
+    let data = series.symbols();
+    let mut count = 0u32;
+    let mut i = 0usize;
+    loop {
+        let base = i * p;
+        let next = base + p;
+        // The pair is eligible while every fixed phase exists in both
+        // segments.
+        let mut eligible = true;
+        let mut all_match = true;
+        for &(l, s) in &fixed {
+            let a = base + l;
+            let b = next + l;
+            if b >= n {
+                eligible = false;
+                break;
+            }
+            if data[a] != s || data[b] != s {
+                all_match = false;
+            }
+        }
+        if !eligible {
+            break;
+        }
+        if all_match {
+            count += 1;
+        }
+        i += 1;
+    }
+    SupportEstimate {
+        count,
+        denominator: denominator as u32,
+        support: count as f64 / denominator as f64,
+    }
+}
+
+/// A pattern together with its measured support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedPattern {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Its support over the mined series.
+    pub support: SupportEstimate,
+}
+
+/// How multi-symbol patterns are assembled from the detected singles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PatternMode {
+    /// Emit only *closed* frequent patterns (no super-pattern with equal
+    /// support). Output stays small even on perfectly periodic data, where
+    /// full enumeration is 2^p. The closed set is information-lossless:
+    /// any frequent pattern's support is the maximum over its closed
+    /// super-patterns.
+    #[default]
+    Closed,
+    /// Enumerate *every* frequent pattern, Apriori level-wise (the paper's
+    /// Cartesian-product reading of Def. 3). Exponential on dense data;
+    /// guarded by the candidate cap.
+    EnumerateAll,
+}
+
+/// Pattern-mining configuration.
+#[derive(Debug, Clone)]
+pub struct PatternMinerConfig {
+    /// Minimum support for an output pattern (the paper uses the
+    /// periodicity threshold `psi`).
+    pub min_support: f64,
+    /// Optional cap on pattern cardinality (number of fixed phases).
+    /// Only applies to [`PatternMode::EnumerateAll`].
+    pub max_positions: Option<usize>,
+    /// Safety cap on candidates generated (and, in closed mode, patterns
+    /// emitted) per period.
+    pub candidate_cap: usize,
+    /// Closed-only output versus full enumeration.
+    pub mode: PatternMode,
+}
+
+impl Default for PatternMinerConfig {
+    fn default() -> Self {
+        PatternMinerConfig {
+            min_support: 0.5,
+            max_positions: None,
+            candidate_cap: 1 << 20,
+            mode: PatternMode::Closed,
+        }
+    }
+}
+
+/// Mines the periodic patterns meeting `config.min_support`, grown from the
+/// single-symbol periodicities in `detection`.
+///
+/// Single-symbol patterns (Def. 2) are always emitted with their
+/// phase-specific supports; multi-symbol assembly follows
+/// [`PatternMinerConfig::mode`].
+pub fn mine_patterns(
+    series: &SymbolSeries,
+    detection: &DetectionResult,
+    config: &PatternMinerConfig,
+) -> Result<Vec<MinedPattern>> {
+    let mut out = Vec::new();
+    for period in detection.detected_periods() {
+        match config.mode {
+            PatternMode::EnumerateAll => {
+                mine_patterns_for_period(series, detection, period, config, &mut out)?;
+            }
+            PatternMode::Closed => {
+                emit_singles(detection, period, config, &mut out)?;
+                let mut closed = Vec::new();
+                crate::closed::mine_closed_for_period(
+                    series,
+                    detection,
+                    period,
+                    config.min_support,
+                    config.candidate_cap,
+                    &mut closed,
+                )?;
+                // Cardinality-1 closures duplicate the Def.-2 singles (which
+                // carry the paper's phase-specific supports); keep multis.
+                out.extend(closed.into_iter().filter(|m| m.pattern.cardinality() >= 2));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Item = one fixed position; canonical candidate = phase-sorted item list.
+type Item = (usize, SymbolId);
+
+/// Emits the frequent single-symbol patterns of one period; returns them as
+/// level-1 seeds for enumeration.
+fn emit_singles(
+    detection: &DetectionResult,
+    period: usize,
+    config: &PatternMinerConfig,
+    out: &mut Vec<MinedPattern>,
+) -> Result<Vec<Vec<Item>>> {
+    let mut seeds = Vec::new();
+    for sp in detection.at_period(period) {
+        if sp.confidence + EPS >= config.min_support {
+            let pattern = Pattern::single(period, sp.phase, sp.symbol)?;
+            out.push(MinedPattern {
+                pattern,
+                support: SupportEstimate {
+                    count: sp.f2,
+                    denominator: sp.denominator,
+                    support: sp.confidence,
+                },
+            });
+            seeds.push(vec![(sp.phase, sp.symbol)]);
+        }
+    }
+    seeds.sort();
+    seeds.dedup();
+    Ok(seeds)
+}
+
+fn mine_patterns_for_period(
+    series: &SymbolSeries,
+    detection: &DetectionResult,
+    period: usize,
+    config: &PatternMinerConfig,
+    out: &mut Vec<MinedPattern>,
+) -> Result<()> {
+    // Level 1: the detected single-symbol periodicities, whose Def.-1
+    // confidence *is* their Def.-2 support.
+    let mut frequent_prev = emit_singles(detection, period, config, out)?;
+    let mut frequent_set: HashSet<Vec<Item>> = frequent_prev.iter().cloned().collect();
+
+    let max_positions = config.max_positions.unwrap_or(period);
+    let mut level = 1usize;
+    while !frequent_prev.is_empty() && level < max_positions {
+        level += 1;
+        let mut candidates: Vec<Vec<Item>> = Vec::new();
+        // Join step: two (k-1)-item sets sharing all but the last item,
+        // last items at distinct phases.
+        for i in 0..frequent_prev.len() {
+            for j in i + 1..frequent_prev.len() {
+                let (a, b) = (&frequent_prev[i], &frequent_prev[j]);
+                if a[..a.len() - 1] != b[..b.len() - 1] {
+                    break; // sorted: once prefixes diverge, later j's diverge too
+                }
+                let (la, lb) = (a[a.len() - 1], b[b.len() - 1]);
+                if la.0 == lb.0 {
+                    continue; // one symbol per phase
+                }
+                let mut cand = a.clone();
+                cand.push(lb.max(la));
+                cand.sort();
+                // Prune step: every (k-1)-subset must be frequent.
+                let all_subsets_frequent = (0..cand.len()).all(|drop| {
+                    let mut sub = cand.clone();
+                    sub.remove(drop);
+                    frequent_set.contains(&sub)
+                });
+                if all_subsets_frequent {
+                    candidates.push(cand);
+                }
+                if candidates.len() > config.candidate_cap {
+                    return Err(MiningError::CandidateExplosion {
+                        candidates: candidates.len(),
+                        cap: config.candidate_cap,
+                    });
+                }
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+
+        let mut frequent_now = Vec::new();
+        for cand in candidates {
+            let pattern = Pattern::new(period, &cand)?;
+            let support = pattern_support(series, &pattern);
+            if support.denominator > 0 && support.support + EPS >= config.min_support {
+                out.push(MinedPattern { pattern, support });
+                frequent_set.insert(cand.clone());
+                frequent_now.push(cand);
+            }
+        }
+        frequent_prev = frequent_now;
+    }
+    Ok(())
+}
+
+/// Materializes the paper's full Cartesian-product candidate set `S_p`
+/// (Def. 3) for one period — every non-empty combination of one detected
+/// symbol-or-`*` per phase. Exponential; guarded by `cap`.
+pub fn cartesian_candidates(
+    detection: &DetectionResult,
+    period: usize,
+    cap: usize,
+) -> Result<Vec<Pattern>> {
+    let mut per_phase: Vec<Vec<SymbolId>> = vec![Vec::new(); period];
+    for sp in detection.at_period(period) {
+        per_phase[sp.phase].push(sp.symbol);
+    }
+    let mut size: usize = 1;
+    for opts in &per_phase {
+        size = size.saturating_mul(opts.len() + 1);
+        if size > cap {
+            return Err(MiningError::CandidateExplosion {
+                candidates: size,
+                cap,
+            });
+        }
+    }
+    let mut patterns = vec![Vec::<Item>::new()];
+    for (l, opts) in per_phase.iter().enumerate() {
+        let mut next = Vec::with_capacity(patterns.len() * (opts.len() + 1));
+        for partial in &patterns {
+            next.push(partial.clone()); // '*' choice
+            for &s in opts {
+                let mut with = partial.clone();
+                with.push((l, s));
+                next.push(with);
+            }
+        }
+        patterns = next;
+    }
+    patterns
+        .into_iter()
+        .filter(|items| !items.is_empty())
+        .map(|items| Pattern::new(period, &items))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{DetectorConfig, PeriodicityDetector};
+    use crate::engine::EngineKind;
+
+    fn paper_series() -> SymbolSeries {
+        let a = Alphabet::latin(3).expect("ok");
+        SymbolSeries::parse("abcabbabcb", &a).expect("ok")
+    }
+
+    fn detect(series: &SymbolSeries, threshold: f64) -> DetectionResult {
+        PeriodicityDetector::new(
+            DetectorConfig {
+                threshold,
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        )
+        .detect(series)
+        .expect("ok")
+    }
+
+    #[test]
+    fn pattern_construction_and_render() {
+        let alpha = Alphabet::latin(3).expect("ok");
+        let a = alpha.lookup("a").expect("ok");
+        let b = alpha.lookup("b").expect("ok");
+        let p = Pattern::new(3, &[(0, a), (1, b)]).expect("ok");
+        assert_eq!(p.render(&alpha), "ab*");
+        assert_eq!(p.cardinality(), 2);
+        assert_eq!(Pattern::single(3, 2, a).expect("ok").render(&alpha), "**a");
+        assert!(Pattern::new(0, &[]).is_err());
+        assert!(Pattern::new(3, &[(3, a)]).is_err());
+        assert!(Pattern::new(3, &[(0, a), (0, b)]).is_err());
+        // Same symbol twice at one phase is fine.
+        assert!(Pattern::new(3, &[(0, a), (0, a)]).is_ok());
+    }
+
+    #[test]
+    fn merge_and_subpattern() {
+        let alpha = Alphabet::latin(3).expect("ok");
+        let a = alpha.lookup("a").expect("ok");
+        let b = alpha.lookup("b").expect("ok");
+        let pa = Pattern::single(3, 0, a).expect("ok");
+        let pb = Pattern::single(3, 1, b).expect("ok");
+        let ab = pa.merge(&pb).expect("compatible");
+        assert_eq!(ab.render(&alpha), "ab*");
+        assert!(pa.is_subpattern_of(&ab));
+        assert!(pb.is_subpattern_of(&ab));
+        assert!(!ab.is_subpattern_of(&pa));
+        // Conflicts and period mismatches fail.
+        let pa2 = Pattern::single(3, 0, b).expect("ok");
+        assert!(pa.merge(&pa2).is_none());
+        let other_period = Pattern::single(4, 0, a).expect("ok");
+        assert!(pa.merge(&other_period).is_none());
+    }
+
+    #[test]
+    fn supports_match_paper_section_2_3() {
+        // In T = abcabbabcb: pattern a** has support 2/3, *b* support 1,
+        // and ab* support 2/3 (Sect. 2.3 & 3.2).
+        let s = paper_series();
+        let alpha = s.alphabet().clone();
+        let a = alpha.lookup("a").expect("ok");
+        let b = alpha.lookup("b").expect("ok");
+
+        let single_a = pattern_support(&s, &Pattern::single(3, 0, a).expect("ok"));
+        assert_eq!(single_a.count, 2);
+        assert!((single_a.support - 2.0 / 3.0).abs() < EPS);
+
+        let single_b = pattern_support(&s, &Pattern::single(3, 1, b).expect("ok"));
+        assert!((single_b.support - 1.0).abs() < EPS);
+
+        let ab = Pattern::new(3, &[(0, a), (1, b)]).expect("ok");
+        let est = pattern_support(&s, &ab);
+        assert_eq!(est.count, 2);
+        assert_eq!(est.denominator, 3);
+        assert!((est.support - 2.0 / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mined_patterns_match_paper_candidates() {
+        // With psi = 2/3 the paper's candidates for p = 3 are a**, *b*, ab*.
+        let s = paper_series();
+        let detection = detect(&s, 2.0 / 3.0);
+        let config = PatternMinerConfig {
+            min_support: 2.0 / 3.0,
+            ..Default::default()
+        };
+        let mined = mine_patterns(&s, &detection, &config).expect("ok");
+        let alpha = s.alphabet().clone();
+        let rendered: Vec<(usize, String)> = mined
+            .iter()
+            .map(|m| (m.pattern.period(), m.pattern.render(&alpha)))
+            .collect();
+        assert!(rendered.contains(&(3, "a**".into())), "{rendered:?}");
+        assert!(rendered.contains(&(3, "*b*".into())), "{rendered:?}");
+        assert!(rendered.contains(&(3, "ab*".into())), "{rendered:?}");
+    }
+
+    #[test]
+    fn apriori_is_complete_versus_cartesian() {
+        // Every Cartesian candidate whose measured support clears the
+        // threshold must be produced by the level-wise miner.
+        let alpha = Alphabet::latin(3).expect("ok");
+        let s = SymbolSeries::parse(&"abcabc".repeat(20), &alpha).expect("ok");
+        let detection = PeriodicityDetector::new(
+            DetectorConfig {
+                threshold: 0.5,
+                max_period: Some(12),
+                ..Default::default()
+            },
+            EngineKind::Spectrum.build(),
+        )
+        .detect(&s)
+        .expect("ok");
+        let config = PatternMinerConfig {
+            min_support: 0.5,
+            mode: PatternMode::EnumerateAll,
+            ..Default::default()
+        };
+        let mined = mine_patterns(&s, &detection, &config).expect("ok");
+        for period in detection.detected_periods() {
+            for cand in cartesian_candidates(&detection, period, 1 << 16).expect("ok") {
+                let est = pattern_support(&s, &cand);
+                if est.denominator > 0 && est.support + EPS >= 0.5 {
+                    assert!(
+                        mined.iter().any(|m| m.pattern == cand),
+                        "missing frequent candidate {} (p={period})",
+                        cand.render(&alpha)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfectly_periodic_series_yields_the_full_pattern() {
+        let alpha = Alphabet::latin(3).expect("ok");
+        let s = SymbolSeries::parse(&"abc".repeat(30), &alpha).expect("ok");
+        let detection = detect(&s, 1.0);
+        let config = PatternMinerConfig {
+            min_support: 1.0,
+            ..Default::default()
+        };
+        let mined = mine_patterns(&s, &detection, &config).expect("ok");
+        let full: Vec<&MinedPattern> = mined
+            .iter()
+            .filter(|m| m.pattern.period() == 3 && m.pattern.cardinality() == 3)
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].pattern.render(&alpha), "abc");
+        assert!((full[0].support.support - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn max_positions_caps_pattern_growth() {
+        let alpha = Alphabet::latin(3).expect("ok");
+        let s = SymbolSeries::parse(&"abc".repeat(30), &alpha).expect("ok");
+        let detection = detect(&s, 1.0);
+        let config = PatternMinerConfig {
+            min_support: 1.0,
+            max_positions: Some(2),
+            mode: PatternMode::EnumerateAll,
+            ..Default::default()
+        };
+        let mined = mine_patterns(&s, &detection, &config).expect("ok");
+        assert!(mined.iter().all(|m| m.pattern.cardinality() <= 2));
+        assert!(mined.iter().any(|m| m.pattern.cardinality() == 2));
+    }
+
+    #[test]
+    fn dont_care_pattern_has_zero_support_and_is_never_mined() {
+        let s = paper_series();
+        let star = Pattern::new(3, &[]).expect("ok");
+        assert!(star.is_dont_care());
+        assert_eq!(pattern_support(&s, &star).support, 0.0);
+        let detection = detect(&s, 0.5);
+        let mined = mine_patterns(&s, &detection, &PatternMinerConfig::default()).expect("ok");
+        assert!(mined.iter().all(|m| !m.pattern.is_dont_care()));
+    }
+
+    #[test]
+    fn cartesian_cap_guards_explosion() {
+        let alpha = Alphabet::latin(4).expect("ok");
+        let s = SymbolSeries::parse(&"abcd".repeat(50), &alpha).expect("ok");
+        let detection = detect(&s, 0.9);
+        // Period 4k has many fixed positions; a tiny cap must trip.
+        let biggest = *detection.detected_periods().last().expect("some");
+        assert!(matches!(
+            cartesian_candidates(&detection, biggest, 2),
+            Err(MiningError::CandidateExplosion { .. })
+        ));
+    }
+
+    #[test]
+    fn support_counts_are_anti_monotone() {
+        let alpha = Alphabet::latin(3).expect("ok");
+        let s = SymbolSeries::parse(&"abcabbabcb".repeat(5), &alpha).expect("ok");
+        let a = alpha.lookup("a").expect("ok");
+        let b = alpha.lookup("b").expect("ok");
+        let sub = Pattern::single(5, 0, a).expect("ok");
+        let sup = Pattern::new(5, &[(0, a), (3, b)]).expect("ok");
+        assert!(pattern_support(&s, &sup).count <= pattern_support(&s, &sub).count);
+    }
+}

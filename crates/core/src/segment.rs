@@ -1,0 +1,389 @@
+//! Segment-frequency pattern mining (Han et al.'s max-subpattern hit set).
+//!
+//! The partial-periodic-pattern literature the paper builds on (\[11, 12\])
+//! scores a pattern by how many *segments* it occurs in — pattern `P`
+//! occurs in segment `i` when `t_{ip+l} = s` for every fixed `(l, s)` —
+//! rather than by the paper's *consecutive-pair* recurrence (Defs. 1-3).
+//! The two semantics answer different questions: segment frequency asks
+//! "how often does this shape appear?", consecutive pairs ask "how reliably
+//! does it repeat back-to-back?" (a pattern present in alternating segments
+//! scores 1/2 under the former and 0 under the latter).
+//!
+//! This module implements the classic two-pass **max-subpattern tree**
+//! algorithm for the segment semantics, so the two notions can be compared
+//! on the same series (see the equivalence notes in the tests):
+//!
+//! 1. pass 1 counts single-position frequencies and forms the candidate max
+//!    pattern (every frequent `(l, s)` choice);
+//! 2. pass 2 maps each segment to its *maximal subpattern* (frequent
+//!    symbols it actually matches) and accumulates hit counts;
+//! 3. any pattern's segment count is the sum of hits over maximal
+//!    subpatterns containing it — no further data passes.
+
+use std::collections::HashMap;
+
+use periodica_series::{SymbolId, SymbolSeries};
+
+use crate::error::{MiningError, Result};
+use crate::pattern::Pattern;
+
+/// Tolerance for frequency/threshold comparisons.
+const EPS: f64 = 1e-12;
+
+/// The two-pass max-subpattern hit-set structure for one period.
+///
+/// ```
+/// use periodica_core::{MaxSubpatternTree, Pattern};
+/// use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+///
+/// // "abc" in two out of every three segments.
+/// let alphabet = Alphabet::latin(3)?;
+/// let series = SymbolSeries::parse(&"abcabcbca".repeat(10), &alphabet)?;
+/// let tree = MaxSubpatternTree::build(&series, 3, 0.5)?;
+/// let abc = Pattern::new(3, &[(0, SymbolId(0)), (1, SymbolId(1)), (2, SymbolId(2))])?;
+/// // Segment semantics: the fraction of segments that read "abc".
+/// assert!((tree.frequency(&abc)? - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct MaxSubpatternTree {
+    period: usize,
+    /// Number of complete segments `floor(n / p)`.
+    segments: usize,
+    /// Minimum segment count for "frequent".
+    min_count: usize,
+    /// Frequent symbols per position (pass 1), each ascending.
+    frequent1: Vec<Vec<SymbolId>>,
+    /// Hit count per distinct maximal subpattern (pass 2). Keyed by the
+    /// slot vector; at most `segments` distinct keys.
+    hits: HashMap<Vec<Option<SymbolId>>, u32>,
+}
+
+impl MaxSubpatternTree {
+    /// Builds the structure over complete segments of `series`, with the
+    /// frequency threshold `min_frequency` in `(0, 1]`.
+    pub fn build(series: &SymbolSeries, period: usize, min_frequency: f64) -> Result<Self> {
+        if period == 0 {
+            return Err(MiningError::InvalidPattern(
+                "period must be positive".into(),
+            ));
+        }
+        if !(min_frequency > 0.0 && min_frequency <= 1.0) || min_frequency.is_nan() {
+            return Err(MiningError::InvalidThreshold(min_frequency));
+        }
+        let segments = series.len() / period;
+        let min_count = ((min_frequency * segments as f64) - EPS).ceil().max(1.0) as usize;
+        let sigma = series.sigma();
+        let data = series.symbols();
+
+        // Pass 1: per-position symbol counts over complete segments.
+        let mut counts = vec![vec![0u32; sigma]; period];
+        for i in 0..segments {
+            for (l, row) in counts.iter_mut().enumerate() {
+                row[data[i * period + l].index()] += 1;
+            }
+        }
+        let frequent1: Vec<Vec<SymbolId>> = counts
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c as usize >= min_count)
+                    .map(|(k, _)| SymbolId::from_index(k))
+                    .collect()
+            })
+            .collect();
+
+        // Pass 2: maximal subpattern per segment -> hit counts.
+        let mut hits: HashMap<Vec<Option<SymbolId>>, u32> = HashMap::new();
+        for i in 0..segments {
+            let key: Vec<Option<SymbolId>> = (0..period)
+                .map(|l| {
+                    let s = data[i * period + l];
+                    frequent1[l].contains(&s).then_some(s)
+                })
+                .collect();
+            *hits.entry(key).or_insert(0) += 1;
+        }
+
+        Ok(MaxSubpatternTree {
+            period,
+            segments,
+            min_count,
+            frequent1,
+            hits,
+        })
+    }
+
+    /// The period this tree covers.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Number of complete segments counted.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// The frequency threshold as a segment count.
+    pub fn min_count(&self) -> usize {
+        self.min_count
+    }
+
+    /// Frequent symbols at one position (the candidate max pattern allows
+    /// any one of them, or `*`).
+    pub fn frequent_symbols(&self, position: usize) -> &[SymbolId] {
+        &self.frequent1[position]
+    }
+
+    /// Number of distinct maximal subpatterns stored.
+    pub fn node_count(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// Segment count of an arbitrary pattern: the sum of hits over maximal
+    /// subpatterns containing it. O(nodes * cardinality) — no data pass.
+    pub fn count(&self, pattern: &Pattern) -> Result<u32> {
+        if pattern.period() != self.period {
+            return Err(MiningError::InvalidPattern(format!(
+                "pattern period {} does not match tree period {}",
+                pattern.period(),
+                self.period
+            )));
+        }
+        let fixed: Vec<(usize, SymbolId)> = pattern.fixed().collect();
+        Ok(self
+            .hits
+            .iter()
+            .filter(|(key, _)| fixed.iter().all(|&(l, s)| key[l] == Some(s)))
+            .map(|(_, &c)| c)
+            .sum())
+    }
+
+    /// Segment frequency of a pattern in `[0, 1]`.
+    pub fn frequency(&self, pattern: &Pattern) -> Result<f64> {
+        if self.segments == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.count(pattern)? as f64 / self.segments as f64)
+    }
+
+    /// Enumerates the frequent patterns level-wise (Apriori over the
+    /// candidate max pattern's choices), counting through the tree only.
+    /// Guarded by `cap` on the number of emitted patterns.
+    pub fn frequent_patterns(&self, cap: usize) -> Result<Vec<(Pattern, u32)>> {
+        let mut out: Vec<(Pattern, u32)> = Vec::new();
+        // Level 1.
+        let mut frontier: Vec<Vec<(usize, SymbolId)>> = Vec::new();
+        for (l, syms) in self.frequent1.iter().enumerate() {
+            for &s in syms {
+                let items = vec![(l, s)];
+                let pattern = Pattern::new(self.period, &items)?;
+                let count = self.count(&pattern)?;
+                if count as usize >= self.min_count {
+                    self.emit(&mut out, pattern, count, cap)?;
+                    frontier.push(items);
+                }
+            }
+        }
+        frontier.sort();
+
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for i in 0..frontier.len() {
+                for j in i + 1..frontier.len() {
+                    let (a, b) = (&frontier[i], &frontier[j]);
+                    if a[..a.len() - 1] != b[..b.len() - 1] {
+                        break;
+                    }
+                    let last = b[b.len() - 1];
+                    if a[a.len() - 1].0 == last.0 {
+                        continue; // one symbol per position
+                    }
+                    let mut cand = a.clone();
+                    cand.push(last);
+                    let pattern = Pattern::new(self.period, &cand)?;
+                    let count = self.count(&pattern)?;
+                    if count as usize >= self.min_count {
+                        self.emit(&mut out, pattern, count, cap)?;
+                        next.push(cand);
+                    }
+                }
+            }
+            next.sort();
+            next.dedup();
+            frontier = next;
+        }
+        Ok(out)
+    }
+
+    fn emit(
+        &self,
+        out: &mut Vec<(Pattern, u32)>,
+        pattern: Pattern,
+        count: u32,
+        cap: usize,
+    ) -> Result<()> {
+        if out.len() >= cap {
+            return Err(MiningError::CandidateExplosion {
+                candidates: out.len() + 1,
+                cap,
+            });
+        }
+        out.push((pattern, count));
+        Ok(())
+    }
+}
+
+/// Brute-force segment count (the oracle for [`MaxSubpatternTree::count`]).
+pub fn segment_count_naive(series: &SymbolSeries, pattern: &Pattern) -> u32 {
+    let p = pattern.period();
+    let segments = series.len() / p;
+    let data = series.symbols();
+    (0..segments)
+        .filter(|&i| pattern.fixed().all(|(l, s)| data[i * p + l] == s))
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::noise::NoiseSpec;
+    use periodica_series::Alphabet;
+
+    fn series(text: &str, sigma: usize) -> SymbolSeries {
+        let a = Alphabet::latin(sigma).expect("alphabet");
+        SymbolSeries::parse(text, &a).expect("series")
+    }
+
+    #[test]
+    fn tree_counts_match_brute_force() {
+        let s = series(&"abcabbabcb".repeat(10), 3);
+        for period in [3usize, 4, 5] {
+            // A threshold low enough that min_count = 1: every present
+            // symbol is frequent, so tree counts are exact for *all*
+            // patterns (with higher thresholds, patterns touching
+            // infrequent items are outside the candidate space by design).
+            let tree = MaxSubpatternTree::build(&s, period, 1e-9).expect("build");
+            // Every 1- and 2-position pattern over the alphabet.
+            for l1 in 0..period {
+                for k1 in 0..3usize {
+                    let p1 =
+                        Pattern::single(period, l1, SymbolId::from_index(k1)).expect("pattern");
+                    assert_eq!(
+                        tree.count(&p1).expect("count"),
+                        segment_count_naive(&s, &p1),
+                        "period {period} single ({l1},{k1})"
+                    );
+                    for l2 in 0..period {
+                        if l2 == l1 {
+                            continue;
+                        }
+                        for k2 in 0..3usize {
+                            let p2 = Pattern::new(
+                                period,
+                                &[
+                                    (l1, SymbolId::from_index(k1)),
+                                    (l2, SymbolId::from_index(k2)),
+                                ],
+                            )
+                            .expect("pattern");
+                            assert_eq!(
+                                tree.count(&p2).expect("count"),
+                                segment_count_naive(&s, &p2),
+                                "period {period} pair"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn note_on_counting_versus_the_tree() {
+        // Patterns fixing a symbol *not* frequent at that position still
+        // count correctly: they can only occur in segments whose maximal
+        // subpattern would have recorded the symbol had it been frequent —
+        // i.e. their count through the tree is 0, and brute force agrees
+        // only when the true count is below the threshold floor. Verify the
+        // contract on a case where an infrequent symbol does appear.
+        let s = series("abcabcabcxbc".replace('x', "c").as_str(), 3);
+        let tree = MaxSubpatternTree::build(&s, 3, 0.9).expect("build");
+        // 'c' at position 0 occurs once in 4 segments: infrequent at 0.9.
+        let rare = Pattern::single(3, 0, SymbolId(2)).expect("pattern");
+        assert_eq!(segment_count_naive(&s, &rare), 1);
+        // The tree under-counts patterns built from infrequent items (they
+        // are outside the candidate space, as in Han's algorithm)…
+        assert_eq!(tree.count(&rare).expect("count"), 0);
+        // …which is sound for frequent-pattern output: 1 < min_count.
+        assert!((tree.min_count() as u32) > 1);
+    }
+
+    #[test]
+    fn perfect_series_has_one_maximal_node() {
+        let s = series(&"abc".repeat(50), 3);
+        let tree = MaxSubpatternTree::build(&s, 3, 1.0).expect("build");
+        assert_eq!(tree.segments(), 50);
+        assert_eq!(tree.node_count(), 1);
+        let full = Pattern::new(3, &[(0, SymbolId(0)), (1, SymbolId(1)), (2, SymbolId(2))])
+            .expect("pattern");
+        assert_eq!(tree.count(&full).expect("count"), 50);
+        assert_eq!(tree.frequency(&full).expect("freq"), 1.0);
+    }
+
+    #[test]
+    fn frequent_pattern_enumeration_matches_thresholds() {
+        let base = series(&"abcab".repeat(40), 3);
+        let s = NoiseSpec::replacement(0.2).expect("spec").apply(&base, 5);
+        let tree = MaxSubpatternTree::build(&s, 5, 0.5).expect("build");
+        let frequent = tree.frequent_patterns(10_000).expect("enumerate");
+        assert!(!frequent.is_empty());
+        for (pattern, count) in &frequent {
+            assert_eq!(*count, segment_count_naive(&s, pattern), "{pattern:?}");
+            assert!(*count as usize >= tree.min_count());
+        }
+        // Completeness at level 1: every frequent single appears.
+        for l in 0..5 {
+            for &sym in tree.frequent_symbols(l) {
+                let single = Pattern::single(5, l, sym).expect("pattern");
+                assert!(
+                    frequent.iter().any(|(p, _)| *p == single),
+                    "missing frequent single at ({l}, {sym})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_and_pair_semantics_genuinely_differ() {
+        // A pattern present in *alternating* segments: abcxyz abcxyz ... ->
+        // replace odd segments' position 0 so "a**" holds in half the
+        // segments but never twice in a row at period 6… Construct
+        // directly: segments alternate between "abc" and "bbc" at period 3.
+        let s = series(&"abcbbc".repeat(30), 3);
+        let a = SymbolId(0);
+        let pattern = Pattern::single(3, 0, a).expect("pattern");
+        let tree = MaxSubpatternTree::build(&s, 3, 0.3).expect("build");
+        // Segment semantics: half the segments contain it.
+        assert!((tree.frequency(&pattern).expect("freq") - 0.5).abs() < 1e-12);
+        // Pair semantics (the paper's): never in consecutive segments.
+        assert_eq!(s.f2_projected(a, 3, 0), 0);
+    }
+
+    #[test]
+    fn invalid_configurations_error() {
+        let s = series("abcabc", 3);
+        assert!(MaxSubpatternTree::build(&s, 0, 0.5).is_err());
+        assert!(MaxSubpatternTree::build(&s, 3, 0.0).is_err());
+        assert!(MaxSubpatternTree::build(&s, 3, 1.5).is_err());
+        let tree = MaxSubpatternTree::build(&s, 3, 0.5).expect("build");
+        let wrong_period = Pattern::single(4, 0, SymbolId(0)).expect("pattern");
+        assert!(tree.count(&wrong_period).is_err());
+        // Enumeration cap.
+        assert!(matches!(
+            tree.frequent_patterns(0),
+            Err(MiningError::CandidateExplosion { .. })
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! One-pass streaming ingestion.
+//!
+//! The paper's algorithm "scans the time series once to convert it into a
+//! binary vector according to the proposed mapping" and then works on that
+//! encoding alone. [`OneTouchMiner`] is that contract as an API: symbols are
+//! pushed exactly once — from an iterator, a reader, or element-wise — and
+//! mining runs on the accumulated encoding at `finish()`. Nothing ever
+//! re-reads the source.
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use periodica_series::io::SymbolStream;
+use periodica_series::{Alphabet, SeriesBuilder, SymbolId};
+
+use crate::error::Result;
+use crate::miner::{MiningReport, ObscureMiner};
+
+/// Single-pass miner: push symbols once, then [`OneTouchMiner::finish`].
+#[derive(Debug)]
+pub struct OneTouchMiner {
+    builder: SeriesBuilder,
+    miner: ObscureMiner,
+}
+
+impl OneTouchMiner {
+    /// Creates a streaming miner over `alphabet` with the given miner
+    /// configuration.
+    pub fn new(alphabet: Arc<Alphabet>, miner: ObscureMiner) -> Self {
+        OneTouchMiner {
+            builder: SeriesBuilder::new(alphabet),
+            miner,
+        }
+    }
+
+    /// Symbols consumed so far.
+    pub fn len(&self) -> usize {
+        self.builder.len()
+    }
+
+    /// Whether nothing has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.builder.is_empty()
+    }
+
+    /// Consumes one symbol.
+    pub fn push(&mut self, symbol: SymbolId) -> Result<()> {
+        self.builder.push(symbol)?;
+        Ok(())
+    }
+
+    /// Consumes one symbol by name.
+    pub fn push_name(&mut self, name: &str) -> Result<()> {
+        self.builder.push_name(name)?;
+        Ok(())
+    }
+
+    /// Consumes a whole iterator of symbols.
+    pub fn extend<I: IntoIterator<Item = SymbolId>>(&mut self, iter: I) -> Result<()> {
+        for s in iter {
+            self.push(s)?;
+        }
+        Ok(())
+    }
+
+    /// Finishes the stream and mines the accumulated series.
+    pub fn finish(self) -> Result<MiningReport> {
+        let series = self.builder.finish();
+        self.miner.mine(&series)
+    }
+}
+
+/// Mines a character-per-symbol text stream in one pass over the reader.
+pub fn mine_reader<R: BufRead>(
+    reader: R,
+    alphabet: Arc<Alphabet>,
+    miner: ObscureMiner,
+) -> Result<MiningReport> {
+    let mut touch = OneTouchMiner::new(Arc::clone(&alphabet), miner);
+    for symbol in SymbolStream::new(reader, alphabet) {
+        touch.push(symbol?)?;
+    }
+    touch.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::SymbolSeries;
+    use std::io::Cursor;
+
+    fn miner(threshold: f64) -> ObscureMiner {
+        ObscureMiner::builder().threshold(threshold).build()
+    }
+
+    #[test]
+    fn streaming_equals_batch_mining() {
+        let alphabet = Alphabet::latin(3).expect("ok");
+        let text = "abcabbabcb".repeat(10);
+        let series = SymbolSeries::parse(&text, &alphabet).expect("ok");
+        let batch = miner(0.6).mine(&series).expect("ok");
+
+        let mut touch = OneTouchMiner::new(alphabet.clone(), miner(0.6));
+        for &s in series.symbols() {
+            touch.push(s).expect("ok");
+        }
+        assert_eq!(touch.len(), text.len());
+        let streamed = touch.finish().expect("ok");
+        assert_eq!(
+            streamed.detection.periodicities,
+            batch.detection.periodicities
+        );
+        assert_eq!(streamed.patterns, batch.patterns);
+    }
+
+    #[test]
+    fn reader_path_equals_batch() {
+        let alphabet = Alphabet::latin(3).expect("ok");
+        let text = "abcabc\nabcabb\nabcabc\n".repeat(5);
+        let flat: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+        let series = SymbolSeries::parse(&flat, &alphabet).expect("ok");
+        let batch = miner(0.5).mine(&series).expect("ok");
+        let streamed = mine_reader(Cursor::new(text), alphabet, miner(0.5)).expect("ok");
+        assert_eq!(
+            streamed.detection.periodicities,
+            batch.detection.periodicities
+        );
+    }
+
+    #[test]
+    fn push_name_and_extend_work() {
+        let alphabet = Alphabet::latin(2).expect("ok");
+        let mut touch = OneTouchMiner::new(alphabet.clone(), miner(0.5));
+        assert!(touch.is_empty());
+        touch.push_name("a").expect("ok");
+        touch
+            .extend(vec![SymbolId(1), SymbolId(0), SymbolId(1)])
+            .expect("ok");
+        assert_eq!(touch.len(), 4);
+        assert!(touch.push_name("z").is_err());
+        assert!(touch.push(SymbolId(9)).is_err());
+        let report = touch.finish().expect("ok");
+        assert_eq!(report.detection.series_len, 4);
+    }
+
+    #[test]
+    fn reader_surfaces_parse_errors() {
+        let alphabet = Alphabet::latin(2).expect("ok");
+        assert!(mine_reader(Cursor::new("abxy"), alphabet, miner(0.5)).is_err());
+    }
+}

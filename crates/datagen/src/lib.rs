@@ -1,0 +1,63 @@
+//! # periodica-datagen
+//!
+//! Surrogate generators for the paper's evaluation data. The original real
+//! datasets (Wal-Mart's 70 GB NCR Teradata sales database and the CIMEG
+//! power-consumption database) are proprietary and unavailable; these
+//! generators reproduce the *structure the paper's findings rest on* —
+//! daily/weekly cycles, level semantics, daylight-saving artifacts — so
+//! every real-data table can be regenerated in shape. Each substitution is
+//! documented in its module and in DESIGN.md.
+//!
+//! * [`retail`] — hourly store transactions, five levels, periods 24 / 168
+//!   / daylight-saving artifact (the paper's 3961);
+//! * [`power`] — daily household consumption, five levels, period 7 and
+//!   multiples;
+//! * [`eventlog`] — the intro's network event log with planted heartbeats;
+//! * [`sampling`] — Poisson / normal samplers shared by the generators.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod composite;
+pub mod eventlog;
+pub mod export;
+pub mod power;
+pub mod retail;
+pub mod sampling;
+
+pub use eventlog::{EventLogConfig, Heartbeat};
+pub use power::{power_alphabet, power_levels, PowerConfig};
+pub use retail::{retail_alphabet, RetailConfig, RetailLevels};
+
+#[cfg(test)]
+mod proptests {
+    use crate::retail::RetailLevels;
+    use crate::sampling::poisson;
+    use periodica_series::discretize::Discretizer;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn retail_levels_total_and_monotone(a in 0.0f64..5_000.0, b in 0.0f64..5_000.0) {
+            let d = RetailLevels;
+            prop_assert!(d.level(a) < d.levels());
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(d.level(lo) <= d.level(hi));
+        }
+
+        #[test]
+        fn poisson_is_deterministic_per_seed(lambda in 0.1f64..500.0, seed in 0u64..100) {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r2 = StdRng::seed_from_u64(seed);
+            prop_assert_eq!(poisson(lambda, &mut r1), poisson(lambda, &mut r2));
+        }
+
+        #[test]
+        fn power_values_scale_with_days(days in 1usize..200) {
+            let config = crate::power::PowerConfig { days, ..Default::default() };
+            prop_assert_eq!(config.generate_values().len(), days);
+        }
+    }
+}

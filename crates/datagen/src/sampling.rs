@@ -1,0 +1,69 @@
+//! Small samplers shared by the surrogate generators.
+
+use rand::Rng;
+
+/// Poisson sample via Knuth's product method for small means and a
+/// rounded-normal approximation for large ones.
+pub fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product = rng.random::<f64>();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.random::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation N(lambda, lambda), clamped at zero.
+        let z = standard_normal(rng);
+        let v = lambda + z * lambda.sqrt();
+        v.round().max(0.0) as u64
+    }
+}
+
+/// Standard normal variate (Box-Muller).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..n).map(|_| poisson(lambda, &mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn small_lambda_moments() {
+        let (mean, var) = moments(4.0, 40_000, 1);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn large_lambda_moments() {
+        let (mean, var) = moments(400.0, 20_000, 2);
+        assert!((mean - 400.0).abs() < 2.0, "mean {mean}");
+        assert!((var - 400.0).abs() < 25.0, "var {var}");
+    }
+
+    #[test]
+    fn zero_and_negative_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-5.0, &mut rng), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Time-bucket aggregation of raw measurements.
+//!
+//! Both of the paper's datasets are *aggregates* before discretization —
+//! "transactions per hour", "power consumption per day". This module turns
+//! raw event streams (timestamped unit events or sampled values) into
+//! fixed-width bucket series ready for a [`crate::discretize::Discretizer`].
+
+use crate::error::{Result, SeriesError};
+
+/// How values falling in one bucket combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Sum of values (e.g. transaction counts).
+    Sum,
+    /// Arithmetic mean (e.g. temperature).
+    Mean,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Number of values in the bucket (ignores magnitudes).
+    Count,
+}
+
+/// Aggregates `values[i]` sampled at consecutive instants into buckets of
+/// `width` samples. A trailing partial bucket is aggregated too.
+///
+/// ```
+/// use periodica_series::aggregate::{bucket_values, Aggregation};
+///
+/// // Per-minute counts -> hourly sums (the paper's "transactions per hour").
+/// let per_minute = vec![1.0; 150];
+/// let hourly = bucket_values(&per_minute, 60, Aggregation::Sum)?;
+/// assert_eq!(hourly, vec![60.0, 60.0, 30.0]);
+/// # Ok::<(), periodica_series::SeriesError>(())
+/// ```
+pub fn bucket_values(values: &[f64], width: usize, how: Aggregation) -> Result<Vec<f64>> {
+    if width == 0 {
+        return Err(SeriesError::InvalidGenerator(
+            "bucket width must be positive".into(),
+        ));
+    }
+    Ok(values
+        .chunks(width)
+        .map(|chunk| combine(chunk.iter().copied(), how))
+        .collect())
+}
+
+/// Aggregates timestamped events into buckets of `width` time units
+/// covering `[0, horizon)`: `out[b]` combines `value` for events with
+/// `floor(t / width) == b`. Buckets with no events yield the aggregation's
+/// identity (0 for Sum/Count/Mean, NaN-free minima/maxima of nothing are 0).
+pub fn bucket_events(events: &[(u64, f64)], width: u64, horizon: u64) -> Result<Vec<Vec<f64>>> {
+    if width == 0 {
+        return Err(SeriesError::InvalidGenerator(
+            "bucket width must be positive".into(),
+        ));
+    }
+    let buckets = horizon.div_ceil(width) as usize;
+    let mut out = vec![Vec::new(); buckets];
+    for &(t, v) in events {
+        if t >= horizon {
+            return Err(SeriesError::InvalidGenerator(format!(
+                "event at t={t} beyond horizon {horizon}"
+            )));
+        }
+        out[(t / width) as usize].push(v);
+    }
+    Ok(out)
+}
+
+/// Aggregates timestamped events directly into a numeric bucket series.
+pub fn bucket_event_series(
+    events: &[(u64, f64)],
+    width: u64,
+    horizon: u64,
+    how: Aggregation,
+) -> Result<Vec<f64>> {
+    Ok(bucket_events(events, width, horizon)?
+        .into_iter()
+        .map(|vs| combine(vs.into_iter(), how))
+        .collect())
+}
+
+fn combine(values: impl Iterator<Item = f64>, how: Aggregation) -> f64 {
+    let mut count = 0usize;
+    let mut sum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        count += 1;
+        sum += v;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    match how {
+        Aggregation::Sum => sum,
+        Aggregation::Count => count as f64,
+        Aggregation::Mean => {
+            if count == 0 {
+                0.0
+            } else {
+                sum / count as f64
+            }
+        }
+        Aggregation::Max => {
+            if count == 0 {
+                0.0
+            } else {
+                max
+            }
+        }
+        Aggregation::Min => {
+            if count == 0 {
+                0.0
+            } else {
+                min
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_buckets_cover_all_aggregations() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(
+            bucket_values(&v, 2, Aggregation::Sum).expect("ok"),
+            vec![3.0, 7.0, 5.0]
+        );
+        assert_eq!(
+            bucket_values(&v, 2, Aggregation::Mean).expect("ok"),
+            vec![1.5, 3.5, 5.0]
+        );
+        assert_eq!(
+            bucket_values(&v, 2, Aggregation::Max).expect("ok"),
+            vec![2.0, 4.0, 5.0]
+        );
+        assert_eq!(
+            bucket_values(&v, 2, Aggregation::Min).expect("ok"),
+            vec![1.0, 3.0, 5.0]
+        );
+        assert_eq!(
+            bucket_values(&v, 2, Aggregation::Count).expect("ok"),
+            vec![2.0, 2.0, 1.0]
+        );
+        assert!(bucket_values(&v, 0, Aggregation::Sum).is_err());
+    }
+
+    #[test]
+    fn event_buckets_build_hourly_counts() {
+        // Events at "minutes"; hourly (width 60) transaction counts.
+        let events: Vec<(u64, f64)> = vec![(0, 1.0), (59, 1.0), (60, 1.0), (150, 1.0), (179, 1.0)];
+        let counts = bucket_event_series(&events, 60, 240, Aggregation::Count).expect("ok");
+        assert_eq!(counts, vec![2.0, 1.0, 2.0, 0.0]);
+        let sums = bucket_event_series(&events, 60, 240, Aggregation::Sum).expect("ok");
+        assert_eq!(sums, counts); // unit values
+    }
+
+    #[test]
+    fn events_beyond_horizon_are_rejected() {
+        assert!(bucket_events(&[(100, 1.0)], 10, 100).is_err());
+        assert!(bucket_events(&[], 0, 100).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert!(bucket_values(&[], 4, Aggregation::Sum)
+            .expect("ok")
+            .is_empty());
+        let empty = bucket_event_series(&[], 10, 50, Aggregation::Mean).expect("ok");
+        assert_eq!(empty, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn pipeline_to_discretized_series() {
+        use crate::discretize::{Breakpoints, Discretizer};
+        use crate::Alphabet;
+        // Raw per-minute sales -> hourly sums -> paper levels.
+        let per_minute: Vec<f64> = (0..240).map(|i| if i < 120 { 0.0 } else { 5.0 }).collect();
+        let hourly = bucket_values(&per_minute, 60, Aggregation::Sum).expect("ok");
+        assert_eq!(hourly, vec![0.0, 0.0, 300.0, 300.0]);
+        let alphabet = Alphabet::latin(5).expect("ok");
+        let levels = Breakpoints::new(vec![1.0, 200.0, 400.0, 600.0]).expect("ok");
+        let series = levels.discretize(&hourly, &alphabet).expect("ok");
+        assert_eq!(series.to_text().expect("txt"), "aacc");
+    }
+}

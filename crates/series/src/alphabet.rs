@@ -1,0 +1,188 @@
+//! Interned symbol alphabets.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Result, SeriesError};
+use crate::symbol::SymbolId;
+
+/// A finite, ordered set of named symbols.
+///
+/// The order fixes the paper's "arbitrary ordering `s_0, s_1, ..`" (step 1 of
+/// the algorithm in Fig. 2): symbol `k` maps to the binary code of `2^k`.
+/// Alphabets are immutable once built and cheaply shared via [`Arc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl Alphabet {
+    /// Builds an alphabet from symbol names in order.
+    pub fn from_symbols<I, S>(symbols: I) -> Result<Arc<Self>>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut names = Vec::new();
+        let mut by_name = HashMap::new();
+        for s in symbols {
+            let name: String = s.into();
+            let id = SymbolId::from_index(names.len());
+            if by_name.insert(name.clone(), id).is_some() {
+                return Err(SeriesError::DuplicateSymbol(name));
+            }
+            names.push(name);
+        }
+        if names.is_empty() {
+            return Err(SeriesError::EmptyAlphabet);
+        }
+        Ok(Arc::new(Alphabet { names, by_name }))
+    }
+
+    /// The alphabet `a, b, c, ...` of `size` single-letter symbols
+    /// (at most 26), matching the paper's examples and its five
+    /// discretization levels `a..e`.
+    pub fn latin(size: usize) -> Result<Arc<Self>> {
+        if size == 0 || size > 26 {
+            return Err(SeriesError::InvalidGenerator(format!(
+                "latin alphabet size must be 1..=26, got {size}"
+            )));
+        }
+        Self::from_symbols((0..size).map(|i| ((b'a' + i as u8) as char).to_string()))
+    }
+
+    /// Infers a single-character alphabet from text: the distinct
+    /// non-whitespace characters, in sorted order (so the mapping is
+    /// deterministic regardless of first-appearance order).
+    pub fn infer_from_text(text: &str) -> Result<Arc<Self>> {
+        let mut chars: Vec<char> = text.chars().filter(|c| !c.is_whitespace()).collect();
+        chars.sort_unstable();
+        chars.dedup();
+        Self::from_symbols(chars.into_iter().map(|c| c.to_string()))
+    }
+
+    /// Number of symbols (the paper's `sigma`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a symbol.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks a symbol up by name.
+    pub fn lookup(&self, name: &str) -> Result<SymbolId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| SeriesError::UnknownSymbol(name.to_string()))
+    }
+
+    /// Looks a single-character symbol up.
+    pub fn lookup_char(&self, c: char) -> Result<SymbolId> {
+        let mut buf = [0u8; 4];
+        self.lookup(c.encode_utf8(&mut buf))
+    }
+
+    /// Iterates over `(id, name)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymbolId::from_index(i), n.as_str()))
+    }
+
+    /// All symbol ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        (0..self.len()).map(SymbolId::from_index)
+    }
+
+    /// Validates that `id` belongs to this alphabet.
+    pub fn check(&self, id: SymbolId) -> Result<()> {
+        if id.index() < self.len() {
+            Ok(())
+        } else {
+            Err(SeriesError::SymbolOutOfRange {
+                index: id.index(),
+                alphabet: self.len(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_interning() {
+        let a = Alphabet::from_symbols(["low", "mid", "high"]).expect("ok");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.lookup("mid").expect("ok"), SymbolId(1));
+        assert_eq!(a.name(SymbolId(2)), "high");
+        assert_eq!(a.to_string(), "{low, mid, high}");
+    }
+
+    #[test]
+    fn latin_alphabet_matches_paper_levels() {
+        let a = Alphabet::latin(5).expect("ok");
+        assert_eq!(a.name(SymbolId(0)), "a");
+        assert_eq!(a.name(SymbolId(4)), "e");
+        assert_eq!(a.lookup_char('c').expect("ok"), SymbolId(2));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert!(matches!(
+            Alphabet::from_symbols(["a", "a"]),
+            Err(SeriesError::DuplicateSymbol(_))
+        ));
+        assert!(matches!(
+            Alphabet::from_symbols(Vec::<String>::new()),
+            Err(SeriesError::EmptyAlphabet)
+        ));
+        assert!(Alphabet::latin(0).is_err());
+        assert!(Alphabet::latin(27).is_err());
+    }
+
+    #[test]
+    fn unknown_lookups_fail() {
+        let a = Alphabet::latin(3).expect("ok");
+        assert!(a.lookup("z").is_err());
+        assert!(a.lookup_char('q').is_err());
+        assert!(a.check(SymbolId(3)).is_err());
+        assert!(a.check(SymbolId(2)).is_ok());
+    }
+
+    #[test]
+    fn inference_is_sorted_and_deterministic() {
+        let a = Alphabet::infer_from_text("cab\ncba b").expect("ok");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.name(SymbolId(0)), "a");
+        assert_eq!(a.name(SymbolId(2)), "c");
+        assert!(Alphabet::infer_from_text("  \n ").is_err());
+    }
+
+    #[test]
+    fn iteration_is_in_order() {
+        let a = Alphabet::latin(4).expect("ok");
+        let names: Vec<&str> = a.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+        let ids: Vec<usize> = a.ids().map(|i| i.index()).collect();
+        assert_eq!(ids, [0, 1, 2, 3]);
+    }
+}

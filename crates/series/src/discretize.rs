@@ -1,0 +1,396 @@
+//! Discretization of numeric feature values into symbol levels.
+//!
+//! The paper discretizes both real datasets into five nominal levels
+//! (very-low .. very-high) before mining; it treats the choice of
+//! discretizer as orthogonal to the algorithm. This module provides the
+//! schemes its experiments rely on plus the common equal-frequency and
+//! Gaussian (SAX-style) alternatives.
+
+use std::sync::Arc;
+
+use crate::alphabet::Alphabet;
+use crate::error::{Result, SeriesError};
+use crate::series::SymbolSeries;
+use crate::symbol::SymbolId;
+
+/// Maps a numeric value to a level index in `0..levels()`.
+pub trait Discretizer {
+    /// Number of output levels.
+    fn levels(&self) -> usize;
+    /// Level of a single value.
+    fn level(&self, value: f64) -> usize;
+
+    /// Discretizes a whole value sequence into a series over `alphabet`
+    /// (which must have at least `levels()` symbols).
+    fn discretize(&self, values: &[f64], alphabet: &Arc<Alphabet>) -> Result<SymbolSeries>
+    where
+        Self: Sized,
+    {
+        if alphabet.len() < self.levels() {
+            return Err(SeriesError::InvalidDiscretizer(format!(
+                "alphabet of size {} cannot hold {} levels",
+                alphabet.len(),
+                self.levels()
+            )));
+        }
+        let ids = values
+            .iter()
+            .map(|&v| SymbolId::from_index(self.level(v)))
+            .collect();
+        SymbolSeries::from_ids(ids, Arc::clone(alphabet))
+    }
+}
+
+/// Explicit ascending breakpoints: value `v` gets the level of the first
+/// breakpoint it is *strictly below*; values `>=` the last breakpoint get the
+/// top level.
+///
+/// This is how both of the paper's datasets are specified — e.g. the power
+/// data's "very low is < 6000 Watts/day and each level has a 2000 Watt
+/// range" is `Breakpoints::new(vec![6000.0, 8000.0, 10000.0, 12000.0])`.
+///
+/// ```
+/// use periodica_series::discretize::{Breakpoints, Discretizer};
+/// use periodica_series::Alphabet;
+///
+/// let levels = Breakpoints::new(vec![6_000.0, 8_000.0, 10_000.0, 12_000.0])?;
+/// let alphabet = Alphabet::latin(5)?;
+/// let series = levels.discretize(&[5_500.0, 9_200.0, 13_000.0], &alphabet)?;
+/// assert_eq!(series.to_text().unwrap(), "ace");
+/// # Ok::<(), periodica_series::SeriesError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Breakpoints {
+    cuts: Vec<f64>,
+}
+
+impl Breakpoints {
+    /// Builds a breakpoint discretizer with `cuts.len() + 1` levels.
+    pub fn new(cuts: Vec<f64>) -> Result<Self> {
+        if cuts.is_empty() {
+            return Err(SeriesError::InvalidDiscretizer(
+                "need at least one cut".into(),
+            ));
+        }
+        // NaN-aware: `!(a < b)` is true for unordered pairs too, which is
+        // exactly what we want to reject.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if cuts.windows(2).any(|w| !(w[0] < w[1])) {
+            return Err(SeriesError::InvalidDiscretizer(
+                "cuts must be strictly ascending".into(),
+            ));
+        }
+        if cuts.iter().any(|c| !c.is_finite()) {
+            return Err(SeriesError::InvalidDiscretizer(
+                "cuts must be finite".into(),
+            ));
+        }
+        Ok(Breakpoints { cuts })
+    }
+
+    /// The cut positions.
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+}
+
+impl Discretizer for Breakpoints {
+    fn levels(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    fn level(&self, value: f64) -> usize {
+        // Binary search for the first cut strictly greater than value.
+        self.cuts.partition_point(|&c| value >= c)
+    }
+}
+
+/// Equal-width bins over `[min, max]`.
+#[derive(Debug, Clone)]
+pub struct EqualWidth {
+    min: f64,
+    width: f64,
+    levels: usize,
+}
+
+impl EqualWidth {
+    /// Builds `levels` equal-width bins spanning `[min, max]`.
+    pub fn new(min: f64, max: f64, levels: usize) -> Result<Self> {
+        if levels == 0 {
+            return Err(SeriesError::InvalidDiscretizer(
+                "levels must be positive".into(),
+            ));
+        }
+        // NaN-aware rejection, as above.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(min < max) || !min.is_finite() || !max.is_finite() {
+            return Err(SeriesError::InvalidDiscretizer(format!(
+                "invalid range [{min}, {max}]"
+            )));
+        }
+        Ok(EqualWidth {
+            min,
+            width: (max - min) / levels as f64,
+            levels,
+        })
+    }
+}
+
+impl Discretizer for EqualWidth {
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn level(&self, value: f64) -> usize {
+        if value <= self.min {
+            return 0;
+        }
+        let idx = ((value - self.min) / self.width) as usize;
+        idx.min(self.levels - 1)
+    }
+}
+
+/// Equal-frequency (quantile) bins fitted to a sample.
+#[derive(Debug, Clone)]
+pub struct EqualFrequency {
+    inner: Breakpoints,
+}
+
+impl EqualFrequency {
+    /// Fits `levels` quantile bins to `sample`.
+    pub fn fit(sample: &[f64], levels: usize) -> Result<Self> {
+        if levels < 2 {
+            return Err(SeriesError::InvalidDiscretizer(
+                "need at least two levels".into(),
+            ));
+        }
+        if sample.len() < levels {
+            return Err(SeriesError::InvalidDiscretizer(format!(
+                "sample of {} values cannot support {} levels",
+                sample.len(),
+                levels
+            )));
+        }
+        let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.len() < levels {
+            return Err(SeriesError::InvalidDiscretizer(
+                "too few finite values".into(),
+            ));
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        if sorted[0] == sorted[sorted.len() - 1] {
+            return Err(SeriesError::InvalidDiscretizer(
+                "sample is constant; cannot form quantiles".into(),
+            ));
+        }
+        let mut cuts = Vec::with_capacity(levels - 1);
+        for k in 1..levels {
+            let idx = (k * sorted.len()) / levels;
+            let cut = sorted[idx.min(sorted.len() - 1)];
+            // Skip degenerate duplicate cuts caused by ties in the sample.
+            if cuts.last().is_none_or(|&last| cut > last) {
+                cuts.push(cut);
+            }
+        }
+        if cuts.is_empty() {
+            return Err(SeriesError::InvalidDiscretizer(
+                "sample is constant; cannot form quantiles".into(),
+            ));
+        }
+        Ok(EqualFrequency {
+            inner: Breakpoints::new(cuts)?,
+        })
+    }
+}
+
+impl Discretizer for EqualFrequency {
+    fn levels(&self) -> usize {
+        self.inner.levels()
+    }
+
+    fn level(&self, value: f64) -> usize {
+        self.inner.level(value)
+    }
+}
+
+/// Gaussian breakpoints (SAX-style): cuts at standard-normal quantiles,
+/// scaled by a fitted mean and standard deviation.
+#[derive(Debug, Clone)]
+pub struct GaussianBins {
+    inner: Breakpoints,
+}
+
+impl GaussianBins {
+    /// Fits `levels` equiprobable Gaussian bins to `sample`.
+    pub fn fit(sample: &[f64], levels: usize) -> Result<Self> {
+        if levels < 2 {
+            return Err(SeriesError::InvalidDiscretizer(
+                "need at least two levels".into(),
+            ));
+        }
+        if sample.is_empty() {
+            return Err(SeriesError::InvalidDiscretizer("empty sample".into()));
+        }
+        let n = sample.len() as f64;
+        let mean = sample.iter().sum::<f64>() / n;
+        let var = sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        if sd == 0.0 || !sd.is_finite() {
+            return Err(SeriesError::InvalidDiscretizer(
+                "sample has zero variance".into(),
+            ));
+        }
+        let cuts = (1..levels)
+            .map(|k| mean + sd * standard_normal_quantile(k as f64 / levels as f64))
+            .collect();
+        Ok(GaussianBins {
+            inner: Breakpoints::new(cuts)?,
+        })
+    }
+}
+
+impl Discretizer for GaussianBins {
+    fn levels(&self) -> usize {
+        self.inner.levels()
+    }
+
+    fn level(&self, value: f64) -> usize {
+        self.inner.level(value)
+    }
+}
+
+/// Acklam's rational approximation to the standard normal quantile,
+/// accurate to ~1e-9 over (0, 1).
+pub fn standard_normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -standard_normal_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakpoints_follow_paper_power_levels() {
+        // very low < 6000, then 2000-wide levels.
+        let d = Breakpoints::new(vec![6000.0, 8000.0, 10000.0, 12000.0]).expect("ok");
+        assert_eq!(d.levels(), 5);
+        assert_eq!(d.level(100.0), 0);
+        assert_eq!(d.level(5999.9), 0);
+        assert_eq!(d.level(6000.0), 1);
+        assert_eq!(d.level(7999.0), 1);
+        assert_eq!(d.level(9999.0), 2);
+        assert_eq!(d.level(11000.0), 3);
+        assert_eq!(d.level(50000.0), 4);
+    }
+
+    #[test]
+    fn breakpoints_validate() {
+        assert!(Breakpoints::new(vec![]).is_err());
+        assert!(Breakpoints::new(vec![2.0, 1.0]).is_err());
+        assert!(Breakpoints::new(vec![1.0, 1.0]).is_err());
+        assert!(Breakpoints::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn equal_width_covers_range() {
+        let d = EqualWidth::new(0.0, 10.0, 5).expect("ok");
+        assert_eq!(d.level(-1.0), 0);
+        assert_eq!(d.level(0.0), 0);
+        assert_eq!(d.level(1.9), 0);
+        assert_eq!(d.level(2.0), 1);
+        assert_eq!(d.level(9.9), 4);
+        assert_eq!(d.level(10.0), 4);
+        assert_eq!(d.level(11.0), 4);
+        assert!(EqualWidth::new(1.0, 1.0, 5).is_err());
+        assert!(EqualWidth::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = EqualFrequency::fit(&sample, 4).expect("ok");
+        let mut counts = vec![0usize; d.levels()];
+        for &v in &sample {
+            counts[d.level(v)] += 1;
+        }
+        for c in counts {
+            assert!((20..=30).contains(&c), "bin count {c} not balanced");
+        }
+        assert!(EqualFrequency::fit(&[1.0, 1.0, 1.0, 1.0], 3).is_err());
+        assert!(EqualFrequency::fit(&[1.0], 3).is_err());
+    }
+
+    #[test]
+    fn gaussian_bins_are_centered() {
+        let sample: Vec<f64> = (0..1000).map(|i| ((i * 37) % 200) as f64).collect();
+        let d = GaussianBins::fit(&sample, 5).expect("ok");
+        assert_eq!(d.levels(), 5);
+        // Mean lands in the middle level.
+        let mean = sample.iter().sum::<f64>() / sample.len() as f64;
+        assert_eq!(d.level(mean), 2);
+        assert!(GaussianBins::fit(&[3.0, 3.0], 5).is_err());
+    }
+
+    #[test]
+    fn normal_quantile_sanity() {
+        assert!(standard_normal_quantile(0.5).abs() < 1e-9);
+        assert!((standard_normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((standard_normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        assert!(standard_normal_quantile(0.001) < -3.0);
+    }
+
+    #[test]
+    fn discretize_to_series() {
+        let a = Alphabet::latin(5).expect("ok");
+        let d = Breakpoints::new(vec![0.0, 200.0, 400.0, 600.0]).expect("ok");
+        let s = d
+            .discretize(&[0.0, 100.0, 450.0, 999.0, -5.0], &a)
+            .expect("ok");
+        assert_eq!(s.to_text().expect("txt"), "bbdea");
+        let small = Alphabet::latin(2).expect("ok");
+        assert!(d.discretize(&[1.0], &small).is_err());
+    }
+}

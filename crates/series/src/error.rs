@@ -1,0 +1,100 @@
+//! Error type for the series substrate.
+
+use std::fmt;
+
+/// Errors from alphabet construction, parsing, discretization, or I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesError {
+    /// An alphabet was built with no symbols.
+    EmptyAlphabet,
+    /// A symbol name appeared twice while building an alphabet.
+    DuplicateSymbol(String),
+    /// A name was looked up that the alphabet does not contain.
+    UnknownSymbol(String),
+    /// A symbol id referenced an index outside the alphabet.
+    SymbolOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Alphabet size.
+        alphabet: usize,
+    },
+    /// Parsing a textual series failed at a position.
+    Parse {
+        /// Zero-based position of the offending token.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Discretizer configuration is invalid (e.g. zero levels, bad bounds).
+    InvalidDiscretizer(String),
+    /// Noise ratio must lie in `[0, 1]`.
+    InvalidNoiseRatio(f64),
+    /// Generator configuration is invalid.
+    InvalidGenerator(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeriesError::EmptyAlphabet => {
+                write!(f, "alphabet must contain at least one symbol")
+            }
+            SeriesError::DuplicateSymbol(s) => write!(f, "duplicate symbol {s:?} in alphabet"),
+            SeriesError::UnknownSymbol(s) => write!(f, "symbol {s:?} is not in the alphabet"),
+            SeriesError::SymbolOutOfRange { index, alphabet } => {
+                write!(
+                    f,
+                    "symbol index {index} out of range for alphabet of size {alphabet}"
+                )
+            }
+            SeriesError::Parse { position, message } => {
+                write!(f, "parse error at position {position}: {message}")
+            }
+            SeriesError::InvalidDiscretizer(m) => write!(f, "invalid discretizer: {m}"),
+            SeriesError::InvalidNoiseRatio(r) => write!(f, "noise ratio {r} is outside [0, 1]"),
+            SeriesError::InvalidGenerator(m) => write!(f, "invalid generator: {m}"),
+            SeriesError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SeriesError {}
+
+impl From<std::io::Error> for SeriesError {
+    fn from(e: std::io::Error) -> Self {
+        SeriesError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SeriesError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_data() {
+        assert!(SeriesError::UnknownSymbol("zz".into())
+            .to_string()
+            .contains("zz"));
+        assert!(SeriesError::SymbolOutOfRange {
+            index: 9,
+            alphabet: 5
+        }
+        .to_string()
+        .contains('9'));
+        assert!(SeriesError::InvalidNoiseRatio(1.5)
+            .to_string()
+            .contains("1.5"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_message() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let e: SeriesError = io.into();
+        assert!(e.to_string().contains("missing file"));
+    }
+}

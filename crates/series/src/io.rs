@@ -1,0 +1,227 @@
+//! Series I/O: compact text format, numeric CSV, and a streaming
+//! one-pass reader.
+//!
+//! The streaming reader exists so the miner's one-pass claim extends to
+//! disk-resident data: symbols are decoded and consumed as they are read,
+//! never materializing the file twice.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use crate::alphabet::Alphabet;
+use crate::error::{Result, SeriesError};
+use crate::series::{SeriesBuilder, SymbolSeries};
+use crate::symbol::SymbolId;
+
+/// Writes a series as one character per symbol (requires single-character
+/// symbol names), with a trailing newline.
+pub fn write_text<W: Write>(series: &SymbolSeries, mut w: W) -> Result<()> {
+    let text = series.to_text().ok_or_else(|| {
+        SeriesError::Io("series alphabet has multi-character names; use write_ids".into())
+    })?;
+    w.write_all(text.as_bytes())?;
+    w.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Reads a one-character-per-symbol series, ignoring ASCII whitespace.
+pub fn read_text<R: BufRead>(mut r: R, alphabet: &Arc<Alphabet>) -> Result<SymbolSeries> {
+    let mut builder = SeriesBuilder::new(Arc::clone(alphabet));
+    let mut line = String::new();
+    let mut position = 0usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        for c in line.chars() {
+            if c.is_ascii_whitespace() {
+                continue;
+            }
+            let id = alphabet.lookup_char(c).map_err(|_| SeriesError::Parse {
+                position,
+                message: format!("character {c:?} is not in the alphabet"),
+            })?;
+            builder.push(id)?;
+            position += 1;
+        }
+    }
+    Ok(builder.finish())
+}
+
+/// Writes numeric values one per line.
+pub fn write_values<W: Write>(values: &[f64], mut w: W) -> Result<()> {
+    for v in values {
+        writeln!(w, "{v}")?;
+    }
+    Ok(())
+}
+
+/// Reads numeric values, one per line; for comma-separated lines the *last*
+/// field is taken (timestamp columns are common in exported measurements).
+pub fn read_values<R: BufRead>(r: R) -> Result<Vec<f64>> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let field = trimmed.rsplit(',').next().unwrap_or(trimmed).trim();
+        let v: f64 = field.parse().map_err(|_| SeriesError::Parse {
+            position: lineno,
+            message: format!("cannot parse {field:?} as a number"),
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// A streaming symbol decoder over a [`BufRead`], yielding one `SymbolId`
+/// per non-whitespace character in a single pass.
+#[derive(Debug)]
+pub struct SymbolStream<R: BufRead> {
+    reader: R,
+    alphabet: Arc<Alphabet>,
+    buf: Vec<u8>,
+    pos: usize,
+    consumed: usize,
+}
+
+impl<R: BufRead> SymbolStream<R> {
+    /// Wraps `reader` with the decoding alphabet.
+    pub fn new(reader: R, alphabet: Arc<Alphabet>) -> Self {
+        SymbolStream {
+            reader,
+            alphabet,
+            buf: Vec::new(),
+            pos: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Symbols yielded so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    fn refill(&mut self) -> std::io::Result<bool> {
+        self.buf.clear();
+        self.pos = 0;
+        let n = self.reader.read_until(b'\n', &mut self.buf)?;
+        Ok(n > 0)
+    }
+}
+
+impl<R: BufRead> Iterator for SymbolStream<R> {
+    type Item = Result<SymbolId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            while self.pos < self.buf.len() {
+                let byte = self.buf[self.pos];
+                self.pos += 1;
+                if byte.is_ascii_whitespace() {
+                    continue;
+                }
+                let c = byte as char;
+                let item = self
+                    .alphabet
+                    .lookup_char(c)
+                    .map_err(|_| SeriesError::Parse {
+                        position: self.consumed,
+                        message: format!("character {c:?} is not in the alphabet"),
+                    });
+                if item.is_ok() {
+                    self.consumed += 1;
+                }
+                return Some(item);
+            }
+            match self.refill() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => return Some(Err(e.into())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn text_round_trip() {
+        let a = Alphabet::latin(3).expect("ok");
+        let s = SymbolSeries::parse("abcabbabcb", &a).expect("ok");
+        let mut buf = Vec::new();
+        write_text(&s, &mut buf).expect("ok");
+        let back = read_text(Cursor::new(buf), &a).expect("ok");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn read_text_skips_whitespace_and_lines() {
+        let a = Alphabet::latin(2).expect("ok");
+        let s = read_text(Cursor::new("ab\n ba\nb b\n"), &a).expect("ok");
+        assert_eq!(s.to_text().expect("txt"), "abbabb");
+    }
+
+    #[test]
+    fn read_text_rejects_bad_symbols() {
+        let a = Alphabet::latin(2).expect("ok");
+        assert!(read_text(Cursor::new("abz"), &a).is_err());
+    }
+
+    #[test]
+    fn values_round_trip_and_csv_last_field() {
+        let vals = [1.5, -2.0, 3.25];
+        let mut buf = Vec::new();
+        write_values(&vals, &mut buf).expect("ok");
+        let back = read_values(Cursor::new(buf)).expect("ok");
+        assert_eq!(back, vals);
+
+        let csv = "# header\n2021-01-01,100.5\n2021-01-02,99\n\n";
+        let back = read_values(Cursor::new(csv)).expect("ok");
+        assert_eq!(back, vec![100.5, 99.0]);
+        assert!(read_values(Cursor::new("abc")).is_err());
+    }
+
+    #[test]
+    fn symbol_stream_is_single_pass_and_lazy() {
+        let a = Alphabet::latin(3).expect("ok");
+        let mut stream = SymbolStream::new(Cursor::new("ab\ncab"), a);
+        let ids: Vec<SymbolId> = stream.by_ref().collect::<Result<Vec<_>>>().expect("ok");
+        assert_eq!(
+            ids,
+            vec![
+                SymbolId(0),
+                SymbolId(1),
+                SymbolId(2),
+                SymbolId(0),
+                SymbolId(1)
+            ]
+        );
+        assert_eq!(stream.consumed(), 5);
+    }
+
+    #[test]
+    fn symbol_stream_surfaces_errors_with_position() {
+        let a = Alphabet::latin(2).expect("ok");
+        let mut stream = SymbolStream::new(Cursor::new("abx"), a);
+        assert!(stream.next().expect("some").is_ok());
+        assert!(stream.next().expect("some").is_ok());
+        match stream.next().expect("some") {
+            Err(SeriesError::Parse { position, .. }) => assert_eq!(position, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_text_rejects_multichar_names() {
+        let a = Alphabet::from_symbols(["low", "high"]).expect("ok");
+        let s = SymbolSeries::from_ids(vec![SymbolId(0)], a).expect("ok");
+        assert!(write_text(&s, Vec::new()).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! # periodica-series
+//!
+//! The symbol time-series substrate of the `periodica` workspace:
+//!
+//! * [`alphabet`] / [`symbol`] — interned finite alphabets (`sigma` symbols);
+//! * [`series`] — the series container plus the paper's primitives:
+//!   projections `pi(p, l)`, consecutive-occurrence counts `F2`, lag-match
+//!   counts, and confidences;
+//! * [`discretize`] — numeric-to-symbol level mapping (the paper's five
+//!   levels, and friends);
+//! * [`noise`] — replacement / insertion / deletion corruption and the
+//!   paper's mixtures;
+//! * [`generate`] — the paper's synthetic periodic workloads (U/N
+//!   distributions);
+//! * [`io`] — text/CSV persistence and a one-pass streaming decoder.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod alphabet;
+pub mod discretize;
+pub mod error;
+pub mod generate;
+pub mod io;
+pub mod noise;
+pub mod series;
+pub mod stats;
+pub mod symbol;
+
+pub use alphabet::Alphabet;
+pub use error::{Result, SeriesError};
+pub use series::{pair_denominator, projection_len, SeriesBuilder, SymbolSeries};
+pub use symbol::SymbolId;
+
+#[cfg(test)]
+mod proptests {
+    use crate::alphabet::Alphabet;
+    use crate::discretize::{Breakpoints, Discretizer, EqualWidth};
+    use crate::generate::{PeriodicSeriesSpec, SymbolDistribution};
+    use crate::noise::{NoiseKind, NoiseSpec};
+    use crate::series::{pair_denominator, projection_len, SymbolSeries};
+    use crate::symbol::SymbolId;
+    use proptest::prelude::*;
+
+    fn arb_series(max_len: usize) -> impl Strategy<Value = SymbolSeries> {
+        (1usize..6).prop_flat_map(move |sigma| {
+            proptest::collection::vec(0usize..sigma, 1..max_len).prop_map(move |ids| {
+                let a = Alphabet::latin(sigma).unwrap();
+                SymbolSeries::from_ids(ids.into_iter().map(SymbolId::from_index).collect(), a)
+                    .unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn projection_lengths_partition_the_series(s in arb_series(120), p in 1usize..15) {
+            let n = s.len();
+            let total: usize = (0..p).map(|l| projection_len(n, p, l)).sum();
+            prop_assert_eq!(total, n);
+        }
+
+        #[test]
+        fn phase_f2_sums_to_lag_matches(s in arb_series(100), p in 1usize..12) {
+            for sym in 0..s.sigma() {
+                let sym = SymbolId::from_index(sym);
+                let total: usize = (0..p).map(|l| s.f2_projected(sym, p, l)).sum();
+                prop_assert_eq!(total, s.lag_matches(sym, p));
+            }
+        }
+
+        #[test]
+        fn confidence_is_a_valid_ratio(s in arb_series(80), p in 1usize..10, l in 0usize..10) {
+            for sym in 0..s.sigma() {
+                let c = s.confidence(SymbolId::from_index(sym), p, l);
+                prop_assert!((0.0..=1.0).contains(&c), "confidence {}", c);
+            }
+        }
+
+        #[test]
+        fn pair_denominator_is_projection_pairs(n in 0usize..500, p in 1usize..30, l in 0usize..30) {
+            let m = projection_len(n, p, l);
+            prop_assert_eq!(pair_denominator(n, p, l), m.saturating_sub(1));
+        }
+
+        #[test]
+        fn generated_series_confidence_is_one_at_embedded_period(
+            period in 2usize..20,
+            reps in 3usize..10,
+            seed in 0u64..50,
+        ) {
+            let spec = PeriodicSeriesSpec {
+                length: period * reps,
+                period,
+                alphabet_size: 6,
+                distribution: SymbolDistribution::Uniform,
+            };
+            let g = spec.generate(seed).unwrap();
+            for (sym, phase) in g.embedded_periodicities() {
+                prop_assert!((g.series.confidence(sym, period, phase) - 1.0).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn replacement_noise_preserves_length(
+            seed in 0u64..20, ratio in 0.0f64..1.0,
+        ) {
+            let spec = PeriodicSeriesSpec {
+                length: 300, period: 25, alphabet_size: 8,
+                distribution: SymbolDistribution::Uniform,
+            };
+            let g = spec.generate(seed).unwrap();
+            let noisy = NoiseSpec::replacement(ratio).unwrap().apply(&g.series, seed);
+            prop_assert_eq!(noisy.len(), g.series.len());
+        }
+
+        #[test]
+        fn insertion_and_deletion_change_length_by_event_count(
+            seed in 0u64..20, ratio in 0.0f64..0.9,
+        ) {
+            let spec = PeriodicSeriesSpec {
+                length: 400, period: 20, alphabet_size: 5,
+                distribution: SymbolDistribution::Uniform,
+            };
+            let g = spec.generate(seed).unwrap();
+            let events = (ratio * 400.0).round() as usize;
+            let ins = NoiseSpec::new(vec![NoiseKind::Insertion], ratio).unwrap()
+                .apply(&g.series, seed);
+            prop_assert_eq!(ins.len(), 400 + events);
+            let del = NoiseSpec::new(vec![NoiseKind::Deletion], ratio).unwrap()
+                .apply(&g.series, seed);
+            prop_assert_eq!(del.len(), 400 - events);
+        }
+
+        #[test]
+        fn discretizer_levels_are_in_range(v in -1e6f64..1e6) {
+            let bp = Breakpoints::new(vec![-100.0, 0.0, 100.0]).unwrap();
+            prop_assert!(bp.level(v) < bp.levels());
+            let ew = EqualWidth::new(-500.0, 500.0, 7).unwrap();
+            prop_assert!(ew.level(v) < ew.levels());
+        }
+
+        #[test]
+        fn breakpoint_levels_are_monotone(a in -1e3f64..1e3, b in -1e3f64..1e3) {
+            let bp = Breakpoints::new(vec![-50.0, 0.0, 50.0]).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bp.level(lo) <= bp.level(hi));
+        }
+    }
+}

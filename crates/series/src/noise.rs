@@ -1,0 +1,259 @@
+//! Noise models for time-series corruption.
+//!
+//! The paper (Sect. 4) perturbs synthetic data with three noise types —
+//! replacement, insertion, deletion — applied "randomly and uniformly over
+//! the whole time series", plus uniform mixtures of them (e.g. `R+I+D`
+//! splits the noise ratio equally three ways). This module reproduces that
+//! taxonomy exactly so the resilience experiment (Fig. 6) can be rerun.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alphabet::Alphabet;
+use crate::error::{Result, SeriesError};
+use crate::series::SymbolSeries;
+use crate::symbol::SymbolId;
+
+/// One elementary corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseKind {
+    /// Replace the symbol at a random position with a *different* random
+    /// symbol.
+    Replacement,
+    /// Insert a random symbol at a random position (lengthens the series).
+    Insertion,
+    /// Delete the symbol at a random position (shortens the series).
+    Deletion,
+}
+
+impl NoiseKind {
+    /// Single-letter label used in the paper's figures (R / I / D).
+    pub fn label(self) -> &'static str {
+        match self {
+            NoiseKind::Replacement => "R",
+            NoiseKind::Insertion => "I",
+            NoiseKind::Deletion => "D",
+        }
+    }
+}
+
+/// A noise specification: a mixture of kinds sharing a total event ratio.
+///
+/// `ratio` is the fraction of the series length subjected to noise events;
+/// each event draws its kind uniformly from `mix` (so `R+I+D` at 30% puts
+/// ~10% of the length through each kind, matching the paper's description).
+///
+/// ```
+/// use periodica_series::noise::NoiseSpec;
+/// use periodica_series::{Alphabet, SymbolSeries};
+///
+/// let alphabet = Alphabet::latin(3)?;
+/// let clean = SymbolSeries::parse(&"abc".repeat(100), &alphabet)?;
+/// // 20% replacement noise: length preserved, ~20% of symbols altered.
+/// let noisy = NoiseSpec::replacement(0.2)?.apply(&clean, 42);
+/// assert_eq!(noisy.len(), clean.len());
+/// let changed = clean
+///     .symbols()
+///     .iter()
+///     .zip(noisy.symbols())
+///     .filter(|(a, b)| a != b)
+///     .count();
+/// assert!(changed > 30 && changed <= 60);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseSpec {
+    mix: Vec<NoiseKind>,
+    ratio: f64,
+}
+
+impl NoiseSpec {
+    /// Builds a mixture spec.
+    pub fn new(mix: Vec<NoiseKind>, ratio: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&ratio) || ratio.is_nan() {
+            return Err(SeriesError::InvalidNoiseRatio(ratio));
+        }
+        if mix.is_empty() {
+            return Err(SeriesError::InvalidGenerator(
+                "noise mix must be non-empty".into(),
+            ));
+        }
+        Ok(NoiseSpec { mix, ratio })
+    }
+
+    /// Pure replacement noise.
+    pub fn replacement(ratio: f64) -> Result<Self> {
+        Self::new(vec![NoiseKind::Replacement], ratio)
+    }
+
+    /// Pure insertion noise.
+    pub fn insertion(ratio: f64) -> Result<Self> {
+        Self::new(vec![NoiseKind::Insertion], ratio)
+    }
+
+    /// Pure deletion noise.
+    pub fn deletion(ratio: f64) -> Result<Self> {
+        Self::new(vec![NoiseKind::Deletion], ratio)
+    }
+
+    /// The paper's figure label, e.g. `"R+I+D"`.
+    pub fn label(&self) -> String {
+        self.mix
+            .iter()
+            .map(|k| k.label())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Total noise ratio.
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Mixture components.
+    pub fn mix(&self) -> &[NoiseKind] {
+        &self.mix
+    }
+
+    /// Applies the noise to `series` with a seeded RNG, returning the
+    /// corrupted series. Length may change under insertion/deletion.
+    pub fn apply(&self, series: &SymbolSeries, seed: u64) -> SymbolSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.apply_with(series, &mut rng)
+    }
+
+    /// Applies the noise using a caller-provided RNG.
+    pub fn apply_with<R: Rng>(&self, series: &SymbolSeries, rng: &mut R) -> SymbolSeries {
+        let alphabet: Arc<Alphabet> = Arc::clone(series.alphabet());
+        let sigma = alphabet.len();
+        let mut data: Vec<SymbolId> = series.symbols().to_vec();
+        let events = (self.ratio * series.len() as f64).round() as usize;
+        for _ in 0..events {
+            if data.is_empty() {
+                break;
+            }
+            let kind = self.mix[rng.random_range(0..self.mix.len())];
+            match kind {
+                NoiseKind::Replacement => {
+                    let pos = rng.random_range(0..data.len());
+                    if sigma > 1 {
+                        // Draw a different symbol (paper: "altering the
+                        // symbol ... by another").
+                        let cur = data[pos].index();
+                        let mut next = rng.random_range(0..sigma - 1);
+                        if next >= cur {
+                            next += 1;
+                        }
+                        data[pos] = SymbolId::from_index(next);
+                    }
+                }
+                NoiseKind::Insertion => {
+                    let pos = rng.random_range(0..=data.len());
+                    let sym = SymbolId::from_index(rng.random_range(0..sigma));
+                    data.insert(pos, sym);
+                }
+                NoiseKind::Deletion => {
+                    let pos = rng.random_range(0..data.len());
+                    data.remove(pos);
+                }
+            }
+        }
+        SymbolSeries::from_ids(data, alphabet).expect("noise preserves alphabet validity")
+    }
+}
+
+/// The five mixtures plotted in the paper's Fig. 6, in legend order.
+pub fn figure6_mixtures() -> Vec<Vec<NoiseKind>> {
+    use NoiseKind::{Deletion as D, Insertion as I, Replacement as R};
+    vec![vec![R], vec![I], vec![D], vec![R, I, D], vec![I, D]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn base_series(n: usize) -> SymbolSeries {
+        let a = Alphabet::latin(4).expect("ok");
+        let ids = (0..n).map(|i| SymbolId::from_index(i % 4)).collect();
+        SymbolSeries::from_ids(ids, a).expect("ok")
+    }
+
+    #[test]
+    fn replacement_preserves_length_and_changes_symbols() {
+        let s = base_series(1000);
+        let noisy = NoiseSpec::replacement(0.2).expect("ok").apply(&s, 42);
+        assert_eq!(noisy.len(), s.len());
+        let diffs = s
+            .symbols()
+            .iter()
+            .zip(noisy.symbols())
+            .filter(|(a, b)| a != b)
+            .count();
+        // 200 events, possibly overlapping positions; at least half should
+        // land on distinct positions and every event changes the symbol.
+        assert!(diffs > 100, "only {diffs} symbols changed");
+        assert!(diffs <= 200);
+    }
+
+    #[test]
+    fn insertion_lengthens_deletion_shortens() {
+        let s = base_series(500);
+        let ins = NoiseSpec::insertion(0.1).expect("ok").apply(&s, 1);
+        assert_eq!(ins.len(), 550);
+        let del = NoiseSpec::deletion(0.1).expect("ok").apply(&s, 2);
+        assert_eq!(del.len(), 450);
+    }
+
+    #[test]
+    fn mixture_is_roughly_balanced_in_length_effect() {
+        // I and D in equal mixture keep expected length constant.
+        let s = base_series(2000);
+        let spec =
+            NoiseSpec::new(vec![NoiseKind::Insertion, NoiseKind::Deletion], 0.3).expect("ok");
+        let noisy = spec.apply(&s, 7);
+        let delta = noisy.len() as i64 - 2000;
+        assert!(delta.abs() < 120, "length drifted by {delta}");
+        assert_eq!(spec.label(), "I+D");
+    }
+
+    #[test]
+    fn zero_ratio_is_identity() {
+        let s = base_series(100);
+        let noisy = NoiseSpec::replacement(0.0).expect("ok").apply(&s, 3);
+        assert_eq!(noisy, s);
+    }
+
+    #[test]
+    fn full_deletion_empties_series() {
+        let s = base_series(50);
+        let noisy = NoiseSpec::deletion(1.0).expect("ok").apply(&s, 4);
+        assert!(noisy.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = base_series(300);
+        let spec = NoiseSpec::new(figure6_mixtures()[3].clone(), 0.25).expect("ok");
+        assert_eq!(spec.apply(&s, 9), spec.apply(&s, 9));
+        assert_eq!(spec.label(), "R+I+D");
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(NoiseSpec::replacement(-0.1).is_err());
+        assert!(NoiseSpec::replacement(1.1).is_err());
+        assert!(NoiseSpec::replacement(f64::NAN).is_err());
+        assert!(NoiseSpec::new(vec![], 0.1).is_err());
+    }
+
+    #[test]
+    fn single_symbol_alphabet_replacement_is_noop() {
+        let a = Alphabet::latin(1).expect("ok");
+        let s = SymbolSeries::from_ids(vec![SymbolId(0); 20], a).expect("ok");
+        let noisy = NoiseSpec::replacement(0.5).expect("ok").apply(&s, 5);
+        assert_eq!(noisy, s);
+    }
+}

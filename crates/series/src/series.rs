@@ -1,0 +1,462 @@
+//! The symbol time-series container and the paper's projection / `F2`
+//! primitives.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::alphabet::Alphabet;
+use crate::error::{Result, SeriesError};
+use crate::symbol::SymbolId;
+
+/// Ceiling division for projection lengths.
+#[inline]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+/// Length of the projection `pi(p, l)` of a series of length `n`:
+/// `m = ceil((n - l) / p)` (zero when `l >= n`).
+#[inline]
+pub fn projection_len(n: usize, p: usize, l: usize) -> usize {
+    if l >= n {
+        0
+    } else {
+        ceil_div(n - l, p)
+    }
+}
+
+/// The paper's confidence denominator for `(p, l)`: the number of adjacent
+/// pairs in the projection, `m - 1` (zero when the projection has fewer than
+/// two elements).
+#[inline]
+pub fn pair_denominator(n: usize, p: usize, l: usize) -> usize {
+    projection_len(n, p, l).saturating_sub(1)
+}
+
+/// A discretized time series: a string over a fixed [`Alphabet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolSeries {
+    alphabet: Arc<Alphabet>,
+    data: Vec<SymbolId>,
+}
+
+impl SymbolSeries {
+    /// Builds a series from raw symbol ids, validating each against the
+    /// alphabet.
+    pub fn from_ids(ids: Vec<SymbolId>, alphabet: Arc<Alphabet>) -> Result<Self> {
+        for &id in &ids {
+            alphabet.check(id)?;
+        }
+        Ok(SymbolSeries {
+            alphabet,
+            data: ids,
+        })
+    }
+
+    /// Parses a series where each character is one symbol
+    /// (`"abcabbabcb"`-style, as in every example of the paper).
+    pub fn parse(text: &str, alphabet: &Arc<Alphabet>) -> Result<Self> {
+        let mut data = Vec::with_capacity(text.len());
+        for (pos, c) in text.chars().enumerate() {
+            let id = alphabet.lookup_char(c).map_err(|_| SeriesError::Parse {
+                position: pos,
+                message: format!("character {c:?} is not in the alphabet"),
+            })?;
+            data.push(id);
+        }
+        Ok(SymbolSeries {
+            alphabet: Arc::clone(alphabet),
+            data,
+        })
+    }
+
+    /// The series' alphabet.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// Alphabet size (the paper's `sigma`).
+    pub fn sigma(&self) -> usize {
+        self.alphabet.len()
+    }
+
+    /// Series length (the paper's `n`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the series has no timestamps.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Symbol at timestamp `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<SymbolId> {
+        self.data.get(i).copied()
+    }
+
+    /// Raw symbol slice.
+    pub fn symbols(&self) -> &[SymbolId] {
+        &self.data
+    }
+
+    /// Renders the series back to one-character-per-symbol text, when every
+    /// symbol name is a single character.
+    pub fn to_text(&self) -> Option<String> {
+        let mut out = String::with_capacity(self.len());
+        for &id in &self.data {
+            let name = self.alphabet.name(id);
+            let mut chars = name.chars();
+            let c = chars.next()?;
+            if chars.next().is_some() {
+                return None;
+            }
+            out.push(c);
+        }
+        Some(out)
+    }
+
+    /// 0/1 indicator vector of a symbol: `out[i] = 1` iff `t_i == symbol`.
+    ///
+    /// These vectors are what the convolution engines correlate; the paper's
+    /// interleaved `sigma*n`-bit mapping is exactly the `sigma` of them
+    /// laid side by side.
+    pub fn indicator(&self, symbol: SymbolId) -> Vec<u64> {
+        self.data.iter().map(|&s| u64::from(s == symbol)).collect()
+    }
+
+    /// Timestamps at which `symbol` occurs.
+    pub fn occurrences(&self, symbol: SymbolId) -> Vec<usize> {
+        self.data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (s == symbol).then_some(i))
+            .collect()
+    }
+
+    /// Occurrence count per symbol.
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.sigma()];
+        for &s in &self.data {
+            counts[s.index()] += 1;
+        }
+        counts
+    }
+
+    /// The projection `pi(p, l)`: symbols at `l, l+p, l+2p, ...`.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn projection(&self, p: usize, l: usize) -> impl Iterator<Item = SymbolId> + '_ {
+        assert!(p > 0, "projection period must be positive");
+        self.data.iter().copied().skip(l).step_by(p)
+    }
+
+    /// `F2(symbol, pi(p, l))`: adjacent same-symbol pairs in the projection,
+    /// i.e. `#{ j : j = l (mod p), j + p < n, t_j = t_{j+p} = symbol }`.
+    pub fn f2_projected(&self, symbol: SymbolId, p: usize, l: usize) -> usize {
+        assert!(p > 0, "projection period must be positive");
+        let n = self.len();
+        if l >= n {
+            return 0;
+        }
+        let mut count = 0;
+        let mut j = l;
+        while j + p < n {
+            if self.data[j] == symbol && self.data[j + p] == symbol {
+                count += 1;
+            }
+            j += p;
+        }
+        count
+    }
+
+    /// Total lag-`p` match count for `symbol` over all phases:
+    /// `#{ j : j + p < n, t_j = t_{j+p} = symbol }`.
+    ///
+    /// This equals `sum_l F2(symbol, pi(p, l))` and is what the convolution
+    /// delivers for every `p` at once.
+    pub fn lag_matches(&self, symbol: SymbolId, p: usize) -> usize {
+        let n = self.len();
+        if p == 0 || p >= n {
+            return if p == 0 {
+                self.occurrences(symbol).len()
+            } else {
+                0
+            };
+        }
+        (0..n - p)
+            .filter(|&j| self.data[j] == symbol && self.data[j + p] == symbol)
+            .count()
+    }
+
+    /// The paper's confidence of `(symbol, p, l)`:
+    /// `F2 / (ceil((n-l)/p) - 1)`, or 0 when the projection has < 2 entries.
+    pub fn confidence(&self, symbol: SymbolId, p: usize, l: usize) -> f64 {
+        let denom = pair_denominator(self.len(), p, l);
+        if denom == 0 {
+            0.0
+        } else {
+            self.f2_projected(symbol, p, l) as f64 / denom as f64
+        }
+    }
+
+    /// A sub-series over the same alphabet (used to localize periodicities
+    /// in time — e.g. a rhythm active only in part of a stream).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> SymbolSeries {
+        SymbolSeries {
+            alphabet: Arc::clone(&self.alphabet),
+            data: self.data[range].to_vec(),
+        }
+    }
+
+    /// Fixed-width windows (`width` symbols each, advancing by `step`),
+    /// as sub-series. The final partial window is omitted.
+    pub fn windows(&self, width: usize, step: usize) -> impl Iterator<Item = SymbolSeries> + '_ {
+        assert!(
+            width > 0 && step > 0,
+            "window width and step must be positive"
+        );
+        (0..self.len().saturating_sub(width.saturating_sub(1)))
+            .step_by(step)
+            .map(move |start| self.slice(start..start + width))
+    }
+}
+
+impl fmt::Display for SymbolSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_text() {
+            Some(t) => f.write_str(&t),
+            None => {
+                let mut first = true;
+                for &id in &self.data {
+                    if !first {
+                        f.write_str(" ")?;
+                    }
+                    f.write_str(self.alphabet.name(id))?;
+                    first = false;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Incremental builder used by streaming ingestion.
+#[derive(Debug, Clone)]
+pub struct SeriesBuilder {
+    alphabet: Arc<Alphabet>,
+    data: Vec<SymbolId>,
+}
+
+impl SeriesBuilder {
+    /// Starts an empty series over `alphabet`.
+    pub fn new(alphabet: Arc<Alphabet>) -> Self {
+        SeriesBuilder {
+            alphabet,
+            data: Vec::new(),
+        }
+    }
+
+    /// Starts with capacity for `n` timestamps.
+    pub fn with_capacity(alphabet: Arc<Alphabet>, n: usize) -> Self {
+        SeriesBuilder {
+            alphabet,
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a symbol by id.
+    pub fn push(&mut self, id: SymbolId) -> Result<()> {
+        self.alphabet.check(id)?;
+        self.data.push(id);
+        Ok(())
+    }
+
+    /// Appends a symbol by name.
+    pub fn push_name(&mut self, name: &str) -> Result<()> {
+        let id = self.alphabet.lookup(name)?;
+        self.data.push(id);
+        Ok(())
+    }
+
+    /// Timestamps appended so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Finalizes the series.
+    pub fn finish(self) -> SymbolSeries {
+        SymbolSeries {
+            alphabet: self.alphabet,
+            data: self.data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_series() -> SymbolSeries {
+        let a = Alphabet::latin(3).expect("ok");
+        SymbolSeries::parse("abcabbabcb", &a).expect("ok")
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let s = paper_series();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.sigma(), 3);
+        assert_eq!(s.to_text().expect("single chars"), "abcabbabcb");
+        assert_eq!(s.to_string(), "abcabbabcb");
+    }
+
+    #[test]
+    fn parse_reports_bad_position() {
+        let a = Alphabet::latin(2).expect("ok");
+        match SymbolSeries::parse("abz", &a) {
+            Err(SeriesError::Parse { position, .. }) => assert_eq!(position, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projections_match_paper_section_2_2() {
+        // pi(4,1)(abcabbabcb) = bbb and pi(3,0) = aaab.
+        let s = paper_series();
+        let a = s.alphabet().clone();
+        let text = |p, l| -> String {
+            s.projection(p, l)
+                .map(|id| a.name(id).chars().next().expect("ch"))
+                .collect()
+        };
+        assert_eq!(text(4, 1), "bbb");
+        assert_eq!(text(3, 0), "aaab");
+        assert_eq!(projection_len(10, 4, 1), 3);
+        assert_eq!(projection_len(10, 3, 0), 4);
+    }
+
+    #[test]
+    fn f2_matches_paper_examples() {
+        // T = abbaaabaa: F2(a) = 3, F2(b) = 1 on the raw string (p=1, l=0).
+        let alpha = Alphabet::latin(2).expect("ok");
+        let t = SymbolSeries::parse("abbaaabaa", &alpha).expect("ok");
+        let a = alpha.lookup("a").expect("ok");
+        let b = alpha.lookup("b").expect("ok");
+        assert_eq!(t.f2_projected(a, 1, 0), 3);
+        assert_eq!(t.f2_projected(b, 1, 0), 1);
+    }
+
+    #[test]
+    fn confidence_matches_paper_section_2_2() {
+        // F2(a, pi(3,0)) / (ceil(10/3) - 1) = 2/3; b at (3,1) has confidence 1.
+        let s = paper_series();
+        let a = s.alphabet().lookup("a").expect("ok");
+        let b = s.alphabet().lookup("b").expect("ok");
+        assert_eq!(s.f2_projected(a, 3, 0), 2);
+        assert!((s.confidence(a, 3, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.f2_projected(b, 3, 1), 2);
+        assert!((s.confidence(b, 3, 1) - 1.0).abs() < 1e-12);
+        // b is also periodic with period 4 at position 1 ("bbb").
+        assert!((s.confidence(b, 4, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lag_matches_equals_sum_of_phase_f2() {
+        let s = paper_series();
+        for sym in s.alphabet().ids().collect::<Vec<_>>() {
+            for p in 1..s.len() {
+                let total: usize = (0..p).map(|l| s.f2_projected(sym, p, l)).sum();
+                assert_eq!(s.lag_matches(sym, p), total, "sym={sym} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn indicator_and_occurrences_are_consistent() {
+        let s = paper_series();
+        let b = s.alphabet().lookup("b").expect("ok");
+        let ind = s.indicator(b);
+        let occ = s.occurrences(b);
+        assert_eq!(occ, vec![1, 4, 5, 7, 9]);
+        for (i, &v) in ind.iter().enumerate() {
+            assert_eq!(v == 1, occ.contains(&i));
+        }
+        assert_eq!(s.histogram(), vec![3, 5, 2]);
+    }
+
+    #[test]
+    fn builder_accumulates_and_validates() {
+        let a = Alphabet::latin(3).expect("ok");
+        let mut b = SeriesBuilder::with_capacity(a.clone(), 4);
+        assert!(b.is_empty());
+        b.push(SymbolId(0)).expect("ok");
+        b.push_name("c").expect("ok");
+        assert!(b.push(SymbolId(7)).is_err());
+        assert!(b.push_name("z").is_err());
+        assert_eq!(b.len(), 2);
+        let s = b.finish();
+        assert_eq!(s.to_text().expect("txt"), "ac");
+    }
+
+    #[test]
+    fn from_ids_validates() {
+        let a = Alphabet::latin(2).expect("ok");
+        assert!(SymbolSeries::from_ids(vec![SymbolId(0), SymbolId(5)], a.clone()).is_err());
+        let s = SymbolSeries::from_ids(vec![SymbolId(1), SymbolId(0)], a).expect("ok");
+        assert_eq!(s.to_text().expect("txt"), "ba");
+    }
+
+    #[test]
+    fn slice_and_windows() {
+        let s = paper_series(); // abcabbabcb
+        let mid = s.slice(3..7);
+        assert_eq!(mid.to_text().expect("txt"), "abba");
+        assert_eq!(mid.alphabet().len(), 3);
+        let all: Vec<String> = s.windows(4, 3).map(|w| w.to_text().expect("txt")).collect();
+        assert_eq!(all, vec!["abca", "abba", "abcb"]);
+        // Width equal to length yields one window; larger yields none.
+        assert_eq!(s.windows(10, 1).count(), 1);
+        assert_eq!(s.windows(11, 1).count(), 0);
+        // Windowed confidence localizes structure.
+        let head = s.slice(0..9);
+        let a = s.alphabet().lookup("a").expect("a");
+        assert!(head.confidence(a, 3, 0) >= s.confidence(a, 3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_bounds_panics() {
+        let _ = paper_series().slice(5..20);
+    }
+
+    #[test]
+    fn empty_series_edges() {
+        let a = Alphabet::latin(2).expect("ok");
+        let s = SymbolSeries::parse("", &a).expect("ok");
+        assert!(s.is_empty());
+        assert_eq!(s.f2_projected(SymbolId(0), 3, 0), 0);
+        assert_eq!(s.confidence(SymbolId(0), 3, 0), 0.0);
+        assert_eq!(projection_len(0, 3, 0), 0);
+        assert_eq!(pair_denominator(0, 3, 0), 0);
+    }
+
+    #[test]
+    fn display_multi_char_names() {
+        let a = Alphabet::from_symbols(["low", "high"]).expect("ok");
+        let s = SymbolSeries::from_ids(vec![SymbolId(0), SymbolId(1)], a).expect("ok");
+        assert_eq!(s.to_text(), None);
+        assert_eq!(s.to_string(), "low high");
+    }
+}

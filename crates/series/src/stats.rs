@@ -1,0 +1,161 @@
+//! Descriptive statistics of symbol series.
+//!
+//! Light-weight characterization used by the CLI and the experiment
+//! harness: how concentrated the symbol distribution is (entropy), how
+//! sticky consecutive symbols are (transition structure), and per-symbol
+//! densities — the quantities that predict how sharp phase-blind candidate
+//! bounds will be (see `periodica-core::online`).
+
+use crate::series::SymbolSeries;
+use crate::symbol::SymbolId;
+
+/// Summary statistics of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesStats {
+    /// Series length.
+    pub len: usize,
+    /// Alphabet size.
+    pub sigma: usize,
+    /// Occurrence count per symbol.
+    pub histogram: Vec<usize>,
+    /// Shannon entropy of the symbol distribution, in bits.
+    pub entropy_bits: f64,
+    /// Fraction of adjacent positions with equal symbols (`F2` summed over
+    /// the alphabet, normalized) — the lag-1 self-similarity.
+    pub stickiness: f64,
+}
+
+impl SeriesStats {
+    /// Computes the summary in one pass.
+    pub fn compute(series: &SymbolSeries) -> Self {
+        let len = series.len();
+        let sigma = series.sigma();
+        let histogram = series.histogram();
+        let entropy_bits = entropy_bits(&histogram, len);
+        let equal_adjacent = if len < 2 {
+            0
+        } else {
+            series.symbols().windows(2).filter(|w| w[0] == w[1]).count()
+        };
+        let stickiness = if len < 2 {
+            0.0
+        } else {
+            equal_adjacent as f64 / (len - 1) as f64
+        };
+        SeriesStats {
+            len,
+            sigma,
+            histogram,
+            entropy_bits,
+            stickiness,
+        }
+    }
+
+    /// Density of one symbol (occurrences / length).
+    pub fn density(&self, symbol: SymbolId) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.histogram[symbol.index()] as f64 / self.len as f64
+        }
+    }
+
+    /// The most frequent symbol (smallest index on ties), if any symbol
+    /// occurs.
+    pub fn dominant(&self) -> Option<SymbolId> {
+        self.histogram
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| SymbolId::from_index(i))
+    }
+}
+
+/// Shannon entropy in bits of a count histogram.
+pub fn entropy_bits(histogram: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    histogram
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// First-order transition counts: `out[a][b]` = number of positions where
+/// symbol `a` is immediately followed by `b`.
+pub fn transition_counts(series: &SymbolSeries) -> Vec<Vec<usize>> {
+    let sigma = series.sigma();
+    let mut out = vec![vec![0usize; sigma]; sigma];
+    for w in series.symbols().windows(2) {
+        out[w[0].index()][w[1].index()] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn series(text: &str, sigma: usize) -> SymbolSeries {
+        let a = Alphabet::latin(sigma).expect("alphabet");
+        SymbolSeries::parse(text, &a).expect("series")
+    }
+
+    #[test]
+    fn uniform_series_has_log_sigma_entropy() {
+        let s = series(&"abcd".repeat(100), 4);
+        let stats = SeriesStats::compute(&s);
+        assert!((stats.entropy_bits - 2.0).abs() < 1e-12);
+        assert_eq!(stats.stickiness, 0.0);
+        assert_eq!(stats.dominant(), Some(SymbolId(0)));
+        assert!((stats.density(SymbolId(2)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_zero_entropy_full_stickiness() {
+        let s = series("aaaaaaaa", 2);
+        let stats = SeriesStats::compute(&s);
+        assert_eq!(stats.entropy_bits, 0.0);
+        assert_eq!(stats.stickiness, 1.0);
+        assert_eq!(stats.dominant(), Some(SymbolId(0)));
+        assert_eq!(stats.density(SymbolId(1)), 0.0);
+    }
+
+    #[test]
+    fn transition_counts_are_exact() {
+        let s = series("aabab", 2);
+        let t = transition_counts(&s);
+        assert_eq!(t[0][0], 1); // aa
+        assert_eq!(t[0][1], 2); // ab twice
+        assert_eq!(t[1][0], 1); // ba
+        assert_eq!(t[1][1], 0);
+        let total: usize = t.iter().flatten().sum();
+        assert_eq!(total, s.len() - 1);
+    }
+
+    #[test]
+    fn skewed_distribution_lowers_entropy() {
+        let balanced = SeriesStats::compute(&series(&"ab".repeat(100), 2));
+        let skewed = SeriesStats::compute(&series(&format!("{}b", "a".repeat(199)), 2));
+        assert!(skewed.entropy_bits < balanced.entropy_bits);
+        assert!(balanced.entropy_bits <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = series("", 3);
+        let stats = SeriesStats::compute(&s);
+        assert_eq!(stats.entropy_bits, 0.0);
+        assert_eq!(stats.stickiness, 0.0);
+        assert_eq!(stats.dominant(), None);
+        assert_eq!(stats.density(SymbolId(0)), 0.0);
+        assert!(transition_counts(&s).iter().flatten().all(|&c| c == 0));
+    }
+}

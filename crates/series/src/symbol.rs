@@ -1,0 +1,67 @@
+//! Symbol identifiers.
+
+use std::fmt;
+
+/// A compact identifier for one symbol of an [`crate::alphabet::Alphabet`].
+///
+/// The paper indexes symbols `s_0 .. s_{sigma-1}`; a `SymbolId` is exactly
+/// that index. `u16` bounds the alphabet at 65 536 symbols, far beyond the
+/// discretization levels (typically 5-10) the paper works with, while
+/// keeping series storage at two bytes per timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u16);
+
+impl SymbolId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `SymbolId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u16::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        assert!(
+            index <= u16::MAX as usize,
+            "symbol index {index} exceeds u16 range"
+        );
+        SymbolId(index as u16)
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u16> for SymbolId {
+    fn from(v: u16) -> Self {
+        SymbolId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        assert_eq!(SymbolId::from_index(5).index(), 5);
+        assert_eq!(SymbolId(9).index(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u16")]
+    fn rejects_oversized_index() {
+        let _ = SymbolId::from_index(100_000);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(SymbolId(3).to_string(), "s3");
+    }
+}

@@ -1,0 +1,267 @@
+//! Convolution and correlation built on the FFT/NTT engines.
+//!
+//! The paper's algorithm reduces periodicity detection to correlating a
+//! series with shifted copies of itself for *every* shift at once; these
+//! helpers are that step. Exact (NTT) variants are the default for match
+//! counting; float (FFT) variants exist for workloads whose values are
+//! genuinely real and for benchmarking the two backends against each other.
+
+use crate::complex::Complex;
+use crate::error::Result;
+use crate::fft::{fft_two_reals, FftPlanner};
+use crate::ntt::{self, Ntt};
+
+/// Linear convolution of real sequences via FFT.
+///
+/// Returns `a.len() + b.len() - 1` coefficients. Rounding error is on the
+/// order of `1e-12 * n * max|a| * max|b|`.
+pub fn convolve_f64(planner: &mut FftPlanner, a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let size = out_len.next_power_of_two();
+    let mut pa = vec![0.0; size];
+    pa[..a.len()].copy_from_slice(a);
+    let mut pb = vec![0.0; size];
+    pb[..b.len()].copy_from_slice(b);
+    // One complex FFT transforms both real inputs.
+    let (fa, fb) = fft_two_reals(planner, &pa, &pb);
+    let mut prod: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+    planner.inverse_normalized(&mut prod);
+    prod.truncate(out_len);
+    prod.into_iter().map(|z| z.re).collect()
+}
+
+/// Exact linear convolution of non-negative integer sequences (NTT).
+///
+/// See [`ntt::convolve_exact`] for the overflow contract.
+pub fn convolve_exact(a: &[u64], b: &[u64]) -> Result<Vec<u64>> {
+    ntt::convolve_exact(a, b)
+}
+
+/// Cross-correlation at non-negative lags:
+/// `out[lag] = sum_j a[j] * b[j + lag]` for `lag in 0..b.len()`.
+pub fn cross_correlate_f64(planner: &mut FftPlanner, a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let rev: Vec<f64> = a.iter().rev().copied().collect();
+    let conv = convolve_f64(planner, &rev, b);
+    conv[a.len() - 1..].to_vec()
+}
+
+/// Exact cross-correlation at non-negative lags (NTT).
+pub fn cross_correlate_exact(a: &[u64], b: &[u64]) -> Result<Vec<u64>> {
+    if a.is_empty() || b.is_empty() {
+        return Ok(Vec::new());
+    }
+    let rev: Vec<u64> = a.iter().rev().copied().collect();
+    let conv = ntt::convolve_exact(&rev, b)?;
+    Ok(conv[a.len() - 1..].to_vec())
+}
+
+/// Schoolbook cross-correlation oracle: `out[lag] = sum_j a[j] * b[j+lag]`.
+pub fn cross_correlate_naive(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    (0..b.len())
+        .map(|lag| a.iter().zip(&b[lag..]).map(|(&x, &y)| x * y).sum())
+        .collect()
+}
+
+/// A reusable exact autocorrelation plan for signals of one fixed length.
+///
+/// The miner correlates one indicator vector *per symbol*, all of identical
+/// length, so the NTT plan (twiddles, bit-reversal table) is built once and
+/// shared. This is the hot path of the whole system.
+///
+/// ```
+/// use periodica_transform::ExactCorrelator;
+///
+/// // Ones at multiples of 3: the lag-3 match count is exact, no rounding.
+/// let x: Vec<u64> = (0..12).map(|i| u64::from(i % 3 == 0)).collect();
+/// let corr = ExactCorrelator::new(x.len())?;
+/// let r = corr.autocorrelation(&x)?;
+/// assert_eq!(r[0], 4); // occurrences
+/// assert_eq!(r[3], 3); // pairs three apart
+/// assert_eq!(r[1], 0);
+/// # Ok::<(), periodica_transform::TransformError>(())
+/// ```
+#[derive(Debug)]
+pub struct ExactCorrelator {
+    signal_len: usize,
+    plan: Ntt,
+}
+
+impl ExactCorrelator {
+    /// Builds a correlator for signals of exactly `signal_len` samples.
+    pub fn new(signal_len: usize) -> Result<Self> {
+        let size = if signal_len == 0 {
+            1
+        } else {
+            (2 * signal_len - 1).next_power_of_two()
+        };
+        Ok(ExactCorrelator {
+            signal_len,
+            plan: Ntt::new(size)?,
+        })
+    }
+
+    /// The signal length this plan serves.
+    pub fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    /// Exact autocorrelation at non-negative lags:
+    /// `out[p] = sum_j x[j] * x[j+p]`, `p in 0..x.len()`.
+    ///
+    /// For 0/1 indicator input, `out[p]` is precisely the paper's total
+    /// lag-`p` match count for that symbol.
+    pub fn autocorrelation(&self, x: &[u64]) -> Result<Vec<u64>> {
+        assert_eq!(
+            x.len(),
+            self.signal_len,
+            "signal length does not match plan"
+        );
+        let n = x.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let size = self.plan.len();
+        // Forward-transform x and its reverse, multiply, invert: the slice
+        // starting at n-1 holds lags 0..n.
+        let mut fx = vec![0u64; size];
+        fx[..n].copy_from_slice(x);
+        let mut fr = vec![0u64; size];
+        for (dst, &src) in fr[..n].iter_mut().zip(x.iter().rev()) {
+            *dst = src;
+        }
+        self.plan.forward(&mut fx);
+        self.plan.forward(&mut fr);
+        for (a, b) in fx.iter_mut().zip(&fr) {
+            *a = ntt::mod_mul(*a, *b);
+        }
+        self.plan.inverse(&mut fx);
+        Ok(fx[n - 1..2 * n - 1].to_vec())
+    }
+}
+
+/// Float autocorrelation at non-negative lags (FFT backend).
+pub fn autocorrelation_f64(planner: &mut FftPlanner, x: &[f64]) -> Vec<f64> {
+    cross_correlate_f64(planner, x, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_convolution_matches_schoolbook() {
+        let mut p = FftPlanner::new();
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0];
+        let got = convolve_f64(&mut p, &a, &b);
+        let want = [4.0, 13.0, 22.0, 15.0];
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn float_and_exact_convolution_agree_on_integers() {
+        let mut p = FftPlanner::new();
+        let a: Vec<u64> = (0..97).map(|i| (i * 7 + 3) % 11).collect();
+        let b: Vec<u64> = (0..55).map(|i| (i * 5 + 1) % 9).collect();
+        let exact = convolve_exact(&a, &b).expect("fits");
+        let af: Vec<f64> = a.iter().map(|&v| v as f64).collect();
+        let bf: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+        let float = convolve_f64(&mut p, &af, &bf);
+        for (e, f) in exact.iter().zip(&float) {
+            assert!((*e as f64 - f).abs() < 1e-6, "{e} vs {f}");
+        }
+    }
+
+    #[test]
+    fn cross_correlation_definition() {
+        // a = [1,2,3], b = [4,5,6,7]:
+        // lag 0: 1*4+2*5+3*6 = 32; lag 1: 1*5+2*6+3*7 = 38;
+        // lag 2: 1*6+2*7 = 20;     lag 3: 1*7 = 7.
+        let a = [1u64, 2, 3];
+        let b = [4u64, 5, 6, 7];
+        let want = vec![32u64, 38, 20, 7];
+        assert_eq!(cross_correlate_naive(&a, &b), want);
+        assert_eq!(cross_correlate_exact(&a, &b).expect("fits"), want);
+        let mut p = FftPlanner::new();
+        let af = [1.0, 2.0, 3.0];
+        let bf = [4.0, 5.0, 6.0, 7.0];
+        for (g, w) in cross_correlate_f64(&mut p, &af, &bf).iter().zip(&want) {
+            assert!((g - *w as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn autocorrelation_counts_lagged_matches_of_indicators() {
+        // x marks symbol occurrences at 0, 3, 6, 9: lag-3 count must be 3.
+        let mut x = vec![0u64; 10];
+        for i in (0..10).step_by(3) {
+            x[i] = 1;
+        }
+        let corr = ExactCorrelator::new(10).expect("plan");
+        let r = corr.autocorrelation(&x).expect("fits");
+        assert_eq!(r[0], 4); // occurrences
+        assert_eq!(r[3], 3);
+        assert_eq!(r[6], 2);
+        assert_eq!(r[9], 1);
+        assert_eq!(r[1], 0);
+        assert_eq!(r, cross_correlate_naive(&x, &x));
+    }
+
+    #[test]
+    fn correlator_is_reusable_across_signals() {
+        let corr = ExactCorrelator::new(64).expect("plan");
+        for seed in 0..4u64 {
+            let x: Vec<u64> = (0..64)
+                .map(|i| u64::from((i as u64 ^ seed).count_ones() % 2 == 0))
+                .collect();
+            assert_eq!(
+                corr.autocorrelation(&x).expect("fits"),
+                cross_correlate_naive(&x, &x),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "signal length")]
+    fn correlator_rejects_wrong_length() {
+        let corr = ExactCorrelator::new(8).expect("plan");
+        let _ = corr.autocorrelation(&[1, 0, 1]);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let mut p = FftPlanner::new();
+        assert!(convolve_f64(&mut p, &[], &[1.0]).is_empty());
+        assert!(cross_correlate_exact(&[], &[]).expect("ok").is_empty());
+        let corr = ExactCorrelator::new(0).expect("plan");
+        assert!(corr.autocorrelation(&[]).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn float_autocorrelation_matches_exact() {
+        let mut p = FftPlanner::new();
+        let x: Vec<u64> = (0..130)
+            .map(|i| u64::from(i % 5 == 0 || i % 7 == 0))
+            .collect();
+        let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let corr = ExactCorrelator::new(x.len()).expect("plan");
+        let exact = corr.autocorrelation(&x).expect("fits");
+        let float = autocorrelation_f64(&mut p, &xf);
+        for (e, f) in exact.iter().zip(&float) {
+            assert!((*e as f64 - f).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for the transform crate.
+
+use std::fmt;
+
+/// Errors produced by transform construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// A buffer handed to a planned transform had the wrong length.
+    LengthMismatch {
+        /// Length the plan was built for.
+        expected: usize,
+        /// Length of the buffer that was provided.
+        actual: usize,
+    },
+    /// The requested transform size is zero.
+    EmptyTransform,
+    /// The requested NTT size exceeds the two-adicity of the working prime.
+    NttSizeTooLarge {
+        /// Requested transform size.
+        requested: usize,
+        /// Largest supported power-of-two size.
+        max: usize,
+    },
+    /// Exact convolution would produce coefficients at risk of overflowing
+    /// the NTT modulus.
+    ExactOverflowRisk {
+        /// Conservative bound on the largest possible coefficient.
+        bound: u128,
+    },
+    /// An I/O failure in the out-of-core pipeline.
+    Io(String),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match plan size {expected}"
+                )
+            }
+            TransformError::EmptyTransform => write!(f, "transform size must be non-zero"),
+            TransformError::NttSizeTooLarge { requested, max } => {
+                write!(
+                    f,
+                    "NTT size {requested} exceeds maximum supported size {max}"
+                )
+            }
+            TransformError::ExactOverflowRisk { bound } => write!(
+                f,
+                "exact convolution coefficient bound {bound} may exceed the NTT modulus"
+            ),
+            TransformError::Io(msg) => write!(f, "out-of-core I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+impl From<std::io::Error> for TransformError {
+    fn from(e: std::io::Error) -> Self {
+        TransformError::Io(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TransformError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TransformError::LengthMismatch {
+            expected: 8,
+            actual: 7,
+        };
+        assert!(e.to_string().contains('8'));
+        assert!(e.to_string().contains('7'));
+        assert!(TransformError::EmptyTransform
+            .to_string()
+            .contains("non-zero"));
+        let e = TransformError::NttSizeTooLarge {
+            requested: 1 << 40,
+            max: 1 << 32,
+        };
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let e: TransformError = io.into();
+        assert!(matches!(e, TransformError::Io(ref m) if m.contains("disk on fire")));
+    }
+}

@@ -1,0 +1,248 @@
+//! Out-of-core / streaming autocorrelation with bounded memory.
+//!
+//! The paper notes (Sect. 3.1) that an external FFT can mine databases that
+//! do not fit in memory. This module provides the equivalent capability for
+//! the quantity the miner actually needs — lag-limited autocorrelation of an
+//! indicator stream — using overlap blocks: memory is O(block + max_lag)
+//! regardless of stream length, and each sample is touched once.
+//!
+//! For every lag `p <= max_lag`, the finished accumulator holds exactly
+//! `sum_j x[j] * x[j+p]` over the whole stream, bit-identical to the in-core
+//! result (verified by tests).
+
+use crate::conv::cross_correlate_naive;
+use crate::error::Result;
+use crate::ntt::convolve_exact;
+
+/// Default block size when consuming an iterator.
+pub const DEFAULT_BLOCK: usize = 1 << 15;
+
+/// Streaming exact autocorrelation for lags `0..=max_lag`.
+///
+/// ```
+/// use periodica_transform::external::StreamingAutocorrelator;
+///
+/// let mut acc = StreamingAutocorrelator::new(4);
+/// // Feed a long 0/1 stream in arbitrary blocks; memory stays O(max_lag).
+/// for chunk in (0..1000u64).map(|i| u64::from(i % 4 == 0)).collect::<Vec<_>>().chunks(37) {
+///     acc.push_block(chunk)?;
+/// }
+/// let counts = acc.finish();
+/// assert_eq!(counts[4], 249); // 250 occurrences, 249 lag-4 pairs
+/// assert_eq!(counts[3], 0);
+/// # Ok::<(), periodica_transform::TransformError>(())
+/// ```
+#[derive(Debug)]
+pub struct StreamingAutocorrelator {
+    max_lag: usize,
+    /// Match-count accumulator per lag.
+    counts: Vec<u64>,
+    /// Last `<= max_lag` samples seen, providing cross-block pairs.
+    tail: Vec<u64>,
+    /// Total samples consumed.
+    consumed: u64,
+}
+
+impl StreamingAutocorrelator {
+    /// Creates an accumulator for lags up to and including `max_lag`.
+    pub fn new(max_lag: usize) -> Self {
+        StreamingAutocorrelator {
+            max_lag,
+            counts: vec![0; max_lag + 1],
+            tail: Vec::with_capacity(max_lag),
+            consumed: 0,
+        }
+    }
+
+    /// Largest lag tracked.
+    pub fn max_lag(&self) -> usize {
+        self.max_lag
+    }
+
+    /// Samples consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Feeds one block of samples.
+    ///
+    /// Every pair `(j, j+p)` whose *right* element falls in this block is
+    /// counted here, using the retained tail for pairs that straddle the
+    /// block boundary.
+    pub fn push_block(&mut self, block: &[u64]) -> Result<()> {
+        if block.is_empty() {
+            return Ok(());
+        }
+        let t = self.tail.len();
+        let l = block.len();
+        // full = tail ++ block
+        let mut full = Vec::with_capacity(t + l);
+        full.extend_from_slice(&self.tail);
+        full.extend_from_slice(block);
+
+        if t + l <= 64 {
+            // Tiny blocks: direct counting beats transform setup.
+            for p in 0..=self.max_lag.min(t + l - 1) {
+                let mut acc = 0u64;
+                for (i, &b) in block.iter().enumerate() {
+                    let q = t + i;
+                    if q >= p {
+                        acc += full[q - p] * b;
+                    }
+                }
+                self.counts[p] += acc;
+            }
+        } else {
+            // count(p) = conv(rev(full), block)[l - 1 + p]; one exact
+            // convolution yields every lag at once.
+            let rev: Vec<u64> = full.iter().rev().copied().collect();
+            let conv = convolve_exact(&rev, block)?;
+            let upper = self.max_lag.min(t + l - 1);
+            for p in 0..=upper {
+                self.counts[p] += conv[l - 1 + p];
+            }
+        }
+
+        self.consumed += l as u64;
+        // Retain the last max_lag samples as the next block's context.
+        if full.len() > self.max_lag {
+            self.tail = full[full.len() - self.max_lag..].to_vec();
+        } else {
+            self.tail = full;
+        }
+        Ok(())
+    }
+
+    /// Consumes an iterator of samples in internal blocks.
+    pub fn push_iter<I: IntoIterator<Item = u64>>(&mut self, iter: I) -> Result<()> {
+        let block_size = DEFAULT_BLOCK.max(self.max_lag + 1);
+        let mut buf = Vec::with_capacity(block_size);
+        for v in iter {
+            buf.push(v);
+            if buf.len() == block_size {
+                self.push_block(&buf)?;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.push_block(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Current counts without ending the stream:
+    /// `counts()[p] = sum_j x[j] x[j+p]` over everything consumed so far.
+    /// The accumulator remains usable; online consumers poll this between
+    /// blocks.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Finishes the stream, returning `counts[p] = sum_j x[j] x[j+p]`.
+    pub fn finish(self) -> Vec<u64> {
+        self.counts
+    }
+}
+
+/// One-shot convenience over [`StreamingAutocorrelator`].
+pub fn autocorrelate_stream<I: IntoIterator<Item = u64>>(
+    iter: I,
+    max_lag: usize,
+) -> Result<Vec<u64>> {
+    let mut acc = StreamingAutocorrelator::new(max_lag);
+    acc.push_iter(iter)?;
+    Ok(acc.finish())
+}
+
+/// In-core oracle used by the tests: truncated naive autocorrelation.
+pub fn autocorrelate_in_core(x: &[u64], max_lag: usize) -> Vec<u64> {
+    let full = cross_correlate_naive(x, x);
+    (0..=max_lag)
+        .map(|p| full.get(p).copied().unwrap_or(0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_bits(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                u64::from(state & 3 == 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_in_core_single_block() {
+        let x = pseudo_random_bits(500, 1);
+        let got = autocorrelate_stream(x.iter().copied(), 40).expect("ok");
+        assert_eq!(got, autocorrelate_in_core(&x, 40));
+    }
+
+    #[test]
+    fn streaming_matches_in_core_across_many_blocks() {
+        let x = pseudo_random_bits(5_000, 2);
+        let mut acc = StreamingAutocorrelator::new(64);
+        for chunk in x.chunks(137) {
+            acc.push_block(chunk).expect("ok");
+        }
+        assert_eq!(acc.consumed(), 5_000);
+        assert_eq!(acc.finish(), autocorrelate_in_core(&x, 64));
+    }
+
+    #[test]
+    fn block_boundaries_do_not_lose_pairs() {
+        // A perfectly periodic signal split at hostile boundaries.
+        let x: Vec<u64> = (0..300).map(|i| u64::from(i % 7 == 0)).collect();
+        for block in [1usize, 3, 7, 13, 299, 300] {
+            let mut acc = StreamingAutocorrelator::new(30);
+            for chunk in x.chunks(block) {
+                acc.push_block(chunk).expect("ok");
+            }
+            assert_eq!(acc.finish(), autocorrelate_in_core(&x, 30), "block={block}");
+        }
+    }
+
+    #[test]
+    fn tiny_block_fast_path_agrees_with_transform_path() {
+        let x = pseudo_random_bits(200, 3);
+        let mut tiny = StreamingAutocorrelator::new(16);
+        for chunk in x.chunks(8) {
+            tiny.push_block(chunk).expect("ok");
+        }
+        let mut big = StreamingAutocorrelator::new(16);
+        big.push_block(&x).expect("ok");
+        assert_eq!(tiny.finish(), big.finish());
+    }
+
+    #[test]
+    fn empty_and_zero_streams() {
+        let got = autocorrelate_stream(std::iter::empty(), 8).expect("ok");
+        assert_eq!(got, vec![0; 9]);
+        let zeros = vec![0u64; 100];
+        let got = autocorrelate_stream(zeros.iter().copied(), 8).expect("ok");
+        assert_eq!(got, vec![0; 9]);
+    }
+
+    #[test]
+    fn lag_zero_counts_occurrences() {
+        let x = pseudo_random_bits(1_000, 4);
+        let ones: u64 = x.iter().sum();
+        let got = autocorrelate_stream(x.iter().copied(), 0).expect("ok");
+        assert_eq!(got, vec![ones]);
+    }
+
+    #[test]
+    fn max_lag_longer_than_stream_is_safe() {
+        let x = vec![1u64, 0, 1];
+        let got = autocorrelate_stream(x.iter().copied(), 10).expect("ok");
+        assert_eq!(got[..3], [2, 0, 1]);
+        assert!(got[3..].iter().all(|&c| c == 0));
+    }
+}

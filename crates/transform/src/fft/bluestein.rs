@@ -1,0 +1,191 @@
+//! Bluestein's chirp-z algorithm: FFT of *arbitrary* length via a cyclic
+//! convolution of power-of-two length.
+//!
+//! Using the identity `jk = (j^2 + k^2 - (k-j)^2) / 2`, the DFT
+//! `X_k = sum_j x_j e^{s*2*pi*i*jk/n}` (with `s = -1` forward, `+1` inverse)
+//! becomes `X_k = w_k * sum_j (x_j w_j) * conj(w_{k-j})` where
+//! `w_j = e^{s*pi*i*j^2/n}` is the chirp. The inner sum is a linear
+//! convolution, evaluated cyclically at size `M >= 2n - 1` with the radix-2
+//! engine.
+
+use crate::complex::Complex;
+use crate::fft::radix2::Radix2Fft;
+use crate::fft::{FftAlgorithm, FftDirection};
+
+/// Arbitrary-length FFT via Bluestein's algorithm.
+#[derive(Debug)]
+pub struct BluesteinFft {
+    len: usize,
+    direction: FftDirection,
+    /// Chirp `w_j = e^{sign * pi * i * j^2 / n}` for `j < n`.
+    chirp: Vec<Complex>,
+    /// Forward transform of the (conjugate-chirp) convolution kernel,
+    /// pre-scaled by `1/m` to fold in the inverse-FFT normalization.
+    kernel_spectrum: Vec<Complex>,
+    inner_fwd: Radix2Fft,
+    inner_inv: Radix2Fft,
+}
+
+impl BluesteinFft {
+    /// Plans a Bluestein FFT of any non-zero length.
+    pub fn new(len: usize, direction: FftDirection) -> Self {
+        assert!(len > 0, "transform length must be non-zero");
+        let sign = direction.angle_sign();
+        let n = len as u128;
+        // Angles only need j^2 mod 2n: e^{pi*i*(j^2 + 2n*t)/n} = e^{pi*i*j^2/n}.
+        let chirp: Vec<Complex> = (0..len)
+            .map(|j| {
+                let sq = (j as u128 * j as u128) % (2 * n);
+                Complex::cis(sign * std::f64::consts::PI * sq as f64 / len as f64)
+            })
+            .collect();
+
+        let m = (2 * len - 1).next_power_of_two();
+        let inner_fwd = Radix2Fft::new(m, FftDirection::Forward);
+        let inner_inv = Radix2Fft::new(m, FftDirection::Inverse);
+
+        // Kernel b_t = conj(chirp_|t|), laid out cyclically so that the
+        // convolution index (k - j) in -(n-1)..=(n-1) wraps correctly.
+        let mut kernel = vec![Complex::ZERO; m];
+        for (t, &c) in chirp.iter().enumerate() {
+            kernel[t] = c.conj();
+            if t > 0 {
+                kernel[m - t] = c.conj();
+            }
+        }
+        inner_fwd.process(&mut kernel);
+        let scale = 1.0 / m as f64;
+        for z in &mut kernel {
+            *z = z.scale(scale);
+        }
+
+        BluesteinFft {
+            len,
+            direction,
+            chirp,
+            kernel_spectrum: kernel,
+            inner_fwd,
+            inner_inv,
+        }
+    }
+
+    /// The power-of-two size of the inner convolution.
+    pub fn inner_len(&self) -> usize {
+        self.kernel_spectrum.len()
+    }
+}
+
+impl FftAlgorithm for BluesteinFft {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn direction(&self) -> FftDirection {
+        self.direction
+    }
+
+    fn process(&self, buf: &mut [Complex]) {
+        debug_assert_eq!(buf.len(), self.len);
+        if self.len == 1 {
+            return;
+        }
+        let m = self.inner_len();
+        let mut work = vec![Complex::ZERO; m];
+        for (w, (&x, &c)) in work.iter_mut().zip(buf.iter().zip(&self.chirp)) {
+            *w = x * c;
+        }
+        self.inner_fwd.process(&mut work);
+        for (w, &k) in work.iter_mut().zip(&self.kernel_spectrum) {
+            *w *= k;
+        }
+        self.inner_inv.process(&mut work);
+        for (out, (&w, &c)) in buf.iter_mut().zip(work.iter().zip(&self.chirp)) {
+            *out = w * c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft::NaiveDft;
+
+    fn quasi_random(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                Complex::new(
+                    ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5,
+                    ((h << 7 >> 11) as f64 / (1u64 << 53) as f64) - 0.5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_on_awkward_sizes() {
+        for &n in &[1usize, 2, 3, 5, 6, 7, 12, 17, 25, 31, 33, 100, 127, 360] {
+            let fast = BluesteinFft::new(n, FftDirection::Forward);
+            let slow = NaiveDft::new(n, FftDirection::Forward);
+            let orig = quasi_random(n);
+            let mut a = orig.clone();
+            let mut b = orig;
+            fast.process(&mut a);
+            slow.process(&mut b);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert!(
+                    (*x - *y).abs() < 1e-8 * n as f64,
+                    "n={n} index {i}: {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_radix2_on_powers_of_two() {
+        use crate::fft::radix2::Radix2Fft;
+        for &n in &[4usize, 64, 512] {
+            let blue = BluesteinFft::new(n, FftDirection::Forward);
+            let r2 = Radix2Fft::new(n, FftDirection::Forward);
+            let orig = quasi_random(n);
+            let mut a = orig.clone();
+            let mut b = orig;
+            blue.process(&mut a);
+            r2.process(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((*x - *y).abs() < 1e-8 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip_on_prime_size() {
+        let n = 97;
+        let fwd = BluesteinFft::new(n, FftDirection::Forward);
+        let inv = BluesteinFft::new(n, FftDirection::Inverse);
+        let orig = quasi_random(n);
+        let mut buf = orig.clone();
+        fwd.process(&mut buf);
+        inv.process(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!((a.scale(1.0 / n as f64) - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn chirp_angle_reduction_stays_accurate_for_large_indices() {
+        // A size large enough that j^2 would lose precision without the
+        // mod-2n reduction. Spot-check the transform of an impulse.
+        let n = 100_003; // prime
+        let fft = BluesteinFft::new(n, FftDirection::Forward);
+        let mut buf = vec![Complex::ZERO; n];
+        buf[0] = Complex::ONE;
+        fft.process(&mut buf);
+        for k in [0usize, 1, n / 2, n - 1] {
+            assert!(
+                (buf[k].re - 1.0).abs() < 1e-6 && buf[k].im.abs() < 1e-6,
+                "bin {k}"
+            );
+        }
+    }
+}

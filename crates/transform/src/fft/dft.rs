@@ -1,0 +1,128 @@
+//! Naive O(n^2) discrete Fourier transform.
+//!
+//! This is the correctness oracle for the fast algorithms and the execution
+//! path for very small sizes where setup costs dominate. It is deliberately
+//! written as the textbook double loop.
+
+use crate::complex::Complex;
+use crate::fft::{FftAlgorithm, FftDirection};
+
+/// Textbook DFT evaluated by the definition.
+#[derive(Debug)]
+pub struct NaiveDft {
+    len: usize,
+    direction: FftDirection,
+    /// Twiddle table: `twiddles[k] = e^{sign * 2*pi*i * k / n}` for `k < n`.
+    twiddles: Vec<Complex>,
+}
+
+impl NaiveDft {
+    /// Plans a naive DFT of length `len`.
+    pub fn new(len: usize, direction: FftDirection) -> Self {
+        let sign = direction.angle_sign();
+        let twiddles = (0..len)
+            .map(|k| Complex::cis(sign * std::f64::consts::TAU * k as f64 / len as f64))
+            .collect();
+        NaiveDft {
+            len,
+            direction,
+            twiddles,
+        }
+    }
+}
+
+impl FftAlgorithm for NaiveDft {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn direction(&self) -> FftDirection {
+        self.direction
+    }
+
+    fn process(&self, buf: &mut [Complex]) {
+        debug_assert_eq!(buf.len(), self.len);
+        let n = self.len;
+        if n <= 1 {
+            return;
+        }
+        let mut out = vec![Complex::ZERO; n];
+        for (k, slot) in out.iter_mut().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in buf.iter().enumerate() {
+                // Index k*j mod n into the precomputed table.
+                acc += x * self.twiddles[(k * j) % n];
+            }
+            *slot = acc;
+        }
+        buf.copy_from_slice(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let dft = NaiveDft::new(8, FftDirection::Forward);
+        let mut buf = vec![Complex::ZERO; 8];
+        buf[0] = Complex::ONE;
+        dft.process(&mut buf);
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse_at_dc() {
+        let dft = NaiveDft::new(6, FftDirection::Forward);
+        let mut buf = vec![Complex::ONE; 6];
+        dft.process(&mut buf);
+        assert!((buf[0].re - 6.0).abs() < 1e-12);
+        for z in &buf[1..] {
+            assert!(z.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_input_after_scaling() {
+        let n = 5;
+        let fwd = NaiveDft::new(n, FftDirection::Forward);
+        let inv = NaiveDft::new(n, FftDirection::Inverse);
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, (i * i) as f64 * 0.5))
+            .collect();
+        let mut buf = orig.clone();
+        fwd.process(&mut buf);
+        inv.process(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!((a.scale(1.0 / n as f64) - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_point_transform_is_identity() {
+        let dft = NaiveDft::new(1, FftDirection::Forward);
+        let mut buf = vec![Complex::new(3.25, -1.5)];
+        dft.process(&mut buf);
+        assert_eq!(buf[0], Complex::new(3.25, -1.5));
+    }
+
+    #[test]
+    fn dft_matches_single_tone_expectation() {
+        // x[j] = e^{2 pi i * 2 j / 8} should transform to an impulse at bin 2
+        // under the forward (negative-exponent) convention.
+        let n = 8;
+        let dft = NaiveDft::new(n, FftDirection::Forward);
+        let mut buf: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(std::f64::consts::TAU * 2.0 * j as f64 / n as f64))
+            .collect();
+        dft.process(&mut buf);
+        for (k, z) in buf.iter().enumerate() {
+            let expect = if k == 2 { n as f64 } else { 0.0 };
+            assert!((z.re - expect).abs() < 1e-9, "bin {k}: {z:?}");
+            assert!(z.im.abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Fast Fourier transforms, built from scratch.
+//!
+//! Three algorithms sit behind one trait:
+//! * [`dft::NaiveDft`] — the O(n^2) definition, used as oracle and for tiny
+//!   sizes;
+//! * [`radix2::Radix2Fft`] — iterative Cooley-Tukey for powers of two;
+//! * [`bluestein::BluesteinFft`] — chirp-z for every other length.
+//!
+//! [`FftPlanner`] picks among them and caches plans so repeated transforms of
+//! the same size reuse twiddle tables.
+
+pub mod bluestein;
+pub mod dft;
+pub mod radix2;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::complex::Complex;
+
+/// Direction of a Fourier transform.
+///
+/// The forward transform uses the negative-exponent convention
+/// `X_k = sum_j x_j e^{-2 pi i jk/n}`; the inverse is unnormalized (callers
+/// scale by `1/n`, or use [`FftPlanner::inverse_normalized`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FftDirection {
+    /// Negative-exponent analysis transform.
+    Forward,
+    /// Positive-exponent synthesis transform (unnormalized).
+    Inverse,
+}
+
+impl FftDirection {
+    /// Sign applied to the twiddle angle: `-1` forward, `+1` inverse.
+    #[inline]
+    pub fn angle_sign(self) -> f64 {
+        match self {
+            FftDirection::Forward => -1.0,
+            FftDirection::Inverse => 1.0,
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        match self {
+            FftDirection::Forward => FftDirection::Inverse,
+            FftDirection::Inverse => FftDirection::Forward,
+        }
+    }
+}
+
+/// A planned fixed-size Fourier transform.
+pub trait FftAlgorithm: Send + Sync + std::fmt::Debug {
+    /// Transform size this plan was built for.
+    fn len(&self) -> usize;
+    /// Whether this plan is empty (it never is; provided for clippy parity).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Direction of the transform.
+    fn direction(&self) -> FftDirection;
+    /// Executes the transform in place. `buf.len()` must equal [`Self::len`].
+    fn process(&self, buf: &mut [Complex]);
+}
+
+/// Threshold below which the naive DFT beats FFT setup cost.
+const NAIVE_CUTOFF: usize = 8;
+
+/// Plans and caches FFTs of any size.
+///
+/// ```
+/// use periodica_transform::fft::{FftPlanner, FftDirection};
+/// use periodica_transform::complex::Complex;
+///
+/// let mut planner = FftPlanner::new();
+/// let fft = planner.plan(12, FftDirection::Forward);
+/// let mut buf = vec![Complex::ONE; 12];
+/// fft.process(&mut buf);
+/// assert!((buf[0].re - 12.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    cache: HashMap<(usize, FftDirection), Arc<dyn FftAlgorithm>>,
+}
+
+impl FftPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a cached or freshly planned transform of size `len`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn plan(&mut self, len: usize, direction: FftDirection) -> Arc<dyn FftAlgorithm> {
+        assert!(len > 0, "transform length must be non-zero");
+        self.cache
+            .entry((len, direction))
+            .or_insert_with(|| plan_uncached(len, direction))
+            .clone()
+    }
+
+    /// Forward transform of `buf` in place.
+    pub fn forward(&mut self, buf: &mut [Complex]) {
+        let plan = self.plan(buf.len(), FftDirection::Forward);
+        plan.process(buf);
+    }
+
+    /// Unnormalized inverse transform of `buf` in place.
+    pub fn inverse(&mut self, buf: &mut [Complex]) {
+        let plan = self.plan(buf.len(), FftDirection::Inverse);
+        plan.process(buf);
+    }
+
+    /// Inverse transform scaled by `1/n`, so `inverse_normalized(forward(x)) == x`.
+    pub fn inverse_normalized(&mut self, buf: &mut [Complex]) {
+        self.inverse(buf);
+        let scale = 1.0 / buf.len() as f64;
+        for z in buf.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+fn plan_uncached(len: usize, direction: FftDirection) -> Arc<dyn FftAlgorithm> {
+    if len <= NAIVE_CUTOFF && !len.is_power_of_two() {
+        Arc::new(dft::NaiveDft::new(len, direction))
+    } else if len.is_power_of_two() {
+        Arc::new(radix2::Radix2Fft::new(len, direction))
+    } else {
+        Arc::new(bluestein::BluesteinFft::new(len, direction))
+    }
+}
+
+/// Transforms two *real* signals with a single complex FFT.
+///
+/// Packs `x + i*y`, transforms once, and unpacks using Hermitian symmetry.
+/// Returns `(X, Y)`, the forward spectra of `x` and `y`. Both inputs must
+/// have the same length.
+pub fn fft_two_reals(
+    planner: &mut FftPlanner,
+    x: &[f64],
+    y: &[f64],
+) -> (Vec<Complex>, Vec<Complex>) {
+    assert_eq!(x.len(), y.len(), "paired real FFT requires equal lengths");
+    let n = x.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut buf: Vec<Complex> = x.iter().zip(y).map(|(&a, &b)| Complex::new(a, b)).collect();
+    planner.forward(&mut buf);
+    let mut xs = vec![Complex::ZERO; n];
+    let mut ys = vec![Complex::ZERO; n];
+    for k in 0..n {
+        let km = if k == 0 { 0 } else { n - k };
+        let a = buf[k];
+        let b = buf[km].conj();
+        xs[k] = (a + b).scale(0.5);
+        // Y_k = (a - b) / (2i) = -i/2 * (a - b)
+        let d = a - b;
+        ys[k] = Complex::new(d.im * 0.5, -d.re * 0.5);
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_caches_by_size_and_direction() {
+        let mut p = FftPlanner::new();
+        let a = p.plan(16, FftDirection::Forward);
+        let b = p.plan(16, FftDirection::Forward);
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = p.plan(16, FftDirection::Inverse);
+        let _ = p.plan(24, FftDirection::Forward);
+        assert_eq!(p.cached_plans(), 3);
+    }
+
+    #[test]
+    fn planner_round_trip_arbitrary_sizes() {
+        let mut p = FftPlanner::new();
+        for n in [1usize, 2, 3, 7, 8, 20, 36, 100] {
+            let orig: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64 * 0.3, -(i as f64) * 0.1))
+                .collect();
+            let mut buf = orig.clone();
+            p.forward(&mut buf);
+            p.inverse_normalized(&mut buf);
+            for (a, b) in buf.iter().zip(&orig) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_real_packing_matches_separate_transforms() {
+        let mut p = FftPlanner::new();
+        let n = 48;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.91).cos()).collect();
+        let (xs, ys) = fft_two_reals(&mut p, &x, &y);
+
+        let mut xb: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+        let mut yb: Vec<Complex> = y.iter().map(|&v| Complex::from_re(v)).collect();
+        p.forward(&mut xb);
+        p.forward(&mut yb);
+        for k in 0..n {
+            assert!((xs[k] - xb[k]).abs() < 1e-9, "X bin {k}");
+            assert!((ys[k] - yb[k]).abs() < 1e-9, "Y bin {k}");
+        }
+    }
+
+    #[test]
+    fn two_real_packing_empty_inputs() {
+        let mut p = FftPlanner::new();
+        let (xs, ys) = fft_two_reals(&mut p, &[], &[]);
+        assert!(xs.is_empty() && ys.is_empty());
+    }
+
+    #[test]
+    fn direction_reversal() {
+        assert_eq!(FftDirection::Forward.reversed(), FftDirection::Inverse);
+        assert_eq!(FftDirection::Inverse.reversed(), FftDirection::Forward);
+        assert_eq!(FftDirection::Forward.angle_sign(), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_length_plan_panics() {
+        let mut p = FftPlanner::new();
+        let _ = p.plan(0, FftDirection::Forward);
+    }
+}

@@ -1,0 +1,182 @@
+//! Iterative radix-2 decimation-in-time FFT for power-of-two sizes.
+//!
+//! The workhorse transform: bit-reversal permutation followed by in-place
+//! butterfly passes against a precomputed twiddle table. Planning (twiddle
+//! computation) is separated from execution so a plan can be reused across
+//! many buffers, which is how the convolution layer uses it.
+
+use crate::complex::Complex;
+use crate::fft::{FftAlgorithm, FftDirection};
+
+/// Radix-2 Cooley-Tukey FFT. `len` must be a power of two.
+#[derive(Debug)]
+pub struct Radix2Fft {
+    len: usize,
+    direction: FftDirection,
+    /// Twiddles for the largest stage: `e^{sign * 2*pi*i * k / len}` for
+    /// `k < len/2`. Smaller stages stride into this table.
+    twiddles: Vec<Complex>,
+    /// Precomputed bit-reversal index swaps `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+}
+
+impl Radix2Fft {
+    /// Plans a radix-2 FFT.
+    ///
+    /// # Panics
+    /// Panics if `len` is not a power of two or is zero.
+    pub fn new(len: usize, direction: FftDirection) -> Self {
+        assert!(
+            len.is_power_of_two(),
+            "radix-2 FFT requires a power-of-two size, got {len}"
+        );
+        let sign = direction.angle_sign();
+        let twiddles = (0..len / 2)
+            .map(|k| Complex::cis(sign * std::f64::consts::TAU * k as f64 / len as f64))
+            .collect();
+        let bits = len.trailing_zeros();
+        let mut swaps = Vec::with_capacity(len / 2);
+        for i in 0..len {
+            let j = reverse_bits(i, bits);
+            if (i as u32) < (j as u32) {
+                swaps.push((i as u32, j as u32));
+            }
+        }
+        Radix2Fft {
+            len,
+            direction,
+            twiddles,
+            swaps,
+        }
+    }
+}
+
+/// Reverses the low `bits` bits of `i`.
+#[inline]
+fn reverse_bits(i: usize, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize
+    }
+}
+
+impl FftAlgorithm for Radix2Fft {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn direction(&self) -> FftDirection {
+        self.direction
+    }
+
+    fn process(&self, buf: &mut [Complex]) {
+        debug_assert_eq!(buf.len(), self.len);
+        let n = self.len;
+        if n <= 1 {
+            return;
+        }
+        for &(i, j) in &self.swaps {
+            buf.swap(i as usize, j as usize);
+        }
+        // Butterfly passes: width doubles each pass; the twiddle stride
+        // halves correspondingly.
+        let mut width = 2usize;
+        while width <= n {
+            let half = width / 2;
+            let stride = n / width;
+            for base in (0..n).step_by(width) {
+                let mut tw = 0usize;
+                for off in 0..half {
+                    let a = buf[base + off];
+                    let b = buf[base + off + half] * self.twiddles[tw];
+                    buf[base + off] = a + b;
+                    buf[base + off + half] = a - b;
+                    tw += stride;
+                }
+            }
+            width *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft::NaiveDft;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "index {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution() {
+        for bits in 0..12u32 {
+            let n = 1usize << bits;
+            for i in 0..n {
+                assert_eq!(reverse_bits(reverse_bits(i, bits), bits), i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let _ = Radix2Fft::new(12, FftDirection::Forward);
+    }
+
+    #[test]
+    fn matches_naive_dft_across_sizes() {
+        for bits in 0..=10u32 {
+            let n = 1usize << bits;
+            let fast = Radix2Fft::new(n, FftDirection::Forward);
+            let slow = NaiveDft::new(n, FftDirection::Forward);
+            // Deterministic quasi-random input.
+            let orig: Vec<Complex> = (0..n)
+                .map(|i| {
+                    let x =
+                        ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1) >> 33) as f64;
+                    Complex::new((x / 2e9).sin(), (x / 3e9).cos())
+                })
+                .collect();
+            let mut a = orig.clone();
+            let mut b = orig;
+            fast.process(&mut a);
+            slow.process(&mut b);
+            assert_close(&a, &b, 1e-7 * (n.max(1) as f64));
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let n = 256;
+        let fwd = Radix2Fft::new(n, FftDirection::Forward);
+        let inv = Radix2Fft::new(n, FftDirection::Inverse);
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut buf = orig.clone();
+        fwd.process(&mut buf);
+        inv.process(&mut buf);
+        for (a, b) in buf.iter().zip(&orig) {
+            assert!((a.scale(1.0 / n as f64) - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 128;
+        let fwd = Radix2Fft::new(n, FftDirection::Forward);
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.31).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = orig.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = orig;
+        fwd.process(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+}

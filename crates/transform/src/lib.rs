@@ -1,0 +1,144 @@
+//! # periodica-transform
+//!
+//! From-scratch transform substrate for the `periodica` workspace — the
+//! machinery behind the paper's "compare the series to every shifted copy of
+//! itself with one convolution" step:
+//!
+//! * [`complex`] — a minimal `f64` complex number;
+//! * [`fft`] — naive DFT, radix-2 Cooley-Tukey, Bluestein chirp-z, and a
+//!   caching [`fft::FftPlanner`];
+//! * [`ntt`] — number-theoretic transform over the Goldilocks prime for
+//!   *exact* integer convolution (match counts are never rounded);
+//! * [`conv`] — convolution / cross-correlation / autocorrelation on both
+//!   backends, including the reusable [`conv::ExactCorrelator`] hot path;
+//! * [`external`] — bounded-memory streaming autocorrelation, the in-crate
+//!   equivalent of the external FFT the paper cites for on-disk mining.
+//!
+//! No external numeric dependencies: everything here is implemented and
+//! tested inside this crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod complex;
+pub mod conv;
+pub mod error;
+pub mod external;
+pub mod fft;
+pub mod ntt;
+pub mod rfft;
+
+pub use complex::Complex;
+pub use conv::ExactCorrelator;
+pub use error::{Result, TransformError};
+pub use fft::{FftDirection, FftPlanner};
+pub use rfft::RealFftPlanner;
+
+#[cfg(test)]
+mod proptests {
+    use crate::complex::Complex;
+    use crate::conv::{cross_correlate_exact, cross_correlate_naive, ExactCorrelator};
+    use crate::external::{autocorrelate_in_core, autocorrelate_stream};
+    use crate::fft::dft::NaiveDft;
+    use crate::fft::{FftAlgorithm, FftDirection, FftPlanner};
+    use crate::ntt::{convolve_exact, convolve_naive, mod_inv, mod_mul, reduce128, P};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn reduce128_always_matches_remainder(x in any::<u128>()) {
+            prop_assert_eq!(reduce128(x), (x % P as u128) as u64);
+        }
+
+        #[test]
+        fn field_inverse_law(a in 1u64..P) {
+            prop_assert_eq!(mod_mul(a, mod_inv(a)), 1);
+        }
+
+        #[test]
+        fn ntt_convolution_matches_schoolbook(
+            a in proptest::collection::vec(0u64..1000, 1..40),
+            b in proptest::collection::vec(0u64..1000, 1..40),
+        ) {
+            prop_assert_eq!(convolve_exact(&a, &b).unwrap(), convolve_naive(&a, &b));
+        }
+
+        #[test]
+        fn planner_fft_matches_naive_dft(
+            xs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..64)
+        ) {
+            let n = xs.len();
+            let orig: Vec<Complex> = xs.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+            let mut fast = orig.clone();
+            FftPlanner::new().forward(&mut fast);
+            let mut slow = orig;
+            NaiveDft::new(n, FftDirection::Forward).process(&mut slow);
+            for (f, s) in fast.iter().zip(&slow) {
+                prop_assert!((*f - *s).abs() < 1e-6 * (n as f64) * 100.0);
+            }
+        }
+
+        #[test]
+        fn fft_round_trip_is_identity(
+            xs in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..128)
+        ) {
+            let orig: Vec<Complex> = xs.iter().map(|&(r, i)| Complex::new(r, i)).collect();
+            let mut buf = orig.clone();
+            let mut planner = FftPlanner::new();
+            planner.forward(&mut buf);
+            planner.inverse_normalized(&mut buf);
+            for (a, b) in buf.iter().zip(&orig) {
+                prop_assert!((*a - *b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn exact_cross_correlation_matches_naive(
+            a in proptest::collection::vec(0u64..2, 1..80),
+            b in proptest::collection::vec(0u64..2, 1..80),
+        ) {
+            prop_assert_eq!(
+                cross_correlate_exact(&a, &b).unwrap(),
+                cross_correlate_naive(&a, &b)
+            );
+        }
+
+        #[test]
+        fn autocorrelation_is_symmetric_in_total(
+            x in proptest::collection::vec(0u64..2, 1..100)
+        ) {
+            // sum_p r[p] over p>0 counts each unordered pair once; combined
+            // with r[0] = #ones this bounds the total by ones^2.
+            let corr = ExactCorrelator::new(x.len()).unwrap();
+            let r = corr.autocorrelation(&x).unwrap();
+            let ones: u64 = x.iter().sum();
+            prop_assert_eq!(r[0], ones);
+            let pairs: u64 = r[1..].iter().sum();
+            prop_assert!(2 * pairs <= ones.saturating_mul(ones));
+        }
+
+        #[test]
+        fn streaming_autocorrelation_equals_in_core(
+            x in proptest::collection::vec(0u64..2, 0..600),
+            block in 1usize..97,
+            max_lag in 0usize..50,
+        ) {
+            let mut acc = crate::external::StreamingAutocorrelator::new(max_lag);
+            for chunk in x.chunks(block) {
+                acc.push_block(chunk).unwrap();
+            }
+            prop_assert_eq!(acc.finish(), autocorrelate_in_core(&x, max_lag));
+        }
+
+        #[test]
+        fn stream_one_shot_equals_in_core(
+            x in proptest::collection::vec(0u64..2, 0..400),
+            max_lag in 0usize..40,
+        ) {
+            prop_assert_eq!(
+                autocorrelate_stream(x.iter().copied(), max_lag).unwrap(),
+                autocorrelate_in_core(&x, max_lag)
+            );
+        }
+    }
+}

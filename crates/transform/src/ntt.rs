@@ -1,0 +1,405 @@
+//! Number-theoretic transform over the Goldilocks prime `P = 2^64 - 2^32 + 1`.
+//!
+//! The miner's match counts must be *exact* integers; floating-point FFT
+//! convolution would force the caller to reason about rounding. The NTT gives
+//! carry-free exact convolution for any coefficients whose convolution stays
+//! below `P` (~1.8e19) — comfortably true for 0/1 indicator vectors of any
+//! realistic series length.
+//!
+//! `P - 1 = 2^32 * (2^32 - 1)`, so radix-2 transforms up to length `2^32` are
+//! supported. `7` generates the multiplicative group.
+
+use crate::error::{Result, TransformError};
+
+/// The Goldilocks prime `2^64 - 2^32 + 1`.
+pub const P: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// A generator of the multiplicative group of `Z_P`.
+pub const GENERATOR: u64 = 7;
+
+/// Largest supported power-of-two transform size (`2^32`).
+pub const MAX_NTT_LEN: usize = 1 << 32;
+
+const EPSILON: u64 = 0xFFFF_FFFF; // 2^32 - 1; P = 2^64 - EPSILON
+
+/// Addition modulo `P`.
+#[inline]
+pub fn mod_add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let (sum, carry) = a.overflowing_add(b);
+    // On carry, the true value is sum + 2^64 = sum + EPSILON (mod P).
+    let (mut r, carry2) = sum.overflowing_add(if carry { EPSILON } else { 0 });
+    if carry2 {
+        r = r.wrapping_add(EPSILON);
+    }
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// Subtraction modulo `P`.
+#[inline]
+pub fn mod_sub(a: u64, b: u64) -> u64 {
+    debug_assert!(a < P && b < P);
+    let (diff, borrow) = a.overflowing_sub(b);
+    if borrow {
+        // True value is diff - 2^64 = diff - EPSILON (mod P).
+        diff.wrapping_sub(EPSILON)
+    } else {
+        diff
+    }
+}
+
+/// Reduces a 128-bit product modulo `P` using `2^64 ≡ 2^32 - 1` and
+/// `2^96 ≡ -1 (mod P)`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    let x_lo = x as u64;
+    let x_hi = (x >> 64) as u64;
+    let x_hi_hi = x_hi >> 32;
+    let x_hi_lo = x_hi & 0xFFFF_FFFF;
+
+    // t0 = x_lo - x_hi_hi (mod P)
+    let (mut t0, borrow) = x_lo.overflowing_sub(x_hi_hi);
+    if borrow {
+        t0 = t0.wrapping_sub(EPSILON);
+    }
+    // t1 = x_hi_lo * (2^32 - 1), always < 2^64.
+    let t1 = x_hi_lo * EPSILON;
+    // result = t0 + t1 (mod P)
+    let (mut r, carry) = t0.overflowing_add(t1);
+    if carry {
+        r = r.wrapping_add(EPSILON);
+    }
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// Multiplication modulo `P`.
+#[inline]
+pub fn mod_mul(a: u64, b: u64) -> u64 {
+    reduce128(a as u128 * b as u128)
+}
+
+/// Exponentiation modulo `P` by square-and-multiply.
+pub fn mod_pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= P;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base);
+        }
+        base = mod_mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse modulo `P` (Fermat).
+///
+/// # Panics
+/// Panics if `a == 0`.
+pub fn mod_inv(a: u64) -> u64 {
+    assert!(!a.is_multiple_of(P), "zero has no inverse");
+    mod_pow(a, P - 2)
+}
+
+/// A primitive `n`-th root of unity (`n` a power of two up to `2^32`).
+pub fn primitive_root_of_unity(n: usize) -> Result<u64> {
+    if !n.is_power_of_two() || n > MAX_NTT_LEN {
+        return Err(TransformError::NttSizeTooLarge {
+            requested: n,
+            max: MAX_NTT_LEN,
+        });
+    }
+    // GENERATOR^((P-1)/2^32) has order exactly 2^32; square down to order n.
+    let mut root = mod_pow(GENERATOR, (P - 1) >> 32);
+    let mut order = MAX_NTT_LEN;
+    while order > n {
+        root = mod_mul(root, root);
+        order >>= 1;
+    }
+    Ok(root)
+}
+
+/// A planned power-of-two NTT (forward and inverse share the plan).
+#[derive(Debug)]
+pub struct Ntt {
+    len: usize,
+    /// Forward twiddles: powers of the primitive root, `len/2` entries.
+    fwd_twiddles: Vec<u64>,
+    /// Inverse twiddles: powers of the root's inverse.
+    inv_twiddles: Vec<u64>,
+    /// `len^{-1} mod P`, for inverse normalization.
+    len_inv: u64,
+    /// Bit-reversal swaps `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+}
+
+impl Ntt {
+    /// Plans an NTT of power-of-two length `len`.
+    pub fn new(len: usize) -> Result<Self> {
+        if len == 0 {
+            return Err(TransformError::EmptyTransform);
+        }
+        if !len.is_power_of_two() || len > MAX_NTT_LEN {
+            return Err(TransformError::NttSizeTooLarge {
+                requested: len,
+                max: MAX_NTT_LEN,
+            });
+        }
+        let root = primitive_root_of_unity(len)?;
+        let root_inv = mod_inv(root);
+        let half = (len / 2).max(1);
+        let mut fwd_twiddles = Vec::with_capacity(half);
+        let mut inv_twiddles = Vec::with_capacity(half);
+        let (mut f, mut i) = (1u64, 1u64);
+        for _ in 0..half {
+            fwd_twiddles.push(f);
+            inv_twiddles.push(i);
+            f = mod_mul(f, root);
+            i = mod_mul(i, root_inv);
+        }
+        let bits = len.trailing_zeros();
+        let mut swaps = Vec::with_capacity(len / 2);
+        for a in 0..len {
+            let b = if bits == 0 {
+                0
+            } else {
+                (a as u64).reverse_bits().wrapping_shr(64 - bits) as usize
+            };
+            if a < b {
+                swaps.push((a as u32, b as u32));
+            }
+        }
+        Ok(Ntt {
+            len,
+            fwd_twiddles,
+            inv_twiddles,
+            len_inv: mod_inv(len as u64),
+            swaps,
+        })
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the plan is for the empty transform (never true).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn butterfly_passes(&self, buf: &mut [u64], twiddles: &[u64]) {
+        let n = self.len;
+        for &(i, j) in &self.swaps {
+            buf.swap(i as usize, j as usize);
+        }
+        let mut width = 2usize;
+        while width <= n {
+            let half = width / 2;
+            let stride = n / width;
+            for base in (0..n).step_by(width) {
+                let mut tw = 0usize;
+                for off in 0..half {
+                    let a = buf[base + off];
+                    let b = mod_mul(buf[base + off + half], twiddles[tw]);
+                    buf[base + off] = mod_add(a, b);
+                    buf[base + off + half] = mod_sub(a, b);
+                    tw += stride;
+                }
+            }
+            width *= 2;
+        }
+    }
+
+    /// Forward NTT in place.
+    ///
+    /// # Panics
+    /// Panics (debug) if `buf.len() != self.len()` or any value `>= P`.
+    pub fn forward(&self, buf: &mut [u64]) {
+        debug_assert_eq!(buf.len(), self.len);
+        if self.len <= 1 {
+            return;
+        }
+        self.butterfly_passes(buf, &self.fwd_twiddles);
+    }
+
+    /// Inverse NTT in place, including `1/n` normalization.
+    pub fn inverse(&self, buf: &mut [u64]) {
+        debug_assert_eq!(buf.len(), self.len);
+        if self.len <= 1 {
+            return;
+        }
+        self.butterfly_passes(buf, &self.inv_twiddles);
+        for v in buf.iter_mut() {
+            *v = mod_mul(*v, self.len_inv);
+        }
+    }
+}
+
+/// Exact linear convolution of non-negative integer sequences.
+///
+/// Returns a vector of length `a.len() + b.len() - 1` whose `i`-th entry is
+/// `sum_j a[j] * b[i-j]` as an exact integer, provided every coefficient of
+/// the result is `< P`; otherwise [`TransformError::ExactOverflowRisk`].
+/// Inputs need not be reduced below `P` individually, but must be `< P`.
+pub fn convolve_exact(a: &[u64], b: &[u64]) -> Result<Vec<u64>> {
+    if a.is_empty() || b.is_empty() {
+        return Ok(Vec::new());
+    }
+    let max_a = *a.iter().max().expect("non-empty") as u128;
+    let max_b = *b.iter().max().expect("non-empty") as u128;
+    let terms = a.len().min(b.len()) as u128;
+    let bound = max_a
+        .checked_mul(max_b)
+        .and_then(|m| m.checked_mul(terms))
+        .ok_or(TransformError::ExactOverflowRisk { bound: u128::MAX })?;
+    if bound >= P as u128 {
+        return Err(TransformError::ExactOverflowRisk { bound });
+    }
+    let out_len = a.len() + b.len() - 1;
+    let size = out_len.next_power_of_two();
+    let plan = Ntt::new(size)?;
+    let mut fa = vec![0u64; size];
+    fa[..a.len()].copy_from_slice(a);
+    let mut fb = vec![0u64; size];
+    fb[..b.len()].copy_from_slice(b);
+    plan.forward(&mut fa);
+    plan.forward(&mut fb);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = mod_mul(*x, *y);
+    }
+    plan.inverse(&mut fa);
+    fa.truncate(out_len);
+    Ok(fa)
+}
+
+/// Schoolbook convolution; the O(n^2) oracle for [`convolve_exact`].
+pub fn convolve_naive(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        assert_eq!(mod_add(P - 1, 1), 0);
+        assert_eq!(mod_sub(0, 1), P - 1);
+        assert_eq!(mod_mul(P - 1, P - 1), 1); // (-1)^2 = 1
+        assert_eq!(mod_pow(GENERATOR, P - 1), 1); // Fermat
+        assert_eq!(mod_mul(123_456_789, mod_inv(123_456_789)), 1);
+    }
+
+    #[test]
+    fn reduce128_matches_u128_remainder() {
+        // Deterministic pseudo-random 128-bit values, plus structured edges.
+        let mut x: u128 = 0x0123_4567_89AB_CDEF_0011_2233_4455_6677;
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(0x2545F4914F6CDD1D)
+                .wrapping_add(0x9E3779B97F4A7C15);
+            assert_eq!(reduce128(x), (x % P as u128) as u64, "x = {x:#x}");
+        }
+        for &x in &[
+            0u128,
+            1,
+            P as u128 - 1,
+            P as u128,
+            P as u128 + 1,
+            u128::MAX,
+            (P as u128 - 1) * (P as u128 - 1),
+            1u128 << 96,
+            (1u128 << 96) - 1,
+        ] {
+            assert_eq!(reduce128(x), (x % P as u128) as u64, "x = {x:#x}");
+        }
+    }
+
+    #[test]
+    fn primitive_roots_have_exact_order() {
+        for log in 0..=16u32 {
+            let n = 1usize << log;
+            let r = primitive_root_of_unity(n).expect("valid size");
+            assert_eq!(mod_pow(r, n as u64), 1, "order divides n for n={n}");
+            if n > 1 {
+                assert_ne!(mod_pow(r, n as u64 / 2), 1, "order is exactly n for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ntt_round_trip() {
+        for log in 0..=12u32 {
+            let n = 1usize << log;
+            let plan = Ntt::new(n).expect("plan");
+            let orig: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(0x9E3779B9) % P)
+                .collect();
+            let mut buf = orig.clone();
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            assert_eq!(buf, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn exact_convolution_matches_schoolbook() {
+        let a = vec![1u64, 2, 3, 4, 5];
+        let b = vec![6u64, 7, 8];
+        assert_eq!(
+            convolve_exact(&a, &b).expect("fits"),
+            convolve_naive(&a, &b)
+        );
+    }
+
+    #[test]
+    fn exact_convolution_of_indicators() {
+        // 0/1 vectors: the miner's actual workload.
+        let a: Vec<u64> = (0..200).map(|i| u64::from(i % 3 == 0)).collect();
+        let got = convolve_exact(&a, &a).expect("fits");
+        assert_eq!(got, convolve_naive(&a, &a));
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_output() {
+        assert!(convolve_exact(&[], &[1, 2]).expect("ok").is_empty());
+        assert!(convolve_exact(&[1, 2], &[]).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn single_element_convolution() {
+        assert_eq!(convolve_exact(&[7], &[9]).expect("ok"), vec![63]);
+    }
+
+    #[test]
+    fn overflow_risk_is_reported() {
+        let big = vec![u64::MAX / 2; 8];
+        match convolve_exact(&big, &big) {
+            Err(TransformError::ExactOverflowRisk { .. }) => {}
+            other => panic!("expected overflow-risk error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_sizes() {
+        assert!(Ntt::new(0).is_err());
+        assert!(Ntt::new(3).is_err());
+        assert!(primitive_root_of_unity(12).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Event-log monitoring with the one-pass streaming API.
+//!
+//! ```text
+//! cargo run --release --example event_log_monitor
+//! ```
+//!
+//! The intro's motivating scenario: a network event log with obscure
+//! periodic behaviour (pollers, cron jobs) buried in random events. The
+//! log is consumed **once**, event by event, through [`OneTouchMiner`] —
+//! the paper's one-pass contract as an API — and the planted heartbeats
+//! come back out with their periods, phases, and reliabilities.
+
+use periodica::datagen::{EventLogConfig, Heartbeat};
+use periodica::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = EventLogConfig {
+        length: 50_000,
+        heartbeats: vec![
+            Heartbeat {
+                symbol: SymbolId(5),
+                period: 60,
+                phase: 7,
+                reliability: 0.97,
+            },
+            Heartbeat {
+                symbol: SymbolId(4),
+                period: 300,
+                phase: 120,
+                reliability: 0.99,
+            },
+        ],
+        ..Default::default()
+    };
+    let alphabet = config.alphabet()?;
+    let log = config.generate()?;
+    println!("streaming {} log events, one pass...", log.len());
+
+    // Feed the stream event-by-event; nothing is ever re-read.
+    let miner = ObscureMiner::builder()
+        .threshold(0.85)
+        .max_period(400)
+        .mine_patterns(false)
+        .build();
+    let mut touch = OneTouchMiner::new(alphabet.clone(), miner);
+    for &event in log.symbols() {
+        touch.push(event)?;
+    }
+    let report = touch.finish()?;
+
+    // Harmonic analysis collapses (p, 2p, 3p, ...) families to their
+    // fundamentals — the headline answer to "what beats in this log?".
+    let fundamentals = periodica::core::fundamentals(&report.detection);
+    println!("\nperiodic events found (psi = 0.85, fundamentals only):");
+    for sp in &fundamentals {
+        println!(
+            "  `{}` every {} slots, offset {}, confidence {:.2}",
+            alphabet.name(sp.symbol),
+            sp.period,
+            sp.phase,
+            sp.confidence,
+        );
+    }
+    assert!(fundamentals.len() >= 2, "both heartbeats should surface");
+    println!("\nboth planted heartbeats recovered (poll@60+7, gc@300+120).");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Noise resilience and engine equivalence, hands on.
+//!
+//! ```text
+//! cargo run --release --example noisy_recovery
+//! ```
+//!
+//! Plants a period-25 pattern in 100k symbols, corrupts it with increasing
+//! replacement noise, and watches the detected confidence degrade exactly
+//! as the paper's Fig. 6 predicts — while all three convolution engines
+//! (naive shift-compare, bit-parallel, exact-NTT spectrum) agree bit for
+//! bit on every run.
+
+use periodica::prelude::*;
+use periodica::series::generate::{PeriodicSeriesSpec, SymbolDistribution};
+use periodica::series::noise::NoiseSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = PeriodicSeriesSpec {
+        length: 100_000,
+        period: 25,
+        alphabet_size: 10,
+        distribution: SymbolDistribution::Uniform,
+    };
+    let clean = spec.generate(42)?;
+    println!("planted period 25 in {} symbols", clean.series.len());
+    println!("{:<8} {:>12} {:>10}", "noise", "confidence", "detected");
+
+    for pct in [0u32, 10, 20, 30, 40, 50] {
+        let noisy = NoiseSpec::replacement(pct as f64 / 100.0)?.apply(&clean.series, 7);
+        let confidence = period_confidence(&noisy, 25);
+        let report = ObscureMiner::builder()
+            .threshold(0.4) // the paper's observation: a 40% threshold
+            .max_period(200) // tolerates 50% replacement noise
+            .mine_patterns(false)
+            .build()
+            .mine(&noisy)?;
+        let detected = report.detection.detected_periods().contains(&25);
+        println!("{:>5}%   {confidence:>12.3} {detected:>10}", pct);
+
+        // Engine equivalence on the corrupted series: identical outputs.
+        let runs: Vec<_> = [EngineKind::Naive, EngineKind::Bitset, EngineKind::Spectrum]
+            .into_iter()
+            .map(|engine| {
+                ObscureMiner::builder()
+                    .threshold(0.4)
+                    .max_period(60)
+                    .engine(engine)
+                    .mine_patterns(false)
+                    .build()
+                    .mine(&noisy)
+                    .map(|r| r.detection.periodicities)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        assert!(
+            runs.windows(2).all(|w| w[0] == w[1]),
+            "engines diverged at {pct}% noise"
+        );
+    }
+    println!("\nall three engines agreed on every noisy series.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: mine the paper's running example end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through exactly the toy series from Sect. 2 of the paper
+//! (`T = abcabbabcb`), printing the symbol periodicities and the periodic
+//! patterns with their supports.
+
+use periodica::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An alphabet (the discretization levels) and a series over it.
+    let alphabet = Alphabet::latin(3)?;
+    let series = SymbolSeries::parse("abcabbabcb", &alphabet)?;
+    println!("series    : {series}");
+    println!("alphabet  : {alphabet}  (sigma = {})", alphabet.len());
+
+    // 2. A miner. The periodicity threshold psi is the only knob that
+    //    matters to begin with; the period is *not* an input — discovering
+    //    it is the point.
+    let miner = ObscureMiner::builder()
+        .threshold(2.0 / 3.0)
+        .engine(EngineKind::Spectrum) // the paper's O(n log n) convolution
+        .build();
+    let report = miner.mine(&series)?;
+
+    // 3. Symbol periodicities (Def. 1): which symbol recurs every p steps
+    //    starting where, and how reliably.
+    println!("\nsymbol periodicities (psi = 2/3):");
+    for sp in &report.detection.periodicities {
+        println!(
+            "  symbol {:>2}  period {:>2}  position {:>2}  confidence {:.3}",
+            alphabet.name(sp.symbol),
+            sp.period,
+            sp.phase,
+            sp.confidence,
+        );
+    }
+
+    // 4. Periodic patterns (Defs. 2-3), don't-care positions as '*'.
+    println!("\nperiodic patterns:");
+    for m in &report.patterns {
+        println!(
+            "  {}  (period {}, support {:.3})",
+            m.pattern.render(&alphabet),
+            m.pattern.period(),
+            m.support.support,
+        );
+    }
+
+    // The paper's Sect. 2 results, verified:
+    assert!(report
+        .patterns
+        .iter()
+        .any(|m| m.pattern.render(&alphabet) == "ab*"
+            && (m.support.support - 2.0 / 3.0).abs() < 1e-9));
+    println!("\nreproduced the paper's worked example: a**, *b*, ab* at period 3.");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! # periodica
+//!
+//! One-pass, convolution-based mining of **obscure periodic patterns** —
+//! periodic patterns whose period is *discovered*, not supplied — in symbol
+//! time series. A from-scratch Rust reproduction of:
+//!
+//! > Mohamed G. Elfeky, Walid G. Aref, Ahmed K. Elmagarmid.
+//! > *Using Convolution to Mine Obscure Periodic Patterns in One Pass.*
+//! > EDBT 2004.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use periodica::prelude::*;
+//!
+//! // The running example from the paper (Sect. 2): T = abcabbabcb.
+//! let alphabet = Alphabet::latin(3)?;
+//! let series = SymbolSeries::parse("abcabbabcb", &alphabet)?;
+//!
+//! let miner = ObscureMiner::builder().threshold(2.0 / 3.0).build();
+//! let report = miner.mine(&series)?;
+//!
+//! // Symbol periodicities: a is periodic with period 3 at position 0
+//! // (confidence 2/3); b with period 3 at position 1 (confidence 1).
+//! for sp in &report.detection.periodicities {
+//!     println!(
+//!         "{} every {} @ {} (confidence {:.2})",
+//!         alphabet.name(sp.symbol), sp.period, sp.phase, sp.confidence
+//!     );
+//! }
+//!
+//! // Periodic patterns, don't-cares rendered as '*': a**, *b*, ab*.
+//! assert!(report.patterns.iter().any(|m| m.pattern.render(&alphabet) == "ab*"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`core`] (periodica-core) | the miner: mapping scheme, engines, detector, patterns |
+//! | [`series`] (periodica-series) | alphabets, series, projections, discretizers, noise, generators |
+//! | [`transform`] (periodica-transform) | from-scratch FFT / NTT / convolution / streaming correlation |
+//! | [`baselines`] (periodica-baselines) | Indyk periodic trends, shift distance, Ma-Hellerstein, Berberidis |
+//! | [`datagen`] (periodica-datagen) | Wal-Mart / CIMEG / event-log surrogates |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use periodica_baselines as baselines;
+pub use periodica_core as core;
+pub use periodica_datagen as datagen;
+pub use periodica_series as series;
+pub use periodica_transform as transform;
+
+/// The single-import surface for typical use.
+pub mod prelude {
+    pub use periodica_core::{
+        mine_reader, period_confidence, DetectionResult, EngineKind, MinedPattern, MiningError,
+        MiningReport, ObscureMiner, OneTouchMiner, Pattern, PatternMode, SymbolPeriodicity,
+    };
+    pub use periodica_series::{Alphabet, SeriesBuilder, SeriesError, SymbolId, SymbolSeries};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn prelude_is_sufficient_for_the_basic_flow() {
+        let alphabet = Alphabet::latin(3).expect("ok");
+        let series = SymbolSeries::parse("abcabbabcb", &alphabet).expect("ok");
+        let report = ObscureMiner::builder()
+            .threshold(0.6)
+            .engine(EngineKind::Bitset)
+            .build()
+            .mine(&series)
+            .expect("ok");
+        assert!(!report.detection.periodicities.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end exercise of the `periodica` command-line tool through its
+//! library entry point (no subprocesses: deterministic and fast).
+
+use std::io::Cursor;
+
+fn invoke(argv: &[&str], input: &str) -> (i32, String) {
+    let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let mut stdin = Cursor::new(input.as_bytes().to_vec());
+    let mut out = Vec::new();
+    let code = periodica_cli::run(&argv, &mut stdin, &mut out).expect("cli run");
+    (code, String::from_utf8(out).expect("utf8"))
+}
+
+#[test]
+fn generate_discretize_mine_round_trip() {
+    // generate a clean periodic series…
+    let (code, series) = invoke(
+        &[
+            "generate", "--length", "3000", "--period", "24", "--sigma", "6", "--seed", "7",
+        ],
+        "",
+    );
+    assert_eq!(code, 0);
+
+    // …mine it via stdin with an explicit alphabet and engine…
+    let (code, out) = invoke(
+        &[
+            "mine",
+            "-",
+            "--threshold",
+            "0.95",
+            "--alphabet",
+            "abcdef",
+            "--engine",
+            "bitset",
+            "--max-period",
+            "60",
+            "--fundamentals",
+        ],
+        &series,
+    );
+    assert_eq!(code, 0);
+    assert!(out.contains("period    24"), "{out}");
+
+    // …and confirm the fast candidate phase agrees.
+    let (code, periods) = invoke(
+        &["periods", "-", "--threshold", "0.95", "--max-period", "60"],
+        &series,
+    );
+    assert_eq!(code, 0);
+    assert!(periods.lines().any(|l| l.trim() == "24"), "{periods}");
+}
+
+#[test]
+fn noisy_generation_still_detectable() {
+    let (code, series) = invoke(
+        &[
+            "generate",
+            "--length",
+            "20000",
+            "--period",
+            "25",
+            "--seed",
+            "3",
+            "--noise",
+            "0.3",
+            "--noise-mix",
+            "R",
+        ],
+        "",
+    );
+    assert_eq!(code, 0);
+    let (code, out) = invoke(
+        &[
+            "mine",
+            "-",
+            "--threshold",
+            "0.4",
+            "--max-period",
+            "50",
+            "--no-patterns",
+        ],
+        &series,
+    );
+    assert_eq!(code, 0);
+    assert!(out.contains("period    25"), "{out}");
+}
+
+#[test]
+fn discretize_then_periods_pipeline() {
+    // A numeric sawtooth with period 8.
+    let csv: String = (0..800).map(|i| format!("{}\n", (i % 8) * 10)).collect();
+    let (code, symbols) = invoke(
+        &["discretize", "-", "--levels", "4", "--scheme", "width"],
+        &csv,
+    );
+    assert_eq!(code, 0);
+    let (code, out) = invoke(
+        &["periods", "-", "--threshold", "0.9", "--max-period", "40"],
+        &symbols,
+    );
+    assert_eq!(code, 0);
+    assert!(out.lines().any(|l| l.trim() == "8"), "{out}");
+}
+
+#[test]
+fn trends_command_runs_on_symbol_input() {
+    let series = "abcd".repeat(300);
+    let (code, out) = invoke(
+        &[
+            "trends",
+            "-",
+            "--max-period",
+            "40",
+            "--limit",
+            "8",
+            "--sketches",
+            "24",
+        ],
+        &series,
+    );
+    assert_eq!(code, 0);
+    let ranked: Vec<usize> = out
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| l.split_whitespace().next()?.parse().ok())
+        .collect();
+    assert_eq!(ranked.len(), 8);
+    assert!(ranked.iter().any(|&p| p % 4 == 0), "{ranked:?}");
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let argv: Vec<String> = ["mine", "/nonexistent/path.txt"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut stdin = Cursor::new(Vec::new());
+    let mut out = Vec::new();
+    assert!(periodica_cli::run(&argv, &mut stdin, &mut out).is_err());
+
+    let argv: Vec<String> = ["generate", "--length", "100"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    let err = periodica_cli::run(&argv, &mut Cursor::new(Vec::new()), &mut out)
+        .expect_err("missing --period");
+    assert!(err.to_string().contains("period"));
+}

@@ -1,0 +1,171 @@
+//! End-to-end mining across engines, modes, and ingestion paths.
+
+use periodica::core::{DetectorConfig, PeriodicityDetector};
+use periodica::prelude::*;
+use periodica::series::generate::{PeriodicSeriesSpec, SymbolDistribution};
+use periodica::series::noise::NoiseSpec;
+use std::io::Cursor;
+
+fn planted(length: usize, period: usize, seed: u64) -> SymbolSeries {
+    PeriodicSeriesSpec {
+        length,
+        period,
+        alphabet_size: 8,
+        distribution: SymbolDistribution::Uniform,
+    }
+    .generate(seed)
+    .expect("generate")
+    .series
+}
+
+#[test]
+fn all_engines_produce_identical_reports_on_noisy_data() {
+    let series = NoiseSpec::replacement(0.25)
+        .expect("spec")
+        .apply(&planted(3_000, 25, 1), 1);
+    let mine = |engine| {
+        ObscureMiner::builder()
+            .threshold(0.45)
+            .engine(engine)
+            .max_period(120)
+            .build()
+            .mine(&series)
+            .expect("mine")
+    };
+    let naive = mine(EngineKind::Naive);
+    let bitset = mine(EngineKind::Bitset);
+    let spectrum = mine(EngineKind::Spectrum);
+    assert_eq!(
+        naive.detection.periodicities,
+        bitset.detection.periodicities
+    );
+    assert_eq!(
+        naive.detection.periodicities,
+        spectrum.detection.periodicities
+    );
+    assert_eq!(naive.patterns, spectrum.patterns);
+    assert!(!spectrum.patterns.is_empty());
+}
+
+#[test]
+fn closed_patterns_are_a_lossless_summary_of_enumeration() {
+    // On a moderately noisy series, every enumerated frequent pattern must
+    // be a sub-pattern of some closed pattern with at least its count.
+    let series = NoiseSpec::replacement(0.3)
+        .expect("spec")
+        .apply(&planted(1_200, 12, 3), 3);
+    let mine = |mode| {
+        ObscureMiner::builder()
+            .threshold(0.4)
+            .max_period(24)
+            .pattern_mode(mode)
+            .build()
+            .mine(&series)
+            .expect("mine")
+    };
+    let closed = mine(PatternMode::Closed);
+    let enumerated = mine(PatternMode::EnumerateAll);
+    assert!(closed.patterns.len() <= enumerated.patterns.len());
+    for m in &enumerated.patterns {
+        let covered =
+            closed.patterns.iter().any(|c| {
+                m.pattern.is_subpattern_of(&c.pattern) && c.support.count >= m.support.count
+            }) || closed.patterns.iter().any(|c| c.pattern == m.pattern);
+        assert!(
+            covered,
+            "enumerated pattern {:?} not covered by any closed pattern",
+            m.pattern
+        );
+    }
+}
+
+#[test]
+fn streaming_reader_and_batch_agree() {
+    let alphabet = Alphabet::latin(4).expect("alphabet");
+    let text: String = (0..2_000)
+        .map(|i: usize| (b'a' + ((i * i % 7 + i % 4) % 4) as u8) as char)
+        .collect();
+    let series = SymbolSeries::parse(&text, &alphabet).expect("series");
+    let miner = || {
+        ObscureMiner::builder()
+            .threshold(0.5)
+            .max_period(100)
+            .build()
+    };
+
+    let batch = miner().mine(&series).expect("mine");
+    let streamed = mine_reader(Cursor::new(text), alphabet, miner()).expect("stream mine");
+    assert_eq!(
+        batch.detection.periodicities,
+        streamed.detection.periodicities
+    );
+    assert_eq!(batch.patterns, streamed.patterns);
+}
+
+#[test]
+fn candidate_periods_is_a_superset_of_detected_periods() {
+    let series = NoiseSpec::replacement(0.2)
+        .expect("spec")
+        .apply(&planted(5_000, 40, 7), 7);
+    let detector = PeriodicityDetector::new(
+        DetectorConfig {
+            threshold: 0.5,
+            ..Default::default()
+        },
+        EngineKind::Spectrum.build(),
+    );
+    let candidates = detector.candidate_periods(&series).expect("candidates");
+    let detected = detector.detect(&series).expect("detect").detected_periods();
+    for p in &detected {
+        assert!(
+            candidates.contains(p),
+            "detected period {p} missing from candidates"
+        );
+    }
+    assert!(candidates.contains(&40));
+}
+
+#[test]
+fn harmonics_are_reported_consistently() {
+    // A planted period is also periodic at its multiples, with equal or
+    // lower confidence (noise accumulates with lag; it cannot increase).
+    let series = NoiseSpec::replacement(0.15)
+        .expect("spec")
+        .apply(&planted(20_000, 25, 11), 11);
+    let c1 = period_confidence(&series, 25);
+    let c2 = period_confidence(&series, 50);
+    let c3 = period_confidence(&series, 75);
+    assert!(c1 > 0.6);
+    // Allow small sampling slack; multiples must stay in the same regime.
+    assert!(c2 > c1 - 0.15 && c2 < c1 + 0.15, "c1={c1} c2={c2}");
+    assert!(c3 > c1 - 0.15 && c3 < c1 + 0.15, "c1={c1} c3={c3}");
+    // Non-multiples are far below.
+    assert!(period_confidence(&series, 37) < 0.35);
+}
+
+#[test]
+fn empty_and_degenerate_series_through_the_full_api() {
+    let alphabet = Alphabet::latin(3).expect("alphabet");
+    for text in ["", "a", "ab", "aa"] {
+        let series = SymbolSeries::parse(text, &alphabet).expect("series");
+        let report = ObscureMiner::builder()
+            .threshold(0.5)
+            .build()
+            .mine(&series)
+            .expect("mine");
+        assert!(report.detection.periodicities.len() <= 2, "text {text:?}");
+    }
+}
+
+#[test]
+fn one_touch_miner_enforces_single_pass_semantics() {
+    let alphabet = Alphabet::latin(3).expect("alphabet");
+    let miner = ObscureMiner::builder().threshold(0.9).build();
+    let mut touch = OneTouchMiner::new(alphabet, miner);
+    for i in 0..900usize {
+        touch.push(SymbolId::from_index(i % 3)).expect("push");
+    }
+    assert_eq!(touch.len(), 900);
+    let report = touch.finish().expect("finish");
+    assert!(report.detection.detected_periods().contains(&3));
+}

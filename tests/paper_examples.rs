@@ -1,0 +1,143 @@
+//! Every worked example in the paper, end to end through the public API.
+//!
+//! These tests are the reproduction's anchor: each cites the section of the
+//! paper whose numbers it pins down.
+
+use periodica::core::mapping::{paper_binary_string, PaperMapping};
+use periodica::prelude::*;
+
+fn series(text: &str, sigma: usize) -> SymbolSeries {
+    let a = Alphabet::latin(sigma).expect("alphabet");
+    SymbolSeries::parse(text, &a).expect("series")
+}
+
+/// Sect. 2.2: "in the time series T = abcabbabcb, the symbol b is periodic
+/// with period 4 ... the symbol a is periodic with period 3".
+#[test]
+fn section_2_2_symbol_periodicity() {
+    let t = series("abcabbabcb", 3);
+    let a = t.alphabet().lookup("a").expect("a");
+    let b = t.alphabet().lookup("b").expect("b");
+    assert!((t.confidence(b, 4, 1) - 1.0).abs() < 1e-12);
+    assert!((t.confidence(a, 3, 0) - 2.0 / 3.0).abs() < 1e-12);
+}
+
+/// Sect. 2.2: F2 examples on T = abbaaabaa.
+#[test]
+fn section_2_2_f2_counts() {
+    let t = series("abbaaabaa", 2);
+    let a = t.alphabet().lookup("a").expect("a");
+    let b = t.alphabet().lookup("b").expect("b");
+    assert_eq!(t.f2_projected(a, 1, 0), 3);
+    assert_eq!(t.f2_projected(b, 1, 0), 1);
+}
+
+/// Sect. 2.3: single-symbol pattern supports — a** has support 2/3,
+/// *b* has support 1 — and the candidate patterns are a**, *b*, ab*.
+#[test]
+fn section_2_3_patterns_via_the_miner() {
+    let t = series("abcabbabcb", 3);
+    let alphabet = t.alphabet().clone();
+    let report = ObscureMiner::builder()
+        .threshold(2.0 / 3.0)
+        .build()
+        .mine(&t)
+        .expect("mine");
+    let at3: Vec<(String, f64)> = report
+        .patterns_at(3)
+        .into_iter()
+        .map(|m| (m.pattern.render(&alphabet), m.support.support))
+        .collect();
+    let support_of = |pat: &str| {
+        at3.iter()
+            .find(|(s, _)| s == pat)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    };
+    assert!((support_of("a**") - 2.0 / 3.0).abs() < 1e-12);
+    assert!((support_of("*b*") - 1.0).abs() < 1e-12);
+    assert!((support_of("ab*") - 2.0 / 3.0).abs() < 1e-12);
+}
+
+/// Sect. 3 opening: comparing T = abcabbabcb to its 3-shift yields four
+/// matches: two a's at position 0 and two b's at position 1.
+#[test]
+fn section_3_shift_compare_matches() {
+    let t = series("abcabbabcb", 3);
+    let a = t.alphabet().lookup("a").expect("a");
+    let b = t.alphabet().lookup("b").expect("b");
+    let c = t.alphabet().lookup("c").expect("c");
+    assert_eq!(t.lag_matches(a, 3), 2);
+    assert_eq!(t.lag_matches(b, 3), 2);
+    assert_eq!(t.lag_matches(c, 3), 0);
+}
+
+/// Sect. 3.2, Fig. 1: for T = acccabb, c_1 has weights {1, 11, 14}
+/// (one b and two c's) and c_4 = 2^6 (one a at position 0); and the binary
+/// mapping renders as 001 100 100 100 001 010 010.
+#[test]
+fn section_3_2_figure_1_components() {
+    let t = series("acccabb", 3);
+    assert_eq!(paper_binary_string(&t), "001100100100001010010");
+    let m = PaperMapping::encode(&t);
+    assert_eq!(m.weights(1), vec![1, 11, 14]);
+    assert_eq!(m.component_value_u128(4).expect("fits"), 1 << 6);
+    let w = m.decode(6, 4);
+    assert_eq!(w.symbol.index(), 0);
+    assert_eq!(w.time, 0);
+}
+
+/// Sect. 3.2: the W-set decomposition for T = abcabbabcb at p = 3 and for
+/// T = cabccbacd at p = 4, exactly as printed in the paper.
+#[test]
+fn section_3_2_weight_decompositions() {
+    let m = PaperMapping::encode(&series("abcabbabcb", 3));
+    assert_eq!(m.weights(3), vec![7, 9, 16, 18]);
+    assert_eq!(m.weights_for_symbol_phase(3, 0, 0), vec![9, 18]);
+    assert_eq!(m.f2_counts(3)[0][0], 2);
+
+    let m = PaperMapping::encode(&series("cabccbacd", 4));
+    assert_eq!(m.weights(4), vec![6, 18]);
+    assert_eq!(m.weights_for_symbol_phase(4, 2, 0), vec![18]);
+    assert_eq!(m.weights_for_symbol_phase(4, 2, 3), vec![6]);
+}
+
+/// Sect. 1.1: the Ma-Hellerstein critique — occurrences at 0, 4, 5, 7, 10
+/// have adjacent inter-arrivals {4, 1, 2, 3}; the underlying period 5 is
+/// only visible to a detector that considers *all* inter-arrivals.
+#[test]
+fn section_1_1_adjacency_blind_spot() {
+    let mut text = vec!['b'; 11];
+    for p in [0usize, 4, 5, 7, 10] {
+        text[p] = 'a';
+    }
+    let t = series(&text.iter().collect::<String>(), 2);
+    let a = t.alphabet().lookup("a").expect("a");
+    let gaps = periodica::baselines::ma_hellerstein::adjacent_distances(&t, a);
+    assert_eq!(gaps, vec![4, 1, 2, 3]);
+    // Our Definition-1 confidence at (5, 0) is perfect: positions 0, 5, 10.
+    assert!((t.confidence(a, 5, 0) - 1.0).abs() < 1e-12);
+}
+
+/// Def. 1 boundary conditions: psi is in (0, 1]; p is a variable, never an
+/// input — the miner must examine every period up to n/2 by default.
+#[test]
+fn definition_1_contract() {
+    let t = series("abcabbabcb", 3);
+    assert!(ObscureMiner::builder()
+        .threshold(0.0)
+        .build()
+        .mine(&t)
+        .is_err());
+    assert!(ObscureMiner::builder()
+        .threshold(1.0 + 1e-9)
+        .build()
+        .mine(&t)
+        .is_err());
+    let report = ObscureMiner::builder()
+        .threshold(1.0)
+        .build()
+        .mine(&t)
+        .expect("mine");
+    assert_eq!(report.detection.examined_periods, t.len() / 2);
+}

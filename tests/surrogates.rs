@@ -1,0 +1,148 @@
+//! The paper's real-data findings, reproduced on the surrogates.
+
+use periodica::datagen::{EventLogConfig, PowerConfig, RetailConfig};
+use periodica::prelude::*;
+
+/// Table 1 / Sect. 4.4, Wal-Mart: "a period of 24 hours is detected when
+/// the periodicity threshold is 70% or less", plus the weekly 168 and the
+/// daylight-saving artifact among the detected periods.
+#[test]
+fn retail_period_findings() {
+    let series = RetailConfig::default().generate_series().expect("generate");
+    let detect = |threshold: f64| {
+        ObscureMiner::builder()
+            .threshold(threshold)
+            .max_period(4_200)
+            .mine_patterns(false)
+            .build()
+            .mine(&series)
+            .expect("mine")
+            .detection
+            .detected_periods()
+    };
+    let at70 = detect(0.7);
+    assert!(at70.contains(&24), "24 missing at psi=0.7");
+    let at50 = detect(0.5);
+    assert!(at50.contains(&24));
+    assert!(at50.contains(&168), "weekly cycle missing at psi=0.5");
+    assert!(
+        at50.contains(&(24 * 165 + 1)),
+        "daylight-saving artifact missing"
+    );
+    // Monotonicity: lower thresholds superset higher ones.
+    for p in &at70 {
+        assert!(at50.contains(p));
+    }
+}
+
+/// Table 1, CIMEG: "the period of 7 days is detected when the threshold is
+/// 60% or less. Other clear periods are those that are multiples of 7."
+#[test]
+fn power_period_findings() {
+    let series = PowerConfig::default().generate_series().expect("generate");
+    let report = ObscureMiner::builder()
+        .threshold(0.6)
+        .max_period(180)
+        .mine_patterns(false)
+        .build()
+        .mine(&series)
+        .expect("mine");
+    let periods = report.detection.detected_periods();
+    assert!(periods.contains(&7), "{periods:?}");
+    let multiples = periods.iter().filter(|&&p| p % 7 == 0).count();
+    assert!(
+        multiples >= 3,
+        "expected several multiples of 7: {periods:?}"
+    );
+}
+
+/// Table 2 semantics: single-symbol patterns at the expected periods read
+/// as (symbol, position) pairs, nested across thresholds.
+#[test]
+fn single_symbol_patterns_nest_across_thresholds() {
+    let series = RetailConfig::default().generate_series().expect("generate");
+    let singles = |threshold: f64| -> Vec<(SymbolId, usize)> {
+        ObscureMiner::builder()
+            .threshold(threshold)
+            .min_period(24)
+            .max_period(24)
+            .mine_patterns(false)
+            .build()
+            .mine(&series)
+            .expect("mine")
+            .detection
+            .at_period(24)
+            .iter()
+            .map(|sp| (sp.symbol, sp.phase))
+            .collect()
+    };
+    let mut previous = singles(1.0);
+    for pct in [90, 80, 70, 60, 50, 40, 30] {
+        let current = singles(pct as f64 / 100.0);
+        for pair in &previous {
+            assert!(current.contains(pair), "threshold {pct}: lost {pair:?}");
+        }
+        previous = current;
+    }
+    assert!(!previous.is_empty());
+}
+
+/// Table 3 shape: multi-symbol patterns at period 24 and psi = 35% exist,
+/// are closed, and their supports are consistent re-measurements.
+#[test]
+fn retail_multi_symbol_patterns_at_35_percent() {
+    let series = RetailConfig::default().generate_series().expect("generate");
+    let report = ObscureMiner::builder()
+        .threshold(0.35)
+        .min_period(24)
+        .max_period(24)
+        .build()
+        .mine(&series)
+        .expect("mine");
+    let multis: Vec<&MinedPattern> = report
+        .patterns
+        .iter()
+        .filter(|m| m.pattern.cardinality() >= 2)
+        .collect();
+    assert!(!multis.is_empty(), "no multi-symbol patterns at psi=0.35");
+    for m in multis {
+        assert!(m.support.support + 1e-9 >= 0.35);
+        let direct = periodica::core::pattern_support(&series, &m.pattern);
+        assert_eq!(direct.count, m.support.count, "{:?}", m.pattern);
+    }
+}
+
+/// The event-log scenario end to end: both heartbeats surface with phase
+/// and period intact; background symbols produce no high-confidence
+/// periodicities at small periods.
+#[test]
+fn event_log_heartbeats_are_isolated() {
+    let config = EventLogConfig::default();
+    let series = config.generate().expect("generate");
+    let report = ObscureMiner::builder()
+        .threshold(0.9)
+        .max_period(350)
+        .mine_patterns(false)
+        .build()
+        .mine(&series)
+        .expect("mine");
+    assert!(report
+        .detection
+        .periodicities
+        .iter()
+        .any(|sp| sp.period == 60 && sp.phase == 7 && sp.symbol == SymbolId(5)));
+    assert!(report
+        .detection
+        .periodicities
+        .iter()
+        .any(|sp| sp.period == 300 && sp.phase == 120 && sp.symbol == SymbolId(4)));
+    // No non-heartbeat symbol reaches psi=0.9 at small periods.
+    for sp in &report.detection.periodicities {
+        if sp.period < 50 {
+            assert!(
+                sp.symbol == SymbolId(5) || sp.symbol == SymbolId(4),
+                "spurious {sp:?}"
+            );
+        }
+    }
+}
