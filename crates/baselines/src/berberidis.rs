@@ -10,7 +10,7 @@
 //! paper contrasts its one-pass algorithm against (Sect. 1.1).
 
 use periodica_series::{pair_denominator, SymbolId, SymbolSeries};
-use periodica_transform::{ExactCorrelator, Result as TransformResult};
+use periodica_transform::{CorrelatorScratch, ExactCorrelator, Result as TransformResult};
 
 /// A candidate period for one symbol from the filtering pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,9 +57,15 @@ pub fn candidate_periods(
         return Ok(out);
     }
     let max_p = config.max_period.unwrap_or(n / 2).min(n - 1);
+    // One cached-plan correlator, scratch, indicator buffer, and lag row
+    // serve every symbol; only surviving candidates allocate.
     let correlator = ExactCorrelator::new(n)?;
+    let mut scratch = CorrelatorScratch::new();
+    let mut indicator = Vec::with_capacity(n);
+    let mut auto = vec![0u64; max_p + 1];
     for symbol in series.alphabet().ids() {
-        let auto = correlator.autocorrelation(&series.indicator(symbol))?;
+        series.indicator_into(symbol, &mut indicator);
+        correlator.autocorrelation_into(&indicator, &mut auto, &mut scratch)?;
         for (period, &matches) in auto.iter().enumerate().take(max_p + 1).skip(1) {
             let best = (n / period) as f64;
             if best < 1.0 {

@@ -1,0 +1,315 @@
+//! Engine shoot-out for the transform-sharing spectrum pipeline.
+//!
+//! Times all four [`MatchEngine`]s at (sigma = 10, n = 2^17) over the full
+//! period range (`max_period = n/2`) and the bounded-lag scenario
+//! (`max_period = n/64`), against a faithful replication of the seed
+//! spectrum engine (three NTTs per symbol, a fresh plan per call, per-call
+//! buffer allocation). Every spectrum is asserted bit-identical before any
+//! ratio is reported. Results land in `BENCH_engines.json` at the repo
+//! root.
+//!
+//! Deliberately std-only (hand-rolled xorshift input, hand-rolled JSON) so
+//! the binary runs in stripped-down environments with no extra crates.
+
+use std::time::Instant;
+
+use periodica_core::engine::{
+    BoundedLagPolicy, EngineKind, MatchSpectrum, ParallelSpectrumEngine, SpectrumEngine,
+};
+use periodica_core::MatchEngine;
+use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+use periodica_transform::ntt;
+
+const SIGMA: usize = 10;
+const N: usize = 1 << 17;
+
+/// The seed's NTT plan, frozen verbatim from the pre-rewrite sources: one
+/// flat twiddle table read at stride `len/width` (the current plan stores
+/// stage-major tables and runs a bounds-check-free butterfly), rebuilt per
+/// engine call. Kept here so the baseline measures the seed as shipped,
+/// not the seed pipeline running on today's faster transform.
+struct SeedNtt {
+    len: usize,
+    fwd_twiddles: Vec<u64>,
+    inv_twiddles: Vec<u64>,
+    len_inv: u64,
+    swaps: Vec<(u32, u32)>,
+}
+
+impl SeedNtt {
+    fn new(len: usize) -> Self {
+        let root = ntt::primitive_root_of_unity(len).expect("root");
+        let root_inv = ntt::mod_inv(root);
+        let half = (len / 2).max(1);
+        let mut fwd_twiddles = Vec::with_capacity(half);
+        let mut inv_twiddles = Vec::with_capacity(half);
+        let (mut f, mut i) = (1u64, 1u64);
+        for _ in 0..half {
+            fwd_twiddles.push(f);
+            inv_twiddles.push(i);
+            f = ntt::mod_mul(f, root);
+            i = ntt::mod_mul(i, root_inv);
+        }
+        let bits = len.trailing_zeros();
+        let mut swaps = Vec::with_capacity(len / 2);
+        for a in 0..len {
+            let b = (a as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
+            if a < b {
+                swaps.push((a as u32, b as u32));
+            }
+        }
+        SeedNtt {
+            len,
+            fwd_twiddles,
+            inv_twiddles,
+            len_inv: ntt::mod_inv(len as u64),
+            swaps,
+        }
+    }
+
+    fn butterfly_passes(&self, buf: &mut [u64], twiddles: &[u64]) {
+        let n = self.len;
+        for &(i, j) in &self.swaps {
+            buf.swap(i as usize, j as usize);
+        }
+        let mut width = 2usize;
+        while width <= n {
+            let half = width / 2;
+            let stride = n / width;
+            for base in (0..n).step_by(width) {
+                let mut tw = 0usize;
+                for off in 0..half {
+                    let a = buf[base + off];
+                    let b = ntt::mod_mul(buf[base + off + half], twiddles[tw]);
+                    buf[base + off] = ntt::mod_add(a, b);
+                    buf[base + off + half] = ntt::mod_sub(a, b);
+                    tw += stride;
+                }
+            }
+            width *= 2;
+        }
+    }
+
+    fn forward(&self, buf: &mut [u64]) {
+        self.butterfly_passes(buf, &self.fwd_twiddles);
+    }
+
+    fn inverse(&self, buf: &mut [u64]) {
+        self.butterfly_passes(buf, &self.inv_twiddles);
+        for v in buf.iter_mut() {
+            *v = ntt::mod_mul(*v, self.len_inv);
+        }
+    }
+}
+
+/// The seed's spectrum engine, replicated verbatim from the pre-rewrite
+/// sources: a plan built per `match_spectrum` call, a forward transform of
+/// the signal AND of its reversed copy plus the inverse (three transforms
+/// per symbol), and fresh `fx`/`fr`/indicator allocations every call.
+struct SeedSpectrumEngine;
+
+impl SeedSpectrumEngine {
+    fn match_spectrum(&self, series: &SymbolSeries, max_period: usize) -> MatchSpectrum {
+        let n = series.len();
+        let size = (2 * n - 1).next_power_of_two();
+        let plan = SeedNtt::new(size);
+        let mut per_symbol = Vec::with_capacity(series.sigma());
+        for sym in series.alphabet().ids() {
+            let indicator = series.indicator(sym);
+            let mut fx = vec![0u64; size];
+            fx[..n].copy_from_slice(&indicator);
+            let mut fr = vec![0u64; size];
+            for (dst, &src) in fr[..n].iter_mut().zip(indicator.iter().rev()) {
+                *dst = src;
+            }
+            plan.forward(&mut fx);
+            plan.forward(&mut fr);
+            for (a, b) in fx.iter_mut().zip(&fr) {
+                *a = ntt::mod_mul(*a, *b);
+            }
+            plan.inverse(&mut fx);
+            let auto = fx[n - 1..2 * n - 1].to_vec();
+            let mut row = vec![0u64; max_period + 1];
+            let upto = max_period.min(n - 1);
+            row[..=upto].copy_from_slice(&auto[..=upto]);
+            per_symbol.push(row);
+        }
+        MatchSpectrum::new(n, max_period, per_symbol)
+    }
+}
+
+/// Deterministic sigma-symbol series with a planted period-24 rhythm on
+/// symbol 0 (xorshift64 background; no external RNG crate).
+fn make_series() -> SymbolSeries {
+    let alphabet = Alphabet::latin(SIGMA).expect("alphabet");
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let ids: Vec<SymbolId> = (0..N)
+        .map(|i| {
+            if i % 24 == 5 && rng() % 10 != 0 {
+                SymbolId::from_index(0)
+            } else {
+                SymbolId::from_index(1 + (rng() % (SIGMA as u64 - 1)) as usize)
+            }
+        })
+        .collect();
+    SymbolSeries::from_ids(ids, alphabet).expect("series")
+}
+
+/// Best-of-`iters` wall time plus the (identical) spectrum.
+fn time_engine<F: FnMut() -> MatchSpectrum>(iters: usize, mut f: F) -> (f64, MatchSpectrum) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let sp = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(sp);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+fn assert_identical(scenario: &str, reference: &MatchSpectrum, others: &[(&str, &MatchSpectrum)]) {
+    for (name, sp) in others {
+        for p in 0..=reference.max_period() {
+            for k in 0..SIGMA {
+                let sym = SymbolId::from_index(k);
+                assert_eq!(
+                    sp.matches(sym, p),
+                    reference.matches(sym, p),
+                    "{scenario}: {name} diverges at p={p} k={k}"
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let series = make_series();
+    let seed = SeedSpectrumEngine;
+
+    // --- Scenario 1: full period range (max_period = n/2). ---
+    let max_p = N / 2;
+    eprintln!("full range: n={N} sigma={SIGMA} max_period={max_p}");
+    let (t_seed_full, sp_seed) = time_engine(3, || seed.match_spectrum(&series, max_p));
+    let (t_naive_full, sp_naive) = time_engine(1, || {
+        EngineKind::Naive
+            .build()
+            .match_spectrum(&series, max_p)
+            .expect("naive")
+    });
+    let (t_bitset_full, sp_bitset) = time_engine(1, || {
+        EngineKind::Bitset
+            .build()
+            .match_spectrum(&series, max_p)
+            .expect("bitset")
+    });
+    let (t_spec_full, sp_spec) = time_engine(3, || {
+        SpectrumEngine::new()
+            .match_spectrum(&series, max_p)
+            .expect("spectrum")
+    });
+    let (t_par_full, sp_par) = time_engine(3, || {
+        ParallelSpectrumEngine::new()
+            .match_spectrum(&series, max_p)
+            .expect("parallel")
+    });
+    assert_identical(
+        "full",
+        &sp_naive,
+        &[
+            ("seed", &sp_seed),
+            ("bitset", &sp_bitset),
+            ("spectrum", &sp_spec),
+            ("parallel", &sp_par),
+        ],
+    );
+    let full_speedup = t_seed_full / t_spec_full;
+    eprintln!(
+        "  seed 3-NTT {t_seed_full:.3}s | naive {t_naive_full:.3}s | bitset {t_bitset_full:.3}s \
+         | spectrum {t_spec_full:.3}s ({full_speedup:.2}x vs seed) | parallel {t_par_full:.3}s"
+    );
+
+    // --- Scenario 2: bounded lag (max_period = n/64). ---
+    let max_p_b = N / 64;
+    eprintln!("bounded lag: max_period={max_p_b}");
+    let (t_seed_b, sp_seed_b) = time_engine(3, || seed.match_spectrum(&series, max_p_b));
+    let (t_naive_b, sp_naive_b) = time_engine(1, || {
+        EngineKind::Naive
+            .build()
+            .match_spectrum(&series, max_p_b)
+            .expect("naive")
+    });
+    let (t_bitset_b, sp_bitset_b) = time_engine(3, || {
+        EngineKind::Bitset
+            .build()
+            .match_spectrum(&series, max_p_b)
+            .expect("bitset")
+    });
+    let (t_auto_b, sp_auto_b) = time_engine(5, || {
+        SpectrumEngine::with_policy(BoundedLagPolicy::Auto)
+            .match_spectrum(&series, max_p_b)
+            .expect("auto")
+    });
+    let (t_never_b, sp_never_b) = time_engine(3, || {
+        SpectrumEngine::with_policy(BoundedLagPolicy::Never)
+            .match_spectrum(&series, max_p_b)
+            .expect("never")
+    });
+    let (t_par_b, sp_par_b) = time_engine(5, || {
+        ParallelSpectrumEngine::new()
+            .match_spectrum(&series, max_p_b)
+            .expect("parallel")
+    });
+    assert_identical(
+        "bounded",
+        &sp_naive_b,
+        &[
+            ("seed", &sp_seed_b),
+            ("bitset", &sp_bitset_b),
+            ("spectrum/auto", &sp_auto_b),
+            ("spectrum/never", &sp_never_b),
+            ("parallel", &sp_par_b),
+        ],
+    );
+    let bounded_speedup = t_seed_b / t_auto_b;
+    eprintln!(
+        "  seed 3-NTT {t_seed_b:.3}s | naive {t_naive_b:.3}s | bitset {t_bitset_b:.3}s \
+         | auto {t_auto_b:.3}s ({bounded_speedup:.2}x vs seed) | full-2ntt {t_never_b:.3}s \
+         | parallel {t_par_b:.3}s"
+    );
+
+    let json = format!(
+        "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"n\": {N} }},\n  \
+         \"full_range\": {{\n    \"max_period\": {max_p},\n    \
+         \"seed_3ntt_secs\": {t_seed_full:.6},\n    \
+         \"naive_secs\": {t_naive_full:.6},\n    \
+         \"bitset_secs\": {t_bitset_full:.6},\n    \
+         \"spectrum_secs\": {t_spec_full:.6},\n    \
+         \"parallel_spectrum_secs\": {t_par_full:.6},\n    \
+         \"spectrum_speedup_vs_seed\": {full_speedup:.3}\n  }},\n  \
+         \"bounded_lag\": {{\n    \"max_period\": {max_p_b},\n    \
+         \"seed_3ntt_secs\": {t_seed_b:.6},\n    \
+         \"naive_secs\": {t_naive_b:.6},\n    \
+         \"bitset_secs\": {t_bitset_b:.6},\n    \
+         \"spectrum_auto_secs\": {t_auto_b:.6},\n    \
+         \"spectrum_full_secs\": {t_never_b:.6},\n    \
+         \"parallel_spectrum_secs\": {t_par_b:.6},\n    \
+         \"spectrum_speedup_vs_seed\": {bounded_speedup:.3}\n  }},\n  \
+         \"bit_identical\": true\n}}\n"
+    );
+    let out_path = std::env::var("BENCH_ENGINES_OUT").unwrap_or_else(|_| {
+        match option_env!("CARGO_MANIFEST_DIR") {
+            Some(dir) => format!("{dir}/../../BENCH_engines.json"),
+            None => "BENCH_engines.json".to_string(),
+        }
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_engines.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -9,11 +9,21 @@
 //! * [`BitsetEngine`] — per-symbol bit vectors with shift-AND popcounts,
 //!   O(sigma * max_p * n / 64); the carry-free realization of the paper's
 //!   weighted convolution (see [`crate::mapping`]);
-//! * [`SpectrumEngine`] — exact NTT autocorrelation per symbol,
-//!   O(sigma * n log n); the paper's FFT path and the production default;
-//! * [`ParallelSpectrumEngine`] — the same, fanned across threads.
+//! * [`SpectrumEngine`] — exact NTT autocorrelation per symbol: **two**
+//!   transforms per symbol (the reversed spectrum is derived in the
+//!   transform domain, not re-transformed), O(sigma * n log n) at full
+//!   period range, O(sigma * n log max_p) via the bounded-lag overlap-save
+//!   path when `max_p << n` ([`BoundedLagPolicy::Auto`] picks per the cost
+//!   model); the paper's FFT path and the production default;
+//! * [`ParallelSpectrumEngine`] — the same, fanned across threads that
+//!   pull symbols from a shared work queue.
 //!
-//! All engines are equivalence-tested against each other.
+//! All transform plans come from the process-wide cache
+//! ([`periodica_transform::ntt::shared_plan`]): twiddles and bit-reversal
+//! tables are built once per length per process, shared by the sequential
+//! engine, every parallel worker, the localization profiles, and the
+//! baselines. All engines and both spectrum paths are equivalence-tested
+//! against each other (bit-identical spectra).
 
 mod bitset;
 mod naive;
@@ -23,7 +33,7 @@ mod spectrum;
 pub use bitset::BitsetEngine;
 pub use naive::NaiveEngine;
 pub use parallel::ParallelSpectrumEngine;
-pub use spectrum::SpectrumEngine;
+pub use spectrum::{BoundedLagPolicy, SpectrumEngine};
 
 use periodica_series::{SymbolId, SymbolSeries};
 
@@ -107,8 +117,8 @@ impl EngineKind {
         match self {
             EngineKind::Naive => Box::new(NaiveEngine),
             EngineKind::Bitset => Box::new(BitsetEngine),
-            EngineKind::Spectrum => Box::new(SpectrumEngine),
-            EngineKind::ParallelSpectrum => Box::new(ParallelSpectrumEngine),
+            EngineKind::Spectrum => Box::new(SpectrumEngine::new()),
+            EngineKind::ParallelSpectrum => Box::new(ParallelSpectrumEngine::new()),
         }
     }
 
@@ -149,9 +159,12 @@ pub fn phase_counts_for(series: &SymbolSeries, p: usize, symbols: &[SymbolId]) -
     }
     let data = series.symbols();
     let mut phase = 0usize;
-    for j in 0..n - p {
-        if data[j] == data[j + p] {
-            let row = slot[data[j].index()];
+    // Paired iterators instead of `data[j]`/`data[j + p]` indexing: the
+    // zip's common length is known up front, so the loop body carries no
+    // bounds checks.
+    for (&a, &b) in data[..n - p].iter().zip(&data[p..]) {
+        if a == b {
+            let row = slot[a.index()];
             if row != usize::MAX {
                 counts[row][phase] += 1;
             }
@@ -218,6 +231,54 @@ mod tests {
                     counts.windows(2).all(|w| w[0] == w[1]),
                     "engines disagree at p={p} k={k}: {counts:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_with_heuristic_forced_on_and_off() {
+        // Long enough that the bounded-lag path really engages at small
+        // max_p, plus a large max_p where only the full path is sensible.
+        let a = Alphabet::latin(4).expect("ok");
+        let text: String = (0..1_531)
+            .map(|i: usize| (b'a' + ((i * 13 + i / 9) % 4) as u8) as char)
+            .collect();
+        let s = SymbolSeries::parse(&text, &a).expect("ok");
+        for max_p in [24usize, 765] {
+            let reference = NaiveEngine.match_spectrum(&s, max_p).expect("ok");
+            let mut spectra: Vec<(String, MatchSpectrum)> = vec![(
+                "bitset".into(),
+                BitsetEngine.match_spectrum(&s, max_p).expect("ok"),
+            )];
+            for policy in [
+                BoundedLagPolicy::Auto,
+                BoundedLagPolicy::Always,
+                BoundedLagPolicy::Never,
+            ] {
+                spectra.push((
+                    format!("spectrum/{policy:?}"),
+                    SpectrumEngine::with_policy(policy)
+                        .match_spectrum(&s, max_p)
+                        .expect("ok"),
+                ));
+                spectra.push((
+                    format!("parallel/{policy:?}"),
+                    ParallelSpectrumEngine::with_policy(policy)
+                        .match_spectrum(&s, max_p)
+                        .expect("ok"),
+                ));
+            }
+            for (name, sp) in &spectra {
+                for p in 0..=max_p {
+                    for k in 0..s.sigma() {
+                        let sym = SymbolId::from_index(k);
+                        assert_eq!(
+                            sp.matches(sym, p),
+                            reference.matches(sym, p),
+                            "{name} disagrees at max_p={max_p} p={p} k={k}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -1,20 +1,41 @@
 //! Thread-parallel variant of the spectrum engine.
 //!
-//! The `sigma` per-symbol autocorrelations are independent, so they fan out
-//! across scoped threads (one NTT plan per thread — plans are cheap next to
-//! the transforms themselves). Output is bit-identical to
-//! [`super::SpectrumEngine`]; the equivalence tests cover this engine
-//! through [`super::EngineKind::all`].
+//! The `sigma` per-symbol autocorrelations are independent, so worker
+//! threads pull symbols one at a time from a shared atomic counter — not in
+//! pre-chunked contiguous ranges — so an alphabet slightly larger than the
+//! thread count never leaves threads idle while one drains a double-length
+//! chunk. All workers share one correlator (its NTT plan comes from the
+//! process-wide cache; per-thread mutable state is just a scratch buffer),
+//! and the same bounded-lag policy/heuristic as [`super::SpectrumEngine`].
+//! Output is bit-identical to the sequential engine; the equivalence tests
+//! cover this engine through [`super::EngineKind::all`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use periodica_series::SymbolSeries;
-use periodica_transform::ExactCorrelator;
+use periodica_transform::CorrelatorScratch;
 
+use crate::engine::spectrum::{BoundedLagPolicy, SymbolCorrelator};
 use crate::engine::{MatchEngine, MatchSpectrum};
 use crate::error::Result;
 
 /// Multi-threaded exact NTT autocorrelation engine.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct ParallelSpectrumEngine;
+pub struct ParallelSpectrumEngine {
+    policy: BoundedLagPolicy,
+}
+
+impl ParallelSpectrumEngine {
+    /// An engine with the default (`Auto`) bounded-lag policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine pinned to the given bounded-lag policy.
+    pub fn with_policy(policy: BoundedLagPolicy) -> Self {
+        ParallelSpectrumEngine { policy }
+    }
+}
 
 impl MatchEngine for ParallelSpectrumEngine {
     fn name(&self) -> &'static str {
@@ -37,23 +58,30 @@ impl MatchEngine for ParallelSpectrumEngine {
             .min(sigma)
             .max(1);
         let symbols: Vec<_> = series.alphabet().ids().collect();
+        let correlator = SymbolCorrelator::build(n, max_period, self.policy)?;
+        let next = AtomicUsize::new(0);
         let mut rows: Vec<Option<Vec<u64>>> = vec![None; sigma];
 
         std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::with_capacity(threads);
-            for chunk in symbols.chunks(sigma.div_ceil(threads)) {
+            for _ in 0..threads {
+                let correlator = &correlator;
+                let symbols = &symbols;
+                let next = &next;
                 handles.push(scope.spawn(move || -> Result<Vec<(usize, Vec<u64>)>> {
-                    // Per-thread plan: shares nothing, needs no locking.
-                    let correlator = ExactCorrelator::new(n)?;
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for &sym in chunk {
-                        let auto = correlator.autocorrelation(&series.indicator(sym))?;
+                    let mut scratch = CorrelatorScratch::new();
+                    let mut indicator = Vec::with_capacity(n);
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&sym) = symbols.get(i) else {
+                            return Ok(out);
+                        };
+                        series.indicator_into(sym, &mut indicator);
                         let mut row = vec![0u64; max_period + 1];
-                        let upto = max_period.min(n - 1);
-                        row[..=upto].copy_from_slice(&auto[..=upto]);
+                        correlator.fill_row(&indicator, &mut row, &mut scratch)?;
                         out.push((sym.index(), row));
                     }
-                    Ok(out)
                 }));
             }
             for handle in handles {
@@ -86,10 +114,10 @@ mod tests {
             .collect();
         let s = SymbolSeries::parse(&text, &a).expect("series");
         let max_p = 2_000;
-        let par = ParallelSpectrumEngine
+        let par = ParallelSpectrumEngine::new()
             .match_spectrum(&s, max_p)
             .expect("parallel");
-        let seq = SpectrumEngine
+        let seq = SpectrumEngine::new()
             .match_spectrum(&s, max_p)
             .expect("sequential");
         for p in 0..=max_p {
@@ -101,15 +129,44 @@ mod tests {
     }
 
     #[test]
+    fn policies_are_bit_identical_and_sigma_above_threads_is_covered() {
+        // 13 symbols: odd, prime, and above most machines' thread counts —
+        // exercises the work-stealing loop's tail.
+        let a = Alphabet::latin(13).expect("alphabet");
+        let text: String = (0..3_001)
+            .map(|i: usize| (b'a' + ((i * 29 + i / 11) % 13) as u8) as char)
+            .collect();
+        let s = SymbolSeries::parse(&text, &a).expect("series");
+        for max_p in [40usize, 1_500] {
+            let never = ParallelSpectrumEngine::with_policy(BoundedLagPolicy::Never)
+                .match_spectrum(&s, max_p)
+                .expect("never");
+            let always = ParallelSpectrumEngine::with_policy(BoundedLagPolicy::Always)
+                .match_spectrum(&s, max_p)
+                .expect("always");
+            let auto = ParallelSpectrumEngine::new()
+                .match_spectrum(&s, max_p)
+                .expect("auto");
+            for p in 0..=max_p {
+                for k in 0..13 {
+                    let sym = SymbolId::from_index(k);
+                    assert_eq!(never.matches(sym, p), always.matches(sym, p), "p={p} k={k}");
+                    assert_eq!(never.matches(sym, p), auto.matches(sym, p), "p={p} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn degenerate_inputs_are_safe() {
         let a = Alphabet::latin(2).expect("alphabet");
         let empty = SymbolSeries::parse("", &a).expect("series");
-        let sp = ParallelSpectrumEngine
+        let sp = ParallelSpectrumEngine::new()
             .match_spectrum(&empty, 8)
             .expect("spectrum");
         assert_eq!(sp.total_matches(3), 0);
         let single = SymbolSeries::parse("a", &a).expect("series");
-        let sp = ParallelSpectrumEngine
+        let sp = ParallelSpectrumEngine::new()
             .match_spectrum(&single, 8)
             .expect("spectrum");
         assert_eq!(sp.matches(SymbolId(0), 0), 1);

@@ -7,16 +7,109 @@
 //! alphabet size `sigma` treated as a constant (the paper uses 5-10
 //! levels), the whole spectrum costs O(n log n) after a single pass that
 //! builds the indicators.
+//!
+//! Two transform-sharing refinements keep the hot path lean:
+//!
+//! * each autocorrelation spends **two** NTTs, not three — the reversed
+//!   signal's spectrum is derived by index negation
+//!   ([`periodica_transform::ntt::reversed_spectrum`]) — and all `sigma`
+//!   symbols share one cached plan and one scratch buffer;
+//! * when `max_period << n`, the engine routes through
+//!   [`BoundedLagCorrelator`] (overlap-save blocks, cost-model-sized),
+//!   which is O(n log max_period) with O(max_period) transform memory. The
+//!   [`BoundedLagPolicy`] decides; `Auto` consults
+//!   [`BoundedLagCorrelator::is_profitable`]. Both paths produce
+//!   bit-identical counts (they are exact integers).
 
 use periodica_series::SymbolSeries;
-use periodica_transform::ExactCorrelator;
+use periodica_transform::{
+    BoundedLagCorrelator, CorrelatorScratch, ExactCorrelator, Result as TransformResult,
+};
 
 use crate::engine::{MatchEngine, MatchSpectrum};
 use crate::error::Result;
 
+/// When the spectrum engines take the lag-bounded overlap-save path
+/// instead of full-length autocorrelation.
+///
+/// Both paths are exact and produce bit-identical spectra; the policy only
+/// affects speed. `Always`/`Never` exist for equivalence tests and
+/// benchmarks pinning one path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundedLagPolicy {
+    /// Consult the size heuristic (the default).
+    #[default]
+    Auto,
+    /// Always use [`BoundedLagCorrelator`].
+    Always,
+    /// Always use full-length [`ExactCorrelator`].
+    Never,
+}
+
+/// The correlator a spectrum engine selected for one `match_spectrum`
+/// call; shared by the sequential and parallel engines (it is `Sync`:
+/// plans are immutable, per-thread state lives in the scratch).
+#[derive(Debug)]
+pub(crate) enum SymbolCorrelator {
+    /// Full-length 2-NTT autocorrelation.
+    Full(ExactCorrelator),
+    /// Lag-bounded overlap-save autocorrelation.
+    Bounded(BoundedLagCorrelator),
+}
+
+impl SymbolCorrelator {
+    /// Picks the correlator for an `n`-sample series scanned up to
+    /// `max_period`.
+    pub(crate) fn build(
+        n: usize,
+        max_period: usize,
+        policy: BoundedLagPolicy,
+    ) -> TransformResult<Self> {
+        let lag = max_period.min(n.saturating_sub(1));
+        let bounded = match policy {
+            BoundedLagPolicy::Always => true,
+            BoundedLagPolicy::Never => false,
+            BoundedLagPolicy::Auto => BoundedLagCorrelator::is_profitable(n, lag),
+        };
+        Ok(if bounded {
+            SymbolCorrelator::Bounded(BoundedLagCorrelator::new(n, lag)?)
+        } else {
+            SymbolCorrelator::Full(ExactCorrelator::new(n)?)
+        })
+    }
+
+    /// Fills `row[p]` with the lag-`p` match count for every
+    /// `p < row.len()` (zeros where no pairs exist).
+    pub(crate) fn fill_row(
+        &self,
+        indicator: &[u64],
+        row: &mut [u64],
+        scratch: &mut CorrelatorScratch,
+    ) -> TransformResult<()> {
+        match self {
+            SymbolCorrelator::Full(c) => c.autocorrelation_into(indicator, row, scratch),
+            SymbolCorrelator::Bounded(c) => c.autocorrelation_into(indicator, row, scratch),
+        }
+    }
+}
+
 /// Exact NTT autocorrelation engine (production default).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SpectrumEngine;
+pub struct SpectrumEngine {
+    policy: BoundedLagPolicy,
+}
+
+impl SpectrumEngine {
+    /// An engine with the default (`Auto`) bounded-lag policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An engine pinned to the given bounded-lag policy.
+    pub fn with_policy(policy: BoundedLagPolicy) -> Self {
+        SpectrumEngine { policy }
+    }
+}
 
 impl MatchEngine for SpectrumEngine {
     fn name(&self) -> &'static str {
@@ -33,15 +126,17 @@ impl MatchEngine for SpectrumEngine {
                 vec![vec![0; max_period + 1]; sigma],
             ));
         }
-        // One NTT plan shared by every symbol (identical signal length).
-        let correlator = ExactCorrelator::new(n)?;
+        // One plan (from the process-wide cache), one scratch, and one
+        // indicator buffer serve every symbol: the per-symbol loop
+        // allocates nothing but its output row.
+        let correlator = SymbolCorrelator::build(n, max_period, self.policy)?;
+        let mut scratch = CorrelatorScratch::new();
+        let mut indicator = Vec::with_capacity(n);
         let mut per_symbol = Vec::with_capacity(sigma);
         for sym in series.alphabet().ids() {
-            let indicator = series.indicator(sym);
-            let auto = correlator.autocorrelation(&indicator)?;
+            series.indicator_into(sym, &mut indicator);
             let mut row = vec![0u64; max_period + 1];
-            let upto = max_period.min(n - 1);
-            row[..=upto].copy_from_slice(&auto[..=upto]);
+            correlator.fill_row(&indicator, &mut row, &mut scratch)?;
             per_symbol.push(row);
         }
         Ok(MatchSpectrum::new(n, max_period, per_symbol))
@@ -62,7 +157,7 @@ mod tests {
             .collect();
         let s = SymbolSeries::parse(&text, &a).expect("ok");
         let max_p = 261;
-        let spectrum = SpectrumEngine.match_spectrum(&s, max_p).expect("ok");
+        let spectrum = SpectrumEngine::new().match_spectrum(&s, max_p).expect("ok");
         let naive = NaiveEngine.match_spectrum(&s, max_p).expect("ok");
         let bitset = BitsetEngine.match_spectrum(&s, max_p).expect("ok");
         for p in 0..=max_p {
@@ -83,11 +178,38 @@ mod tests {
     }
 
     #[test]
+    fn all_policies_are_bit_identical() {
+        let a = Alphabet::latin(5).expect("ok");
+        let text: String = (0..2_311)
+            .map(|i: usize| (b'a' + ((i * 17 + i / 3) % 5) as u8) as char)
+            .collect();
+        let s = SymbolSeries::parse(&text, &a).expect("ok");
+        for max_p in [7usize, 64, 1_155, 2_310] {
+            let auto = SpectrumEngine::with_policy(BoundedLagPolicy::Auto)
+                .match_spectrum(&s, max_p)
+                .expect("ok");
+            let always = SpectrumEngine::with_policy(BoundedLagPolicy::Always)
+                .match_spectrum(&s, max_p)
+                .expect("ok");
+            let never = SpectrumEngine::with_policy(BoundedLagPolicy::Never)
+                .match_spectrum(&s, max_p)
+                .expect("ok");
+            for p in 0..=max_p {
+                for k in 0..5 {
+                    let sym = SymbolId::from_index(k);
+                    assert_eq!(always.matches(sym, p), never.matches(sym, p), "p={p} k={k}");
+                    assert_eq!(auto.matches(sym, p), never.matches(sym, p), "p={p} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn perfectly_periodic_series_has_saturated_counts() {
         // Series repeating "abcde": at lag 5k every position matches.
         let a = Alphabet::latin(5).expect("ok");
         let s = SymbolSeries::parse(&"abcde".repeat(40), &a).expect("ok");
-        let sp = SpectrumEngine.match_spectrum(&s, 100).expect("ok");
+        let sp = SpectrumEngine::new().match_spectrum(&s, 100).expect("ok");
         let n = s.len();
         for p in (5..=100).step_by(5) {
             assert_eq!(sp.total_matches(p), (n - p) as u64, "p={p}");
@@ -104,11 +226,13 @@ mod tests {
     fn empty_and_single_symbol_series() {
         let a = Alphabet::latin(2).expect("ok");
         let empty = SymbolSeries::parse("", &a).expect("ok");
-        let sp = SpectrumEngine.match_spectrum(&empty, 4).expect("ok");
+        let sp = SpectrumEngine::new().match_spectrum(&empty, 4).expect("ok");
         assert_eq!(sp.total_matches(2), 0);
 
         let single = SymbolSeries::parse("a", &a).expect("ok");
-        let sp = SpectrumEngine.match_spectrum(&single, 4).expect("ok");
+        let sp = SpectrumEngine::new()
+            .match_spectrum(&single, 4)
+            .expect("ok");
         assert_eq!(sp.matches(SymbolId(0), 0), 1);
         assert_eq!(sp.total_matches(1), 0);
     }

@@ -39,11 +39,13 @@ pub mod stream;
 pub use detect::{
     period_confidence, DetectionResult, DetectorConfig, PeriodicityDetector, SymbolPeriodicity,
 };
-pub use engine::{EngineKind, MatchEngine, MatchSpectrum};
+pub use engine::{BoundedLagPolicy, EngineKind, MatchEngine, MatchSpectrum};
 pub use error::{MiningError, Result};
 pub use evaluate::{score_detection, DetectionScore, PlantedPeriodicity};
 pub use harmonics::{fundamental_periods, fundamentals, harmonic_families, HarmonicFamily};
-pub use localize::{confidence_profile, localize, ActiveInterval, LocalizeConfig};
+pub use localize::{
+    confidence_profile, localize, window_spectrum_profile, ActiveInterval, LocalizeConfig,
+};
 pub use miner::{MinerBuilder, MinerConfig, MiningReport, ObscureMiner};
 pub use online::{OnlineCandidate, OnlineDetector};
 pub use pattern::{
@@ -86,6 +88,43 @@ mod proptests {
                     let sym = SymbolId::from_index(k);
                     prop_assert_eq!(naive.matches(sym, p), bitset.matches(sym, p));
                     prop_assert_eq!(naive.matches(sym, p), spectrum.matches(sym, p));
+                }
+            }
+        }
+
+        #[test]
+        fn all_engines_agree_under_every_bounded_lag_policy(
+            s in arb_series(),
+            max_p_seed in 0usize..400,
+        ) {
+            use crate::engine::{
+                BoundedLagPolicy, MatchSpectrum, ParallelSpectrumEngine, SpectrumEngine,
+            };
+            // Includes max_p > n so clamping paths are exercised.
+            let max_p = max_p_seed % (s.len() + s.len() / 2 + 1);
+            let reference = EngineKind::Naive.build().match_spectrum(&s, max_p).unwrap();
+            let mut spectra: Vec<MatchSpectrum> =
+                vec![EngineKind::Bitset.build().match_spectrum(&s, max_p).unwrap()];
+            for policy in [
+                BoundedLagPolicy::Auto,
+                BoundedLagPolicy::Always,
+                BoundedLagPolicy::Never,
+            ] {
+                spectra.push(
+                    SpectrumEngine::with_policy(policy).match_spectrum(&s, max_p).unwrap(),
+                );
+                spectra.push(
+                    ParallelSpectrumEngine::with_policy(policy)
+                        .match_spectrum(&s, max_p)
+                        .unwrap(),
+                );
+            }
+            for sp in &spectra {
+                for p in 0..=max_p {
+                    for k in 0..s.sigma() {
+                        let sym = SymbolId::from_index(k);
+                        prop_assert_eq!(reference.matches(sym, p), sp.matches(sym, p));
+                    }
                 }
             }
         }

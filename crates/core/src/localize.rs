@@ -9,6 +9,7 @@
 //! not just whether it ever did.
 
 use periodica_series::{SymbolId, SymbolSeries};
+use periodica_transform::{BoundedLagCorrelator, CorrelatorScratch};
 
 use crate::error::{MiningError, Result};
 
@@ -93,6 +94,53 @@ pub fn confidence_profile(
         // The rhythm's phase relative to this window's origin.
         let local_phase = (phase + period - (start % period)) % period;
         out.push((start, window.confidence(symbol, period, local_phase)));
+    }
+    Ok(out)
+}
+
+/// Per-window lag-match spectra of one symbol: for each window start, the
+/// exact counts `r[p] = #{ j in window : t_j = t_{j+p} = symbol }` for
+/// every `p <= max_lag` (pairs wholly inside the window).
+///
+/// [`confidence_profile`] asks "how strong is this *known* rhythm in each
+/// window?"; this asks the prior question, "which periods are active in
+/// each window at all?" — e.g. to catch a rhythm whose period drifts
+/// between regimes, which no single global `(period, phase)` profile can.
+///
+/// All windows share one lag-bounded overlap-save correlator
+/// ([`BoundedLagCorrelator`]) whose NTT plan comes from the process-wide
+/// cache, and one scratch buffer: the whole profile is O(n_windows *
+/// window log max_lag) with no per-window allocation beyond the output
+/// rows. Window starts advance by `step` and the final partial window is
+/// omitted, mirroring [`SymbolSeries::windows`].
+pub fn window_spectrum_profile(
+    series: &SymbolSeries,
+    symbol: SymbolId,
+    max_lag: usize,
+    window: usize,
+    step: usize,
+) -> Result<Vec<(usize, Vec<u64>)>> {
+    if window == 0 || step == 0 {
+        return Err(MiningError::InvalidPattern(
+            "window spectrum width and step must be positive".into(),
+        ));
+    }
+    let n = series.len();
+    let mut out = Vec::new();
+    if n < window {
+        return Ok(out);
+    }
+    let indicator = series.indicator(symbol);
+    let correlator = BoundedLagCorrelator::new(window, max_lag.min(window - 1))?;
+    let mut scratch = CorrelatorScratch::new();
+    for start in (0..=n - window).step_by(step) {
+        let mut row = vec![0u64; max_lag + 1];
+        correlator.autocorrelation_into(
+            &indicator[start..start + window],
+            &mut row,
+            &mut scratch,
+        )?;
+        out.push((start, row));
     }
     Ok(out)
 }
@@ -281,6 +329,52 @@ mod tests {
         for (start, conf) in profile {
             assert!((conf - 1.0).abs() < 1e-12, "window at {start}: {conf}");
         }
+    }
+
+    #[test]
+    fn window_spectrum_profile_matches_naive_per_window_counts() {
+        let s = regime_series(3_000, 1_000..2_000);
+        let (max_lag, window, step) = (64usize, 400usize, 150usize);
+        let profile =
+            window_spectrum_profile(&s, SymbolId(0), max_lag, window, step).expect("profile");
+        let indicator = s.indicator(SymbolId(0));
+        let expected_starts: Vec<usize> = (0..=s.len() - window).step_by(step).collect();
+        assert_eq!(
+            profile.iter().map(|(st, _)| *st).collect::<Vec<_>>(),
+            expected_starts
+        );
+        for (start, row) in &profile {
+            assert_eq!(row.len(), max_lag + 1);
+            let w = &indicator[*start..*start + window];
+            for (p, &count) in row.iter().enumerate() {
+                let naive: u64 = w[..window - p]
+                    .iter()
+                    .zip(&w[p..])
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                assert_eq!(count, naive, "window {start} lag {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_spectrum_profile_clamps_lag_and_validates() {
+        let s = regime_series(500, 0..500);
+        // max_lag beyond the window: lags >= window have no pairs -> zero.
+        let profile = window_spectrum_profile(&s, SymbolId(0), 300, 100, 100).expect("profile");
+        for (start, row) in &profile {
+            assert_eq!(row.len(), 301);
+            assert!(
+                row[100..].iter().all(|&c| c == 0),
+                "window {start} has pairs past the window width"
+            );
+        }
+        assert!(window_spectrum_profile(&s, SymbolId(0), 10, 0, 5).is_err());
+        assert!(window_spectrum_profile(&s, SymbolId(0), 10, 50, 0).is_err());
+        // Series shorter than the window: empty, not an error.
+        assert!(window_spectrum_profile(&s, SymbolId(0), 10, 501, 5)
+            .expect("ok")
+            .is_empty());
     }
 
     #[test]

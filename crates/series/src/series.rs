@@ -124,7 +124,16 @@ impl SymbolSeries {
     /// interleaved `sigma*n`-bit mapping is exactly the `sigma` of them
     /// laid side by side.
     pub fn indicator(&self, symbol: SymbolId) -> Vec<u64> {
-        self.data.iter().map(|&s| u64::from(s == symbol)).collect()
+        let mut out = Vec::new();
+        self.indicator_into(symbol, &mut out);
+        out
+    }
+
+    /// [`Self::indicator`] into a caller-owned buffer (cleared first), so a
+    /// loop over symbols reuses one allocation.
+    pub fn indicator_into(&self, symbol: SymbolId, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.data.iter().map(|&s| u64::from(s == symbol)));
     }
 
     /// Timestamps at which `symbol` occurs.

@@ -6,6 +6,8 @@
 //! counting; float (FFT) variants exist for workloads whose values are
 //! genuinely real and for benchmarking the two backends against each other.
 
+use std::sync::Arc;
+
 use crate::complex::Complex;
 use crate::error::Result;
 use crate::fft::{fft_two_reals, FftPlanner};
@@ -71,11 +73,70 @@ pub fn cross_correlate_naive(a: &[u64], b: &[u64]) -> Vec<u64> {
         .collect()
 }
 
+/// Caller-owned working memory for [`ExactCorrelator`] and
+/// [`BoundedLagCorrelator`].
+///
+/// One scratch serves any number of correlator calls (of any plan size):
+/// buffers grow to the largest size seen and are then reused, so a batch of
+/// `sigma` symbol autocorrelations performs zero transform-buffer
+/// allocations after the first.
+#[derive(Debug, Default)]
+pub struct CorrelatorScratch {
+    /// Main transform buffer (window-sized).
+    main: Vec<u64>,
+    /// Secondary transform buffer (tail corrections in the bounded path).
+    aux: Vec<u64>,
+    /// Lag-domain accumulator for the bounded path.
+    lags: Vec<u64>,
+}
+
+impl CorrelatorScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// In-place cyclic autocorrelation of `seg` (zero-padded to `plan.len()`),
+/// left in `buf`: `buf[m] = sum_j seg[j] * seg[(j - m) mod N]`.
+///
+/// Uses the transform-domain reversal identity (see
+/// [`ntt::reversed_spectrum`]): with `X` the spectrum of the padded segment,
+/// the product spectrum is `W[k] = X[k] * X[(N-k) mod N]`, which is
+/// symmetric (`W[k] = W[N-k]`) and therefore computable in place — **two**
+/// transforms total instead of the three a generic correlation needs.
+fn cyclic_autocorrelation(plan: &Ntt, seg: &[u64], buf: &mut Vec<u64>) {
+    let size = plan.len();
+    debug_assert!(seg.len() <= size);
+    buf.clear();
+    buf.resize(size, 0);
+    buf[..seg.len()].copy_from_slice(seg);
+    plan.forward(buf);
+    buf[0] = ntt::mod_mul(buf[0], buf[0]);
+    if size > 1 {
+        let half = size / 2;
+        buf[half] = ntt::mod_mul(buf[half], buf[half]);
+        for k in 1..half {
+            let w = ntt::mod_mul(buf[k], buf[size - k]);
+            buf[k] = w;
+            buf[size - k] = w;
+        }
+    }
+    plan.inverse(buf);
+}
+
 /// A reusable exact autocorrelation plan for signals of one fixed length.
 ///
 /// The miner correlates one indicator vector *per symbol*, all of identical
-/// length, so the NTT plan (twiddles, bit-reversal table) is built once and
-/// shared. This is the hot path of the whole system.
+/// length; the NTT plan (twiddles, bit-reversal table) comes from the
+/// process-wide [`ntt::shared_plan`] cache, so every engine, thread, and
+/// baseline correlating at this length shares one set of tables. This is
+/// the hot path of the whole system.
+///
+/// Each call costs **two** length-`N` transforms (`N = 2^ceil(log2(2n-1))`):
+/// the spectrum of the reversed signal is derived from the forward spectrum
+/// by index negation rather than transformed separately (see
+/// [`ntt::reversed_spectrum`]).
 ///
 /// ```
 /// use periodica_transform::ExactCorrelator;
@@ -92,7 +153,7 @@ pub fn cross_correlate_naive(a: &[u64], b: &[u64]) -> Vec<u64> {
 #[derive(Debug)]
 pub struct ExactCorrelator {
     signal_len: usize,
-    plan: Ntt,
+    plan: Arc<Ntt>,
 }
 
 impl ExactCorrelator {
@@ -105,7 +166,7 @@ impl ExactCorrelator {
         };
         Ok(ExactCorrelator {
             signal_len,
-            plan: Ntt::new(size)?,
+            plan: ntt::shared_plan(size)?,
         })
     }
 
@@ -120,6 +181,22 @@ impl ExactCorrelator {
     /// For 0/1 indicator input, `out[p]` is precisely the paper's total
     /// lag-`p` match count for that symbol.
     pub fn autocorrelation(&self, x: &[u64]) -> Result<Vec<u64>> {
+        let mut out = vec![0u64; x.len()];
+        let mut scratch = CorrelatorScratch::new();
+        self.autocorrelation_into(x, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Autocorrelation written into `out`: `out[p]` receives the lag-`p`
+    /// count for every `p < out.len()`, with zeros for `p >= x.len()`
+    /// (those lags have no pairs). `scratch` supplies the transform
+    /// buffers, so repeated calls allocate nothing.
+    pub fn autocorrelation_into(
+        &self,
+        x: &[u64],
+        out: &mut [u64],
+        scratch: &mut CorrelatorScratch,
+    ) -> Result<()> {
         assert_eq!(
             x.len(),
             self.signal_len,
@@ -127,24 +204,309 @@ impl ExactCorrelator {
         );
         let n = x.len();
         if n == 0 {
-            return Ok(Vec::new());
+            out.fill(0);
+            return Ok(());
         }
-        let size = self.plan.len();
-        // Forward-transform x and its reverse, multiply, invert: the slice
-        // starting at n-1 holds lags 0..n.
-        let mut fx = vec![0u64; size];
-        fx[..n].copy_from_slice(x);
-        let mut fr = vec![0u64; size];
-        for (dst, &src) in fr[..n].iter_mut().zip(x.iter().rev()) {
-            *dst = src;
+        // Plan size >= 2n-1, so cyclic equals linear on lags 0..n: lag p
+        // lands at index p (negative lags occupy indices size-p, untouched).
+        cyclic_autocorrelation(&self.plan, x, &mut scratch.main);
+        let avail = n.min(out.len());
+        out[..avail].copy_from_slice(&scratch.main[..avail]);
+        out[avail..].fill(0);
+        Ok(())
+    }
+
+    /// Autocorrelates a batch of equal-length signals through one plan and
+    /// one scratch: the per-symbol hot loop of the spectrum engines.
+    pub fn autocorrelation_batch<S: AsRef<[u64]>>(&self, signals: &[S]) -> Result<Vec<Vec<u64>>> {
+        let mut scratch = CorrelatorScratch::new();
+        signals
+            .iter()
+            .map(|s| {
+                let x = s.as_ref();
+                let mut out = vec![0u64; x.len()];
+                self.autocorrelation_into(x, &mut out, &mut scratch)?;
+                Ok(out)
+            })
+            .collect()
+    }
+}
+
+/// How a [`BoundedLagCorrelator`] realizes its lag bound.
+#[derive(Debug)]
+enum BoundedMode {
+    /// Direct O(n * L) counting: tiny signals or `max_lag == 0`, where
+    /// transform setup costs more than the arithmetic it saves.
+    Direct,
+    /// One window spanning the whole signal (`plan.len() >= n + L`): the
+    /// lag bound saves nothing, so this is plain 2-NTT autocorrelation
+    /// truncated to `0..=L`.
+    Single { plan: Arc<Ntt> },
+    /// Overlap-save: windows of `advance + L` samples stepping by
+    /// `advance`, each autocorrelated cyclically at `plan.len() >= advance
+    /// + 2L`; pairs starting in a window's last `L` samples are counted by
+    /// the *next* window too, so each interior window subtracts the
+    /// autocorrelation of its own `L`-sample tail (via `tail_plan`,
+    /// `>= 2L`). The final window holds only the signal's remainder and
+    /// gets the right-sized `last_plan` instead of wasting a full-width
+    /// transform on it.
+    Blocked {
+        plan: Arc<Ntt>,
+        tail_plan: Arc<Ntt>,
+        last_plan: Arc<Ntt>,
+        advance: usize,
+    },
+}
+
+/// Butterfly-unit cost (`2 * size * log2(size)` per cyclic
+/// autocorrelation) of a blocked pass over `n` samples with main
+/// transform size `m`, counting the right-sized final window and the
+/// per-interior-window tail corrections. `None` when `m` leaves no room
+/// to advance past the `2 * lag` overlap.
+fn blocked_cost(n: usize, lag: usize, m: usize) -> Option<usize> {
+    let advance = m.checked_sub(2 * lag).filter(|&a| a > 0)?;
+    let windows = n.div_ceil(advance);
+    let interior = windows - 1;
+    let last_seg = n - interior * advance;
+    let last_size = (last_seg + lag).next_power_of_two();
+    let tail_size = (2 * lag).next_power_of_two();
+    Some(
+        interior * 2 * m * m.ilog2() as usize
+            + 2 * last_size * last_size.ilog2() as usize
+            + interior * 2 * tail_size * tail_size.ilog2() as usize,
+    )
+}
+
+/// The cost-minimizing main transform size for a blocked pass over `n`
+/// samples at lag bound `lag`, among powers of two below `limit`, with
+/// its modeled cost.
+fn best_blocked(n: usize, lag: usize, limit: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    let mut m = (2 * lag + 1).next_power_of_two();
+    while m < limit {
+        if let Some(cost) = blocked_cost(n, lag, m) {
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((m, cost));
+            }
         }
-        self.plan.forward(&mut fx);
-        self.plan.forward(&mut fr);
-        for (a, b) in fx.iter_mut().zip(&fr) {
-            *a = ntt::mod_mul(*a, *b);
+        m *= 2;
+    }
+    best
+}
+
+/// Exact autocorrelation restricted to lags `0..=max_lag`, in
+/// O(n log max_lag) time and O(max_lag) transform memory.
+///
+/// When the caller only needs periods up to `L << n` (the detector's
+/// `max_period`, a localization window's lag budget), transforming the full
+/// signal wastes a factor of `log(n) / log(L)`: this correlator slides
+/// overlap-save blocks over the signal instead, so the transform length
+/// tracks the lag bound, not the signal. The block size is chosen by
+/// minimizing a butterfly-count cost model over the admissible powers of
+/// two (small blocks waste work on the `2L` overlap, huge blocks overshoot
+/// the signal), and the final partial window gets a right-sized plan.
+///
+/// Output is exactly equal (bit-identical integers) to truncating
+/// [`ExactCorrelator::autocorrelation`] to `0..=max_lag`.
+///
+/// ```
+/// use periodica_transform::{BoundedLagCorrelator, ExactCorrelator};
+///
+/// let x: Vec<u64> = (0..5_000).map(|i| u64::from(i % 7 == 0)).collect();
+/// let bounded = BoundedLagCorrelator::new(x.len(), 32)?;
+/// let full = ExactCorrelator::new(x.len())?;
+/// assert_eq!(
+///     bounded.autocorrelation(&x)?,
+///     full.autocorrelation(&x)?[..=32].to_vec(),
+/// );
+/// # Ok::<(), periodica_transform::TransformError>(())
+/// ```
+#[derive(Debug)]
+pub struct BoundedLagCorrelator {
+    signal_len: usize,
+    max_lag: usize,
+    /// `min(max_lag, signal_len - 1)`: lags past it have no pairs.
+    lag: usize,
+    mode: BoundedMode,
+}
+
+/// Signals at or below this length are autocorrelated directly; transform
+/// setup only pays for itself above it (mirrors the streaming correlator's
+/// small-block cutoff).
+const DIRECT_CUTOFF: usize = 64;
+
+impl BoundedLagCorrelator {
+    /// Builds a correlator for `signal_len`-sample signals reporting lags
+    /// `0..=max_lag`.
+    pub fn new(signal_len: usize, max_lag: usize) -> Result<Self> {
+        let n = signal_len;
+        let lag = max_lag.min(n.saturating_sub(1));
+        let mode = if n <= DIRECT_CUTOFF || lag == 0 {
+            BoundedMode::Direct
+        } else {
+            let single_size = (n + lag).next_power_of_two();
+            let single_cost = 2 * single_size * single_size.ilog2() as usize;
+            match best_blocked(n, lag, single_size) {
+                Some((m, cost)) if cost < single_cost => {
+                    let advance = m - 2 * lag;
+                    let last_seg = n - (n.div_ceil(advance) - 1) * advance;
+                    BoundedMode::Blocked {
+                        plan: ntt::shared_plan(m)?,
+                        tail_plan: ntt::shared_plan((2 * lag).next_power_of_two())?,
+                        last_plan: ntt::shared_plan((last_seg + lag).next_power_of_two())?,
+                        advance,
+                    }
+                }
+                _ => BoundedMode::Single {
+                    plan: ntt::shared_plan(single_size)?,
+                },
+            }
+        };
+        Ok(BoundedLagCorrelator {
+            signal_len,
+            max_lag,
+            lag,
+            mode,
+        })
+    }
+
+    /// The signal length this plan serves.
+    pub fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    /// Largest lag reported.
+    pub fn max_lag(&self) -> usize {
+        self.max_lag
+    }
+
+    /// Whether the bounded-lag path is expected to beat full-length 2-NTT
+    /// autocorrelation for this `(signal_len, max_lag)` — the size
+    /// heuristic the spectrum engines consult.
+    ///
+    /// Costs are modeled in butterfly units (`transforms * size * log2
+    /// size`) and the bounded path must win by at least 25% so near-ties
+    /// keep the simpler full-length path.
+    pub fn is_profitable(signal_len: usize, max_lag: usize) -> bool {
+        let n = signal_len;
+        let lag = max_lag.min(n.saturating_sub(1));
+        if n <= DIRECT_CUTOFF || lag == 0 {
+            return true; // direct counting on tiny inputs always wins
         }
-        self.plan.inverse(&mut fx);
-        Ok(fx[n - 1..2 * n - 1].to_vec())
+        let full_size = (2 * n - 1).next_power_of_two();
+        let full_cost = 2 * full_size * full_size.ilog2() as usize;
+        let single_size = (n + lag).next_power_of_two();
+        let single_cost = 2 * single_size * single_size.ilog2() as usize;
+        let best = match best_blocked(n, lag, single_size) {
+            Some((_, cost)) => cost.min(single_cost),
+            None => single_cost,
+        };
+        4 * best <= 3 * full_cost
+    }
+
+    /// Exact autocorrelation at lags `0..=max_lag`:
+    /// `out[p] = sum_j x[j] * x[j+p]` (zero where `p >= x.len()`).
+    pub fn autocorrelation(&self, x: &[u64]) -> Result<Vec<u64>> {
+        let mut out = vec![0u64; self.max_lag + 1];
+        let mut scratch = CorrelatorScratch::new();
+        self.autocorrelation_into(x, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Autocorrelation written into `out`: `out[p]` receives the lag-`p`
+    /// count for every `p < out.len()`, with zeros beyond
+    /// `min(max_lag, x.len() - 1)`. Repeated calls through one `scratch`
+    /// allocate nothing.
+    pub fn autocorrelation_into(
+        &self,
+        x: &[u64],
+        out: &mut [u64],
+        scratch: &mut CorrelatorScratch,
+    ) -> Result<()> {
+        assert_eq!(
+            x.len(),
+            self.signal_len,
+            "signal length does not match plan"
+        );
+        let n = x.len();
+        if n == 0 {
+            out.fill(0);
+            return Ok(());
+        }
+        let lag = self.lag;
+        let acc = &mut scratch.lags;
+        acc.clear();
+        acc.resize(lag + 1, 0);
+        match &self.mode {
+            BoundedMode::Direct => {
+                for (p, slot) in acc.iter_mut().enumerate() {
+                    *slot = x[..n - p].iter().zip(&x[p..]).map(|(&a, &b)| a * b).sum();
+                }
+            }
+            BoundedMode::Single { plan } => {
+                // plan.len() >= n + lag: no cyclic wrap on lags 0..=lag.
+                cyclic_autocorrelation(plan, x, &mut scratch.main);
+                acc.copy_from_slice(&scratch.main[..=lag]);
+            }
+            BoundedMode::Blocked {
+                plan,
+                tail_plan,
+                last_plan,
+                advance,
+            } => {
+                // Window i owns pairs whose left element j lies in
+                // [i*advance, (i+1)*advance); its data span reaches `lag`
+                // further so every owned pair is in view.
+                let window = advance + lag;
+                let mut start = 0usize;
+                while start < n {
+                    let end = (start + window).min(n);
+                    // The final window holds only the remainder; its
+                    // right-sized plan was chosen at construction.
+                    let w_plan = if start + advance >= n {
+                        last_plan
+                    } else {
+                        plan
+                    };
+                    cyclic_autocorrelation(w_plan, &x[start..end], &mut scratch.main);
+                    let upto = lag.min(end - start - 1);
+                    for (slot, &v) in acc[..=upto].iter_mut().zip(&scratch.main) {
+                        *slot += v;
+                    }
+                    let next = start + advance;
+                    if next < n {
+                        // Pairs starting in [next, end) are owned by the
+                        // next window: subtract this window's count of
+                        // them, the autocorrelation of its own tail.
+                        let tail = &x[next..end];
+                        let upto = lag.min(tail.len().saturating_sub(1));
+                        cyclic_autocorrelation(tail_plan, tail, &mut scratch.aux);
+                        for (slot, &v) in acc[..=upto].iter_mut().zip(&scratch.aux) {
+                            *slot -= v;
+                        }
+                    }
+                    start = next;
+                }
+            }
+        }
+        let avail = out.len().min(lag + 1);
+        out[..avail].copy_from_slice(&acc[..avail]);
+        out[avail..].fill(0);
+        Ok(())
+    }
+
+    /// Autocorrelates a batch of equal-length signals through one plan and
+    /// one scratch.
+    pub fn autocorrelation_batch<S: AsRef<[u64]>>(&self, signals: &[S]) -> Result<Vec<Vec<u64>>> {
+        let mut scratch = CorrelatorScratch::new();
+        signals
+            .iter()
+            .map(|s| {
+                let mut out = vec![0u64; self.max_lag + 1];
+                self.autocorrelation_into(s.as_ref(), &mut out, &mut scratch)?;
+                Ok(out)
+            })
+            .collect()
     }
 }
 
@@ -248,6 +610,140 @@ mod tests {
         assert!(cross_correlate_exact(&[], &[]).expect("ok").is_empty());
         let corr = ExactCorrelator::new(0).expect("plan");
         assert!(corr.autocorrelation(&[]).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn two_ntt_autocorrelation_matches_naive_on_dense_values() {
+        // Non-indicator values exercise the transform-domain reversal with
+        // full-width products, not just 0/1 masks.
+        let x: Vec<u64> = (0..97).map(|i| (i * 37 + 11) % 1000).collect();
+        let corr = ExactCorrelator::new(x.len()).expect("plan");
+        assert_eq!(
+            corr.autocorrelation(&x).expect("fits"),
+            cross_correlate_naive(&x, &x)
+        );
+    }
+
+    #[test]
+    fn autocorrelation_into_truncates_and_zero_fills() {
+        let x: Vec<u64> = (0..50).map(|i| u64::from(i % 5 == 0)).collect();
+        let corr = ExactCorrelator::new(x.len()).expect("plan");
+        let full = corr.autocorrelation(&x).expect("fits");
+        let mut scratch = CorrelatorScratch::new();
+        // Shorter than the signal: a truncation.
+        let mut short = vec![0u64; 8];
+        corr.autocorrelation_into(&x, &mut short, &mut scratch)
+            .expect("fits");
+        assert_eq!(short, full[..8]);
+        // Longer than the signal: zero-filled tail.
+        let mut long = vec![u64::MAX; 60];
+        corr.autocorrelation_into(&x, &mut long, &mut scratch)
+            .expect("fits");
+        assert_eq!(long[..50], full[..]);
+        assert!(long[50..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn batch_equals_individual_calls() {
+        let signals: Vec<Vec<u64>> = (0..5u64)
+            .map(|seed| {
+                (0..200)
+                    .map(|i| u64::from((i as u64 ^ seed).count_ones() % 3 == 0))
+                    .collect()
+            })
+            .collect();
+        let corr = ExactCorrelator::new(200).expect("plan");
+        let batch = corr.autocorrelation_batch(&signals).expect("fits");
+        for (x, row) in signals.iter().zip(&batch) {
+            assert_eq!(row, &corr.autocorrelation(x).expect("fits"));
+        }
+    }
+
+    #[test]
+    fn bounded_lag_equals_full_truncation_across_modes() {
+        // Lengths/lags chosen to hit all three modes: direct (tiny),
+        // single-window, and multi-window overlap-save.
+        for &(n, lag) in &[
+            (10usize, 3usize),
+            (64, 20),       // direct cutoff boundary
+            (65, 20),       // just past it
+            (300, 7),       // blocked, many windows
+            (1_000, 0),     // lag 0
+            (1_000, 16),    // blocked
+            (1_000, 999),   // lag = n-1, single window
+            (1_000, 2_000), // lag beyond the signal
+            (4_097, 64),    // non-power-of-two length, blocked
+        ] {
+            let x: Vec<u64> = (0..n)
+                .map(|i| u64::from(i % 7 == 0 || i % 11 == 3))
+                .collect();
+            let bounded = BoundedLagCorrelator::new(n, lag).expect("plan");
+            let full = ExactCorrelator::new(n).expect("plan");
+            let got = bounded.autocorrelation(&x).expect("fits");
+            let want_full = full.autocorrelation(&x).expect("fits");
+            let want: Vec<u64> = (0..=lag)
+                .map(|p| want_full.get(p).copied().unwrap_or(0))
+                .collect();
+            assert_eq!(got, want, "n={n} lag={lag}");
+        }
+    }
+
+    #[test]
+    fn bounded_lag_window_boundaries_lose_no_pairs() {
+        // A perfectly periodic indicator: any dropped or double-counted
+        // cross-window pair shows up as an off-by-one in some lag count.
+        let n = 3_000;
+        let x: Vec<u64> = (0..n).map(|i| u64::from(i % 13 == 0)).collect();
+        for lag in [1usize, 12, 13, 26, 64, 200] {
+            let bounded = BoundedLagCorrelator::new(n, lag).expect("plan");
+            let got = bounded.autocorrelation(&x).expect("fits");
+            for (p, &c) in got.iter().enumerate() {
+                let want: u64 = (0..n - p).map(|j| x[j] * x[j + p]).sum();
+                assert_eq!(c, want, "lag={lag} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_lag_batch_and_scratch_reuse() {
+        let signals: Vec<Vec<u64>> = (0..4u64)
+            .map(|seed| {
+                (0..777)
+                    .map(|i| u64::from((i as u64).wrapping_mul(seed + 3) % 9 < 2))
+                    .collect()
+            })
+            .collect();
+        let corr = BoundedLagCorrelator::new(777, 21).expect("plan");
+        let batch = corr.autocorrelation_batch(&signals).expect("fits");
+        for (x, row) in signals.iter().zip(&batch) {
+            assert_eq!(row, &corr.autocorrelation(x).expect("fits"));
+        }
+    }
+
+    #[test]
+    fn bounded_lag_degenerate_inputs() {
+        let corr = BoundedLagCorrelator::new(0, 5).expect("plan");
+        assert_eq!(corr.autocorrelation(&[]).expect("ok"), vec![0; 6]);
+        assert_eq!(corr.max_lag(), 5);
+        assert_eq!(corr.signal_len(), 0);
+        let corr = BoundedLagCorrelator::new(1, 0).expect("plan");
+        assert_eq!(corr.autocorrelation(&[3]).expect("ok"), vec![9]);
+    }
+
+    #[test]
+    fn bounded_lag_profitability_heuristic_shape() {
+        // Small lag on a long signal: profitable. Lag near the signal
+        // length: not (it degenerates to the full transform).
+        assert!(BoundedLagCorrelator::is_profitable(1 << 17, (1 << 17) / 64));
+        assert!(!BoundedLagCorrelator::is_profitable(1 << 17, (1 << 17) / 2));
+        assert!(BoundedLagCorrelator::is_profitable(32, 4)); // direct
+    }
+
+    #[test]
+    #[should_panic(expected = "signal length")]
+    fn bounded_lag_rejects_wrong_length() {
+        let corr = BoundedLagCorrelator::new(128, 8).expect("plan");
+        let _ = corr.autocorrelation(&[1, 0, 1]);
     }
 
     #[test]

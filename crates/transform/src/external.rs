@@ -94,7 +94,9 @@ impl StreamingAutocorrelator {
             }
         } else {
             // count(p) = conv(rev(full), block)[l - 1 + p]; one exact
-            // convolution yields every lag at once.
+            // convolution yields every lag at once. The NTT plan comes
+            // from the process-wide cache, so a long stream of
+            // equally-sized blocks plans exactly once.
             let rev: Vec<u64> = full.iter().rev().copied().collect();
             let conv = convolve_exact(&rev, block)?;
             let upper = self.max_lag.min(t + l - 1);

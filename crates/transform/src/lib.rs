@@ -8,9 +8,13 @@
 //! * [`fft`] — naive DFT, radix-2 Cooley-Tukey, Bluestein chirp-z, and a
 //!   caching [`fft::FftPlanner`];
 //! * [`ntt`] — number-theoretic transform over the Goldilocks prime for
-//!   *exact* integer convolution (match counts are never rounded);
+//!   *exact* integer convolution (match counts are never rounded), with a
+//!   process-wide plan cache ([`ntt::shared_plan`]);
 //! * [`conv`] — convolution / cross-correlation / autocorrelation on both
-//!   backends, including the reusable [`conv::ExactCorrelator`] hot path;
+//!   backends, including the reusable [`conv::ExactCorrelator`] hot path
+//!   (two NTTs per call via transform-domain reversal) and the
+//!   lag-bounded overlap-save [`conv::BoundedLagCorrelator`]
+//!   (O(n log L) when only lags `0..=L` are needed);
 //! * [`external`] — bounded-memory streaming autocorrelation, the in-crate
 //!   equivalent of the external FFT the paper cites for on-disk mining.
 //!
@@ -29,7 +33,7 @@ pub mod ntt;
 pub mod rfft;
 
 pub use complex::Complex;
-pub use conv::ExactCorrelator;
+pub use conv::{BoundedLagCorrelator, CorrelatorScratch, ExactCorrelator};
 pub use error::{Result, TransformError};
 pub use fft::{FftDirection, FftPlanner};
 pub use rfft::RealFftPlanner;
@@ -37,11 +41,16 @@ pub use rfft::RealFftPlanner;
 #[cfg(test)]
 mod proptests {
     use crate::complex::Complex;
-    use crate::conv::{cross_correlate_exact, cross_correlate_naive, ExactCorrelator};
+    use crate::conv::{
+        cross_correlate_exact, cross_correlate_naive, BoundedLagCorrelator, ExactCorrelator,
+    };
     use crate::external::{autocorrelate_in_core, autocorrelate_stream};
     use crate::fft::dft::NaiveDft;
     use crate::fft::{FftAlgorithm, FftDirection, FftPlanner};
-    use crate::ntt::{convolve_exact, convolve_naive, mod_inv, mod_mul, reduce128, P};
+    use crate::ntt::{
+        convolve_exact, convolve_naive, mod_inv, mod_mul, reduce128, reversed_spectrum,
+        shared_plan, P,
+    };
     use proptest::prelude::*;
 
     proptest! {
@@ -115,6 +124,44 @@ mod proptests {
             prop_assert_eq!(r[0], ones);
             let pairs: u64 = r[1..].iter().sum();
             prop_assert!(2 * pairs <= ones.saturating_mul(ones));
+        }
+
+        #[test]
+        fn reversed_spectrum_derivation_equals_direct_transform(
+            values in proptest::collection::vec(0u64..1_000_000, 1..257),
+        ) {
+            // Pad to the plan size like the correlator does, then check the
+            // index-negation identity against an honest forward transform
+            // of the cyclically reversed buffer.
+            let size = values.len().next_power_of_two();
+            let plan = shared_plan(size).unwrap();
+            let mut padded = values.clone();
+            padded.resize(size, 0);
+            let mut spec = padded.clone();
+            plan.forward(&mut spec);
+            let derived = reversed_spectrum(&spec);
+            let mut reversed: Vec<u64> =
+                (0..size).map(|j| padded[(size - j) % size]).collect();
+            plan.forward(&mut reversed);
+            prop_assert_eq!(derived, reversed);
+        }
+
+        #[test]
+        fn bounded_lag_equals_exact_correlator_truncation(
+            x in proptest::collection::vec(0u64..4, 1..700),
+            lag_seed in any::<u64>(),
+        ) {
+            let n = x.len();
+            // Random lag, biased across the interesting range [0, n+8).
+            let lag = (lag_seed % (n as u64 + 8)) as usize;
+            let bounded = BoundedLagCorrelator::new(n, lag).unwrap();
+            let full = ExactCorrelator::new(n).unwrap();
+            let got = bounded.autocorrelation(&x).unwrap();
+            let reference = full.autocorrelation(&x).unwrap();
+            let want: Vec<u64> = (0..=lag)
+                .map(|p| reference.get(p).copied().unwrap_or(0))
+                .collect();
+            prop_assert_eq!(got, want);
         }
 
         #[test]

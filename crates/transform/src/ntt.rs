@@ -9,6 +9,9 @@
 //! `P - 1 = 2^32 * (2^32 - 1)`, so radix-2 transforms up to length `2^32` are
 //! supported. `7` generates the multiplicative group.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::error::{Result, TransformError};
 
 /// The Goldilocks prime `2^64 - 2^32 + 1`.
@@ -129,14 +132,35 @@ pub fn primitive_root_of_unity(n: usize) -> Result<u64> {
 #[derive(Debug)]
 pub struct Ntt {
     len: usize,
-    /// Forward twiddles: powers of the primitive root, `len/2` entries.
-    fwd_twiddles: Vec<u64>,
-    /// Inverse twiddles: powers of the root's inverse.
-    inv_twiddles: Vec<u64>,
+    /// Per-stage forward twiddles: entry `s` serves butterfly width
+    /// `2 << s` and holds `width/2` consecutive powers of that stage's
+    /// root, so the hot loop reads twiddles sequentially instead of at a
+    /// `len/width` stride.
+    fwd_stages: Vec<Vec<u64>>,
+    /// Per-stage inverse twiddles, same layout.
+    inv_stages: Vec<Vec<u64>>,
     /// `len^{-1} mod P`, for inverse normalization.
     len_inv: u64,
     /// Bit-reversal swaps `(i, j)` with `i < j`.
     swaps: Vec<(u32, u32)>,
+}
+
+fn stage_twiddles(root: u64, len: usize) -> Vec<Vec<u64>> {
+    let mut stages = Vec::new();
+    let mut width = 2usize;
+    while width <= len {
+        // The stage root has order `width`; its first `width/2` powers.
+        let stage_root = mod_pow(root, (len / width) as u64);
+        let mut tw = Vec::with_capacity(width / 2);
+        let mut w = 1u64;
+        for _ in 0..width / 2 {
+            tw.push(w);
+            w = mod_mul(w, stage_root);
+        }
+        stages.push(tw);
+        width *= 2;
+    }
+    stages
 }
 
 impl Ntt {
@@ -152,17 +176,8 @@ impl Ntt {
             });
         }
         let root = primitive_root_of_unity(len)?;
-        let root_inv = mod_inv(root);
-        let half = (len / 2).max(1);
-        let mut fwd_twiddles = Vec::with_capacity(half);
-        let mut inv_twiddles = Vec::with_capacity(half);
-        let (mut f, mut i) = (1u64, 1u64);
-        for _ in 0..half {
-            fwd_twiddles.push(f);
-            inv_twiddles.push(i);
-            f = mod_mul(f, root);
-            i = mod_mul(i, root_inv);
-        }
+        let fwd_stages = stage_twiddles(root, len);
+        let inv_stages = stage_twiddles(mod_inv(root), len);
         let bits = len.trailing_zeros();
         let mut swaps = Vec::with_capacity(len / 2);
         for a in 0..len {
@@ -177,8 +192,8 @@ impl Ntt {
         }
         Ok(Ntt {
             len,
-            fwd_twiddles,
-            inv_twiddles,
+            fwd_stages,
+            inv_stages,
             len_inv: mod_inv(len as u64),
             swaps,
         })
@@ -194,23 +209,28 @@ impl Ntt {
         self.len == 0
     }
 
-    fn butterfly_passes(&self, buf: &mut [u64], twiddles: &[u64]) {
-        let n = self.len;
+    fn butterfly_passes(&self, buf: &mut [u64], stages: &[Vec<u64>]) {
         for &(i, j) in &self.swaps {
             buf.swap(i as usize, j as usize);
         }
-        let mut width = 2usize;
-        while width <= n {
+        // Width-2 pass: the only twiddle is 1, so it is pure add/sub.
+        for pair in buf.chunks_exact_mut(2) {
+            let (a, b) = (pair[0], pair[1]);
+            pair[0] = mod_add(a, b);
+            pair[1] = mod_sub(a, b);
+        }
+        let mut width = 4usize;
+        for stage in &stages[1..] {
             let half = width / 2;
-            let stride = n / width;
-            for base in (0..n).step_by(width) {
-                let mut tw = 0usize;
-                for off in 0..half {
-                    let a = buf[base + off];
-                    let b = mod_mul(buf[base + off + half], twiddles[tw]);
-                    buf[base + off] = mod_add(a, b);
-                    buf[base + off + half] = mod_sub(a, b);
-                    tw += stride;
+            // split_at_mut + zip: the three streams advance in lockstep
+            // with no bounds checks in the butterfly itself.
+            for chunk in buf.chunks_exact_mut(width) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                    let t = mod_mul(*b, w);
+                    let u = *a;
+                    *a = mod_add(u, t);
+                    *b = mod_sub(u, t);
                 }
             }
             width *= 2;
@@ -226,7 +246,7 @@ impl Ntt {
         if self.len <= 1 {
             return;
         }
-        self.butterfly_passes(buf, &self.fwd_twiddles);
+        self.butterfly_passes(buf, &self.fwd_stages);
     }
 
     /// Inverse NTT in place, including `1/n` normalization.
@@ -235,11 +255,48 @@ impl Ntt {
         if self.len <= 1 {
             return;
         }
-        self.butterfly_passes(buf, &self.inv_twiddles);
+        self.butterfly_passes(buf, &self.inv_stages);
         for v in buf.iter_mut() {
             *v = mod_mul(*v, self.len_inv);
         }
     }
+}
+
+/// Process-wide cache of NTT plans, keyed by transform length.
+///
+/// Every plan is immutable after construction, so one `Arc<Ntt>` per length
+/// serves the sequential engine, every worker thread of the parallel engine,
+/// the sliding-window localization profiles, and the baselines — twiddle
+/// tables and bit-reversal swaps are computed once per process per length.
+/// Lengths are powers of two, so the cache stays tiny (< 33 entries).
+static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<Ntt>>>> = OnceLock::new();
+
+/// Returns the process-wide shared plan for power-of-two length `len`,
+/// building and caching it on first use.
+pub fn shared_plan(len: usize) -> Result<Arc<Ntt>> {
+    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(plan) = cache.lock().expect("NTT plan cache poisoned").get(&len) {
+        return Ok(Arc::clone(plan));
+    }
+    // Build outside the lock: planning a large length must not block other
+    // threads fetching already-cached lengths. A racing builder of the same
+    // length loses to whoever inserts first.
+    let plan = Arc::new(Ntt::new(len)?);
+    let mut map = cache.lock().expect("NTT plan cache poisoned");
+    Ok(Arc::clone(map.entry(len).or_insert(plan)))
+}
+
+/// Derives the spectrum of the *cyclically reversed* signal from the
+/// spectrum of the forward signal.
+///
+/// If `spec[k] = sum_j v[j] w^{jk}` is the forward NTT of `v`, the NTT of
+/// `v'[j] = v[(N - j) mod N]` is `spec'[k] = spec[(N - k) mod N]` — cyclic
+/// reversal in the signal domain is index negation in the transform domain.
+/// This is what lets autocorrelation spend two transforms instead of three:
+/// the reversed signal is never transformed (or even materialized).
+pub fn reversed_spectrum(spec: &[u64]) -> Vec<u64> {
+    let n = spec.len();
+    (0..n).map(|k| spec[(n - k) % n]).collect()
 }
 
 /// Exact linear convolution of non-negative integer sequences.
@@ -264,7 +321,7 @@ pub fn convolve_exact(a: &[u64], b: &[u64]) -> Result<Vec<u64>> {
     }
     let out_len = a.len() + b.len() - 1;
     let size = out_len.next_power_of_two();
-    let plan = Ntt::new(size)?;
+    let plan = shared_plan(size)?;
     let mut fa = vec![0u64; size];
     fa[..a.len()].copy_from_slice(a);
     let mut fb = vec![0u64; size];
@@ -401,5 +458,31 @@ mod tests {
         assert!(Ntt::new(0).is_err());
         assert!(Ntt::new(3).is_err());
         assert!(primitive_root_of_unity(12).is_err());
+    }
+
+    #[test]
+    fn shared_plans_are_cached_per_length() {
+        let a = shared_plan(256).expect("plan");
+        let b = shared_plan(256).expect("plan");
+        assert!(Arc::ptr_eq(&a, &b), "same length must share one plan");
+        assert_eq!(a.len(), 256);
+        assert!(shared_plan(3).is_err());
+    }
+
+    #[test]
+    fn reversed_spectrum_is_transform_of_cyclic_reversal() {
+        for log in 0..=10u32 {
+            let n = 1usize << log;
+            let plan = Ntt::new(n).expect("plan");
+            let v: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % P)
+                .collect();
+            let mut spec = v.clone();
+            plan.forward(&mut spec);
+            let derived = reversed_spectrum(&spec);
+            let mut direct: Vec<u64> = (0..n).map(|j| v[(n - j) % n]).collect();
+            plan.forward(&mut direct);
+            assert_eq!(derived, direct, "n={n}");
+        }
     }
 }
