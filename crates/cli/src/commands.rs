@@ -52,6 +52,19 @@ fn engine_kind(args: &CliArgs) -> Result<EngineKind, CliError> {
     }
 }
 
+/// `--threads N` (absent = available parallelism; output is identical
+/// either way).
+fn threads(args: &CliArgs) -> Result<Option<usize>, CliError> {
+    let t: Option<usize> = args
+        .raw("threads")
+        .map(|_| args.require("threads"))
+        .transpose()?;
+    if t == Some(0) {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    Ok(t)
+}
+
 fn detector_config(args: &CliArgs) -> Result<DetectorConfig, CliError> {
     Ok(DetectorConfig {
         threshold: args.get("threshold", 0.5)?,
@@ -81,6 +94,9 @@ pub fn mine(args: &CliArgs, stdin: &mut dyn BufRead, out: &mut dyn Write) -> Res
         });
     if let Some(max) = config.max_period {
         builder = builder.max_period(max);
+    }
+    if let Some(t) = threads(args)? {
+        builder = builder.threads(t);
     }
     let report = builder.build().mine(&series)?;
     render_report(&series, &report, args, out)?;
@@ -173,7 +189,10 @@ pub fn periods(
     out: &mut dyn Write,
 ) -> Result<i32, CliError> {
     let series = read_series(args, stdin)?;
-    let detector = PeriodicityDetector::new(detector_config(args)?, engine_kind(args)?.build());
+    let detector = PeriodicityDetector::new(
+        detector_config(args)?,
+        engine_kind(args)?.build_with_threads(threads(args)?),
+    );
     let candidates = detector.candidate_periods(&series)?;
     writeln!(
         out,

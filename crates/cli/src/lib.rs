@@ -48,6 +48,9 @@ COMMON OPTIONS:
   --max-period <p>       largest period examined          [default n/2]
   --no-patterns          skip pattern assembly (mine)
   --enumerate-all        enumerate every frequent pattern (mine)
+  --threads <t>          worker threads for the parallel engine and the
+                         per-period pattern fan-out; output is identical
+                         for every value  [default: available parallelism]
   --limit <k>            cap printed rows                 [default 50]
 
 GENERATE OPTIONS:
@@ -209,6 +212,44 @@ mod tests {
         );
         assert_eq!(code, 0);
         assert!(out.contains("period     3"), "{out}");
+    }
+
+    #[test]
+    fn threads_flag_does_not_change_output() {
+        let series = "abcabbabcb".repeat(8);
+        let (code1, out1) = invoke(&["mine", "-", "--threshold", "0.4"], &series);
+        let (code2, out2) = invoke(
+            &[
+                "mine",
+                "-",
+                "--threshold",
+                "0.4",
+                "--threads",
+                "3",
+                "--engine",
+                "parallel",
+            ],
+            &series,
+        );
+        assert_eq!(code1, 0);
+        assert_eq!(code2, 0);
+        assert_eq!(out1, out2, "output must be thread-count invariant");
+        let (code3, _) = invoke(
+            &["periods", "-", "--threshold", "0.9", "--threads", "2"],
+            &"abc".repeat(50),
+        );
+        assert_eq!(code3, 0);
+    }
+
+    #[test]
+    fn zero_threads_is_a_usage_error() {
+        let argv: Vec<String> = ["mine", "-", "--threads", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut stdin = Cursor::new(b"abab".to_vec());
+        let mut out = Vec::new();
+        assert!(run(&argv, &mut stdin, &mut out).is_err());
     }
 
     #[test]

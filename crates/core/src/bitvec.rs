@@ -20,6 +20,20 @@ impl BitVec {
         }
     }
 
+    /// Creates an all-one vector of `len` bits. Trailing bits of the last
+    /// limb stay zero, preserving the invariant every other constructor
+    /// maintains (so `Eq`/`is_subset_of` never see ghost bits).
+    pub fn ones(len: usize) -> Self {
+        let mut limbs = vec![u64::MAX; len.div_ceil(64)];
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = limbs.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        BitVec { len, limbs }
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len
@@ -102,6 +116,35 @@ impl BitVec {
             .iter()
             .zip(&other.limbs)
             .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place intersection: `self &= other`. The allocation-free
+    /// counterpart of [`BitVec::intersection`], used by the level-wise
+    /// pattern joins so extending an intersection never allocates.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bit vector lengths differ");
+        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
+            *a &= b;
+        }
+    }
+
+    /// `popcount(self & b & c)` without allocating: the triple-intersection
+    /// support count of a three-item pattern in one pass.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn and_count_3(&self, b: &BitVec, c: &BitVec) -> usize {
+        assert_eq!(self.len, b.len, "bit vector lengths differ");
+        assert_eq!(self.len, c.len, "bit vector lengths differ");
+        self.limbs
+            .iter()
+            .zip(&b.limbs)
+            .zip(&c.limbs)
+            .map(|((x, y), z)| (x & y & z).count_ones() as usize)
             .sum()
     }
 
@@ -254,6 +297,82 @@ mod tests {
         let a = BitVec::zeros(10);
         let b = BitVec::zeros(11);
         let _ = a.and_count(&b);
+    }
+
+    #[test]
+    fn ones_masks_the_trailing_limb() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 130] {
+            let ones = BitVec::ones(len);
+            assert_eq!(ones.count_ones(), len, "len={len}");
+            // Equal to a vector built bit by bit: no ghost bits past `len`.
+            let mut built = BitVec::zeros(len);
+            for i in 0..len {
+                built.set(i);
+            }
+            assert_eq!(ones, built, "len={len}");
+            assert!(built.is_subset_of(&ones));
+            assert!(ones.is_subset_of(&built));
+        }
+    }
+
+    #[test]
+    fn and_with_matches_intersection() {
+        let mut a = BitVec::zeros(200);
+        let mut b = BitVec::zeros(200);
+        for i in (0..200).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..200).step_by(4) {
+            b.set(i);
+        }
+        let expected = a.intersection(&b);
+        let mut in_place = a.clone();
+        in_place.and_with(&b);
+        assert_eq!(in_place, expected);
+        assert_eq!(in_place.count_ones(), a.and_count(&b));
+        // Idempotent and absorbing.
+        in_place.and_with(&b);
+        assert_eq!(in_place, expected);
+        in_place.and_with(&BitVec::zeros(200));
+        assert_eq!(in_place.count_ones(), 0);
+    }
+
+    #[test]
+    fn and_count_3_matches_pairwise_composition() {
+        let mut a = BitVec::zeros(150);
+        let mut b = BitVec::zeros(150);
+        let mut c = BitVec::zeros(150);
+        let mut state = 0xDEAD_BEEF_u64;
+        for i in 0..150 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state & 1 == 1 {
+                a.set(i);
+            }
+            if state & 2 == 2 {
+                b.set(i);
+            }
+            if state & 4 == 4 {
+                c.set(i);
+            }
+        }
+        let expected = a.intersection(&b).and_count(&c);
+        assert_eq!(a.and_count_3(&b, &c), expected);
+        assert_eq!(b.and_count_3(&a, &c), expected);
+        assert_eq!(c.and_count_3(&b, &a), expected);
+        assert_eq!(a.and_count_3(&BitVec::zeros(150), &c), 0);
+        assert_eq!(
+            a.and_count_3(&BitVec::ones(150), &BitVec::ones(150)),
+            a.count_ones()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn and_with_requires_equal_lengths() {
+        let mut a = BitVec::zeros(10);
+        a.and_with(&BitVec::zeros(11));
     }
 
     #[test]

@@ -17,70 +17,27 @@
 //! closed patterns carry all support information (any frequent pattern's
 //! support is the max over closed super-patterns) with output linear in the
 //! number of closed sets. This module implements LCM's prefix-preserving
-//! closure extension over bitset tidsets, which emits each closed pattern
-//! exactly once without storing previously found sets.
+//! closure extension over the shared [`PairMatchIndex`] tidsets — the same
+//! one-pass transaction table the Apriori enumerator counts against — which
+//! emits each closed pattern exactly once without storing previously found
+//! sets.
 
-use periodica_series::{pair_denominator, SymbolId, SymbolSeries};
+use periodica_series::SymbolSeries;
 
 use crate::bitvec::BitVec;
 use crate::detect::DetectionResult;
 use crate::error::{MiningError, Result};
+use crate::pairbits::PairMatchIndex;
 use crate::pattern::{MinedPattern, Pattern, SupportEstimate};
 
 /// Tolerance for support/threshold comparisons.
 const EPS: f64 = 1e-9;
 
-/// One period's item table: detected positions plus their tidsets.
-struct ItemTable {
-    period: usize,
-    /// `(phase, symbol)` items, sorted.
-    items: Vec<(usize, SymbolId)>,
-    /// Transaction set per item, over `0..universe`.
-    tids: Vec<BitVec>,
-    /// Number of whole consecutive segment pairs, `ceil(n/p) - 1`.
-    universe: usize,
-}
-
-impl ItemTable {
-    fn build(series: &SymbolSeries, detection: &DetectionResult, period: usize) -> Self {
-        let n = series.len();
-        let universe = pair_denominator(n, period, 0);
-        let mut items: Vec<(usize, SymbolId)> = detection
-            .at_period(period)
-            .iter()
-            .map(|sp| (sp.phase, sp.symbol))
-            .collect();
-        items.sort();
-        items.dedup();
-        let data = series.symbols();
-        let tids = items
-            .iter()
-            .map(|&(l, s)| {
-                let mut t = BitVec::zeros(universe);
-                for i in 0..universe {
-                    let a = i * period + l;
-                    let b = a + period;
-                    if b < n && data[a] == s && data[b] == s {
-                        t.set(i);
-                    }
-                }
-                t
-            })
-            .collect();
-        ItemTable {
-            period,
-            items,
-            tids,
-            universe,
-        }
-    }
-
-    /// Closure: every item whose tidset contains `tids`.
-    fn closure_of(&self, tids: &BitVec) -> Vec<usize> {
-        (0..self.items.len())
-            .filter(|&y| tids.is_subset_of(&self.tids[y]))
-            .collect()
-    }
+/// Closure: every item whose row contains `tids`.
+fn closure_of(index: &PairMatchIndex, tids: &BitVec) -> Vec<usize> {
+    (0..index.items().len())
+        .filter(|&y| tids.is_subset_of(index.row(y)))
+        .collect()
 }
 
 /// Mines all *closed* frequent patterns for one period into `out`.
@@ -95,36 +52,33 @@ pub fn mine_closed_for_period(
     output_cap: usize,
     out: &mut Vec<MinedPattern>,
 ) -> Result<()> {
-    let table = ItemTable::build(series, detection, period);
-    if table.universe == 0 || table.items.is_empty() {
+    let index = PairMatchIndex::from_detection(series, detection, period);
+    if index.universe() == 0 || index.items().is_empty() {
         return Ok(());
     }
-    let min_count = ((min_support * table.universe as f64) - EPS)
+    let min_count = ((min_support * index.universe() as f64) - EPS)
         .ceil()
         .max(1.0) as usize;
 
     // Root: transactions where *anything* could match is the full universe.
-    let mut full = BitVec::zeros(table.universe);
-    for i in 0..table.universe {
-        full.set(i);
-    }
-    let root_closure = table.closure_of(&full);
+    let full = BitVec::ones(index.universe());
+    let root_closure = closure_of(&index, &full);
     let mut miner = ClosedMiner {
-        table: &table,
+        index: &index,
         min_count,
         output_cap,
         out,
     };
-    if !root_closure.is_empty() && table.universe >= min_count {
+    if !root_closure.is_empty() && index.universe() >= min_count {
         // Everything in the root closure matches every pair: one closed set.
-        miner.emit(&root_closure, table.universe)?;
+        miner.emit(&root_closure, index.universe())?;
     }
     miner.expand(&root_closure, &full, None)?;
     Ok(())
 }
 
 struct ClosedMiner<'a> {
-    table: &'a ItemTable,
+    index: &'a PairMatchIndex,
     min_count: usize,
     output_cap: usize,
     out: &'a mut Vec<MinedPattern>,
@@ -138,9 +92,9 @@ impl ClosedMiner<'_> {
                 cap: self.output_cap,
             });
         }
-        let fixed: Vec<(usize, SymbolId)> = closure.iter().map(|&y| self.table.items[y]).collect();
-        let pattern = Pattern::new(self.table.period, &fixed)?;
-        let denominator = self.table.universe as u32;
+        let fixed: Vec<_> = closure.iter().map(|&y| self.index.items()[y]).collect();
+        let pattern = Pattern::new(self.index.period(), &fixed)?;
+        let denominator = self.index.universe() as u32;
         self.out.push(MinedPattern {
             pattern,
             support: SupportEstimate {
@@ -155,16 +109,18 @@ impl ClosedMiner<'_> {
     /// LCM prefix-preserving closure extension.
     fn expand(&mut self, closure: &[usize], tids: &BitVec, core: Option<usize>) -> Result<()> {
         let start = core.map_or(0, |c| c + 1);
-        for j in start..self.table.items.len() {
+        for j in start..self.index.items().len() {
             if closure.binary_search(&j).is_ok() {
                 continue;
             }
-            let t2 = tids.intersection(&self.table.tids[j]);
-            let count = t2.count_ones();
+            // Popcount pre-check before materializing the child tidset:
+            // infrequent extensions never allocate.
+            let count = tids.and_count(self.index.row(j));
             if count < self.min_count {
                 continue;
             }
-            let c2 = self.table.closure_of(&t2);
+            let t2 = tids.intersection(self.index.row(j));
+            let c2 = closure_of(self.index, &t2);
             // Prefix-preserving check: no item below j may join the closure
             // beyond what the parent already had.
             let prefix_ok = c2

@@ -114,11 +114,20 @@ pub enum EngineKind {
 impl EngineKind {
     /// Instantiates the engine.
     pub fn build(self) -> Box<dyn MatchEngine> {
+        self.build_with_threads(None)
+    }
+
+    /// Instantiates the engine with a pinned worker-thread count for the
+    /// parallel variant (`None` = available parallelism; the sequential
+    /// engines ignore it).
+    pub fn build_with_threads(self, threads: Option<usize>) -> Box<dyn MatchEngine> {
         match self {
             EngineKind::Naive => Box::new(NaiveEngine),
             EngineKind::Bitset => Box::new(BitsetEngine),
             EngineKind::Spectrum => Box::new(SpectrumEngine::new()),
-            EngineKind::ParallelSpectrum => Box::new(ParallelSpectrumEngine::new()),
+            EngineKind::ParallelSpectrum => {
+                Box::new(ParallelSpectrumEngine::new().with_threads(threads))
+            }
         }
     }
 

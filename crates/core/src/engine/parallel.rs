@@ -23,6 +23,9 @@ use crate::error::Result;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParallelSpectrumEngine {
     policy: BoundedLagPolicy,
+    /// Worker-thread count; `None` uses the machine's available
+    /// parallelism. Output is bit-identical for every setting.
+    threads: Option<usize>,
 }
 
 impl ParallelSpectrumEngine {
@@ -33,7 +36,17 @@ impl ParallelSpectrumEngine {
 
     /// An engine pinned to the given bounded-lag policy.
     pub fn with_policy(policy: BoundedLagPolicy) -> Self {
-        ParallelSpectrumEngine { policy }
+        ParallelSpectrumEngine {
+            policy,
+            threads: None,
+        }
+    }
+
+    /// Pins the worker-thread count (`None` restores the default:
+    /// available parallelism).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -52,9 +65,13 @@ impl MatchEngine for ParallelSpectrumEngine {
                 vec![vec![0; max_period + 1]; sigma],
             ));
         }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
             .min(sigma)
             .max(1);
         let symbols: Vec<_> = series.alphabet().ids().collect();

@@ -15,6 +15,8 @@
 //!   (step 4c) with a sound candidate prune;
 //! * [`pattern`] — single-symbol and multi-symbol periodic patterns with
 //!   support estimation (steps 4d-4e), grown Apriori-style;
+//! * [`pairbits`] — the shared bit-parallel verification index
+//!   ([`PairMatchIndex`]) every pattern consumer counts against;
 //! * [`miner`] — the [`ObscureMiner`] facade tying it together;
 //! * [`stream`] — the one-pass ingestion contract ([`OneTouchMiner`]).
 
@@ -32,6 +34,7 @@ pub mod localize;
 pub mod mapping;
 pub mod miner;
 pub mod online;
+pub mod pairbits;
 pub mod pattern;
 pub mod segment;
 pub mod stream;
@@ -48,9 +51,10 @@ pub use localize::{
 };
 pub use miner::{MinerBuilder, MinerConfig, MiningReport, ObscureMiner};
 pub use online::{OnlineCandidate, OnlineDetector};
+pub use pairbits::PairMatchIndex;
 pub use pattern::{
-    cartesian_candidates, mine_patterns, pattern_support, MinedPattern, Pattern,
-    PatternMinerConfig, PatternMode, SupportEstimate,
+    cartesian_candidates, mine_patterns, pattern_support, pattern_support_indexed, MinedPattern,
+    Pattern, PatternMinerConfig, PatternMode, SupportEstimate,
 };
 pub use segment::MaxSubpatternTree;
 pub use stream::{mine_reader, OneTouchMiner};
@@ -307,6 +311,96 @@ mod proptests {
                     prop_assert_eq!(h.period % f.fundamental.period, 0);
                     prop_assert_eq!(h.phase % f.fundamental.period, f.fundamental.phase);
                 }
+            }
+        }
+
+        #[test]
+        fn indexed_support_equals_the_scalar_oracle(
+            s in arb_series(),
+            p in 2usize..12,
+            picks in proptest::collection::vec((0usize..12, 0usize..5), 1..5),
+        ) {
+            // Arbitrary item sets (not just detected ones): build the index
+            // over exactly the pattern's items and compare its popcount
+            // against the scalar series rescan.
+            use crate::bitvec::BitVec;
+            use crate::pairbits::PairMatchIndex;
+            let mut fixed: Vec<(usize, SymbolId)> = picks
+                .into_iter()
+                .map(|(l, k)| (l % p, SymbolId::from_index(k % s.sigma())))
+                .collect();
+            fixed.sort_unstable();
+            fixed.dedup();
+            prop_assume!(fixed.windows(2).all(|w| w[0].0 != w[1].0));
+            let pattern = Pattern::new(p, &fixed).unwrap();
+            let index = PairMatchIndex::build(&s, p, fixed.iter().copied());
+            let mut scratch = BitVec::zeros(index.universe());
+            let scalar = pattern_support(&s, &pattern);
+            let indexed = crate::pattern::pattern_support_indexed(
+                &index, &pattern, &mut scratch,
+            ).unwrap();
+            prop_assert_eq!(indexed.count, scalar.count);
+            prop_assert_eq!(indexed.denominator, scalar.denominator);
+            prop_assert!((indexed.support - scalar.support).abs() < 1e-12);
+        }
+
+        #[test]
+        fn mining_is_thread_count_invariant(
+            s in arb_series(),
+            threshold in 0.3f64..0.9,
+            threads in 2usize..5,
+            enumerate in proptest::bool::ANY,
+        ) {
+            // The parallel per-period fan-out must be bit-identical to the
+            // serial path: same patterns, same supports, same order.
+            let detection = PeriodicityDetector::new(
+                DetectorConfig {
+                    threshold,
+                    max_period: Some((s.len() / 3).max(1)),
+                    ..Default::default()
+                },
+                EngineKind::Spectrum.build(),
+            ).detect(&s).unwrap();
+            let mode = if enumerate {
+                crate::pattern::PatternMode::EnumerateAll
+            } else {
+                crate::pattern::PatternMode::Closed
+            };
+            let mine = |threads: usize| {
+                let config = crate::pattern::PatternMinerConfig {
+                    min_support: threshold,
+                    mode,
+                    threads: Some(threads),
+                    // Low cap so cases that genuinely explode (EnumerateAll
+                    // on near-random series) fail fast — the merge must
+                    // still surface the identical first-period error.
+                    candidate_cap: 1 << 12,
+                    ..Default::default()
+                };
+                crate::pattern::mine_patterns(&s, &detection, &config)
+            };
+            let serial = mine(1);
+            let parallel = mine(threads);
+            match (serial, parallel) {
+                (Ok(serial), Ok(parallel)) => {
+                    prop_assert_eq!(serial.len(), parallel.len());
+                    for (a, b) in serial.iter().zip(&parallel) {
+                        prop_assert_eq!(&a.pattern, &b.pattern);
+                        prop_assert_eq!(a.support.count, b.support.count);
+                        prop_assert_eq!(a.support.denominator, b.support.denominator);
+                        prop_assert_eq!(
+                            a.support.support.to_bits(),
+                            b.support.support.to_bits()
+                        );
+                    }
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(
+                    false,
+                    "serial/parallel disagree on success: {:?} vs {:?}",
+                    a.map(|v| v.len()),
+                    b.map(|v| v.len()),
+                ),
             }
         }
 

@@ -33,6 +33,11 @@ pub struct MinerConfig {
     pub candidate_cap: usize,
     /// Closed-pattern output (default) versus full enumeration.
     pub pattern_mode: PatternMode,
+    /// Worker threads for the parallel stages (the per-period pattern
+    /// fan-out, and the parallel spectrum engine when selected); `None`
+    /// uses the machine's available parallelism. Output is bit-identical
+    /// for every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for MinerConfig {
@@ -48,6 +53,7 @@ impl Default for MinerConfig {
             max_pattern_positions: None,
             candidate_cap: 1 << 20,
             pattern_mode: PatternMode::Closed,
+            threads: None,
         }
     }
 }
@@ -110,6 +116,13 @@ impl MinerBuilder {
     /// Selects closed-pattern output versus full enumeration.
     pub fn pattern_mode(mut self, mode: PatternMode) -> Self {
         self.config.pattern_mode = mode;
+        self
+    }
+
+    /// Pins the worker-thread count for the parallel stages (default:
+    /// available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads);
         self
     }
 
@@ -197,7 +210,7 @@ impl ObscureMiner {
                 max_period: self.config.max_period,
                 prune: self.config.prune,
             },
-            self.config.engine.build(),
+            self.config.engine.build_with_threads(self.config.threads),
         );
         let detection = detector.detect(series)?;
         let patterns = if self.config.mine_patterns {
@@ -206,6 +219,7 @@ impl ObscureMiner {
                 max_positions: self.config.max_pattern_positions,
                 candidate_cap: self.config.candidate_cap,
                 mode: self.config.pattern_mode,
+                threads: self.config.threads,
             };
             mine_patterns(series, &detection, &pm_config)?
         } else {
@@ -269,6 +283,7 @@ mod tests {
             .prune(false)
             .min_support(0.9)
             .max_pattern_positions(3)
+            .threads(2)
             .build();
         let c = miner.config();
         assert_eq!(c.threshold, 0.8);
@@ -278,6 +293,7 @@ mod tests {
         assert!(!c.prune);
         assert_eq!(c.min_support, Some(0.9));
         assert_eq!(c.max_pattern_positions, Some(3));
+        assert_eq!(c.threads, Some(2));
     }
 
     #[test]

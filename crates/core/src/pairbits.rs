@@ -1,0 +1,322 @@
+//! The shared bit-parallel pattern-verification index (`PairMatchIndex`).
+//!
+//! Step 4e of the paper's Fig. 2 measures candidate-pattern support by
+//! counting *consecutive segment pairs* that match every fixed phase
+//! (Defs. 2-3). Measured scalar, that is one full series rescan per
+//! candidate — O(candidates × n) on dense data. But the pair semantics is
+//! an itemset support in disguise (the observation `closed.rs` already
+//! exploits internally):
+//!
+//! * *transactions* are consecutive whole-segment pairs `i` in
+//!   `0..ceil(n/p) - 1`;
+//! * *items* are the detected single-symbol periodicities `(l, s)`;
+//! * item `(l, s)` occurs in transaction `i` iff
+//!   `t_{ip+l} = t_{(i+1)p+l} = s` (both indices in range);
+//! * a pattern's support count is `popcount(AND of its items' rows)` —
+//!   O(pairs / 64) per candidate instead of O(n · |fixed|).
+//!
+//! This module promotes that representation to the *single* verification
+//! substrate for the whole pattern phase: one pass over the series per
+//! period materializes a [`BitVec`] row per item, shared by the Apriori
+//! enumerator ([`crate::pattern::mine_patterns`]), the LCM closed miner
+//! ([`crate::closed`]), and — in its segment-occurrence variant — the
+//! max-subpattern tree ([`crate::segment`]). The scalar
+//! [`crate::pattern::pattern_support`] scan remains as the proptest oracle.
+//!
+//! ## Why the popcount equals the scalar count
+//!
+//! The scalar scan stops at the first pair where any fixed phase runs past
+//! the series end; the rows encode the same boundary, because bit `i` is
+//! only set when `(i+1)p + l < n`. Every pair the scalar scan rejects for
+//! eligibility has a zero bit in the row of its largest fixed phase, so the
+//! intersection popcount over the full transaction universe counts exactly
+//! the scalar loop's matches (asserted by unit tests and proptests).
+
+use periodica_series::{pair_denominator, SymbolId, SymbolSeries};
+
+use crate::bitvec::BitVec;
+use crate::detect::DetectionResult;
+
+/// One period's transaction table: detected items plus their pair-match
+/// rows, built in one pass over the series.
+#[derive(Debug, Clone)]
+pub struct PairMatchIndex {
+    period: usize,
+    /// Length of the series the index was built over (for Def. 2's
+    /// phase-specific single-item denominators).
+    series_len: usize,
+    /// Number of whole consecutive segment pairs, `ceil(n/p) - 1`.
+    universe: usize,
+    /// `(phase, symbol)` items, sorted ascending, deduplicated.
+    items: Vec<(usize, SymbolId)>,
+    /// `rows[j]`: transactions containing `items[j]`, over `0..universe`.
+    rows: Vec<BitVec>,
+}
+
+impl PairMatchIndex {
+    /// Builds the index for `period` over the given `(phase, symbol)`
+    /// items (deduplicated and sorted internally).
+    pub fn build<I>(series: &SymbolSeries, period: usize, items: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, SymbolId)>,
+    {
+        let n = series.len();
+        let universe = if period == 0 {
+            0
+        } else {
+            pair_denominator(n, period, 0)
+        };
+        let mut items: Vec<(usize, SymbolId)> = items
+            .into_iter()
+            .filter(|&(l, _)| l < period.max(1))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        let data = series.symbols();
+        let mut rows = vec![BitVec::zeros(universe); items.len()];
+        // One pass per populated phase: pairs are visited in order and the
+        // (tiny, sorted) per-phase item run is probed only on a lag match.
+        let mut start = 0usize;
+        while start < items.len() {
+            let phase = items[start].0;
+            let mut end = start + 1;
+            while end < items.len() && items[end].0 == phase {
+                end += 1;
+            }
+            for i in 0..universe {
+                let a = i * period + phase;
+                let b = a + period;
+                if b >= n {
+                    break; // later pairs only run further past the end
+                }
+                if data[a] == data[b] {
+                    let run = &items[start..end];
+                    if let Ok(off) = run.binary_search_by_key(&data[a], |&(_, s)| s) {
+                        rows[start + off].set(i);
+                    }
+                }
+            }
+            start = end;
+        }
+        PairMatchIndex {
+            period,
+            series_len: n,
+            universe,
+            items,
+            rows,
+        }
+    }
+
+    /// Builds the index from every periodicity `detection` reports at
+    /// `period` — the item set both pattern miners consume.
+    pub fn from_detection(
+        series: &SymbolSeries,
+        detection: &DetectionResult,
+        period: usize,
+    ) -> Self {
+        Self::build(
+            series,
+            period,
+            detection
+                .at_period(period)
+                .iter()
+                .map(|sp| (sp.phase, sp.symbol)),
+        )
+    }
+
+    /// The period this index covers.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Length of the series the index was built over.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Number of transactions (whole consecutive segment pairs): the
+    /// multi-symbol support denominator of Def. 3.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The sorted `(phase, symbol)` items.
+    pub fn items(&self) -> &[(usize, SymbolId)] {
+        &self.items
+    }
+
+    /// One item's transaction row.
+    pub fn row(&self, item: usize) -> &BitVec {
+        &self.rows[item]
+    }
+
+    /// Index of an item, if present.
+    pub fn find(&self, phase: usize, symbol: SymbolId) -> Option<usize> {
+        self.items.binary_search(&(phase, symbol)).ok()
+    }
+
+    /// Support count of an item set given by row indices:
+    /// `popcount(AND of rows)`. One, two, and three items never touch
+    /// `scratch`; larger sets fold into it (reusing its allocation).
+    ///
+    /// # Panics
+    /// Panics if `item_indices` is empty or any index is out of range.
+    pub fn count_items(&self, item_indices: &[usize], scratch: &mut BitVec) -> usize {
+        match item_indices {
+            [] => panic!("support of the all-don't-care pattern is undefined"),
+            [a] => self.rows[*a].count_ones(),
+            [a, b] => self.rows[*a].and_count(&self.rows[*b]),
+            [a, b, c] => self.rows[*a].and_count_3(&self.rows[*b], &self.rows[*c]),
+            [a, rest @ ..] => {
+                scratch.clone_from(&self.rows[*a]);
+                for &j in rest {
+                    scratch.and_with(&self.rows[j]);
+                }
+                scratch.count_ones()
+            }
+        }
+    }
+
+    /// Support count of a set of `(phase, symbol)` items; `None` when any
+    /// item is absent from the index (its row was never built, so its
+    /// count is not represented here — callers fall back to the scalar
+    /// oracle).
+    pub fn count_of(&self, fixed: &[(usize, SymbolId)], scratch: &mut BitVec) -> Option<usize> {
+        let mut idxs = Vec::with_capacity(fixed.len());
+        for &(l, s) in fixed {
+            idxs.push(self.find(l, s)?);
+        }
+        if idxs.is_empty() {
+            return Some(0);
+        }
+        Some(self.count_items(&idxs, scratch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{pattern_support, Pattern};
+    use periodica_series::Alphabet;
+
+    fn series(text: &str, sigma: usize) -> SymbolSeries {
+        let a = Alphabet::latin(sigma).expect("alphabet");
+        SymbolSeries::parse(text, &a).expect("series")
+    }
+
+    /// xorshift64 series over `sigma` symbols — deterministic, no RNG crate.
+    fn random_series(len: usize, sigma: usize, mut state: u64) -> SymbolSeries {
+        let a = Alphabet::latin(sigma).expect("alphabet");
+        let ids: Vec<SymbolId> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                SymbolId::from_index((state % sigma as u64) as usize)
+            })
+            .collect();
+        SymbolSeries::from_ids(ids, a).expect("series")
+    }
+
+    #[test]
+    fn rows_match_the_definition() {
+        let s = series("abcabbabcb", 3);
+        let p = 3;
+        let all_items: Vec<(usize, SymbolId)> = (0..p)
+            .flat_map(|l| (0..3).map(move |k| (l, SymbolId::from_index(k))))
+            .collect();
+        let index = PairMatchIndex::build(&s, p, all_items.iter().copied());
+        assert_eq!(index.universe(), pair_denominator(s.len(), p, 0));
+        let data = s.symbols();
+        for (j, &(l, sym)) in index.items().iter().enumerate() {
+            for i in 0..index.universe() {
+                let a = i * p + l;
+                let b = a + p;
+                let expected = b < s.len() && data[a] == sym && data[b] == sym;
+                assert_eq!(index.row(j).get(i), expected, "item ({l},{sym:?}) pair {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn popcounts_equal_the_scalar_oracle_on_random_series() {
+        // Every 1-, 2-, and 3-item pattern over random series: the
+        // intersection popcount must equal the scalar rescan, including at
+        // the eligibility boundary the scalar loop stops at.
+        for (len, seed) in [(47usize, 1u64), (96, 2), (131, 3)] {
+            let s = random_series(len, 3, seed * 0x9E37_79B9);
+            for p in [2usize, 3, 5, 7] {
+                let all_items: Vec<(usize, SymbolId)> = (0..p)
+                    .flat_map(|l| (0..3).map(move |k| (l, SymbolId::from_index(k))))
+                    .collect();
+                let index = PairMatchIndex::build(&s, p, all_items.iter().copied());
+                let mut scratch = BitVec::zeros(index.universe());
+                for i in 0..all_items.len() {
+                    for j in i..all_items.len() {
+                        for k in j..all_items.len() {
+                            let mut fixed = vec![all_items[i], all_items[j], all_items[k]];
+                            fixed.sort_unstable();
+                            fixed.dedup();
+                            if fixed
+                                .windows(2)
+                                .any(|w| w[0].0 == w[1].0 && w[0].1 != w[1].1)
+                            {
+                                continue; // conflicting symbols at one phase
+                            }
+                            let pattern = Pattern::new(p, &fixed).expect("pattern");
+                            let scalar = pattern_support(&s, &pattern).count as usize;
+                            let bits = index
+                                .count_of(&fixed, &mut scratch)
+                                .expect("items all present");
+                            assert_eq!(bits, scalar, "len={len} p={p} fixed={fixed:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_item_sets_fold_through_scratch() {
+        let s = random_series(200, 2, 0xABCD);
+        let p = 6;
+        let items: Vec<(usize, SymbolId)> = (0..p).map(|l| (l, SymbolId(0))).collect();
+        let index = PairMatchIndex::build(&s, p, items.iter().copied());
+        let mut scratch = BitVec::zeros(index.universe());
+        for card in 4..=p {
+            let fixed = &items[..card];
+            let pattern = Pattern::new(p, fixed).expect("pattern");
+            let scalar = pattern_support(&s, &pattern).count as usize;
+            let bits = index.count_of(fixed, &mut scratch).expect("present");
+            assert_eq!(bits, scalar, "cardinality {card}");
+        }
+    }
+
+    #[test]
+    fn absent_items_and_degenerate_inputs() {
+        let s = series("abcabc", 3);
+        let index = PairMatchIndex::build(&s, 3, [(0, SymbolId(0))]);
+        let mut scratch = BitVec::zeros(index.universe());
+        // (1, b) was never indexed.
+        assert_eq!(index.count_of(&[(1, SymbolId(1))], &mut scratch), None);
+        assert_eq!(index.find(1, SymbolId(1)), None);
+        assert!(index.find(0, SymbolId(0)).is_some());
+        // Out-of-range phases are dropped, not indexed.
+        let oor = PairMatchIndex::build(&s, 3, [(7, SymbolId(0))]);
+        assert!(oor.items().is_empty());
+        // Empty series / period larger than the series: empty universe.
+        let empty = series("", 2);
+        let idx = PairMatchIndex::build(&empty, 4, [(0, SymbolId(0))]);
+        assert_eq!(idx.universe(), 0);
+        let short = PairMatchIndex::build(&s, 10, [(0, SymbolId(0))]);
+        assert_eq!(short.universe(), 0);
+        assert_eq!(short.row(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn duplicate_items_are_merged() {
+        let s = series("ababab", 2);
+        let index = PairMatchIndex::build(&s, 2, [(0, SymbolId(0)), (0, SymbolId(0))]);
+        assert_eq!(index.items().len(), 1);
+    }
+}

@@ -11,14 +11,28 @@
 //! positions, so frequent patterns are grown level-wise from the detected
 //! single-symbol periodicities instead of materializing the full Cartesian
 //! product `S_p` (which is still available, capped, for validation).
+//!
+//! Candidate *verification* is bit-parallel: every level joins against the
+//! shared [`PairMatchIndex`](crate::pairbits::PairMatchIndex) — a parent's
+//! transaction set ANDed with the extension item's row, counted by
+//! popcount — so measuring a candidate costs O(pairs / 64) with zero
+//! allocation, not a fresh O(n · |fixed|) series rescan. The scalar
+//! [`pattern_support`] scan is kept as the oracle the property tests pit
+//! the index against. Detected periods are independent, so
+//! [`mine_patterns`] fans them out over work-stealing worker threads
+//! (see [`PatternMinerConfig::threads`]); the merge is deterministic and
+//! the output bit-identical to the serial path.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use periodica_series::{pair_denominator, Alphabet, SymbolId, SymbolSeries};
 
+use crate::bitvec::BitVec;
 use crate::detect::DetectionResult;
 use crate::error::{MiningError, Result};
+use crate::pairbits::PairMatchIndex;
 
 /// Tolerance for support/threshold comparisons.
 const EPS: f64 = 1e-12;
@@ -166,16 +180,30 @@ pub struct SupportEstimate {
 pub fn pattern_support(series: &SymbolSeries, pattern: &Pattern) -> SupportEstimate {
     let n = series.len();
     let p = pattern.period();
-    let fixed: Vec<(usize, SymbolId)> = pattern.fixed().collect();
-    if fixed.is_empty() || n == 0 {
+    let slots = pattern.slots();
+    // One slot walk for cardinality and the phase extremes — no
+    // intermediate Vec of fixed positions.
+    let mut cardinality = 0usize;
+    let mut first_phase = 0usize;
+    let mut max_phase = 0usize;
+    for (l, slot) in slots.iter().enumerate() {
+        if slot.is_some() {
+            if cardinality == 0 {
+                first_phase = l;
+            }
+            max_phase = l;
+            cardinality += 1;
+        }
+    }
+    if cardinality == 0 || n == 0 {
         return SupportEstimate {
             count: 0,
             denominator: 0,
             support: 0.0,
         };
     }
-    let denominator = if fixed.len() == 1 {
-        pair_denominator(n, p, fixed[0].0)
+    let denominator = if cardinality == 1 {
+        pair_denominator(n, p, first_phase)
     } else {
         pair_denominator(n, p, 0)
     };
@@ -192,24 +220,16 @@ pub fn pattern_support(series: &SymbolSeries, pattern: &Pattern) -> SupportEstim
     loop {
         let base = i * p;
         let next = base + p;
-        // The pair is eligible while every fixed phase exists in both
-        // segments.
-        let mut eligible = true;
-        let mut all_match = true;
-        for &(l, s) in &fixed {
-            let a = base + l;
-            let b = next + l;
-            if b >= n {
-                eligible = false;
-                break;
-            }
-            if data[a] != s || data[b] != s {
-                all_match = false;
-            }
-        }
-        if !eligible {
+        // A pair is eligible while every fixed phase exists in both
+        // segments; the largest fixed phase is the binding one, hoisted
+        // out of the per-phase loop.
+        if next + max_phase >= n {
             break;
         }
+        let all_match = slots.iter().enumerate().all(|(l, slot)| match slot {
+            Some(s) => data[base + l] == *s && data[next + l] == *s,
+            None => true,
+        });
         if all_match {
             count += 1;
         }
@@ -220,6 +240,48 @@ pub fn pattern_support(series: &SymbolSeries, pattern: &Pattern) -> SupportEstim
         denominator: denominator as u32,
         support: count as f64 / denominator as f64,
     }
+}
+
+/// Bit-parallel support measurement against a prebuilt [`PairMatchIndex`]:
+/// the intersection-popcount of the pattern's items' rows. Returns `None`
+/// when the index does not cover the pattern (different period, or a fixed
+/// item that was never indexed); callers fall back to the scalar
+/// [`pattern_support`] oracle.
+pub fn pattern_support_indexed(
+    index: &PairMatchIndex,
+    pattern: &Pattern,
+    scratch: &mut BitVec,
+) -> Option<SupportEstimate> {
+    if pattern.period() != index.period() {
+        return None;
+    }
+    let fixed: Vec<(usize, SymbolId)> = pattern.fixed().collect();
+    if fixed.is_empty() || index.series_len() == 0 {
+        return Some(SupportEstimate {
+            count: 0,
+            denominator: 0,
+            support: 0.0,
+        });
+    }
+    let count = index.count_of(&fixed, scratch)?;
+    let denominator = if fixed.len() == 1 {
+        // Def. 2's phase-specific denominator.
+        pair_denominator(index.series_len(), index.period(), fixed[0].0)
+    } else {
+        index.universe()
+    };
+    if denominator == 0 {
+        return Some(SupportEstimate {
+            count: 0,
+            denominator: 0,
+            support: 0.0,
+        });
+    }
+    Some(SupportEstimate {
+        count: count as u32,
+        denominator: denominator as u32,
+        support: count as f64 / denominator as f64,
+    })
 }
 
 /// A pattern together with its measured support.
@@ -261,6 +323,10 @@ pub struct PatternMinerConfig {
     pub candidate_cap: usize,
     /// Closed-only output versus full enumeration.
     pub mode: PatternMode,
+    /// Worker threads for the per-period fan-out; `None` uses the
+    /// machine's available parallelism. Output is bit-identical (pattern
+    /// set, supports, order) for every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for PatternMinerConfig {
@@ -270,6 +336,7 @@ impl Default for PatternMinerConfig {
             max_positions: None,
             candidate_cap: 1 << 20,
             mode: PatternMode::Closed,
+            threads: None,
         }
     }
 }
@@ -285,27 +352,106 @@ pub fn mine_patterns(
     detection: &DetectionResult,
     config: &PatternMinerConfig,
 ) -> Result<Vec<MinedPattern>> {
+    let periods = detection.detected_periods();
+    let threads = config
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .min(periods.len())
+        .max(1);
+    if threads <= 1 {
+        let mut out = Vec::new();
+        for &period in &periods {
+            out.extend(mine_one_period(series, detection, period, config)?);
+        }
+        return Ok(out);
+    }
+
+    // Work-stealing fan-out, one detected period per unit of work (the
+    // same shared-counter pattern as `engine::ParallelSpectrumEngine`):
+    // periods differ wildly in cost, so pre-chunked ranges would leave
+    // threads idle. Results land in period-index slots and are merged in
+    // ascending period order — bit-identical to the serial path, including
+    // which period's error surfaces first. A failure stops further claims:
+    // serial would never have mined past its first failing period, so the
+    // fan-out shouldn't keep burning cycles on periods whose results the
+    // merge is going to discard.
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut slots: Vec<Option<Result<Vec<MinedPattern>>>> =
+        (0..periods.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let periods = &periods;
+            let next = &next;
+            let failed = &failed;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, Result<Vec<MinedPattern>>)> = Vec::new();
+                while !failed.load(Ordering::Relaxed) {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&period) = periods.get(i) else {
+                        break;
+                    };
+                    let result = mine_one_period(series, detection, period, config);
+                    if result.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    local.push((i, result));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (i, result) in handle.join().expect("mining thread panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    });
     let mut out = Vec::new();
-    for period in detection.detected_periods() {
-        match config.mode {
-            PatternMode::EnumerateAll => {
-                mine_patterns_for_period(series, detection, period, config, &mut out)?;
-            }
-            PatternMode::Closed => {
-                emit_singles(detection, period, config, &mut out)?;
-                let mut closed = Vec::new();
-                crate::closed::mine_closed_for_period(
-                    series,
-                    detection,
-                    period,
-                    config.min_support,
-                    config.candidate_cap,
-                    &mut closed,
-                )?;
-                // Cardinality-1 closures duplicate the Def.-2 singles (which
-                // carry the paper's phase-specific supports); keep multis.
-                out.extend(closed.into_iter().filter(|m| m.pattern.cardinality() >= 2));
-            }
+    for slot in slots {
+        match slot {
+            Some(Ok(patterns)) => out.extend(patterns),
+            Some(Err(e)) => return Err(e),
+            // Claims are monotonic, so a skipped period always sits after
+            // the failed one; the merge returns that error first.
+            None => unreachable!("period skipped without an earlier error"),
+        }
+    }
+    Ok(out)
+}
+
+/// Mines one detected period under the configured mode. The unit of work
+/// the per-period fan-out schedules; also the whole story at
+/// `threads == 1`.
+fn mine_one_period(
+    series: &SymbolSeries,
+    detection: &DetectionResult,
+    period: usize,
+    config: &PatternMinerConfig,
+) -> Result<Vec<MinedPattern>> {
+    let mut out = Vec::new();
+    match config.mode {
+        PatternMode::EnumerateAll => {
+            mine_patterns_for_period(series, detection, period, config, &mut out)?;
+        }
+        PatternMode::Closed => {
+            emit_singles(detection, period, config, &mut out)?;
+            let mut closed = Vec::new();
+            crate::closed::mine_closed_for_period(
+                series,
+                detection,
+                period,
+                config.min_support,
+                config.candidate_cap,
+                &mut closed,
+            )?;
+            // Cardinality-1 closures duplicate the Def.-2 singles (which
+            // carry the paper's phase-specific supports); keep multis.
+            out.extend(closed.into_iter().filter(|m| m.pattern.cardinality() >= 2));
         }
     }
     Ok(out)
@@ -351,8 +497,36 @@ fn mine_patterns_for_period(
 ) -> Result<()> {
     // Level 1: the detected single-symbol periodicities, whose Def.-1
     // confidence *is* their Def.-2 support.
-    let mut frequent_prev = emit_singles(detection, period, config, out)?;
-    let mut frequent_set: HashSet<Vec<Item>> = frequent_prev.iter().cloned().collect();
+    let seeds = emit_singles(detection, period, config, out)?;
+
+    // The shared verification substrate: one series pass builds every
+    // detected item's transaction row; all level-wise support counts are
+    // intersection popcounts against it.
+    let index = PairMatchIndex::from_detection(series, detection, period);
+    let universe = index.universe();
+    if universe == 0 {
+        // No whole-segment pair: multi-symbol supports are all 0/0, which
+        // the scalar path skipped too.
+        return Ok(());
+    }
+
+    // Level state: the frequent (k-1)-item sets, their transaction sets,
+    // and their positions (for the prune step and for parent lookups).
+    let mut frequent_prev: Vec<Vec<Item>> = seeds;
+    let mut tids_prev: Vec<BitVec> = frequent_prev
+        .iter()
+        .map(|items| {
+            let (l, s) = items[0];
+            index
+                .row(index.find(l, s).expect("seed item was detected"))
+                .clone()
+        })
+        .collect();
+    let mut index_prev: HashMap<Vec<Item>, usize> = frequent_prev
+        .iter()
+        .enumerate()
+        .map(|(i, items)| (items.clone(), i))
+        .collect();
 
     let max_positions = config.max_positions.unwrap_or(period);
     let mut level = 1usize;
@@ -378,7 +552,7 @@ fn mine_patterns_for_period(
                 let all_subsets_frequent = (0..cand.len()).all(|drop| {
                     let mut sub = cand.clone();
                     sub.remove(drop);
-                    frequent_set.contains(&sub)
+                    index_prev.contains_key(&sub)
                 });
                 if all_subsets_frequent {
                     candidates.push(cand);
@@ -395,16 +569,38 @@ fn mine_patterns_for_period(
         candidates.dedup();
 
         let mut frequent_now = Vec::new();
+        let mut tids_now = Vec::new();
+        let mut index_now: HashMap<Vec<Item>, usize> = HashMap::new();
         for cand in candidates {
-            let pattern = Pattern::new(period, &cand)?;
-            let support = pattern_support(series, &pattern);
-            if support.denominator > 0 && support.support + EPS >= config.min_support {
-                out.push(MinedPattern { pattern, support });
-                frequent_set.insert(cand.clone());
+            // The candidate's sorted prefix is one of its (k-1)-subsets,
+            // all of which the prune step just certified frequent: extend
+            // that parent's intersection by the last item's row. Counting
+            // is a popcount over the AND — no allocation, no series scan.
+            let parent = index_prev[&cand[..cand.len() - 1]];
+            let (l, s) = cand[cand.len() - 1];
+            let row = index.row(index.find(l, s).expect("joined item was detected"));
+            let count = tids_prev[parent].and_count(row);
+            let support = count as f64 / universe as f64;
+            if support + EPS >= config.min_support {
+                let pattern = Pattern::new(period, &cand)?;
+                out.push(MinedPattern {
+                    pattern,
+                    support: SupportEstimate {
+                        count: count as u32,
+                        denominator: universe as u32,
+                        support,
+                    },
+                });
+                let mut tids = tids_prev[parent].clone();
+                tids.and_with(row);
+                index_now.insert(cand.clone(), frequent_now.len());
                 frequent_now.push(cand);
+                tids_now.push(tids);
             }
         }
         frequent_prev = frequent_now;
+        tids_prev = tids_now;
+        index_prev = index_now;
     }
     Ok(())
 }

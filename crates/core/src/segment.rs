@@ -24,6 +24,7 @@ use std::collections::HashMap;
 
 use periodica_series::{SymbolId, SymbolSeries};
 
+use crate::bitvec::BitVec;
 use crate::error::{MiningError, Result};
 use crate::pattern::Pattern;
 
@@ -57,6 +58,14 @@ pub struct MaxSubpatternTree {
     /// Hit count per distinct maximal subpattern (pass 2). Keyed by the
     /// slot vector; at most `segments` distinct keys.
     hits: HashMap<Vec<Option<SymbolId>>, u32>,
+    /// The candidate-space items `(position, symbol)` — frequent1
+    /// flattened — sorted ascending, aligned with `rows`.
+    items1: Vec<(usize, SymbolId)>,
+    /// `rows[j]`: segments where `items1[j]` matches, over `0..segments`.
+    /// [`Self::count`] is an intersection popcount over these, which is
+    /// exactly the hit-set sum because items outside the candidate space
+    /// count 0 under both (Han's algorithm never records them).
+    rows: Vec<BitVec>,
 }
 
 impl MaxSubpatternTree {
@@ -94,13 +103,25 @@ impl MaxSubpatternTree {
             })
             .collect();
 
-        // Pass 2: maximal subpattern per segment -> hit counts.
+        // Pass 2: maximal subpattern per segment -> hit counts, plus the
+        // per-item segment-occurrence rows counting queries AND together.
+        let items1: Vec<(usize, SymbolId)> = frequent1
+            .iter()
+            .enumerate()
+            .flat_map(|(l, syms)| syms.iter().map(move |&s| (l, s)))
+            .collect();
+        let mut rows = vec![BitVec::zeros(segments); items1.len()];
         let mut hits: HashMap<Vec<Option<SymbolId>>, u32> = HashMap::new();
         for i in 0..segments {
             let key: Vec<Option<SymbolId>> = (0..period)
                 .map(|l| {
                     let s = data[i * period + l];
-                    frequent1[l].contains(&s).then_some(s)
+                    let frequent = frequent1[l].contains(&s);
+                    if frequent {
+                        let j = items1.binary_search(&(l, s)).expect("item is frequent");
+                        rows[j].set(i);
+                    }
+                    frequent.then_some(s)
                 })
                 .collect();
             *hits.entry(key).or_insert(0) += 1;
@@ -112,6 +133,8 @@ impl MaxSubpatternTree {
             min_count,
             frequent1,
             hits,
+            items1,
+            rows,
         })
     }
 
@@ -141,8 +164,11 @@ impl MaxSubpatternTree {
         self.hits.len()
     }
 
-    /// Segment count of an arbitrary pattern: the sum of hits over maximal
-    /// subpatterns containing it. O(nodes * cardinality) — no data pass.
+    /// Segment count of an arbitrary pattern: the intersection popcount of
+    /// its items' segment-occurrence rows — O(segments / 64) per query, no
+    /// data pass. Patterns fixing a symbol outside the candidate space
+    /// (infrequent at its position) count 0, exactly as the hit-set sum
+    /// does: no maximal subpattern ever records such an item.
     pub fn count(&self, pattern: &Pattern) -> Result<u32> {
         if pattern.period() != self.period {
             return Err(MiningError::InvalidPattern(format!(
@@ -151,13 +177,27 @@ impl MaxSubpatternTree {
                 self.period
             )));
         }
-        let fixed: Vec<(usize, SymbolId)> = pattern.fixed().collect();
-        Ok(self
-            .hits
-            .iter()
-            .filter(|(key, _)| fixed.iter().all(|&(l, s)| key[l] == Some(s)))
-            .map(|(_, &c)| c)
-            .sum())
+        let mut idxs: Vec<usize> = Vec::new();
+        for (l, s) in pattern.fixed() {
+            match self.items1.binary_search(&(l, s)) {
+                Ok(j) => idxs.push(j),
+                Err(_) => return Ok(0),
+            }
+        }
+        Ok(match idxs.as_slice() {
+            // The all-don't-care pattern occurs in every segment.
+            [] => self.segments as u32,
+            [a] => self.rows[*a].count_ones() as u32,
+            [a, b] => self.rows[*a].and_count(&self.rows[*b]) as u32,
+            [a, b, c] => self.rows[*a].and_count_3(&self.rows[*b], &self.rows[*c]) as u32,
+            [a, rest @ ..] => {
+                let mut acc = self.rows[*a].clone();
+                for &j in rest {
+                    acc.and_with(&self.rows[j]);
+                }
+                acc.count_ones() as u32
+            }
+        })
     }
 
     /// Segment frequency of a pattern in `[0, 1]`.
