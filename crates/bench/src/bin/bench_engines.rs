@@ -11,12 +11,14 @@
 //! Deliberately std-only (hand-rolled xorshift input, hand-rolled JSON) so
 //! the binary runs in stripped-down environments with no extra crates.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use periodica_core::engine::{
     BoundedLagPolicy, EngineKind, MatchSpectrum, ParallelSpectrumEngine, SpectrumEngine,
 };
 use periodica_core::MatchEngine;
+use periodica_obs::{self as obs, Counter, MetricsRecorder};
 use periodica_series::{Alphabet, SymbolId, SymbolSeries};
 use periodica_transform::ntt;
 
@@ -189,13 +191,41 @@ fn assert_identical(scenario: &str, reference: &MatchSpectrum, others: &[(&str, 
     }
 }
 
+/// The engine-phase counters embedded per scenario: NTT plan-cache traffic,
+/// transforms executed, and autocorrelation batches. The seed replica above
+/// predates the telemetry layer, so the deltas cover only today's pipeline.
+const ENGINE_COUNTERS: [(Counter, &str); 5] = [
+    (Counter::NttPlanCacheHit, "ntt.plan_cache.hit"),
+    (Counter::NttPlanCacheMiss, "ntt.plan_cache.miss"),
+    (Counter::NttForward, "ntt.forward"),
+    (Counter::NttInverse, "ntt.inverse"),
+    (Counter::AutocorrBatches, "spectrum.autocorr_batches"),
+];
+
+fn snapshot(rec: &MetricsRecorder) -> [u64; 5] {
+    ENGINE_COUNTERS.map(|(c, _)| rec.counter(c))
+}
+
+/// `"counter_deltas": { ... }` for one scenario's timed runs.
+fn deltas_json(before: [u64; 5], after: [u64; 5], indent: &str) -> String {
+    let rows: Vec<String> = ENGINE_COUNTERS
+        .iter()
+        .zip(before.iter().zip(after))
+        .map(|((_, name), (b, a))| format!("{indent}  \"{name}\": {}", a - b))
+        .collect();
+    format!("{{\n{}\n{indent}}}", rows.join(",\n"))
+}
+
 fn main() {
     let series = make_series();
     let seed = SeedSpectrumEngine;
+    let recorder = Arc::new(MetricsRecorder::new());
+    obs::install(recorder.clone());
 
     // --- Scenario 1: full period range (max_period = n/2). ---
     let max_p = N / 2;
     eprintln!("full range: n={N} sigma={SIGMA} max_period={max_p}");
+    let full_before = snapshot(&recorder);
     let (t_seed_full, sp_seed) = time_engine(3, || seed.match_spectrum(&series, max_p));
     let (t_naive_full, sp_naive) = time_engine(1, || {
         EngineKind::Naive
@@ -219,6 +249,7 @@ fn main() {
             .match_spectrum(&series, max_p)
             .expect("parallel")
     });
+    let full_after = snapshot(&recorder);
     assert_identical(
         "full",
         &sp_naive,
@@ -238,6 +269,7 @@ fn main() {
     // --- Scenario 2: bounded lag (max_period = n/64). ---
     let max_p_b = N / 64;
     eprintln!("bounded lag: max_period={max_p_b}");
+    let bounded_before = snapshot(&recorder);
     let (t_seed_b, sp_seed_b) = time_engine(3, || seed.match_spectrum(&series, max_p_b));
     let (t_naive_b, sp_naive_b) = time_engine(1, || {
         EngineKind::Naive
@@ -266,6 +298,7 @@ fn main() {
             .match_spectrum(&series, max_p_b)
             .expect("parallel")
     });
+    let bounded_after = snapshot(&recorder);
     assert_identical(
         "bounded",
         &sp_naive_b,
@@ -284,6 +317,9 @@ fn main() {
          | parallel {t_par_b:.3}s"
     );
 
+    obs::uninstall();
+    let full_deltas = deltas_json(full_before, full_after, "    ");
+    let bounded_deltas = deltas_json(bounded_before, bounded_after, "    ");
     let json = format!(
         "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"n\": {N} }},\n  \
          \"full_range\": {{\n    \"max_period\": {max_p},\n    \
@@ -292,7 +328,8 @@ fn main() {
          \"bitset_secs\": {t_bitset_full:.6},\n    \
          \"spectrum_secs\": {t_spec_full:.6},\n    \
          \"parallel_spectrum_secs\": {t_par_full:.6},\n    \
-         \"spectrum_speedup_vs_seed\": {full_speedup:.3}\n  }},\n  \
+         \"spectrum_speedup_vs_seed\": {full_speedup:.3},\n    \
+         \"counter_deltas\": {full_deltas}\n  }},\n  \
          \"bounded_lag\": {{\n    \"max_period\": {max_p_b},\n    \
          \"seed_3ntt_secs\": {t_seed_b:.6},\n    \
          \"naive_secs\": {t_naive_b:.6},\n    \
@@ -300,7 +337,8 @@ fn main() {
          \"spectrum_auto_secs\": {t_auto_b:.6},\n    \
          \"spectrum_full_secs\": {t_never_b:.6},\n    \
          \"parallel_spectrum_secs\": {t_par_b:.6},\n    \
-         \"spectrum_speedup_vs_seed\": {bounded_speedup:.3}\n  }},\n  \
+         \"spectrum_speedup_vs_seed\": {bounded_speedup:.3},\n    \
+         \"counter_deltas\": {bounded_deltas}\n  }},\n  \
          \"bit_identical\": true\n}}\n"
     );
     let out_path = std::env::var("BENCH_ENGINES_OUT").unwrap_or_else(|_| {

@@ -22,12 +22,14 @@
 //! `--smoke` shrinks every workload for CI (seconds, no file written);
 //! `--n <len>` overrides the series length.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use periodica_core::{
     mine_patterns, DetectionResult, DetectorConfig, EngineKind, MinedPattern, Pattern,
     PatternMinerConfig, PatternMode, PeriodicityDetector, SupportEstimate,
 };
+use periodica_obs::{self as obs, Counter, MetricsRecorder};
 use periodica_series::{pair_denominator, Alphabet, SymbolId, SymbolSeries};
 
 const SIGMA: usize = 10;
@@ -264,6 +266,33 @@ fn assert_identical(
     }
 }
 
+/// The mining-phase counters embedded per workload: Apriori candidate flow,
+/// closed-miner extension checks, and verification-index traffic. The seed
+/// scalar replica above predates the telemetry layer, so the deltas cover
+/// only today's pipeline (all timed iterations of all four configurations).
+const MINING_COUNTERS: [(Counter, &str); 7] = [
+    (Counter::CandidatesGenerated, "mining.candidates.generated"),
+    (
+        Counter::CandidatesPrunedApriori,
+        "mining.candidates.pruned_apriori",
+    ),
+    (
+        Counter::CandidatesPrunedInfrequent,
+        "mining.candidates.pruned_infrequent",
+    ),
+    (Counter::PatternsFrequent, "mining.patterns.frequent"),
+    (
+        Counter::ClosedExtensionsChecked,
+        "mining.closed.extensions_checked",
+    ),
+    (Counter::PairIndexRowsBuilt, "pairbits.rows_built"),
+    (Counter::PopcountWords, "pairbits.popcount_words"),
+];
+
+fn snapshot(rec: &MetricsRecorder) -> [u64; 7] {
+    MINING_COUNTERS.map(|(c, _)| rec.counter(c))
+}
+
 struct WorkloadResult {
     name: &'static str,
     n: usize,
@@ -275,6 +304,7 @@ struct WorkloadResult {
     closed_serial_secs: f64,
     closed_parallel_secs: f64,
     enumerate_speedup: f64,
+    counter_deltas: [u64; 7],
 }
 
 fn run_workload(
@@ -284,6 +314,7 @@ fn run_workload(
     min_support: f64,
     max_period: usize,
     iters: usize,
+    recorder: &MetricsRecorder,
 ) -> WorkloadResult {
     let detection = detect(series, threshold, max_period);
     let periods = detection.detected_periods();
@@ -296,6 +327,7 @@ fn run_workload(
         ..Default::default()
     };
 
+    let counters_before = snapshot(recorder);
     // EnumerateAll: seed scalar baseline vs indexed serial vs threaded.
     let (t_scalar, scalar) = time_mining(iters, || {
         seed_enumerate_all(series, &detection, min_support)
@@ -324,6 +356,7 @@ fn run_workload(
         mine_patterns(series, &detection, &config(PatternMode::Closed, 8)).expect("mine")
     });
     assert_identical(name, &closed1, &[("closed/threads=8", &closed8)]);
+    let counters_after = snapshot(recorder);
 
     let enumerate_speedup = t_scalar / t_serial;
     eprintln!(
@@ -345,6 +378,16 @@ fn run_workload(
         closed_serial_secs: t_closed1,
         closed_parallel_secs: t_closed8,
         enumerate_speedup,
+        counter_deltas: {
+            let mut deltas = [0u64; 7];
+            for (slot, (b, a)) in deltas
+                .iter_mut()
+                .zip(counters_before.iter().zip(counters_after))
+            {
+                *slot = a - b;
+            }
+            deltas
+        },
     }
 }
 
@@ -359,6 +402,8 @@ fn main() {
             .expect("--n requires a length");
     }
     let iters = if smoke { 1 } else { 3 };
+    let recorder = Arc::new(MetricsRecorder::new());
+    obs::install(recorder.clone());
 
     // Dense: every phase of period 24 planted; at min_support 0.25 with
     // 20% replacement noise the first three Apriori levels stay fully
@@ -368,7 +413,7 @@ fn main() {
         .map(|_| Some((xorshift(&mut state) % SIGMA as u64) as usize))
         .collect();
     let dense_series = planted_series(n, 24, &dense_pattern, 20);
-    let dense = run_workload("dense", &dense_series, 0.5, 0.25, 30, iters);
+    let dense = run_workload("dense", &dense_series, 0.5, 0.25, 30, iters, &recorder);
 
     // Sparse: 5 planted phases of period 50 in pure noise; the symbols are
     // pairwise distinct so no shorter alias period clears the threshold.
@@ -379,7 +424,7 @@ fn main() {
         }
     }
     let sparse_series = planted_series(n, 50, &sparse_pattern, 15);
-    let sparse = run_workload("sparse", &sparse_series, 0.5, 0.4, 60, iters);
+    let sparse = run_workload("sparse", &sparse_series, 0.5, 0.4, 60, iters, &recorder);
 
     // Paper-style: the Sect. 2 series tiled out. The tile is exactly
     // periodic at 10, so periods 3 and 10 both fire and the per-period
@@ -388,12 +433,18 @@ fn main() {
     let alphabet = Alphabet::latin(3).expect("alphabet");
     let paper_text: String = "abcabbabcb".chars().cycle().take(n).collect();
     let paper_series = SymbolSeries::parse(&paper_text, &alphabet).expect("series");
-    let paper = run_workload("paper", &paper_series, 0.5, 0.5, 12, iters);
+    let paper = run_workload("paper", &paper_series, 0.5, 0.5, 12, iters, &recorder);
 
+    obs::uninstall();
     let workloads = [&dense, &sparse, &paper];
     let rows: Vec<String> = workloads
         .iter()
         .map(|w| {
+            let deltas: Vec<String> = MINING_COUNTERS
+                .iter()
+                .zip(w.counter_deltas)
+                .map(|((_, name), d)| format!("        \"{name}\": {d}"))
+                .collect();
             format!(
                 "    \"{}\": {{\n      \"n\": {},\n      \"detected_periods\": {},\n      \
                  \"patterns\": {},\n      \"scalar_enumerate_secs\": {:.6},\n      \
@@ -401,7 +452,8 @@ fn main() {
                  \"indexed_enumerate_threads8_secs\": {:.6},\n      \
                  \"closed_serial_secs\": {:.6},\n      \
                  \"closed_threads8_secs\": {:.6},\n      \
-                 \"enumerate_speedup_vs_scalar\": {:.3}\n    }}",
+                 \"enumerate_speedup_vs_scalar\": {:.3},\n      \
+                 \"counter_deltas\": {{\n{}\n      }}\n    }}",
                 w.name,
                 w.n,
                 w.detected_periods,
@@ -412,6 +464,7 @@ fn main() {
                 w.closed_serial_secs,
                 w.closed_parallel_secs,
                 w.enumerate_speedup,
+                deltas.join(",\n"),
             )
         })
         .collect();

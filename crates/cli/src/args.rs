@@ -8,7 +8,13 @@ use std::collections::{HashMap, HashSet};
 use crate::error::CliError;
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["no-patterns", "enumerate-all", "prune-off", "fundamentals"];
+const BARE_FLAGS: &[&str] = &[
+    "no-patterns",
+    "enumerate-all",
+    "prune-off",
+    "fundamentals",
+    "profile",
+];
 
 /// Parsed command-line arguments for one subcommand.
 #[derive(Debug, Clone, Default)]

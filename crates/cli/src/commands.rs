@@ -5,6 +5,8 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::sync::Arc;
 
 use periodica_baselines::indyk::{PeriodicTrends, PeriodicTrendsConfig};
+use periodica_obs as obs;
+
 use periodica_core::{
     fundamentals, DetectorConfig, EngineKind, MiningReport, ObscureMiner, PatternMode,
     PeriodicityDetector,
@@ -98,9 +100,115 @@ pub fn mine(args: &CliArgs, stdin: &mut dyn BufRead, out: &mut dyn Write) -> Res
     if let Some(t) = threads(args)? {
         builder = builder.threads(t);
     }
-    let report = builder.build().mine(&series)?;
+    // Telemetry is opt-in: without --profile/--metrics-out no recorder is
+    // installed and every instrumentation site stays on its disabled path.
+    let recorder = if args.flag("profile") || args.raw("metrics-out").is_some() {
+        let recorder = Arc::new(obs::MetricsRecorder::new());
+        obs::install(recorder.clone());
+        Some(recorder)
+    } else {
+        None
+    };
+    let mined = builder.build().mine(&series);
+    if recorder.is_some() {
+        obs::uninstall();
+    }
+    let report = mined?;
     render_report(&series, &report, args, out)?;
+    if let Some(recorder) = recorder {
+        let run = recorder.report();
+        if args.flag("profile") {
+            render_profile(&run, out)?;
+        }
+        if let Some(path) = args.raw("metrics-out") {
+            std::fs::write(path, run.to_json())?;
+        }
+    }
     Ok(0)
+}
+
+/// Human-readable stage/counter breakdown for `--profile`.
+fn render_profile(run: &obs::RunReport, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "\ntelemetry:")?;
+    for (name, value) in run.counters.iter().filter(|(_, &v)| v != 0) {
+        writeln!(out, "  {name:<36} {value:>12}")?;
+    }
+    if !run.stages.is_empty() {
+        writeln!(
+            out,
+            "\n  {:<36} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "count", "total", "p50", "p90", "p99"
+        )?;
+        // Heaviest stages first; the per-period spans alone can run to
+        // hundreds of rows, so the table is capped (the JSON report keeps
+        // every stage).
+        const STAGE_ROWS: usize = 24;
+        let mut stages: Vec<_> = run.stages.iter().collect();
+        stages.sort_by_key(|(name, stage)| (std::cmp::Reverse(stage.total_ns), name.as_str()));
+        for (name, stage) in stages.iter().take(STAGE_ROWS) {
+            writeln!(
+                out,
+                "  {:<36} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                stage.count,
+                format_ns(stage.total_ns),
+                format_ns(stage.p50_ns),
+                format_ns(stage.p90_ns),
+                format_ns(stage.p99_ns),
+            )?;
+        }
+        if stages.len() > STAGE_ROWS {
+            writeln!(
+                out,
+                "  ... ({} more stages; see --metrics-out for all of them)",
+                stages.len() - STAGE_ROWS
+            )?;
+        }
+    }
+    if !run.thread_claims.is_empty() {
+        writeln!(out, "\n  periods claimed per worker thread:")?;
+        for (worker, claimed) in &run.thread_claims {
+            writeln!(out, "    worker {worker:<4} {claimed:>6}")?;
+        }
+    }
+    Ok(())
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// `periodica metrics-check` — validate a `--metrics-out` document against
+/// the checked-in schema.
+pub fn metrics_check(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let report = read_input(args, stdin)?;
+    let schema_path = args.raw("schema").unwrap_or("docs/metrics.schema.json");
+    let schema = std::fs::read_to_string(schema_path)?;
+    match obs::validate_report_json(&report, &schema) {
+        Ok(()) => {
+            writeln!(out, "ok: report conforms to {schema_path}")?;
+            Ok(0)
+        }
+        Err(violations) => {
+            for v in &violations {
+                writeln!(out, "violation: {v}")?;
+            }
+            writeln!(out, "{} violation(s)", violations.len())?;
+            Ok(1)
+        }
+    }
 }
 
 fn render_report(

@@ -38,6 +38,7 @@ COMMANDS:
   generate    emit a synthetic periodic series
   discretize  map numeric values (one per line) to symbol levels
   stats       describe a series (entropy, densities, stickiness)
+  metrics-check  validate a --metrics-out report against the JSON schema
   help        show this message
 
 COMMON OPTIONS:
@@ -52,6 +53,13 @@ COMMON OPTIONS:
                          per-period pattern fan-out; output is identical
                          for every value  [default: available parallelism]
   --limit <k>            cap printed rows                 [default 50]
+
+TELEMETRY OPTIONS (mine):
+  --profile              print a stage/counter breakdown after the report
+  --metrics-out <path>   write the machine-readable JSON run report
+
+METRICS-CHECK OPTIONS:
+  --schema <path>        schema document  [default docs/metrics.schema.json]
 
 GENERATE OPTIONS:
   --length <n> --period <p> [--sigma <k>] [--dist uniform|normal]
@@ -85,6 +93,7 @@ pub fn run(
         "generate" => commands::generate(&args, stdout),
         "discretize" => commands::discretize(&args, stdin, stdout),
         "stats" => commands::stats(&args, stdin, stdout),
+        "metrics-check" => commands::metrics_check(&args, stdin, stdout),
         "help" | "--help" | "-h" => {
             writeln!(stdout, "{USAGE}")?;
             Ok(0)
@@ -239,6 +248,59 @@ mod tests {
             &"abc".repeat(50),
         );
         assert_eq!(code3, 0);
+    }
+
+    #[test]
+    fn profile_prints_the_stage_breakdown() {
+        let _guard = periodica_obs::test_guard();
+        let (code, out) = invoke(
+            &["mine", "-", "--threshold", "0.66", "--profile"],
+            "abcabbabcb\n",
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("telemetry:"), "{out}");
+        assert!(out.contains("spectrum.autocorr_batches"), "{out}");
+        assert!(out.contains("spectrum.match"), "{out}");
+        assert!(out.contains("miner.mine"), "{out}");
+        // The mining report itself still precedes the breakdown.
+        assert!(out.contains("ab*"), "{out}");
+    }
+
+    #[test]
+    fn metrics_out_writes_a_schema_valid_report() {
+        let _guard = periodica_obs::test_guard();
+        let path = std::env::temp_dir().join("periodica-cli-metrics-test.json");
+        let path_s = path.to_str().expect("utf8 temp path");
+        let (code, _) = invoke(
+            &["mine", "-", "--threshold", "0.66", "--metrics-out", path_s],
+            "abcabbabcb\n",
+        );
+        assert_eq!(code, 0);
+        let text = std::fs::read_to_string(&path).expect("report written");
+        periodica_obs::RunReport::from_json(&text).expect("report parses");
+        let schema = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/metrics.schema.json"
+        );
+        let (code, out) = invoke(&["metrics-check", path_s, "--schema", schema], "");
+        assert_eq!(code, 0, "{out}");
+        assert!(out.starts_with("ok:"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_check_rejects_nonconforming_documents() {
+        let schema = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/metrics.schema.json"
+        );
+        let (code, out) = invoke(
+            &["metrics-check", "-", "--schema", schema],
+            "{\"bogus\": 1}\n",
+        );
+        assert_eq!(code, 1);
+        assert!(out.contains("violation"), "{out}");
+        assert!(out.contains("unknown key"), "{out}");
     }
 
     #[test]

@@ -22,13 +22,14 @@
 //! emits each closed pattern exactly once without storing previously found
 //! sets.
 
+use periodica_obs as obs;
 use periodica_series::SymbolSeries;
 
 use crate::bitvec::BitVec;
 use crate::detect::DetectionResult;
 use crate::error::{MiningError, Result};
 use crate::pairbits::PairMatchIndex;
-use crate::pattern::{MinedPattern, Pattern, SupportEstimate};
+use crate::pattern::{MinedPattern, MiningStats, Pattern, SupportEstimate};
 
 /// Tolerance for support/threshold comparisons.
 const EPS: f64 = 1e-9;
@@ -51,6 +52,7 @@ pub fn mine_closed_for_period(
     min_support: f64,
     output_cap: usize,
     out: &mut Vec<MinedPattern>,
+    stats: &mut MiningStats,
 ) -> Result<()> {
     let index = PairMatchIndex::from_detection(series, detection, period);
     if index.universe() == 0 || index.items().is_empty() {
@@ -68,6 +70,7 @@ pub fn mine_closed_for_period(
         min_count,
         output_cap,
         out,
+        stats,
     };
     if !root_closure.is_empty() && index.universe() >= min_count {
         // Everything in the root closure matches every pair: one closed set.
@@ -82,6 +85,7 @@ struct ClosedMiner<'a> {
     min_count: usize,
     output_cap: usize,
     out: &'a mut Vec<MinedPattern>,
+    stats: &'a mut MiningStats,
 }
 
 impl ClosedMiner<'_> {
@@ -115,6 +119,11 @@ impl ClosedMiner<'_> {
             }
             // Popcount pre-check before materializing the child tidset:
             // infrequent extensions never allocate.
+            self.stats.closed_extensions_checked += 1;
+            if obs::enabled() {
+                let words = self.index.universe().div_ceil(64) as u64;
+                obs::count(obs::Counter::PopcountWords, words);
+            }
             let count = tids.and_count(self.index.row(j));
             if count < self.min_count {
                 continue;
@@ -165,7 +174,16 @@ mod tests {
         let s = SymbolSeries::parse(&"abc".repeat(30), &alpha).expect("ok");
         let detection = detect(&s, 1.0, 3);
         let mut out = Vec::new();
-        mine_closed_for_period(&s, &detection, 3, 1.0, 1 << 20, &mut out).expect("ok");
+        mine_closed_for_period(
+            &s,
+            &detection,
+            3,
+            1.0,
+            1 << 20,
+            &mut out,
+            &mut MiningStats::default(),
+        )
+        .expect("ok");
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].pattern.render(&alpha), "abc");
         assert_eq!(out[0].support.support, 1.0);
@@ -179,7 +197,16 @@ mod tests {
         let s = SymbolSeries::parse(&"abcabc".repeat(20), &alpha).expect("ok");
         let detection = detect(&s, 1.0, 60);
         let mut out = Vec::new();
-        mine_closed_for_period(&s, &detection, 60, 1.0, 1 << 20, &mut out).expect("ok");
+        mine_closed_for_period(
+            &s,
+            &detection,
+            60,
+            1.0,
+            1 << 20,
+            &mut out,
+            &mut MiningStats::default(),
+        )
+        .expect("ok");
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].pattern.cardinality(), 60);
     }
@@ -192,7 +219,16 @@ mod tests {
         let detection = detect(&s, 0.4, 10);
         for period in detection.detected_periods() {
             let mut out = Vec::new();
-            mine_closed_for_period(&s, &detection, period, 0.4, 1 << 20, &mut out).expect("ok");
+            mine_closed_for_period(
+                &s,
+                &detection,
+                period,
+                0.4,
+                1 << 20,
+                &mut out,
+                &mut MiningStats::default(),
+            )
+            .expect("ok");
             for m in &out {
                 // Support matches the direct measurement (multi-symbol path
                 // uses whole-segment denominators; re-measure counts).
@@ -230,7 +266,15 @@ mod tests {
         let detection = detect(&s, 0.3, 10);
         let period = *detection.detected_periods().first().expect("some");
         let mut out = Vec::new();
-        match mine_closed_for_period(&s, &detection, period, 0.3, 0, &mut out) {
+        match mine_closed_for_period(
+            &s,
+            &detection,
+            period,
+            0.3,
+            0,
+            &mut out,
+            &mut MiningStats::default(),
+        ) {
             Err(MiningError::CandidateExplosion { .. }) => {}
             other => panic!("expected explosion error, got {other:?}"),
         }
@@ -242,7 +286,16 @@ mod tests {
         let s = SymbolSeries::parse("ab", &alpha).expect("ok");
         let detection = detect(&s, 0.5, 1);
         let mut out = Vec::new();
-        mine_closed_for_period(&s, &detection, 5, 0.5, 10, &mut out).expect("ok");
+        mine_closed_for_period(
+            &s,
+            &detection,
+            5,
+            0.5,
+            10,
+            &mut out,
+            &mut MiningStats::default(),
+        )
+        .expect("ok");
         assert!(out.is_empty());
     }
 }

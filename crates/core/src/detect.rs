@@ -13,6 +13,7 @@
 //! The prune is an optimization only — `prune: false` produces identical
 //! output (asserted by tests and measured by the pruning ablation bench).
 
+use periodica_obs as obs;
 use periodica_series::{pair_denominator, SymbolId, SymbolSeries};
 
 use crate::engine::{phase_counts, phase_counts_for, MatchEngine, MatchSpectrum};
@@ -190,7 +191,11 @@ impl PeriodicityDetector {
             return Ok(result);
         }
 
-        let spectrum = self.engine.match_spectrum(series, max_p)?;
+        let spectrum = {
+            let _span = obs::span("detect.spectrum");
+            self.engine.match_spectrum(series, max_p)?
+        };
+        let _span = obs::span("detect.phase_scan");
         let sigma = series.sigma();
         let mut flagged: Vec<SymbolId> = Vec::with_capacity(sigma);
 

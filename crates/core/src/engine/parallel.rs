@@ -12,6 +12,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use periodica_obs as obs;
 use periodica_series::SymbolSeries;
 use periodica_transform::CorrelatorScratch;
 
@@ -56,6 +57,7 @@ impl MatchEngine for ParallelSpectrumEngine {
     }
 
     fn match_spectrum(&self, series: &SymbolSeries, max_period: usize) -> Result<MatchSpectrum> {
+        let _span = obs::span("spectrum.match");
         let n = series.len();
         let sigma = series.sigma();
         if n == 0 {
@@ -81,7 +83,7 @@ impl MatchEngine for ParallelSpectrumEngine {
 
         std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
+            for worker in 0..threads {
                 let correlator = &correlator;
                 let symbols = &symbols;
                 let next = &next;
@@ -92,6 +94,9 @@ impl MatchEngine for ParallelSpectrumEngine {
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&sym) = symbols.get(i) else {
+                            if !out.is_empty() {
+                                obs::thread_claim(worker, out.len() as u64);
+                            }
                             return Ok(out);
                         };
                         series.indicator_into(sym, &mut indicator);

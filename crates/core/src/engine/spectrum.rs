@@ -21,6 +21,7 @@
 //!   [`BoundedLagCorrelator::is_profitable`]. Both paths produce
 //!   bit-identical counts (they are exact integers).
 
+use periodica_obs as obs;
 use periodica_series::SymbolSeries;
 use periodica_transform::{
     BoundedLagCorrelator, CorrelatorScratch, ExactCorrelator, Result as TransformResult,
@@ -86,6 +87,7 @@ impl SymbolCorrelator {
         row: &mut [u64],
         scratch: &mut CorrelatorScratch,
     ) -> TransformResult<()> {
+        obs::count(obs::Counter::AutocorrBatches, 1);
         match self {
             SymbolCorrelator::Full(c) => c.autocorrelation_into(indicator, row, scratch),
             SymbolCorrelator::Bounded(c) => c.autocorrelation_into(indicator, row, scratch),
@@ -117,6 +119,7 @@ impl MatchEngine for SpectrumEngine {
     }
 
     fn match_spectrum(&self, series: &SymbolSeries, max_period: usize) -> Result<MatchSpectrum> {
+        let _span = obs::span("spectrum.match");
         let n = series.len();
         let sigma = series.sigma();
         if n == 0 {

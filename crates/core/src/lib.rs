@@ -53,8 +53,9 @@ pub use miner::{MinerBuilder, MinerConfig, MiningReport, ObscureMiner};
 pub use online::{OnlineCandidate, OnlineDetector};
 pub use pairbits::PairMatchIndex;
 pub use pattern::{
-    cartesian_candidates, mine_patterns, pattern_support, pattern_support_indexed, MinedPattern,
-    Pattern, PatternMinerConfig, PatternMode, SupportEstimate,
+    cartesian_candidates, mine_patterns, mine_patterns_with_stats, pattern_support,
+    pattern_support_indexed, MinedPattern, MiningStats, Pattern, PatternMinerConfig, PatternMode,
+    SupportEstimate,
 };
 pub use segment::MaxSubpatternTree;
 pub use stream::{mine_reader, OneTouchMiner};
@@ -62,7 +63,7 @@ pub use stream::{mine_reader, OneTouchMiner};
 #[cfg(test)]
 mod proptests {
     use crate::detect::{DetectorConfig, PeriodicityDetector};
-    use crate::engine::{phase_counts, EngineKind};
+    use crate::engine::{phase_counts, EngineKind, MatchEngine};
     use crate::mapping::PaperMapping;
     use crate::pattern::{pattern_support, Pattern};
     use periodica_series::{Alphabet, SymbolId, SymbolSeries};
@@ -377,12 +378,15 @@ mod proptests {
                     candidate_cap: 1 << 12,
                     ..Default::default()
                 };
-                crate::pattern::mine_patterns(&s, &detection, &config)
+                crate::pattern::mine_patterns_with_stats(&s, &detection, &config)
             };
             let serial = mine(1);
             let parallel = mine(threads);
             match (serial, parallel) {
-                (Ok(serial), Ok(parallel)) => {
+                (Ok((serial, serial_stats)), Ok((parallel, parallel_stats))) => {
+                    // Telemetry totals merge in period order, so they must be
+                    // invariant under the worker count too.
+                    prop_assert_eq!(serial_stats, parallel_stats);
                     prop_assert_eq!(serial.len(), parallel.len());
                     for (a, b) in serial.iter().zip(&parallel) {
                         prop_assert_eq!(&a.pattern, &b.pattern);
@@ -398,8 +402,8 @@ mod proptests {
                 (a, b) => prop_assert!(
                     false,
                     "serial/parallel disagree on success: {:?} vs {:?}",
-                    a.map(|v| v.len()),
-                    b.map(|v| v.len()),
+                    a.map(|v| v.0.len()),
+                    b.map(|v| v.0.len()),
                 ),
             }
         }

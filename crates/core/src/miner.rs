@@ -1,6 +1,7 @@
 //! The top-level mining facade: the complete algorithm of the paper's
 //! Fig. 2 behind one builder-configured entry point.
 
+use periodica_obs as obs;
 use periodica_series::SymbolSeries;
 
 use crate::detect::{DetectionResult, DetectorConfig, PeriodicityDetector};
@@ -203,6 +204,7 @@ impl ObscureMiner {
     /// Mines `series`: one detection pass, then (optionally) pattern
     /// assembly.
     pub fn mine(&self, series: &SymbolSeries) -> Result<MiningReport> {
+        let _span = obs::span("miner.mine");
         let detector = PeriodicityDetector::new(
             DetectorConfig {
                 threshold: self.config.threshold,

@@ -20,6 +20,7 @@
 
 use std::sync::Arc;
 
+use periodica_obs as obs;
 use periodica_series::{pair_denominator, Alphabet, SymbolId};
 use periodica_transform::external::StreamingAutocorrelator;
 
@@ -130,6 +131,7 @@ impl OnlineDetector {
         if self.buffer.is_empty() {
             return Ok(());
         }
+        obs::count(obs::Counter::OnlineFlushes, 1);
         // One indicator block per symbol; the correlators keep their own
         // max_period-sized tails, so cross-block pairs are never lost.
         let mut indicator = vec![0u64; self.buffer.len()];

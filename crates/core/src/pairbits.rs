@@ -32,6 +32,7 @@
 //! intersection popcount over the full transaction universe counts exactly
 //! the scalar loop's matches (asserted by unit tests and proptests).
 
+use periodica_obs as obs;
 use periodica_series::{pair_denominator, SymbolId, SymbolSeries};
 
 use crate::bitvec::BitVec;
@@ -98,6 +99,7 @@ impl PairMatchIndex {
             }
             start = end;
         }
+        obs::count(obs::Counter::PairIndexRowsBuilt, items.len() as u64);
         PairMatchIndex {
             period,
             series_len: n,
@@ -162,6 +164,14 @@ impl PairMatchIndex {
     /// # Panics
     /// Panics if `item_indices` is empty or any index is out of range.
     pub fn count_items(&self, item_indices: &[usize], scratch: &mut BitVec) -> usize {
+        if obs::enabled() {
+            // Every row involved is scanned once, one popcount per 64 bits.
+            let words = self.universe.div_ceil(64) as u64;
+            obs::count(
+                obs::Counter::PopcountWords,
+                words * item_indices.len() as u64,
+            );
+        }
         match item_indices {
             [] => panic!("support of the all-don't-care pattern is undefined"),
             [a] => self.rows[*a].count_ones(),

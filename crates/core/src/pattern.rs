@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use periodica_obs as obs;
 use periodica_series::{pair_denominator, Alphabet, SymbolId, SymbolSeries};
 
 use crate::bitvec::BitVec;
@@ -341,6 +342,56 @@ impl Default for PatternMinerConfig {
     }
 }
 
+/// Deterministic work counters for one [`mine_patterns`] run.
+///
+/// Totals are accumulated per period and merged in ascending period order,
+/// so they are *identical for every thread count* — the counters describe
+/// the work the algorithm performs, which the fan-out only reschedules.
+/// [`mine_patterns_with_stats`] also flushes them to the installed
+/// [`periodica_obs`] recorder (once, after the merge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MiningStats {
+    /// Candidates produced by the Apriori join step (before pruning).
+    pub candidates_generated: u64,
+    /// Join candidates discarded because a sub-pattern was infrequent.
+    pub pruned_apriori: u64,
+    /// Surviving candidates counted below the support threshold.
+    pub pruned_infrequent: u64,
+    /// Patterns emitted as frequent (singles, level-wise, and closed).
+    pub frequent: u64,
+    /// Extension feasibility checks performed by the closed miner.
+    pub closed_extensions_checked: u64,
+}
+
+impl MiningStats {
+    /// Adds `other`'s totals into `self`.
+    pub fn merge(&mut self, other: &MiningStats) {
+        self.candidates_generated += other.candidates_generated;
+        self.pruned_apriori += other.pruned_apriori;
+        self.pruned_infrequent += other.pruned_infrequent;
+        self.frequent += other.frequent;
+        self.closed_extensions_checked += other.closed_extensions_checked;
+    }
+
+    /// Reports the totals to the installed telemetry recorder, if any.
+    fn flush(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::count(obs::Counter::CandidatesGenerated, self.candidates_generated);
+        obs::count(obs::Counter::CandidatesPrunedApriori, self.pruned_apriori);
+        obs::count(
+            obs::Counter::CandidatesPrunedInfrequent,
+            self.pruned_infrequent,
+        );
+        obs::count(obs::Counter::PatternsFrequent, self.frequent);
+        obs::count(
+            obs::Counter::ClosedExtensionsChecked,
+            self.closed_extensions_checked,
+        );
+    }
+}
+
 /// Mines the periodic patterns meeting `config.min_support`, grown from the
 /// single-symbol periodicities in `detection`.
 ///
@@ -352,6 +403,16 @@ pub fn mine_patterns(
     detection: &DetectionResult,
     config: &PatternMinerConfig,
 ) -> Result<Vec<MinedPattern>> {
+    mine_patterns_with_stats(series, detection, config).map(|(patterns, _)| patterns)
+}
+
+/// [`mine_patterns`] variant that also returns the run's [`MiningStats`].
+pub fn mine_patterns_with_stats(
+    series: &SymbolSeries,
+    detection: &DetectionResult,
+    config: &PatternMinerConfig,
+) -> Result<(Vec<MinedPattern>, MiningStats)> {
+    let _span = obs::span("mining.mine_patterns");
     let periods = detection.detected_periods();
     let threads = config
         .threads
@@ -364,10 +425,14 @@ pub fn mine_patterns(
         .max(1);
     if threads <= 1 {
         let mut out = Vec::new();
+        let mut stats = MiningStats::default();
         for &period in &periods {
-            out.extend(mine_one_period(series, detection, period, config)?);
+            let (patterns, period_stats) = mine_one_period(series, detection, period, config)?;
+            out.extend(patterns);
+            stats.merge(&period_stats);
         }
-        return Ok(out);
+        stats.flush();
+        return Ok((out, stats));
     }
 
     // Work-stealing fan-out, one detected period per unit of work (the
@@ -381,16 +446,16 @@ pub fn mine_patterns(
     // merge is going to discard.
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
-    let mut slots: Vec<Option<Result<Vec<MinedPattern>>>> =
-        (0..periods.len()).map(|_| None).collect();
+    type PeriodResult = Result<(Vec<MinedPattern>, MiningStats)>;
+    let mut slots: Vec<Option<PeriodResult>> = (0..periods.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for worker in 0..threads {
             let periods = &periods;
             let next = &next;
             let failed = &failed;
             handles.push(scope.spawn(move || {
-                let mut local: Vec<(usize, Result<Vec<MinedPattern>>)> = Vec::new();
+                let mut local: Vec<(usize, PeriodResult)> = Vec::new();
                 while !failed.load(Ordering::Relaxed) {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&period) = periods.get(i) else {
@@ -402,6 +467,9 @@ pub fn mine_patterns(
                     }
                     local.push((i, result));
                 }
+                if !local.is_empty() {
+                    obs::thread_claim(worker, local.len() as u64);
+                }
                 local
             }));
         }
@@ -412,16 +480,21 @@ pub fn mine_patterns(
         }
     });
     let mut out = Vec::new();
+    let mut stats = MiningStats::default();
     for slot in slots {
         match slot {
-            Some(Ok(patterns)) => out.extend(patterns),
+            Some(Ok((patterns, period_stats))) => {
+                out.extend(patterns);
+                stats.merge(&period_stats);
+            }
             Some(Err(e)) => return Err(e),
             // Claims are monotonic, so a skipped period always sits after
             // the failed one; the merge returns that error first.
             None => unreachable!("period skipped without an earlier error"),
         }
     }
-    Ok(out)
+    stats.flush();
+    Ok((out, stats))
 }
 
 /// Mines one detected period under the configured mode. The unit of work
@@ -432,14 +505,17 @@ fn mine_one_period(
     detection: &DetectionResult,
     period: usize,
     config: &PatternMinerConfig,
-) -> Result<Vec<MinedPattern>> {
+) -> Result<(Vec<MinedPattern>, MiningStats)> {
     let mut out = Vec::new();
+    let mut stats = MiningStats::default();
     match config.mode {
         PatternMode::EnumerateAll => {
-            mine_patterns_for_period(series, detection, period, config, &mut out)?;
+            let _span = obs::span_with(|| format!("mining.period[{period}].apriori_join"));
+            mine_patterns_for_period(series, detection, period, config, &mut out, &mut stats)?;
         }
         PatternMode::Closed => {
-            emit_singles(detection, period, config, &mut out)?;
+            let _span = obs::span_with(|| format!("mining.period[{period}].closed"));
+            emit_singles(detection, period, config, &mut out, &mut stats)?;
             let mut closed = Vec::new();
             crate::closed::mine_closed_for_period(
                 series,
@@ -448,13 +524,16 @@ fn mine_one_period(
                 config.min_support,
                 config.candidate_cap,
                 &mut closed,
+                &mut stats,
             )?;
             // Cardinality-1 closures duplicate the Def.-2 singles (which
             // carry the paper's phase-specific supports); keep multis.
+            let before = out.len();
             out.extend(closed.into_iter().filter(|m| m.pattern.cardinality() >= 2));
+            stats.frequent += (out.len() - before) as u64;
         }
     }
-    Ok(out)
+    Ok((out, stats))
 }
 
 /// Item = one fixed position; canonical candidate = phase-sorted item list.
@@ -467,6 +546,7 @@ fn emit_singles(
     period: usize,
     config: &PatternMinerConfig,
     out: &mut Vec<MinedPattern>,
+    stats: &mut MiningStats,
 ) -> Result<Vec<Vec<Item>>> {
     let mut seeds = Vec::new();
     for sp in detection.at_period(period) {
@@ -480,6 +560,7 @@ fn emit_singles(
                     support: sp.confidence,
                 },
             });
+            stats.frequent += 1;
             seeds.push(vec![(sp.phase, sp.symbol)]);
         }
     }
@@ -494,10 +575,11 @@ fn mine_patterns_for_period(
     period: usize,
     config: &PatternMinerConfig,
     out: &mut Vec<MinedPattern>,
+    stats: &mut MiningStats,
 ) -> Result<()> {
     // Level 1: the detected single-symbol periodicities, whose Def.-1
     // confidence *is* their Def.-2 support.
-    let seeds = emit_singles(detection, period, config, out)?;
+    let seeds = emit_singles(detection, period, config, out, stats)?;
 
     // The shared verification substrate: one series pass builds every
     // detected item's transaction row; all level-wise support counts are
@@ -548,6 +630,7 @@ fn mine_patterns_for_period(
                 let mut cand = a.clone();
                 cand.push(lb.max(la));
                 cand.sort();
+                stats.candidates_generated += 1;
                 // Prune step: every (k-1)-subset must be frequent.
                 let all_subsets_frequent = (0..cand.len()).all(|drop| {
                     let mut sub = cand.clone();
@@ -556,6 +639,8 @@ fn mine_patterns_for_period(
                 });
                 if all_subsets_frequent {
                     candidates.push(cand);
+                } else {
+                    stats.pruned_apriori += 1;
                 }
                 if candidates.len() > config.candidate_cap {
                     return Err(MiningError::CandidateExplosion {
@@ -579,6 +664,9 @@ fn mine_patterns_for_period(
             let parent = index_prev[&cand[..cand.len() - 1]];
             let (l, s) = cand[cand.len() - 1];
             let row = index.row(index.find(l, s).expect("joined item was detected"));
+            if obs::enabled() {
+                obs::count(obs::Counter::PopcountWords, universe.div_ceil(64) as u64);
+            }
             let count = tids_prev[parent].and_count(row);
             let support = count as f64 / universe as f64;
             if support + EPS >= config.min_support {
@@ -591,11 +679,14 @@ fn mine_patterns_for_period(
                         support,
                     },
                 });
+                stats.frequent += 1;
                 let mut tids = tids_prev[parent].clone();
                 tids.and_with(row);
                 index_now.insert(cand.clone(), frequent_now.len());
                 frequent_now.push(cand);
                 tids_now.push(tids);
+            } else {
+                stats.pruned_infrequent += 1;
             }
         }
         frequent_prev = frequent_now;

@@ -10,6 +10,7 @@
 use std::io::BufRead;
 use std::sync::Arc;
 
+use periodica_obs as obs;
 use periodica_series::io::SymbolStream;
 use periodica_series::{Alphabet, SeriesBuilder, SymbolId};
 
@@ -65,6 +66,7 @@ impl OneTouchMiner {
 
     /// Finishes the stream and mines the accumulated series.
     pub fn finish(self) -> Result<MiningReport> {
+        let _span = obs::span("stream.finish");
         let series = self.builder.finish();
         self.miner.mine(&series)
     }

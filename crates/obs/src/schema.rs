@@ -1,0 +1,171 @@
+//! Validation of run reports against a JSON-schema subset.
+//!
+//! CI validates `--metrics-out` documents against the checked-in
+//! `docs/metrics.schema.json` without pulling in a schema crate, so this
+//! module implements the small subset of JSON Schema those documents need:
+//!
+//! - `"type"`: `object`, `integer`, `number`, `string`, `boolean`, `array`
+//!   (`integer` additionally accepts any number with zero fractional part);
+//! - `"properties"` with per-key subschemas;
+//! - `"required"`: listed keys must be present;
+//! - `"additionalProperties"`: `false` rejects unknown keys, a subschema
+//!   validates every key not named in `"properties"`.
+//!
+//! Anything else in the schema document is ignored, which keeps the checked-in
+//! schema readable by standard tooling while this validator enforces the
+//! strict parts (unknown and missing keys fail).
+
+use crate::json::{self, Value};
+
+/// Validate `report` (a JSON document) against `schema` (a JSON-schema
+/// document, subset described in the module docs). Returns every violation
+/// found, as `path: message` strings; an empty error list means the document
+/// conforms.
+pub fn validate_report_json(report: &str, schema: &str) -> Result<(), Vec<String>> {
+    let schema = json::parse(schema).map_err(|e| vec![format!("schema is not valid JSON: {e}")])?;
+    let report = json::parse(report).map_err(|e| vec![format!("report is not valid JSON: {e}")])?;
+    let mut errors = Vec::new();
+    validate(&report, &schema, "$", &mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
+    let schema = match schema.as_object() {
+        Some(obj) => obj,
+        // A non-object schema (e.g. `true`) constrains nothing.
+        None => return,
+    };
+
+    if let Some(expected) = schema.get("type").and_then(Value::as_str) {
+        if !type_matches(value, expected) {
+            errors.push(format!(
+                "{path}: expected {expected}, found {}",
+                value.type_name()
+            ));
+            return;
+        }
+    }
+
+    let obj = match value.as_object() {
+        Some(obj) => obj,
+        None => return,
+    };
+
+    let empty = std::collections::BTreeMap::new();
+    let properties = schema
+        .get("properties")
+        .and_then(Value::as_object)
+        .unwrap_or(&empty);
+
+    if let Some(Value::Array(required)) = schema.get("required") {
+        for key in required {
+            if let Some(key) = key.as_str() {
+                if !obj.contains_key(key) {
+                    errors.push(format!("{path}: missing required key {key:?}"));
+                }
+            }
+        }
+    }
+
+    let additional = schema.get("additionalProperties");
+    for (key, item) in obj {
+        let child_path = format!("{path}.{key}");
+        if let Some(subschema) = properties.get(key) {
+            validate(item, subschema, &child_path, errors);
+        } else {
+            match additional {
+                Some(Value::Bool(false)) => {
+                    errors.push(format!("{path}: unknown key {key:?}"));
+                }
+                Some(subschema @ Value::Object(_)) => {
+                    validate(item, subschema, &child_path, errors);
+                }
+                // Absent or `true`: unknown keys are unconstrained.
+                _ => {}
+            }
+        }
+    }
+}
+
+fn type_matches(value: &Value, expected: &str) -> bool {
+    match expected {
+        "object" => matches!(value, Value::Object(_)),
+        "array" => matches!(value, Value::Array(_)),
+        "string" => matches!(value, Value::Str(_)),
+        "boolean" => matches!(value, Value::Bool(_)),
+        "null" => matches!(value, Value::Null),
+        "number" => matches!(value, Value::Int(_) | Value::Float(_)),
+        "integer" => match value {
+            Value::Int(_) => true,
+            Value::Float(f) => f.fract() == 0.0,
+            _ => false,
+        },
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, MetricsRecorder, Recorder};
+
+    const STAGE_SCHEMA: &str = r#"
+    {
+      "type": "object",
+      "required": ["counters", "stages", "thread_claims"],
+      "additionalProperties": false,
+      "properties": {
+        "counters": { "type": "object", "additionalProperties": { "type": "integer" } },
+        "stages": {
+          "type": "object",
+          "additionalProperties": {
+            "type": "object",
+            "required": ["count", "total_ns"],
+            "properties": {
+              "count": { "type": "integer" },
+              "total_ns": { "type": "integer" }
+            }
+          }
+        },
+        "thread_claims": { "type": "object", "additionalProperties": { "type": "integer" } }
+      }
+    }"#;
+
+    #[test]
+    fn real_reports_conform() {
+        let rec = MetricsRecorder::new();
+        rec.add(Counter::NttForward, 2);
+        rec.record_span("spectrum.match", 1234);
+        rec.record_thread_claim(0, 3);
+        let text = rec.report().to_json();
+        validate_report_json(&text, STAGE_SCHEMA).expect("report conforms");
+    }
+
+    #[test]
+    fn unknown_top_level_keys_are_rejected() {
+        let rec = MetricsRecorder::new();
+        let text = rec
+            .report()
+            .to_json()
+            .replacen('{', "{\n  \"extra\": 1,", 1);
+        let errors = validate_report_json(&text, STAGE_SCHEMA).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("unknown key \"extra\"")));
+    }
+
+    #[test]
+    fn missing_required_keys_are_rejected() {
+        let errors = validate_report_json("{}", STAGE_SCHEMA).unwrap_err();
+        assert_eq!(errors.len(), 3, "{errors:?}");
+    }
+
+    #[test]
+    fn type_mismatches_are_rejected() {
+        let text = r#"{"counters": {"x": "not a number"}, "stages": {}, "thread_claims": {}}"#;
+        let errors = validate_report_json(text, STAGE_SCHEMA).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("$.counters.x")));
+    }
+}

@@ -243,8 +243,9 @@ enum BoundedMode {
     /// truncated to `0..=L`.
     Single { plan: Arc<Ntt> },
     /// Overlap-save: windows of `advance + L` samples stepping by
-    /// `advance`, each autocorrelated cyclically at `plan.len() >= advance
-    /// + 2L`; pairs starting in a window's last `L` samples are counted by
+    /// `advance`, each autocorrelated cyclically at
+    /// `plan.len() >= advance + 2L`; pairs starting in a window's last
+    /// `L` samples are counted by
     /// the *next* window too, so each interior window subtracts the
     /// autocorrelation of its own `L`-sample tail (via `tail_plan`,
     /// `>= 2L`). The final window holds only the signal's remainder and

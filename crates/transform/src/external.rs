@@ -10,6 +10,8 @@
 //! `sum_j x[j] * x[j+p]` over the whole stream, bit-identical to the in-core
 //! result (verified by tests).
 
+use periodica_obs as obs;
+
 use crate::conv::cross_correlate_naive;
 use crate::error::Result;
 use crate::ntt::convolve_exact;
@@ -73,6 +75,7 @@ impl StreamingAutocorrelator {
         if block.is_empty() {
             return Ok(());
         }
+        obs::count(obs::Counter::StreamBlocks, 1);
         let t = self.tail.len();
         let l = block.len();
         // full = tail ++ block

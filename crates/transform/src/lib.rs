@@ -19,7 +19,9 @@
 //!   equivalent of the external FFT the paper cites for on-disk mining.
 //!
 //! No external numeric dependencies: everything here is implemented and
-//! tested inside this crate.
+//! tested inside this crate. (The only dependency is the workspace's own
+//! `periodica-obs` telemetry facade, whose hooks compile to an atomic flag
+//! check when no recorder is installed.)
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

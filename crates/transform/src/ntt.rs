@@ -12,6 +12,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use periodica_obs as obs;
+
 use crate::error::{Result, TransformError};
 
 /// The Goldilocks prime `2^64 - 2^32 + 1`.
@@ -243,6 +245,7 @@ impl Ntt {
     /// Panics (debug) if `buf.len() != self.len()` or any value `>= P`.
     pub fn forward(&self, buf: &mut [u64]) {
         debug_assert_eq!(buf.len(), self.len);
+        obs::count(obs::Counter::NttForward, 1);
         if self.len <= 1 {
             return;
         }
@@ -252,6 +255,7 @@ impl Ntt {
     /// Inverse NTT in place, including `1/n` normalization.
     pub fn inverse(&self, buf: &mut [u64]) {
         debug_assert_eq!(buf.len(), self.len);
+        obs::count(obs::Counter::NttInverse, 1);
         if self.len <= 1 {
             return;
         }
@@ -276,11 +280,13 @@ static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<Ntt>>>> = OnceLock::new();
 pub fn shared_plan(len: usize) -> Result<Arc<Ntt>> {
     let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(plan) = cache.lock().expect("NTT plan cache poisoned").get(&len) {
+        obs::count(obs::Counter::NttPlanCacheHit, 1);
         return Ok(Arc::clone(plan));
     }
     // Build outside the lock: planning a large length must not block other
     // threads fetching already-cached lengths. A racing builder of the same
     // length loses to whoever inserts first.
+    obs::count(obs::Counter::NttPlanCacheMiss, 1);
     let plan = Arc::new(Ntt::new(len)?);
     let mut map = cache.lock().expect("NTT plan cache poisoned");
     Ok(Arc::clone(map.entry(len).or_insert(plan)))

@@ -43,6 +43,7 @@
 //! | [`transform`] (periodica-transform) | from-scratch FFT / NTT / convolution / streaming correlation |
 //! | [`baselines`] (periodica-baselines) | Indyk periodic trends, shift distance, Ma-Hellerstein, Berberidis |
 //! | [`datagen`] (periodica-datagen) | Wal-Mart / CIMEG / event-log surrogates |
+//! | [`obs`] (periodica-obs) | zero-cost-when-disabled telemetry: spans, counters, run reports |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -50,6 +51,7 @@
 pub use periodica_baselines as baselines;
 pub use periodica_core as core;
 pub use periodica_datagen as datagen;
+pub use periodica_obs as obs;
 pub use periodica_series as series;
 pub use periodica_transform as transform;
 

@@ -1,0 +1,203 @@
+//! Telemetry integration tests: counter correctness on known workloads and
+//! the zero-cost-when-disabled overhead guard.
+//!
+//! The recorder registry is process-global, so every test that installs a
+//! recorder (or asserts on global counters) serializes on
+//! [`periodica::obs::test_guard`] and uses its own series length — the NTT
+//! plan cache is process-wide and keyed by transform length.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use periodica::core::engine::SpectrumEngine;
+use periodica::core::{
+    mine_patterns_with_stats, DetectorConfig, MatchEngine, PatternMinerConfig, PatternMode,
+    PeriodicityDetector,
+};
+use periodica::obs::{self, Counter, MetricsRecorder};
+use periodica::prelude::*;
+
+fn series(text: &str, sigma: usize) -> SymbolSeries {
+    let a = Alphabet::latin(sigma).expect("alphabet");
+    SymbolSeries::parse(text, &a).expect("series")
+}
+
+fn planted(length: usize, period: usize) -> SymbolSeries {
+    let a = Alphabet::latin(4).expect("alphabet");
+    let ids: Vec<SymbolId> = (0..length)
+        .map(|i| SymbolId::from_index(i % period % 4))
+        .collect();
+    SymbolSeries::from_ids(ids, a).expect("series")
+}
+
+/// Two spectrum runs over same-length series make identical plan requests;
+/// the second run's requests are all cache hits.
+#[test]
+fn second_same_length_run_hits_the_plan_cache_exactly() {
+    let _guard = obs::test_guard();
+    let recorder = Arc::new(MetricsRecorder::new());
+    obs::install(recorder.clone());
+
+    // Unique length in this process so earlier tests cannot have primed
+    // other lengths into the per-run request count.
+    let a = planted(1_537, 7);
+    let b = planted(1_537, 11);
+    let engine = SpectrumEngine::new();
+
+    engine.match_spectrum(&a, a.len() / 2).expect("run 1");
+    let hits_1 = recorder.counter(Counter::NttPlanCacheHit);
+    let misses_1 = recorder.counter(Counter::NttPlanCacheMiss);
+    let requests_per_run = hits_1 + misses_1;
+    assert!(requests_per_run > 0, "spectrum run must request NTT plans");
+
+    engine.match_spectrum(&b, b.len() / 2).expect("run 2");
+    let hits_2 = recorder.counter(Counter::NttPlanCacheHit);
+    let misses_2 = recorder.counter(Counter::NttPlanCacheMiss);
+
+    obs::uninstall();
+    // Run 2 allocated no new plan: every one of its requests hit.
+    assert_eq!(misses_2, misses_1, "second run must not build plans");
+    assert_eq!(
+        hits_2 - hits_1,
+        requests_per_run,
+        "second run must make the same plan requests, all hits"
+    );
+}
+
+/// The paper's Sect. 2 series at psi = 2/3: the full enumeration's candidate
+/// flow, pinned exactly.
+#[test]
+fn paper_example_candidate_flow_is_exact() {
+    let s = series("abcabbabcb", 3);
+    let detection = PeriodicityDetector::new(
+        DetectorConfig {
+            threshold: 2.0 / 3.0,
+            ..Default::default()
+        },
+        EngineKind::Spectrum.build(),
+    )
+    .detect(&s)
+    .expect("detect");
+    let config = PatternMinerConfig {
+        min_support: 2.0 / 3.0,
+        mode: PatternMode::EnumerateAll,
+        ..Default::default()
+    };
+    let (patterns, stats) = mine_patterns_with_stats(&s, &detection, &config).expect("mine");
+
+    // At psi = 2/3 only a@0 and b@1 are frequent period-3 seeds, so the
+    // Apriori join produces exactly one candidate — ab* — which survives
+    // both the subset prune and the support verification (Sect. 2's worked
+    // example: ab* has confidence 2/3).
+    assert_eq!(stats.candidates_generated, 1);
+    assert_eq!(stats.pruned_apriori, 0);
+    assert_eq!(stats.pruned_infrequent, 0);
+    assert_eq!(stats.frequent as usize, patterns.len());
+    assert_eq!(stats.closed_extensions_checked, 0);
+}
+
+/// The tiled paper series at a lower threshold exercises every counter:
+/// joins, the subset prune, and support-verification pruning. The flow is
+/// deterministic, so the totals are pinned exactly.
+#[test]
+fn tiled_paper_example_prunes_candidates_exactly() {
+    let s = series(&"abcabbabcb".repeat(8), 3);
+    let detection = PeriodicityDetector::new(
+        DetectorConfig {
+            threshold: 0.4,
+            max_period: Some(10),
+            ..Default::default()
+        },
+        EngineKind::Spectrum.build(),
+    )
+    .detect(&s)
+    .expect("detect");
+    let config = PatternMinerConfig {
+        min_support: 0.4,
+        mode: PatternMode::EnumerateAll,
+        ..Default::default()
+    };
+    let (patterns, stats) = mine_patterns_with_stats(&s, &detection, &config).expect("mine");
+    assert_eq!(stats.candidates_generated, 1023);
+    assert_eq!(stats.pruned_apriori, 0);
+    assert_eq!(stats.pruned_infrequent, 8);
+    assert_eq!(stats.frequent as usize, patterns.len());
+    // Conservation: every join candidate is pruned or verified frequent;
+    // the remainder of `frequent` is the 21 emitted singles.
+    let joined_frequent =
+        stats.candidates_generated - stats.pruned_apriori - stats.pruned_infrequent;
+    assert_eq!(stats.frequent - joined_frequent, 21);
+}
+
+/// Same example, closed mode: extension checks happen, Apriori counters
+/// stay zero, and the frequent total still equals the output size.
+#[test]
+fn paper_example_closed_mode_stats() {
+    let s = series("abcabbabcb", 3);
+    let detection = PeriodicityDetector::new(
+        DetectorConfig {
+            threshold: 2.0 / 3.0,
+            ..Default::default()
+        },
+        EngineKind::Spectrum.build(),
+    )
+    .detect(&s)
+    .expect("detect");
+    let config = PatternMinerConfig {
+        min_support: 2.0 / 3.0,
+        mode: PatternMode::Closed,
+        ..Default::default()
+    };
+    let (patterns, stats) = mine_patterns_with_stats(&s, &detection, &config).expect("mine");
+    assert_eq!(stats.candidates_generated, 0);
+    assert_eq!(stats.pruned_apriori, 0);
+    assert_eq!(stats.pruned_infrequent, 0);
+    assert_eq!(stats.frequent as usize, patterns.len());
+    assert!(stats.closed_extensions_checked > 0);
+}
+
+/// Overhead guard: with no recorder installed the instrumented spectrum path
+/// allocates no recorder state at all, and costs no more than the armed
+/// path (generous 3x margin — wall-clock noise, not a benchmark).
+#[test]
+fn disabled_telemetry_allocates_nothing_and_stays_fast() {
+    let _guard = obs::test_guard();
+    obs::uninstall();
+
+    let s = planted(100_000, 24);
+    let engine = SpectrumEngine::new();
+    let run = || {
+        engine
+            .match_spectrum(&s, 256)
+            .expect("spectrum run")
+            .matches(SymbolId::from_index(0), 24)
+    };
+    run(); // Warm the plan cache so neither timed pass builds plans.
+
+    let allocations_before = obs::state_allocations();
+    let best = |runs: usize, f: &dyn Fn() -> u64| -> Duration {
+        (0..runs)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed()
+            })
+            .min()
+            .expect("at least one run")
+    };
+    let disabled = best(3, &run);
+    assert_eq!(
+        obs::state_allocations() - allocations_before,
+        0,
+        "disabled instrumentation must not allocate recorder state"
+    );
+
+    obs::install(Arc::new(MetricsRecorder::new()));
+    let enabled = best(3, &run);
+    obs::uninstall();
+
+    assert!(
+        disabled <= enabled * 3 + Duration::from_millis(20),
+        "disabled path ({disabled:?}) should not cost more than the armed path ({enabled:?})"
+    );
+}
