@@ -29,7 +29,9 @@ fn bench_online(c: &mut Criterion) {
             &max_period,
             |b, &max_period| {
                 b.iter(|| {
-                    let mut online = OnlineDetector::new(series.alphabet().clone(), max_period);
+                    let mut online = OnlineDetector::builder(series.alphabet().clone())
+                        .window(max_period)
+                        .build();
                     online
                         .extend(series.symbols().iter().copied())
                         .expect("extend");
@@ -42,7 +44,9 @@ fn bench_online(c: &mut Criterion) {
             &max_period,
             |b, &max_period| {
                 b.iter(|| {
-                    let mut online = OnlineDetector::new(series.alphabet().clone(), max_period);
+                    let mut online = OnlineDetector::builder(series.alphabet().clone())
+                        .window(max_period)
+                        .build();
                     online
                         .extend(series.symbols().iter().copied())
                         .expect("extend");

@@ -1,0 +1,292 @@
+//! Multi-tenant session-manager benchmark: ingest throughput and batch
+//! latency at 1k and 10k concurrent streaming sessions.
+//!
+//! Two phases over the same batched workload (rounds of 64-session
+//! batches, 32 symbols per session per batch):
+//!
+//! * **resident_1k** — 1,000 sessions, no eviction budget: the pure
+//!   batched-ingest path (shared flush scratch, hot NTT plan cache).
+//! * **evicting_10k** — 10,000 sessions under a resident-byte budget
+//!   sized well below the working set, so every round churns through
+//!   park (snapshot + drop) and restore (decode + rebuild) cycles. The
+//!   run asserts the budget holds, that at least 1k sessions stay
+//!   resident, and that a churned session still detects its planted
+//!   period — eviction must be invisible to the mining answer.
+//!
+//! Reports sessions/sec, p50/p99 batch latency, and the session counter
+//! deltas (activations, batches, evictions, restore hits). Results land
+//! in `BENCH_sessions.json` at the repo root. Deliberately std-only
+//! (hand-rolled JSON); `--smoke` shrinks both phases for CI and skips
+//! the file write.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use periodica_core::{EvictionPolicy, SessionId, SessionManager};
+use periodica_obs::{self as obs, Counter, MetricsRecorder};
+use periodica_series::{Alphabet, SymbolId};
+
+const SIGMA: usize = 8;
+const WINDOW: usize = 64;
+const BATCH_SESSIONS: usize = 64;
+const SYMBOLS_PER_BATCH: usize = 32;
+
+const SESSION_COUNTERS: [(Counter, &str); 5] = [
+    (Counter::SessionsActive, "session.sessions_active"),
+    (Counter::SessionBatchesIngested, "session.batches_ingested"),
+    (Counter::SessionEvictions, "session.evictions"),
+    (Counter::SessionRestoreHits, "session.restore_hits"),
+    (Counter::OnlineFlushes, "online.flushes"),
+];
+
+fn snapshot(rec: &MetricsRecorder) -> [u64; 5] {
+    SESSION_COUNTERS.map(|(c, _)| rec.counter(c))
+}
+
+/// Each session streams a clean periodic signal whose period depends on
+/// its index, so correctness is checkable per session after any amount
+/// of eviction churn.
+fn session_period(session: usize) -> usize {
+    [4, 6, 8, 12][session % 4]
+}
+
+fn symbol_at(session: usize, position: u64) -> SymbolId {
+    let p = session_period(session) as u64;
+    SymbolId::from_index((((position + session as u64) % p) % SIGMA as u64) as usize)
+}
+
+struct PhaseResult {
+    name: &'static str,
+    sessions: usize,
+    rounds: usize,
+    batches: usize,
+    symbols: usize,
+    elapsed_secs: f64,
+    sessions_per_sec: f64,
+    symbols_per_sec: f64,
+    p50_batch_ns: u64,
+    p99_batch_ns: u64,
+    max_batch_ns: u64,
+    resident_after: usize,
+    parked_after: usize,
+    resident_bytes_after: usize,
+    memory_budget: Option<usize>,
+    counter_deltas: [u64; 5],
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * pct).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run_phase(
+    name: &'static str,
+    sessions: usize,
+    rounds: usize,
+    budget: Option<usize>,
+    recorder: &MetricsRecorder,
+) -> PhaseResult {
+    let alphabet = Alphabet::latin(SIGMA).expect("alphabet");
+    let mut manager = SessionManager::builder(alphabet)
+        .window(WINDOW)
+        .threshold(0.9)
+        .flush_block(256)
+        .policy(EvictionPolicy {
+            max_sessions: None,
+            max_resident_bytes: budget,
+        })
+        .build();
+    let ids: Vec<SessionId> = (0..sessions)
+        .map(|i| SessionId::from(format!("s{i:05}")))
+        .collect();
+    let mut positions = vec![0u64; sessions];
+    let mut symbol_buf: Vec<Vec<SymbolId>> = vec![Vec::new(); BATCH_SESSIONS];
+
+    let counters_before = snapshot(recorder);
+    let mut latencies: Vec<u64> = Vec::with_capacity(rounds * sessions / BATCH_SESSIONS + rounds);
+    let mut batches = 0usize;
+    let mut symbols = 0usize;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for chunk in (0..sessions).collect::<Vec<_>>().chunks(BATCH_SESSIONS) {
+            for (slot, &s) in symbol_buf.iter_mut().zip(chunk) {
+                slot.clear();
+                slot.extend((0..SYMBOLS_PER_BATCH as u64).map(|k| symbol_at(s, positions[s] + k)));
+                positions[s] += SYMBOLS_PER_BATCH as u64;
+            }
+            let batch: Vec<(SessionId, &[SymbolId])> = chunk
+                .iter()
+                .zip(&symbol_buf)
+                .map(|(&s, symbols)| (ids[s].clone(), symbols.as_slice()))
+                .collect();
+            let t = Instant::now();
+            manager.ingest_batch(&batch).expect("ingest");
+            latencies.push(t.elapsed().as_nanos() as u64);
+            batches += 1;
+            symbols += chunk.len() * SYMBOLS_PER_BATCH;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let counters_after = snapshot(recorder);
+
+    if let Some(budget) = budget {
+        assert!(
+            manager.resident_bytes() <= budget,
+            "{name}: resident bytes {} exceed the {budget}-byte budget",
+            manager.resident_bytes()
+        );
+        assert!(
+            manager.resident_count() >= 1_000,
+            "{name}: only {} sessions resident under the budget",
+            manager.resident_count()
+        );
+    }
+    assert_eq!(manager.session_count(), sessions, "{name}: sessions lost");
+    // A session that lived through the churn still answers correctly.
+    let probe = sessions / 2;
+    let candidates = manager.candidates(&ids[probe]).expect("candidates");
+    assert!(
+        candidates.iter().any(|c| c.period == session_period(probe)),
+        "{name}: session {probe} lost its planted period {} (got {:?})",
+        session_period(probe),
+        candidates.iter().map(|c| c.period).collect::<Vec<_>>()
+    );
+
+    latencies.sort_unstable();
+    let touches = batches * BATCH_SESSIONS;
+    let result = PhaseResult {
+        name,
+        sessions,
+        rounds,
+        batches,
+        symbols,
+        elapsed_secs: elapsed,
+        sessions_per_sec: touches as f64 / elapsed,
+        symbols_per_sec: symbols as f64 / elapsed,
+        p50_batch_ns: percentile(&latencies, 0.50),
+        p99_batch_ns: percentile(&latencies, 0.99),
+        max_batch_ns: latencies.last().copied().unwrap_or(0),
+        resident_after: manager.resident_count(),
+        parked_after: manager.parked_count(),
+        resident_bytes_after: manager.resident_bytes(),
+        memory_budget: budget,
+        counter_deltas: {
+            let mut deltas = [0u64; 5];
+            for (slot, (b, a)) in deltas
+                .iter_mut()
+                .zip(counters_before.iter().zip(counters_after))
+            {
+                *slot = a - b;
+            }
+            deltas
+        },
+    };
+    eprintln!(
+        "{name}: {} sessions x {} rounds | {:.0} sessions/s, {:.2}M symbols/s | \
+         batch p50 {}us p99 {}us | {} resident / {} parked, ~{:.1} MiB | \
+         {} evictions, {} restores",
+        sessions,
+        rounds,
+        result.sessions_per_sec,
+        result.symbols_per_sec / 1e6,
+        result.p50_batch_ns / 1_000,
+        result.p99_batch_ns / 1_000,
+        result.resident_after,
+        result.parked_after,
+        result.resident_bytes_after as f64 / (1024.0 * 1024.0),
+        result.counter_deltas[2],
+        result.counter_deltas[3],
+    );
+    result
+}
+
+fn phase_json(r: &PhaseResult) -> String {
+    let deltas: Vec<String> = SESSION_COUNTERS
+        .iter()
+        .zip(r.counter_deltas)
+        .map(|((_, name), d)| format!("        \"{name}\": {d}"))
+        .collect();
+    format!(
+        "    \"{}\": {{\n      \"sessions\": {},\n      \"rounds\": {},\n      \
+         \"batches\": {},\n      \"symbols\": {},\n      \
+         \"batch_sessions\": {BATCH_SESSIONS},\n      \
+         \"symbols_per_session_batch\": {SYMBOLS_PER_BATCH},\n      \
+         \"elapsed_secs\": {:.6},\n      \"sessions_per_sec\": {:.1},\n      \
+         \"symbols_per_sec\": {:.1},\n      \"p50_batch_ns\": {},\n      \
+         \"p99_batch_ns\": {},\n      \"max_batch_ns\": {},\n      \
+         \"resident_after\": {},\n      \"parked_after\": {},\n      \
+         \"resident_bytes_after\": {},\n      \"memory_budget\": {},\n      \
+         \"counter_deltas\": {{\n{}\n      }}\n    }}",
+        r.name,
+        r.sessions,
+        r.rounds,
+        r.batches,
+        r.symbols,
+        r.elapsed_secs,
+        r.sessions_per_sec,
+        r.symbols_per_sec,
+        r.p50_batch_ns,
+        r.p99_batch_ns,
+        r.max_batch_ns,
+        r.resident_after,
+        r.parked_after,
+        r.resident_bytes_after,
+        r.memory_budget
+            .map_or("null".to_string(), |b| b.to_string()),
+        deltas.join(",\n"),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let recorder = Arc::new(MetricsRecorder::new());
+    obs::install(recorder.clone());
+
+    // Phase 1: everything resident; measures the pure batched path.
+    let (small_sessions, small_rounds) = if smoke { (128, 2) } else { (1_000, 20) };
+    let resident = run_phase("resident_1k", small_sessions, small_rounds, None, &recorder);
+
+    // Phase 2: a byte budget far below the working set (each session
+    // costs ~10 KiB resident), forcing park/restore churn every round
+    // while still keeping >= 1k sessions resident.
+    let (big_sessions, big_rounds, budget) = if smoke {
+        (1_200, 2, Some(9 * 1024 * 1024))
+    } else {
+        (10_000, 5, Some(32 * 1024 * 1024))
+    };
+    let evicting = run_phase("evicting_10k", big_sessions, big_rounds, budget, &recorder);
+    assert!(
+        evicting.counter_deltas[2] > 0,
+        "the eviction phase never evicted"
+    );
+    assert!(
+        evicting.counter_deltas[3] > 0,
+        "the eviction phase never restored"
+    );
+
+    obs::uninstall();
+    let json = format!(
+        "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"window\": {WINDOW}, \
+         \"smoke\": {smoke} }},\n  \"phases\": {{\n{},\n{}\n  }},\n  \
+         \"eviction_transparent\": true\n}}\n",
+        phase_json(&resident),
+        phase_json(&evicting),
+    );
+    println!("{json}");
+    if smoke {
+        eprintln!("smoke run: skipping BENCH_sessions.json");
+        return;
+    }
+    let out_path = std::env::var("BENCH_SESSIONS_OUT").unwrap_or_else(|_| {
+        match option_env!("CARGO_MANIFEST_DIR") {
+            Some(dir) => format!("{dir}/../../BENCH_sessions.json"),
+            None => "BENCH_sessions.json".to_string(),
+        }
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_sessions.json");
+    eprintln!("wrote {out_path}");
+}

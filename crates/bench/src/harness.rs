@@ -66,6 +66,7 @@ impl ExperimentWriter {
         }
 
         #[derive(Serialize)]
+        #[allow(dead_code)] // fields are only read through the Serialize impl
         struct JsonDoc<'a> {
             name: &'a str,
             header: &'a [String],

@@ -8,8 +8,8 @@ use periodica_baselines::indyk::{PeriodicTrends, PeriodicTrendsConfig};
 use periodica_obs as obs;
 
 use periodica_core::{
-    fundamentals, DetectorConfig, EngineKind, MiningReport, ObscureMiner, PatternMode,
-    PeriodicityDetector,
+    fundamentals, DetectorConfig, EngineKind, EvictionPolicy, IngestOutcome, MiningReport,
+    ObscureMiner, PatternMode, PeriodicityDetector, SessionId, SessionManager,
 };
 use periodica_series::discretize::{Discretizer, EqualFrequency, EqualWidth, GaussianBins};
 use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
@@ -469,6 +469,245 @@ pub fn stats(
     }
     if let Some(dom) = stats.dominant() {
         writeln!(out, "dominant   : {}", alphabet.name(dom))?;
+    }
+    Ok(0)
+}
+
+/// Reads the whole input as raw bytes (session state files are binary).
+fn read_input_bytes(args: &CliArgs, stdin: &mut dyn BufRead) -> Result<Vec<u8>, CliError> {
+    let mut buf = Vec::new();
+    match args.input_path() {
+        "-" => {
+            stdin.read_to_end(&mut buf)?;
+        }
+        path => {
+            File::open(path)?.read_to_end(&mut buf)?;
+        }
+    }
+    Ok(buf)
+}
+
+/// The alphabet streaming sessions validate against: explicit
+/// `--alphabet` characters, else the full latin alphabet (streaming
+/// input arrives incrementally, so inference is not an option).
+fn session_alphabet(args: &CliArgs) -> Result<Arc<Alphabet>, CliError> {
+    match args.raw("alphabet") {
+        Some(chars) => Ok(Alphabet::from_symbols(
+            chars.chars().map(|c| c.to_string()),
+        )?),
+        None => Ok(Alphabet::latin(26)?),
+    }
+}
+
+/// Builds a [`SessionManager`] from the shared session flags
+/// (`--max-period`, `--threshold`, `--max-sessions`, `--memory-budget`).
+fn session_manager(args: &CliArgs) -> Result<SessionManager, CliError> {
+    let policy = EvictionPolicy {
+        max_sessions: args
+            .raw("max-sessions")
+            .map(|_| args.require("max-sessions"))
+            .transpose()?,
+        max_resident_bytes: args
+            .raw("memory-budget")
+            .map(|_| args.require("memory-budget"))
+            .transpose()?,
+    };
+    Ok(SessionManager::builder(session_alphabet(args)?)
+        .window(args.get("max-period", 64)?)
+        .threshold(args.get("threshold", 0.5)?)
+        .policy(policy)
+        .build())
+}
+
+/// `periodica ingest` — multi-tenant streaming ingest. Each input line is
+/// one record, `session<TAB>symbols` (a space also separates); records
+/// are grouped into batches of `--batch` lines and fed through
+/// [`SessionManager::ingest_batch`].
+pub fn ingest(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let mut manager = session_manager(args)?;
+    let batch_lines: usize = args.get("batch", 256)?;
+    if batch_lines == 0 {
+        return Err(CliError::Usage("--batch must be at least 1".into()));
+    }
+    let recorder = if args.flag("profile") {
+        let recorder = Arc::new(obs::MetricsRecorder::new());
+        obs::install(recorder.clone());
+        Some(recorder)
+    } else {
+        None
+    };
+    let result = ingest_stream(args, &mut manager, batch_lines, stdin, out);
+    if recorder.is_some() {
+        obs::uninstall();
+    }
+    result?;
+    if let Some(recorder) = recorder {
+        render_profile(&recorder.report(), out)?;
+    }
+    Ok(0)
+}
+
+fn ingest_stream(
+    args: &CliArgs,
+    manager: &mut SessionManager,
+    batch_lines: usize,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    if let Some(path) = args.raw("state-in") {
+        manager.restore_dump(&std::fs::read(path)?)?;
+    }
+    let text = read_input(args, stdin)?;
+    let alphabet = manager.alphabet().clone();
+    let mut pending: Vec<(SessionId, Vec<periodica_series::SymbolId>)> =
+        Vec::with_capacity(batch_lines);
+    let mut batches = 0usize;
+    let mut totals = IngestOutcome::default();
+    let mut flush =
+        |pending: &mut Vec<(SessionId, Vec<periodica_series::SymbolId>)>| -> Result<(), CliError> {
+            if pending.is_empty() {
+                return Ok(());
+            }
+            let batch: Vec<(SessionId, &[periodica_series::SymbolId])> = pending
+                .iter()
+                .map(|(id, symbols)| (id.clone(), symbols.as_slice()))
+                .collect();
+            let outcome = manager.ingest_batch(&batch)?;
+            totals.sessions_touched += outcome.sessions_touched;
+            totals.symbols_ingested += outcome.symbols_ingested;
+            totals.created += outcome.created;
+            totals.restored += outcome.restored;
+            totals.evicted += outcome.evicted;
+            batches += 1;
+            pending.clear();
+            Ok(())
+        };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (id, symbols) = line
+            .split_once('\t')
+            .or_else(|| line.split_once(' '))
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "line {}: expected `session<TAB>symbols`",
+                    lineno + 1
+                ))
+            })?;
+        let symbols = symbols
+            .trim()
+            .chars()
+            .map(|c| alphabet.lookup_char(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        pending.push((SessionId::from(id), symbols));
+        if pending.len() == batch_lines {
+            flush(&mut pending)?;
+        }
+    }
+    flush(&mut pending)?;
+
+    writeln!(
+        out,
+        "ingested {} symbols in {} batches: {} sessions ({} resident, {} parked), \
+         {} evictions, {} restores, ~{} resident bytes",
+        totals.symbols_ingested,
+        batches,
+        manager.session_count(),
+        manager.resident_count(),
+        manager.parked_count(),
+        totals.evicted,
+        totals.restored,
+        manager.resident_bytes(),
+    )?;
+    let limit: usize = args.get("limit", 50)?;
+    for status in manager.sessions().into_iter().take(limit) {
+        writeln!(
+            out,
+            "  {:<24} consumed {:>10}  {:>8}  ~{} bytes",
+            status.id,
+            status.consumed,
+            if status.resident {
+                "resident"
+            } else {
+                "parked"
+            },
+            status.bytes,
+        )?;
+    }
+    if let Some(path) = args.raw("state-out") {
+        std::fs::write(path, manager.dump()?)?;
+        writeln!(out, "state written to {path}")?;
+    }
+    Ok(())
+}
+
+/// `periodica session-dump` — list the sessions in a state file written
+/// by `ingest --state-out`.
+pub fn session_dump(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let bytes = read_input_bytes(args, stdin)?;
+    let snapshots = periodica_core::decode_dump(&bytes)?;
+    writeln!(out, "{} sessions", snapshots.len())?;
+    let limit: usize = args.get("limit", 50)?;
+    for snapshot in snapshots.iter().take(limit) {
+        writeln!(
+            out,
+            "  {:<24} consumed {:>10}  window {:>5}  sigma {:>3}",
+            snapshot.id(),
+            snapshot.consumed(),
+            snapshot.max_period(),
+            snapshot.alphabet_names().len(),
+        )?;
+    }
+    Ok(0)
+}
+
+/// `periodica session-restore` — rebuild one session from a state file
+/// and report its current candidate periods.
+pub fn session_restore(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let wanted: String = args.require("session")?;
+    let bytes = read_input_bytes(args, stdin)?;
+    let snapshot = periodica_core::decode_dump(&bytes)?
+        .into_iter()
+        .find(|s| s.id().as_str() == wanted)
+        .ok_or_else(|| periodica_core::Error::UnknownSession(wanted.clone()))?;
+    let (id, mut detector) = snapshot.into_detector()?;
+    writeln!(
+        out,
+        "session {id}: {} symbols consumed, window {}",
+        detector.len(),
+        detector.max_period(),
+    )?;
+    let candidates = match args.raw("threshold") {
+        Some(_) => detector.candidates(args.require("threshold")?)?,
+        None => detector.current_candidates()?,
+    };
+    let limit: usize = args.get("limit", 50)?;
+    if candidates.is_empty() {
+        writeln!(out, "no candidate periods at this threshold")?;
+    }
+    for c in candidates.iter().take(limit) {
+        writeln!(
+            out,
+            "  period {:>5}  symbol {:<4} matches {:>10}  bound {:.4}",
+            c.period,
+            detector.alphabet().name(c.symbol),
+            c.matches,
+            c.confidence_bound,
+        )?;
     }
     Ok(0)
 }

@@ -1,18 +1,37 @@
-//! CLI error type.
+//! CLI error type and the single place exit codes are decided.
 
 use std::fmt;
 
 /// Anything that can abort a CLI invocation.
+///
+/// Every library failure funnels into [`CliError::Core`] — the
+/// workspace's unified [`periodica_core::Error`] — so the CLI has
+/// exactly three failure shapes and one exit-code table.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad command line (unknown command/option, unparsable value).
     Usage(String),
     /// I/O failure reading input or writing output.
     Io(std::io::Error),
-    /// Error from the mining stack.
-    Mining(periodica_core::MiningError),
-    /// Error from the series substrate.
-    Series(periodica_series::SeriesError),
+    /// Error from the mining stack (series, transform, session, miner).
+    Core(periodica_core::Error),
+}
+
+impl CliError {
+    /// The process exit code for this error. Success is 0 and "ran fine
+    /// but found a negative answer" (e.g. a failed `metrics-check`) is 1,
+    /// so errors start at 2:
+    ///
+    /// * 2 — usage error (bad flags; the invocation never ran)
+    /// * 3 — I/O error (input unreadable, output unwritable)
+    /// * 4 — library error (invalid series, corrupt snapshot, ...)
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Core(_) => 4,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -20,13 +39,20 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(m) => write!(f, "usage error: {m} (try `periodica help`)"),
             CliError::Io(e) => write!(f, "I/O error: {e}"),
-            CliError::Mining(e) => write!(f, "mining error: {e}"),
-            CliError::Series(e) => write!(f, "input error: {e}"),
+            CliError::Core(e) => write!(f, "error: {e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io(e) => Some(e),
+            CliError::Core(e) => Some(e),
+        }
+    }
+}
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
@@ -34,15 +60,15 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-impl From<periodica_core::MiningError> for CliError {
-    fn from(e: periodica_core::MiningError) -> Self {
-        CliError::Mining(e)
+impl From<periodica_core::Error> for CliError {
+    fn from(e: periodica_core::Error) -> Self {
+        CliError::Core(e)
     }
 }
 
 impl From<periodica_series::SeriesError> for CliError {
     fn from(e: periodica_series::SeriesError) -> Self {
-        CliError::Series(e)
+        CliError::Core(periodica_core::Error::from(e))
     }
 }
 
@@ -55,6 +81,15 @@ mod tests {
         let e = CliError::Usage("missing --length".into());
         assert!(e.to_string().contains("periodica help"));
         let e: CliError = periodica_series::SeriesError::EmptyAlphabet.into();
-        assert!(e.to_string().contains("input error"));
+        assert!(e.to_string().contains("series error"));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        assert_eq!(CliError::Usage(String::new()).exit_code(), 2);
+        let io: CliError = std::io::Error::other("disk gone").into();
+        assert_eq!(io.exit_code(), 3);
+        let core: CliError = periodica_core::Error::InvalidThreshold(2.0).into();
+        assert_eq!(core.exit_code(), 4);
     }
 }

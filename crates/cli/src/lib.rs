@@ -9,11 +9,18 @@
 //! * `generate`   — synthetic periodic series (optionally noisy);
 //! * `discretize` — numeric values (one per line / last CSV field) to
 //!   symbols;
+//! * `ingest`     — stream `session<TAB>symbols` records into many
+//!   concurrent bounded-memory sessions;
+//! * `session-dump` / `session-restore` — inspect and rehydrate the
+//!   state files `ingest` writes;
 //! * `help`       — usage.
 //!
 //! Series input is one-character-per-symbol text from a file argument or
 //! stdin (`-`); the alphabet is inferred from the input unless `--alphabet`
 //! supplies one.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
 
 pub mod args;
 pub mod commands;
@@ -38,6 +45,11 @@ COMMANDS:
   generate    emit a synthetic periodic series
   discretize  map numeric values (one per line) to symbol levels
   stats       describe a series (entropy, densities, stickiness)
+  ingest      stream `session<TAB>symbols` records into many concurrent
+              bounded-memory online miners (multi-tenant sessions)
+  session-dump     list the sessions in an `ingest --state-out` file
+  session-restore  rebuild one session from a state file and report its
+              current candidate periods (--session <id>)
   metrics-check  validate a --metrics-out report against the JSON schema
   help        show this message
 
@@ -57,6 +69,17 @@ COMMON OPTIONS:
 TELEMETRY OPTIONS (mine):
   --profile              print a stage/counter breakdown after the report
   --metrics-out <path>   write the machine-readable JSON run report
+
+INGEST OPTIONS:
+  --max-sessions <n>     resident-session cap (LRU eviction past it)
+  --memory-budget <b>    resident-set byte budget (LRU eviction past it)
+  --max-period <p>       watch window per session        [default 64]
+  --batch <lines>        input lines per ingest batch    [default 256]
+  --alphabet <chars>     session alphabet                [default a..z]
+  --state-in <path>      restore sessions from a state file before ingest
+  --state-out <path>     write all session state after ingest
+  --profile              print the telemetry breakdown (evictions,
+                         restores, batch latency spans)
 
 METRICS-CHECK OPTIONS:
   --schema <path>        schema document  [default docs/metrics.schema.json]
@@ -94,6 +117,9 @@ pub fn run(
         "discretize" => commands::discretize(&args, stdin, stdout),
         "stats" => commands::stats(&args, stdin, stdout),
         "metrics-check" => commands::metrics_check(&args, stdin, stdout),
+        "ingest" => commands::ingest(&args, stdin, stdout),
+        "session-dump" => commands::session_dump(&args, stdin, stdout),
+        "session-restore" => commands::session_restore(&args, stdin, stdout),
         "help" | "--help" | "-h" => {
             writeln!(stdout, "{USAGE}")?;
             Ok(0)
@@ -301,6 +327,118 @@ mod tests {
         assert_eq!(code, 1);
         assert!(out.contains("violation"), "{out}");
         assert!(out.contains("unknown key"), "{out}");
+    }
+
+    #[test]
+    fn ingest_streams_many_sessions() {
+        let mut input = String::new();
+        for i in 0..6 {
+            input.push_str(&format!("svc-{i}\t{}\n", "abcd".repeat(40)));
+        }
+        let (code, out) = invoke(
+            &["ingest", "-", "--max-period", "16", "--batch", "4"],
+            &input,
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("6 sessions"), "{out}");
+        assert!(out.contains("ingested 960 symbols"), "{out}");
+        assert!(out.contains("svc-0"), "{out}");
+    }
+
+    #[test]
+    fn ingest_state_round_trips_through_dump_and_restore() {
+        let dir = std::env::temp_dir();
+        let state = dir.join("periodica-cli-session-state-test.bin");
+        let state_s = state.to_str().expect("utf8 temp path");
+        let input = format!("web\t{}\nbatch\t{}\n", "ab".repeat(100), "abc".repeat(70));
+        let (code, _) = invoke(
+            &["ingest", "-", "--max-period", "12", "--state-out", state_s],
+            &input,
+        );
+        assert_eq!(code, 0);
+
+        let (code, out) = invoke(&["session-dump", state_s], "");
+        assert_eq!(code, 0);
+        assert!(out.contains("2 sessions"), "{out}");
+        assert!(out.contains("web"), "{out}");
+        assert!(out.contains("consumed        210"), "{out}");
+
+        // Continue the `web` stream from the state file, then inspect it.
+        let (code, out) = invoke(
+            &[
+                "ingest",
+                "-",
+                "--max-period",
+                "12",
+                "--state-in",
+                state_s,
+                "--state-out",
+                state_s,
+            ],
+            &format!("web\t{}\n", "ab".repeat(50)),
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("1 restores"), "{out}");
+
+        let (code, out) = invoke(
+            &[
+                "session-restore",
+                state_s,
+                "--session",
+                "web",
+                "--threshold",
+                "0.9",
+            ],
+            "",
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("300 symbols consumed"), "{out}");
+        assert!(out.contains("period     2"), "{out}");
+        std::fs::remove_file(&state).ok();
+    }
+
+    #[test]
+    fn ingest_profile_shows_eviction_counters() {
+        let _guard = periodica_obs::test_guard();
+        let mut input = String::new();
+        for i in 0..8 {
+            input.push_str(&format!("s{i}\t{}\n", "abcd".repeat(10)));
+        }
+        let (code, out) = invoke(
+            &[
+                "ingest",
+                "-",
+                "--max-period",
+                "16",
+                "--max-sessions",
+                "2",
+                "--profile",
+            ],
+            &input,
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("2 resident, 6 parked"), "{out}");
+        assert!(out.contains("session.evictions"), "{out}");
+        assert!(out.contains("session.ingest_batch"), "{out}");
+    }
+
+    #[test]
+    fn session_restore_unknown_id_is_a_library_error() {
+        let dir = std::env::temp_dir();
+        let state = dir.join("periodica-cli-session-unknown-test.bin");
+        let state_s = state.to_str().expect("utf8 temp path");
+        let (code, _) = invoke(&["ingest", "-", "--state-out", state_s], "web\tabab\n");
+        assert_eq!(code, 0);
+        let argv: Vec<String> = ["session-restore", state_s, "--session", "ghost"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        let err = run(&argv, &mut stdin, &mut out).expect_err("should fail");
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("ghost"));
+        std::fs::remove_file(&state).ok();
     }
 
     #[test]

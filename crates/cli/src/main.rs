@@ -16,7 +16,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("periodica: {e}");
-            ExitCode::from(1)
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn count_and_shifted_random_pattern() {
         let mut b = BitVec::zeros(333);
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEFu64;
         for i in 0..333 {
             state ^= state << 13;
             state ^= state >> 7;

@@ -201,10 +201,10 @@ mod tests {
         let s = paper_series();
         for p in 1..s.len() {
             let pc = phase_counts(&s, p);
-            for k in 0..s.sigma() {
-                for l in 0..p {
+            for (k, row) in pc.iter().enumerate() {
+                for (l, &count) in row.iter().enumerate() {
                     assert_eq!(
-                        pc[k][l] as usize,
+                        count as usize,
                         s.f2_projected(SymbolId::from_index(k), p, l),
                         "p={p} k={k} l={l}"
                     );

@@ -6,7 +6,15 @@ use periodica_series::SeriesError;
 use periodica_transform::TransformError;
 
 /// Errors from mining configuration or execution.
+///
+/// This is the workspace's unified error type (aliased as
+/// [`Error`]): substrate errors from the series and transform crates
+/// convert into it via `From`, and downstream consumers (the CLI, the
+/// session manager) report through it. Marked `#[non_exhaustive]` so
+/// new failure modes can be added without a breaking release; match
+/// with a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MiningError {
     /// The periodicity threshold must lie in `(0, 1]` (paper Def. 1).
     InvalidThreshold(f64),
@@ -30,6 +38,26 @@ pub enum MiningError {
     Transform(TransformError),
     /// An error from the series substrate.
     Series(SeriesError),
+    /// Exported session or detector state violates an internal invariant
+    /// (wrong correlator count, impossible consumed total, ...).
+    InvalidSessionState(String),
+    /// A session id was requested that the manager has never seen.
+    UnknownSession(String),
+    /// A serialized snapshot failed structural validation while decoding.
+    SnapshotCorrupt {
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// What was wrong at that offset.
+        message: String,
+    },
+    /// A serialized snapshot carries a format version this build cannot
+    /// decode.
+    SnapshotVersion {
+        /// Version found in the snapshot header.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for MiningError {
@@ -49,6 +77,18 @@ impl fmt::Display for MiningError {
             ),
             MiningError::Transform(e) => write!(f, "transform error: {e}"),
             MiningError::Series(e) => write!(f, "series error: {e}"),
+            MiningError::InvalidSessionState(m) => {
+                write!(f, "invalid session state: {m}")
+            }
+            MiningError::UnknownSession(id) => write!(f, "unknown session: {id}"),
+            MiningError::SnapshotCorrupt { offset, message } => {
+                write!(f, "corrupt snapshot at byte {offset}: {message}")
+            }
+            MiningError::SnapshotVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is newer than the supported \
+                 version {supported}"
+            ),
         }
     }
 }
@@ -75,6 +115,10 @@ impl From<SeriesError> for MiningError {
     }
 }
 
+/// The workspace's unified error type (see [`MiningError`]). Prefer
+/// this name in new code; `MiningError` remains for compatibility.
+pub type Error = MiningError;
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MiningError>;
 
@@ -95,6 +139,19 @@ mod tests {
             cap: 10,
         };
         assert!(e.to_string().contains("1000"));
+        assert!(MiningError::UnknownSession("web-7".into())
+            .to_string()
+            .contains("web-7"));
+        let e = MiningError::SnapshotCorrupt {
+            offset: 12,
+            message: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        let e = MiningError::SnapshotVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`pairbits`] — the shared bit-parallel verification index
 //!   ([`PairMatchIndex`]) every pattern consumer counts against;
 //! * [`miner`] — the [`ObscureMiner`] facade tying it together;
-//! * [`stream`] — the one-pass ingestion contract ([`OneTouchMiner`]).
+//! * [`stream`] — the one-pass ingestion contract ([`OneTouchMiner`]);
+//! * [`session`] — the multi-tenant streaming layer ([`SessionManager`]):
+//!   many named bounded-memory online miners behind one batched ingest
+//!   API, with LRU/byte-budget eviction and byte-stable snapshots.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,20 +40,21 @@ pub mod online;
 pub mod pairbits;
 pub mod pattern;
 pub mod segment;
+pub mod session;
 pub mod stream;
 
 pub use detect::{
     period_confidence, DetectionResult, DetectorConfig, PeriodicityDetector, SymbolPeriodicity,
 };
 pub use engine::{BoundedLagPolicy, EngineKind, MatchEngine, MatchSpectrum};
-pub use error::{MiningError, Result};
+pub use error::{Error, MiningError, Result};
 pub use evaluate::{score_detection, DetectionScore, PlantedPeriodicity};
 pub use harmonics::{fundamental_periods, fundamentals, harmonic_families, HarmonicFamily};
 pub use localize::{
     confidence_profile, localize, window_spectrum_profile, ActiveInterval, LocalizeConfig,
 };
 pub use miner::{MinerBuilder, MinerConfig, MiningReport, ObscureMiner};
-pub use online::{OnlineCandidate, OnlineDetector};
+pub use online::{OnlineCandidate, OnlineDetector, OnlineDetectorBuilder, OnlineState};
 pub use pairbits::PairMatchIndex;
 pub use pattern::{
     cartesian_candidates, mine_patterns, mine_patterns_with_stats, pattern_support,
@@ -58,6 +62,10 @@ pub use pattern::{
     SupportEstimate,
 };
 pub use segment::MaxSubpatternTree;
+pub use session::{
+    decode_dump, EvictionPolicy, IngestOutcome, SessionId, SessionManager, SessionManagerBuilder,
+    SessionSnapshot, SessionStatus,
+};
 pub use stream::{mine_reader, OneTouchMiner};
 
 #[cfg(test)]
@@ -139,10 +147,10 @@ mod proptests {
             let m = PaperMapping::encode(&s);
             let p = (s.len() / 3).max(1);
             let f2 = m.f2_counts(p);
-            for k in 0..s.sigma() {
-                for l in 0..p {
+            for (k, row) in f2.iter().enumerate() {
+                for (l, &count) in row.iter().enumerate() {
                     prop_assert_eq!(
-                        f2[k][l],
+                        count,
                         s.f2_projected(SymbolId::from_index(k), p, l)
                     );
                 }
@@ -199,11 +207,11 @@ mod proptests {
             let n = s.len();
             for p in 1..=n / 2 {
                 let counts = phase_counts(&s, p);
-                for k in 0..s.sigma() {
-                    for l in 0..p {
+                for (k, row) in counts.iter().enumerate() {
+                    for (l, &count) in row.iter().enumerate() {
                         let denom = periodica_series::pair_denominator(n, p, l);
                         if denom == 0 { continue; }
-                        let conf = counts[k][l] as f64 / denom as f64;
+                        let conf = count as f64 / denom as f64;
                         if conf >= threshold {
                             prop_assert!(
                                 r.periodicities.iter().any(|sp|
@@ -254,9 +262,9 @@ mod proptests {
         #[test]
         fn online_matches_equal_batch_lag_matches(s in arb_series()) {
             let max_p = (s.len() / 2).max(1);
-            let mut online = crate::online::OnlineDetector::new(
-                s.alphabet().clone(), max_p,
-            );
+            let mut online = crate::online::OnlineDetector::builder(s.alphabet().clone())
+                .window(max_p)
+                .build();
             online.extend(s.symbols().iter().copied()).unwrap();
             for p in 1..=max_p {
                 for k in 0..s.sigma() {
@@ -275,9 +283,9 @@ mod proptests {
             threshold in 0.2f64..1.0,
         ) {
             let max_p = (s.len() / 2).max(1);
-            let mut online = crate::online::OnlineDetector::new(
-                s.alphabet().clone(), max_p,
-            );
+            let mut online = crate::online::OnlineDetector::builder(s.alphabet().clone())
+                .window(max_p)
+                .build();
             online.extend(s.symbols().iter().copied()).unwrap();
             let online_periods: Vec<usize> = online
                 .candidates(threshold).unwrap()
@@ -441,6 +449,78 @@ mod proptests {
                     }
                 }
             }
+        }
+
+        #[test]
+        fn session_ingest_is_partition_invariant(
+            s in arb_series(),
+            chunk in 1usize..48,
+        ) {
+            // ingest_batch over ANY partition of the stream must land in
+            // the same state (byte-identical snapshot, same detections)
+            // as symbol-at-a-time ingest.
+            use crate::session::{SessionId, SessionManager};
+            let id = SessionId::from("t");
+            let build = || SessionManager::builder(s.alphabet().clone())
+                .window(16)
+                .build();
+            let mut chunked = build();
+            let batch: Vec<(SessionId, &[SymbolId])> = s
+                .symbols()
+                .chunks(chunk)
+                .map(|c| (id.clone(), c))
+                .collect();
+            chunked.ingest_batch(&batch).unwrap();
+            let mut single = build();
+            for &sym in s.symbols() {
+                single.ingest(&id, &[sym]).unwrap();
+            }
+            prop_assert_eq!(
+                chunked.snapshot(&id).unwrap().to_bytes(),
+                single.snapshot(&id).unwrap().to_bytes()
+            );
+            prop_assert_eq!(
+                chunked.candidates(&id).unwrap(),
+                single.candidates(&id).unwrap()
+            );
+        }
+
+        #[test]
+        fn session_eviction_is_invisible_to_the_stream(
+            s in arb_series(),
+            numerator in 0usize..=8,
+        ) {
+            // evict -> snapshot -> restore -> keep ingesting must be
+            // byte-identical to a session that was never evicted, for any
+            // split point of the stream.
+            use crate::session::{EvictionPolicy, SessionId, SessionManager};
+            let split = s.len() * numerator / 8;
+            let (head, rest) = s.symbols().split_at(split);
+            let feed = SessionId::from("feed");
+            let other = SessionId::from("other");
+
+            let mut churned = SessionManager::builder(s.alphabet().clone())
+                .window(16)
+                .policy(EvictionPolicy {
+                    max_sessions: Some(1),
+                    max_resident_bytes: None,
+                })
+                .build();
+            churned.ingest(&feed, head).unwrap();
+            // Touching the other session parks `feed` (cap is 1)...
+            churned.ingest(&other, &s.symbols()[..1]).unwrap();
+            // ...and the next ingest transparently restores it.
+            let outcome = churned.ingest(&feed, rest).unwrap();
+            prop_assert_eq!(outcome.restored, 1);
+
+            let mut steady = SessionManager::builder(s.alphabet().clone())
+                .window(16)
+                .build();
+            steady.ingest(&feed, s.symbols()).unwrap();
+            prop_assert_eq!(
+                churned.snapshot(&feed).unwrap().to_bytes(),
+                steady.snapshot(&feed).unwrap().to_bytes()
+            );
         }
     }
 }

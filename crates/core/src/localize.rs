@@ -301,7 +301,7 @@ mod tests {
             .collect();
         let mut t = 4;
         while t < n {
-            if t < 4_000 || t >= 12_000 {
+            if !(4_000..12_000).contains(&t) {
                 data[t] = SymbolId(0);
             }
             t += 20;

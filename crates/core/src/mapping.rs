@@ -249,10 +249,10 @@ mod tests {
         let m = PaperMapping::encode(&s);
         for p in 1..s.len() {
             let f2 = m.f2_counts(p);
-            for k in 0..s.sigma() {
-                for l in 0..p {
+            for (k, row) in f2.iter().enumerate() {
+                for (l, &count) in row.iter().enumerate() {
                     assert_eq!(
-                        f2[k][l],
+                        count,
                         s.f2_projected(SymbolId::from_index(k), p, l),
                         "p={p} k={k} l={l}"
                     );

@@ -29,8 +29,15 @@ use crate::error::Result;
 /// Tolerance for threshold comparisons (matches the batch detector).
 const EPS: f64 = 1e-12;
 
-/// How many symbols are buffered before feeding the correlators.
+/// Default number of symbols buffered before feeding the correlators.
 const FLUSH_BLOCK: usize = 1 << 12;
+
+/// Default periodicity threshold when the builder does not set one
+/// (matches [`crate::MinerConfig::default`]).
+const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// Default largest period watched when the builder does not set one.
+const DEFAULT_WINDOW: usize = 64;
 
 /// A period-level candidate with its current evidence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +53,90 @@ pub struct OnlineCandidate {
     pub confidence_bound: f64,
 }
 
+/// Configures and constructs an [`OnlineDetector`] — the same builder idiom
+/// as [`crate::MinerBuilder`]. Obtained via [`OnlineDetector::builder`].
+///
+/// ```
+/// use periodica_core::OnlineDetector;
+/// use periodica_series::Alphabet;
+///
+/// let alphabet = Alphabet::latin(4)?;
+/// let online = OnlineDetector::builder(alphabet)
+///     .threshold(0.9)
+///     .window(32)
+///     .build();
+/// assert_eq!(online.max_period(), 32);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineDetectorBuilder {
+    alphabet: Arc<Alphabet>,
+    max_period: usize,
+    threshold: f64,
+    flush_block: usize,
+}
+
+impl OnlineDetectorBuilder {
+    /// Sets the watch window: the largest period tracked (memory is
+    /// `O(sigma * window)`).
+    pub fn window(mut self, max_period: usize) -> Self {
+        self.max_period = max_period;
+        self
+    }
+
+    /// Alias for [`OnlineDetectorBuilder::window`], mirroring the batch
+    /// builder's vocabulary.
+    pub fn max_period(self, max_period: usize) -> Self {
+        self.window(max_period)
+    }
+
+    /// Sets the default periodicity threshold `psi` used by
+    /// [`OnlineDetector::current_candidates`].
+    pub fn threshold(mut self, psi: f64) -> Self {
+        self.threshold = psi;
+        self
+    }
+
+    /// Sets how many symbols are buffered before the correlators are fed
+    /// (larger blocks amortize transform setup; memory grows accordingly).
+    pub fn flush_block(mut self, symbols: usize) -> Self {
+        self.flush_block = symbols.max(1);
+        self
+    }
+
+    /// Finalizes the detector.
+    pub fn build(self) -> OnlineDetector {
+        let sigma = self.alphabet.len();
+        OnlineDetector {
+            alphabet: self.alphabet,
+            max_period: self.max_period,
+            threshold: self.threshold,
+            flush_block: self.flush_block,
+            correlators: (0..sigma)
+                .map(|_| StreamingAutocorrelator::new(self.max_period))
+                .collect(),
+            buffer: Vec::new(),
+            consumed: 0,
+        }
+    }
+}
+
+/// The complete bounded-memory state of an [`OnlineDetector`], exported for
+/// serialization by session owners (see [`crate::session::SessionSnapshot`]).
+/// Restoring via [`OnlineDetector::from_state`] yields a detector
+/// bit-identical in behaviour to the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OnlineState {
+    /// Largest period watched.
+    pub max_period: usize,
+    /// Default threshold for [`OnlineDetector::current_candidates`].
+    pub threshold_bits: u64,
+    /// Symbols consumed so far.
+    pub consumed: u64,
+    /// Per-symbol correlator state, in symbol order: `(counts, tail)`.
+    pub correlators: Vec<(Vec<u64>, Vec<u64>)>,
+}
+
 /// Streaming periodicity detector with bounded memory.
 ///
 /// ```
@@ -53,7 +144,7 @@ pub struct OnlineCandidate {
 /// use periodica_series::{Alphabet, SymbolId};
 ///
 /// let alphabet = Alphabet::latin(4)?;
-/// let mut online = OnlineDetector::new(alphabet, 32);
+/// let mut online = OnlineDetector::builder(alphabet).window(32).build();
 /// // An endless abcd... stream, consumed once.
 /// online.extend((0..10_000).map(|i| SymbolId::from_index(i % 4)))?;
 /// let candidates = online.candidates(0.9)?;
@@ -65,24 +156,82 @@ pub struct OnlineCandidate {
 pub struct OnlineDetector {
     alphabet: Arc<Alphabet>,
     max_period: usize,
+    threshold: f64,
+    flush_block: usize,
     correlators: Vec<StreamingAutocorrelator>,
     buffer: Vec<SymbolId>,
     consumed: usize,
 }
 
 impl OnlineDetector {
-    /// Creates a detector watching periods `1..=max_period`.
-    pub fn new(alphabet: Arc<Alphabet>, max_period: usize) -> Self {
-        let sigma = alphabet.len();
-        OnlineDetector {
+    /// Starts a builder over `alphabet` with default configuration
+    /// (window 64, threshold 0.5).
+    pub fn builder(alphabet: Arc<Alphabet>) -> OnlineDetectorBuilder {
+        OnlineDetectorBuilder {
             alphabet,
-            max_period,
-            correlators: (0..sigma)
-                .map(|_| StreamingAutocorrelator::new(max_period))
-                .collect(),
-            buffer: Vec::with_capacity(FLUSH_BLOCK),
-            consumed: 0,
+            max_period: DEFAULT_WINDOW,
+            threshold: DEFAULT_THRESHOLD,
+            flush_block: FLUSH_BLOCK,
         }
+    }
+
+    /// Creates a detector watching periods `1..=max_period`.
+    #[deprecated(since = "0.1.0", note = "use `OnlineDetector::builder(..).window(..)`")]
+    pub fn new(alphabet: Arc<Alphabet>, max_period: usize) -> Self {
+        Self::builder(alphabet).window(max_period).build()
+    }
+
+    /// Restores a detector from exported state. The alphabet must have one
+    /// correlator entry per symbol, and each correlator's parts must satisfy
+    /// the invariants of [`StreamingAutocorrelator::from_parts`].
+    pub fn from_state(alphabet: Arc<Alphabet>, state: OnlineState) -> Result<Self> {
+        if state.correlators.len() != alphabet.len() {
+            return Err(crate::error::MiningError::InvalidSessionState(format!(
+                "state carries {} correlators for an alphabet of {} symbols",
+                state.correlators.len(),
+                alphabet.len()
+            )));
+        }
+        let correlators = state
+            .correlators
+            .into_iter()
+            .map(|(counts, tail)| {
+                StreamingAutocorrelator::from_parts(state.max_period, counts, tail, state.consumed)
+                    .map_err(crate::error::MiningError::Transform)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let consumed = usize::try_from(state.consumed).map_err(|_| {
+            crate::error::MiningError::InvalidSessionState(format!(
+                "consumed count {} exceeds this platform's address space",
+                state.consumed
+            ))
+        })?;
+        Ok(OnlineDetector {
+            alphabet,
+            max_period: state.max_period,
+            threshold: f64::from_bits(state.threshold_bits),
+            flush_block: FLUSH_BLOCK,
+            correlators,
+            buffer: Vec::new(),
+            consumed,
+        })
+    }
+
+    /// Exports the complete detector state (flushing buffered symbols
+    /// first), suitable for serialization and later
+    /// [`OnlineDetector::from_state`].
+    pub fn export_state(&mut self) -> Result<OnlineState> {
+        self.flush()?;
+        Ok(OnlineState {
+            max_period: self.max_period,
+            threshold_bits: self.threshold.to_bits(),
+            consumed: self.consumed as u64,
+            correlators: self
+                .correlators
+                .iter()
+                .map(|c| (c.counts().to_vec(), c.tail().to_vec()))
+                .collect(),
+        })
     }
 
     /// The alphabet symbols are validated against.
@@ -93,6 +242,47 @@ impl OnlineDetector {
     /// Largest period watched.
     pub fn max_period(&self) -> usize {
         self.max_period
+    }
+
+    /// The default threshold used by [`OnlineDetector::current_candidates`].
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Symbols accepted but not yet folded into the correlators.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The configured flush block (symbols buffered before the
+    /// correlators are fed).
+    pub fn flush_block(&self) -> usize {
+        self.flush_block
+    }
+
+    /// Reconfigures the flush block (clamped to at least 1). Buffered
+    /// symbols are kept; the new size applies from the next push.
+    pub fn set_flush_block(&mut self, symbols: usize) {
+        self.flush_block = symbols.max(1);
+    }
+
+    /// Accepts one *pre-validated* symbol without flushing. Callers own
+    /// both obligations [`OnlineDetector::push`] normally covers: the
+    /// symbol must belong to the alphabet, and the buffer must be drained
+    /// via [`OnlineDetector::flush_with`] once it reaches
+    /// [`OnlineDetector::flush_block`]. The session manager uses this to
+    /// batch validation and share one flush scratch across many sessions.
+    pub(crate) fn push_buffered(&mut self, symbol: SymbolId) {
+        self.buffer.push(symbol);
+        self.consumed += 1;
+    }
+
+    /// Estimated resident heap footprint in bytes: correlator counts and
+    /// tails plus the flush buffer. Deterministic for a given window,
+    /// alphabet and buffer occupancy; used by session eviction budgets.
+    pub fn resident_bytes(&self) -> usize {
+        let per_correlator = (self.max_period + 1) * 8 + self.max_period * 8;
+        self.correlators.len() * per_correlator + self.buffer.capacity() * 2
     }
 
     /// Symbols consumed so far.
@@ -112,7 +302,7 @@ impl OnlineDetector {
             .map_err(crate::error::MiningError::Series)?;
         self.buffer.push(symbol);
         self.consumed += 1;
-        if self.buffer.len() >= FLUSH_BLOCK {
+        if self.buffer.len() >= self.flush_block {
             self.flush()?;
         }
         Ok(())
@@ -128,23 +318,40 @@ impl OnlineDetector {
 
     /// Drains the internal buffer into the per-symbol correlators.
     pub fn flush(&mut self) -> Result<()> {
+        let mut indicator = Vec::new();
+        self.flush_with(&mut indicator)
+    }
+
+    /// Like [`OnlineDetector::flush`], but builds the indicator block in a
+    /// caller-provided scratch vector. Multi-session owners reuse one
+    /// scratch across every detector so a batched ingest allocates once,
+    /// not once per session.
+    pub fn flush_with(&mut self, indicator: &mut Vec<u64>) -> Result<()> {
         if self.buffer.is_empty() {
             return Ok(());
         }
         obs::count(obs::Counter::OnlineFlushes, 1);
         // One indicator block per symbol; the correlators keep their own
         // max_period-sized tails, so cross-block pairs are never lost.
-        let mut indicator = vec![0u64; self.buffer.len()];
+        indicator.clear();
+        indicator.resize(self.buffer.len(), 0);
         for (k, correlator) in self.correlators.iter_mut().enumerate() {
             for (slot, s) in indicator.iter_mut().zip(&self.buffer) {
                 *slot = u64::from(s.index() == k);
             }
             correlator
-                .push_block(&indicator)
+                .push_block(indicator)
                 .map_err(crate::error::MiningError::Transform)?;
         }
         self.buffer.clear();
         Ok(())
+    }
+
+    /// The current candidate periods at the builder-configured threshold
+    /// (see [`OnlineDetector::candidates`]).
+    pub fn current_candidates(&mut self) -> Result<Vec<OnlineCandidate>> {
+        let threshold = self.threshold;
+        self.candidates(threshold)
     }
 
     /// Exact total lag-`period` match count for one symbol so far.
@@ -228,7 +435,9 @@ mod tests {
     #[test]
     fn online_counts_equal_batch_counts() {
         let series = planted(10_000, 30, 1);
-        let mut online = OnlineDetector::new(series.alphabet().clone(), 120);
+        let mut online = OnlineDetector::builder(series.alphabet().clone())
+            .window(120)
+            .build();
         online
             .extend(series.symbols().iter().copied())
             .expect("extend");
@@ -248,7 +457,9 @@ mod tests {
     #[test]
     fn online_candidates_match_batch_candidate_periods() {
         let series = planted(6_000, 25, 2);
-        let mut online = OnlineDetector::new(series.alphabet().clone(), 200);
+        let mut online = OnlineDetector::builder(series.alphabet().clone())
+            .window(200)
+            .build();
         online
             .extend(series.symbols().iter().copied())
             .expect("extend");
@@ -274,13 +485,23 @@ mod tests {
 
     #[test]
     fn candidates_evolve_as_the_stream_grows() {
-        // Stream switches from period 10 to random: the bound decays.
-        let periodic = planted(4_000, 10, 3);
-        let alphabet = periodic.alphabet().clone();
-        let mut online = OnlineDetector::new(alphabet.clone(), 50);
-        online
-            .extend(periodic.symbols().iter().copied())
-            .expect("extend");
+        // A dedicated heartbeat symbol fires every 10 ticks over noise,
+        // then stops: its bound decays once the beat is gone. (The beat
+        // symbol occurs exactly once per period, so the phase-blind
+        // bound is sharp and does not saturate at 1.)
+        let alphabet = periodica_series::Alphabet::latin(6).expect("alphabet");
+        let beat = SymbolId(0);
+        let noise =
+            periodica_series::generate::random_series(12_000, &alphabet, 7).expect("random");
+        let symbol_at = |i: usize| {
+            if i < 4_000 && i.is_multiple_of(10) {
+                beat
+            } else {
+                SymbolId::from_index(1 + noise.symbols()[i].index() % 5)
+            }
+        };
+        let mut online = OnlineDetector::builder(alphabet).window(50).build();
+        online.extend((0..4_000).map(symbol_at)).expect("extend");
         let early = online
             .candidates(0.9)
             .expect("candidates")
@@ -290,21 +511,12 @@ mod tests {
             .confidence_bound;
         assert!(early > 0.9);
 
-        let random =
-            periodica_series::generate::random_series(8_000, &alphabet, 7).expect("random");
         online
-            .extend(random.symbols().iter().copied())
+            .extend((4_000..12_000).map(symbol_at))
             .expect("extend");
-        let late = online.candidates(0.2).expect("candidates");
-        let still = late.iter().find(|c| c.period == 10);
-        // Two-thirds of the stream is now structureless: the bound fell.
-        if let Some(c) = still {
-            assert!(
-                c.confidence_bound < early - 0.1,
-                "bound {:.3}",
-                c.confidence_bound
-            );
-        }
+        // Two-thirds of the stream is now beat-free: the bound fell.
+        let late = online.confidence_bound(beat, 10).expect("bound");
+        assert!(late < early - 0.1, "bound {late:.3}");
     }
 
     #[test]
@@ -312,7 +524,7 @@ mod tests {
         // The detector never stores the stream: only sigma tails of
         // max_period samples plus the flush buffer.
         let alphabet = periodica_series::Alphabet::latin(4).expect("alphabet");
-        let mut online = OnlineDetector::new(alphabet, 64);
+        let mut online = OnlineDetector::builder(alphabet).window(64).build();
         for i in 0..200_000usize {
             online.push(SymbolId::from_index(i % 4)).expect("push");
         }
@@ -324,9 +536,68 @@ mod tests {
     #[test]
     fn rejects_foreign_symbols() {
         let alphabet = periodica_series::Alphabet::latin(3).expect("alphabet");
-        let mut online = OnlineDetector::new(alphabet, 16);
+        let mut online = OnlineDetector::builder(alphabet).window(16).build();
         assert!(online.push(SymbolId(3)).is_err());
         assert!(online.push(SymbolId(2)).is_ok());
         assert!(online.is_empty() || online.len() == 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_builder() {
+        let series = planted(2_000, 12, 5);
+        let mut via_new = OnlineDetector::new(series.alphabet().clone(), 40);
+        let mut via_builder = OnlineDetector::builder(series.alphabet().clone())
+            .window(40)
+            .build();
+        for online in [&mut via_new, &mut via_builder] {
+            online
+                .extend(series.symbols().iter().copied())
+                .expect("extend");
+        }
+        assert_eq!(
+            via_new.candidates(0.8).expect("candidates"),
+            via_builder.candidates(0.8).expect("candidates")
+        );
+    }
+
+    #[test]
+    fn export_restore_round_trip_is_bit_identical() {
+        let series = planted(6_000, 18, 6);
+        let (head, rest) = series.symbols().split_at(2_345);
+
+        let mut original = OnlineDetector::builder(series.alphabet().clone())
+            .window(60)
+            .threshold(0.7)
+            .flush_block(512)
+            .build();
+        original.extend(head.iter().copied()).expect("extend");
+        let state = original.export_state().expect("export");
+
+        let mut restored =
+            OnlineDetector::from_state(series.alphabet().clone(), state).expect("restore");
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.threshold(), original.threshold());
+
+        for online in [&mut original, &mut restored] {
+            online.extend(rest.iter().copied()).expect("extend");
+        }
+        assert_eq!(
+            original.current_candidates().expect("candidates"),
+            restored.current_candidates().expect("candidates")
+        );
+        assert_eq!(
+            original.export_state().expect("export"),
+            restored.export_state().expect("export")
+        );
+    }
+
+    #[test]
+    fn from_state_rejects_alphabet_mismatch() {
+        let alphabet = periodica_series::Alphabet::latin(3).expect("alphabet");
+        let mut online = OnlineDetector::builder(alphabet).window(8).build();
+        let state = online.export_state().expect("export");
+        let other = periodica_series::Alphabet::latin(5).expect("alphabet");
+        assert!(OnlineDetector::from_state(other, state).is_err());
     }
 }

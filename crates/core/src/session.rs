@@ -1,0 +1,1069 @@
+//! Multi-tenant streaming sessions: many bounded-memory online miners
+//! behind one batched ingest API.
+//!
+//! The paper's motivating deployments (network monitoring, web-access
+//! mining, power-load tracking) never stream *one* series: a collector
+//! ingests thousands of interleaved feeds, each needing its own one-pass
+//! miner. [`SessionManager`] is that layer. It owns many named sessions,
+//! each wrapping an [`OnlineDetector`] (so per-session memory stays
+//! `O(sigma * window)` no matter how long the feed runs), and exposes:
+//!
+//! * **Batched ingest** — [`SessionManager::ingest_batch`] accepts symbols
+//!   for many sessions at once and reuses one scratch indicator buffer
+//!   across every flush in the batch, so the per-session allocation cost
+//!   of the correlator feed is paid once per batch, not once per session.
+//!   The NTT plans behind those flushes come from the process-wide plan
+//!   cache, which batching keeps hot.
+//! * **Eviction / backpressure** — an [`EvictionPolicy`] bounds the
+//!   resident set by session count and/or resident bytes. When a budget
+//!   is exceeded the least-recently-used sessions are *parked*: their
+//!   exact state is serialized to a compact snapshot and the detector is
+//!   dropped. A parked session transparently rehydrates on its next
+//!   ingest — the stream continues bit-identically, as if it had never
+//!   been evicted.
+//! * **Snapshot / restore** — [`SessionSnapshot`] captures one session's
+//!   complete state in a versioned, byte-stable encoding
+//!   ([`SessionSnapshot::to_bytes`]); [`SessionManager::dump`] and
+//!   [`SessionManager::restore_dump`] round-trip a whole manager for
+//!   process restarts.
+//!
+//! The eviction lifecycle forms a small state machine:
+//!
+//! ```text
+//!            ingest (new id)                 budget exceeded
+//!   (absent) ---------------> RESIDENT  ------------------->  PARKED
+//!                                ^        park = snapshot       |
+//!                                |        + drop detector       |
+//!                                +------------------------------+
+//!                                   ingest / query (restore hit)
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use periodica_obs as obs;
+use periodica_series::{Alphabet, SymbolId};
+
+use crate::error::{MiningError, Result};
+use crate::online::{OnlineCandidate, OnlineDetector, OnlineState};
+
+/// Magic prefix of a serialized [`SessionSnapshot`].
+const SNAPSHOT_MAGIC: &[u8; 4] = b"PSNP";
+/// Magic prefix of a serialized manager dump ([`SessionManager::dump`]).
+const DUMP_MAGIC: &[u8; 4] = b"PSES";
+/// Newest snapshot / dump format version this build reads and writes.
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Interned session name. Cloning is a pointer copy, so ids flow freely
+/// through batches, LRU bookkeeping, and outcomes without reallocating.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(Arc<str>);
+
+impl SessionId {
+    /// The session name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for SessionId {
+    fn from(s: &str) -> Self {
+        SessionId(Arc::from(s))
+    }
+}
+
+impl From<String> for SessionId {
+    fn from(s: String) -> Self {
+        SessionId(Arc::from(s))
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Resident-set budget for a [`SessionManager`]. Unset fields mean
+/// "unbounded". The defaults keep everything resident.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionPolicy {
+    /// Most sessions allowed in the resident set at once.
+    pub max_sessions: Option<usize>,
+    /// Largest estimated heap footprint (bytes) of the resident set.
+    pub max_resident_bytes: Option<usize>,
+}
+
+/// What one [`SessionManager::ingest_batch`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Distinct sessions the batch touched.
+    pub sessions_touched: usize,
+    /// Total symbols accepted across the batch.
+    pub symbols_ingested: usize,
+    /// Sessions created for the first time by this batch.
+    pub created: usize,
+    /// Parked sessions transparently rehydrated by this batch.
+    pub restored: usize,
+    /// Sessions parked by budget enforcement during this batch.
+    pub evicted: usize,
+}
+
+impl IngestOutcome {
+    fn absorb(&mut self, other: IngestOutcome) {
+        self.sessions_touched += other.sessions_touched;
+        self.symbols_ingested += other.symbols_ingested;
+        self.created += other.created;
+        self.restored += other.restored;
+        self.evicted += other.evicted;
+    }
+}
+
+/// One session's standing in the manager, as reported by
+/// [`SessionManager::sessions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStatus {
+    /// The session's name.
+    pub id: SessionId,
+    /// Whether the session currently holds a live detector (`true`) or is
+    /// parked as a snapshot (`false`).
+    pub resident: bool,
+    /// Symbols the session has consumed over its whole lifetime.
+    pub consumed: u64,
+    /// Estimated heap bytes: detector footprint if resident, snapshot
+    /// length if parked.
+    pub bytes: usize,
+}
+
+/// The complete serializable state of one session: its id, its alphabet,
+/// and the exported [`OnlineState`] of its detector.
+///
+/// The binary encoding ([`SessionSnapshot::to_bytes`]) is *byte-stable*:
+/// the same session state always encodes to the same bytes, so snapshots
+/// can be content-addressed, diffed, and checked into fixtures. Layout
+/// (all integers little-endian, strings UTF-8 with `u32` length prefixes):
+///
+/// ```text
+/// "PSNP" | version: u32 | id | sigma: u32 | sigma * name
+/// | max_period: u64 | threshold_bits: u64 | consumed: u64
+/// | sigma * ( counts: u32 len + len * u64 | tail: u32 len + len * u64 )
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    id: SessionId,
+    alphabet_names: Vec<String>,
+    state: OnlineState,
+}
+
+impl SessionSnapshot {
+    /// The captured session's name.
+    pub fn id(&self) -> &SessionId {
+        &self.id
+    }
+
+    /// Symbols the captured session had consumed.
+    pub fn consumed(&self) -> u64 {
+        self.state.consumed
+    }
+
+    /// The captured watch window (largest period tracked).
+    pub fn max_period(&self) -> usize {
+        self.state.max_period
+    }
+
+    /// Symbol names of the captured session's alphabet, in symbol order.
+    pub fn alphabet_names(&self) -> &[String] {
+        &self.alphabet_names
+    }
+
+    /// Rebuilds a standalone detector from this snapshot, independent of
+    /// any manager.
+    pub fn into_detector(self) -> Result<(SessionId, OnlineDetector)> {
+        let alphabet = Alphabet::from_symbols(self.alphabet_names).map_err(MiningError::Series)?;
+        let detector = OnlineDetector::from_state(alphabet, self.state)?;
+        Ok((self.id, detector))
+    }
+
+    /// Serializes to the versioned byte-stable binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.state.correlators.len() * 16);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        put_u32(&mut out, SNAPSHOT_VERSION);
+        put_str(&mut out, self.id.as_str());
+        put_u32(&mut out, self.alphabet_names.len() as u32);
+        for name in &self.alphabet_names {
+            put_str(&mut out, name);
+        }
+        put_u64(&mut out, self.state.max_period as u64);
+        put_u64(&mut out, self.state.threshold_bits);
+        put_u64(&mut out, self.state.consumed);
+        for (counts, tail) in &self.state.correlators {
+            put_u64_slice(&mut out, counts);
+            put_u64_slice(&mut out, tail);
+        }
+        out
+    }
+
+    /// Decodes a snapshot produced by [`SessionSnapshot::to_bytes`].
+    /// Structural problems yield [`MiningError::SnapshotCorrupt`] with the
+    /// failing byte offset; a newer format version yields
+    /// [`MiningError::SnapshotVersion`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut cur = Cursor::new(bytes);
+        cur.expect_magic(SNAPSHOT_MAGIC, "snapshot")?;
+        let version = cur.get_u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(MiningError::SnapshotVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let id = SessionId::from(cur.get_str()?);
+        let sigma = cur.get_u32()? as usize;
+        if sigma > u16::MAX as usize {
+            return Err(cur.corrupt(format!("implausible alphabet size {sigma}")));
+        }
+        let mut alphabet_names = Vec::with_capacity(sigma);
+        for _ in 0..sigma {
+            alphabet_names.push(cur.get_str()?);
+        }
+        let max_period = usize::try_from(cur.get_u64()?)
+            .map_err(|_| cur.corrupt("max_period exceeds this platform's address space"))?;
+        let threshold_bits = cur.get_u64()?;
+        let consumed = cur.get_u64()?;
+        let mut correlators = Vec::with_capacity(sigma);
+        for _ in 0..sigma {
+            let counts = cur.get_u64_slice()?;
+            let tail = cur.get_u64_slice()?;
+            correlators.push((counts, tail));
+        }
+        cur.expect_end()?;
+        Ok(SessionSnapshot {
+            id,
+            alphabet_names,
+            state: OnlineState {
+                max_period,
+                threshold_bits,
+                consumed,
+                correlators,
+            },
+        })
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_u64_slice(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked decoder that reports the failing byte offset.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn corrupt(&self, message: impl Into<String>) -> MiningError {
+        MiningError::SnapshotCorrupt {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.corrupt(format!("truncated: needed {n} more bytes")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn expect_magic(&mut self, magic: &[u8; 4], what: &str) -> Result<()> {
+        if self.take(4)? != magic {
+            self.pos = 0;
+            return Err(self.corrupt(format!("not a periodica {what} (bad magic)")));
+        }
+        Ok(())
+    }
+
+    fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| self.corrupt("string is not valid UTF-8"))
+    }
+
+    fn get_u64_slice(&mut self) -> Result<Vec<u64>> {
+        let len = self.get_u32()? as usize;
+        let b = self.take(
+            len.checked_mul(8)
+                .ok_or_else(|| self.corrupt("length overflow"))?,
+        )?;
+        Ok(b.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(self.corrupt(format!(
+                "{} trailing bytes after the end of the document",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A resident session: its live detector plus LRU bookkeeping.
+#[derive(Debug)]
+struct Resident {
+    detector: OnlineDetector,
+    /// The LRU key under which this session appears in `SessionManager::lru`.
+    tick: u64,
+    /// Last accounted `detector.resident_bytes()`, mirrored into the
+    /// manager-wide total so budget checks are O(1).
+    bytes: usize,
+}
+
+/// Configures and constructs a [`SessionManager`] — the same builder idiom
+/// as [`crate::MinerBuilder`] and [`crate::online::OnlineDetectorBuilder`].
+#[derive(Debug, Clone)]
+pub struct SessionManagerBuilder {
+    alphabet: Arc<Alphabet>,
+    max_period: usize,
+    threshold: f64,
+    flush_block: Option<usize>,
+    policy: EvictionPolicy,
+}
+
+impl SessionManagerBuilder {
+    /// Sets the watch window (largest period tracked) for every session.
+    pub fn window(mut self, max_period: usize) -> Self {
+        self.max_period = max_period;
+        self
+    }
+
+    /// Sets the default candidate threshold for every session.
+    pub fn threshold(mut self, psi: f64) -> Self {
+        self.threshold = psi;
+        self
+    }
+
+    /// Sets each session's flush block (symbols buffered before its
+    /// correlators are fed). Smaller blocks shrink per-session memory;
+    /// larger blocks amortize transform setup.
+    pub fn flush_block(mut self, symbols: usize) -> Self {
+        self.flush_block = Some(symbols.max(1));
+        self
+    }
+
+    /// Sets the resident-set budget.
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Finalizes the manager.
+    pub fn build(self) -> SessionManager {
+        SessionManager {
+            alphabet: self.alphabet,
+            max_period: self.max_period,
+            threshold: self.threshold,
+            flush_block: self.flush_block,
+            policy: self.policy,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            parked: HashMap::new(),
+            resident_bytes: 0,
+            next_tick: 0,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// Owns many named streaming sessions; see the [module docs](self).
+#[derive(Debug)]
+pub struct SessionManager {
+    alphabet: Arc<Alphabet>,
+    max_period: usize,
+    threshold: f64,
+    flush_block: Option<usize>,
+    policy: EvictionPolicy,
+    resident: HashMap<SessionId, Resident>,
+    /// LRU order: tick -> session. Ticks are unique, so the first entry is
+    /// always the least recently used resident session.
+    lru: BTreeMap<u64, SessionId>,
+    /// Parked sessions: serialized snapshots awaiting rehydration.
+    parked: HashMap<SessionId, Vec<u8>>,
+    /// Running sum of every resident detector's estimated footprint.
+    resident_bytes: usize,
+    next_tick: u64,
+    /// Shared indicator scratch reused across every flush in a batch.
+    scratch: Vec<u64>,
+}
+
+impl SessionManager {
+    /// Starts a builder over `alphabet` with default configuration
+    /// (window 64, threshold 0.5, everything resident).
+    pub fn builder(alphabet: Arc<Alphabet>) -> SessionManagerBuilder {
+        let defaults = OnlineDetector::builder(alphabet.clone()).build();
+        SessionManagerBuilder {
+            alphabet,
+            max_period: defaults.max_period(),
+            threshold: defaults.threshold(),
+            flush_block: None,
+            policy: EvictionPolicy::default(),
+        }
+    }
+
+    /// The alphabet every session validates symbols against.
+    pub fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    /// The watch window every session tracks.
+    pub fn max_period(&self) -> usize {
+        self.max_period
+    }
+
+    /// Sessions currently holding a live detector.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Sessions currently parked as snapshots.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Estimated heap footprint of the resident set, in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Total sessions known (resident + parked).
+    pub fn session_count(&self) -> usize {
+        self.resident.len() + self.parked.len()
+    }
+
+    /// Ingests symbols for one session, creating or rehydrating it as
+    /// needed and then enforcing the eviction budget.
+    pub fn ingest(&mut self, id: &SessionId, symbols: &[SymbolId]) -> Result<IngestOutcome> {
+        self.ingest_batch(&[(id.clone(), symbols)])
+    }
+
+    /// Ingests a batch of `(session, symbols)` pairs.
+    ///
+    /// Sessions are created on first sight and rehydrated from their
+    /// snapshot if parked. One scratch indicator buffer is reused across
+    /// every flush in the batch, and the budget is enforced after each
+    /// session is fed (the session being fed is never evicted by its own
+    /// ingest). A batch may name the same session more than once; chunks
+    /// are applied in order.
+    pub fn ingest_batch(&mut self, batch: &[(SessionId, &[SymbolId])]) -> Result<IngestOutcome> {
+        let _span = obs::span("session.ingest_batch");
+        obs::count(obs::Counter::SessionBatchesIngested, 1);
+        let mut outcome = IngestOutcome::default();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = (|| -> Result<()> {
+            for (id, symbols) in batch {
+                outcome.absorb(self.touch(id)?);
+                outcome.sessions_touched += 1;
+                let entry = self.resident.get_mut(id).expect("touch made it resident");
+                for &s in *symbols {
+                    self.alphabet.check(s).map_err(MiningError::Series)?;
+                    entry.detector.push_buffered(s);
+                    if entry.detector.buffered() >= entry.detector.flush_block() {
+                        entry.detector.flush_with(&mut scratch)?;
+                    }
+                }
+                outcome.symbols_ingested += symbols.len();
+                // Re-account this session's footprint (its buffer grew),
+                // then enforce the budget, protecting the session we just
+                // fed.
+                let bytes = entry.detector.resident_bytes();
+                self.resident_bytes = self.resident_bytes - entry.bytes + bytes;
+                entry.bytes = bytes;
+                outcome.evicted += self.enforce_budget(Some(id))?;
+            }
+            Ok(())
+        })();
+        self.scratch = scratch;
+        result?;
+        Ok(outcome)
+    }
+
+    /// The session's current candidate periods at the manager threshold,
+    /// rehydrating it if parked. Unknown ids yield
+    /// [`MiningError::UnknownSession`].
+    pub fn candidates(&mut self, id: &SessionId) -> Result<Vec<OnlineCandidate>> {
+        if !self.resident.contains_key(id) && !self.parked.contains_key(id) {
+            return Err(MiningError::UnknownSession(id.to_string()));
+        }
+        self.touch(id)?;
+        let entry = self.resident.get_mut(id).expect("touch made it resident");
+        let out = entry.detector.current_candidates()?;
+        let bytes = entry.detector.resident_bytes();
+        self.resident_bytes = self.resident_bytes - entry.bytes + bytes;
+        entry.bytes = bytes;
+        self.enforce_budget(Some(id))?;
+        Ok(out)
+    }
+
+    /// Captures one session's complete state without disturbing it.
+    /// Unknown ids yield [`MiningError::UnknownSession`].
+    pub fn snapshot(&mut self, id: &SessionId) -> Result<SessionSnapshot> {
+        if let Some(entry) = self.resident.get_mut(id) {
+            let state = entry.detector.export_state()?;
+            let bytes = entry.detector.resident_bytes();
+            self.resident_bytes = self.resident_bytes - entry.bytes + bytes;
+            entry.bytes = bytes;
+            return Ok(SessionSnapshot {
+                id: id.clone(),
+                alphabet_names: self.alphabet.names().to_vec(),
+                state,
+            });
+        }
+        if let Some(bytes) = self.parked.get(id) {
+            return SessionSnapshot::from_bytes(bytes);
+        }
+        Err(MiningError::UnknownSession(id.to_string()))
+    }
+
+    /// Installs a snapshot as a parked session (rehydrated on next
+    /// touch). The snapshot's alphabet and window must match the
+    /// manager's; an existing session with the same id is replaced.
+    pub fn restore(&mut self, snapshot: &SessionSnapshot) -> Result<()> {
+        if snapshot.alphabet_names != self.alphabet.names() {
+            return Err(MiningError::InvalidSessionState(format!(
+                "snapshot alphabet ({} symbols) does not match the manager's \
+                 ({} symbols)",
+                snapshot.alphabet_names.len(),
+                self.alphabet.len()
+            )));
+        }
+        if snapshot.state.max_period != self.max_period {
+            return Err(MiningError::InvalidSessionState(format!(
+                "snapshot window {} does not match the manager's {}",
+                snapshot.state.max_period, self.max_period
+            )));
+        }
+        self.remove(snapshot.id());
+        self.parked
+            .insert(snapshot.id().clone(), snapshot.to_bytes());
+        Ok(())
+    }
+
+    /// Forgets a session entirely (resident or parked). Returns whether
+    /// anything was removed.
+    pub fn remove(&mut self, id: &SessionId) -> bool {
+        if let Some(entry) = self.resident.remove(id) {
+            self.lru.remove(&entry.tick);
+            self.resident_bytes -= entry.bytes;
+            return true;
+        }
+        self.parked.remove(id).is_some()
+    }
+
+    /// Every known session's status, sorted by id (stable output for
+    /// operators and tests).
+    pub fn sessions(&self) -> Vec<SessionStatus> {
+        let mut out: Vec<SessionStatus> = self
+            .resident
+            .iter()
+            .map(|(id, entry)| SessionStatus {
+                id: id.clone(),
+                resident: true,
+                consumed: entry.detector.len() as u64,
+                bytes: entry.bytes,
+            })
+            .chain(self.parked.iter().map(|(id, bytes)| {
+                SessionStatus {
+                    id: id.clone(),
+                    resident: false,
+                    consumed: SessionSnapshot::from_bytes(bytes)
+                        .map(|s| s.consumed())
+                        .unwrap_or(0),
+                    bytes: bytes.len(),
+                }
+            }))
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+
+    /// Serializes every session (resident and parked) into one
+    /// byte-stable document, flushing resident sessions first. Layout:
+    /// `"PSES" | version: u32 | count: u32 | count * (u32 len + snapshot)`,
+    /// sessions in ascending id order.
+    pub fn dump(&mut self) -> Result<Vec<u8>> {
+        let mut ids: Vec<SessionId> = self
+            .resident
+            .keys()
+            .chain(self.parked.keys())
+            .cloned()
+            .collect();
+        ids.sort();
+        let mut out = Vec::new();
+        out.extend_from_slice(DUMP_MAGIC);
+        put_u32(&mut out, SNAPSHOT_VERSION);
+        put_u32(&mut out, ids.len() as u32);
+        for id in &ids {
+            let bytes = match self.parked.get(id) {
+                Some(parked) => parked.clone(),
+                None => self.snapshot(id)?.to_bytes(),
+            };
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(&bytes);
+        }
+        Ok(out)
+    }
+
+    /// Loads every session from a [`SessionManager::dump`] document as
+    /// parked sessions. Returns how many were restored.
+    pub fn restore_dump(&mut self, bytes: &[u8]) -> Result<usize> {
+        let snapshots = decode_dump(bytes)?;
+        for snapshot in &snapshots {
+            self.restore(snapshot)?;
+        }
+        Ok(snapshots.len())
+    }
+
+    /// Makes `id` resident: creates a fresh session on first sight,
+    /// rehydrates a parked one, or just refreshes LRU standing.
+    fn touch(&mut self, id: &SessionId) -> Result<IngestOutcome> {
+        let mut outcome = IngestOutcome::default();
+        if let Some(entry) = self.resident.get_mut(id) {
+            let tick = self.next_tick;
+            self.next_tick += 1;
+            self.lru.remove(&entry.tick);
+            entry.tick = tick;
+            self.lru.insert(tick, id.clone());
+            return Ok(outcome);
+        }
+        let detector = if let Some(bytes) = self.parked.remove(id) {
+            obs::count(obs::Counter::SessionRestoreHits, 1);
+            outcome.restored += 1;
+            let snapshot = SessionSnapshot::from_bytes(&bytes)?;
+            let (_, mut detector) = snapshot.into_detector()?;
+            if let Some(block) = self.flush_block {
+                detector.set_flush_block(block);
+            }
+            detector
+        } else {
+            outcome.created += 1;
+            let mut builder = OnlineDetector::builder(self.alphabet.clone())
+                .window(self.max_period)
+                .threshold(self.threshold);
+            if let Some(block) = self.flush_block {
+                builder = builder.flush_block(block);
+            }
+            builder.build()
+        };
+        obs::count(obs::Counter::SessionsActive, 1);
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let bytes = detector.resident_bytes();
+        self.resident_bytes += bytes;
+        self.lru.insert(tick, id.clone());
+        self.resident.insert(
+            id.clone(),
+            Resident {
+                detector,
+                tick,
+                bytes,
+            },
+        );
+        Ok(outcome)
+    }
+
+    /// Parks least-recently-used sessions until the policy is satisfied,
+    /// never evicting `protect`. Returns how many sessions were parked.
+    fn enforce_budget(&mut self, protect: Option<&SessionId>) -> Result<usize> {
+        let mut evicted = 0;
+        loop {
+            let over_count = self
+                .policy
+                .max_sessions
+                .is_some_and(|cap| self.resident.len() > cap);
+            let over_bytes = self
+                .policy
+                .max_resident_bytes
+                .is_some_and(|cap| self.resident_bytes > cap);
+            if !over_count && !over_bytes {
+                return Ok(evicted);
+            }
+            // Oldest unprotected resident session.
+            let victim = self.lru.values().find(|id| protect != Some(*id)).cloned();
+            let Some(victim) = victim else {
+                // Only the protected session remains; the budget cannot be
+                // met without killing the session being served.
+                return Ok(evicted);
+            };
+            self.park(&victim)?;
+            evicted += 1;
+        }
+    }
+
+    /// Parks one resident session: snapshot, then drop the detector.
+    fn park(&mut self, id: &SessionId) -> Result<()> {
+        let snapshot = self.snapshot(id)?;
+        let entry = self.resident.remove(id).expect("resident");
+        self.lru.remove(&entry.tick);
+        self.resident_bytes -= entry.bytes;
+        self.parked.insert(id.clone(), snapshot.to_bytes());
+        obs::count(obs::Counter::SessionEvictions, 1);
+        Ok(())
+    }
+}
+
+/// Decodes every snapshot in a [`SessionManager::dump`] document without
+/// needing a configured manager (the CLI's `session-dump` inspector).
+pub fn decode_dump(bytes: &[u8]) -> Result<Vec<SessionSnapshot>> {
+    let mut cur = Cursor::new(bytes);
+    cur.expect_magic(DUMP_MAGIC, "session dump")?;
+    let version = cur.get_u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(MiningError::SnapshotVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let count = cur.get_u32()? as usize;
+    let mut snapshots = Vec::with_capacity(count);
+    for _ in 0..count {
+        snapshots.push(SessionSnapshot::from_bytes(cur.get_bytes()?)?);
+    }
+    cur.expect_end()?;
+    Ok(snapshots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet(sigma: usize) -> Arc<Alphabet> {
+        Alphabet::latin(sigma).expect("alphabet")
+    }
+
+    fn manager(sigma: usize) -> SessionManager {
+        SessionManager::builder(alphabet(sigma))
+            .window(32)
+            .threshold(0.8)
+            .build()
+    }
+
+    fn periodic(n: usize, p: usize) -> Vec<SymbolId> {
+        (0..n).map(|i| SymbolId::from_index(i % p)).collect()
+    }
+
+    #[test]
+    fn sessions_are_independent_tenants() {
+        let mut mgr = manager(6);
+        let a = SessionId::from("alpha");
+        let b = SessionId::from("beta");
+        mgr.ingest(&a, &periodic(2_000, 4)).expect("ingest");
+        mgr.ingest(&b, &periodic(2_000, 6)).expect("ingest");
+        let pa: Vec<usize> = mgr
+            .candidates(&a)
+            .expect("candidates")
+            .iter()
+            .map(|c| c.period)
+            .collect();
+        let pb: Vec<usize> = mgr
+            .candidates(&b)
+            .expect("candidates")
+            .iter()
+            .map(|c| c.period)
+            .collect();
+        assert!(pa.contains(&4) && !pa.contains(&6));
+        assert!(pb.contains(&6) && !pb.contains(&4));
+    }
+
+    #[test]
+    fn batched_ingest_equals_per_session_ingest() {
+        let syms = periodic(900, 4);
+        let mut batched = manager(6);
+        let mut singly = manager(6);
+        let ids: Vec<SessionId> = (0..8).map(|i| SessionId::from(format!("s{i}"))).collect();
+
+        let batch: Vec<(SessionId, &[SymbolId])> = ids
+            .iter()
+            .flat_map(|id| syms.chunks(100).map(move |c| (id.clone(), c)))
+            .collect();
+        batched.ingest_batch(&batch).expect("batched");
+        for id in &ids {
+            singly.ingest(id, &syms).expect("single");
+        }
+        for id in &ids {
+            assert_eq!(
+                batched.snapshot(id).expect("snap").to_bytes(),
+                singly.snapshot(id).expect("snap").to_bytes(),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_reports_creations_and_symbols() {
+        let mut mgr = manager(4);
+        let out = mgr
+            .ingest_batch(&[
+                (SessionId::from("x"), periodic(50, 2).as_slice()),
+                (SessionId::from("y"), periodic(70, 2).as_slice()),
+                (SessionId::from("x"), periodic(30, 2).as_slice()),
+            ])
+            .expect("ingest");
+        assert_eq!(out.created, 2);
+        assert_eq!(out.sessions_touched, 3);
+        assert_eq!(out.symbols_ingested, 150);
+        assert_eq!(mgr.session_count(), 2);
+    }
+
+    #[test]
+    fn rejects_foreign_symbols_mid_batch() {
+        let mut mgr = manager(3);
+        let id = SessionId::from("x");
+        assert!(mgr.ingest(&id, &[SymbolId(0), SymbolId(7)]).is_err());
+    }
+
+    #[test]
+    fn lru_eviction_parks_and_restores_transparently() {
+        let mut mgr = SessionManager::builder(alphabet(4))
+            .window(16)
+            .policy(EvictionPolicy {
+                max_sessions: Some(2),
+                max_resident_bytes: None,
+            })
+            .build();
+        let ids: Vec<SessionId> = (0..4).map(|i| SessionId::from(format!("s{i}"))).collect();
+        let syms = periodic(500, 4);
+        let mut evictions = 0;
+        for id in &ids {
+            evictions += mgr.ingest(id, &syms).expect("ingest").evicted;
+        }
+        assert_eq!(mgr.resident_count(), 2);
+        assert_eq!(mgr.parked_count(), 2);
+        assert_eq!(evictions, 2);
+        // s0 was evicted first; touching it rehydrates and the stream
+        // continues exactly.
+        let out = mgr.ingest(&ids[0], &syms).expect("ingest");
+        assert_eq!(out.restored, 1);
+        let snap = mgr.snapshot(&ids[0]).expect("snapshot");
+        assert_eq!(snap.consumed(), 1_000);
+
+        // A never-evicted twin agrees byte-for-byte.
+        let mut oracle = SessionManager::builder(alphabet(4)).window(16).build();
+        oracle.ingest(&ids[0], &syms).expect("ingest");
+        oracle.ingest(&ids[0], &syms).expect("ingest");
+        assert_eq!(
+            oracle.snapshot(&ids[0]).expect("snap").to_bytes(),
+            snap.to_bytes()
+        );
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_never_the_session_being_served() {
+        let mut mgr = SessionManager::builder(alphabet(8))
+            .window(64)
+            .policy(EvictionPolicy {
+                max_sessions: None,
+                // Smaller than two detectors' footprint: every ingest
+                // evicts everyone else.
+                max_resident_bytes: Some(12_000),
+            })
+            .build();
+        let syms = periodic(200, 8);
+        for i in 0..6 {
+            let id = SessionId::from(format!("s{i}"));
+            mgr.ingest(&id, &syms).expect("ingest");
+            assert_eq!(mgr.resident_count(), 1, "only the served session stays");
+        }
+        assert_eq!(mgr.session_count(), 6);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_stable_and_round_trip() {
+        let mut mgr = manager(5);
+        let id = SessionId::from("metrics/eu-west-1");
+        mgr.ingest(&id, &periodic(1_234, 5)).expect("ingest");
+        let snap = mgr.snapshot(&id).expect("snapshot");
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes, mgr.snapshot(&id).expect("snapshot").to_bytes());
+        let decoded = SessionSnapshot::from_bytes(&bytes).expect("decode");
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.id().as_str(), "metrics/eu-west-1");
+        assert_eq!(decoded.consumed(), 1_234);
+
+        let (rid, mut detector) = decoded.into_detector().expect("detector");
+        assert_eq!(rid, id);
+        assert_eq!(detector.len(), 1_234);
+        assert!(detector
+            .current_candidates()
+            .expect("candidates")
+            .iter()
+            .any(|c| c.period == 5));
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_corruption_with_offsets() {
+        let mut mgr = manager(3);
+        let id = SessionId::from("x");
+        mgr.ingest(&id, &periodic(100, 3)).expect("ingest");
+        let bytes = mgr.snapshot(&id).expect("snapshot").to_bytes();
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'Q';
+        assert!(matches!(
+            SessionSnapshot::from_bytes(&bad),
+            Err(MiningError::SnapshotCorrupt { offset: 0, .. })
+        ));
+        // Future version.
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            SessionSnapshot::from_bytes(&bad),
+            Err(MiningError::SnapshotVersion {
+                found: 99,
+                supported: 1
+            })
+        ));
+        // Truncation at every prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                SessionSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "cut={cut}"
+            );
+        }
+        // Trailing garbage.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(SessionSnapshot::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn dump_restores_whole_manager_across_restart() {
+        let mut mgr = SessionManager::builder(alphabet(6))
+            .window(32)
+            .policy(EvictionPolicy {
+                max_sessions: Some(2),
+                max_resident_bytes: None,
+            })
+            .build();
+        let ids: Vec<SessionId> = (0..5).map(|i| SessionId::from(format!("s{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            mgr.ingest(id, &periodic(300 + 7 * i, 4)).expect("ingest");
+        }
+        let dump = mgr.dump().expect("dump");
+        // Dump is byte-stable.
+        assert_eq!(dump, mgr.dump().expect("dump"));
+
+        let mut fresh = SessionManager::builder(alphabet(6)).window(32).build();
+        assert_eq!(fresh.restore_dump(&dump).expect("restore"), 5);
+        assert_eq!(fresh.session_count(), 5);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                fresh.snapshot(id).expect("snap").consumed(),
+                (300 + 7 * i) as u64,
+                "{id}"
+            );
+        }
+        // Restored sessions keep streaming identically.
+        fresh.ingest(&ids[0], &periodic(100, 4)).expect("ingest");
+        mgr.ingest(&ids[0], &periodic(100, 4)).expect("ingest");
+        assert_eq!(
+            fresh.snapshot(&ids[0]).expect("snap").to_bytes(),
+            mgr.snapshot(&ids[0]).expect("snap").to_bytes()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_configuration() {
+        let mut mgr = manager(5);
+        let id = SessionId::from("x");
+        mgr.ingest(&id, &periodic(10, 5)).expect("ingest");
+        let snap = mgr.snapshot(&id).expect("snapshot");
+
+        let mut other_window = SessionManager::builder(alphabet(5)).window(8).build();
+        assert!(other_window.restore(&snap).is_err());
+        let mut other_alphabet = SessionManager::builder(alphabet(3)).window(32).build();
+        assert!(other_alphabet.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn unknown_sessions_are_reported() {
+        let mut mgr = manager(4);
+        let ghost = SessionId::from("ghost");
+        assert!(matches!(
+            mgr.candidates(&ghost),
+            Err(MiningError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            mgr.snapshot(&ghost),
+            Err(MiningError::UnknownSession(_))
+        ));
+        assert!(!mgr.remove(&ghost));
+    }
+
+    #[test]
+    fn status_listing_is_sorted_and_complete() {
+        let mut mgr = SessionManager::builder(alphabet(4))
+            .window(16)
+            .policy(EvictionPolicy {
+                max_sessions: Some(1),
+                max_resident_bytes: None,
+            })
+            .build();
+        mgr.ingest(&SessionId::from("b"), &periodic(40, 4))
+            .expect("ingest");
+        mgr.ingest(&SessionId::from("a"), &periodic(60, 4))
+            .expect("ingest");
+        let statuses = mgr.sessions();
+        assert_eq!(statuses.len(), 2);
+        assert_eq!(statuses[0].id.as_str(), "a");
+        assert!(statuses[0].resident);
+        assert_eq!(statuses[0].consumed, 60);
+        assert_eq!(statuses[1].id.as_str(), "b");
+        assert!(!statuses[1].resident);
+        assert_eq!(statuses[1].consumed, 40);
+    }
+}

@@ -63,6 +63,12 @@ impl Alphabet {
         Self::from_symbols(chars.into_iter().map(|c| c.to_string()))
     }
 
+    /// Symbol names in id order (the alphabet's complete definition;
+    /// used by session snapshots to make serialized state self-contained).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
     /// Number of symbols (the paper's `sigma`).
     pub fn len(&self) -> usize {
         self.names.len()

@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn cis_is_unit_magnitude() {
         for k in 0..16 {
-            let theta = k as f64 * 0.39269908169872414;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             assert!((Complex::cis(theta).abs() - 1.0).abs() < 1e-12);
         }
     }

@@ -587,7 +587,7 @@ mod tests {
         let corr = ExactCorrelator::new(64).expect("plan");
         for seed in 0..4u64 {
             let x: Vec<u64> = (0..64)
-                .map(|i| u64::from((i as u64 ^ seed).count_ones() % 2 == 0))
+                .map(|i| u64::from((i as u64 ^ seed).count_ones().is_multiple_of(2)))
                 .collect();
             assert_eq!(
                 corr.autocorrelation(&x).expect("fits"),
@@ -649,7 +649,7 @@ mod tests {
         let signals: Vec<Vec<u64>> = (0..5u64)
             .map(|seed| {
                 (0..200)
-                    .map(|i| u64::from((i as u64 ^ seed).count_ones() % 3 == 0))
+                    .map(|i| u64::from((i as u64 ^ seed).count_ones().is_multiple_of(3)))
                     .collect()
             })
             .collect();

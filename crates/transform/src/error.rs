@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         let e: TransformError = io.into();
         assert!(matches!(e, TransformError::Io(ref m) if m.contains("disk on fire")));
     }

@@ -56,6 +56,42 @@ impl StreamingAutocorrelator {
         }
     }
 
+    /// Rebuilds an accumulator from state previously captured via
+    /// [`StreamingAutocorrelator::counts`], [`StreamingAutocorrelator::tail`]
+    /// and [`StreamingAutocorrelator::consumed`]. The restored accumulator is
+    /// indistinguishable from the original: feeding both the same suffix
+    /// yields bit-identical counts.
+    ///
+    /// Validation: `counts` must hold `max_lag + 1` slots and `tail` must
+    /// hold exactly `min(consumed, max_lag)` samples (the invariant
+    /// [`StreamingAutocorrelator::push_block`] maintains).
+    pub fn from_parts(
+        max_lag: usize,
+        counts: Vec<u64>,
+        tail: Vec<u64>,
+        consumed: u64,
+    ) -> Result<Self> {
+        if counts.len() != max_lag + 1 {
+            return Err(crate::error::TransformError::LengthMismatch {
+                expected: max_lag + 1,
+                actual: counts.len(),
+            });
+        }
+        let expected_tail = (consumed.min(max_lag as u64)) as usize;
+        if tail.len() != expected_tail {
+            return Err(crate::error::TransformError::LengthMismatch {
+                expected: expected_tail,
+                actual: tail.len(),
+            });
+        }
+        Ok(StreamingAutocorrelator {
+            max_lag,
+            counts,
+            tail,
+            consumed,
+        })
+    }
+
     /// Largest lag tracked.
     pub fn max_lag(&self) -> usize {
         self.max_lag
@@ -64,6 +100,14 @@ impl StreamingAutocorrelator {
     /// Samples consumed so far.
     pub fn consumed(&self) -> u64 {
         self.consumed
+    }
+
+    /// The retained cross-block context: the last `min(consumed, max_lag)`
+    /// samples. Together with [`StreamingAutocorrelator::counts`] and
+    /// [`StreamingAutocorrelator::consumed`] this is the accumulator's
+    /// complete state (see [`StreamingAutocorrelator::from_parts`]).
+    pub fn tail(&self) -> &[u64] {
+        &self.tail
     }
 
     /// Feeds one block of samples.
@@ -244,8 +288,49 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_restores_mid_stream_state_exactly() {
+        let x = pseudo_random_bits(4_000, 9);
+        for split in [0usize, 1, 63, 64, 65, 1_000, 3_999, 4_000] {
+            let (head, rest) = x.split_at(split);
+            let mut original = StreamingAutocorrelator::new(64);
+            for chunk in head.chunks(97) {
+                original.push_block(chunk).expect("ok");
+            }
+            let mut restored = StreamingAutocorrelator::from_parts(
+                original.max_lag(),
+                original.counts().to_vec(),
+                original.tail().to_vec(),
+                original.consumed(),
+            )
+            .expect("valid parts");
+            for chunk in rest.chunks(53) {
+                original.push_block(chunk).expect("ok");
+                restored.push_block(chunk).expect("ok");
+            }
+            assert_eq!(restored.consumed(), original.consumed(), "split={split}");
+            assert_eq!(
+                restored.finish(),
+                autocorrelate_in_core(&x, 64),
+                "split={split}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_state() {
+        // Wrong counts length.
+        assert!(StreamingAutocorrelator::from_parts(4, vec![0; 4], vec![], 0).is_err());
+        // Tail shorter than min(consumed, max_lag).
+        assert!(StreamingAutocorrelator::from_parts(4, vec![0; 5], vec![1], 10).is_err());
+        // Tail longer than the stream so far.
+        assert!(StreamingAutocorrelator::from_parts(4, vec![0; 5], vec![1, 0], 1).is_err());
+        // Fresh-state restore is fine.
+        assert!(StreamingAutocorrelator::from_parts(4, vec![0; 5], vec![], 0).is_ok());
+    }
+
+    #[test]
     fn max_lag_longer_than_stream_is_safe() {
-        let x = vec![1u64, 0, 1];
+        let x = [1u64, 0, 1];
         let got = autocorrelate_stream(x.iter().copied(), 10).expect("ok");
         assert_eq!(got[..3], [2, 0, 1]);
         assert!(got[3..].iter().all(|&c| c == 0));

@@ -19,7 +19,9 @@ use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alphabet = Alphabet::latin(6)?;
-    let mut detector = OnlineDetector::new(alphabet.clone(), 128);
+    let mut detector = OnlineDetector::builder(alphabet.clone())
+        .window(128)
+        .build();
     let mut rng = StdRng::seed_from_u64(99);
     let beat = SymbolId(2);
 

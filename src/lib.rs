@@ -58,8 +58,9 @@ pub use periodica_transform as transform;
 /// The single-import surface for typical use.
 pub mod prelude {
     pub use periodica_core::{
-        mine_reader, period_confidence, DetectionResult, EngineKind, MinedPattern, MiningError,
-        MiningReport, ObscureMiner, OneTouchMiner, Pattern, PatternMode, SymbolPeriodicity,
+        mine_reader, period_confidence, DetectionResult, EngineKind, Error, EvictionPolicy,
+        MinedPattern, MiningError, MiningReport, ObscureMiner, OneTouchMiner, OnlineDetector,
+        Pattern, PatternMode, SessionId, SessionManager, SessionSnapshot, SymbolPeriodicity,
     };
     pub use periodica_series::{Alphabet, SeriesBuilder, SeriesError, SymbolId, SymbolSeries};
 }
@@ -67,6 +68,26 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn prelude_is_sufficient_for_streaming_sessions() {
+        let alphabet = Alphabet::latin(4).expect("ok");
+        let mut manager = SessionManager::builder(alphabet)
+            .window(16)
+            .threshold(0.9)
+            .policy(EvictionPolicy {
+                max_sessions: Some(8),
+                max_resident_bytes: None,
+            })
+            .build();
+        let id = SessionId::from("feed");
+        let symbols: Vec<SymbolId> = (0..200).map(|i| SymbolId::from_index(i % 4)).collect();
+        manager.ingest(&id, &symbols).expect("ingest");
+        let candidates = manager.candidates(&id).expect("candidates");
+        assert!(candidates.iter().any(|c| c.period == 4));
+        let snapshot: SessionSnapshot = manager.snapshot(&id).expect("snapshot");
+        assert_eq!(snapshot.consumed(), 200);
+    }
 
     #[test]
     fn prelude_is_sufficient_for_the_basic_flow() {

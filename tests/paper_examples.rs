@@ -107,7 +107,7 @@ fn section_3_2_weight_decompositions() {
 /// only visible to a detector that considers *all* inter-arrivals.
 #[test]
 fn section_1_1_adjacency_blind_spot() {
-    let mut text = vec!['b'; 11];
+    let mut text = ['b'; 11];
     for p in [0usize, 4, 5, 7, 10] {
         text[p] = 'a';
     }
