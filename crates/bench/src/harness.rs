@@ -5,7 +5,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
+use periodica_obs::json::write_string;
 
 /// Where experiment outputs land (`PERIODICA_RESULTS` or `./results`).
 pub fn results_dir() -> PathBuf {
@@ -65,23 +65,36 @@ impl ExperimentWriter {
             writeln!(file, "{}", row.join(","))?;
         }
 
-        #[derive(Serialize)]
-        #[allow(dead_code)] // fields are only read through the Serialize impl
-        struct JsonDoc<'a> {
-            name: &'a str,
-            header: &'a [String],
-            rows: &'a [Vec<String>],
-        }
         let json_path = dir.join(format!("{}.json", self.name));
-        let doc = JsonDoc {
-            name: &self.name,
-            header: &self.header,
-            rows: &self.rows,
-        };
-        fs::write(&json_path, serde_json::to_string_pretty(&doc)?)?;
+        let mut doc = String::from("{\n  \"name\": ");
+        write_string(&mut doc, &self.name);
+        doc.push_str(",\n  \"header\": ");
+        write_string_array(&mut doc, &self.header);
+        doc.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            doc.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            write_string_array(&mut doc, row);
+        }
+        doc.push_str(if self.rows.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        fs::write(&json_path, doc)?;
         println!("  -> {}", csv_path.display());
         Ok(csv_path)
     }
+}
+
+fn write_string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_string(out, item);
+    }
+    out.push(']');
 }
 
 /// Parses `--key value` style CLI overrides used by the experiment
@@ -151,7 +164,13 @@ mod tests {
         let csv = std::fs::read_to_string(&path).expect("ok");
         assert_eq!(csv, "a,b\n1,2\n3,4.5\n");
         let json = std::fs::read_to_string(path.with_extension("json")).expect("ok");
-        assert!(json.contains("unit_test_experiment"));
+        let doc = periodica_obs::json::parse(&json).expect("valid json");
+        let obj = doc.as_object().expect("object");
+        assert_eq!(obj["name"].as_str(), Some("unit_test_experiment"));
+        match &obj["rows"] {
+            periodica_obs::json::Value::Array(rows) => assert_eq!(rows.len(), 2),
+            other => panic!("rows should be an array, got {other:?}"),
+        }
         unsafe { std::env::remove_var("PERIODICA_RESULTS") };
         let _ = std::fs::remove_dir_all(dir);
     }

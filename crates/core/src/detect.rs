@@ -69,6 +69,28 @@ impl DetectorConfig {
 
 /// One detected symbol periodicity: `symbol` recurs every `period`
 /// timestamps starting at `phase`, with the stated confidence (Def. 1).
+///
+/// `f2` counts **overlapping** adjacent pairs in the projection — a run of
+/// `m` equal entries yields `m - 1` pairs (`F2(a, "aaa") = 2`), so a
+/// perfectly periodic symbol reaches confidence exactly 1:
+///
+/// ```
+/// use periodica_core::{DetectorConfig, EngineKind, PeriodicityDetector};
+/// use periodica_series::{Alphabet, SymbolSeries};
+///
+/// // "aaa" at period 1: projection pi(1, 0) = aaa, two overlapping
+/// // pairs over denominator ceil(3/1) - 1 = 2 -> confidence 1.
+/// let alphabet = Alphabet::latin(2)?;
+/// let series = SymbolSeries::parse("aaa", &alphabet)?;
+/// let detector = PeriodicityDetector::new(
+///     DetectorConfig { threshold: 1.0, min_period: 1, max_period: Some(1), prune: false },
+///     EngineKind::Naive.build(),
+/// );
+/// let result = detector.detect(&series)?;
+/// let sp = &result.periodicities[0];
+/// assert_eq!((sp.f2, sp.denominator, sp.confidence), (2, 2, 1.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SymbolPeriodicity {
     /// The periodic symbol.

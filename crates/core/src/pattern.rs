@@ -178,6 +178,26 @@ pub struct SupportEstimate {
 /// `ceil((n-l)/p) - 1` (Def. 2); multi-symbol patterns use
 /// `ceil(n/p) - 1` whole-segment pairs (Def. 3's `|W'_p| / (n/p)` estimate —
 /// both reproduce the paper's worked values of 2/3 and 1).
+///
+/// Pairs **overlap**, inheriting Def. 1's `F2` convention: segment `i`
+/// closes pair `i - 1` and opens pair `i`, so a pattern holding in all
+/// `m` segments scores `m - 1` of `m - 1` pairs (support 1), never
+/// `floor(m / 2)` disjoint pairs:
+///
+/// ```
+/// use periodica_core::{pattern_support, Pattern};
+/// use periodica_series::{Alphabet, SymbolSeries};
+///
+/// // "ababab" against pattern "a*" at period 2: three segments ab|ab|ab
+/// // form the two overlapping pairs (0,1) and (1,2) — F2(a, "aaa") = 2
+/// // seen through projections.
+/// let alphabet = Alphabet::latin(2)?;
+/// let series = SymbolSeries::parse("ababab", &alphabet)?;
+/// let a = alphabet.lookup("a")?;
+/// let support = pattern_support(&series, &Pattern::new(2, &[(0, a)])?);
+/// assert_eq!((support.count, support.denominator, support.support), (2, 2, 1.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn pattern_support(series: &SymbolSeries, pattern: &Pattern) -> SupportEstimate {
     let n = series.len();
     let p = pattern.period();

@@ -53,7 +53,46 @@ const SNAPSHOT_MAGIC: &[u8; 4] = b"PSNP";
 /// Magic prefix of a serialized manager dump ([`SessionManager::dump`]).
 const DUMP_MAGIC: &[u8; 4] = b"PSES";
 /// Newest snapshot / dump format version this build reads and writes.
-const SNAPSHOT_VERSION: u32 = 1;
+/// v1 had no integrity trailer; v2 appends an FNV-1a 64 checksum of every
+/// preceding byte so any single corrupted bit is rejected at decode time
+/// rather than restored as a different (structurally valid) state.
+const SNAPSHOT_VERSION: u32 = 2;
+
+/// FNV-1a 64-bit hash — the integrity trailer of v2 snapshots and dumps.
+/// Not cryptographic; it exists to catch accidental corruption (bit rot,
+/// truncated writes, bad transports), not adversaries.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Verifies a document's FNV-1a trailer and returns the body length
+/// (everything before the 8-byte checksum). `header_len` bytes (magic +
+/// version) must already have been validated by the caller.
+fn checked_body_len(bytes: &[u8], header_len: usize) -> Result<usize> {
+    let body_len = match bytes.len().checked_sub(8) {
+        Some(b) if b >= header_len => b,
+        _ => {
+            return Err(MiningError::SnapshotCorrupt {
+                offset: bytes.len(),
+                message: "truncated: missing checksum trailer".into(),
+            });
+        }
+    };
+    let stored = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[..body_len]);
+    if stored != computed {
+        return Err(MiningError::SnapshotCorrupt {
+            offset: body_len,
+            message: format!("checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"),
+        });
+    }
+    Ok(body_len)
+}
 
 /// Interned session name. Cloning is a pointer copy, so ids flow freely
 /// through batches, LRU bookkeeping, and outcomes without reallocating.
@@ -202,6 +241,8 @@ impl SessionSnapshot {
             put_u64_slice(&mut out, counts);
             put_u64_slice(&mut out, tail);
         }
+        let trailer = fnv1a64(&out);
+        put_u64(&mut out, trailer);
         out
     }
 
@@ -219,6 +260,12 @@ impl SessionSnapshot {
                 supported: SNAPSHOT_VERSION,
             });
         }
+        // Integrity first: once the trailer verifies, every field read
+        // below is known-uncorrupted, so decode errors past this point
+        // always mean an encoder bug, not bit rot.
+        let body_len = checked_body_len(bytes, cur.pos)?;
+        let mut cur = Cursor::new(&bytes[..body_len]);
+        cur.take(8).expect("validated header"); // magic + version
         let id = SessionId::from(cur.get_str()?);
         let sigma = cur.get_u32()? as usize;
         if sigma > u16::MAX as usize {
@@ -654,6 +701,8 @@ impl SessionManager {
             put_u32(&mut out, bytes.len() as u32);
             out.extend_from_slice(&bytes);
         }
+        let trailer = fnv1a64(&out);
+        put_u64(&mut out, trailer);
         Ok(out)
     }
 
@@ -767,6 +816,9 @@ pub fn decode_dump(bytes: &[u8]) -> Result<Vec<SessionSnapshot>> {
             supported: SNAPSHOT_VERSION,
         });
     }
+    let body_len = checked_body_len(bytes, cur.pos)?;
+    let mut cur = Cursor::new(&bytes[..body_len]);
+    cur.take(8).expect("validated header"); // magic + version
     let count = cur.get_u32()? as usize;
     let mut snapshots = Vec::with_capacity(count);
     for _ in 0..count {
@@ -964,9 +1016,19 @@ mod tests {
             SessionSnapshot::from_bytes(&bad),
             Err(MiningError::SnapshotVersion {
                 found: 99,
-                supported: 1
+                supported: 2
             })
         ));
+        // Any flipped bit anywhere must be rejected by the integrity
+        // trailer (or an earlier structural check), never restored.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                SessionSnapshot::from_bytes(&bad).is_err(),
+                "flip at byte {i} was accepted"
+            );
+        }
         // Truncation at every prefix must error, never panic.
         for cut in 0..bytes.len() {
             assert!(

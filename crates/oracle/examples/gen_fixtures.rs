@@ -1,0 +1,376 @@
+//! Regenerates the committed golden-fixture corpus in `tests/fixtures/`.
+//!
+//! ```text
+//! cargo run -p periodica-oracle --example gen_fixtures
+//! ```
+//!
+//! Every fixture is fully deterministic: series are built from explicit
+//! constructions (planted periodic bases with LCG noise at fixed seeds), and
+//! expectations are computed by the oracle. Hand-checked anchor values (the
+//! paper's worked example) are asserted here, so regeneration fails loudly
+//! if the oracle ever drifts from the paper.
+//!
+//! The corpus spans the adversarial axes the conformance harness cares
+//! about: period-boundary lengths `n ≡ {0, 1, p-1} (mod p)`, the
+//! single-symbol alphabet, alphabet sizes at the 64-bit packing boundary
+//! (63/64/65), and thresholds hitting confidences exactly.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use periodica_oracle::fixture::Fixture;
+use periodica_oracle::naive;
+use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+
+/// Per-period candidate-space cap for fixture pattern enumeration. Wide
+/// alphabets with many detected phases exceed it and record
+/// `patterns_complete = false` instead of patterns.
+const PATTERN_CAP: usize = 1 << 14;
+
+/// Deterministic noise source (64-bit LCG, high bits).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+/// A period-`p` repetition of `0, 1, ..., p-1 (mod sigma)` over `n`
+/// symbols, with `noise_pct`% of positions replaced by LCG-chosen symbols.
+fn planted(sigma: usize, n: usize, period: usize, noise_pct: usize, seed: u64) -> SymbolSeries {
+    let alphabet = wide_alphabet(sigma);
+    let mut lcg = Lcg(seed);
+    let ids: Vec<SymbolId> = (0..n)
+        .map(|i| {
+            let base = (i % period) % sigma;
+            let id = if lcg.below(100) < noise_pct {
+                lcg.below(sigma)
+            } else {
+                base
+            };
+            SymbolId::from_index(id)
+        })
+        .collect();
+    SymbolSeries::from_ids(ids, alphabet).expect("planted series")
+}
+
+/// `a..z` for small sizes, `s0, s1, ...` beyond the latin limit.
+fn wide_alphabet(sigma: usize) -> Arc<Alphabet> {
+    if sigma <= 26 {
+        Alphabet::latin(sigma).expect("latin alphabet")
+    } else {
+        Alphabet::from_symbols((0..sigma).map(|i| format!("s{i}"))).expect("wide alphabet")
+    }
+}
+
+fn parse(text: &str, sigma: usize) -> SymbolSeries {
+    let alphabet = Alphabet::latin(sigma).expect("latin alphabet");
+    SymbolSeries::parse(text, &alphabet).expect("series text")
+}
+
+fn main() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
+    std::fs::create_dir_all(&dir).expect("create tests/fixtures");
+
+    let mut fixtures: Vec<Fixture> = Vec::new();
+
+    // --- The paper's worked example (Sect. 2.2 / Sect. 3), hand-checked. --
+    let paper = parse("abcabbabcb", 3);
+    let f = Fixture::from_series(
+        "paper-worked-example",
+        "Paper Sect. 2.2: abcabbabcb at psi = 2/3, default period range n/2; \
+         anchors (a,3,0) = 2/3, (b,3,1) = 1, and pattern ab* = 2/3",
+        &paper,
+        2,
+        3,
+        1,
+        5,
+        PATTERN_CAP,
+    );
+    // Hand-checked anchors from the paper; regeneration must reproduce them.
+    assert!(
+        f.periodicities.contains(&(0, 3, 0, 2, 3)),
+        "paper anchor (a, p=3, l=0, 2/3) missing: {:?}",
+        f.periodicities
+    );
+    assert!(
+        f.periodicities.contains(&(1, 3, 1, 2, 2)),
+        "paper anchor (b, p=3, l=1, 2/2) missing"
+    );
+    let ab_star = (3usize, vec![Some(0usize), Some(1), None], 2u64, 3u64);
+    assert!(
+        f.patterns.contains(&ab_star),
+        "paper anchor pattern ab* = 2/3 missing: {:?}",
+        f.patterns
+    );
+    fixtures.push(f);
+
+    fixtures.push(Fixture::from_series(
+        "paper-worked-example-full-range",
+        "The same series examined over the full period range 1..=n-1 \
+         (exercises bounded-lag vs full-range engine paths)",
+        &paper,
+        2,
+        3,
+        1,
+        9,
+        PATTERN_CAP,
+    ));
+
+    // --- Period-boundary lengths: n = 0, 1, p-1 (mod p). -----------------
+    for (name, n, p, desc) in [
+        (
+            "boundary-n-mod-p-0",
+            40usize,
+            5usize,
+            "n = 40 = 0 (mod 5): every phase projection has equal length",
+        ),
+        (
+            "boundary-n-mod-p-1",
+            41,
+            5,
+            "n = 41 = 1 (mod 5): phase 0 has one more projection entry than the rest",
+        ),
+        (
+            "boundary-n-mod-p-minus-1",
+            44,
+            5,
+            "n = 44 = p-1 (mod 5): only the last phase is one entry short",
+        ),
+        (
+            "boundary-n-mod-p-0-p7",
+            49,
+            7,
+            "n = 49 = 0 (mod 7): a second period residue class, coarser period",
+        ),
+    ] {
+        let series = planted(5, n, p, 18, 0xC0FFEE ^ n as u64);
+        fixtures.push(Fixture::from_series(
+            name,
+            desc,
+            &series,
+            3,
+            5,
+            1,
+            (2 * p).min(n / 2),
+            PATTERN_CAP,
+        ));
+    }
+
+    // --- Single-symbol alphabet: everything is perfectly periodic. -------
+    let ones = SymbolSeries::from_ids(
+        vec![SymbolId::from_index(0); 17],
+        Alphabet::latin(1).expect("alphabet"),
+    )
+    .expect("series");
+    fixtures.push(Fixture::from_series(
+        "single-symbol-alphabet",
+        "sigma = 1, n = 17 prime, psi = 1: every (period, phase) is perfectly \
+         periodic; stresses degenerate-alphabet paths and psi at its maximum",
+        &ones,
+        1,
+        1,
+        1,
+        8,
+        PATTERN_CAP,
+    ));
+    let ones12 = SymbolSeries::from_ids(
+        vec![SymbolId::from_index(0); 12],
+        Alphabet::latin(1).expect("alphabet"),
+    )
+    .expect("series");
+    fixtures.push(Fixture::from_series(
+        "single-symbol-full-range",
+        "sigma = 1, n = 12, full period range 1..=11 including p = n-1, \
+         where most phases have a single projection entry",
+        &ones12,
+        1,
+        1,
+        1,
+        11,
+        PATTERN_CAP,
+    ));
+
+    // --- Alphabet sizes at the 64-bit packing boundary. -------------------
+    for (name, sigma, n, p, desc) in [
+        (
+            "sigma-63",
+            63usize,
+            256usize,
+            63usize,
+            "sigma = 63 (one below the u64 word boundary), planted period 63",
+        ),
+        (
+            "sigma-64",
+            64,
+            256,
+            64,
+            "sigma = 64 (exactly one u64 word per indicator block), planted period 64",
+        ),
+        (
+            "sigma-65",
+            65,
+            260,
+            65,
+            "sigma = 65 (one past the word boundary), planted period 65",
+        ),
+        (
+            "sigma-63-boundary-length",
+            63,
+            170,
+            9,
+            "sigma = 63 with only 9 symbols used (sparse indicator rows) and \
+             n = 170 = 8 (mod 9), a p-1 length residue",
+        ),
+    ] {
+        let series = planted(sigma, n, p, 12, 0xFEED ^ (sigma as u64) << 8 ^ n as u64);
+        fixtures.push(Fixture::from_series(
+            name,
+            desc,
+            &series,
+            1,
+            2,
+            1,
+            (n / 2).min(p + 7),
+            PATTERN_CAP,
+        ));
+    }
+
+    // --- Thresholds hitting confidences exactly. --------------------------
+    // Phase 0 of period 3 projects to a,a,a,a,b: F2(a) = 3 of 4 pairs, so
+    // psi = 3/4 includes (a,3,0) at exact equality; phases 1 and 2 are
+    // perfect (d,e), and no symbol sits at 2/4 without being dominated.
+    let exact_hit = parse("adeadeadeadebde", 5);
+    let f = Fixture::from_series(
+        "threshold-exact-hit",
+        "psi = 3/4 equals conf(a, p=3, l=0) = 3/4 exactly: the fixture pins \
+         the inclusive boundary of Def. 1 under the 1e-12 tolerance",
+        &exact_hit,
+        3,
+        4,
+        1,
+        7,
+        PATTERN_CAP,
+    );
+    assert!(
+        f.periodicities.contains(&(0, 3, 0, 3, 4)),
+        "exact-threshold anchor (a, p=3, l=0, 3/4) missing: {:?}",
+        f.periodicities
+    );
+    fixtures.push(f);
+
+    // Pattern-level exact threshold: ab?? holds on pairs 0-1 and 1-2 but
+    // not 2-3 (segment 3 reads aecd), so support = 2/3 = psi exactly.
+    let exact_pattern = parse("abcdabcdabcdaecd", 5);
+    let f = Fixture::from_series(
+        "threshold-exact-pattern",
+        "psi = 2/3 equals the multi-symbol support of ab** on period 4 \
+         exactly (Def. 3 whole-segment denominator ceil(16/4) - 1 = 3)",
+        &exact_pattern,
+        2,
+        3,
+        4,
+        4,
+        PATTERN_CAP,
+    );
+    let ab_multi = (4usize, vec![Some(0usize), Some(1), None, None], 2u64, 3u64);
+    assert!(
+        f.patterns.contains(&ab_multi),
+        "exact-threshold pattern anchor ab** = 2/3 missing: {:?}",
+        f.patterns
+    );
+    fixtures.push(f);
+
+    // --- A sparse heartbeat among noise (the intro's event-log shape). ----
+    let mut lcg = Lcg(0xBEA7);
+    let heartbeat: Vec<SymbolId> = (0..37)
+        .map(|i| {
+            if i % 6 == 2 {
+                SymbolId::from_index(0) // the heartbeat symbol
+            } else {
+                SymbolId::from_index(1 + lcg.below(2))
+            }
+        })
+        .collect();
+    let heartbeat =
+        SymbolSeries::from_ids(heartbeat, Alphabet::latin(3).expect("alphabet")).expect("series");
+    fixtures.push(Fixture::from_series(
+        "sparse-heartbeat",
+        "A dedicated symbol firing every 6 positions inside 2-symbol noise, \
+         n = 37 = 1 (mod 6): the sparse-symbol regime the online detector's \
+         phase-blind bound is sharp for",
+        &heartbeat,
+        5,
+        6,
+        1,
+        18,
+        PATTERN_CAP,
+    ));
+
+    // ----------------------------------------------------------------------
+    assert!(
+        fixtures.len() >= 13,
+        "corpus shrank to {} fixtures",
+        fixtures.len()
+    );
+    let mut complete = 0;
+    for fixture in &fixtures {
+        // Every fixture must re-verify against the oracle before landing on
+        // disk: expectations are only ever written if recomputation agrees.
+        let series = fixture.build_series().expect("series rebuilds");
+        let recomputed = naive::symbol_periodicities(
+            &series,
+            fixture.psi(),
+            fixture.min_period,
+            Some(fixture.max_period),
+        );
+        assert_eq!(
+            recomputed.len(),
+            fixture.periodicities.len(),
+            "fixture {} drifted",
+            fixture.name
+        );
+        for (pattern, support) in fixture.expected_patterns() {
+            assert_eq!(
+                naive::pattern_support(&series, &pattern),
+                support,
+                "fixture {} pattern drifted",
+                fixture.name
+            );
+        }
+        if fixture.patterns_complete {
+            complete += 1;
+        }
+        let path = dir.join(format!("{}.json", fixture.name));
+        std::fs::write(&path, fixture.to_json()).expect("write fixture");
+        println!(
+            "{:32} n={:4} sigma={:3} psi={}/{}  periodicities={:4} patterns={:4}{}",
+            fixture.name,
+            fixture.series.len(),
+            fixture.alphabet.len(),
+            fixture.psi_num,
+            fixture.psi_den,
+            fixture.periodicities.len(),
+            fixture.patterns.len(),
+            if fixture.patterns_complete {
+                ""
+            } else {
+                " (incomplete)"
+            }
+        );
+    }
+    assert!(
+        complete >= 8,
+        "too few fixtures with complete pattern sets: {complete}"
+    );
+    println!("wrote {} fixtures to {}", fixtures.len(), dir.display());
+}

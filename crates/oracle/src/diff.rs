@@ -1,0 +1,351 @@
+//! Divergence reporting for differential harnesses.
+//!
+//! A harness runs a production path and the oracle on the same workload,
+//! converts the production answer into oracle vocabulary
+//! ([`crate::naive::OraclePeriodicity`], [`crate::naive::OraclePattern`],
+//! …), and hands both sides to a `diff_*` function. The result is `None`
+//! (conformant) or a [`Divergence`] that names the workload, the production
+//! path, and the first mismatch precisely enough to bisect — which fixture
+//! to replay, which `(symbol, period, phase)` to stare at.
+//!
+//! Counts are compared exactly; confidences/supports within `1e-9`
+//! (both sides compute them as `count / denominator`, so any wider gap
+//! means the integers differ).
+
+use std::fmt;
+
+use crate::naive::{OraclePattern, OraclePeriodicity, OracleSupport};
+
+/// Tolerance when comparing derived ratios. Counts and denominators are
+/// compared exactly; a ratio gap beyond this bound cannot come from
+/// floating-point association order.
+const RATIO_EPS: f64 = 1e-9;
+
+/// Identifies one conformance workload in divergence messages.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable source, e.g. `fixture:paper-worked-example` or
+    /// `proptest:boundary-lengths`.
+    pub label: String,
+    /// Seed that regenerates the workload (0 for committed fixtures).
+    pub seed: u64,
+    /// Series length.
+    pub n: usize,
+    /// Alphabet size.
+    pub sigma: usize,
+    /// Periodicity threshold.
+    pub psi: f64,
+    /// Largest period examined.
+    pub max_period: usize,
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (seed={}, n={}, sigma={}, psi={}, max_period={})",
+            self.label, self.seed, self.n, self.sigma, self.psi, self.max_period
+        )
+    }
+}
+
+/// One observed disagreement between a production path and the oracle.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The workload the disagreement appeared on.
+    pub workload: String,
+    /// The production path that disagreed (e.g. `detect/spectrum/prune`).
+    pub path: String,
+    /// What differed, with both sides' values.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CONFORMANCE DIVERGENCE\n  workload: {}\n  path:     {}\n  detail:   {}",
+            self.workload, self.path, self.detail
+        )
+    }
+}
+
+impl Divergence {
+    fn new(workload: &Workload, path: &str, detail: String) -> Divergence {
+        Divergence {
+            workload: workload.to_string(),
+            path: path.to_string(),
+            detail,
+        }
+    }
+}
+
+fn describe(sp: &OraclePeriodicity) -> String {
+    format!(
+        "(symbol={}, period={}, phase={}, f2={}, denom={}, conf={:.6})",
+        sp.symbol.index(),
+        sp.period,
+        sp.phase,
+        sp.f2,
+        sp.denominator,
+        sp.confidence
+    )
+}
+
+/// Compares two Def.-1 answers (both sorted by `(period, phase, symbol)`).
+/// The oracle's answer is `expected`; the production path's, `got`.
+pub fn diff_periodicities(
+    workload: &Workload,
+    path: &str,
+    expected: &[OraclePeriodicity],
+    got: &[OraclePeriodicity],
+) -> Option<Divergence> {
+    let key = |sp: &OraclePeriodicity| (sp.period, sp.phase, sp.symbol);
+    let mut e = expected.iter().peekable();
+    let mut g = got.iter().peekable();
+    loop {
+        match (e.peek(), g.peek()) {
+            (None, None) => return None,
+            (Some(sp), None) => {
+                return Some(Divergence::new(
+                    workload,
+                    path,
+                    format!("missing periodicity {}", describe(sp)),
+                ));
+            }
+            (None, Some(sp)) => {
+                return Some(Divergence::new(
+                    workload,
+                    path,
+                    format!("spurious periodicity {}", describe(sp)),
+                ));
+            }
+            (Some(esp), Some(gsp)) => match key(esp).cmp(&key(gsp)) {
+                std::cmp::Ordering::Less => {
+                    return Some(Divergence::new(
+                        workload,
+                        path,
+                        format!("missing periodicity {}", describe(esp)),
+                    ));
+                }
+                std::cmp::Ordering::Greater => {
+                    return Some(Divergence::new(
+                        workload,
+                        path,
+                        format!("spurious periodicity {}", describe(gsp)),
+                    ));
+                }
+                std::cmp::Ordering::Equal => {
+                    if esp.f2 != gsp.f2
+                        || esp.denominator != gsp.denominator
+                        || (esp.confidence - gsp.confidence).abs() > RATIO_EPS
+                    {
+                        return Some(Divergence::new(
+                            workload,
+                            path,
+                            format!("expected {} but got {}", describe(esp), describe(gsp)),
+                        ));
+                    }
+                    e.next();
+                    g.next();
+                }
+            },
+        }
+    }
+}
+
+/// Compares two frequent-pattern answers as canonical sets: both sides are
+/// sorted by `(period, slots)` before element-wise comparison.
+pub fn diff_patterns(
+    workload: &Workload,
+    path: &str,
+    expected: &[(OraclePattern, OracleSupport)],
+    got: &[(OraclePattern, OracleSupport)],
+) -> Option<Divergence> {
+    let mut expected: Vec<_> = expected.to_vec();
+    let mut got: Vec<_> = got.to_vec();
+    expected.sort_by(|a, b| a.0.cmp(&b.0));
+    got.sort_by(|a, b| a.0.cmp(&b.0));
+    let show = |pattern: &OraclePattern, s: &OracleSupport| {
+        let slots: Vec<String> = pattern
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                Some(sym) => sym.index().to_string(),
+                None => "*".to_string(),
+            })
+            .collect();
+        format!(
+            "period={} slots=[{}] count={} denom={}",
+            pattern.period,
+            slots.join(","),
+            s.count,
+            s.denominator
+        )
+    };
+    let mut e = expected.iter().peekable();
+    let mut g = got.iter().peekable();
+    loop {
+        match (e.peek(), g.peek()) {
+            (None, None) => return None,
+            (Some((pat, sup)), None) => {
+                return Some(Divergence::new(
+                    workload,
+                    path,
+                    format!("missing pattern {}", show(pat, sup)),
+                ));
+            }
+            (None, Some((pat, sup))) => {
+                return Some(Divergence::new(
+                    workload,
+                    path,
+                    format!("spurious pattern {}", show(pat, sup)),
+                ));
+            }
+            (Some((epat, esup)), Some((gpat, gsup))) => match epat.cmp(gpat) {
+                std::cmp::Ordering::Less => {
+                    return Some(Divergence::new(
+                        workload,
+                        path,
+                        format!("missing pattern {}", show(epat, esup)),
+                    ));
+                }
+                std::cmp::Ordering::Greater => {
+                    return Some(Divergence::new(
+                        workload,
+                        path,
+                        format!("spurious pattern {}", show(gpat, gsup)),
+                    ));
+                }
+                std::cmp::Ordering::Equal => {
+                    if esup.count != gsup.count
+                        || esup.denominator != gsup.denominator
+                        || (esup.support - gsup.support).abs() > RATIO_EPS
+                    {
+                        return Some(Divergence::new(
+                            workload,
+                            path,
+                            format!(
+                                "pattern support mismatch: expected {} but got {}",
+                                show(epat, esup),
+                                show(gpat, gsup)
+                            ),
+                        ));
+                    }
+                    e.next();
+                    g.next();
+                }
+            },
+        }
+    }
+}
+
+/// Compares two labelled count tables (spectra, online match counts, …)
+/// entry by entry. Labels must align; the harness builds both sides from
+/// the same iteration order.
+pub fn diff_counts(
+    workload: &Workload,
+    path: &str,
+    expected: &[(String, u64)],
+    got: &[(String, u64)],
+) -> Option<Divergence> {
+    if expected.len() != got.len() {
+        return Some(Divergence::new(
+            workload,
+            path,
+            format!(
+                "count table length mismatch: expected {} entries, got {}",
+                expected.len(),
+                got.len()
+            ),
+        ));
+    }
+    for ((elabel, ev), (glabel, gv)) in expected.iter().zip(got) {
+        if elabel != glabel {
+            return Some(Divergence::new(
+                workload,
+                path,
+                format!("count table misaligned: expected label {elabel:?}, got {glabel:?}"),
+            ));
+        }
+        if ev != gv {
+            return Some(Divergence::new(
+                workload,
+                path,
+                format!("{elabel}: expected {ev}, got {gv}"),
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::SymbolId;
+
+    fn workload() -> Workload {
+        Workload {
+            label: "unit".into(),
+            seed: 7,
+            n: 10,
+            sigma: 3,
+            psi: 0.5,
+            max_period: 5,
+        }
+    }
+
+    fn sp(period: usize, phase: usize, symbol: usize, f2: u64, denom: u64) -> OraclePeriodicity {
+        OraclePeriodicity {
+            symbol: SymbolId::from_index(symbol),
+            period,
+            phase,
+            f2,
+            denominator: denom,
+            confidence: f2 as f64 / denom as f64,
+        }
+    }
+
+    #[test]
+    fn equal_answers_have_no_divergence() {
+        let a = vec![sp(3, 0, 0, 2, 3), sp(3, 1, 1, 2, 2)];
+        assert!(diff_periodicities(&workload(), "p", &a, &a.clone()).is_none());
+    }
+
+    #[test]
+    fn missing_spurious_and_mismatched_entries_are_named() {
+        let expected = vec![sp(3, 0, 0, 2, 3)];
+        let spurious = vec![sp(3, 0, 0, 2, 3), sp(4, 0, 0, 3, 3)];
+        let d = diff_periodicities(&workload(), "p", &expected, &spurious).expect("divergence");
+        assert!(d.detail.contains("spurious"), "{d}");
+        let d = diff_periodicities(&workload(), "p", &spurious, &expected).expect("divergence");
+        assert!(d.detail.contains("missing"), "{d}");
+        let wrong_count = vec![sp(3, 0, 0, 1, 3)];
+        let d = diff_periodicities(&workload(), "p", &expected, &wrong_count).expect("divergence");
+        assert!(d.detail.contains("expected"), "{d}");
+    }
+
+    #[test]
+    fn pattern_diff_is_order_insensitive() {
+        let a = OraclePattern::new(3, &[(0, SymbolId::from_index(0))]);
+        let b = OraclePattern::new(3, &[(1, SymbolId::from_index(1))]);
+        let s = OracleSupport {
+            count: 2,
+            denominator: 3,
+            support: 2.0 / 3.0,
+        };
+        let fwd = vec![(a.clone(), s), (b.clone(), s)];
+        let rev = vec![(b, s), (a, s)];
+        assert!(diff_patterns(&workload(), "p", &fwd, &rev).is_none());
+    }
+
+    #[test]
+    fn count_tables_report_the_first_differing_label() {
+        let e = vec![("a@3".to_string(), 2u64), ("b@3".to_string(), 2u64)];
+        let mut g = e.clone();
+        g[1].1 = 5;
+        let d = diff_counts(&workload(), "online", &e, &g).expect("divergence");
+        assert!(d.detail.contains("b@3"), "{d}");
+        assert!(d.to_string().contains("CONFORMANCE DIVERGENCE"));
+    }
+}

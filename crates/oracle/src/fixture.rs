@@ -1,0 +1,629 @@
+//! The golden-fixture model and its JSON encoding.
+//!
+//! A fixture freezes one workload — the input series, an exact-rational
+//! threshold, the period range — together with the oracle's answer for it:
+//! every Def.-1 periodicity and (when the candidate space fits the
+//! enumeration cap) every frequent pattern with its support. The committed
+//! corpus lives in `tests/fixtures/*.json`; `tests/conformance.rs` replays
+//! each file through every production path, and the `gen_fixtures` example
+//! regenerates the corpus when definitions legitimately change.
+//!
+//! The threshold is stored as a rational `psi_num / psi_den` rather than a
+//! decimal so the generator and the harness derive bit-identical `f64`
+//! thresholds, keeping exact-threshold fixtures exact.
+//!
+//! The encoding is a restricted JSON subset — objects, arrays, strings,
+//! unsigned integers, and `null` — parsed and written by this module so the
+//! oracle stays free of production crates (see the crate docs). Floats are
+//! deliberately unrepresentable: everything stored is integral.
+
+use std::sync::Arc;
+
+use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+
+use crate::naive::{self, OraclePattern, OraclePeriodicity, OracleSupport};
+
+/// One frozen workload with its oracle-computed expectations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fixture {
+    /// Unique corpus name (also the file stem).
+    pub name: String,
+    /// What axis of the input space this fixture pins down.
+    pub description: String,
+    /// Symbol names, index = symbol id.
+    pub alphabet: Vec<String>,
+    /// The series as symbol ids.
+    pub series: Vec<usize>,
+    /// Threshold numerator.
+    pub psi_num: u64,
+    /// Threshold denominator.
+    pub psi_den: u64,
+    /// Smallest period examined.
+    pub min_period: usize,
+    /// Largest period examined.
+    pub max_period: usize,
+    /// Every Def.-1 periodicity at `psi`, as `(symbol, period, phase, f2,
+    /// denominator)`, sorted by `(period, phase, symbol)`.
+    pub periodicities: Vec<(usize, usize, usize, u64, u64)>,
+    /// Frequent patterns at `psi`, as `(period, slots, count,
+    /// denominator)`; `None` slots are don't-cares.
+    pub patterns: Vec<(usize, Vec<Option<usize>>, u64, u64)>,
+    /// Whether `patterns` is the *complete* frequent set (enumeration fit
+    /// the cap). When false the harness only re-measures the listed
+    /// patterns instead of comparing full sets.
+    pub patterns_complete: bool,
+}
+
+impl Fixture {
+    /// The threshold as `f64`, derived identically everywhere.
+    pub fn psi(&self) -> f64 {
+        self.psi_num as f64 / self.psi_den as f64
+    }
+
+    /// Rebuilds the input series.
+    pub fn build_series(&self) -> Result<SymbolSeries, String> {
+        let alphabet: Arc<Alphabet> = Alphabet::from_symbols(self.alphabet.iter().cloned())
+            .map_err(|e| format!("fixture {}: bad alphabet: {e}", self.name))?;
+        let ids: Vec<SymbolId> = self
+            .series
+            .iter()
+            .map(|&i| SymbolId::from_index(i))
+            .collect();
+        SymbolSeries::from_ids(ids, alphabet)
+            .map_err(|e| format!("fixture {}: bad series: {e}", self.name))
+    }
+
+    /// The expected periodicities in oracle vocabulary.
+    pub fn expected_periodicities(&self) -> Vec<OraclePeriodicity> {
+        self.periodicities
+            .iter()
+            .map(
+                |&(symbol, period, phase, f2, denominator)| OraclePeriodicity {
+                    symbol: SymbolId::from_index(symbol),
+                    period,
+                    phase,
+                    f2,
+                    denominator,
+                    confidence: f2 as f64 / denominator as f64,
+                },
+            )
+            .collect()
+    }
+
+    /// The expected patterns in oracle vocabulary.
+    pub fn expected_patterns(&self) -> Vec<(OraclePattern, OracleSupport)> {
+        self.patterns
+            .iter()
+            .map(|(period, slots, count, denominator)| {
+                let pattern = OraclePattern {
+                    period: *period,
+                    slots: slots.iter().map(|s| s.map(SymbolId::from_index)).collect(),
+                };
+                let support = OracleSupport {
+                    count: *count,
+                    denominator: *denominator,
+                    support: if *denominator == 0 {
+                        0.0
+                    } else {
+                        *count as f64 / *denominator as f64
+                    },
+                };
+                (pattern, support)
+            })
+            .collect()
+    }
+
+    /// Computes a fixture's expectations from scratch with the oracle.
+    ///
+    /// `pattern_cap` bounds the per-period candidate space; if enumeration
+    /// exceeds it, the fixture records no patterns and marks itself
+    /// incomplete.
+    #[allow(clippy::too_many_arguments)] // a constructor mirroring the JSON field order
+    pub fn from_series(
+        name: &str,
+        description: &str,
+        series: &SymbolSeries,
+        psi_num: u64,
+        psi_den: u64,
+        min_period: usize,
+        max_period: usize,
+        pattern_cap: usize,
+    ) -> Fixture {
+        let psi = psi_num as f64 / psi_den as f64;
+        let detected = naive::symbol_periodicities(series, psi, min_period, Some(max_period));
+        let periodicities = detected
+            .iter()
+            .map(|sp| {
+                (
+                    sp.symbol.index(),
+                    sp.period,
+                    sp.phase,
+                    sp.f2,
+                    sp.denominator,
+                )
+            })
+            .collect();
+        let (patterns, patterns_complete) = match naive::frequent_patterns(
+            series,
+            psi,
+            min_period,
+            Some(max_period),
+            pattern_cap,
+        ) {
+            Ok(frequent) => (
+                frequent
+                    .iter()
+                    .map(|(pattern, support)| {
+                        (
+                            pattern.period,
+                            pattern.slots.iter().map(|s| s.map(|x| x.index())).collect(),
+                            support.count,
+                            support.denominator,
+                        )
+                    })
+                    .collect(),
+                true,
+            ),
+            Err(_) => (Vec::new(), false),
+        };
+        Fixture {
+            name: name.to_string(),
+            description: description.to_string(),
+            alphabet: series.alphabet().names().to_vec(),
+            series: series.symbols().iter().map(|s| s.index()).collect(),
+            psi_num,
+            psi_den,
+            min_period,
+            max_period,
+            periodicities,
+            patterns,
+            patterns_complete,
+        }
+    }
+
+    /// Serializes the fixture as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"name\": {},\n", quote(&self.name)));
+        out.push_str(&format!(
+            "  \"description\": {},\n",
+            quote(&self.description)
+        ));
+        let names: Vec<String> = self.alphabet.iter().map(|s| quote(s)).collect();
+        out.push_str(&format!("  \"alphabet\": [{}],\n", names.join(", ")));
+        let ids: Vec<String> = self.series.iter().map(|i| i.to_string()).collect();
+        out.push_str(&format!("  \"series\": [{}],\n", ids.join(", ")));
+        out.push_str(&format!("  \"psi_num\": {},\n", self.psi_num));
+        out.push_str(&format!("  \"psi_den\": {},\n", self.psi_den));
+        out.push_str(&format!("  \"min_period\": {},\n", self.min_period));
+        out.push_str(&format!("  \"max_period\": {},\n", self.max_period));
+        out.push_str("  \"periodicities\": [");
+        for (i, (symbol, period, phase, f2, denominator)) in self.periodicities.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"symbol\": {symbol}, \"period\": {period}, \"phase\": {phase}, \
+                 \"f2\": {f2}, \"denominator\": {denominator}}}"
+            ));
+        }
+        out.push_str(if self.periodicities.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"patterns\": [");
+        for (i, (period, slots, count, denominator)) in self.patterns.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let slots: Vec<String> = slots
+                .iter()
+                .map(|s| match s {
+                    Some(id) => id.to_string(),
+                    None => "null".to_string(),
+                })
+                .collect();
+            out.push_str(&format!(
+                "    {{\"period\": {period}, \"slots\": [{}], \"count\": {count}, \
+                 \"denominator\": {denominator}}}",
+                slots.join(", ")
+            ));
+        }
+        out.push_str(if self.patterns.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str(&format!(
+            "  \"patterns_complete\": {}\n",
+            self.patterns_complete
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a fixture from its JSON encoding.
+    pub fn from_json(text: &str) -> Result<Fixture, String> {
+        let value = JsonParser::parse(text)?;
+        let obj = value.object("fixture")?;
+        let periodicities = obj
+            .field("periodicities")?
+            .array("periodicities")?
+            .iter()
+            .map(|entry| {
+                let entry = entry.object("periodicity")?;
+                Ok((
+                    entry.field("symbol")?.int("symbol")? as usize,
+                    entry.field("period")?.int("period")? as usize,
+                    entry.field("phase")?.int("phase")? as usize,
+                    entry.field("f2")?.int("f2")?,
+                    entry.field("denominator")?.int("denominator")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let patterns = obj
+            .field("patterns")?
+            .array("patterns")?
+            .iter()
+            .map(|entry| {
+                let entry = entry.object("pattern")?;
+                let slots = entry
+                    .field("slots")?
+                    .array("slots")?
+                    .iter()
+                    .map(|slot| match slot {
+                        Json::Null => Ok(None),
+                        other => Ok(Some(other.int("slot")? as usize)),
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok((
+                    entry.field("period")?.int("period")? as usize,
+                    slots,
+                    entry.field("count")?.int("count")?,
+                    entry.field("denominator")?.int("denominator")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Fixture {
+            name: obj.field("name")?.string("name")?,
+            description: obj.field("description")?.string("description")?,
+            alphabet: obj
+                .field("alphabet")?
+                .array("alphabet")?
+                .iter()
+                .map(|v| v.string("alphabet entry"))
+                .collect::<Result<Vec<_>, String>>()?,
+            series: obj
+                .field("series")?
+                .array("series")?
+                .iter()
+                .map(|v| v.int("series entry").map(|x| x as usize))
+                .collect::<Result<Vec<_>, String>>()?,
+            psi_num: obj.field("psi_num")?.int("psi_num")?,
+            psi_den: obj.field("psi_den")?.int("psi_den")?,
+            min_period: obj.field("min_period")?.int("min_period")? as usize,
+            max_period: obj.field("max_period")?.int("max_period")? as usize,
+            periodicities,
+            patterns,
+            patterns_complete: obj.field("patterns_complete")?.bool("patterns_complete")?,
+        })
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The restricted JSON value space fixtures use.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(u64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn object(&self, what: &str) -> Result<ObjectView<'_>, String> {
+        match self {
+            Json::Object(fields) => Ok(ObjectView { fields }),
+            other => Err(format!("{what}: expected object, found {other:?}")),
+        }
+    }
+
+    fn array(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(format!("{what}: expected array, found {other:?}")),
+        }
+    }
+
+    fn int(&self, what: &str) -> Result<u64, String> {
+        match self {
+            Json::Int(n) => Ok(*n),
+            other => Err(format!("{what}: expected integer, found {other:?}")),
+        }
+    }
+
+    fn string(&self, what: &str) -> Result<String, String> {
+        match self {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(format!("{what}: expected string, found {other:?}")),
+        }
+    }
+
+    fn bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("{what}: expected boolean, found {other:?}")),
+        }
+    }
+}
+
+/// Field access over a `Json::Object` without re-matching at every call.
+#[derive(Clone, Copy)]
+struct ObjectView<'a> {
+    fields: &'a [(String, Json)],
+}
+
+impl ObjectView<'_> {
+    fn field(&self, name: &str) -> Result<&Json, String> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {name:?}"))
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut parser = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing data"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("fixture json: {msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'0'..=b'9') => self.int(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let b = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    out.push(match b {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            char::from_u32(hex).unwrap_or('\u{FFFD}')
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    });
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn int(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are UTF-8")
+            .parse::<u64>()
+            .map(Json::Int)
+            .map_err(|_| self.err("integer out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fixture {
+        let alphabet = Alphabet::latin(3).expect("alphabet");
+        let series = SymbolSeries::parse("abcabbabcb", &alphabet).expect("series");
+        Fixture::from_series(
+            "paper-worked-example",
+            "paper Sect. 2.2 series",
+            &series,
+            2,
+            3,
+            1,
+            5,
+            1 << 16,
+        )
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let fixture = sample();
+        let encoded = fixture.to_json();
+        let decoded = Fixture::from_json(&encoded).expect("parse");
+        assert_eq!(decoded, fixture);
+        // Encoding is canonical: a second round trip is byte-identical.
+        assert_eq!(decoded.to_json(), encoded);
+    }
+
+    #[test]
+    fn expectations_reconstruct_into_oracle_types() {
+        let fixture = sample();
+        let series = fixture.build_series().expect("series");
+        assert_eq!(series.len(), 10);
+        let expected = fixture.expected_periodicities();
+        let recomputed =
+            naive::symbol_periodicities(&series, fixture.psi(), fixture.min_period, Some(5));
+        assert_eq!(expected.len(), recomputed.len());
+        assert!(fixture.patterns_complete);
+        for (pattern, support) in fixture.expected_patterns() {
+            assert_eq!(naive::pattern_support(&series, &pattern), support);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"name\": }",
+            "{\"name\": \"x\"} extra",
+            "{\"name\": -1}",
+            "{\"name\": 1.5}",
+        ] {
+            assert!(Fixture::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+        // Structurally valid JSON but missing fields is also an error.
+        assert!(Fixture::from_json("{\"name\": \"x\"}").is_err());
+    }
+}

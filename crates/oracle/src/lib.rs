@@ -1,0 +1,50 @@
+//! # periodica-oracle
+//!
+//! A deliberately slow, deliberately obvious reference implementation of the
+//! paper's definitions (Elfeky, Aref, Elmagarmid; EDBT 2004), used as the
+//! ground truth for differential conformance testing — the same way FFTW
+//! validates against a textbook DFT.
+//!
+//! Everything here is computed by literal definition: projections are
+//! materialized as vectors, `F2` counts adjacent pairs in those vectors,
+//! pattern support walks whole segments, and candidate enumeration builds
+//! the full Cartesian product. No bit tricks, no NTT, no caching, no shared
+//! state. Complexity is whatever the definitions cost (typically
+//! O(n · max_p · sigma) and exponential for pattern enumeration), which is
+//! fine: the oracle only ever runs on conformance-sized inputs.
+//!
+//! Two rules keep the oracle trustworthy:
+//!
+//! * **No production dependencies.** Only [`periodica_series`] types are
+//!   used (the shared vocabulary of symbols and series); never
+//!   `periodica-core` or `periodica-transform`, so a bug in an optimized
+//!   path cannot leak into the reference answer.
+//! * **No cleverness.** When a definition can be computed two ways, the
+//!   oracle picks the one that reads like the paper. Reviewers should be
+//!   able to check each function against the paper in isolation.
+//!
+//! The crate has three modules:
+//!
+//! * [`naive`] — the reference computations (projection, F2, Def.-1
+//!   symbol periodicities, Def.-2/3 pattern support, candidate periods,
+//!   full-enumeration frequent patterns, closure);
+//! * [`diff`] — divergence reporting for differential harnesses: compare
+//!   an oracle answer with a production answer and render the first
+//!   mismatch with enough context to bisect;
+//! * [`fixture`] — the golden-fixture model and its self-contained JSON
+//!   encoding, used by `tests/fixtures/*.json` and the
+//!   `gen_fixtures` example that regenerates them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod diff;
+pub mod fixture;
+pub mod naive;
+
+pub use diff::{Divergence, Workload};
+pub use fixture::Fixture;
+pub use naive::{
+    candidate_periods, confidence, f2, frequent_patterns, lag_matches, pattern_support, projection,
+    symbol_periodicities, OraclePattern, OraclePeriodicity, OracleSupport, EPS,
+};

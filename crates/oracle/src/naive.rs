@@ -1,0 +1,526 @@
+//! The reference computations, written to read like the paper.
+//!
+//! Conventions mirrored from the paper (and therefore from the production
+//! contract):
+//!
+//! * a projection `pi(p, l)` is the subsequence at positions
+//!   `l, l+p, l+2p, ...` strictly below `n`, of length `m = ceil((n-l)/p)`;
+//! * `F2` uses **overlapping** adjacent pairs: `F2(a, "aaa") = 2`;
+//! * Def.-1 confidence is `F2 / (m - 1)`, undefined (never emitted) when
+//!   `m < 2`;
+//! * Def.-2 single-symbol pattern support uses the phase-specific
+//!   denominator `ceil((n-l)/p) - 1`; Def.-3 multi-symbol support uses the
+//!   whole-segment denominator `ceil(n/p) - 1`;
+//! * threshold comparisons allow the same `1e-12` tolerance as production,
+//!   so exact-rational thresholds land on the same side in both worlds.
+
+use periodica_series::{SymbolId, SymbolSeries};
+
+/// Tolerance for floating-point threshold comparisons (identical to the
+/// production detector's).
+pub const EPS: f64 = 1e-12;
+
+/// The projection `pi(p, l)`, materialized: every position `i < n` with
+/// `i >= l` and `(i - l)` a multiple of `p`, in order.
+///
+/// Returns an empty vector for `p == 0` (no projection is defined).
+pub fn projection(series: &SymbolSeries, p: usize, l: usize) -> Vec<SymbolId> {
+    if p == 0 {
+        return Vec::new();
+    }
+    let data = series.symbols();
+    let mut out = Vec::new();
+    for (i, &sym) in data.iter().enumerate() {
+        if i >= l && (i - l).is_multiple_of(p) {
+            out.push(sym);
+        }
+    }
+    out
+}
+
+/// `F2(symbol, pi(p, l))`: the number of *overlapping* adjacent positions
+/// `(j, j+1)` in the projection where both entries equal `symbol`.
+pub fn f2(series: &SymbolSeries, symbol: SymbolId, p: usize, l: usize) -> u64 {
+    let proj = projection(series, p, l);
+    let mut count = 0;
+    for j in 0..proj.len().saturating_sub(1) {
+        if proj[j] == symbol && proj[j + 1] == symbol {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Def.-1 confidence of `(symbol, p, l)`: `F2 / (m - 1)`, or 0 when the
+/// projection has fewer than two entries.
+pub fn confidence(series: &SymbolSeries, symbol: SymbolId, p: usize, l: usize) -> f64 {
+    let m = projection(series, p, l).len();
+    if m < 2 {
+        return 0.0;
+    }
+    f2(series, symbol, p, l) as f64 / (m - 1) as f64
+}
+
+/// Total lag-`p` match count for one symbol: the number of positions `j`
+/// with `j + p < n` and `t_j = t_{j+p} = symbol`. Equals
+/// `sum_l F2(symbol, pi(p, l))` for `p >= 1`; for `p == 0` it degenerates
+/// to the symbol's occurrence count, matching the production convention.
+pub fn lag_matches(series: &SymbolSeries, symbol: SymbolId, p: usize) -> u64 {
+    let data = series.symbols();
+    let mut count = 0;
+    for j in 0..data.len() {
+        if p == 0 {
+            if data[j] == symbol {
+                count += 1;
+            }
+        } else if j + p < data.len() && data[j] == symbol && data[j + p] == symbol {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// One Def.-1 symbol periodicity as the oracle states it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OraclePeriodicity {
+    /// The periodic symbol.
+    pub symbol: SymbolId,
+    /// Its period.
+    pub period: usize,
+    /// The starting phase (`0 <= phase < period`).
+    pub phase: usize,
+    /// `F2` of the symbol in `pi(period, phase)`.
+    pub f2: u64,
+    /// `m - 1`, the number of adjacent projection pairs.
+    pub denominator: u64,
+    /// `f2 / denominator`.
+    pub confidence: f64,
+}
+
+/// All Def.-1 symbol periodicities with confidence `>= psi` (within
+/// [`EPS`]) for periods `min_period ..= max_period`, each phase considered,
+/// sorted by `(period, phase, symbol)`.
+///
+/// `max_period = None` defaults to `n / 2` as in the paper's algorithm,
+/// clamped to `n - 1`; this mirrors the production detector's validation.
+pub fn symbol_periodicities(
+    series: &SymbolSeries,
+    psi: f64,
+    min_period: usize,
+    max_period: Option<usize>,
+) -> Vec<OraclePeriodicity> {
+    let n = series.len();
+    let min_p = min_period.max(1);
+    let max_p = max_period.unwrap_or(n / 2).min(n.saturating_sub(1));
+    let mut out = Vec::new();
+    for p in min_p..=max_p {
+        for l in 0..p {
+            let m = projection(series, p, l).len();
+            if m < 2 {
+                continue;
+            }
+            for symbol in series.alphabet().ids() {
+                let count = f2(series, symbol, p, l);
+                let conf = count as f64 / (m - 1) as f64;
+                if conf + EPS >= psi {
+                    out.push(OraclePeriodicity {
+                        symbol,
+                        period: p,
+                        phase: l,
+                        f2: count,
+                        denominator: (m - 1) as u64,
+                        confidence: conf,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|sp| (sp.period, sp.phase, sp.symbol));
+    out
+}
+
+/// The phase-blind candidate-period test, by definition: period `p` is a
+/// candidate when some symbol's total lag-`p` match count could still meet
+/// `psi` at the smallest positive-phase denominator. This is the sound
+/// pruning bound production applies before phase scans, restated naively.
+pub fn candidate_periods(
+    series: &SymbolSeries,
+    psi: f64,
+    min_period: usize,
+    max_period: Option<usize>,
+) -> Vec<usize> {
+    let n = series.len();
+    let min_p = min_period.max(1);
+    let max_p = max_period.unwrap_or(n / 2).min(n.saturating_sub(1));
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    for p in min_p..=max_p {
+        // No phase has two projection entries: the period is undetectable.
+        if projection(series, p, 0).len() < 2 {
+            continue;
+        }
+        let d_min_pos = projection(series, p, p - 1).len().saturating_sub(1).max(1);
+        let bound = psi * d_min_pos as f64 - EPS;
+        let hit = series
+            .alphabet()
+            .ids()
+            .any(|sym| lag_matches(series, sym, p) as f64 >= bound);
+        if hit {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// A candidate pattern: one optional symbol per phase of a period.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OraclePattern {
+    /// The period (also the number of slots).
+    pub period: usize,
+    /// `slots[l]` is the required symbol at phase `l`, or `None` for the
+    /// don't-care `*`.
+    pub slots: Vec<Option<SymbolId>>,
+}
+
+impl OraclePattern {
+    /// Builds a pattern from fixed `(phase, symbol)` positions.
+    pub fn new(period: usize, fixed: &[(usize, SymbolId)]) -> OraclePattern {
+        let mut slots = vec![None; period];
+        for &(l, s) in fixed {
+            slots[l] = Some(s);
+        }
+        OraclePattern { period, slots }
+    }
+
+    /// Number of fixed (non-`*`) slots.
+    pub fn cardinality(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The fixed positions as `(phase, symbol)` pairs, ascending phase.
+    pub fn fixed(&self) -> Vec<(usize, SymbolId)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(l, s)| s.map(|sym| (l, sym)))
+            .collect()
+    }
+
+    /// Whether every fixed slot of `self` is fixed identically in `other`.
+    pub fn is_subpattern_of(&self, other: &OraclePattern) -> bool {
+        self.period == other.period
+            && self
+                .slots
+                .iter()
+                .zip(&other.slots)
+                .all(|(a, b)| a.is_none() || a == b)
+    }
+
+    /// Renders the pattern like the paper: one character or name per phase,
+    /// `*` for don't-care.
+    pub fn render(&self, series: &SymbolSeries) -> String {
+        let alphabet = series.alphabet();
+        let mut out = String::new();
+        for slot in &self.slots {
+            match slot {
+                Some(sym) => out.push_str(alphabet.name(*sym)),
+                None => out.push('*'),
+            }
+        }
+        out
+    }
+}
+
+/// A support measurement as the oracle states it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleSupport {
+    /// Number of consecutive segment pairs matching every fixed phase.
+    pub count: u64,
+    /// Number of eligible pairs (Def.-2 phase-specific for single-symbol
+    /// patterns, Def.-3 whole-segment for multi-symbol).
+    pub denominator: u64,
+    /// `count / denominator` (0 when the denominator is 0).
+    pub support: f64,
+}
+
+/// The pair indices `i` (consecutive segments `i` and `i+1`) at which the
+/// pattern matches: every fixed phase exists in both segments and holds the
+/// required symbol.
+pub fn matching_pairs(series: &SymbolSeries, pattern: &OraclePattern) -> Vec<usize> {
+    let n = series.len();
+    let p = pattern.period;
+    let data = series.symbols();
+    let mut out = Vec::new();
+    if p == 0 || pattern.cardinality() == 0 {
+        return out;
+    }
+    let segments = n.div_ceil(p);
+    for i in 0..segments.saturating_sub(1) {
+        let matches = pattern.fixed().iter().all(|&(l, s)| {
+            let a = i * p + l;
+            let b = (i + 1) * p + l;
+            a < n && b < n && data[a] == s && data[b] == s
+        });
+        if matches {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Measures a pattern's support by literal definition.
+///
+/// Single-symbol patterns (Def. 2) divide by the phase-specific pair count
+/// `ceil((n-l)/p) - 1`; multi-symbol patterns (Def. 3) divide by the
+/// whole-segment pair count `ceil(n/p) - 1`. A zero denominator (or an
+/// all-don't-care pattern) measures as `0 / 0` with support 0.
+pub fn pattern_support(series: &SymbolSeries, pattern: &OraclePattern) -> OracleSupport {
+    let n = series.len();
+    let p = pattern.period;
+    let fixed = pattern.fixed();
+    if fixed.is_empty() || n == 0 || p == 0 {
+        return OracleSupport {
+            count: 0,
+            denominator: 0,
+            support: 0.0,
+        };
+    }
+    let denominator = if fixed.len() == 1 {
+        projection(series, p, fixed[0].0).len().saturating_sub(1)
+    } else {
+        projection(series, p, 0).len().saturating_sub(1)
+    };
+    if denominator == 0 {
+        return OracleSupport {
+            count: 0,
+            denominator: 0,
+            support: 0.0,
+        };
+    }
+    let count = matching_pairs(series, pattern).len() as u64;
+    OracleSupport {
+        count,
+        denominator: denominator as u64,
+        support: count as f64 / denominator as f64,
+    }
+}
+
+/// Every frequent pattern (support `>= psi` within [`EPS`]), found by the
+/// paper's Cartesian-product reading of Def. 3: detect the Def.-1 singles,
+/// then enumerate *all* combinations of one detected symbol-or-`*` per
+/// phase at each detected period and measure each combination literally.
+///
+/// Returns `Err` with a message when a period's candidate space exceeds
+/// `cap` — the caller chose a workload too dense to enumerate.
+///
+/// Output is sorted by `(period, slots)`; supports are measured by
+/// [`pattern_support`], so single-symbol patterns carry their Def.-2
+/// phase-specific denominators.
+pub fn frequent_patterns(
+    series: &SymbolSeries,
+    psi: f64,
+    min_period: usize,
+    max_period: Option<usize>,
+    cap: usize,
+) -> Result<Vec<(OraclePattern, OracleSupport)>, String> {
+    let detection = symbol_periodicities(series, psi, min_period, max_period);
+    let mut periods: Vec<usize> = detection.iter().map(|sp| sp.period).collect();
+    periods.sort_unstable();
+    periods.dedup();
+
+    let mut out = Vec::new();
+    for &p in &periods {
+        let mut per_phase: Vec<Vec<SymbolId>> = vec![Vec::new(); p];
+        for sp in detection.iter().filter(|sp| sp.period == p) {
+            per_phase[sp.phase].push(sp.symbol);
+        }
+        let mut size = 1usize;
+        for opts in &per_phase {
+            size = size.saturating_mul(opts.len() + 1);
+            if size > cap {
+                return Err(format!(
+                    "period {p}: candidate space {size} exceeds cap {cap}"
+                ));
+            }
+        }
+        // Build the full product, one phase at a time.
+        let mut partials: Vec<Vec<(usize, SymbolId)>> = vec![Vec::new()];
+        for (l, opts) in per_phase.iter().enumerate() {
+            let mut next = Vec::new();
+            for partial in &partials {
+                next.push(partial.clone()); // the '*' choice
+                for &s in opts {
+                    let mut with = partial.clone();
+                    with.push((l, s));
+                    next.push(with);
+                }
+            }
+            partials = next;
+        }
+        for fixed in partials {
+            if fixed.is_empty() {
+                continue; // the all-don't-care pattern carries no claim
+            }
+            let pattern = OraclePattern::new(p, &fixed);
+            let support = pattern_support(series, &pattern);
+            if support.support + EPS >= psi {
+                out.push((pattern, support));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// The closure of a pattern within an item universe: the pattern fixing
+/// every item `(phase, symbol)` from `items` that matches on **all** of the
+/// pattern's matching pairs. A pattern is *closed* when it equals its own
+/// closure — no super-pattern shares its support count.
+pub fn closure(
+    series: &SymbolSeries,
+    items: &[(usize, SymbolId)],
+    pattern: &OraclePattern,
+) -> OraclePattern {
+    let pairs = matching_pairs(series, pattern);
+    let n = series.len();
+    let p = pattern.period;
+    let data = series.symbols();
+    let mut fixed: Vec<(usize, SymbolId)> = Vec::new();
+    for &(l, s) in items {
+        let everywhere = pairs.iter().all(|&i| {
+            let a = i * p + l;
+            let b = (i + 1) * p + l;
+            a < n && b < n && data[a] == s && data[b] == s
+        });
+        if everywhere {
+            fixed.push((l, s));
+        }
+    }
+    OraclePattern::new(p, &fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::Alphabet;
+    use std::sync::Arc;
+
+    fn paper_series() -> SymbolSeries {
+        let a = Alphabet::latin(3).expect("alphabet");
+        SymbolSeries::parse("abcabbabcb", &a).expect("series")
+    }
+
+    fn sym(c: char) -> SymbolId {
+        SymbolId::from_index((c as u8 - b'a') as usize)
+    }
+
+    #[test]
+    fn f2_uses_overlapping_pairs() {
+        let a = Alphabet::latin(1).expect("alphabet");
+        let s = SymbolSeries::parse("aaa", &a).expect("series");
+        // The convention the whole stack rests on: F2(a, "aaa") = 2.
+        assert_eq!(f2(&s, sym('a'), 1, 0), 2);
+    }
+
+    #[test]
+    fn projection_matches_paper_section_2() {
+        // pi(3, 0) of abcabbabcb = t0 t3 t6 t9 = a a a b (paper Sect. 2.2).
+        let s = paper_series();
+        let proj = projection(&s, 3, 0);
+        assert_eq!(proj, vec![sym('a'), sym('a'), sym('a'), sym('b')]);
+        assert_eq!(f2(&s, sym('a'), 3, 0), 2);
+        assert!((confidence(&s, sym('a'), 3, 0) - 2.0 / 3.0).abs() < 1e-12);
+        // pi(3, 1) = t1 t4 t7 = b b b: perfectly periodic.
+        assert_eq!(f2(&s, sym('b'), 3, 1), 2);
+        assert!((confidence(&s, sym('b'), 3, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lag_matches_decomposes_over_phases() {
+        let s = paper_series();
+        for p in 1..s.len() {
+            for symbol in s.alphabet().ids() {
+                let by_phase: u64 = (0..p).map(|l| f2(&s, symbol, p, l)).sum();
+                assert_eq!(lag_matches(&s, symbol, p), by_phase, "p={p}");
+            }
+        }
+        // Lag 3 on the paper series: 2 a-matches + 2 b-matches ("four
+        // symbol matches", paper Sect. 3).
+        assert_eq!(lag_matches(&s, sym('a'), 3), 2);
+        assert_eq!(lag_matches(&s, sym('b'), 3), 2);
+        assert_eq!(lag_matches(&s, sym('c'), 3), 0);
+    }
+
+    #[test]
+    fn detects_paper_worked_example() {
+        let s = paper_series();
+        let detected = symbol_periodicities(&s, 2.0 / 3.0, 1, None);
+        // (a, 3, 0) at 2/3 and (b, 3, 1) at 1 are both present.
+        assert!(detected
+            .iter()
+            .any(|sp| sp.symbol == sym('a') && sp.period == 3 && sp.phase == 0 && sp.f2 == 2));
+        assert!(detected.iter().any(|sp| sp.symbol == sym('b')
+            && sp.period == 3
+            && sp.phase == 1
+            && (sp.confidence - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn pattern_support_reproduces_worked_values() {
+        let s = paper_series();
+        // ab* on period 3: segments ab c | ab b | ab c | b; pairs 0-1 and
+        // 1-2 match, pair 2-3 fails (segment 3 has b at phase 0) -> 2/3.
+        let ab = OraclePattern::new(3, &[(0, sym('a')), (1, sym('b'))]);
+        let sup = pattern_support(&s, &ab);
+        assert_eq!((sup.count, sup.denominator), (2, 3));
+        // *b* is a single-symbol pattern: Def.-2 phase denominator, 2/2.
+        let b = OraclePattern::new(3, &[(1, sym('b'))]);
+        let sup = pattern_support(&s, &b);
+        assert_eq!((sup.count, sup.denominator), (2, 2));
+        assert!((sup.support - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequent_patterns_contain_the_worked_pattern() {
+        let s = paper_series();
+        let frequent = frequent_patterns(&s, 2.0 / 3.0, 3, Some(3), 1 << 16).expect("cap");
+        let ab = OraclePattern::new(3, &[(0, sym('a')), (1, sym('b'))]);
+        let hit = frequent.iter().find(|(p, _)| *p == ab).expect("ab* mined");
+        assert_eq!((hit.1.count, hit.1.denominator), (2, 3));
+        // Every reported pattern re-measures to its reported support.
+        for (pattern, support) in &frequent {
+            assert_eq!(pattern_support(&s, pattern), *support);
+        }
+    }
+
+    #[test]
+    fn closure_fixes_implied_positions() {
+        let a = Alphabet::latin(2).expect("alphabet");
+        let s = SymbolSeries::parse("ababababab", &a).expect("series");
+        let items = vec![(0usize, sym('a')), (1usize, sym('b'))];
+        let only_a = OraclePattern::new(2, &[(0, sym('a'))]);
+        // b at phase 1 holds on every pair a-at-phase-0 holds on.
+        let closed = closure(&s, &items, &only_a);
+        assert_eq!(
+            closed,
+            OraclePattern::new(2, &[(0, sym('a')), (1, sym('b'))])
+        );
+        assert!(only_a.is_subpattern_of(&closed));
+    }
+
+    #[test]
+    fn degenerate_inputs_measure_as_zero() {
+        let a = Alphabet::latin(2).expect("alphabet");
+        let s = SymbolSeries::from_ids(Vec::new(), Arc::clone(&a)).expect("empty");
+        assert!(projection(&s, 3, 0).is_empty());
+        assert_eq!(lag_matches(&s, sym('a'), 1), 0);
+        assert!(symbol_periodicities(&s, 0.5, 1, None).is_empty());
+        let p = OraclePattern::new(3, &[(0, sym('a'))]);
+        assert_eq!(pattern_support(&s, &p).denominator, 0);
+        let s1 = SymbolSeries::parse("ab", &a).expect("series");
+        // Period >= n: single projection entry per phase, nothing detected.
+        assert!(symbol_periodicities(&s1, 0.1, 1, Some(5)).is_empty());
+    }
+}

@@ -165,6 +165,23 @@ impl SymbolSeries {
 
     /// `F2(symbol, pi(p, l))`: adjacent same-symbol pairs in the projection,
     /// i.e. `#{ j : j = l (mod p), j + p < n, t_j = t_{j+p} = symbol }`.
+    ///
+    /// Pairs **overlap**: each projection entry is counted once as a left
+    /// endpoint and once as a right endpoint, so a run of `m` equal entries
+    /// contributes `m - 1` pairs — `F2(a, "aaa") = 2`, not 1. This matches
+    /// the paper's `F2` (count of *consecutive occurrences*, Def. 1) and is
+    /// what makes a perfectly periodic symbol score confidence 1.
+    ///
+    /// ```
+    /// use periodica_series::{Alphabet, SymbolSeries};
+    /// let alphabet = Alphabet::latin(2)?;
+    /// let series = SymbolSeries::parse("aaa", &alphabet)?;
+    /// let a = alphabet.lookup("a")?;
+    /// // Projection pi(1, 0) is "aaa": the overlapping pairs are
+    /// // (t_0, t_1) and (t_1, t_2).
+    /// assert_eq!(series.f2_projected(a, 1, 0), 2);
+    /// # Ok::<(), periodica_series::SeriesError>(())
+    /// ```
     pub fn f2_projected(&self, symbol: SymbolId, p: usize, l: usize) -> usize {
         assert!(p > 0, "projection period must be positive");
         let n = self.len();
