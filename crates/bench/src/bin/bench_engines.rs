@@ -21,6 +21,7 @@ use periodica_core::MatchEngine;
 use periodica_obs::{self as obs, Counter, MetricsRecorder};
 use periodica_series::{Alphabet, SymbolId, SymbolSeries};
 use periodica_transform::ntt;
+use periodica_transform::simd::{self, SimdLevel};
 
 const SIGMA: usize = 10;
 const N: usize = 1 << 17;
@@ -52,20 +53,14 @@ impl SeedNtt {
             f = ntt::mod_mul(f, root);
             i = ntt::mod_mul(i, root_inv);
         }
-        let bits = len.trailing_zeros();
-        let mut swaps = Vec::with_capacity(len / 2);
-        for a in 0..len {
-            let b = (a as u64).reverse_bits().wrapping_shr(64 - bits) as usize;
-            if a < b {
-                swaps.push((a as u32, b as u32));
-            }
-        }
         SeedNtt {
             len,
             fwd_twiddles,
             inv_twiddles,
             len_inv: ntt::mod_inv(len as u64),
-            swaps,
+            // The permutation is data-layout-independent, so the frozen
+            // replica can share the library's swap builder.
+            swaps: ntt::bit_reversal_swaps(len),
         }
     }
 
@@ -192,22 +187,26 @@ fn assert_identical(scenario: &str, reference: &MatchSpectrum, others: &[(&str, 
 }
 
 /// The engine-phase counters embedded per scenario: NTT plan-cache traffic,
-/// transforms executed, and autocorrelation batches. The seed replica above
-/// predates the telemetry layer, so the deltas cover only today's pipeline.
-const ENGINE_COUNTERS: [(Counter, &str); 5] = [
+/// transforms executed, which SIMD kernel ran them, and autocorrelation
+/// batches. The seed replica above predates the telemetry layer, so the
+/// deltas cover only today's pipeline.
+const ENGINE_COUNTERS: [(Counter, &str); 8] = [
     (Counter::NttPlanCacheHit, "ntt.plan_cache.hit"),
     (Counter::NttPlanCacheMiss, "ntt.plan_cache.miss"),
     (Counter::NttForward, "ntt.forward"),
     (Counter::NttInverse, "ntt.inverse"),
+    (Counter::NttSimdAvx512, "ntt.simd.avx512"),
+    (Counter::NttSimdAvx2, "ntt.simd.avx2"),
+    (Counter::NttSimdScalar, "ntt.simd.scalar"),
     (Counter::AutocorrBatches, "spectrum.autocorr_batches"),
 ];
 
-fn snapshot(rec: &MetricsRecorder) -> [u64; 5] {
+fn snapshot(rec: &MetricsRecorder) -> [u64; 8] {
     ENGINE_COUNTERS.map(|(c, _)| rec.counter(c))
 }
 
 /// `"counter_deltas": { ... }` for one scenario's timed runs.
-fn deltas_json(before: [u64; 5], after: [u64; 5], indent: &str) -> String {
+fn deltas_json(before: [u64; 8], after: [u64; 8], indent: &str) -> String {
     let rows: Vec<String> = ENGINE_COUNTERS
         .iter()
         .zip(before.iter().zip(after))
@@ -216,7 +215,84 @@ fn deltas_json(before: [u64; 5], after: [u64; 5], indent: &str) -> String {
     format!("{{\n{}\n{indent}}}", rows.join(",\n"))
 }
 
+/// `--check-dispatch`: exit nonzero if the hardware supports AVX2 but the
+/// dispatcher silently resolved to scalar without an explicit override —
+/// the CI smoke test that the vector path cannot rot unnoticed.
+fn check_dispatch() -> ! {
+    let active = simd::active();
+    println!(
+        "simd dispatch: active={} ({} lanes), detected={}",
+        active.name(),
+        active.lanes(),
+        simd::detected().name()
+    );
+    let forced = std::env::var_os("PERIODICA_FORCE_SCALAR").is_some()
+        || std::env::var_os("PERIODICA_SIMD").is_some();
+    #[cfg(target_arch = "x86_64")]
+    let hw_vector = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let hw_vector = false;
+    if hw_vector && !forced && active == SimdLevel::Scalar {
+        eprintln!("error: AVX2-capable CPU but the dispatcher fell back to scalar");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// Scalar-vs-dispatched timing of the raw transform kernels at the spectrum
+/// engine's own plan size, outputs asserted bit-identical first.
+fn time_ntt_kernels() -> (usize, f64, f64) {
+    let size = (2 * N - 1).next_power_of_two();
+    let scalar = ntt::shared_plan_with(size, SimdLevel::Scalar).expect("scalar plan");
+    let active = ntt::shared_plan(size).expect("active plan");
+    let mut state = 0xA5A5_5A5A_DEAD_BEEF_u64;
+    let input: Vec<u64> = (0..size)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % ntt::P
+        })
+        .collect();
+    let mut via_scalar = input.clone();
+    scalar.forward(&mut via_scalar);
+    let mut via_active = input.clone();
+    active.forward(&mut via_active);
+    assert_eq!(via_scalar, via_active, "kernel outputs diverge");
+    scalar.inverse(&mut via_scalar);
+    active.inverse(&mut via_active);
+    assert_eq!(via_scalar, input, "scalar round trip");
+    assert_eq!(via_active, input, "vector round trip");
+
+    let time_plan = |plan: &ntt::Ntt| {
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let mut buf = input.clone();
+            let t = Instant::now();
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    (size, time_plan(&scalar), time_plan(&active))
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check-dispatch") {
+        check_dispatch();
+    }
+    let simd_kernel = simd::active().name();
+    let simd_lanes = simd::active().lanes();
+    eprintln!("simd kernel: {simd_kernel} ({simd_lanes} lanes)");
+
+    let (ntt_size, t_ntt_scalar, t_ntt_simd) = time_ntt_kernels();
+    let ntt_kernel_speedup = t_ntt_scalar / t_ntt_simd;
+    eprintln!(
+        "ntt kernels (fwd+inv, size {ntt_size}): scalar {t_ntt_scalar:.4}s | \
+         {simd_kernel} {t_ntt_simd:.4}s ({ntt_kernel_speedup:.2}x)"
+    );
+
     let series = make_series();
     let seed = SeedSpectrumEngine;
     let recorder = Arc::new(MetricsRecorder::new());
@@ -321,7 +397,12 @@ fn main() {
     let full_deltas = deltas_json(full_before, full_after, "    ");
     let bounded_deltas = deltas_json(bounded_before, bounded_after, "    ");
     let json = format!(
-        "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"n\": {N} }},\n  \
+        "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"n\": {N}, \
+         \"simd_kernel\": \"{simd_kernel}\", \"simd_lanes\": {simd_lanes} }},\n  \
+         \"ntt_kernel\": {{\n    \"size\": {ntt_size},\n    \
+         \"scalar_secs\": {t_ntt_scalar:.6},\n    \
+         \"simd_secs\": {t_ntt_simd:.6},\n    \
+         \"speedup\": {ntt_kernel_speedup:.3}\n  }},\n  \
          \"full_range\": {{\n    \"max_period\": {max_p},\n    \
          \"seed_3ntt_secs\": {t_seed_full:.6},\n    \
          \"naive_secs\": {t_naive_full:.6},\n    \

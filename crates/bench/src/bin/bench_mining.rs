@@ -468,10 +468,14 @@ fn main() {
             )
         })
         .collect();
+    let simd = periodica_transform::simd::active();
     let json = format!(
-        "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"n\": {n}, \"smoke\": {smoke} }},\n  \
+        "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"n\": {n}, \"smoke\": {smoke}, \
+         \"simd_kernel\": \"{}\", \"simd_lanes\": {} }},\n  \
          \"workloads\": {{\n{}\n  }},\n  \
          \"dense_enumerate_speedup_vs_scalar\": {:.3},\n  \"bit_identical\": true\n}}\n",
+        simd.name(),
+        simd.lanes(),
         rows.join(",\n"),
         dense.enumerate_speedup,
     );

@@ -116,7 +116,12 @@ pub fn mine(args: &CliArgs, stdin: &mut dyn BufRead, out: &mut dyn Write) -> Res
     let report = mined?;
     render_report(&series, &report, args, out)?;
     if let Some(recorder) = recorder {
-        let run = recorder.report();
+        let mut run = recorder.report();
+        let simd = periodica_transform::simd::active();
+        run.config
+            .insert("simd_kernel".to_string(), simd.name().to_string());
+        run.config
+            .insert("simd_lanes".to_string(), simd.lanes().to_string());
         if args.flag("profile") {
             render_profile(&run, out)?;
         }

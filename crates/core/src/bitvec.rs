@@ -3,6 +3,21 @@
 //! Supports exactly the operations the bitset convolution engine needs:
 //! set/get, `AND` with a right-shifted copy, popcount, and iteration over
 //! set bits. No dependency on external bitset crates.
+//!
+//! The word loops (popcount, fused AND+popcount, in-place AND, subset test,
+//! and the shifted-AND scan) execute through the runtime-dispatched kernels
+//! in [`periodica_transform::simd`], so they run 4 or 8 limbs per
+//! instruction on AVX2/AVX-512 machines and fall back to scalar elsewhere
+//! (or under `PERIODICA_FORCE_SCALAR`). Results are bit-identical across
+//! kernel levels.
+
+use periodica_transform::simd::{self, SimdLevel};
+
+/// The process-wide kernel level, resolved once per call site.
+#[inline]
+fn level() -> SimdLevel {
+    simd::active()
+}
 
 /// A fixed-length bit vector.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,7 +78,7 @@ impl BitVec {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+        simd::popcount(&self.limbs, level()) as usize
     }
 
     /// `popcount(self & (self >> shift))` without materializing the shifted
@@ -74,21 +89,8 @@ impl BitVec {
             return 0;
         }
         let word_shift = shift / 64;
-        let bit_shift = shift % 64;
-        let limbs = &self.limbs;
-        let mut count = 0usize;
-        if bit_shift == 0 {
-            for i in 0..limbs.len() - word_shift {
-                count += (limbs[i] & limbs[i + word_shift]).count_ones() as usize;
-            }
-        } else {
-            for i in 0..limbs.len() - word_shift {
-                let hi = limbs.get(i + word_shift + 1).copied().unwrap_or(0);
-                let shifted = (limbs[i + word_shift] >> bit_shift) | (hi << (64 - bit_shift));
-                count += (limbs[i] & shifted).count_ones() as usize;
-            }
-        }
-        count
+        let bit_shift = (shift % 64) as u32;
+        simd::shifted_and_popcount(&self.limbs, word_shift, bit_shift, level()) as usize
     }
 
     /// Materializes `self & (self >> shift)` as a new vector (used by the
@@ -112,11 +114,7 @@ impl BitVec {
     /// Panics if lengths differ.
     pub fn and_count(&self, other: &BitVec) -> usize {
         assert_eq!(self.len, other.len, "bit vector lengths differ");
-        self.limbs
-            .iter()
-            .zip(&other.limbs)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        simd::and_popcount(&self.limbs, &other.limbs, level()) as usize
     }
 
     /// In-place intersection: `self &= other`. The allocation-free
@@ -127,9 +125,7 @@ impl BitVec {
     /// Panics if lengths differ.
     pub fn and_with(&mut self, other: &BitVec) {
         assert_eq!(self.len, other.len, "bit vector lengths differ");
-        for (a, b) in self.limbs.iter_mut().zip(&other.limbs) {
-            *a &= b;
-        }
+        simd::and_assign(&mut self.limbs, &other.limbs, level());
     }
 
     /// `popcount(self & b & c)` without allocating: the triple-intersection
@@ -140,12 +136,7 @@ impl BitVec {
     pub fn and_count_3(&self, b: &BitVec, c: &BitVec) -> usize {
         assert_eq!(self.len, b.len, "bit vector lengths differ");
         assert_eq!(self.len, c.len, "bit vector lengths differ");
-        self.limbs
-            .iter()
-            .zip(&b.limbs)
-            .zip(&c.limbs)
-            .map(|((x, y), z)| (x & y & z).count_ones() as usize)
-            .sum()
+        simd::and3_popcount(&self.limbs, &b.limbs, &c.limbs, level()) as usize
     }
 
     /// The intersection `self & other`.
@@ -171,10 +162,7 @@ impl BitVec {
     /// Panics if lengths differ.
     pub fn is_subset_of(&self, other: &BitVec) -> bool {
         assert_eq!(self.len, other.len, "bit vector lengths differ");
-        self.limbs
-            .iter()
-            .zip(&other.limbs)
-            .all(|(a, b)| a & !b == 0)
+        simd::is_subset(&self.limbs, &other.limbs, level())
     }
 
     /// Iterates over the indices of set bits in ascending order.
@@ -382,5 +370,139 @@ mod tests {
         assert_eq!(b.count_ones(), 0);
         assert_eq!(b.count_and_shifted(0), 0);
         assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    /// Bit lengths straddling the 4- and 8-word vector boundaries:
+    /// {0, 1, w-1, w, w+1, 2w+1} words for w ∈ {4, 8}, in bits.
+    const BOUNDARY_BITS: [usize; 11] = [
+        0,
+        1,
+        63,
+        64 * 3,
+        64 * 4 - 1,
+        64 * 4,
+        64 * 4 + 1,
+        64 * 8 - 7,
+        64 * 8,
+        64 * 9 + 5,
+        64 * 17 + 3,
+    ];
+
+    fn pseudo_random(len: usize, mut state: u64) -> BitVec {
+        let mut b = BitVec::zeros(len);
+        for i in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state & 1 == 1 {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    /// Every vectorized op against the pinned scalar kernels, at every
+    /// boundary length — whatever level `simd::active()` resolved to.
+    #[test]
+    fn vectorized_ops_match_scalar_kernels_at_boundaries() {
+        let s = SimdLevel::Scalar;
+        for &len in &BOUNDARY_BITS {
+            let a = pseudo_random(len, 0x0123_4567_89AB_CDEF ^ len as u64);
+            let b = pseudo_random(len, 0xFEDC_BA98_7654_3210 ^ len as u64);
+            let c = pseudo_random(len, 0x5555_AAAA_5555_AAAA ^ len as u64);
+            assert_eq!(
+                a.count_ones() as u64,
+                simd::popcount(&a.limbs, s),
+                "count_ones len={len}"
+            );
+            assert_eq!(
+                a.and_count(&b) as u64,
+                simd::and_popcount(&a.limbs, &b.limbs, s),
+                "and_count len={len}"
+            );
+            assert_eq!(
+                a.and_count_3(&b, &c) as u64,
+                simd::and3_popcount(&a.limbs, &b.limbs, &c.limbs, s),
+                "and_count_3 len={len}"
+            );
+            let mut got = a.clone();
+            got.and_with(&b);
+            let mut want = a.limbs.clone();
+            simd::and_assign(&mut want, &b.limbs, s);
+            assert_eq!(got.limbs, want, "and_with len={len}");
+            assert_eq!(
+                a.is_subset_of(&b),
+                simd::is_subset(&a.limbs, &b.limbs, s),
+                "is_subset_of len={len}"
+            );
+            assert!(got.is_subset_of(&a), "a&b ⊆ a len={len}");
+            for shift in [0usize, 1, 63, 64, 65, 130, len.saturating_sub(1)] {
+                let reference = if shift >= len {
+                    0
+                } else {
+                    simd::shifted_and_popcount(&a.limbs, shift / 64, (shift % 64) as u32, s)
+                        as usize
+                };
+                assert_eq!(
+                    a.count_and_shifted(shift),
+                    reference,
+                    "count_and_shifted len={len} shift={shift}"
+                );
+            }
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn boundary_bits() -> impl Strategy<Value = usize> {
+            proptest::sample::select(BOUNDARY_BITS.to_vec())
+        }
+
+        proptest! {
+            /// SIMD-vs-scalar bit-identical results for every vectorized
+            /// BitVec op at vector-width-straddling lengths.
+            #[test]
+            fn bitvec_ops_bit_identical_across_levels(
+                len in boundary_bits(),
+                seed in any::<u64>(),
+                shift in 0usize..1200,
+            ) {
+                let a = pseudo_random(len, seed | 1);
+                let b = pseudo_random(len, seed.rotate_left(17) | 1);
+                let c = pseudo_random(len, seed.rotate_left(41) | 1);
+                let s = SimdLevel::Scalar;
+                prop_assert_eq!(a.count_ones() as u64, simd::popcount(&a.limbs, s));
+                prop_assert_eq!(
+                    a.and_count(&b) as u64,
+                    simd::and_popcount(&a.limbs, &b.limbs, s)
+                );
+                prop_assert_eq!(
+                    a.and_count_3(&b, &c) as u64,
+                    simd::and3_popcount(&a.limbs, &b.limbs, &c.limbs, s)
+                );
+                let mut got = a.clone();
+                got.and_with(&b);
+                let mut want = a.limbs.clone();
+                simd::and_assign(&mut want, &b.limbs, s);
+                prop_assert_eq!(&got.limbs, &want);
+                prop_assert_eq!(
+                    a.is_subset_of(&b),
+                    simd::is_subset(&a.limbs, &b.limbs, s)
+                );
+                let reference = if shift >= len {
+                    0
+                } else {
+                    simd::shifted_and_popcount(
+                        &a.limbs,
+                        shift / 64,
+                        (shift % 64) as u32,
+                        s,
+                    ) as usize
+                };
+                prop_assert_eq!(a.count_and_shifted(shift), reference);
+            }
+        }
     }
 }

@@ -1,12 +1,16 @@
 //! Thread-parallel variant of the spectrum engine.
 //!
 //! The `sigma` per-symbol autocorrelations are independent, so worker
-//! threads pull symbols one at a time from a shared atomic counter — not in
-//! pre-chunked contiguous ranges — so an alphabet slightly larger than the
-//! thread count never leaves threads idle while one drains a double-length
-//! chunk. All workers share one correlator (its NTT plan comes from the
-//! process-wide cache; per-thread mutable state is just a scratch buffer),
-//! and the same bounded-lag policy/heuristic as [`super::SpectrumEngine`].
+//! threads pull symbols *two at a time* from a shared atomic counter — not
+//! in pre-chunked contiguous ranges — so an alphabet slightly larger than
+//! the thread count never leaves threads idle while one drains a
+//! double-length chunk. Claiming pairs lets each worker route both
+//! indicators through one packed transform
+//! ([`SymbolCorrelator::fill_pair`]), the same halving the sequential
+//! engine gets. All workers share one correlator (its NTT plan comes from
+//! the process-wide cache; per-thread mutable state is just a scratch
+//! buffer), and the same bounded-lag policy/heuristic as
+//! [`super::SpectrumEngine`].
 //! Output is bit-identical to the sequential engine; the equivalence tests
 //! cover this engine through [`super::EngineKind::all`].
 
@@ -74,7 +78,7 @@ impl MatchEngine for ParallelSpectrumEngine {
                     .map(|p| p.get())
                     .unwrap_or(1)
             })
-            .min(sigma)
+            .min(sigma.div_ceil(2)) // one work unit per symbol pair
             .max(1);
         let symbols: Vec<_> = series.alphabet().ids().collect();
         let correlator = SymbolCorrelator::build(n, max_period, self.policy)?;
@@ -89,20 +93,35 @@ impl MatchEngine for ParallelSpectrumEngine {
                 let next = &next;
                 handles.push(scope.spawn(move || -> Result<Vec<(usize, Vec<u64>)>> {
                     let mut scratch = CorrelatorScratch::new();
-                    let mut indicator = Vec::with_capacity(n);
+                    let mut ind_a = Vec::with_capacity(n);
+                    let mut ind_b = Vec::with_capacity(n);
                     let mut out = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&sym) = symbols.get(i) else {
+                        let i = next.fetch_add(2, Ordering::Relaxed);
+                        let Some(&sym_a) = symbols.get(i) else {
                             if !out.is_empty() {
                                 obs::thread_claim(worker, out.len() as u64);
                             }
                             return Ok(out);
                         };
-                        series.indicator_into(sym, &mut indicator);
-                        let mut row = vec![0u64; max_period + 1];
-                        correlator.fill_row(&indicator, &mut row, &mut scratch)?;
-                        out.push((sym.index(), row));
+                        series.indicator_into(sym_a, &mut ind_a);
+                        let mut row_a = vec![0u64; max_period + 1];
+                        if let Some(&sym_b) = symbols.get(i + 1) {
+                            series.indicator_into(sym_b, &mut ind_b);
+                            let mut row_b = vec![0u64; max_period + 1];
+                            correlator.fill_pair(
+                                &ind_a,
+                                &ind_b,
+                                &mut row_a,
+                                &mut row_b,
+                                &mut scratch,
+                            )?;
+                            out.push((sym_a.index(), row_a));
+                            out.push((sym_b.index(), row_b));
+                        } else {
+                            correlator.fill_row(&ind_a, &mut row_a, &mut scratch)?;
+                            out.push((sym_a.index(), row_a));
+                        }
                     }
                 }));
             }

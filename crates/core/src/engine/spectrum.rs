@@ -8,12 +8,16 @@
 //! levels), the whole spectrum costs O(n log n) after a single pass that
 //! builds the indicators.
 //!
-//! Two transform-sharing refinements keep the hot path lean:
+//! Three transform-sharing refinements keep the hot path lean:
 //!
 //! * each autocorrelation spends **two** NTTs, not three — the reversed
 //!   signal's spectrum is derived by index negation
 //!   ([`periodica_transform::ntt::reversed_spectrum`]) — and all `sigma`
 //!   symbols share one cached plan and one scratch buffer;
+//! * symbols are correlated in *pairs*: two 0/1 indicators pack into one
+//!   transform as `a + b * 2^s` and separate exactly afterwards
+//!   ([`ExactCorrelator::autocorrelation_pair_into`]), halving transform
+//!   work whenever the signal length clears the packing's overflow gate;
 //! * when `max_period << n`, the engine routes through
 //!   [`BoundedLagCorrelator`] (overlap-save blocks, cost-model-sized),
 //!   which is O(n log max_period) with O(max_period) transform memory. The
@@ -93,6 +97,29 @@ impl SymbolCorrelator {
             SymbolCorrelator::Bounded(c) => c.autocorrelation_into(indicator, row, scratch),
         }
     }
+
+    /// Fills two symbols' rows through one packed transform when the
+    /// signal length admits it (see
+    /// [`ExactCorrelator::autocorrelation_pair_into`]); counts are
+    /// bit-identical to two [`Self::fill_row`] calls either way.
+    pub(crate) fn fill_pair(
+        &self,
+        ind_a: &[u64],
+        ind_b: &[u64],
+        row_a: &mut [u64],
+        row_b: &mut [u64],
+        scratch: &mut CorrelatorScratch,
+    ) -> TransformResult<()> {
+        obs::count(obs::Counter::AutocorrBatches, 2);
+        match self {
+            SymbolCorrelator::Full(c) => {
+                c.autocorrelation_pair_into(ind_a, ind_b, row_a, row_b, scratch)
+            }
+            SymbolCorrelator::Bounded(c) => {
+                c.autocorrelation_pair_into(ind_a, ind_b, row_a, row_b, scratch)
+            }
+        }
+    }
 }
 
 /// Exact NTT autocorrelation engine (production default).
@@ -129,18 +156,31 @@ impl MatchEngine for SpectrumEngine {
                 vec![vec![0; max_period + 1]; sigma],
             ));
         }
-        // One plan (from the process-wide cache), one scratch, and one
-        // indicator buffer serve every symbol: the per-symbol loop
-        // allocates nothing but its output row.
+        // One plan (from the process-wide cache), one scratch, and two
+        // indicator buffers serve every symbol: the loop allocates nothing
+        // but its output rows. Symbols go through in pairs so eligible
+        // lengths pack two indicators per transform (see
+        // `SymbolCorrelator::fill_pair`); an odd trailing symbol takes the
+        // single path.
         let correlator = SymbolCorrelator::build(n, max_period, self.policy)?;
         let mut scratch = CorrelatorScratch::new();
-        let mut indicator = Vec::with_capacity(n);
+        let mut ind_a = Vec::with_capacity(n);
+        let mut ind_b = Vec::with_capacity(n);
         let mut per_symbol = Vec::with_capacity(sigma);
-        for sym in series.alphabet().ids() {
-            series.indicator_into(sym, &mut indicator);
-            let mut row = vec![0u64; max_period + 1];
-            correlator.fill_row(&indicator, &mut row, &mut scratch)?;
-            per_symbol.push(row);
+        let ids: Vec<_> = series.alphabet().ids().collect();
+        for pair in ids.chunks(2) {
+            series.indicator_into(pair[0], &mut ind_a);
+            let mut row_a = vec![0u64; max_period + 1];
+            if let &[_, second] = pair {
+                series.indicator_into(second, &mut ind_b);
+                let mut row_b = vec![0u64; max_period + 1];
+                correlator.fill_pair(&ind_a, &ind_b, &mut row_a, &mut row_b, &mut scratch)?;
+                per_symbol.push(row_a);
+                per_symbol.push(row_b);
+            } else {
+                correlator.fill_row(&ind_a, &mut row_a, &mut scratch)?;
+                per_symbol.push(row_a);
+            }
         }
         Ok(MatchSpectrum::new(n, max_period, per_symbol))
     }

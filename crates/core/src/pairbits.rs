@@ -31,6 +31,11 @@
 //! eligibility has a zero bit in the row of its largest fixed phase, so the
 //! intersection popcount over the full transaction universe counts exactly
 //! the scalar loop's matches (asserted by unit tests and proptests).
+//!
+//! The AND/popcount word loops themselves run through the SIMD dispatch
+//! layer in `periodica_transform::simd` (via [`crate::bitvec::BitVec`]),
+//! so the `pairbits.popcount_words` counter measures work that executes 4
+//! or 8 words per instruction on vector-capable machines.
 
 use periodica_obs as obs;
 use periodica_series::{pair_denominator, SymbolId, SymbolSeries};

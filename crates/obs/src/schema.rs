@@ -119,6 +119,7 @@ mod tests {
       "required": ["counters", "stages", "thread_claims"],
       "additionalProperties": false,
       "properties": {
+        "config": { "type": "object", "additionalProperties": { "type": "string" } },
         "counters": { "type": "object", "additionalProperties": { "type": "integer" } },
         "stages": {
           "type": "object",

@@ -12,6 +12,7 @@ use crate::complex::Complex;
 use crate::error::Result;
 use crate::fft::{fft_two_reals, FftPlanner};
 use crate::ntt::{self, Ntt};
+use crate::simd::{self, SimdLevel};
 
 /// Linear convolution of real sequences via FFT.
 ///
@@ -88,6 +89,10 @@ pub struct CorrelatorScratch {
     aux: Vec<u64>,
     /// Lag-domain accumulator for the bounded path.
     lags: Vec<u64>,
+    /// Packed two-symbol input for the paired autocorrelation path.
+    packed: Vec<u64>,
+    /// Packed two-symbol output for the paired autocorrelation path.
+    packed_out: Vec<u64>,
 }
 
 impl CorrelatorScratch {
@@ -112,17 +117,91 @@ fn cyclic_autocorrelation(plan: &Ntt, seg: &[u64], buf: &mut Vec<u64>) {
     buf.resize(size, 0);
     buf[..seg.len()].copy_from_slice(seg);
     plan.forward(buf);
-    buf[0] = ntt::mod_mul(buf[0], buf[0]);
-    if size > 1 {
-        let half = size / 2;
-        buf[half] = ntt::mod_mul(buf[half], buf[half]);
-        for k in 1..half {
-            let w = ntt::mod_mul(buf[k], buf[size - k]);
-            buf[k] = w;
-            buf[size - k] = w;
+    // W[k] = X[k] * X[(N-k) mod N], lane-parallel at the plan's kernel level.
+    simd::reversed_square_spectrum(buf, plan.level());
+    plan.inverse(buf);
+}
+
+/// The field shift for packing two 0/1 indicator vectors of length `n`
+/// into one transform, or `None` when the packed values could overflow
+/// the NTT modulus.
+///
+/// With `v = a + b * 2^s`, one autocorrelation of `v` carries three fields
+/// per lag: `r = A[p] + C[p] * 2^s + B[p] * 2^(2s)`, where `A`/`B` are the
+/// two autocorrelations and `C` the (discarded) sum of cross-correlations.
+/// Final field values are at most `n`; the bounded blocked path briefly
+/// holds up to one window of overcount before the matching tail
+/// subtraction, so intermediates stay below `2n`. Choosing
+/// `s = ceil(log2(n + 1)) + 3` keeps every intermediate under `2^s`:
+/// fields never collide, packed addition/subtraction never carries or
+/// borrows across fields, and shift-and-mask extraction is exact.
+/// Eligibility additionally requires the transform-domain bound
+/// `n * (1 + 2^s)^2 < P` (true convolution values must fit the modulus),
+/// which holds for signals up to roughly `2^19` samples.
+fn pair_pack_shift(n: usize) -> Option<u32> {
+    if n == 0 {
+        return None;
+    }
+    let bits = usize::BITS - n.leading_zeros();
+    let s = bits + 3;
+    // The gate below already implies 2s < 64 (it rejects once the middle
+    // field's weight alone reaches the modulus), so extraction by
+    // `>> (2 * s)` is always defined when `Some` is returned.
+    let vmax = 1u128 + (1u128 << s);
+    ((n as u128) * vmax * vmax < u128::from(ntt::P)).then_some(s)
+}
+
+/// Whether every sample is a 0/1 indicator value — the precondition for
+/// the paired packing above.
+fn is_binary(x: &[u64]) -> bool {
+    x.iter().all(|&v| v <= 1)
+}
+
+/// Shared body of the `autocorrelation_pair_into` methods: packs two
+/// binary signals into one transform when [`pair_pack_shift`] admits it,
+/// otherwise runs `run` (the correlator's single-signal path) twice.
+/// Either way the outputs are the exact per-signal autocorrelations,
+/// bit-identical to two sequential calls.
+fn paired_autocorrelation<F>(
+    n: usize,
+    a: &[u64],
+    b: &[u64],
+    out_a: &mut [u64],
+    out_b: &mut [u64],
+    scratch: &mut CorrelatorScratch,
+    mut run: F,
+) -> Result<()>
+where
+    F: FnMut(&[u64], &mut [u64], &mut CorrelatorScratch) -> Result<()>,
+{
+    assert_eq!(a.len(), n, "first signal length does not match plan");
+    assert_eq!(b.len(), n, "second signal length does not match plan");
+    let shift = pair_pack_shift(n).filter(|_| is_binary(a) && is_binary(b));
+    let Some(s) = shift else {
+        run(a, out_a, scratch)?;
+        return run(b, out_b, scratch);
+    };
+    // Take the pack buffers out of the scratch so the single-signal path
+    // below can borrow the scratch mutably; restore them before returning.
+    let mut packed = std::mem::take(&mut scratch.packed);
+    packed.clear();
+    packed.extend(a.iter().zip(b).map(|(&x, &y)| x | (y << s)));
+    let mut pout = std::mem::take(&mut scratch.packed_out);
+    pout.clear();
+    pout.resize(out_a.len().max(out_b.len()), 0);
+    let res = run(&packed, &mut pout, scratch);
+    if res.is_ok() {
+        let mask = (1u64 << s) - 1;
+        for (slot, &r) in out_a.iter_mut().zip(&pout) {
+            *slot = r & mask;
+        }
+        for (slot, &r) in out_b.iter_mut().zip(&pout) {
+            *slot = r >> (2 * s);
         }
     }
-    plan.inverse(buf);
+    scratch.packed = packed;
+    scratch.packed_out = pout;
+    res
 }
 
 /// A reusable exact autocorrelation plan for signals of one fixed length.
@@ -216,6 +295,32 @@ impl ExactCorrelator {
         Ok(())
     }
 
+    /// Autocorrelates two 0/1 indicator signals in (at most) the cost of
+    /// one: both are packed into a single transform as `a + b * 2^s` and
+    /// separated exactly afterwards (see the module's packing notes).
+    /// Results are bit-identical to two [`Self::autocorrelation_into`]
+    /// calls; when the signal is too long for the packing's overflow
+    /// gate — or an input is not actually binary — it transparently falls
+    /// back to exactly that.
+    pub fn autocorrelation_pair_into(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        out_a: &mut [u64],
+        out_b: &mut [u64],
+        scratch: &mut CorrelatorScratch,
+    ) -> Result<()> {
+        paired_autocorrelation(
+            self.signal_len,
+            a,
+            b,
+            out_a,
+            out_b,
+            scratch,
+            |x, out, sc| self.autocorrelation_into(x, out, sc),
+        )
+    }
+
     /// Autocorrelates a batch of equal-length signals through one plan and
     /// one scratch: the per-symbol hot loop of the spectrum engines.
     pub fn autocorrelation_batch<S: AsRef<[u64]>>(&self, signals: &[S]) -> Result<Vec<Vec<u64>>> {
@@ -259,9 +364,41 @@ enum BoundedMode {
     },
 }
 
-/// Butterfly-unit cost (`2 * size * log2(size)` per cyclic
-/// autocorrelation) of a blocked pass over `n` samples with main
-/// transform size `m`, counting the right-sized final window and the
+/// Modeled cost of one length-`size` NTT, in scalar-butterfly units scaled
+/// by 8 so per-lane division stays integral. Each of the `log2(size)`
+/// stages contributes `size/2` butterflies divided by the lane count the
+/// dispatch layer runs that stage at: every stage is vector-wide on AVX2,
+/// while under AVX-512 the stages with butterfly half-width below 8 route
+/// through the 4-lane kernels. At the scalar level this degenerates to
+/// `4 * size * log2(size)` — the classic butterfly count — so relative
+/// comparisons are unchanged on non-vector machines, while on AVX-512 the
+/// model correctly charges small (tail) transforms more per butterfly than
+/// large ones.
+fn ntt_cost(size: usize) -> usize {
+    let level = simd::active();
+    let butterflies = size / 2;
+    let mut cost = 0usize;
+    for s in 0..size.max(1).ilog2() {
+        let half = 1usize << s;
+        let lanes = match level {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Avx2 => 4,
+            SimdLevel::Avx512 => {
+                if half >= 8 {
+                    8
+                } else {
+                    4
+                }
+            }
+        };
+        cost += butterflies * 8 / lanes;
+    }
+    cost
+}
+
+/// Modeled cost (two transforms per cyclic autocorrelation; see
+/// [`ntt_cost`]) of a blocked pass over `n` samples with main transform
+/// size `m`, counting the right-sized final window and the
 /// per-interior-window tail corrections. `None` when `m` leaves no room
 /// to advance past the `2 * lag` overlap.
 fn blocked_cost(n: usize, lag: usize, m: usize) -> Option<usize> {
@@ -271,11 +408,7 @@ fn blocked_cost(n: usize, lag: usize, m: usize) -> Option<usize> {
     let last_seg = n - interior * advance;
     let last_size = (last_seg + lag).next_power_of_two();
     let tail_size = (2 * lag).next_power_of_two();
-    Some(
-        interior * 2 * m * m.ilog2() as usize
-            + 2 * last_size * last_size.ilog2() as usize
-            + interior * 2 * tail_size * tail_size.ilog2() as usize,
-    )
+    Some(interior * 2 * ntt_cost(m) + 2 * ntt_cost(last_size) + interior * 2 * ntt_cost(tail_size))
 }
 
 /// The cost-minimizing main transform size for a blocked pass over `n`
@@ -346,7 +479,7 @@ impl BoundedLagCorrelator {
             BoundedMode::Direct
         } else {
             let single_size = (n + lag).next_power_of_two();
-            let single_cost = 2 * single_size * single_size.ilog2() as usize;
+            let single_cost = 2 * ntt_cost(single_size);
             match best_blocked(n, lag, single_size) {
                 Some((m, cost)) if cost < single_cost => {
                     let advance = m - 2 * lag;
@@ -385,9 +518,10 @@ impl BoundedLagCorrelator {
     /// autocorrelation for this `(signal_len, max_lag)` — the size
     /// heuristic the spectrum engines consult.
     ///
-    /// Costs are modeled in butterfly units (`transforms * size * log2
-    /// size`) and the bounded path must win by at least 25% so near-ties
-    /// keep the simpler full-length path.
+    /// Costs are modeled in lane-aware butterfly units (see [`ntt_cost`]:
+    /// `transforms * size * log2(size)`, discounted per stage by the
+    /// dispatch layer's vector width) and the bounded path must win by at
+    /// least 25% so near-ties keep the simpler full-length path.
     pub fn is_profitable(signal_len: usize, max_lag: usize) -> bool {
         let n = signal_len;
         let lag = max_lag.min(n.saturating_sub(1));
@@ -395,9 +529,9 @@ impl BoundedLagCorrelator {
             return true; // direct counting on tiny inputs always wins
         }
         let full_size = (2 * n - 1).next_power_of_two();
-        let full_cost = 2 * full_size * full_size.ilog2() as usize;
+        let full_cost = 2 * ntt_cost(full_size);
         let single_size = (n + lag).next_power_of_two();
-        let single_cost = 2 * single_size * single_size.ilog2() as usize;
+        let single_cost = 2 * ntt_cost(single_size);
         let best = match best_blocked(n, lag, single_size) {
             Some((_, cost)) => cost.min(single_cost),
             None => single_cost,
@@ -494,6 +628,32 @@ impl BoundedLagCorrelator {
         out[..avail].copy_from_slice(&acc[..avail]);
         out[avail..].fill(0);
         Ok(())
+    }
+
+    /// Autocorrelates two 0/1 indicator signals in (at most) the cost of
+    /// one; the bounded-lag counterpart of
+    /// [`ExactCorrelator::autocorrelation_pair_into`], with the same
+    /// packing, exactness, and fallback contract. Blocked-mode
+    /// accumulation stays field-exact because each window's tail
+    /// subtraction never exceeds the addition it corrects, so packed
+    /// arithmetic cannot borrow across fields.
+    pub fn autocorrelation_pair_into(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        out_a: &mut [u64],
+        out_b: &mut [u64],
+        scratch: &mut CorrelatorScratch,
+    ) -> Result<()> {
+        paired_autocorrelation(
+            self.signal_len,
+            a,
+            b,
+            out_a,
+            out_b,
+            scratch,
+            |x, out, sc| self.autocorrelation_into(x, out, sc),
+        )
     }
 
     /// Autocorrelates a batch of equal-length signals through one plan and
@@ -745,6 +905,163 @@ mod tests {
     fn bounded_lag_rejects_wrong_length() {
         let corr = BoundedLagCorrelator::new(128, 8).expect("plan");
         let _ = corr.autocorrelation(&[1, 0, 1]);
+    }
+
+    #[test]
+    fn paired_packing_matches_sequential_calls() {
+        // Lengths spanning direct, single-window, and blocked bounded
+        // modes, plus the full correlator; dense indicators stress the
+        // packed fields' worst-case magnitudes.
+        for &(n, lag) in &[
+            (12usize, 4usize),
+            (65, 20),
+            (300, 7),
+            (1_000, 16),
+            (1_000, 999),
+            (4_097, 64),
+        ] {
+            let a: Vec<u64> = (0..n).map(|i| u64::from(i % 2 == 0)).collect();
+            let b: Vec<u64> = (0..n).map(|i| u64::from(i % 3 != 1)).collect();
+            let mut scratch = CorrelatorScratch::new();
+
+            let full = ExactCorrelator::new(n).expect("plan");
+            let (mut fa, mut fb) = (vec![0u64; n], vec![0u64; n]);
+            full.autocorrelation_pair_into(&a, &b, &mut fa, &mut fb, &mut scratch)
+                .expect("fits");
+            assert_eq!(fa, full.autocorrelation(&a).expect("fits"), "full a n={n}");
+            assert_eq!(fb, full.autocorrelation(&b).expect("fits"), "full b n={n}");
+
+            let bounded = BoundedLagCorrelator::new(n, lag).expect("plan");
+            let (mut ba, mut bb) = (vec![0u64; lag + 1], vec![0u64; lag + 1]);
+            bounded
+                .autocorrelation_pair_into(&a, &b, &mut ba, &mut bb, &mut scratch)
+                .expect("fits");
+            assert_eq!(
+                ba,
+                bounded.autocorrelation(&a).expect("fits"),
+                "bounded a n={n} lag={lag}"
+            );
+            assert_eq!(
+                bb,
+                bounded.autocorrelation(&b).expect("fits"),
+                "bounded b n={n} lag={lag}"
+            );
+        }
+    }
+
+    #[test]
+    fn paired_packing_mismatched_output_lengths() {
+        let n = 500;
+        let a: Vec<u64> = (0..n).map(|i| u64::from(i % 5 == 0)).collect();
+        let b: Vec<u64> = (0..n).map(|i| u64::from(i % 4 == 2)).collect();
+        let corr = ExactCorrelator::new(n).expect("plan");
+        let mut scratch = CorrelatorScratch::new();
+        // out_a shorter than out_b: extraction must respect each length
+        // and zero-fill past the signal.
+        let (mut oa, mut ob) = (vec![u64::MAX; 7], vec![u64::MAX; n + 9]);
+        corr.autocorrelation_pair_into(&a, &b, &mut oa, &mut ob, &mut scratch)
+            .expect("fits");
+        let wa = corr.autocorrelation(&a).expect("fits");
+        let wb = corr.autocorrelation(&b).expect("fits");
+        assert_eq!(oa, wa[..7]);
+        assert_eq!(ob[..n], wb[..]);
+        assert!(ob[n..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn paired_fallback_on_non_binary_input() {
+        // A value of 2 defeats the 0/1 packing precondition; the pair call
+        // must transparently take the sequential path and stay exact.
+        let n = 400;
+        let a: Vec<u64> = (0..n).map(|i| (i % 3) as u64).collect();
+        let b: Vec<u64> = (0..n).map(|i| u64::from(i % 6 == 0)).collect();
+        for_both_correlators(n, 32, |run| {
+            let mut scratch = CorrelatorScratch::new();
+            let (mut oa, mut ob) = (vec![0u64; 33], vec![0u64; 33]);
+            run.pair(&a, &b, &mut oa, &mut ob, &mut scratch);
+            let (mut wa, mut wb) = (vec![0u64; 33], vec![0u64; 33]);
+            run.single(&a, &mut wa, &mut scratch);
+            run.single(&b, &mut wb, &mut scratch);
+            assert_eq!(oa, wa);
+            assert_eq!(ob, wb);
+        });
+    }
+
+    /// Test helper: runs a closure against both correlator types through a
+    /// uniform pair/single interface.
+    fn for_both_correlators<F>(n: usize, lag: usize, mut check: F)
+    where
+        F: FnMut(&dyn PairRunner),
+    {
+        struct FullRunner(ExactCorrelator);
+        struct BoundedRunner(BoundedLagCorrelator);
+        impl PairRunner for FullRunner {
+            fn pair(
+                &self,
+                a: &[u64],
+                b: &[u64],
+                oa: &mut [u64],
+                ob: &mut [u64],
+                sc: &mut CorrelatorScratch,
+            ) {
+                self.0
+                    .autocorrelation_pair_into(a, b, oa, ob, sc)
+                    .expect("fits");
+            }
+            fn single(&self, x: &[u64], out: &mut [u64], sc: &mut CorrelatorScratch) {
+                self.0.autocorrelation_into(x, out, sc).expect("fits");
+            }
+        }
+        impl PairRunner for BoundedRunner {
+            fn pair(
+                &self,
+                a: &[u64],
+                b: &[u64],
+                oa: &mut [u64],
+                ob: &mut [u64],
+                sc: &mut CorrelatorScratch,
+            ) {
+                self.0
+                    .autocorrelation_pair_into(a, b, oa, ob, sc)
+                    .expect("fits");
+            }
+            fn single(&self, x: &[u64], out: &mut [u64], sc: &mut CorrelatorScratch) {
+                self.0.autocorrelation_into(x, out, sc).expect("fits");
+            }
+        }
+        check(&FullRunner(ExactCorrelator::new(n).expect("plan")));
+        check(&BoundedRunner(
+            BoundedLagCorrelator::new(n, lag).expect("plan"),
+        ));
+    }
+
+    trait PairRunner {
+        fn pair(
+            &self,
+            a: &[u64],
+            b: &[u64],
+            oa: &mut [u64],
+            ob: &mut [u64],
+            sc: &mut CorrelatorScratch,
+        );
+        fn single(&self, x: &[u64], out: &mut [u64], sc: &mut CorrelatorScratch);
+    }
+
+    #[test]
+    fn pair_pack_shift_overflow_gate() {
+        // Small and benchmark-scale lengths are eligible; far past the
+        // modulus budget they are not.
+        assert!(pair_pack_shift(1).is_some());
+        assert!(pair_pack_shift(1 << 17).is_some());
+        assert!(pair_pack_shift((1 << 19) - 1).is_some());
+        assert!(pair_pack_shift(0).is_none());
+        assert!(pair_pack_shift(1 << 19).is_none());
+        assert!(pair_pack_shift(1 << 21).is_none());
+        // Fields must never collide: 2n (worst intermediate) < 2^s.
+        for n in [1usize, 2, 100, 1 << 10, 1 << 17] {
+            let s = pair_pack_shift(n).expect("eligible");
+            assert!((2 * n as u128) < (1 << s), "n={n} s={s}");
+        }
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   lag-bounded overlap-save [`conv::BoundedLagCorrelator`]
 //!   (O(n log L) when only lags `0..=L` are needed);
 //! * [`external`] — bounded-memory streaming autocorrelation, the in-crate
-//!   equivalent of the external FFT the paper cites for on-disk mining.
+//!   equivalent of the external FFT the paper cites for on-disk mining;
+//! * [`simd`] — runtime-dispatched AVX2/AVX-512 kernels (scalar fallback)
+//!   behind the NTT butterflies and the bit-vector word loops, selected
+//!   once per process and overridable with `PERIODICA_FORCE_SCALAR` /
+//!   `PERIODICA_SIMD`.
 //!
 //! No external numeric dependencies: everything here is implemented and
 //! tested inside this crate. (The only dependency is the workspace's own
@@ -33,12 +37,14 @@ pub mod external;
 pub mod fft;
 pub mod ntt;
 pub mod rfft;
+pub mod simd;
 
 pub use complex::Complex;
 pub use conv::{BoundedLagCorrelator, CorrelatorScratch, ExactCorrelator};
 pub use error::{Result, TransformError};
 pub use fft::{FftDirection, FftPlanner};
 pub use rfft::RealFftPlanner;
+pub use simd::SimdLevel;
 
 #[cfg(test)]
 mod proptests {
@@ -51,9 +57,16 @@ mod proptests {
     use crate::fft::{FftAlgorithm, FftDirection, FftPlanner};
     use crate::ntt::{
         convolve_exact, convolve_naive, mod_inv, mod_mul, reduce128, reversed_spectrum,
-        shared_plan, P,
+        shared_plan, shared_plan_with, P,
     };
+    use crate::simd::{self, SimdLevel};
     use proptest::prelude::*;
+
+    /// Lengths in words straddling both vector widths (w = 4 and w = 8):
+    /// {0, 1, w-1, w, w+1, 2w+1} for each, deduplicated.
+    fn boundary_len() -> impl Strategy<Value = usize> {
+        proptest::sample::select(vec![0usize, 1, 3, 4, 5, 7, 8, 9, 17, 40])
+    }
 
     proptest! {
         #[test]
@@ -177,6 +190,75 @@ mod proptests {
                 acc.push_block(chunk).unwrap();
             }
             prop_assert_eq!(acc.finish(), autocorrelate_in_core(&x, max_lag));
+        }
+
+        #[test]
+        fn ntt_levels_bit_identical_forward_inverse(
+            values in proptest::collection::vec(0u64..P, 1..260),
+        ) {
+            let size = values.len().next_power_of_two();
+            let mut padded = values;
+            padded.resize(size, 0);
+            let scalar = shared_plan_with(size, SimdLevel::Scalar).unwrap();
+            let mut want_fwd = padded.clone();
+            scalar.forward(&mut want_fwd);
+            let mut want_inv = padded.clone();
+            scalar.inverse(&mut want_inv);
+            for level in SimdLevel::supported() {
+                let plan = shared_plan_with(size, level).unwrap();
+                let mut fwd = padded.clone();
+                plan.forward(&mut fwd);
+                prop_assert_eq!(&fwd, &want_fwd, "forward level={:?}", level);
+                let mut inv = padded.clone();
+                plan.inverse(&mut inv);
+                prop_assert_eq!(&inv, &want_inv, "inverse level={:?}", level);
+            }
+        }
+
+        #[test]
+        fn word_kernels_bit_identical_across_levels(
+            len in boundary_len(),
+            seed in any::<u64>(),
+            word_shift in 0usize..6,
+            bit_shift in 0u32..64,
+        ) {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let a: Vec<u64> = (0..len).map(|_| next()).collect();
+            let b: Vec<u64> = (0..len).map(|_| next()).collect();
+            let c: Vec<u64> = (0..len).map(|_| next()).collect();
+            let s = SimdLevel::Scalar;
+            for level in SimdLevel::supported() {
+                prop_assert_eq!(simd::popcount(&a, level), simd::popcount(&a, s));
+                prop_assert_eq!(
+                    simd::and_popcount(&a, &b, level),
+                    simd::and_popcount(&a, &b, s)
+                );
+                prop_assert_eq!(
+                    simd::and3_popcount(&a, &b, &c, level),
+                    simd::and3_popcount(&a, &b, &c, s)
+                );
+                let mut got = a.clone();
+                simd::and_assign(&mut got, &b, level);
+                let mut want = a.clone();
+                simd::and_assign(&mut want, &b, s);
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(
+                    simd::is_subset(&got, &a, level),
+                    simd::is_subset(&got, &a, s)
+                );
+                if word_shift < len {
+                    prop_assert_eq!(
+                        simd::shifted_and_popcount(&a, word_shift, bit_shift, level),
+                        simd::shifted_and_popcount(&a, word_shift, bit_shift, s)
+                    );
+                }
+            }
         }
 
         #[test]

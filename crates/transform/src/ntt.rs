@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use periodica_obs as obs;
 
 use crate::error::{Result, TransformError};
+use crate::simd::{self, SimdLevel};
 
 /// The Goldilocks prime `2^64 - 2^32 + 1`.
 pub const P: u64 = 0xFFFF_FFFF_0000_0001;
@@ -25,7 +26,7 @@ pub const GENERATOR: u64 = 7;
 /// Largest supported power-of-two transform size (`2^32`).
 pub const MAX_NTT_LEN: usize = 1 << 32;
 
-const EPSILON: u64 = 0xFFFF_FFFF; // 2^32 - 1; P = 2^64 - EPSILON
+pub(crate) const EPSILON: u64 = 0xFFFF_FFFF; // 2^32 - 1; P = 2^64 - EPSILON
 
 /// Addition modulo `P`.
 #[inline]
@@ -131,13 +132,24 @@ pub fn primitive_root_of_unity(n: usize) -> Result<u64> {
 }
 
 /// A planned power-of-two NTT (forward and inverse share the plan).
+///
+/// A plan is specialized to the [`SimdLevel`] it was built for: the level
+/// decides which butterfly kernels execute *and* how the width-4 stage's
+/// twiddles are laid out (pre-repeated to one vector for the shuffle
+/// kernel). Plans built by [`Ntt::new`] / [`shared_plan`] use the
+/// process-wide [`simd::active`] level; [`Ntt::with_level`] /
+/// [`shared_plan_with`] pin an explicit one. All levels produce
+/// bit-identical transforms.
 #[derive(Debug)]
 pub struct Ntt {
     len: usize,
+    /// Kernel level this plan's twiddle layout targets.
+    level: SimdLevel,
     /// Per-stage forward twiddles: entry `s` serves butterfly width
     /// `2 << s` and holds `width/2` consecutive powers of that stage's
     /// root, so the hot loop reads twiddles sequentially instead of at a
-    /// `len/width` stride.
+    /// `len/width` stride. For vector-level plans the width-4 stage is
+    /// pre-repeated to a full vector (`[w0, w1, w0, w1]`).
     fwd_stages: Vec<Vec<u64>>,
     /// Per-stage inverse twiddles, same layout.
     inv_stages: Vec<Vec<u64>>,
@@ -147,7 +159,7 @@ pub struct Ntt {
     swaps: Vec<(u32, u32)>,
 }
 
-fn stage_twiddles(root: u64, len: usize) -> Vec<Vec<u64>> {
+fn stage_twiddles(root: u64, len: usize, level: SimdLevel) -> Vec<Vec<u64>> {
     let mut stages = Vec::new();
     let mut width = 2usize;
     while width <= len {
@@ -159,15 +171,50 @@ fn stage_twiddles(root: u64, len: usize) -> Vec<Vec<u64>> {
             tw.push(w);
             w = mod_mul(w, stage_root);
         }
+        // The vector width-4 kernel broadcasts its two twiddles across one
+        // register; store them pre-repeated so the kernel does a plain load.
+        if width == 4 && level != SimdLevel::Scalar {
+            tw = [&tw[..], &tw[..]].concat();
+        }
         stages.push(tw);
         width *= 2;
     }
     stages
 }
 
+/// The bit-reversal permutation of `0..len` as swap pairs `(i, j)`, `i < j`.
+///
+/// Shared between [`Ntt::new`] and the frozen seed-replica benchmark so the
+/// permutation logic lives in exactly one place. `len` must be a power of
+/// two (`<= 2^32`).
+pub fn bit_reversal_swaps(len: usize) -> Vec<(u32, u32)> {
+    debug_assert!(len.is_power_of_two() && len <= MAX_NTT_LEN);
+    let bits = len.trailing_zeros();
+    let mut swaps = Vec::with_capacity(len / 2);
+    for a in 0..len {
+        let b = if bits == 0 {
+            0
+        } else {
+            (a as u64).reverse_bits().wrapping_shr(64 - bits) as usize
+        };
+        if a < b {
+            swaps.push((a as u32, b as u32));
+        }
+    }
+    swaps
+}
+
 impl Ntt {
-    /// Plans an NTT of power-of-two length `len`.
+    /// Plans an NTT of power-of-two length `len` for the process-wide
+    /// [`simd::active`] kernel level.
     pub fn new(len: usize) -> Result<Self> {
+        Self::with_level(len, simd::active())
+    }
+
+    /// Plans an NTT of power-of-two length `len` for an explicit kernel
+    /// level, clamped to what the hardware supports. Useful for pinning
+    /// the scalar reference path in tests and benchmarks.
+    pub fn with_level(len: usize, level: SimdLevel) -> Result<Self> {
         if len == 0 {
             return Err(TransformError::EmptyTransform);
         }
@@ -177,27 +224,17 @@ impl Ntt {
                 max: MAX_NTT_LEN,
             });
         }
+        let level = level.min(simd::detected());
         let root = primitive_root_of_unity(len)?;
-        let fwd_stages = stage_twiddles(root, len);
-        let inv_stages = stage_twiddles(mod_inv(root), len);
-        let bits = len.trailing_zeros();
-        let mut swaps = Vec::with_capacity(len / 2);
-        for a in 0..len {
-            let b = if bits == 0 {
-                0
-            } else {
-                (a as u64).reverse_bits().wrapping_shr(64 - bits) as usize
-            };
-            if a < b {
-                swaps.push((a as u32, b as u32));
-            }
-        }
+        let fwd_stages = stage_twiddles(root, len, level);
+        let inv_stages = stage_twiddles(mod_inv(root), len, level);
         Ok(Ntt {
             len,
+            level,
             fwd_stages,
             inv_stages,
             len_inv: mod_inv(len as u64),
-            swaps,
+            swaps: bit_reversal_swaps(len),
         })
     }
 
@@ -206,9 +243,16 @@ impl Ntt {
         self.len
     }
 
-    /// Whether the plan is for the empty transform (never true).
+    /// Whether the plan is for a zero-length transform. [`Ntt::new`]
+    /// rejects `len == 0`, so this is always `false` for a constructed
+    /// plan; it exists only to satisfy the `len`/`is_empty` API convention.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The kernel level this plan executes with.
+    pub fn level(&self) -> SimdLevel {
+        self.level
     }
 
     fn butterfly_passes(&self, buf: &mut [u64], stages: &[Vec<u64>]) {
@@ -216,27 +260,33 @@ impl Ntt {
             buf.swap(i as usize, j as usize);
         }
         // Width-2 pass: the only twiddle is 1, so it is pure add/sub.
-        for pair in buf.chunks_exact_mut(2) {
-            let (a, b) = (pair[0], pair[1]);
-            pair[0] = mod_add(a, b);
-            pair[1] = mod_sub(a, b);
-        }
-        let mut width = 4usize;
-        for stage in &stages[1..] {
-            let half = width / 2;
-            // split_at_mut + zip: the three streams advance in lockstep
-            // with no bounds checks in the butterfly itself.
-            for chunk in buf.chunks_exact_mut(width) {
-                let (lo, hi) = chunk.split_at_mut(half);
-                for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
-                    let t = mod_mul(*b, w);
-                    let u = *a;
-                    *a = mod_add(u, t);
-                    *b = mod_sub(u, t);
-                }
+        simd::butterfly_width2(buf, self.level);
+        // Remaining stage ladder, fusing adjacent lockstep stages into one
+        // memory pass where the kernel level supports it (the transform is
+        // memory-bound at large sizes, so fewer passes is the main lever).
+        let fuse_min = simd::pair_min_half(self.level);
+        let mut s = 1usize;
+        while s < stages.len() {
+            let width = 2usize << s;
+            if s + 1 < stages.len() && fuse_min.is_some_and(|m| width / 2 >= m) {
+                simd::butterfly_stage_pair(buf, width, &stages[s], &stages[s + 1], self.level);
+                s += 2;
+            } else {
+                simd::butterfly_stage(buf, width, &stages[s], self.level);
+                s += 1;
             }
-            width *= 2;
         }
+    }
+
+    fn count_dispatch(&self) {
+        obs::count(
+            match self.level {
+                SimdLevel::Scalar => obs::Counter::NttSimdScalar,
+                SimdLevel::Avx2 => obs::Counter::NttSimdAvx2,
+                SimdLevel::Avx512 => obs::Counter::NttSimdAvx512,
+            },
+            1,
+        );
     }
 
     /// Forward NTT in place.
@@ -249,6 +299,7 @@ impl Ntt {
         if self.len <= 1 {
             return;
         }
+        self.count_dispatch();
         self.butterfly_passes(buf, &self.fwd_stages);
     }
 
@@ -259,27 +310,38 @@ impl Ntt {
         if self.len <= 1 {
             return;
         }
+        self.count_dispatch();
         self.butterfly_passes(buf, &self.inv_stages);
-        for v in buf.iter_mut() {
-            *v = mod_mul(*v, self.len_inv);
-        }
+        simd::scale_in_place(buf, self.len_inv, self.level);
     }
 }
 
-/// Process-wide cache of NTT plans, keyed by transform length.
+/// Process-wide cache of NTT plans, keyed by `(length, kernel level)`.
 ///
-/// Every plan is immutable after construction, so one `Arc<Ntt>` per length
+/// Every plan is immutable after construction, so one `Arc<Ntt>` per key
 /// serves the sequential engine, every worker thread of the parallel engine,
 /// the sliding-window localization profiles, and the baselines — twiddle
-/// tables and bit-reversal swaps are computed once per process per length.
-/// Lengths are powers of two, so the cache stays tiny (< 33 entries).
-static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<Ntt>>>> = OnceLock::new();
+/// tables and bit-reversal swaps are computed once per process per key.
+/// Lengths are powers of two and levels number three, so the cache stays
+/// tiny. In a normal process only the [`simd::active`] level's plans exist;
+/// extra levels appear only when tests/benches pin one explicitly.
+type PlanCache = Mutex<HashMap<(usize, SimdLevel), Arc<Ntt>>>;
 
-/// Returns the process-wide shared plan for power-of-two length `len`,
-/// building and caching it on first use.
+static PLAN_CACHE: OnceLock<PlanCache> = OnceLock::new();
+
+/// Returns the process-wide shared plan for power-of-two length `len` at
+/// the [`simd::active`] kernel level, building and caching it on first use.
 pub fn shared_plan(len: usize) -> Result<Arc<Ntt>> {
+    shared_plan_with(len, simd::active())
+}
+
+/// [`shared_plan`] with an explicit kernel level (clamped to hardware
+/// support, so the cache key is always the level that actually executes).
+pub fn shared_plan_with(len: usize, level: SimdLevel) -> Result<Arc<Ntt>> {
+    let level = level.min(simd::detected());
+    let key = (len, level);
     let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(plan) = cache.lock().expect("NTT plan cache poisoned").get(&len) {
+    if let Some(plan) = cache.lock().expect("NTT plan cache poisoned").get(&key) {
         obs::count(obs::Counter::NttPlanCacheHit, 1);
         return Ok(Arc::clone(plan));
     }
@@ -287,9 +349,9 @@ pub fn shared_plan(len: usize) -> Result<Arc<Ntt>> {
     // threads fetching already-cached lengths. A racing builder of the same
     // length loses to whoever inserts first.
     obs::count(obs::Counter::NttPlanCacheMiss, 1);
-    let plan = Arc::new(Ntt::new(len)?);
+    let plan = Arc::new(Ntt::with_level(len, level)?);
     let mut map = cache.lock().expect("NTT plan cache poisoned");
-    Ok(Arc::clone(map.entry(len).or_insert(plan)))
+    Ok(Arc::clone(map.entry(key).or_insert(plan)))
 }
 
 /// Derives the spectrum of the *cyclically reversed* signal from the
@@ -473,6 +535,45 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "same length must share one plan");
         assert_eq!(a.len(), 256);
         assert!(shared_plan(3).is_err());
+    }
+
+    #[test]
+    fn shared_plans_are_cached_per_level() {
+        for level in SimdLevel::supported() {
+            let a = shared_plan_with(512, level).expect("plan");
+            let b = shared_plan_with(512, level).expect("plan");
+            assert!(Arc::ptr_eq(&a, &b), "same (len, level) must share a plan");
+            assert_eq!(a.level(), level);
+        }
+        // An unsupported request clamps to the detected level's plan.
+        let clamped = shared_plan_with(512, SimdLevel::Avx512).expect("plan");
+        assert!(clamped.level() <= simd::detected());
+    }
+
+    #[test]
+    fn every_level_transforms_bit_identically() {
+        for log in 0..=12u32 {
+            let n = 1usize << log;
+            let orig: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % P)
+                .collect();
+            let scalar = Ntt::with_level(n, SimdLevel::Scalar).expect("plan");
+            let mut want_fwd = orig.clone();
+            scalar.forward(&mut want_fwd);
+            for level in SimdLevel::supported() {
+                let plan = Ntt::with_level(n, level).expect("plan");
+                let mut fwd = orig.clone();
+                plan.forward(&mut fwd);
+                assert_eq!(fwd, want_fwd, "forward n={n} level={level:?}");
+                let mut back = fwd.clone();
+                plan.inverse(&mut back);
+                assert_eq!(back, orig, "round trip n={n} level={level:?}");
+                // Cross-level round trip: vector forward, scalar inverse.
+                let mut cross = fwd.clone();
+                scalar.inverse(&mut cross);
+                assert_eq!(cross, orig, "cross round trip n={n} level={level:?}");
+            }
+        }
     }
 
     #[test]

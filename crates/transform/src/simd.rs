@@ -1,0 +1,1406 @@
+//! Runtime-dispatched SIMD kernels for the two measured hot loops: the
+//! stage-major NTT butterflies and the bit-vector word scans.
+//!
+//! One CPU-feature probe at first use selects a [`SimdLevel`] for the whole
+//! process (overridable with `PERIODICA_FORCE_SCALAR=1` or
+//! `PERIODICA_SIMD=scalar|avx2|avx512`), and every kernel here takes the
+//! level explicitly so tests and benches can pin any path on any machine.
+//! All vector paths compute the *same field arithmetic* as the scalar
+//! reference (`ntt::mod_add`/`mod_sub`/`reduce128`, mirrored operation for
+//! operation on canonical inputs), so outputs are bit-identical across
+//! levels — the property the conformance harness and the proptests in this
+//! module enforce.
+//!
+//! ## Lane-parallel Goldilocks multiply
+//!
+//! With `P = 2^64 - 2^32 + 1` and `ε = 2^32 - 1` (so `2^64 ≡ ε (mod P)`),
+//! a product `x = hi·2^64 + lo` reduces as
+//! `x ≡ lo - hi_hi + hi_lo · ε (mod P)` where `hi = hi_hi·2^32 + hi_lo` —
+//! exactly `ntt::reduce128`. Neither AVX2 nor this machine's AVX-512
+//! subset has a full 64×64→128 lane multiply, so the wide product is
+//! assembled from four 32×32→64 `vpmuludq` partial products; the reduction
+//! then needs only shifts, masked adds, and one more `vpmuludq` (for
+//! `hi_lo · ε`, both factors fitting 32 bits). Borrow/carry detection uses
+//! unsigned compares (sign-flipped `vpcmpgtq` on AVX2, `vpcmpuq` mask
+//! compares on AVX-512). This is the Barrett-free form the Goldilocks
+//! prime is chosen for: no precomputed magic constants, no Montgomery
+//! domain conversions, bit-identical to the scalar path by construction.
+//!
+//! ## Butterfly kernels
+//!
+//! The stage-major butterfly (`lo/hi/twiddle` streams advancing in
+//! lockstep) vectorizes directly once the stage half-width reaches the
+//! vector width. The two narrow leading stages get shuffle kernels
+//! instead of a scalar fallback: the twiddle-free width-2 pass
+//! de-interleaves pairs with `unpcklqdq`/`unpckhqdq`, and the width-4
+//! stage splits two chunks across one register pair with
+//! `vperm2i128` against a twiddle vector the plan stores pre-repeated
+//! (`[w0, w1, w0, w1]` — the "per-(len, width) plan" layout, see
+//! [`crate::ntt::shared_plan_with`]). Under AVX-512 the sub-8-lane stages
+//! run through the AVX2 kernels (AVX-512 implies AVX2), so every stage of
+//! every transform length executes at least 4 lanes wide.
+//!
+//! ## Bit-vector kernels
+//!
+//! `periodica-core`'s `BitVec` routes its word loops here: fused
+//! AND+popcount (2- and 3-way), in-place AND, subset test, and the
+//! shifted-AND popcount that is the bitset engine's entire inner loop.
+//! Neither AVX2 nor this AVX-512 subset has a vector popcount
+//! instruction, so counting uses the classic 4-bit-nibble `pshufb` lookup
+//! accumulated through `psadbw` — ~3x the throughput of scalar `popcnt`
+//! on cache-resident rows.
+
+use std::sync::OnceLock;
+
+use crate::ntt::{mod_add, mod_mul, mod_sub};
+
+/// Vector width the dispatcher selected (or was forced to).
+///
+/// Ordered by capability: `Scalar < Avx2 < Avx512`, so clamping a request
+/// to hardware support is `level.min(detected())`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar reference path (always available).
+    Scalar,
+    /// 4 × u64 lanes via AVX2 intrinsics.
+    Avx2,
+    /// 8 × u64 lanes via AVX-512F + AVX-512BW intrinsics.
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Every level, weakest first.
+    pub const ALL: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512];
+
+    /// Number of 64-bit lanes the level processes per operation.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Avx2 => 4,
+            SimdLevel::Avx512 => 8,
+        }
+    }
+
+    /// Stable lowercase name used in bench JSON, run-report `config`, and
+    /// the `PERIODICA_SIMD` override.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+
+    /// Whether this machine can execute the level.
+    pub fn is_supported(self) -> bool {
+        self <= detected()
+    }
+
+    /// The levels this machine can execute, weakest first. Tests iterate
+    /// this to compare every runnable path against the scalar reference.
+    pub fn supported() -> impl Iterator<Item = SimdLevel> {
+        SimdLevel::ALL.into_iter().filter(|l| l.is_supported())
+    }
+}
+
+/// The strongest level the hardware supports, from a one-time CPUID probe
+/// (environment overrides do not affect this; see [`active`]).
+pub fn detected() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(probe)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn probe() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+    {
+        SimdLevel::Avx512
+    } else if std::arch::is_x86_feature_detected!("avx2") {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn probe() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+/// The level the dispatcher uses for every default-constructed plan and
+/// `BitVec` operation: [`detected`], unless overridden by environment.
+///
+/// * `PERIODICA_FORCE_SCALAR` set to anything but `0`/empty forces
+///   [`SimdLevel::Scalar`] — the testable fallback switch.
+/// * `PERIODICA_SIMD=scalar|avx2|avx512` requests a specific level,
+///   clamped to hardware support (with a one-time stderr warning when
+///   clamped; unknown values are ignored with a warning).
+///
+/// Read once and cached for the process, so the choice is stable across
+/// every plan, thread, and session.
+pub fn active() -> SimdLevel {
+    static ACTIVE: OnceLock<SimdLevel> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        if let Some(v) = std::env::var_os("PERIODICA_FORCE_SCALAR") {
+            if !v.is_empty() && v != *"0" {
+                return SimdLevel::Scalar;
+            }
+        }
+        let detected = detected();
+        if let Ok(v) = std::env::var("PERIODICA_SIMD") {
+            let requested = match v.to_ascii_lowercase().as_str() {
+                "scalar" => Some(SimdLevel::Scalar),
+                "avx2" => Some(SimdLevel::Avx2),
+                "avx512" => Some(SimdLevel::Avx512),
+                other => {
+                    eprintln!("periodica: ignoring unknown PERIODICA_SIMD={other:?}");
+                    None
+                }
+            };
+            if let Some(requested) = requested {
+                if requested > detected {
+                    eprintln!(
+                        "periodica: PERIODICA_SIMD={} not supported by this CPU; using {}",
+                        requested.name(),
+                        detected.name()
+                    );
+                }
+                return requested.min(detected);
+            }
+        }
+        detected
+    })
+}
+
+// ---------------------------------------------------------------------------
+// NTT butterfly kernels
+// ---------------------------------------------------------------------------
+
+/// The twiddle-free width-2 butterfly pass over interleaved pairs:
+/// `buf[2i], buf[2i+1] = buf[2i] + buf[2i+1], buf[2i] - buf[2i+1] (mod P)`.
+///
+/// `buf.len()` must be even; values must be canonical (`< P`).
+pub fn butterfly_width2(buf: &mut [u64], level: SimdLevel) {
+    match level {
+        SimdLevel::Scalar => scalar_width2(buf),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 | SimdLevel::Avx512 => unsafe { avx2::width2(buf) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar_width2(buf),
+    }
+}
+
+/// One stage-major butterfly stage of chunk width `width >= 4`:
+/// for each `width`-chunk, `lo[i], hi[i] = lo[i] + t, lo[i] - t (mod P)`
+/// with `t = hi[i] * twiddles[i]`.
+///
+/// `buf.len()` must be a multiple of `width`. `twiddles` holds the stage's
+/// `width/2` consecutive root powers — except the width-4 stage of a
+/// vector-level plan, which stores them pre-repeated to one vector
+/// (`[w0, w1, w0, w1]`; see [`crate::ntt::shared_plan_with`]). The scalar
+/// path reads only the first `width/2` entries, so both layouts serve it.
+pub fn butterfly_stage(buf: &mut [u64], width: usize, twiddles: &[u64], level: SimdLevel) {
+    debug_assert!(width >= 4 && width.is_power_of_two());
+    debug_assert_eq!(buf.len() % width, 0);
+    match level {
+        SimdLevel::Scalar => scalar_stage(buf, width, twiddles),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::stage(buf, width, twiddles) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => {
+            if width / 2 >= 8 {
+                unsafe { avx512::stage(buf, width, twiddles) }
+            } else {
+                // Narrow leading stages run the 4-lane shuffle kernels;
+                // AVX-512 implies AVX2.
+                unsafe { avx2::stage(buf, width, twiddles) }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar_stage(buf, width, twiddles),
+    }
+}
+
+/// The smallest stage `half = width / 2` at which [`butterfly_stage_pair`]
+/// may fuse two consecutive stages for `level`, or `None` when the level
+/// never fuses (scalar, and non-x86 builds).
+///
+/// Fusion requires both stages to run the lockstep kernel, so the threshold
+/// is the level's lane count.
+pub fn pair_min_half(level: SimdLevel) -> Option<usize> {
+    match level {
+        SimdLevel::Scalar => None,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => Some(4),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => Some(8),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => None,
+    }
+}
+
+/// Two consecutive butterfly stages — chunk width `width`, then `2 * width` —
+/// fused into a single read+write pass over the buffer.
+///
+/// Stage-major transforms at large sizes are memory-bound: every stage
+/// streams the whole buffer through the cache hierarchy. Fusing adjacent
+/// stages halves that traffic for the bulk of the stage ladder. The fused
+/// arithmetic is element-for-element the same wrapping sequence as running
+/// [`butterfly_stage`] twice, so results stay bit-identical.
+///
+/// Callable only when [`pair_min_half`] returns `Some(m)` for `level` with
+/// `width / 2 >= m`. `buf.len()` must be a multiple of `2 * width`;
+/// `tw_a`/`tw_b` are the two stages' twiddle tables (`width / 2` and
+/// `width` entries).
+pub fn butterfly_stage_pair(
+    buf: &mut [u64],
+    width: usize,
+    tw_a: &[u64],
+    tw_b: &[u64],
+    level: SimdLevel,
+) {
+    debug_assert_eq!(buf.len() % (2 * width), 0);
+    debug_assert!(pair_min_half(level).is_some_and(|m| width / 2 >= m));
+    match level {
+        SimdLevel::Scalar => {
+            scalar_stage(buf, width, tw_a);
+            scalar_stage(buf, 2 * width, tw_b);
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::stage_pair(buf, width / 2, tw_a, tw_b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::stage_pair(buf, width / 2, tw_a, tw_b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => {
+            scalar_stage(buf, width, tw_a);
+            scalar_stage(buf, 2 * width, tw_b);
+        }
+    }
+}
+
+/// The transform-domain autocorrelation product, in place:
+/// `buf[0] *= buf[0]`, `buf[half] *= buf[half]`, and for `k` in `1..half`
+/// the symmetric pair `buf[k], buf[size-k] = buf[k] * buf[size-k]` (see
+/// [`crate::ntt::reversed_spectrum`] for why the product spectrum is
+/// symmetric). `buf.len()` must be a power of two.
+///
+/// Vector levels pair a forward load with a lane-reversed load from the
+/// mirrored end of the buffer, so this pass runs at the same lane width as
+/// the butterfly stages instead of one scalar multiply per spectrum bin.
+pub fn reversed_square_spectrum(buf: &mut [u64], level: SimdLevel) {
+    buf[0] = mod_mul(buf[0], buf[0]);
+    if buf.len() == 1 {
+        return;
+    }
+    let half = buf.len() / 2;
+    buf[half] = mod_mul(buf[half], buf[half]);
+    match level {
+        SimdLevel::Scalar => scalar_reversed_square(buf),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::reversed_square(buf) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::reversed_square(buf) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar_reversed_square(buf),
+    }
+}
+
+fn scalar_reversed_square(buf: &mut [u64]) {
+    scalar_reversed_square_from(buf, 1)
+}
+
+/// Interior pairs from `start..half`; also the vector kernels' tail loop.
+fn scalar_reversed_square_from(buf: &mut [u64], start: usize) {
+    let size = buf.len();
+    for k in start..size / 2 {
+        let w = mod_mul(buf[k], buf[size - k]);
+        buf[k] = w;
+        buf[size - k] = w;
+    }
+}
+
+/// In-place multiply of every element by `factor` (the inverse transform's
+/// `1/n` normalization sweep).
+pub fn scale_in_place(buf: &mut [u64], factor: u64, level: SimdLevel) {
+    match level {
+        SimdLevel::Scalar => {
+            for v in buf.iter_mut() {
+                *v = mod_mul(*v, factor);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::scale(buf, factor) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::scale(buf, factor) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => {
+            for v in buf.iter_mut() {
+                *v = mod_mul(*v, factor);
+            }
+        }
+    }
+}
+
+fn scalar_width2(buf: &mut [u64]) {
+    for pair in buf.chunks_exact_mut(2) {
+        let (a, b) = (pair[0], pair[1]);
+        pair[0] = mod_add(a, b);
+        pair[1] = mod_sub(a, b);
+    }
+}
+
+fn scalar_stage(buf: &mut [u64], width: usize, twiddles: &[u64]) {
+    let half = width / 2;
+    for chunk in buf.chunks_exact_mut(width) {
+        let (lo, hi) = chunk.split_at_mut(half);
+        for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(twiddles) {
+            let t = mod_mul(*b, w);
+            let u = *a;
+            *a = mod_add(u, t);
+            *b = mod_sub(u, t);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-vector word kernels
+// ---------------------------------------------------------------------------
+
+/// `sum(popcount(words[i]))`.
+pub fn popcount(words: &[u64], level: SimdLevel) -> u64 {
+    match level {
+        SimdLevel::Scalar => words.iter().map(|w| w.count_ones() as u64).sum(),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::popcount(words) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::popcount(words) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => words.iter().map(|w| w.count_ones() as u64).sum(),
+    }
+}
+
+/// `sum(popcount(a[i] & b[i]))` over `min(a.len(), b.len())` words.
+pub fn and_popcount(a: &[u64], b: &[u64], level: SimdLevel) -> u64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    match level {
+        SimdLevel::Scalar => a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x & y).count_ones() as u64)
+            .sum(),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::and_popcount(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::and_popcount(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x & y).count_ones() as u64)
+            .sum(),
+    }
+}
+
+/// `sum(popcount(a[i] & b[i] & c[i]))` over the shortest length.
+pub fn and3_popcount(a: &[u64], b: &[u64], c: &[u64], level: SimdLevel) -> u64 {
+    let n = a.len().min(b.len()).min(c.len());
+    let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+    match level {
+        SimdLevel::Scalar => a
+            .iter()
+            .zip(b)
+            .zip(c)
+            .map(|((x, y), z)| (x & y & z).count_ones() as u64)
+            .sum(),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::and3_popcount(a, b, c) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::and3_popcount(a, b, c) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => a
+            .iter()
+            .zip(b)
+            .zip(c)
+            .map(|((x, y), z)| (x & y & z).count_ones() as u64)
+            .sum(),
+    }
+}
+
+/// In-place intersection `a[i] &= b[i]` over `min(a.len(), b.len())` words.
+pub fn and_assign(a: &mut [u64], b: &[u64], level: SimdLevel) {
+    let n = a.len().min(b.len());
+    let (a, b) = (&mut a[..n], &b[..n]);
+    match level {
+        SimdLevel::Scalar => {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x &= y;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::and_assign(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::and_assign(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x &= y;
+            }
+        }
+    }
+}
+
+/// Whether `a[i] & !b[i] == 0` for every word (vector early-exit).
+pub fn is_subset(a: &[u64], b: &[u64], level: SimdLevel) -> bool {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    match level {
+        SimdLevel::Scalar => a.iter().zip(b).all(|(x, y)| x & !y == 0),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::is_subset(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::is_subset(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => a.iter().zip(b).all(|(x, y)| x & !y == 0),
+    }
+}
+
+/// `popcount(v & (v >> shift))` over the limb slice of a bit vector, with
+/// `shift = word_shift * 64 + bit_shift` — the bitset engine's inner loop.
+///
+/// Semantics match the scalar reference exactly: for each
+/// `i < limbs.len() - word_shift`, the shifted word is
+/// `(limbs[i + word_shift] >> bit_shift) | (limbs[i + word_shift + 1] <<
+/// (64 - bit_shift))` with a zero limb past the end. `word_shift` must be
+/// `< limbs.len()` and `bit_shift < 64`.
+pub fn shifted_and_popcount(
+    limbs: &[u64],
+    word_shift: usize,
+    bit_shift: u32,
+    level: SimdLevel,
+) -> u64 {
+    debug_assert!(word_shift < limbs.len());
+    debug_assert!(bit_shift < 64);
+    if bit_shift == 0 {
+        return and_popcount(
+            &limbs[..limbs.len() - word_shift],
+            &limbs[word_shift..],
+            level,
+        );
+    }
+    match level {
+        SimdLevel::Scalar => scalar_shifted_and_popcount(limbs, word_shift, bit_shift),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::shifted_and_popcount(limbs, word_shift, bit_shift) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::shifted_and_popcount(limbs, word_shift, bit_shift) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar_shifted_and_popcount(limbs, word_shift, bit_shift),
+    }
+}
+
+fn scalar_shifted_and_popcount(limbs: &[u64], word_shift: usize, bit_shift: u32) -> u64 {
+    let mut count = 0u64;
+    for i in 0..limbs.len() - word_shift {
+        let hi = limbs.get(i + word_shift + 1).copied().unwrap_or(0);
+        let shifted = (limbs[i + word_shift] >> bit_shift) | (hi << (64 - bit_shift));
+        count += (limbs[i] & shifted).count_ones() as u64;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (4 × u64 lanes)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{scalar_shifted_and_popcount, scalar_stage, scalar_width2};
+    use crate::ntt::{EPSILON, P};
+    use core::arch::x86_64::*;
+
+    const SIGN: i64 = i64::MIN;
+
+    #[inline(always)]
+    unsafe fn loadu(p: &[u64], i: usize) -> __m256i {
+        _mm256_loadu_si256(p.as_ptr().add(i) as *const __m256i)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu(p: &mut [u64], i: usize, v: __m256i) {
+        _mm256_storeu_si256(p.as_mut_ptr().add(i) as *mut __m256i, v)
+    }
+
+    /// Lanewise unsigned `a > b` via sign-flipped signed compare.
+    #[inline(always)]
+    unsafe fn gt_u64(a: __m256i, b: __m256i) -> __m256i {
+        let s = _mm256_set1_epi64x(SIGN);
+        _mm256_cmpgt_epi64(_mm256_xor_si256(a, s), _mm256_xor_si256(b, s))
+    }
+
+    /// Canonical `a + b mod P` (mirrors `ntt::mod_add` on canonical input).
+    #[inline(always)]
+    unsafe fn mod_add_v(a: __m256i, b: __m256i) -> __m256i {
+        let eps = _mm256_set1_epi64x(EPSILON as i64);
+        let sum = _mm256_add_epi64(a, b);
+        // Wrapped iff sum < a; the lost 2^64 re-enters as +EPSILON (mod P).
+        let carry = gt_u64(a, sum);
+        let sum = _mm256_add_epi64(sum, _mm256_and_si256(carry, eps));
+        let ge = gt_u64(sum, _mm256_set1_epi64x((P - 1) as i64));
+        _mm256_sub_epi64(sum, _mm256_and_si256(ge, _mm256_set1_epi64x(P as i64)))
+    }
+
+    /// Canonical `a - b mod P` (mirrors `ntt::mod_sub`).
+    #[inline(always)]
+    unsafe fn mod_sub_v(a: __m256i, b: __m256i) -> __m256i {
+        let eps = _mm256_set1_epi64x(EPSILON as i64);
+        let diff = _mm256_sub_epi64(a, b);
+        let borrow = gt_u64(b, a);
+        _mm256_sub_epi64(diff, _mm256_and_si256(borrow, eps))
+    }
+
+    /// Full 64×64→128 product from four 32×32 partials: `(hi, lo)`.
+    #[inline(always)]
+    unsafe fn mul_wide(a: __m256i, b: __m256i) -> (__m256i, __m256i) {
+        let lomask = _mm256_set1_epi64x(0xFFFF_FFFF);
+        let a_hi = _mm256_srli_epi64::<32>(a);
+        let b_hi = _mm256_srli_epi64::<32>(b);
+        let ll = _mm256_mul_epu32(a, b);
+        let lh = _mm256_mul_epu32(a, b_hi);
+        let hl = _mm256_mul_epu32(a_hi, b);
+        let hh = _mm256_mul_epu32(a_hi, b_hi);
+        // t = (ll >> 32) + lo32(lh) + lo32(hl)  (< 3·2^32: no overflow)
+        let t = _mm256_add_epi64(
+            _mm256_srli_epi64::<32>(ll),
+            _mm256_add_epi64(_mm256_and_si256(lh, lomask), _mm256_and_si256(hl, lomask)),
+        );
+        let lo = _mm256_or_si256(_mm256_slli_epi64::<32>(t), _mm256_and_si256(ll, lomask));
+        let hi = _mm256_add_epi64(
+            _mm256_add_epi64(hh, _mm256_srli_epi64::<32>(lh)),
+            _mm256_add_epi64(_mm256_srli_epi64::<32>(hl), _mm256_srli_epi64::<32>(t)),
+        );
+        (hi, lo)
+    }
+
+    /// `hi·2^64 + lo mod P`, canonical (mirrors `ntt::reduce128`).
+    #[inline(always)]
+    unsafe fn reduce128_v(hi: __m256i, lo: __m256i) -> __m256i {
+        let lomask = _mm256_set1_epi64x(0xFFFF_FFFF);
+        let eps = _mm256_set1_epi64x(EPSILON as i64);
+        let hi_hi = _mm256_srli_epi64::<32>(hi);
+        let hi_lo = _mm256_and_si256(hi, lomask);
+        // t0 = lo - hi_hi (mod P), wrapping exactly like the scalar code.
+        let borrow = gt_u64(hi_hi, lo);
+        let t0 = _mm256_sub_epi64(_mm256_sub_epi64(lo, hi_hi), _mm256_and_si256(borrow, eps));
+        // t1 = hi_lo * EPSILON (both fit 32 bits).
+        let t1 = _mm256_mul_epu32(hi_lo, eps);
+        let r = _mm256_add_epi64(t0, t1);
+        let carry = gt_u64(t0, r);
+        let r = _mm256_add_epi64(r, _mm256_and_si256(carry, eps));
+        let ge = gt_u64(r, _mm256_set1_epi64x((P - 1) as i64));
+        _mm256_sub_epi64(r, _mm256_and_si256(ge, _mm256_set1_epi64x(P as i64)))
+    }
+
+    #[inline(always)]
+    unsafe fn mod_mul_v(a: __m256i, b: __m256i) -> __m256i {
+        let (hi, lo) = mul_wide(a, b);
+        reduce128_v(hi, lo)
+    }
+
+    /// Width-2 pass: de-interleave pairs with unpack, add/sub, re-interleave.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn width2(buf: &mut [u64]) {
+        let mut i = 0;
+        let n = buf.len();
+        while i + 8 <= n {
+            let v0 = loadu(buf, i); // [a0 b0 a1 b1]
+            let v1 = loadu(buf, i + 4); // [a2 b2 a3 b3]
+            let a = _mm256_unpacklo_epi64(v0, v1); // [a0 a2 a1 a3]
+            let b = _mm256_unpackhi_epi64(v0, v1); // [b0 b2 b1 b3]
+            let s = mod_add_v(a, b);
+            let d = mod_sub_v(a, b);
+            storeu(buf, i, _mm256_unpacklo_epi64(s, d)); // [s0 d0 s1 d1]
+            storeu(buf, i + 4, _mm256_unpackhi_epi64(s, d)); // [s2 d2 s3 d3]
+            i += 8;
+        }
+        scalar_width2(&mut buf[i..]);
+    }
+
+    /// One butterfly stage; dispatches the width-4 shuffle kernel or the
+    /// direct lockstep kernel (`half >= 4`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn stage(buf: &mut [u64], width: usize, twiddles: &[u64]) {
+        if width == 4 {
+            width4(buf, twiddles);
+        } else {
+            let half = width / 2;
+            for chunk in buf.chunks_exact_mut(width) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                let mut i = 0;
+                while i < half {
+                    let a = loadu(lo, i);
+                    let b = loadu(hi, i);
+                    let w = loadu(twiddles, i);
+                    let t = mod_mul_v(b, w);
+                    storeu(lo, i, mod_add_v(a, t));
+                    storeu(hi, i, mod_sub_v(a, t));
+                    i += 4;
+                }
+            }
+        }
+    }
+
+    /// Width-4 stage: two `[a0 a1 b0 b1]` chunks per register pair,
+    /// split/merged with `vperm2i128`; `tw` is the plan's pre-repeated
+    /// `[w0 w1 w0 w1]` vector.
+    #[target_feature(enable = "avx2")]
+    unsafe fn width4(buf: &mut [u64], tw: &[u64]) {
+        debug_assert!(tw.len() >= 4);
+        let w = loadu(tw, 0);
+        let mut i = 0;
+        let n = buf.len();
+        while i + 8 <= n {
+            let v0 = loadu(buf, i); // [a0 a1 b0 b1]
+            let v1 = loadu(buf, i + 4); // [a0' a1' b0' b1']
+            let lo = _mm256_permute2x128_si256::<0x20>(v0, v1); // [a0 a1 a0' a1']
+            let hi = _mm256_permute2x128_si256::<0x31>(v0, v1); // [b0 b1 b0' b1']
+            let t = mod_mul_v(hi, w);
+            let s = mod_add_v(lo, t);
+            let d = mod_sub_v(lo, t);
+            storeu(buf, i, _mm256_permute2x128_si256::<0x20>(s, d));
+            storeu(buf, i + 4, _mm256_permute2x128_si256::<0x31>(s, d));
+            i += 8;
+        }
+        // A length-4 transform has a single chunk: scalar it.
+        scalar_stage(&mut buf[i..], 4, &tw[..2]);
+    }
+
+    /// Symmetric spectrum product: forward vector `buf[k..k+4]` against the
+    /// lane-reversed mirror `buf[size-k-3..=size-k]`, product written to
+    /// both (reversed again for the mirror). The ranges never overlap while
+    /// `k + 4 <= half`; the scalar tail finishes the middle.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn reversed_square(buf: &mut [u64]) {
+        let size = buf.len();
+        let half = size / 2;
+        let mut k = 1usize;
+        while k + 4 <= half {
+            let f = loadu(buf, k);
+            let r = _mm256_permute4x64_epi64::<0x1B>(loadu(buf, size - k - 3));
+            let w = mod_mul_v(f, r);
+            storeu(buf, k, w);
+            storeu(buf, size - k - 3, _mm256_permute4x64_epi64::<0x1B>(w));
+            k += 4;
+        }
+        super::scalar_reversed_square_from(buf, k);
+    }
+
+    /// Fused stages `half` then `2 * half` (`half >= 4`): each `4 * half`
+    /// block is read once, both butterflies applied in registers, written
+    /// once. Stage A pairs `(j, j+half)` and `(j+2h, j+3h)` share twiddle
+    /// `twa[j]`; stage B pairs `(j, j+2h)` / `(j+h, j+3h)` use `twb[j]` /
+    /// `twb[j+h]`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn stage_pair(buf: &mut [u64], half: usize, twa: &[u64], twb: &[u64]) {
+        debug_assert!(half >= 4);
+        for chunk in buf.chunks_exact_mut(4 * half) {
+            let mut j = 0;
+            while j < half {
+                let x0 = loadu(chunk, j);
+                let x1 = loadu(chunk, j + half);
+                let x2 = loadu(chunk, j + 2 * half);
+                let x3 = loadu(chunk, j + 3 * half);
+                let wa = loadu(twa, j);
+                let t1 = mod_mul_v(x1, wa);
+                let t3 = mod_mul_v(x3, wa);
+                let a0 = mod_add_v(x0, t1);
+                let a1 = mod_sub_v(x0, t1);
+                let a2 = mod_add_v(x2, t3);
+                let a3 = mod_sub_v(x2, t3);
+                let u2 = mod_mul_v(a2, loadu(twb, j));
+                let u3 = mod_mul_v(a3, loadu(twb, j + half));
+                storeu(chunk, j, mod_add_v(a0, u2));
+                storeu(chunk, j + half, mod_add_v(a1, u3));
+                storeu(chunk, j + 2 * half, mod_sub_v(a0, u2));
+                storeu(chunk, j + 3 * half, mod_sub_v(a1, u3));
+                j += 4;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn scale(buf: &mut [u64], factor: u64) {
+        let f = _mm256_set1_epi64x(factor as i64);
+        let mut i = 0;
+        let n = buf.len();
+        while i + 4 <= n {
+            storeu(buf, i, mod_mul_v(loadu(buf, i), f));
+            i += 4;
+        }
+        for v in &mut buf[i..] {
+            *v = crate::ntt::mod_mul(*v, factor);
+        }
+    }
+
+    // -- popcount kernels ---------------------------------------------------
+
+    /// Per-64-bit-lane popcount of `v` via the 4-bit `pshufb` LUT + `psadbw`.
+    #[inline(always)]
+    unsafe fn popcnt_epi64(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0F);
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    #[inline(always)]
+    unsafe fn hsum(v: __m256i) -> u64 {
+        let mut out = [0u64; 4];
+        _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, v);
+        out[0] + out[1] + out[2] + out[3]
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn popcount(words: &[u64]) -> u64 {
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        let n = words.len();
+        while i + 4 <= n {
+            acc = _mm256_add_epi64(acc, popcnt_epi64(loadu(words, i)));
+            i += 4;
+        }
+        let mut total = hsum(acc);
+        for w in &words[i..] {
+            total += w.count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        let n = a.len();
+        while i + 4 <= n {
+            let v = _mm256_and_si256(loadu(a, i), loadu(b, i));
+            acc = _mm256_add_epi64(acc, popcnt_epi64(v));
+            i += 4;
+        }
+        let mut total = hsum(acc);
+        for (x, y) in a[i..].iter().zip(&b[i..]) {
+            total += (x & y).count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn and3_popcount(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        let n = a.len();
+        while i + 4 <= n {
+            let v = _mm256_and_si256(_mm256_and_si256(loadu(a, i), loadu(b, i)), loadu(c, i));
+            acc = _mm256_add_epi64(acc, popcnt_epi64(v));
+            i += 4;
+        }
+        let mut total = hsum(acc);
+        for ((x, y), z) in a[i..].iter().zip(&b[i..]).zip(&c[i..]) {
+            total += (x & y & z).count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn and_assign(a: &mut [u64], b: &[u64]) {
+        let mut i = 0;
+        let n = a.len();
+        while i + 4 <= n {
+            storeu(a, i, _mm256_and_si256(loadu(a, i), loadu(b, i)));
+            i += 4;
+        }
+        for (x, y) in a[i..].iter_mut().zip(&b[i..]) {
+            *x &= y;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn is_subset(a: &[u64], b: &[u64]) -> bool {
+        let mut i = 0;
+        let n = a.len();
+        while i + 4 <= n {
+            // a & !b, with vpandn's operand order (!first & second).
+            let stray = _mm256_andnot_si256(loadu(b, i), loadu(a, i));
+            if _mm256_testz_si256(stray, stray) == 0 {
+                return false;
+            }
+            i += 4;
+        }
+        a[i..].iter().zip(&b[i..]).all(|(x, y)| x & !y == 0)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn shifted_and_popcount(
+        limbs: &[u64],
+        word_shift: usize,
+        bit_shift: u32,
+    ) -> u64 {
+        let m = limbs.len() - word_shift;
+        let rs = _mm_cvtsi32_si128(bit_shift as i32);
+        let ls = _mm_cvtsi32_si128(64 - bit_shift as i32);
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        // Vector body stops where limbs[i + word_shift + 4] would run out;
+        // the scalar tail handles the final words and the virtual zero limb.
+        while i + 5 <= m {
+            let cur = loadu(limbs, i + word_shift);
+            let nxt = loadu(limbs, i + word_shift + 1);
+            let shifted = _mm256_or_si256(_mm256_srl_epi64(cur, rs), _mm256_sll_epi64(nxt, ls));
+            let v = _mm256_and_si256(loadu(limbs, i), shifted);
+            acc = _mm256_add_epi64(acc, popcnt_epi64(v));
+            i += 4;
+        }
+        hsum(acc) + scalar_shifted_and_popcount(&limbs[i..], word_shift, bit_shift)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels (8 × u64 lanes; F + BW, no VPOPCNTDQ assumed)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::scalar_shifted_and_popcount;
+    use crate::ntt::{EPSILON, P};
+    use core::arch::x86_64::*;
+
+    #[inline(always)]
+    unsafe fn loadu(p: &[u64], i: usize) -> __m512i {
+        _mm512_loadu_epi64(p.as_ptr().add(i) as *const i64)
+    }
+
+    #[inline(always)]
+    unsafe fn storeu(p: &mut [u64], i: usize, v: __m512i) {
+        _mm512_storeu_epi64(p.as_mut_ptr().add(i) as *mut i64, v)
+    }
+
+    #[inline(always)]
+    unsafe fn mod_add_v(a: __m512i, b: __m512i) -> __m512i {
+        let eps = _mm512_set1_epi64(EPSILON as i64);
+        let sum = _mm512_add_epi64(a, b);
+        let carry = _mm512_cmpgt_epu64_mask(a, sum);
+        let sum = _mm512_mask_add_epi64(sum, carry, sum, eps);
+        let ge = _mm512_cmpgt_epu64_mask(sum, _mm512_set1_epi64((P - 1) as i64));
+        _mm512_mask_sub_epi64(sum, ge, sum, _mm512_set1_epi64(P as i64))
+    }
+
+    #[inline(always)]
+    unsafe fn mod_sub_v(a: __m512i, b: __m512i) -> __m512i {
+        let eps = _mm512_set1_epi64(EPSILON as i64);
+        let diff = _mm512_sub_epi64(a, b);
+        let borrow = _mm512_cmpgt_epu64_mask(b, a);
+        _mm512_mask_sub_epi64(diff, borrow, diff, eps)
+    }
+
+    #[inline(always)]
+    unsafe fn mul_wide(a: __m512i, b: __m512i) -> (__m512i, __m512i) {
+        let lomask = _mm512_set1_epi64(0xFFFF_FFFF);
+        let a_hi = _mm512_srli_epi64::<32>(a);
+        let b_hi = _mm512_srli_epi64::<32>(b);
+        let ll = _mm512_mul_epu32(a, b);
+        let lh = _mm512_mul_epu32(a, b_hi);
+        let hl = _mm512_mul_epu32(a_hi, b);
+        let hh = _mm512_mul_epu32(a_hi, b_hi);
+        let t = _mm512_add_epi64(
+            _mm512_srli_epi64::<32>(ll),
+            _mm512_add_epi64(_mm512_and_si512(lh, lomask), _mm512_and_si512(hl, lomask)),
+        );
+        let lo = _mm512_or_si512(_mm512_slli_epi64::<32>(t), _mm512_and_si512(ll, lomask));
+        let hi = _mm512_add_epi64(
+            _mm512_add_epi64(hh, _mm512_srli_epi64::<32>(lh)),
+            _mm512_add_epi64(_mm512_srli_epi64::<32>(hl), _mm512_srli_epi64::<32>(t)),
+        );
+        (hi, lo)
+    }
+
+    #[inline(always)]
+    unsafe fn reduce128_v(hi: __m512i, lo: __m512i) -> __m512i {
+        let lomask = _mm512_set1_epi64(0xFFFF_FFFF);
+        let eps = _mm512_set1_epi64(EPSILON as i64);
+        let hi_hi = _mm512_srli_epi64::<32>(hi);
+        let hi_lo = _mm512_and_si512(hi, lomask);
+        let borrow = _mm512_cmpgt_epu64_mask(hi_hi, lo);
+        let t0 = _mm512_sub_epi64(lo, hi_hi);
+        let t0 = _mm512_mask_sub_epi64(t0, borrow, t0, eps);
+        let t1 = _mm512_mul_epu32(hi_lo, eps);
+        let r = _mm512_add_epi64(t0, t1);
+        let carry = _mm512_cmpgt_epu64_mask(t0, r);
+        let r = _mm512_mask_add_epi64(r, carry, r, eps);
+        let ge = _mm512_cmpgt_epu64_mask(r, _mm512_set1_epi64((P - 1) as i64));
+        _mm512_mask_sub_epi64(r, ge, r, _mm512_set1_epi64(P as i64))
+    }
+
+    #[inline(always)]
+    unsafe fn mod_mul_v(a: __m512i, b: __m512i) -> __m512i {
+        let (hi, lo) = mul_wide(a, b);
+        reduce128_v(hi, lo)
+    }
+
+    /// Lockstep butterfly stage for `half >= 8` (narrower stages go through
+    /// the AVX2 shuffle kernels).
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn stage(buf: &mut [u64], width: usize, twiddles: &[u64]) {
+        let half = width / 2;
+        debug_assert!(half >= 8);
+        for chunk in buf.chunks_exact_mut(width) {
+            let (lo, hi) = chunk.split_at_mut(half);
+            let mut i = 0;
+            while i < half {
+                let a = loadu(lo, i);
+                let b = loadu(hi, i);
+                let w = loadu(twiddles, i);
+                let t = mod_mul_v(b, w);
+                storeu(lo, i, mod_add_v(a, t));
+                storeu(hi, i, mod_sub_v(a, t));
+                i += 8;
+            }
+        }
+    }
+
+    /// Symmetric spectrum product at 8 lanes; see the AVX2 twin for the
+    /// aliasing argument.
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn reversed_square(buf: &mut [u64]) {
+        let size = buf.len();
+        let half = size / 2;
+        let rev = _mm512_setr_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+        let mut k = 1usize;
+        while k + 8 <= half {
+            let f = loadu(buf, k);
+            let r = _mm512_permutexvar_epi64(rev, loadu(buf, size - k - 7));
+            let w = mod_mul_v(f, r);
+            storeu(buf, k, w);
+            storeu(buf, size - k - 7, _mm512_permutexvar_epi64(rev, w));
+            k += 8;
+        }
+        super::scalar_reversed_square_from(buf, k);
+    }
+
+    /// One fused-pair step at offset `j` of a `4 * half` block.
+    #[inline(always)]
+    unsafe fn pair_step(chunk: &mut [u64], half: usize, twa: &[u64], twb: &[u64], j: usize) {
+        let x0 = loadu(chunk, j);
+        let x1 = loadu(chunk, j + half);
+        let x2 = loadu(chunk, j + 2 * half);
+        let x3 = loadu(chunk, j + 3 * half);
+        let wa = loadu(twa, j);
+        let t1 = mod_mul_v(x1, wa);
+        let t3 = mod_mul_v(x3, wa);
+        let a0 = mod_add_v(x0, t1);
+        let a1 = mod_sub_v(x0, t1);
+        let a2 = mod_add_v(x2, t3);
+        let a3 = mod_sub_v(x2, t3);
+        let u2 = mod_mul_v(a2, loadu(twb, j));
+        let u3 = mod_mul_v(a3, loadu(twb, j + half));
+        storeu(chunk, j, mod_add_v(a0, u2));
+        storeu(chunk, j + half, mod_add_v(a1, u3));
+        storeu(chunk, j + 2 * half, mod_sub_v(a0, u2));
+        storeu(chunk, j + 3 * half, mod_sub_v(a1, u3));
+    }
+
+    /// Fused stages `half` then `2 * half` (`half >= 8`), one memory pass
+    /// per `4 * half` block; see the AVX2 twin for the index algebra. The
+    /// two-step unroll keeps four independent multiply chains in flight —
+    /// each step's stage-B products depend on its stage-A results, so a
+    /// single step leaves the multiplier ports half idle.
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn stage_pair(buf: &mut [u64], half: usize, twa: &[u64], twb: &[u64]) {
+        debug_assert!(half >= 8);
+        for chunk in buf.chunks_exact_mut(4 * half) {
+            let mut j = 0;
+            while j + 16 <= half {
+                pair_step(chunk, half, twa, twb, j);
+                pair_step(chunk, half, twa, twb, j + 8);
+                j += 16;
+            }
+            while j < half {
+                pair_step(chunk, half, twa, twb, j);
+                j += 8;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn scale(buf: &mut [u64], factor: u64) {
+        let f = _mm512_set1_epi64(factor as i64);
+        let mut i = 0;
+        let n = buf.len();
+        while i + 8 <= n {
+            storeu(buf, i, mod_mul_v(loadu(buf, i), f));
+            i += 8;
+        }
+        for v in &mut buf[i..] {
+            *v = crate::ntt::mod_mul(*v, factor);
+        }
+    }
+
+    // -- popcount kernels ---------------------------------------------------
+
+    #[inline(always)]
+    unsafe fn popcnt_epi64(v: __m512i) -> __m512i {
+        #[rustfmt::skip]
+        let lut16 = _mm_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let lut = _mm512_broadcast_i32x4(lut16);
+        let low = _mm512_set1_epi8(0x0F);
+        let lo = _mm512_and_si512(v, low);
+        let hi = _mm512_and_si512(_mm512_srli_epi16::<4>(v), low);
+        let cnt = _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo), _mm512_shuffle_epi8(lut, hi));
+        _mm512_sad_epu8(cnt, _mm512_setzero_si512())
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn popcount(words: &[u64]) -> u64 {
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        let n = words.len();
+        while i + 8 <= n {
+            acc = _mm512_add_epi64(acc, popcnt_epi64(loadu(words, i)));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64;
+        for w in &words[i..] {
+            total += w.count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        let n = a.len();
+        while i + 8 <= n {
+            let v = _mm512_and_si512(loadu(a, i), loadu(b, i));
+            acc = _mm512_add_epi64(acc, popcnt_epi64(v));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64;
+        for (x, y) in a[i..].iter().zip(&b[i..]) {
+            total += (x & y).count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn and3_popcount(a: &[u64], b: &[u64], c: &[u64]) -> u64 {
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        let n = a.len();
+        while i + 8 <= n {
+            let v = _mm512_and_si512(_mm512_and_si512(loadu(a, i), loadu(b, i)), loadu(c, i));
+            acc = _mm512_add_epi64(acc, popcnt_epi64(v));
+            i += 8;
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64;
+        for ((x, y), z) in a[i..].iter().zip(&b[i..]).zip(&c[i..]) {
+            total += (x & y & z).count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn and_assign(a: &mut [u64], b: &[u64]) {
+        let mut i = 0;
+        let n = a.len();
+        while i + 8 <= n {
+            storeu(a, i, _mm512_and_si512(loadu(a, i), loadu(b, i)));
+            i += 8;
+        }
+        for (x, y) in a[i..].iter_mut().zip(&b[i..]) {
+            *x &= y;
+        }
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn is_subset(a: &[u64], b: &[u64]) -> bool {
+        let mut i = 0;
+        let n = a.len();
+        while i + 8 <= n {
+            let stray = _mm512_andnot_si512(loadu(b, i), loadu(a, i));
+            if _mm512_test_epi64_mask(stray, stray) != 0 {
+                return false;
+            }
+            i += 8;
+        }
+        a[i..].iter().zip(&b[i..]).all(|(x, y)| x & !y == 0)
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512bw")]
+    pub(super) unsafe fn shifted_and_popcount(
+        limbs: &[u64],
+        word_shift: usize,
+        bit_shift: u32,
+    ) -> u64 {
+        let m = limbs.len() - word_shift;
+        let rs = _mm_cvtsi32_si128(bit_shift as i32);
+        let ls = _mm_cvtsi32_si128(64 - bit_shift as i32);
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0;
+        while i + 9 <= m {
+            let cur = loadu(limbs, i + word_shift);
+            let nxt = loadu(limbs, i + word_shift + 1);
+            let shifted = _mm512_or_si512(_mm512_srl_epi64(cur, rs), _mm512_sll_epi64(nxt, ls));
+            let v = _mm512_and_si512(loadu(limbs, i), shifted);
+            acc = _mm512_add_epi64(acc, popcnt_epi64(v));
+            i += 8;
+        }
+        _mm512_reduce_add_epi64(acc) as u64
+            + scalar_shifted_and_popcount(&limbs[i..], word_shift, bit_shift)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests: every vector kernel against the scalar reference, across lengths
+// straddling the vector-width boundaries.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntt::P;
+
+    /// xorshift64* words; `canonical` maps them below `P`.
+    fn words(len: usize, mut state: u64, canonical: bool) -> Vec<u64> {
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let w = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                if canonical {
+                    w % P
+                } else {
+                    w
+                }
+            })
+            .collect()
+    }
+
+    /// Word counts straddling every vector width: w ∈ {4, 8} ⇒
+    /// {0, 1, w-1, w, w+1, 2w+1} plus a larger run.
+    const BOUNDARY_LENS: [usize; 12] = [0, 1, 3, 4, 5, 7, 8, 9, 17, 64, 100, 257];
+
+    #[test]
+    fn detection_is_consistent() {
+        assert!(SimdLevel::Scalar.is_supported());
+        assert!(active() <= detected());
+        for level in SimdLevel::supported() {
+            assert!(level.lanes() >= 1);
+            assert!(!level.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn word_kernels_match_scalar_at_every_level_and_boundary() {
+        for &len in &BOUNDARY_LENS {
+            let a = words(len, 0x1234_5678, false);
+            let b = words(len, 0x9ABC_DEF0, false);
+            let c = words(len, 0x0F1E_2D3C, false);
+            let s = SimdLevel::Scalar;
+            for level in SimdLevel::supported() {
+                assert_eq!(
+                    popcount(&a, level),
+                    popcount(&a, s),
+                    "popcount len={len} level={level:?}"
+                );
+                assert_eq!(
+                    and_popcount(&a, &b, level),
+                    and_popcount(&a, &b, s),
+                    "and_popcount len={len} level={level:?}"
+                );
+                assert_eq!(
+                    and3_popcount(&a, &b, &c, level),
+                    and3_popcount(&a, &b, &c, s),
+                    "and3_popcount len={len} level={level:?}"
+                );
+                let mut got = a.clone();
+                and_assign(&mut got, &b, level);
+                let mut want = a.clone();
+                and_assign(&mut want, &b, s);
+                assert_eq!(got, want, "and_assign len={len} level={level:?}");
+                assert!(
+                    is_subset(&got, &a, level),
+                    "a&b ⊆ a len={len} level={level:?}"
+                );
+                assert_eq!(
+                    is_subset(&a, &got, level),
+                    is_subset(&a, &got, s),
+                    "is_subset len={len} level={level:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_rejection_is_level_independent() {
+        for &len in &BOUNDARY_LENS[1..] {
+            let mut a = vec![0u64; len];
+            let b = vec![0u64; len];
+            // A stray bit in every position, one at a time (covers both the
+            // vector body and the scalar tail).
+            for pos in [0, len / 2, len - 1] {
+                a[pos] = 1 << (pos % 64);
+                for level in SimdLevel::supported() {
+                    assert!(!is_subset(&a, &b, level), "len={len} pos={pos}");
+                    assert!(is_subset(&b, &a, level), "len={len} pos={pos}");
+                }
+                a[pos] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_and_popcount_matches_scalar() {
+        for &len in &BOUNDARY_LENS[1..] {
+            let limbs = words(len, 0xDEAD_BEEF ^ len as u64, false);
+            for word_shift in [0usize, 1, 2, len.saturating_sub(1)] {
+                if word_shift >= len {
+                    continue;
+                }
+                for bit_shift in [0u32, 1, 31, 63] {
+                    let want = if bit_shift == 0 {
+                        and_popcount(
+                            &limbs[..len - word_shift],
+                            &limbs[word_shift..],
+                            SimdLevel::Scalar,
+                        )
+                    } else {
+                        scalar_shifted_and_popcount(&limbs, word_shift, bit_shift)
+                    };
+                    for level in SimdLevel::supported() {
+                        assert_eq!(
+                            shifted_and_popcount(&limbs, word_shift, bit_shift, level),
+                            want,
+                            "len={len} ws={word_shift} bs={bit_shift} level={level:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_kernels_match_scalar() {
+        for log in 1..=10u32 {
+            let n = 1usize << log;
+            let vals = words(n, 0xA5A5_0000 | n as u64, true);
+            for level in SimdLevel::supported() {
+                // Width-2 pass.
+                let mut got = vals.clone();
+                butterfly_width2(&mut got, level);
+                let mut want = vals.clone();
+                butterfly_width2(&mut want, SimdLevel::Scalar);
+                assert_eq!(got, want, "width2 n={n} level={level:?}");
+
+                // Every wider stage with its own twiddle run.
+                let mut width = 4usize;
+                while width <= n {
+                    let half = width / 2;
+                    let mut tw = words(half, width as u64 ^ 0x77, true);
+                    tw[0] = 1;
+                    // Vector plans pre-repeat the width-4 twiddles.
+                    let padded: Vec<u64> = if width == 4 {
+                        [&tw[..], &tw[..]].concat()
+                    } else {
+                        tw.clone()
+                    };
+                    let mut got = vals.clone();
+                    butterfly_stage(&mut got, width, &padded, level);
+                    let mut want = vals.clone();
+                    butterfly_stage(&mut want, width, &tw, SimdLevel::Scalar);
+                    assert_eq!(got, want, "stage width={width} n={n} level={level:?}");
+                    width *= 2;
+                }
+
+                // Inverse-normalization sweep.
+                let mut got = vals.clone();
+                scale_in_place(&mut got, 0x1234_5678_9ABC_DEF0 % P, level);
+                let mut want = vals.clone();
+                scale_in_place(&mut want, 0x1234_5678_9ABC_DEF0 % P, SimdLevel::Scalar);
+                assert_eq!(got, want, "scale n={n} level={level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_square_spectrum_matches_scalar() {
+        for log in 0..=11u32 {
+            let n = 1usize << log;
+            let vals = words(n, 0xBEEF_0000 | n as u64, true);
+            let mut want = vals.clone();
+            reversed_square_spectrum(&mut want, SimdLevel::Scalar);
+            for level in SimdLevel::supported() {
+                let mut got = vals.clone();
+                reversed_square_spectrum(&mut got, level);
+                assert_eq!(got, want, "n={n} level={level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_stage_pair_matches_sequential_stages() {
+        for log in 4..=11u32 {
+            let n = 1usize << log;
+            let vals = words(n, 0xF00D_0000 | n as u64, true);
+            for level in SimdLevel::supported() {
+                let Some(min_half) = pair_min_half(level) else {
+                    continue;
+                };
+                let mut width = 2 * min_half;
+                while 2 * width <= n {
+                    let half = width / 2;
+                    let mut tw_a = words(half, width as u64 ^ 0x31, true);
+                    tw_a[0] = 1;
+                    let mut tw_b = words(width, width as u64 ^ 0x32, true);
+                    tw_b[0] = 1;
+                    let mut got = vals.clone();
+                    butterfly_stage_pair(&mut got, width, &tw_a, &tw_b, level);
+                    let mut want = vals.clone();
+                    butterfly_stage(&mut want, width, &tw_a, SimdLevel::Scalar);
+                    butterfly_stage(&mut want, 2 * width, &tw_b, SimdLevel::Scalar);
+                    assert_eq!(got, want, "pair width={width} n={n} level={level:?}");
+                    width *= 2;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_modmul_agrees_with_scalar_on_edge_values() {
+        // Canonical edge values exercising every carry/borrow branch of the
+        // lane-parallel reduction, in every lane position.
+        let edges = [0u64, 1, 2, EPSILON_TEST - 1, EPSILON_TEST, P - 2, P - 1];
+        for &x in &edges {
+            for &y in &edges {
+                let mut buf: Vec<u64> = (0..16).map(|i| if i % 2 == 0 { x } else { y }).collect();
+                let want: Vec<u64> = buf.iter().map(|&v| mod_mul(v, x)).collect();
+                for level in SimdLevel::supported() {
+                    let mut got = buf.clone();
+                    scale_in_place(&mut got, x, level);
+                    assert_eq!(got, want, "x={x} y={y} level={level:?}");
+                }
+                buf.rotate_left(1);
+            }
+        }
+    }
+
+    const EPSILON_TEST: u64 = 0xFFFF_FFFF;
+}
