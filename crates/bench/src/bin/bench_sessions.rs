@@ -1,7 +1,7 @@
 //! Multi-tenant session-manager benchmark: ingest throughput and batch
 //! latency at 1k and 10k concurrent streaming sessions.
 //!
-//! Two phases over the same batched workload (rounds of 64-session
+//! Three phases over the same batched workload (rounds of 64-session
 //! batches, 32 symbols per session per batch):
 //!
 //! * **resident_1k** — 1,000 sessions, no eviction budget: the pure
@@ -12,17 +12,27 @@
 //!   run asserts the budget holds, that at least 1k sessions stay
 //!   resident, and that a churned session still detects its planted
 //!   period — eviction must be invisible to the mining answer.
+//! * **contended_multishard** — the same evicting workload pushed
+//!   through a [`ShardedSessionManager`] by several producer threads at
+//!   once (each producer owns a disjoint session range and submits its
+//!   batches concurrently). Each shard runs its own byte budget, so
+//!   park/restore churn happens under contention. Afterwards a sample
+//!   of sessions is replayed through a plain single
+//!   [`SessionManager`] with no budget at all and the snapshots are
+//!   compared byte-for-byte: sharding AND eviction must both be
+//!   invisible to the answers.
 //!
-//! Reports sessions/sec, p50/p99 batch latency, and the session counter
-//! deltas (activations, batches, evictions, restore hits). Results land
-//! in `BENCH_sessions.json` at the repo root. Deliberately std-only
-//! (hand-rolled JSON); `--smoke` shrinks both phases for CI and skips
+//! Reports sessions/sec, p50/p99 batch latency, and the session/shard
+//! counter deltas (activations, batches, evictions, restore hits,
+//! eviction stall time, shard queue depth). Results land in
+//! `BENCH_sessions.json` at the repo root. Deliberately std-only
+//! (hand-rolled JSON); `--smoke` shrinks all phases for CI and skips
 //! the file write.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use periodica_core::{EvictionPolicy, SessionId, SessionManager};
+use periodica_core::{EvictionPolicy, SessionId, SessionManager, ShardedSessionManager};
 use periodica_obs::{self as obs, Counter, MetricsRecorder};
 use periodica_series::{Alphabet, SymbolId};
 
@@ -31,15 +41,19 @@ const WINDOW: usize = 64;
 const BATCH_SESSIONS: usize = 64;
 const SYMBOLS_PER_BATCH: usize = 32;
 
-const SESSION_COUNTERS: [(Counter, &str); 5] = [
+const SESSION_COUNTERS: [(Counter, &str); 9] = [
     (Counter::SessionsActive, "session.sessions_active"),
     (Counter::SessionBatchesIngested, "session.batches_ingested"),
     (Counter::SessionEvictions, "session.evictions"),
     (Counter::SessionRestoreHits, "session.restore_hits"),
     (Counter::OnlineFlushes, "online.flushes"),
+    (Counter::SessionEvictStallNs, "session.evict_stall_ns"),
+    (Counter::ShardBatchesSubmitted, "shard.batches_submitted"),
+    (Counter::ShardSubBatches, "shard.sub_batches"),
+    (Counter::ShardQueueDepthPeak, "shard.queue_depth_peak"),
 ];
 
-fn snapshot(rec: &MetricsRecorder) -> [u64; 5] {
+fn snapshot(rec: &MetricsRecorder) -> [u64; 9] {
     SESSION_COUNTERS.map(|(c, _)| rec.counter(c))
 }
 
@@ -71,7 +85,13 @@ struct PhaseResult {
     parked_after: usize,
     resident_bytes_after: usize,
     memory_budget: Option<usize>,
-    counter_deltas: [u64; 5],
+    /// Shard / producer-thread counts for the contended phase.
+    shards: Option<usize>,
+    producers: Option<usize>,
+    /// Sessions whose final snapshot was byte-compared against a plain
+    /// unsharded, unbudgeted replay (contended phase only).
+    verified_probes: usize,
+    counter_deltas: [u64; 9],
 }
 
 fn percentile(sorted: &[u64], pct: f64) -> u64 {
@@ -173,8 +193,11 @@ fn run_phase(
         parked_after: manager.parked_count(),
         resident_bytes_after: manager.resident_bytes(),
         memory_budget: budget,
+        shards: None,
+        producers: None,
+        verified_probes: 0,
         counter_deltas: {
-            let mut deltas = [0u64; 5];
+            let mut deltas = [0u64; 9];
             for (slot, (b, a)) in deltas
                 .iter_mut()
                 .zip(counters_before.iter().zip(counters_after))
@@ -203,6 +226,197 @@ fn run_phase(
     result
 }
 
+/// The contended phase: `producers` threads hammer one
+/// [`ShardedSessionManager`] concurrently, each owning a disjoint
+/// contiguous range of the session space. Afterwards ~16 probe sessions
+/// are replayed through a plain unsharded, unbudgeted manager and their
+/// snapshots compared byte-for-byte.
+#[allow(clippy::too_many_arguments)]
+fn run_contended_phase(
+    name: &'static str,
+    sessions: usize,
+    rounds: usize,
+    shards: usize,
+    producers: usize,
+    per_shard_budget: Option<usize>,
+    recorder: &MetricsRecorder,
+) -> PhaseResult {
+    let alphabet = Alphabet::latin(SIGMA).expect("alphabet");
+    let builder = SessionManager::builder(alphabet.clone())
+        .window(WINDOW)
+        .threshold(0.9)
+        .flush_block(256)
+        .policy(EvictionPolicy {
+            max_sessions: None,
+            max_resident_bytes: per_shard_budget,
+        });
+    let manager = ShardedSessionManager::new(builder, shards);
+    let ids: Vec<SessionId> = (0..sessions)
+        .map(|i| SessionId::from(format!("s{i:05}")))
+        .collect();
+
+    let counters_before = snapshot(recorder);
+    let started = Instant::now();
+    // Each producer owns a contiguous range; rounds are NOT synchronized
+    // across producers, so shard queues see genuinely mixed traffic.
+    let per_producer = sessions.div_ceil(producers);
+    let results: Vec<(Vec<u64>, usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let ids = &ids;
+                let manager = &manager;
+                scope.spawn(move || {
+                    let range = (p * per_producer)..(((p + 1) * per_producer).min(sessions));
+                    let mut positions = vec![0u64; range.len()];
+                    let mut latencies = Vec::new();
+                    let mut batches = 0usize;
+                    let mut symbols = 0usize;
+                    let mut symbol_buf: Vec<Vec<SymbolId>> = vec![Vec::new(); BATCH_SESSIONS];
+                    for _ in 0..rounds {
+                        let sessions_in_range: Vec<usize> = range.clone().collect();
+                        for chunk in sessions_in_range.chunks(BATCH_SESSIONS) {
+                            for (slot, &s) in symbol_buf.iter_mut().zip(chunk) {
+                                slot.clear();
+                                let pos = &mut positions[s - range.start];
+                                slot.extend(
+                                    (0..SYMBOLS_PER_BATCH as u64).map(|k| symbol_at(s, *pos + k)),
+                                );
+                                *pos += SYMBOLS_PER_BATCH as u64;
+                            }
+                            let batch: Vec<(SessionId, &[SymbolId])> = chunk
+                                .iter()
+                                .zip(&symbol_buf)
+                                .map(|(&s, symbols)| (ids[s].clone(), symbols.as_slice()))
+                                .collect();
+                            let t = Instant::now();
+                            manager.ingest_batch(&batch).expect("ingest");
+                            latencies.push(t.elapsed().as_nanos() as u64);
+                            batches += 1;
+                            symbols += chunk.len() * SYMBOLS_PER_BATCH;
+                        }
+                    }
+                    (latencies, batches, symbols)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("producer thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let counters_after = snapshot(recorder);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut batches = 0usize;
+    let mut symbols = 0usize;
+    for (lat, b, s) in results {
+        latencies.extend(lat);
+        batches += b;
+        symbols += s;
+    }
+
+    let stats = manager.shard_stats().expect("shard stats");
+    if let Some(budget) = per_shard_budget {
+        for s in &stats {
+            assert!(
+                s.resident_bytes <= budget,
+                "{name}: shard {} resident bytes {} exceed the {budget}-byte budget",
+                s.shard,
+                s.resident_bytes
+            );
+        }
+    }
+    assert_eq!(
+        manager.session_count().expect("session count"),
+        sessions,
+        "{name}: sessions lost"
+    );
+
+    // 1-vs-N transparency: replay probe sessions through a plain manager
+    // with NO sharding and NO budget; snapshots must be byte-identical.
+    let mut solo = SessionManager::builder(alphabet)
+        .window(WINDOW)
+        .threshold(0.9)
+        .flush_block(256)
+        .build();
+    let probe_step = (sessions / 16).max(1);
+    let mut verified_probes = 0usize;
+    for s in (0..sessions).step_by(probe_step) {
+        let mut pos = 0u64;
+        for _ in 0..rounds {
+            let symbols: Vec<SymbolId> = (0..SYMBOLS_PER_BATCH as u64)
+                .map(|k| symbol_at(s, pos + k))
+                .collect();
+            pos += SYMBOLS_PER_BATCH as u64;
+            solo.ingest_batch(&[(ids[s].clone(), symbols.as_slice())])
+                .expect("solo ingest");
+        }
+        let sharded_bytes = manager.snapshot(&ids[s]).expect("snapshot").to_bytes();
+        let solo_bytes = solo.snapshot(&ids[s]).expect("solo snapshot").to_bytes();
+        assert_eq!(
+            sharded_bytes, solo_bytes,
+            "{name}: session {s} diverged between the sharded/evicting run \
+             and the plain replay"
+        );
+        verified_probes += 1;
+    }
+
+    latencies.sort_unstable();
+    let touches = batches * BATCH_SESSIONS;
+    let result = PhaseResult {
+        name,
+        sessions,
+        rounds,
+        batches,
+        symbols,
+        elapsed_secs: elapsed,
+        sessions_per_sec: touches as f64 / elapsed,
+        symbols_per_sec: symbols as f64 / elapsed,
+        p50_batch_ns: percentile(&latencies, 0.50),
+        p99_batch_ns: percentile(&latencies, 0.99),
+        max_batch_ns: latencies.last().copied().unwrap_or(0),
+        resident_after: stats.iter().map(|s| s.resident).sum(),
+        parked_after: stats.iter().map(|s| s.parked).sum(),
+        resident_bytes_after: stats.iter().map(|s| s.resident_bytes).sum(),
+        memory_budget: per_shard_budget,
+        shards: Some(shards),
+        producers: Some(producers),
+        verified_probes,
+        counter_deltas: {
+            let mut deltas = [0u64; 9];
+            for (slot, (b, a)) in deltas
+                .iter_mut()
+                .zip(counters_before.iter().zip(counters_after))
+            {
+                *slot = a - b;
+            }
+            deltas
+        },
+    };
+    eprintln!(
+        "{name}: {} sessions x {} rounds on {} shards / {} producers | \
+         {:.0} sessions/s, {:.2}M symbols/s | batch p50 {}us p99 {}us | \
+         {} resident / {} parked | {} evictions, {} restores, queue peak {} | \
+         {} probes bit-identical",
+        sessions,
+        rounds,
+        shards,
+        producers,
+        result.sessions_per_sec,
+        result.symbols_per_sec / 1e6,
+        result.p50_batch_ns / 1_000,
+        result.p99_batch_ns / 1_000,
+        result.resident_after,
+        result.parked_after,
+        result.counter_deltas[2],
+        result.counter_deltas[3],
+        result.counter_deltas[8],
+        verified_probes,
+    );
+    result
+}
+
 fn phase_json(r: &PhaseResult) -> String {
     let deltas: Vec<String> = SESSION_COUNTERS
         .iter()
@@ -219,6 +433,8 @@ fn phase_json(r: &PhaseResult) -> String {
          \"p99_batch_ns\": {},\n      \"max_batch_ns\": {},\n      \
          \"resident_after\": {},\n      \"parked_after\": {},\n      \
          \"resident_bytes_after\": {},\n      \"memory_budget\": {},\n      \
+         \"shards\": {},\n      \"producers\": {},\n      \
+         \"verified_probes\": {},\n      \
          \"counter_deltas\": {{\n{}\n      }}\n    }}",
         r.name,
         r.sessions,
@@ -236,6 +452,9 @@ fn phase_json(r: &PhaseResult) -> String {
         r.resident_bytes_after,
         r.memory_budget
             .map_or("null".to_string(), |b| b.to_string()),
+        r.shards.map_or("null".to_string(), |s| s.to_string()),
+        r.producers.map_or("null".to_string(), |p| p.to_string()),
+        r.verified_probes,
         deltas.join(",\n"),
     )
 }
@@ -268,13 +487,41 @@ fn main() {
         "the eviction phase never restored"
     );
 
+    // Phase 3: the same evicting workload, but pushed through the
+    // sharded manager by concurrent producers. Shards default to the
+    // core count so the phase reflects what this machine can actually
+    // sustain; each shard gets a proportional slice of the byte budget
+    // so churn pressure per shard matches phase 2.
+    let shards = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (con_sessions, con_rounds, con_producers) =
+        if smoke { (1_200, 2, 4) } else { (10_000, 5, 8) };
+    let per_shard_budget = budget.map(|b| (b / shards).max(4 * 1024 * 1024));
+    let contended = run_contended_phase(
+        "contended_multishard",
+        con_sessions,
+        con_rounds,
+        shards,
+        con_producers,
+        per_shard_budget,
+        &recorder,
+    );
+    assert!(
+        contended.counter_deltas[2] > 0,
+        "the contended phase never evicted"
+    );
+    assert!(
+        contended.verified_probes > 0,
+        "the contended phase verified no probes"
+    );
+
     obs::uninstall();
     let json = format!(
         "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"window\": {WINDOW}, \
-         \"smoke\": {smoke} }},\n  \"phases\": {{\n{},\n{}\n  }},\n  \
-         \"eviction_transparent\": true\n}}\n",
+         \"smoke\": {smoke} }},\n  \"phases\": {{\n{},\n{},\n{}\n  }},\n  \
+         \"eviction_transparent\": true,\n  \"answers_bit_identical\": true\n}}\n",
         phase_json(&resident),
         phase_json(&evicting),
+        phase_json(&contended),
     );
     println!("{json}");
     if smoke {

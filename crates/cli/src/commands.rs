@@ -10,6 +10,7 @@ use periodica_obs as obs;
 use periodica_core::{
     fundamentals, DetectorConfig, EngineKind, EvictionPolicy, IngestOutcome, MiningReport,
     ObscureMiner, PatternMode, PeriodicityDetector, SessionId, SessionManager,
+    SessionManagerBuilder, ShardedSessionManager,
 };
 use periodica_series::discretize::{Discretizer, EqualFrequency, EqualWidth, GaussianBins};
 use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
@@ -504,9 +505,13 @@ fn session_alphabet(args: &CliArgs) -> Result<Arc<Alphabet>, CliError> {
     }
 }
 
-/// Builds a [`SessionManager`] from the shared session flags
-/// (`--max-period`, `--threshold`, `--max-sessions`, `--memory-budget`).
-fn session_manager(args: &CliArgs) -> Result<SessionManager, CliError> {
+/// Builds a [`SessionManagerBuilder`] from the shared session flags
+/// (`--max-period`, `--threshold`, `--max-sessions`, `--memory-budget`,
+/// `--evict-batch-limit`). `serve` hands the builder to
+/// [`ShardedSessionManager`](periodica_core::ShardedSessionManager) so
+/// every shard is configured identically; single-manager commands call
+/// [`session_manager`].
+pub(crate) fn session_manager_builder(args: &CliArgs) -> Result<SessionManagerBuilder, CliError> {
     let policy = EvictionPolicy {
         max_sessions: args
             .raw("max-sessions")
@@ -517,11 +522,20 @@ fn session_manager(args: &CliArgs) -> Result<SessionManager, CliError> {
             .map(|_| args.require("memory-budget"))
             .transpose()?,
     };
-    Ok(SessionManager::builder(session_alphabet(args)?)
+    let mut builder = SessionManager::builder(session_alphabet(args)?)
         .window(args.get("max-period", 64)?)
         .threshold(args.get("threshold", 0.5)?)
-        .policy(policy)
-        .build())
+        .policy(policy);
+    if args.raw("evict-batch-limit").is_some() {
+        builder = builder.evict_batch_limit(args.require("evict-batch-limit")?);
+    }
+    Ok(builder)
+}
+
+/// Builds a [`SessionManager`] from the shared session flags; see
+/// [`session_manager_builder`].
+fn session_manager(args: &CliArgs) -> Result<SessionManager, CliError> {
+    Ok(session_manager_builder(args)?.build())
 }
 
 /// `periodica ingest` — multi-tenant streaming ingest. Each input line is
@@ -714,5 +728,54 @@ pub fn session_restore(
             c.confidence_bound,
         )?;
     }
+    Ok(0)
+}
+
+/// `periodica serve` — the sharded session service over TCP (wire
+/// protocol + HTTP/JSON on one port); see [`crate::serve`].
+pub fn serve(
+    args: &CliArgs,
+    _stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let shards: usize = match args.raw("shards") {
+        Some(_) => args.require("shards")?,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let alphabet = session_alphabet(args)?;
+    let manager = ShardedSessionManager::new(session_manager_builder(args)?, shards);
+    if let Some(path) = args.raw("state-in") {
+        let restored = manager.restore_dump(&std::fs::read(path)?)?;
+        writeln!(out, "restored {restored} sessions from {path}")?;
+    }
+    let host = args.raw("host").unwrap_or("127.0.0.1");
+    let port: u16 = args.get("port", 0)?;
+    let server = crate::serve::Server::bind(format!("{host}:{port}"), manager, alphabet)?;
+    writeln!(
+        out,
+        "listening on {} with {} shards",
+        server.local_addr()?,
+        shards
+    )?;
+    out.flush()?;
+    let max_conns: Option<usize> = args
+        .raw("max-conns")
+        .map(|_| args.require("max-conns"))
+        .transpose()?;
+    let summary = server.serve(max_conns)?;
+    if let Some(path) = args.raw("state-out") {
+        std::fs::write(path, server.manager().dump()?)?;
+        writeln!(out, "state written to {path}")?;
+    }
+    writeln!(
+        out,
+        "served {} connections ({})",
+        summary.connections,
+        if summary.shutdown {
+            "shutdown requested"
+        } else {
+            "connection limit reached"
+        }
+    )?;
     Ok(0)
 }

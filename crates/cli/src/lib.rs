@@ -13,6 +13,8 @@
 //!   concurrent bounded-memory sessions;
 //! * `session-dump` / `session-restore` — inspect and rehydrate the
 //!   state files `ingest` writes;
+//! * `serve`      — the sharded session service over TCP (binary wire
+//!   protocol + HTTP/JSON on one port; see [`serve`]);
 //! * `help`       — usage.
 //!
 //! Series input is one-character-per-symbol text from a file argument or
@@ -25,6 +27,7 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+pub mod serve;
 
 use std::io::{BufRead, Write};
 
@@ -50,6 +53,8 @@ COMMANDS:
   session-dump     list the sessions in an `ingest --state-out` file
   session-restore  rebuild one session from a state file and report its
               current candidate periods (--session <id>)
+  serve       run the sharded multi-tenant session service over TCP
+              (length-prefixed wire protocol + HTTP/JSON on one port)
   metrics-check  validate a --metrics-out report against the JSON schema
   help        show this message
 
@@ -80,6 +85,17 @@ INGEST OPTIONS:
   --state-out <path>     write all session state after ingest
   --profile              print the telemetry breakdown (evictions,
                          restores, batch latency spans)
+
+SERVE OPTIONS:
+  --host <addr>          bind address                    [default 127.0.0.1]
+  --port <p>             bind port (0 = ephemeral; the bound address is
+                         printed before serving)         [default 0]
+  --shards <n>           worker shards                   [default cores]
+  --max-conns <n>        stop after n connections (tests/CI; default: serve
+                         until a SHUTDOWN frame arrives)
+  --evict-batch-limit <n>  per-call eviction cap per shard [default 128]
+  plus the INGEST session options (--max-sessions, --memory-budget,
+  --max-period, --threshold, --alphabet, --state-in, --state-out)
 
 METRICS-CHECK OPTIONS:
   --schema <path>        schema document  [default docs/metrics.schema.json]
@@ -120,6 +136,7 @@ pub fn run(
         "ingest" => commands::ingest(&args, stdin, stdout),
         "session-dump" => commands::session_dump(&args, stdin, stdout),
         "session-restore" => commands::session_restore(&args, stdin, stdout),
+        "serve" => commands::serve(&args, stdin, stdout),
         "help" | "--help" | "-h" => {
             writeln!(stdout, "{USAGE}")?;
             Ok(0)
@@ -162,6 +179,20 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&argv, &mut stdin, &mut out).expect_err("should fail");
         assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn serve_parses_flags_and_reports_the_bound_address() {
+        // --max-conns 0 returns before accepting, so this exercises flag
+        // parsing, binding, and the summary line without a client.
+        let (code, out) = invoke(
+            &["serve", "--port", "0", "--shards", "2", "--max-conns", "0"],
+            "",
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("listening on 127.0.0.1:"), "{out}");
+        assert!(out.contains("with 2 shards"), "{out}");
+        assert!(out.contains("served 0 connections"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,719 @@
+//! `periodica serve` — the sharded session service over TCP.
+//!
+//! One listener serves two protocols on the same port, distinguished by
+//! sniffing the first four bytes of each connection:
+//!
+//! * **PWIR wire protocol** — length-prefixed binary frames (the same
+//!   framing idiom as the PSNP snapshot format: magic, version, then
+//!   little-endian length-prefixed payload). A connection may pipeline
+//!   any number of request frames; each gets exactly one response frame.
+//!
+//!   ```text
+//!   request:  "PWIR" | version: u32 | op: u8    | len: u32 | payload
+//!   response: "PWIR" | version: u32 | status: u8| len: u32 | payload
+//!   ```
+//!
+//!   Ops: `1` INGEST (payload: UTF-8 `session<TAB>symbols` lines, one
+//!   batch), `2` QUERY (payload: session id), `3` STATS (empty payload),
+//!   `4` SHUTDOWN (empty payload; the server finishes the connection and
+//!   stops accepting). Status `0` is success (payload: JSON document),
+//!   `1` an error (payload: UTF-8 message).
+//!
+//! * **HTTP/1.1 + JSON** — anything that does not start with `PWIR` is
+//!   parsed as one HTTP request (`Connection: close` semantics):
+//!   `POST /ingest` with `{"records": [{"session": "...", "symbols":
+//!   "..."}]}`, `POST /query` with `{"session": "..."}`, `GET /stats`.
+//!
+//! Connections are handled sequentially on the accepting thread; the
+//! concurrency lives *inside* [`ShardedSessionManager`], which fans each
+//! batch out across its shard workers. A pipelining client therefore
+//! saturates every shard without the server needing a thread per
+//! connection — and SHUTDOWN semantics stay trivially race-free.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use periodica_core::{
+    Error as CoreError, IngestOutcome, OnlineCandidate, SessionId, ShardedSessionManager,
+};
+use periodica_obs::json;
+use periodica_series::{Alphabet, SymbolId};
+
+use crate::error::CliError;
+
+/// Magic prefix of every wire-protocol frame.
+pub const WIRE_MAGIC: &[u8; 4] = b"PWIR";
+/// Newest wire-protocol version this build speaks.
+pub const WIRE_VERSION: u32 = 1;
+/// Ingest a batch of `session<TAB>symbols` records.
+pub const OP_INGEST: u8 = 1;
+/// Query one session's candidate periods.
+pub const OP_QUERY: u8 = 2;
+/// Report per-shard resource usage.
+pub const OP_STATS: u8 = 3;
+/// Finish this connection, then stop accepting new ones.
+pub const OP_SHUTDOWN: u8 = 4;
+/// Response status: success, payload is a JSON document.
+pub const STATUS_OK: u8 = 0;
+/// Response status: failure, payload is a UTF-8 error message.
+pub const STATUS_ERR: u8 = 1;
+
+/// Largest accepted frame payload / HTTP body. Protects the server from
+/// a malformed length prefix, not a resource-accounting mechanism.
+const MAX_PAYLOAD: u32 = 64 << 20;
+/// Largest accepted HTTP request head (request line + headers).
+const MAX_HEAD: usize = 64 << 10;
+/// Per-connection socket timeout: a stalled client cannot wedge the
+/// accept loop forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What one [`Server::serve`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted and handled.
+    pub connections: usize,
+    /// Whether a SHUTDOWN frame ended the loop (as opposed to the
+    /// connection limit).
+    pub shutdown: bool,
+}
+
+/// The TCP front end over a [`ShardedSessionManager`]; see the
+/// [module docs](self).
+pub struct Server {
+    listener: TcpListener,
+    manager: ShardedSessionManager,
+    alphabet: std::sync::Arc<Alphabet>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over an
+    /// already-configured manager.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        manager: ShardedSessionManager,
+        alphabet: std::sync::Arc<Alphabet>,
+    ) -> Result<Self, CliError> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            manager,
+            alphabet,
+        })
+    }
+
+    /// The bound address (resolves the real port after binding port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, CliError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The manager being served (e.g. to dump state after serving).
+    pub fn manager(&self) -> &ShardedSessionManager {
+        &self.manager
+    }
+
+    /// Accepts and serves connections until a SHUTDOWN frame arrives or
+    /// `max_conns` connections have been handled (`None` = no limit).
+    /// Per-connection protocol errors are answered on that connection and
+    /// never abort the loop.
+    pub fn serve(&self, max_conns: Option<usize>) -> Result<ServeSummary, CliError> {
+        let mut summary = ServeSummary {
+            connections: 0,
+            shutdown: false,
+        };
+        while max_conns.is_none_or(|cap| summary.connections < cap) {
+            let (stream, _) = self.listener.accept()?;
+            summary.connections += 1;
+            match self.handle_connection(stream) {
+                Ok(true) => {
+                    summary.shutdown = true;
+                    break;
+                }
+                Ok(false) => {}
+                // A client that vanished mid-request is its own problem.
+                Err(_) => {}
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Serves one connection; returns whether it requested shutdown.
+    fn handle_connection(&self, stream: TcpStream) -> std::io::Result<bool> {
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        let mut sniff = [0u8; 4];
+        let n = stream.peek(&mut sniff)?;
+        if &sniff[..n] == WIRE_MAGIC {
+            self.serve_wire(stream)
+        } else {
+            self.serve_http(stream).map(|()| false)
+        }
+    }
+
+    /// Serves pipelined PWIR frames until EOF or a SHUTDOWN op.
+    fn serve_wire(&self, mut stream: TcpStream) -> std::io::Result<bool> {
+        loop {
+            let mut magic = [0u8; 4];
+            if !read_exact_or_eof(&mut stream, &mut magic)? {
+                return Ok(false); // clean EOF between frames
+            }
+            if &magic != WIRE_MAGIC {
+                write_frame(&mut stream, STATUS_ERR, b"bad frame magic")?;
+                return Ok(false);
+            }
+            let version = read_u32(&mut stream)?;
+            if version != WIRE_VERSION {
+                write_frame(
+                    &mut stream,
+                    STATUS_ERR,
+                    format!("unsupported wire version {version}").as_bytes(),
+                )?;
+                return Ok(false);
+            }
+            let mut op = [0u8; 1];
+            stream.read_exact(&mut op)?;
+            let len = read_u32(&mut stream)?;
+            if len > MAX_PAYLOAD {
+                write_frame(&mut stream, STATUS_ERR, b"frame payload too large")?;
+                return Ok(false);
+            }
+            let mut payload = vec![0u8; len as usize];
+            stream.read_exact(&mut payload)?;
+            match op[0] {
+                OP_INGEST => match self.ingest_records_text(&payload) {
+                    Ok(outcome) => {
+                        write_frame(&mut stream, STATUS_OK, outcome_json(&outcome).as_bytes())?
+                    }
+                    Err(e) => write_frame(&mut stream, STATUS_ERR, e.to_string().as_bytes())?,
+                },
+                OP_QUERY => {
+                    let id = String::from_utf8_lossy(&payload);
+                    match self.query(id.trim()) {
+                        Ok(body) => write_frame(&mut stream, STATUS_OK, body.as_bytes())?,
+                        Err(e) => write_frame(&mut stream, STATUS_ERR, e.to_string().as_bytes())?,
+                    }
+                }
+                OP_STATS => match self.stats_json() {
+                    Ok(body) => write_frame(&mut stream, STATUS_OK, body.as_bytes())?,
+                    Err(e) => write_frame(&mut stream, STATUS_ERR, e.to_string().as_bytes())?,
+                },
+                OP_SHUTDOWN => {
+                    write_frame(&mut stream, STATUS_OK, b"{}")?;
+                    return Ok(true);
+                }
+                other => {
+                    write_frame(
+                        &mut stream,
+                        STATUS_ERR,
+                        format!("unknown op {other}").as_bytes(),
+                    )?;
+                }
+            }
+        }
+    }
+
+    /// Serves one HTTP request, then closes.
+    fn serve_http(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        let (request_line, headers, body) = match read_http_request(&mut stream) {
+            Ok(parts) => parts,
+            Err(msg) => return http_response(&mut stream, 400, "Bad Request", &error_json(&msg)),
+        };
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+        let target = parts.next().unwrap_or_default().to_string();
+        let _ = headers;
+        match (method.as_str(), target.as_str()) {
+            ("POST", "/ingest") => match self.ingest_records_json(&body) {
+                Ok(outcome) => http_response(&mut stream, 200, "OK", &outcome_json(&outcome)),
+                Err(e) => http_error(&mut stream, &e),
+            },
+            ("POST", "/query") => {
+                let id = match parse_query_body(&body) {
+                    Ok(id) => id,
+                    Err(msg) => {
+                        return http_response(&mut stream, 400, "Bad Request", &error_json(&msg))
+                    }
+                };
+                match self.query(&id) {
+                    Ok(body) => http_response(&mut stream, 200, "OK", &body),
+                    Err(e) => http_error(&mut stream, &e),
+                }
+            }
+            ("GET", "/stats") => match self.stats_json() {
+                Ok(body) => http_response(&mut stream, 200, "OK", &body),
+                Err(e) => http_error(&mut stream, &e),
+            },
+            _ => http_response(
+                &mut stream,
+                404,
+                "Not Found",
+                &error_json(&format!("no route for {method} {target}")),
+            ),
+        }
+    }
+
+    /// Ingests a batch given as `session<TAB>symbols` lines (the wire
+    /// protocol's payload — same record format as `periodica ingest`).
+    fn ingest_records_text(&self, payload: &[u8]) -> Result<IngestOutcome, CliError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| CliError::Usage("ingest payload is not UTF-8".into()))?;
+        let mut batch = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (id, symbols) = line
+                .split_once('\t')
+                .or_else(|| line.split_once(' '))
+                .ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "line {}: expected `session<TAB>symbols`",
+                        lineno + 1
+                    ))
+                })?;
+            batch.push((SessionId::from(id), self.parse_symbols(symbols)?));
+        }
+        self.submit(batch)
+    }
+
+    /// Ingests a batch given as the HTTP endpoint's JSON body.
+    fn ingest_records_json(&self, body: &str) -> Result<IngestOutcome, CliError> {
+        let doc = json::parse(body).map_err(CliError::Usage)?;
+        let records = doc
+            .as_object()
+            .and_then(|o| o.get("records"))
+            .ok_or_else(|| CliError::Usage("body must be {\"records\": [...]}".into()))?;
+        let json::Value::Array(records) = records else {
+            return Err(CliError::Usage("\"records\" must be an array".into()));
+        };
+        let mut batch = Vec::new();
+        for record in records {
+            let record = record
+                .as_object()
+                .ok_or_else(|| CliError::Usage("each record must be an object".into()))?;
+            let session = record
+                .get("session")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| CliError::Usage("record is missing \"session\"".into()))?;
+            let symbols = record
+                .get("symbols")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| CliError::Usage("record is missing \"symbols\"".into()))?;
+            batch.push((SessionId::from(session), self.parse_symbols(symbols)?));
+        }
+        self.submit(batch)
+    }
+
+    fn parse_symbols(&self, text: &str) -> Result<Vec<SymbolId>, CliError> {
+        Ok(text
+            .trim()
+            .chars()
+            .map(|c| self.alphabet.lookup_char(c))
+            .collect::<Result<Vec<_>, _>>()?)
+    }
+
+    fn submit(&self, batch: Vec<(SessionId, Vec<SymbolId>)>) -> Result<IngestOutcome, CliError> {
+        let view: Vec<(SessionId, &[SymbolId])> = batch
+            .iter()
+            .map(|(id, symbols)| (id.clone(), symbols.as_slice()))
+            .collect();
+        Ok(self.manager.ingest_batch(&view)?)
+    }
+
+    fn query(&self, id: &str) -> Result<String, CliError> {
+        let id = SessionId::from(id);
+        let candidates = self.manager.candidates(&id)?;
+        Ok(candidates_json(id.as_str(), &self.alphabet, &candidates))
+    }
+
+    fn stats_json(&self) -> Result<String, CliError> {
+        let stats = self.manager.shard_stats()?;
+        let mut out = String::from("{\"shards\":[");
+        for (i, s) in stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{},\"resident\":{},\"parked\":{},\"resident_bytes\":{}}}",
+                s.shard, s.resident, s.parked, s.resident_bytes
+            ));
+        }
+        out.push_str(&format!(
+            "],\"sessions\":{}}}",
+            stats.iter().map(|s| s.resident + s.parked).sum::<usize>()
+        ));
+        Ok(out)
+    }
+}
+
+/// Reads exactly `buf.len()` bytes; `Ok(false)` means clean EOF before
+/// the first byte (no partial frame).
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = stream.read(&mut buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(false);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated frame header",
+            ));
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+fn read_u32(stream: &mut TcpStream) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    stream.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Writes one response frame.
+fn write_frame(stream: &mut TcpStream, status: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(13 + payload.len());
+    out.extend_from_slice(WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(status);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    stream.write_all(&out)
+}
+
+/// Encodes one client request frame — shared by tests and any Rust
+/// client that wants to speak the wire protocol.
+pub fn encode_request(op: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + payload.len());
+    out.extend_from_slice(WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(op);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes one response frame from a reader. Returns `(status, payload)`.
+pub fn decode_response(stream: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 13];
+    stream.read_exact(&mut header)?;
+    if &header[..4] != WIRE_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad response magic",
+        ));
+    }
+    let len = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok((header[8], payload))
+}
+
+/// One parsed HTTP request: request line, `(name, value)` headers, body.
+type HttpRequest = (String, Vec<(String, String)>, String);
+
+/// Reads one HTTP request: request line, headers, and the body promised
+/// by `Content-Length`.
+fn read_http_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        if head.len() >= MAX_HEAD {
+            return Err("request head too large".into());
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-request".into()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default().to_string();
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| format!("bad content-length {value:?}"))?;
+            if content_length > MAX_PAYLOAD as usize {
+                return Err("request body too large".into());
+            }
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+    let body = String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    Ok((request_line, headers, body))
+}
+
+fn http_response(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// Maps a library error to the closest HTTP status.
+fn http_error(stream: &mut TcpStream, e: &CliError) -> std::io::Result<()> {
+    let (code, reason) = match e {
+        CliError::Core(CoreError::UnknownSession(_)) => (404, "Not Found"),
+        CliError::Usage(_) => (400, "Bad Request"),
+        _ => (500, "Internal Server Error"),
+    };
+    http_response(stream, code, reason, &error_json(&e.to_string()))
+}
+
+fn error_json(message: &str) -> String {
+    let mut out = String::from("{\"error\":");
+    json::write_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+fn parse_query_body(body: &str) -> Result<String, String> {
+    let doc = json::parse(body)?;
+    doc.as_object()
+        .and_then(|o| o.get("session"))
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| "body must be {\"session\": \"...\"}".to_string())
+}
+
+fn outcome_json(o: &IngestOutcome) -> String {
+    format!(
+        "{{\"sessions_touched\":{},\"symbols_ingested\":{},\"created\":{},\
+         \"restored\":{},\"evicted\":{}}}",
+        o.sessions_touched, o.symbols_ingested, o.created, o.restored, o.evicted
+    )
+}
+
+fn candidates_json(id: &str, alphabet: &Alphabet, candidates: &[OnlineCandidate]) -> String {
+    let mut out = String::from("{\"session\":");
+    json::write_string(&mut out, id);
+    out.push_str(",\"candidates\":[");
+    for (i, c) in candidates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"period\":{},\"symbol\":", c.period));
+        json::write_string(&mut out, alphabet.name(c.symbol));
+        out.push_str(&format!(
+            ",\"matches\":{},\"confidence_bound\":{}}}",
+            c.matches, c.confidence_bound
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_core::{SessionManager, SessionManagerBuilder};
+    use std::thread;
+
+    fn builder() -> (SessionManagerBuilder, std::sync::Arc<Alphabet>) {
+        let alphabet = Alphabet::latin(26).expect("latin alphabet");
+        (
+            SessionManager::builder(alphabet.clone()).window(16),
+            alphabet,
+        )
+    }
+
+    /// Binds an ephemeral port and serves `conns` connections on a
+    /// background thread.
+    fn spawn_server(shards: usize, conns: usize) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
+        let (builder, alphabet) = builder();
+        let manager = ShardedSessionManager::new(builder, shards);
+        let server = Server::bind("127.0.0.1:0", manager, alphabet).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let handle = thread::spawn(move || server.serve(Some(conns)).expect("serve"));
+        (addr, handle)
+    }
+
+    fn wire_call(stream: &mut TcpStream, op: u8, payload: &[u8]) -> (u8, String) {
+        stream
+            .write_all(&encode_request(op, payload))
+            .expect("send");
+        let (status, payload) = decode_response(stream).expect("response");
+        (status, String::from_utf8(payload).expect("UTF-8 payload"))
+    }
+
+    /// Sends one raw HTTP request and returns the full response text.
+    fn http_call(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    fn http_post(addr: SocketAddr, path: &str, body: &str) -> String {
+        http_call(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn wire_protocol_round_trips_on_one_connection() {
+        let (addr, handle) = spawn_server(3, 1);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+
+        let (status, body) = wire_call(&mut stream, OP_INGEST, b"alpha\tababab\nbeta\tcdcdcdcd\n");
+        assert_eq!(status, STATUS_OK, "ingest failed: {body}");
+        assert!(body.contains("\"sessions_touched\":2"), "body: {body}");
+        assert!(body.contains("\"symbols_ingested\":14"), "body: {body}");
+        assert!(body.contains("\"created\":2"), "body: {body}");
+
+        let (status, body) = wire_call(&mut stream, OP_QUERY, b"alpha");
+        assert_eq!(status, STATUS_OK, "query failed: {body}");
+        assert!(body.contains("\"session\":\"alpha\""), "body: {body}");
+        assert!(body.contains("\"period\":2"), "body: {body}");
+
+        let (status, body) = wire_call(&mut stream, OP_STATS, b"");
+        assert_eq!(status, STATUS_OK, "stats failed: {body}");
+        assert!(body.contains("\"sessions\":2"), "body: {body}");
+        assert!(
+            body.contains("\"shard\":2"),
+            "three shards reported: {body}"
+        );
+
+        let (status, _) = wire_call(&mut stream, OP_SHUTDOWN, b"");
+        assert_eq!(status, STATUS_OK);
+        let summary = handle.join().expect("server thread");
+        assert!(summary.shutdown);
+        assert_eq!(summary.connections, 1);
+    }
+
+    #[test]
+    fn wire_answers_match_an_offline_manager() {
+        let (addr, handle) = spawn_server(4, 1);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let records = "s1\tabababab\ns2\tcdcdcdcd\ns3\tefefefef\n";
+        let (status, _) = wire_call(&mut stream, OP_INGEST, records.as_bytes());
+        assert_eq!(status, STATUS_OK);
+        let (_, served) = wire_call(&mut stream, OP_QUERY, b"s2");
+        wire_call(&mut stream, OP_SHUTDOWN, b"");
+        handle.join().expect("server thread");
+
+        let (builder, alphabet) = builder();
+        let mut offline = builder.build();
+        for line in records.lines() {
+            let (id, symbols) = line.split_once('\t').expect("record");
+            let symbols: Vec<SymbolId> = symbols
+                .chars()
+                .map(|c| alphabet.lookup_char(c).expect("symbol"))
+                .collect();
+            offline
+                .ingest_batch(&[(SessionId::from(id), symbols.as_slice())])
+                .expect("ingest");
+        }
+        let expected = candidates_json(
+            "s2",
+            &alphabet,
+            &offline.candidates(&SessionId::from("s2")).expect("query"),
+        );
+        assert_eq!(served, expected);
+    }
+
+    #[test]
+    fn wire_rejects_bad_frames_without_crashing() {
+        let (addr, handle) = spawn_server(2, 2);
+
+        // Unknown op: answered on the same connection, loop continues.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let (status, body) = wire_call(&mut stream, 99, b"");
+        assert_eq!(status, STATUS_ERR);
+        assert!(body.contains("unknown op"), "body: {body}");
+        let (status, _) = wire_call(&mut stream, OP_STATS, b"");
+        assert_eq!(status, STATUS_OK, "connection should survive unknown op");
+        drop(stream);
+
+        // Bad version: answered, connection dropped, server keeps going.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut frame = encode_request(OP_STATS, b"");
+        frame[4..8].copy_from_slice(&7u32.to_le_bytes());
+        stream.write_all(&frame).expect("send");
+        let (status, payload) = decode_response(&mut stream).expect("response");
+        assert_eq!(status, STATUS_ERR);
+        assert!(String::from_utf8_lossy(&payload).contains("version"));
+
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.connections, 2);
+        assert!(!summary.shutdown);
+    }
+
+    #[test]
+    fn http_endpoint_round_trips() {
+        let (addr, handle) = spawn_server(3, 3);
+
+        let response = http_post(
+            addr,
+            "/ingest",
+            r#"{"records":[{"session":"web","symbols":"abababab"},{"session":"db","symbols":"cdcd"}]}"#,
+        );
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"sessions_touched\":2"), "{response}");
+        assert!(response.contains("\"symbols_ingested\":12"), "{response}");
+
+        let response = http_post(addr, "/query", r#"{"session":"web"}"#);
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"session\":\"web\""), "{response}");
+        assert!(response.contains("\"period\":2"), "{response}");
+
+        let response = http_call(addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"sessions\":2"), "{response}");
+
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.connections, 3);
+    }
+
+    #[test]
+    fn http_errors_carry_json_bodies_and_statuses() {
+        let (addr, handle) = spawn_server(2, 4);
+
+        let response = http_post(addr, "/query", r#"{"session":"ghost"}"#);
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        assert!(response.contains("unknown session"), "{response}");
+
+        let response = http_post(addr, "/ingest", "not json");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("\"error\""), "{response}");
+
+        let response = http_call(addr, "DELETE /everything HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+
+        // Garbage that is neither PWIR nor HTTP gets a structured 400.
+        let response = http_call(addr, "??\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 4"), "{response}");
+
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.connections, 4);
+        assert!(!summary.shutdown);
+    }
+}

@@ -58,6 +58,9 @@ pub enum MiningError {
         /// Newest version this build supports.
         supported: u32,
     },
+    /// A shard worker is gone (its thread panicked or was torn down while
+    /// requests were still outstanding).
+    ShardUnavailable(String),
 }
 
 impl fmt::Display for MiningError {
@@ -89,6 +92,7 @@ impl fmt::Display for MiningError {
                 "snapshot format version {found} is newer than the supported \
                  version {supported}"
             ),
+            MiningError::ShardUnavailable(m) => write!(f, "shard unavailable: {m}"),
         }
     }
 }

@@ -21,7 +21,11 @@
 //! * [`stream`] — the one-pass ingestion contract ([`OneTouchMiner`]);
 //! * [`session`] — the multi-tenant streaming layer ([`SessionManager`]):
 //!   many named bounded-memory online miners behind one batched ingest
-//!   API, with LRU/byte-budget eviction and byte-stable snapshots.
+//!   API, with LRU/byte-budget eviction and byte-stable snapshots;
+//! * [`shard`] — the concurrent serving layer
+//!   ([`ShardedSessionManager`]): N session managers on worker threads
+//!   behind one `&self` API, sessions routed by id hash, with
+//!   snapshot-based rebalancing across shard counts.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -41,6 +45,7 @@ pub mod pairbits;
 pub mod pattern;
 pub mod segment;
 pub mod session;
+pub mod shard;
 pub mod stream;
 
 pub use detect::{
@@ -66,6 +71,7 @@ pub use session::{
     decode_dump, EvictionPolicy, IngestOutcome, SessionId, SessionManager, SessionManagerBuilder,
     SessionSnapshot, SessionStatus,
 };
+pub use shard::{ShardStats, ShardedSessionManager};
 pub use stream::{mine_reader, OneTouchMiner};
 
 #[cfg(test)]
@@ -483,6 +489,83 @@ mod proptests {
                 chunked.candidates(&id).unwrap(),
                 single.candidates(&id).unwrap()
             );
+        }
+
+        #[test]
+        fn sharded_ingest_matches_the_single_manager(
+            s in arb_series(),
+            shards in 2usize..5,
+            sessions in 1usize..6,
+            chunk in 1usize..32,
+        ) {
+            // Any batch stream, spread over any tenant count, must yield
+            // the same IngestOutcome totals and bit-identical state under
+            // 1 shard and N shards.
+            use crate::session::{IngestOutcome, SessionId, SessionManager};
+            use crate::shard::ShardedSessionManager;
+            let ids: Vec<SessionId> = (0..sessions)
+                .map(|i| SessionId::from(format!("tenant-{i}")))
+                .collect();
+            let batch: Vec<(SessionId, &[SymbolId])> = s
+                .symbols()
+                .chunks(chunk)
+                .enumerate()
+                .map(|(i, c)| (ids[i % sessions].clone(), c))
+                .collect();
+            let builder = || SessionManager::builder(s.alphabet().clone()).window(16);
+            let mut plain = builder().build();
+            let sharded = ShardedSessionManager::new(builder(), shards);
+            let mut plain_out = IngestOutcome::default();
+            let mut sharded_out = IngestOutcome::default();
+            for round in batch.chunks(3) {
+                plain_out.absorb(plain.ingest_batch(round).unwrap());
+                sharded_out.absorb(sharded.ingest_batch(round).unwrap());
+            }
+            prop_assert_eq!(plain_out, sharded_out);
+            for id in ids.iter().take(batch.len().min(sessions)) {
+                prop_assert_eq!(
+                    plain.snapshot(id).unwrap().to_bytes(),
+                    sharded.snapshot(id).unwrap().to_bytes()
+                );
+                prop_assert_eq!(
+                    plain.candidates(id).unwrap(),
+                    sharded.candidates(id).unwrap()
+                );
+            }
+            prop_assert_eq!(plain.dump().unwrap(), sharded.dump().unwrap());
+        }
+
+        #[test]
+        fn rebalance_mid_stream_preserves_every_answer(
+            s in arb_series(),
+            shards_before in 1usize..4,
+            shards_after in 1usize..6,
+            numerator in 0usize..=4,
+            sessions in 1usize..5,
+        ) {
+            // Drain -> re-split -> resume at ANY stream position and any
+            // shard-count transition must be invisible to answers.
+            use crate::session::{SessionId, SessionManager};
+            use crate::shard::ShardedSessionManager;
+            let ids: Vec<SessionId> = (0..sessions)
+                .map(|i| SessionId::from(format!("tenant-{i}")))
+                .collect();
+            let batch: Vec<(SessionId, &[SymbolId])> = s
+                .symbols()
+                .chunks(8)
+                .enumerate()
+                .map(|(i, c)| (ids[i % sessions].clone(), c))
+                .collect();
+            let split = batch.len() * numerator / 4;
+            let builder = || SessionManager::builder(s.alphabet().clone()).window(16);
+            let steady = ShardedSessionManager::new(builder(), shards_before);
+            steady.ingest_batch(&batch).unwrap();
+            let mut moved = ShardedSessionManager::new(builder(), shards_before);
+            moved.ingest_batch(&batch[..split]).unwrap();
+            moved.rebalance(shards_after).unwrap();
+            moved.ingest_batch(&batch[split..]).unwrap();
+            prop_assert_eq!(moved.shard_count(), shards_after.max(1));
+            prop_assert_eq!(steady.dump().unwrap(), moved.dump().unwrap());
         }
 
         #[test]

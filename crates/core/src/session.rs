@@ -41,6 +41,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use periodica_obs as obs;
 use periodica_series::{Alphabet, SymbolId};
@@ -58,10 +59,20 @@ const DUMP_MAGIC: &[u8; 4] = b"PSES";
 /// rather than restored as a different (structurally valid) state.
 const SNAPSHOT_VERSION: u32 = 2;
 
-/// FNV-1a 64-bit hash — the integrity trailer of v2 snapshots and dumps.
+/// Most LRU victims one `ingest_batch` (or `candidates`) call will park
+/// before returning, unless the builder overrides it. Parking is
+/// synchronous with the batch (snapshot = flush + encode), so an
+/// unbounded eviction avalanche turns one unlucky batch into a
+/// multi-millisecond stall; capping it amortizes the backlog across the
+/// following calls while staying far above the steady-state demand of a
+/// budget-saturated manager (one eviction per restored session).
+const DEFAULT_EVICT_BATCH_LIMIT: usize = 128;
+
+/// FNV-1a 64-bit hash — the integrity trailer of v2 snapshots and dumps,
+/// and (via [`crate::shard`]) the session-routing hash.
 /// Not cryptographic; it exists to catch accidental corruption (bit rot,
 /// truncated writes, bad transports), not adversaries.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= b as u64;
@@ -150,7 +161,7 @@ pub struct IngestOutcome {
 }
 
 impl IngestOutcome {
-    fn absorb(&mut self, other: IngestOutcome) {
+    pub(crate) fn absorb(&mut self, other: IngestOutcome) {
         self.sessions_touched += other.sessions_touched;
         self.symbols_ingested += other.symbols_ingested;
         self.created += other.created;
@@ -419,6 +430,7 @@ pub struct SessionManagerBuilder {
     threshold: f64,
     flush_block: Option<usize>,
     policy: EvictionPolicy,
+    evict_batch_limit: Option<usize>,
 }
 
 impl SessionManagerBuilder {
@@ -448,6 +460,23 @@ impl SessionManagerBuilder {
         self
     }
 
+    /// Caps how many LRU victims one `ingest_batch` / `candidates` call
+    /// will park before returning (clamped to at least 1; default 128).
+    /// Any backlog is amortized across the following calls, bounding the
+    /// synchronous eviction stall a single batch can suffer at the cost
+    /// of letting the budget be exceeded transiently.
+    pub fn evict_batch_limit(mut self, cap: usize) -> Self {
+        self.evict_batch_limit = Some(cap.max(1));
+        self
+    }
+
+    /// Removes the per-call eviction cap: every call parks victims until
+    /// the budget holds, exactly (the pre-cap behaviour).
+    pub fn evict_unbounded(mut self) -> Self {
+        self.evict_batch_limit = None;
+        self
+    }
+
     /// Finalizes the manager.
     pub fn build(self) -> SessionManager {
         SessionManager {
@@ -456,6 +485,7 @@ impl SessionManagerBuilder {
             threshold: self.threshold,
             flush_block: self.flush_block,
             policy: self.policy,
+            evict_batch_limit: self.evict_batch_limit,
             resident: HashMap::new(),
             lru: BTreeMap::new(),
             parked: HashMap::new(),
@@ -474,6 +504,8 @@ pub struct SessionManager {
     threshold: f64,
     flush_block: Option<usize>,
     policy: EvictionPolicy,
+    /// Per-call eviction cap; `None` means "park until the budget holds".
+    evict_batch_limit: Option<usize>,
     resident: HashMap<SessionId, Resident>,
     /// LRU order: tick -> session. Ticks are unique, so the first entry is
     /// always the least recently used resident session.
@@ -498,6 +530,7 @@ impl SessionManager {
             threshold: defaults.threshold(),
             flush_block: None,
             policy: EvictionPolicy::default(),
+            evict_batch_limit: Some(DEFAULT_EVICT_BATCH_LIMIT),
         }
     }
 
@@ -550,6 +583,10 @@ impl SessionManager {
         obs::count(obs::Counter::SessionBatchesIngested, 1);
         let mut outcome = IngestOutcome::default();
         let mut scratch = std::mem::take(&mut self.scratch);
+        // One eviction credit for the whole call: however many sessions the
+        // batch names, at most `evict_batch_limit` victims are parked before
+        // we return, so the worst-case stall is bounded per call.
+        let mut credit = self.evict_batch_limit.unwrap_or(usize::MAX);
         let result = (|| -> Result<()> {
             for (id, symbols) in batch {
                 outcome.absorb(self.touch(id)?);
@@ -569,7 +606,7 @@ impl SessionManager {
                 let bytes = entry.detector.resident_bytes();
                 self.resident_bytes = self.resident_bytes - entry.bytes + bytes;
                 entry.bytes = bytes;
-                outcome.evicted += self.enforce_budget(Some(id))?;
+                outcome.evicted += self.enforce_budget(Some(id), &mut credit)?;
             }
             Ok(())
         })();
@@ -591,7 +628,8 @@ impl SessionManager {
         let bytes = entry.detector.resident_bytes();
         self.resident_bytes = self.resident_bytes - entry.bytes + bytes;
         entry.bytes = bytes;
-        self.enforce_budget(Some(id))?;
+        let mut credit = self.evict_batch_limit.unwrap_or(usize::MAX);
+        self.enforce_budget(Some(id), &mut credit)?;
         Ok(out)
     }
 
@@ -615,10 +653,9 @@ impl SessionManager {
         Err(MiningError::UnknownSession(id.to_string()))
     }
 
-    /// Installs a snapshot as a parked session (rehydrated on next
-    /// touch). The snapshot's alphabet and window must match the
-    /// manager's; an existing session with the same id is replaced.
-    pub fn restore(&mut self, snapshot: &SessionSnapshot) -> Result<()> {
+    /// Checks that a snapshot is compatible with this manager's alphabet
+    /// and window (the invariants [`SessionManager::restore`] enforces).
+    fn validate_snapshot(&self, snapshot: &SessionSnapshot) -> Result<()> {
         if snapshot.alphabet_names != self.alphabet.names() {
             return Err(MiningError::InvalidSessionState(format!(
                 "snapshot alphabet ({} symbols) does not match the manager's \
@@ -633,10 +670,47 @@ impl SessionManager {
                 snapshot.state.max_period, self.max_period
             )));
         }
+        Ok(())
+    }
+
+    /// Installs a snapshot as a parked session (rehydrated on next
+    /// touch). The snapshot's alphabet and window must match the
+    /// manager's; an existing session with the same id is replaced.
+    pub fn restore(&mut self, snapshot: &SessionSnapshot) -> Result<()> {
+        self.validate_snapshot(snapshot)?;
         self.remove(snapshot.id());
         self.parked
             .insert(snapshot.id().clone(), snapshot.to_bytes());
         Ok(())
+    }
+
+    /// Installs an already-encoded snapshot as a parked session, keeping
+    /// the caller's bytes instead of re-encoding (the decode here is
+    /// validation only). This is the rebalance transport: shards hand
+    /// snapshot bytes to each other without an encode round-trip.
+    pub fn restore_bytes(&mut self, bytes: Vec<u8>) -> Result<SessionId> {
+        let snapshot = SessionSnapshot::from_bytes(&bytes)?;
+        self.validate_snapshot(&snapshot)?;
+        let id = snapshot.id().clone();
+        self.remove(&id);
+        self.parked.insert(id.clone(), bytes);
+        Ok(id)
+    }
+
+    /// Parks every resident session, then drains the whole manager into
+    /// its serialized sessions, ascending by id. The manager is left
+    /// empty; feed the bytes to [`SessionManager::restore_bytes`] (on any
+    /// manager with the same configuration, in any distribution) to
+    /// resume every stream bit-identically. This is how a shard is
+    /// drained for a rebalance.
+    pub fn drain_snapshot_bytes(&mut self) -> Result<Vec<Vec<u8>>> {
+        let resident: Vec<SessionId> = self.resident.keys().cloned().collect();
+        for id in &resident {
+            self.park(id)?;
+        }
+        let mut entries: Vec<(SessionId, Vec<u8>)> = self.parked.drain().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(entries.into_iter().map(|(_, bytes)| bytes).collect())
     }
 
     /// Forgets a session entirely (resident or parked). Returns whether
@@ -694,12 +768,19 @@ impl SessionManager {
         put_u32(&mut out, SNAPSHOT_VERSION);
         put_u32(&mut out, ids.len() as u32);
         for id in &ids {
-            let bytes = match self.parked.get(id) {
-                Some(parked) => parked.clone(),
-                None => self.snapshot(id)?.to_bytes(),
-            };
-            put_u32(&mut out, bytes.len() as u32);
-            out.extend_from_slice(&bytes);
+            // Parked sessions are already encoded: frame the stored bytes
+            // straight into the document instead of cloning them first.
+            match self.parked.get(id) {
+                Some(parked) => {
+                    put_u32(&mut out, parked.len() as u32);
+                    out.extend_from_slice(parked);
+                }
+                None => {
+                    let bytes = self.snapshot(id)?.to_bytes();
+                    put_u32(&mut out, bytes.len() as u32);
+                    out.extend_from_slice(&bytes);
+                }
+            }
         }
         let trailer = fnv1a64(&out);
         put_u64(&mut out, trailer);
@@ -707,13 +788,15 @@ impl SessionManager {
     }
 
     /// Loads every session from a [`SessionManager::dump`] document as
-    /// parked sessions. Returns how many were restored.
+    /// parked sessions. Returns how many were restored. The dump's
+    /// snapshot frames are installed as-is (validated, not re-encoded).
     pub fn restore_dump(&mut self, bytes: &[u8]) -> Result<usize> {
-        let snapshots = decode_dump(bytes)?;
-        for snapshot in &snapshots {
-            self.restore(snapshot)?;
+        let entries = dump_entries(bytes)?;
+        let count = entries.len();
+        for entry in entries {
+            self.restore_bytes(entry.to_vec())?;
         }
-        Ok(snapshots.len())
+        Ok(count)
     }
 
     /// Makes `id` resident: creates a fresh session on first sight,
@@ -723,9 +806,15 @@ impl SessionManager {
         if let Some(entry) = self.resident.get_mut(id) {
             let tick = self.next_tick;
             self.next_tick += 1;
-            self.lru.remove(&entry.tick);
+            // Move the id out of the old LRU slot into the new one: the
+            // resident fast path (every repeat touch in a batch) clones
+            // nothing, not even the Arc-backed id.
+            let sid = self
+                .lru
+                .remove(&entry.tick)
+                .expect("resident session in lru");
             entry.tick = tick;
-            self.lru.insert(tick, id.clone());
+            self.lru.insert(tick, sid);
             return Ok(outcome);
         }
         let detector = if let Some(bytes) = self.parked.remove(id) {
@@ -764,11 +853,15 @@ impl SessionManager {
         Ok(outcome)
     }
 
-    /// Parks least-recently-used sessions until the policy is satisfied,
-    /// never evicting `protect`. Returns how many sessions were parked.
-    fn enforce_budget(&mut self, protect: Option<&SessionId>) -> Result<usize> {
+    /// Parks least-recently-used sessions until the policy is satisfied or
+    /// `credit` runs out, never evicting `protect`. Each park spends one
+    /// credit, so one caller-level credit bounds the synchronous eviction
+    /// work per external call; leftover pressure is retried by the next
+    /// call. Time spent parking is recorded in `session.evict_stall_ns`.
+    fn enforce_budget(&mut self, protect: Option<&SessionId>, credit: &mut usize) -> Result<usize> {
         let mut evicted = 0;
-        loop {
+        let mut stall_start: Option<Instant> = None;
+        let result = loop {
             let over_count = self
                 .policy
                 .max_sessions
@@ -778,18 +871,36 @@ impl SessionManager {
                 .max_resident_bytes
                 .is_some_and(|cap| self.resident_bytes > cap);
             if !over_count && !over_bytes {
-                return Ok(evicted);
+                break Ok(evicted);
+            }
+            if *credit == 0 {
+                // Cap reached: leave the remaining pressure for the next
+                // call rather than stalling this one any longer.
+                break Ok(evicted);
             }
             // Oldest unprotected resident session.
             let victim = self.lru.values().find(|id| protect != Some(*id)).cloned();
             let Some(victim) = victim else {
                 // Only the protected session remains; the budget cannot be
                 // met without killing the session being served.
-                return Ok(evicted);
+                break Ok(evicted);
             };
-            self.park(&victim)?;
+            if stall_start.is_none() && obs::enabled() {
+                stall_start = Some(Instant::now());
+            }
+            if let Err(e) = self.park(&victim) {
+                break Err(e);
+            }
+            *credit -= 1;
             evicted += 1;
+        };
+        if let Some(start) = stall_start {
+            obs::count(
+                obs::Counter::SessionEvictStallNs,
+                start.elapsed().as_nanos() as u64,
+            );
         }
+        result
     }
 
     /// Parks one resident session: snapshot, then drop the detector.
@@ -804,9 +915,11 @@ impl SessionManager {
     }
 }
 
-/// Decodes every snapshot in a [`SessionManager::dump`] document without
-/// needing a configured manager (the CLI's `session-dump` inspector).
-pub fn decode_dump(bytes: &[u8]) -> Result<Vec<SessionSnapshot>> {
+/// Splits a [`SessionManager::dump`] document into its snapshot frames
+/// (container magic, version, and trailer verified; the frames themselves
+/// are not decoded). Callers that want the bytes keep the original
+/// encoding with no re-encode round-trip.
+pub(crate) fn dump_entries(bytes: &[u8]) -> Result<Vec<&[u8]>> {
     let mut cur = Cursor::new(bytes);
     cur.expect_magic(DUMP_MAGIC, "session dump")?;
     let version = cur.get_u32()?;
@@ -820,12 +933,56 @@ pub fn decode_dump(bytes: &[u8]) -> Result<Vec<SessionSnapshot>> {
     let mut cur = Cursor::new(&bytes[..body_len]);
     cur.take(8).expect("validated header"); // magic + version
     let count = cur.get_u32()? as usize;
-    let mut snapshots = Vec::with_capacity(count);
+    let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
-        snapshots.push(SessionSnapshot::from_bytes(cur.get_bytes()?)?);
+        entries.push(cur.get_bytes()?);
     }
     cur.expect_end()?;
-    Ok(snapshots)
+    Ok(entries)
+}
+
+/// Reads just the session id out of an encoded snapshot (magic and
+/// version checked, nothing else decoded) — how the shard layer routes a
+/// frame without paying for a full decode.
+pub(crate) fn snapshot_id_of(bytes: &[u8]) -> Result<SessionId> {
+    let mut cur = Cursor::new(bytes);
+    cur.expect_magic(SNAPSHOT_MAGIC, "snapshot")?;
+    let version = cur.get_u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(MiningError::SnapshotVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    Ok(SessionId::from(cur.get_str()?))
+}
+
+/// Assembles a dump document from already-encoded snapshot frames,
+/// sorting by session id so the result is byte-identical to a single
+/// manager's [`SessionManager::dump`] over the same sessions — the shard
+/// layer merges per-shard dumps with this.
+pub(crate) fn encode_dump_document(mut entries: Vec<(SessionId, Vec<u8>)>) -> Vec<u8> {
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::new();
+    out.extend_from_slice(DUMP_MAGIC);
+    put_u32(&mut out, SNAPSHOT_VERSION);
+    put_u32(&mut out, entries.len() as u32);
+    for (_, bytes) in &entries {
+        put_u32(&mut out, bytes.len() as u32);
+        out.extend_from_slice(bytes);
+    }
+    let trailer = fnv1a64(&out);
+    put_u64(&mut out, trailer);
+    out
+}
+
+/// Decodes every snapshot in a [`SessionManager::dump`] document without
+/// needing a configured manager (the CLI's `session-dump` inspector).
+pub fn decode_dump(bytes: &[u8]) -> Result<Vec<SessionSnapshot>> {
+    dump_entries(bytes)?
+        .into_iter()
+        .map(SessionSnapshot::from_bytes)
+        .collect()
 }
 
 #[cfg(test)]
@@ -1089,6 +1246,116 @@ mod tests {
         assert!(other_window.restore(&snap).is_err());
         let mut other_alphabet = SessionManager::builder(alphabet(3)).window(32).build();
         assert!(other_alphabet.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn evict_batch_limit_amortizes_the_backlog() {
+        let mut mgr = SessionManager::builder(alphabet(4))
+            .window(16)
+            .policy(EvictionPolicy {
+                max_sessions: Some(1),
+                max_resident_bytes: None,
+            })
+            .evict_batch_limit(2)
+            .build();
+        let ids: Vec<SessionId> = (0..8).map(|i| SessionId::from(format!("s{i}"))).collect();
+        let syms = periodic(100, 4);
+        // Build up 8 residents with eviction masked off, then re-impose
+        // the budget: the backlog is 7 over budget but each call parks at
+        // most 2.
+        mgr.policy = EvictionPolicy::default();
+        let batch: Vec<(SessionId, &[SymbolId])> =
+            ids.iter().map(|id| (id.clone(), syms.as_slice())).collect();
+        mgr.ingest_batch(&batch).expect("ingest");
+        assert_eq!(mgr.resident_count(), 8);
+        mgr.policy = EvictionPolicy {
+            max_sessions: Some(1),
+            max_resident_bytes: None,
+        };
+        let out = mgr.ingest(&ids[7], &syms).expect("ingest");
+        assert_eq!(out.evicted, 2, "capped at the per-call limit");
+        assert_eq!(mgr.resident_count(), 6);
+        // Subsequent calls drain the rest (the served session survives).
+        for _ in 0..3 {
+            mgr.ingest(&ids[7], &syms).expect("ingest");
+        }
+        assert_eq!(mgr.resident_count(), 1);
+        assert_eq!(mgr.session_count(), 8);
+        // An uncapped twin fed identically agrees on every stream's bytes:
+        // the cap changes *when* sessions park, never what they contain.
+        let mut oracle = SessionManager::builder(alphabet(4))
+            .window(16)
+            .evict_unbounded()
+            .build();
+        oracle.ingest_batch(&batch).expect("ingest");
+        for _ in 0..4 {
+            oracle.ingest(&ids[7], &syms).expect("ingest");
+        }
+        for id in &ids {
+            assert_eq!(
+                mgr.snapshot(id).expect("snap").to_bytes(),
+                oracle.snapshot(id).expect("snap").to_bytes(),
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_bytes_keeps_the_original_encoding() {
+        let mut mgr = manager(5);
+        let id = SessionId::from("x");
+        mgr.ingest(&id, &periodic(321, 5)).expect("ingest");
+        let bytes = mgr.snapshot(&id).expect("snap").to_bytes();
+
+        let mut fresh = manager(5);
+        let rid = fresh.restore_bytes(bytes.clone()).expect("restore");
+        assert_eq!(rid, id);
+        assert_eq!(fresh.parked_count(), 1);
+        assert_eq!(fresh.snapshot(&id).expect("snap").to_bytes(), bytes);
+        // Incompatible configuration is still rejected.
+        let mut other = SessionManager::builder(alphabet(5)).window(8).build();
+        assert!(other.restore_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn drain_snapshot_bytes_moves_every_stream() {
+        let mut mgr = SessionManager::builder(alphabet(4))
+            .window(16)
+            .policy(EvictionPolicy {
+                max_sessions: Some(2),
+                max_resident_bytes: None,
+            })
+            .build();
+        let ids: Vec<SessionId> = (0..5).map(|i| SessionId::from(format!("s{i}"))).collect();
+        for (i, id) in ids.iter().enumerate() {
+            mgr.ingest(id, &periodic(100 + i, 4)).expect("ingest");
+        }
+        let drained = mgr.drain_snapshot_bytes().expect("drain");
+        assert_eq!(drained.len(), 5);
+        assert_eq!(mgr.session_count(), 0);
+        assert_eq!(mgr.resident_bytes(), 0);
+
+        // Re-split across two managers by alternating; every stream
+        // resumes exactly where it left off.
+        let mut left = SessionManager::builder(alphabet(4)).window(16).build();
+        let mut right = SessionManager::builder(alphabet(4)).window(16).build();
+        for (i, bytes) in drained.into_iter().enumerate() {
+            let target = if i % 2 == 0 { &mut left } else { &mut right };
+            target.restore_bytes(bytes).expect("restore");
+        }
+        assert_eq!(left.session_count() + right.session_count(), 5);
+        for (i, id) in ids.iter().enumerate() {
+            let holder = if left.session_count() > 0 && left.snapshot(id).is_ok() {
+                &mut left
+            } else {
+                &mut right
+            };
+            assert_eq!(
+                holder.snapshot(id).expect("snap").consumed(),
+                (100 + i) as u64,
+                "{id}"
+            );
+        }
     }
 
     #[test]

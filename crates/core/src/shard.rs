@@ -1,0 +1,773 @@
+//! Sharded concurrent session service: N worker shards, each owning its
+//! own [`SessionManager`], behind one thread-safe submission API.
+//!
+//! [`SessionManager`] is deliberately single-threaded (`&mut self`, one
+//! shared flush scratch). [`ShardedSessionManager`] scales it across
+//! cores without giving that up: every session is pinned to one of N
+//! shards by a stable hash of its id, each shard runs a plain
+//! `SessionManager` on its own worker thread, and callers talk to the
+//! whole fleet through `&self` methods that mirror the single-manager
+//! API — batches are split per shard, fanned out over MPSC submission
+//! queues, and the replies gathered back into one [`IngestOutcome`].
+//!
+//! ```text
+//!                 +------------------------------- shard 0 thread
+//!   ingest_batch  |  mpsc   +----------------+
+//!  ──────────────►├────────►| SessionManager |  (own budget, scratch)
+//!   split by      |         +----------------+
+//!   hash(id) % N  |
+//!                 +-------► shard 1 thread ...
+//!                 +-------► shard N-1 thread
+//!  ◄── gather replies (shard order: deterministic outcomes & errors)
+//! ```
+//!
+//! Because a session's whole state round-trips through its byte-stable
+//! snapshot, *where* a session lives is invisible to answers: the same
+//! stream fed through 1 shard or N shards produces bit-identical
+//! snapshots, candidates, and dumps. That portability is also the
+//! rebalance mechanism — [`ShardedSessionManager::rebalance`] drains
+//! every shard to parked snapshot frames, respawns N′ workers, and
+//! re-routes the frames under the new shard count, mid-stream, without
+//! perturbing any session's history.
+//!
+//! Telemetry: each submitted batch counts `shard.batches_submitted`, each
+//! per-shard sub-batch `shard.sub_batches`, rebalances
+//! `shard.rebalances`, and `shard.queue_depth_peak` carries the
+//! high-water mark of in-flight sub-batches (peak deltas only, so the
+//! counter's value *is* the peak). Workers wrap each sub-batch in a
+//! `shard[i].ingest_batch` span.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use periodica_obs as obs;
+use periodica_series::SymbolId;
+
+use crate::error::{MiningError, Result};
+use crate::online::OnlineCandidate;
+use crate::session::{
+    dump_entries, encode_dump_document, fnv1a64, snapshot_id_of, IngestOutcome, SessionId,
+    SessionManagerBuilder, SessionSnapshot, SessionStatus,
+};
+
+/// One shard's resource usage, as reported by
+/// [`ShardedSessionManager::shard_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Which shard this row describes.
+    pub shard: usize,
+    /// Sessions holding a live detector on this shard.
+    pub resident: usize,
+    /// Sessions parked as snapshots on this shard.
+    pub parked: usize,
+    /// Estimated heap bytes of this shard's resident set.
+    pub resident_bytes: usize,
+}
+
+/// A request to one shard worker. Every variant carries its own reply
+/// channel, so any number of callers can have requests in flight and
+/// each gets exactly its own answer back.
+enum Command {
+    Ingest {
+        batch: Vec<(SessionId, Vec<SymbolId>)>,
+        reply: Sender<Result<IngestOutcome>>,
+    },
+    Candidates {
+        id: SessionId,
+        reply: Sender<Result<Vec<OnlineCandidate>>>,
+    },
+    Snapshot {
+        id: SessionId,
+        reply: Sender<Result<SessionSnapshot>>,
+    },
+    Restore {
+        frames: Vec<Vec<u8>>,
+        reply: Sender<Result<usize>>,
+    },
+    Remove {
+        id: SessionId,
+        reply: Sender<bool>,
+    },
+    Sessions {
+        reply: Sender<Vec<SessionStatus>>,
+    },
+    Stats {
+        reply: Sender<(usize, usize, usize)>,
+    },
+    Dump {
+        reply: Sender<Result<Vec<u8>>>,
+    },
+    Drain {
+        reply: Sender<Result<Vec<Vec<u8>>>>,
+    },
+}
+
+/// Handle to one worker: its submission queue plus the thread to join on
+/// teardown.
+struct Shard {
+    tx: Sender<Command>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The shard worker: owns this shard's `SessionManager` for its whole
+/// life (the manager never crosses a thread boundary) and serves
+/// commands until every sender is gone.
+fn worker(
+    index: usize,
+    builder: SessionManagerBuilder,
+    rx: Receiver<Command>,
+    in_flight: Arc<AtomicU64>,
+) {
+    let mut mgr = builder.build();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Ingest { batch, reply } => {
+                let result = {
+                    let _span = obs::span_with(|| format!("shard[{index}].ingest_batch"));
+                    let view: Vec<(SessionId, &[SymbolId])> = batch
+                        .iter()
+                        .map(|(id, symbols)| (id.clone(), symbols.as_slice()))
+                        .collect();
+                    mgr.ingest_batch(&view)
+                };
+                in_flight.fetch_sub(1, Ordering::Relaxed);
+                let _ = reply.send(result);
+            }
+            Command::Candidates { id, reply } => {
+                let _ = reply.send(mgr.candidates(&id));
+            }
+            Command::Snapshot { id, reply } => {
+                let _ = reply.send(mgr.snapshot(&id));
+            }
+            Command::Restore { frames, reply } => {
+                let result = (|| {
+                    let count = frames.len();
+                    for frame in frames {
+                        mgr.restore_bytes(frame)?;
+                    }
+                    Ok(count)
+                })();
+                let _ = reply.send(result);
+            }
+            Command::Remove { id, reply } => {
+                let _ = reply.send(mgr.remove(&id));
+            }
+            Command::Sessions { reply } => {
+                let _ = reply.send(mgr.sessions());
+            }
+            Command::Stats { reply } => {
+                let _ = reply.send((
+                    mgr.resident_count(),
+                    mgr.parked_count(),
+                    mgr.resident_bytes(),
+                ));
+            }
+            Command::Dump { reply } => {
+                let _ = reply.send(mgr.dump());
+            }
+            Command::Drain { reply } => {
+                let _ = reply.send(mgr.drain_snapshot_bytes());
+            }
+        }
+    }
+}
+
+/// N single-threaded [`SessionManager`]s behind one concurrent API; see
+/// the [module docs](self).
+///
+/// All methods take `&self`, and the type is `Send + Sync`: any number
+/// of threads can submit batches and queries concurrently, and requests
+/// to different shards proceed in parallel. The configuration passed to
+/// [`ShardedSessionManager::new`] applies *per shard* — in particular an
+/// [`EvictionPolicy`](crate::session::EvictionPolicy) byte budget bounds
+/// each shard's resident set, so the fleet-wide budget is `N ×` it.
+pub struct ShardedSessionManager {
+    shards: Vec<Shard>,
+    builder: SessionManagerBuilder,
+    /// Sub-batches submitted but not yet processed, fleet-wide.
+    in_flight: Arc<AtomicU64>,
+    /// High-water mark of `in_flight`, mirrored into the
+    /// `shard.queue_depth_peak` counter as deltas.
+    peak: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedSessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSessionManager")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSessionManager {
+    /// Spawns `shards` workers (clamped to at least 1), each building its
+    /// own [`SessionManager`] from a clone of `builder`.
+    pub fn new(builder: SessionManagerBuilder, shards: usize) -> Self {
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let shards = spawn_shards(&builder, shards.max(1), &in_flight);
+        ShardedSessionManager {
+            shards,
+            builder,
+            in_flight,
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// How many shards are currently serving.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a session id routes to under the current shard count.
+    pub fn shard_of(&self, id: &SessionId) -> usize {
+        (fnv1a64(id.as_str().as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Ingests symbols for one session; see
+    /// [`SessionManager::ingest`](crate::session::SessionManager::ingest).
+    pub fn ingest(&self, id: &SessionId, symbols: &[SymbolId]) -> Result<IngestOutcome> {
+        self.ingest_batch(&[(id.clone(), symbols)])
+    }
+
+    /// Ingests a batch of `(session, symbols)` pairs — the sharded mirror
+    /// of [`SessionManager::ingest_batch`](crate::session::SessionManager::ingest_batch).
+    ///
+    /// The batch is split per shard (preserving each session's chunk
+    /// order), fanned out to every involved worker at once, and the
+    /// replies gathered in shard order, so the summed outcome — and the
+    /// error surfaced if several shards fail — is deterministic no matter
+    /// how the workers interleave.
+    pub fn ingest_batch(&self, batch: &[(SessionId, &[SymbolId])]) -> Result<IngestOutcome> {
+        obs::count(obs::Counter::ShardBatchesSubmitted, 1);
+        let mut split: Vec<Vec<(SessionId, Vec<SymbolId>)>> = vec![Vec::new(); self.shards.len()];
+        for (id, symbols) in batch {
+            split[self.shard_of(id)].push((id.clone(), symbols.to_vec()));
+        }
+        // Fan out every non-empty sub-batch before gathering anything, so
+        // the shards genuinely run concurrently.
+        let mut replies: Vec<(usize, Receiver<Result<IngestOutcome>>)> = Vec::new();
+        for (shard, sub) in split.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            obs::count(obs::Counter::ShardSubBatches, 1);
+            self.note_submission();
+            let (tx, rx) = mpsc::channel();
+            self.send(
+                shard,
+                Command::Ingest {
+                    batch: sub,
+                    reply: tx,
+                },
+            )?;
+            replies.push((shard, rx));
+        }
+        let mut outcome = IngestOutcome::default();
+        let mut first_err = None;
+        for (shard, rx) in replies {
+            match self.recv(shard, rx) {
+                Ok(Ok(sub)) => outcome.absorb(sub),
+                Ok(Err(e)) | Err(e) => {
+                    // Keep draining the other replies (never abandon a
+                    // worker mid-reply), but report the lowest-shard error.
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
+    }
+
+    /// The session's current candidate periods; see
+    /// [`SessionManager::candidates`](crate::session::SessionManager::candidates).
+    pub fn candidates(&self, id: &SessionId) -> Result<Vec<OnlineCandidate>> {
+        let (tx, rx) = mpsc::channel();
+        let shard = self.shard_of(id);
+        self.send(
+            shard,
+            Command::Candidates {
+                id: id.clone(),
+                reply: tx,
+            },
+        )?;
+        self.recv(shard, rx)?
+    }
+
+    /// Captures one session's complete state; see
+    /// [`SessionManager::snapshot`](crate::session::SessionManager::snapshot).
+    pub fn snapshot(&self, id: &SessionId) -> Result<SessionSnapshot> {
+        let (tx, rx) = mpsc::channel();
+        let shard = self.shard_of(id);
+        self.send(
+            shard,
+            Command::Snapshot {
+                id: id.clone(),
+                reply: tx,
+            },
+        )?;
+        self.recv(shard, rx)?
+    }
+
+    /// Installs a snapshot as a parked session on its owning shard.
+    pub fn restore(&self, snapshot: &SessionSnapshot) -> Result<()> {
+        self.restore_frames(vec![snapshot.to_bytes()])?;
+        Ok(())
+    }
+
+    /// Forgets a session entirely. Returns whether anything was removed.
+    pub fn remove(&self, id: &SessionId) -> Result<bool> {
+        let (tx, rx) = mpsc::channel();
+        let shard = self.shard_of(id);
+        self.send(
+            shard,
+            Command::Remove {
+                id: id.clone(),
+                reply: tx,
+            },
+        )?;
+        self.recv(shard, rx)
+    }
+
+    /// Every known session's status across all shards, sorted by id —
+    /// same contract as
+    /// [`SessionManager::sessions`](crate::session::SessionManager::sessions).
+    pub fn sessions(&self) -> Result<Vec<SessionStatus>> {
+        let mut pending = Vec::new();
+        for shard in 0..self.shards.len() {
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, Command::Sessions { reply: tx })?;
+            pending.push((shard, rx));
+        }
+        let mut out = Vec::new();
+        for (shard, rx) in pending {
+            out.extend(self.recv(shard, rx)?);
+        }
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(out)
+    }
+
+    /// Per-shard resource usage, in shard order.
+    pub fn shard_stats(&self) -> Result<Vec<ShardStats>> {
+        let mut pending = Vec::new();
+        for shard in 0..self.shards.len() {
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, Command::Stats { reply: tx })?;
+            pending.push((shard, rx));
+        }
+        let mut out = Vec::with_capacity(pending.len());
+        for (shard, rx) in pending {
+            let (resident, parked, resident_bytes) = self.recv(shard, rx)?;
+            out.push(ShardStats {
+                shard,
+                resident,
+                parked,
+                resident_bytes,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Total sessions known across all shards (resident + parked).
+    pub fn session_count(&self) -> Result<usize> {
+        Ok(self
+            .shard_stats()?
+            .iter()
+            .map(|s| s.resident + s.parked)
+            .sum())
+    }
+
+    /// Serializes every session on every shard into one byte-stable
+    /// document — byte-identical to what a single [`SessionManager`]
+    /// holding the same sessions would
+    /// [`dump`](crate::session::SessionManager::dump), so dumps taken
+    /// under any shard count restore under any other.
+    pub fn dump(&self) -> Result<Vec<u8>> {
+        let mut pending = Vec::new();
+        for shard in 0..self.shards.len() {
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, Command::Dump { reply: tx })?;
+            pending.push((shard, rx));
+        }
+        let mut entries = Vec::new();
+        for (shard, rx) in pending {
+            let doc = self.recv(shard, rx)??;
+            for frame in dump_entries(&doc)? {
+                entries.push((snapshot_id_of(frame)?, frame.to_vec()));
+            }
+        }
+        Ok(encode_dump_document(entries))
+    }
+
+    /// Loads every session from a dump document (from any shard count, or
+    /// a plain [`SessionManager::dump`](crate::session::SessionManager::dump)),
+    /// routing each to its owning shard. Returns how many were restored.
+    pub fn restore_dump(&self, bytes: &[u8]) -> Result<usize> {
+        let frames: Vec<Vec<u8>> = dump_entries(bytes)?
+            .into_iter()
+            .map(|frame| frame.to_vec())
+            .collect();
+        self.restore_frames(frames)
+    }
+
+    /// Re-shards the fleet to `shards` workers mid-stream: every shard is
+    /// drained to parked snapshot frames, the old workers are torn down,
+    /// N′ fresh workers spawn, and the frames are re-routed under the new
+    /// hash — answers are unchanged because a session's snapshot carries
+    /// its whole state. This doubles as crash recovery: the same frames
+    /// could have come from a dump on disk.
+    pub fn rebalance(&mut self, shards: usize) -> Result<()> {
+        let shards = shards.max(1);
+        obs::count(obs::Counter::ShardRebalances, 1);
+        let mut pending = Vec::new();
+        for shard in 0..self.shards.len() {
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, Command::Drain { reply: tx })?;
+            pending.push((shard, rx));
+        }
+        let mut frames = Vec::new();
+        for (shard, rx) in pending {
+            frames.extend(self.recv(shard, rx)??);
+        }
+        shutdown_shards(&mut self.shards);
+        self.shards = spawn_shards(&self.builder, shards, &self.in_flight);
+        self.restore_frames(frames)?;
+        Ok(())
+    }
+
+    /// Routes already-encoded snapshot frames to their owning shards and
+    /// installs them as parked sessions.
+    fn restore_frames(&self, frames: Vec<Vec<u8>>) -> Result<usize> {
+        let mut split: Vec<Vec<Vec<u8>>> = vec![Vec::new(); self.shards.len()];
+        for frame in frames {
+            let id = snapshot_id_of(&frame)?;
+            split[self.shard_of(&id)].push(frame);
+        }
+        let mut pending = Vec::new();
+        for (shard, frames) in split.into_iter().enumerate() {
+            if frames.is_empty() {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel();
+            self.send(shard, Command::Restore { frames, reply: tx })?;
+            pending.push((shard, rx));
+        }
+        let mut restored = 0;
+        for (shard, rx) in pending {
+            restored += self.recv(shard, rx)??;
+        }
+        Ok(restored)
+    }
+
+    /// Records one sub-batch entering a submission queue and publishes
+    /// any new fleet-wide depth peak (deltas only, so the counter's value
+    /// is the peak — exact under every interleaving because `fetch_max`
+    /// hands each publisher exactly the range it raised the peak by).
+    fn note_submission(&self) {
+        let depth = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        let prev = self.peak.fetch_max(depth, Ordering::Relaxed);
+        if depth > prev {
+            obs::count(obs::Counter::ShardQueueDepthPeak, depth - prev);
+        }
+    }
+
+    fn send(&self, shard: usize, cmd: Command) -> Result<()> {
+        self.shards[shard]
+            .tx
+            .send(cmd)
+            .map_err(|_| MiningError::ShardUnavailable(format!("shard {shard} queue is closed")))
+    }
+
+    fn recv<T>(&self, shard: usize, rx: Receiver<T>) -> Result<T> {
+        rx.recv()
+            .map_err(|_| MiningError::ShardUnavailable(format!("shard {shard} dropped a request")))
+    }
+}
+
+impl Drop for ShardedSessionManager {
+    fn drop(&mut self) {
+        shutdown_shards(&mut self.shards);
+    }
+}
+
+/// Spawns `n` shard workers, each building its manager from a clone of
+/// `builder` on its own thread.
+fn spawn_shards(
+    builder: &SessionManagerBuilder,
+    n: usize,
+    in_flight: &Arc<AtomicU64>,
+) -> Vec<Shard> {
+    (0..n)
+        .map(|index| {
+            let (tx, rx) = mpsc::channel();
+            let builder = builder.clone();
+            let in_flight = in_flight.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("periodica-shard-{index}"))
+                .spawn(move || worker(index, builder, rx, in_flight))
+                .expect("spawn shard worker");
+            Shard {
+                tx,
+                join: Some(join),
+            }
+        })
+        .collect()
+}
+
+/// Closes every submission queue and joins the workers. Queued requests
+/// are still served before each worker exits (channel drains first).
+fn shutdown_shards(shards: &mut Vec<Shard>) {
+    let old = std::mem::take(shards);
+    let handles: Vec<JoinHandle<()>> = old
+        .into_iter()
+        .filter_map(|shard| {
+            let Shard { tx, mut join } = shard;
+            drop(tx);
+            join.take()
+        })
+        .collect();
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{EvictionPolicy, SessionManager};
+    use periodica_series::Alphabet;
+
+    fn alphabet(sigma: usize) -> Arc<Alphabet> {
+        Alphabet::latin(sigma).expect("alphabet")
+    }
+
+    fn builder(sigma: usize) -> SessionManagerBuilder {
+        SessionManager::builder(alphabet(sigma))
+            .window(16)
+            .threshold(0.8)
+    }
+
+    fn periodic(n: usize, p: usize) -> Vec<SymbolId> {
+        (0..n).map(|i| SymbolId::from_index(i % p)).collect()
+    }
+
+    fn batches(sessions: usize, rounds: usize) -> Vec<Vec<(SessionId, Vec<SymbolId>)>> {
+        (0..rounds)
+            .map(|r| {
+                (0..sessions)
+                    .map(|s| {
+                        (
+                            SessionId::from(format!("tenant-{s}")),
+                            periodic(40 + (r + s) % 7, 2 + s % 3),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn feed_sharded(mgr: &ShardedSessionManager, rounds: &[Vec<(SessionId, Vec<SymbolId>)>]) {
+        for round in rounds {
+            let view: Vec<(SessionId, &[SymbolId])> = round
+                .iter()
+                .map(|(id, syms)| (id.clone(), syms.as_slice()))
+                .collect();
+            mgr.ingest_batch(&view).expect("ingest");
+        }
+    }
+
+    #[test]
+    fn one_vs_n_shards_are_bit_identical() {
+        let rounds = batches(12, 4);
+        let one = ShardedSessionManager::new(builder(4), 1);
+        let many = ShardedSessionManager::new(builder(4), 3);
+        feed_sharded(&one, &rounds);
+        feed_sharded(&many, &rounds);
+
+        // Snapshots, candidates, and the merged dump all agree exactly.
+        for s in 0..12 {
+            let id = SessionId::from(format!("tenant-{s}"));
+            assert_eq!(
+                one.snapshot(&id).expect("snap").to_bytes(),
+                many.snapshot(&id).expect("snap").to_bytes(),
+                "{id}"
+            );
+            assert_eq!(
+                one.candidates(&id).expect("candidates"),
+                many.candidates(&id).expect("candidates"),
+                "{id}"
+            );
+        }
+        assert_eq!(one.dump().expect("dump"), many.dump().expect("dump"));
+
+        // And both agree with a plain single-threaded manager.
+        let mut plain = builder(4).build();
+        for round in &rounds {
+            let view: Vec<(SessionId, &[SymbolId])> = round
+                .iter()
+                .map(|(id, syms)| (id.clone(), syms.as_slice()))
+                .collect();
+            plain.ingest_batch(&view).expect("ingest");
+        }
+        assert_eq!(plain.dump().expect("dump"), many.dump().expect("dump"));
+    }
+
+    #[test]
+    fn outcome_totals_match_the_single_manager() {
+        let rounds = batches(9, 3);
+        let mut plain = builder(4).build();
+        let sharded = ShardedSessionManager::new(builder(4), 3);
+        let mut plain_total = IngestOutcome::default();
+        let mut sharded_total = IngestOutcome::default();
+        for round in &rounds {
+            let view: Vec<(SessionId, &[SymbolId])> = round
+                .iter()
+                .map(|(id, syms)| (id.clone(), syms.as_slice()))
+                .collect();
+            plain_total.absorb(plain.ingest_batch(&view).expect("ingest"));
+            sharded_total.absorb(sharded.ingest_batch(&view).expect("ingest"));
+        }
+        // No budget is configured, so even the eviction counts agree.
+        assert_eq!(plain_total, sharded_total);
+    }
+
+    #[test]
+    fn rebalance_mid_stream_is_invisible_to_answers() {
+        let rounds = batches(10, 4);
+        let (head, tail) = rounds.split_at(2);
+        let steady = ShardedSessionManager::new(builder(4), 2);
+        let mut moved = ShardedSessionManager::new(builder(4), 2);
+        feed_sharded(&steady, &rounds);
+        feed_sharded(&moved, head);
+        moved.rebalance(5).expect("rebalance");
+        assert_eq!(moved.shard_count(), 5);
+        feed_sharded(&moved, tail);
+        assert_eq!(steady.dump().expect("dump"), moved.dump().expect("dump"));
+        // Shrinking works too (down to one shard).
+        moved.rebalance(1).expect("rebalance");
+        assert_eq!(steady.dump().expect("dump"), moved.dump().expect("dump"));
+    }
+
+    #[test]
+    fn dumps_restore_across_shard_counts() {
+        let rounds = batches(8, 2);
+        let source = ShardedSessionManager::new(builder(4), 3);
+        feed_sharded(&source, &rounds);
+        let dump = source.dump().expect("dump");
+
+        // Into a different shard count.
+        let wider = ShardedSessionManager::new(builder(4), 7);
+        assert_eq!(wider.restore_dump(&dump).expect("restore"), 8);
+        assert_eq!(wider.dump().expect("dump"), dump);
+
+        // Into a plain manager, and back out again.
+        let mut plain = builder(4).build();
+        assert_eq!(plain.restore_dump(&dump).expect("restore"), 8);
+        assert_eq!(plain.dump().expect("dump"), dump);
+    }
+
+    #[test]
+    fn per_shard_budgets_evict_without_changing_answers() {
+        let rounds = batches(12, 3);
+        let tight = ShardedSessionManager::new(
+            builder(4).policy(EvictionPolicy {
+                max_sessions: Some(1),
+                max_resident_bytes: None,
+            }),
+            3,
+        );
+        let roomy = ShardedSessionManager::new(builder(4), 3);
+        feed_sharded(&tight, &rounds);
+        feed_sharded(&roomy, &rounds);
+        let stats = tight.shard_stats().expect("stats");
+        assert!(
+            stats.iter().all(|s| s.resident <= 1),
+            "budget enforced per shard: {stats:?}"
+        );
+        assert!(stats.iter().any(|s| s.parked > 0));
+        assert_eq!(tight.dump().expect("dump"), roomy.dump().expect("dump"));
+    }
+
+    #[test]
+    fn sessions_and_stats_cover_every_shard() {
+        let sharded = ShardedSessionManager::new(builder(4), 4);
+        feed_sharded(&sharded, &batches(16, 1));
+        let listing = sharded.sessions().expect("sessions");
+        assert_eq!(listing.len(), 16);
+        assert!(
+            listing.windows(2).all(|w| w[0].id < w[1].id),
+            "sorted by id"
+        );
+        assert_eq!(sharded.session_count().expect("count"), 16);
+        let stats = sharded.shard_stats().expect("stats");
+        assert_eq!(stats.len(), 4);
+        assert_eq!(
+            stats.iter().map(|s| s.resident + s.parked).sum::<usize>(),
+            16
+        );
+        // Routing is stable: every session queries on its own shard.
+        let id = SessionId::from("tenant-3");
+        assert!(sharded.shard_of(&id) < 4);
+        assert!(sharded.remove(&id).expect("remove"));
+        assert!(!sharded.remove(&id).expect("remove"));
+        assert_eq!(sharded.session_count().expect("count"), 15);
+    }
+
+    #[test]
+    fn concurrent_producers_share_the_manager() {
+        let sharded = ShardedSessionManager::new(builder(4), 4);
+        std::thread::scope(|scope| {
+            for producer in 0..8 {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for round in 0..5 {
+                        let id = SessionId::from(format!("producer-{producer}"));
+                        let syms = periodic(30 + round, 3);
+                        sharded.ingest(&id, &syms).expect("ingest");
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.session_count().expect("count"), 8);
+        // Each producer's stream matches an identically-fed oracle.
+        let mut oracle = builder(4).build();
+        let id = SessionId::from("producer-0");
+        for round in 0..5 {
+            oracle
+                .ingest(&id, &periodic(30 + round, 3))
+                .expect("ingest");
+        }
+        assert_eq!(
+            oracle.snapshot(&id).expect("snap").to_bytes(),
+            sharded.snapshot(&id).expect("snap").to_bytes()
+        );
+    }
+
+    #[test]
+    fn unknown_sessions_and_dead_routing_report_cleanly() {
+        let sharded = ShardedSessionManager::new(builder(4), 2);
+        let ghost = SessionId::from("ghost");
+        assert!(matches!(
+            sharded.candidates(&ghost),
+            Err(MiningError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            sharded.snapshot(&ghost),
+            Err(MiningError::UnknownSession(_))
+        ));
+        // A mid-batch error (foreign symbol) surfaces while other shards'
+        // work still lands.
+        let good = SessionId::from("good");
+        let err = sharded.ingest_batch(&[
+            (good.clone(), periodic(10, 2).as_slice()),
+            (SessionId::from("bad"), [SymbolId(99)].as_slice()),
+        ]);
+        assert!(err.is_err());
+        assert!(sharded.snapshot(&good).is_ok());
+    }
+}

@@ -18,7 +18,8 @@
 //!   (`PatternMode::Closed`) against oracle closure;
 //! * `OnlineDetector` chunked ingest (counts and candidates);
 //! * `SessionManager` under forced eviction, snapshot and dump round
-//!   trips;
+//!   trips, plus the same workload routed through a 3-shard
+//!   `ShardedSessionManager` (byte-identical dumps, identical answers);
 //! * byte-level fuzzing of the PSNP/PSES snapshot decoders (never panic,
 //!   errors carry in-range offsets, accepted decodes re-encode
 //!   canonically).
@@ -43,7 +44,7 @@ use periodica_core::{
     decode_dump, mine_patterns, pattern_support, pattern_support_indexed, DetectionResult,
     DetectorConfig, EngineKind, EvictionPolicy, MinedPattern, OnlineDetector, PairMatchIndex,
     Pattern, PatternMinerConfig, PatternMode, PeriodicityDetector, SessionId, SessionManager,
-    SessionSnapshot,
+    SessionSnapshot, ShardedSessionManager,
 };
 use periodica_datagen::{EventLogConfig, Heartbeat, PowerConfig, RetailConfig};
 use periodica_oracle::diff::{diff_counts, diff_patterns, diff_periodicities, Workload};
@@ -400,6 +401,49 @@ fn check_sessions(workload: &Workload, series: &SymbolSeries, psi: f64, window: 
     let dump = manager.dump().expect("dump");
     let decoded = decode_dump(&dump).expect("decode dump");
     assert_eq!(decoded.len(), 2, "dump should carry both sessions");
+
+    // The sharded service must be invisible too: the same interleaved
+    // workload through a 3-shard manager (each shard evicting down to one
+    // resident session) must produce a byte-identical dump and the same
+    // per-session answers as the single manager above.
+    let sharded = ShardedSessionManager::new(
+        SessionManager::builder(series.alphabet().clone())
+            .window(window)
+            .threshold(psi)
+            .flush_block(8)
+            .policy(EvictionPolicy {
+                max_sessions: Some(1),
+                max_resident_bytes: None,
+            }),
+        3,
+    );
+    for (i, block) in series.symbols().chunks(5).enumerate() {
+        let id = if i % 2 == 0 { &even } else { &odd };
+        sharded.ingest(id, block).expect("sharded ingest");
+    }
+    assert_eq!(
+        sharded.dump().expect("sharded dump"),
+        dump,
+        "sharded dump diverged from the single manager on {workload}"
+    );
+    for id in [&even, &odd] {
+        let single: Vec<usize> = manager
+            .candidates(id)
+            .expect("candidates")
+            .iter()
+            .map(|c| c.period)
+            .collect();
+        let routed: Vec<usize> = sharded
+            .candidates(id)
+            .expect("sharded candidates")
+            .iter()
+            .map(|c| c.period)
+            .collect();
+        assert_eq!(
+            single, routed,
+            "sharded candidates diverged for {id} on {workload}"
+        );
+    }
     let mut fresh = SessionManager::builder(series.alphabet().clone())
         .window(window)
         .threshold(psi)
