@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use periodica_core::{EvictionPolicy, SessionId, SessionManager, ShardedSessionManager};
-use periodica_obs::{self as obs, Counter, MetricsRecorder};
+use periodica_obs::{self as obs, Counter, Hist, HistReport, MetricsRecorder};
 use periodica_series::{Alphabet, SymbolId};
 
 const SIGMA: usize = 8;
@@ -55,6 +55,46 @@ const SESSION_COUNTERS: [(Counter, &str); 9] = [
 
 fn snapshot(rec: &MetricsRecorder) -> [u64; 9] {
     SESSION_COUNTERS.map(|(c, _)| rec.counter(c))
+}
+
+/// Streaming histograms diffed per phase (the recorder is shared across
+/// phases, so each phase reports the delta of its own observations).
+const PHASE_HISTS: [Hist; 3] = [
+    Hist::SessionIngestBatchNs,
+    Hist::ShardQueueWaitNs,
+    Hist::SessionEvictStallNs,
+];
+
+/// Dense per-bucket counts + sums of the phase histograms at one instant.
+struct HistMark {
+    counts: Vec<Vec<u64>>,
+    sums: Vec<u64>,
+}
+
+fn hist_mark(rec: &MetricsRecorder) -> HistMark {
+    HistMark {
+        counts: PHASE_HISTS.iter().map(|&h| rec.hist(h).counts()).collect(),
+        sums: PHASE_HISTS.iter().map(|&h| rec.hist(h).sum()).collect(),
+    }
+}
+
+/// One phase's histogram deltas, as `(name, report)` rows (empty
+/// histograms are skipped).
+fn hist_deltas(before: &HistMark, rec: &MetricsRecorder) -> Vec<(&'static str, HistReport)> {
+    PHASE_HISTS
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &h)| {
+            let after = rec.hist(h).counts();
+            let deltas: Vec<u64> = after
+                .iter()
+                .zip(&before.counts[i])
+                .map(|(a, b)| a - b)
+                .collect();
+            let report = obs::report_from_counts(&deltas, rec.hist(h).sum() - before.sums[i]);
+            (report.count > 0).then(|| (h.name(), report))
+        })
+        .collect()
 }
 
 /// Each session streams a clean periodic signal whose period depends on
@@ -92,6 +132,9 @@ struct PhaseResult {
     /// unsharded, unbudgeted replay (contended phase only).
     verified_probes: usize,
     counter_deltas: [u64; 9],
+    /// Per-phase deltas of the streaming latency histograms, keyed by
+    /// histogram name.
+    latency_histograms: Vec<(&'static str, HistReport)>,
 }
 
 fn percentile(sorted: &[u64], pct: f64) -> u64 {
@@ -126,6 +169,7 @@ fn run_phase(
     let mut symbol_buf: Vec<Vec<SymbolId>> = vec![Vec::new(); BATCH_SESSIONS];
 
     let counters_before = snapshot(recorder);
+    let hists_before = hist_mark(recorder);
     let mut latencies: Vec<u64> = Vec::with_capacity(rounds * sessions / BATCH_SESSIONS + rounds);
     let mut batches = 0usize;
     let mut symbols = 0usize;
@@ -206,6 +250,7 @@ fn run_phase(
             }
             deltas
         },
+        latency_histograms: hist_deltas(&hists_before, recorder),
     };
     eprintln!(
         "{name}: {} sessions x {} rounds | {:.0} sessions/s, {:.2}M symbols/s | \
@@ -256,6 +301,7 @@ fn run_contended_phase(
         .collect();
 
     let counters_before = snapshot(recorder);
+    let hists_before = hist_mark(recorder);
     let started = Instant::now();
     // Each producer owns a contiguous range; rounds are NOT synchronized
     // across producers, so shard queues see genuinely mixed traffic.
@@ -393,6 +439,7 @@ fn run_contended_phase(
             }
             deltas
         },
+        latency_histograms: hist_deltas(&hists_before, recorder),
     };
     eprintln!(
         "{name}: {} sessions x {} rounds on {} shards / {} producers | \
@@ -417,6 +464,25 @@ fn run_contended_phase(
     result
 }
 
+/// Renders one phase's histogram rows as a JSON object of quantile
+/// summaries.
+fn hist_json(rows: &[(&'static str, HistReport)]) -> String {
+    if rows.is_empty() {
+        return "{}".to_string();
+    }
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(name, r)| {
+            format!(
+                "        \"{name}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \
+                 \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {} }}",
+                r.count, r.sum, r.min, r.max, r.p50, r.p90, r.p99, r.p999
+            )
+        })
+        .collect();
+    format!("{{\n{}\n      }}", entries.join(",\n"))
+}
+
 fn phase_json(r: &PhaseResult) -> String {
     let deltas: Vec<String> = SESSION_COUNTERS
         .iter()
@@ -435,7 +501,8 @@ fn phase_json(r: &PhaseResult) -> String {
          \"resident_bytes_after\": {},\n      \"memory_budget\": {},\n      \
          \"shards\": {},\n      \"producers\": {},\n      \
          \"verified_probes\": {},\n      \
-         \"counter_deltas\": {{\n{}\n      }}\n    }}",
+         \"counter_deltas\": {{\n{}\n      }},\n      \
+         \"latency_histograms\": {}\n    }}",
         r.name,
         r.sessions,
         r.rounds,
@@ -456,6 +523,7 @@ fn phase_json(r: &PhaseResult) -> String {
         r.producers.map_or("null".to_string(), |p| p.to_string()),
         r.verified_probes,
         deltas.join(",\n"),
+        hist_json(&r.latency_histograms),
     )
 }
 

@@ -14,6 +14,7 @@ const BARE_FLAGS: &[&str] = &[
     "prune-off",
     "fundamentals",
     "profile",
+    "watch",
 ];
 
 /// Parsed command-line arguments for one subcommand.

@@ -3,6 +3,7 @@
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::sync::Arc;
+use std::time::Duration;
 
 use periodica_baselines::indyk::{PeriodicTrends, PeriodicTrendsConfig};
 use periodica_obs as obs;
@@ -440,13 +441,17 @@ pub fn discretize(
     Ok(0)
 }
 
-/// `periodica stats` — one-pass descriptive statistics.
+/// `periodica stats` — one-pass descriptive statistics over a series, or
+/// (with `--watch`) a live view of a running `periodica serve` instance.
 pub fn stats(
     args: &CliArgs,
     stdin: &mut dyn BufRead,
     out: &mut dyn Write,
 ) -> Result<i32, CliError> {
     use periodica_series::stats::SeriesStats;
+    if args.flag("watch") {
+        return stats_watch(args, out);
+    }
     let series = read_series(args, stdin)?;
     let alphabet = series.alphabet();
     let stats = SeriesStats::compute(&series);
@@ -477,6 +482,157 @@ pub fn stats(
         writeln!(out, "dominant   : {}", alphabet.name(dom))?;
     }
     Ok(0)
+}
+
+/// `periodica stats --watch` — poll a running `periodica serve`
+/// instance's `/stats` and `/metrics` endpoints and render a live view.
+fn stats_watch(args: &CliArgs, out: &mut dyn Write) -> Result<i32, CliError> {
+    let addr: String = args.require("addr")?;
+    let interval = Duration::from_millis(args.get("interval-ms", 1000)?);
+    let iterations: u64 = args.get("iterations", 0)?;
+    let mut frame = 0u64;
+    loop {
+        if frame > 0 {
+            // ANSI clear + cursor home, so the view repaints in place.
+            write!(out, "\x1b[2J\x1b[H")?;
+        }
+        frame += 1;
+        let stats = http_get(&addr, "/stats")?;
+        let metrics = http_get(&addr, "/metrics").ok();
+        render_watch_frame(&stats, metrics.as_deref(), out)?;
+        out.flush()?;
+        if iterations != 0 && frame >= iterations {
+            return Ok(0);
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// One blocking `GET` against the service's HTTP endpoint; returns the
+/// response body of a 200, an error otherwise.
+fn http_get(addr: &str, path: &str) -> Result<String, CliError> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| CliError::Usage(format!("malformed HTTP response from {addr}")))?;
+    let status = head.split_whitespace().nth(1).unwrap_or("");
+    if status != "200" {
+        return Err(CliError::Usage(format!(
+            "GET {path} on {addr} answered {status}"
+        )));
+    }
+    Ok(body.to_string())
+}
+
+/// Renders one `--watch` frame: the `/stats` document plus, when
+/// `/metrics` is being served, per-endpoint latency quantiles scraped
+/// back out of the exposition.
+fn render_watch_frame(
+    stats: &str,
+    metrics: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let doc = obs::json::parse(stats).map_err(CliError::Usage)?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| CliError::Usage("/stats did not return an object".into()))?;
+    let field = |k: &str| obj.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let version = obj.get("version").and_then(|v| v.as_str()).unwrap_or("?");
+    writeln!(
+        out,
+        "periodica {version} — up {}s, {} sessions",
+        field("uptime_ms") / 1000,
+        field("sessions"),
+    )?;
+    if let Some(obs::json::Value::Array(shards)) = obj.get("shards") {
+        writeln!(
+            out,
+            "  {:>5} {:>9} {:>8} {:>15}",
+            "shard", "resident", "parked", "resident_bytes"
+        )?;
+        for shard in shards {
+            let Some(shard) = shard.as_object() else {
+                continue;
+            };
+            let field = |k: &str| shard.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            writeln!(
+                out,
+                "  {:>5} {:>9} {:>8} {:>15}",
+                field("shard"),
+                field("resident"),
+                field("parked"),
+                field("resident_bytes"),
+            )?;
+        }
+    }
+    let Some(metrics) = metrics else {
+        writeln!(out, "\n(/metrics unavailable — no live histograms)")?;
+        return Ok(());
+    };
+    writeln!(
+        out,
+        "\n  {:<32} {:>8} {:>10} {:>10} {:>10}",
+        "histogram", "count", "p50", "p90", "p99"
+    )?;
+    for hist in obs::Hist::ALL {
+        let family = obs::prom::metric_family("periodica", hist.name());
+        let Some(series) = obs::prom::parse_histogram(metrics, &family) else {
+            continue;
+        };
+        if series.total == 0 {
+            continue;
+        }
+        let fmt = |v: u64| {
+            if hist.name().ends_with("_ns") {
+                format_ns(v)
+            } else {
+                v.to_string()
+            }
+        };
+        writeln!(
+            out,
+            "  {:<32} {:>8} {:>10} {:>10} {:>10}",
+            hist.name(),
+            series.total,
+            fmt(obs::prom::estimate_quantile(&series, 0.5)),
+            fmt(obs::prom::estimate_quantile(&series, 0.9)),
+            fmt(obs::prom::estimate_quantile(&series, 0.99)),
+        )?;
+    }
+    Ok(())
+}
+
+/// `periodica prom-check` — validate a Prometheus text exposition
+/// document (e.g. a saved `GET /metrics` scrape).
+pub fn prom_check(
+    args: &CliArgs,
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<i32, CliError> {
+    let text = read_input(args, stdin)?;
+    match obs::prom::check_exposition(&text) {
+        Ok(summary) => {
+            writeln!(
+                out,
+                "ok: {} samples, {} histogram families",
+                summary.samples, summary.histograms
+            )?;
+            Ok(0)
+        }
+        Err(violations) => {
+            for v in &violations {
+                writeln!(out, "violation: {v}")?;
+            }
+            writeln!(out, "{} violation(s)", violations.len())?;
+            Ok(1)
+        }
+    }
 }
 
 /// Reads the whole input as raw bytes (session state files are binary).
@@ -552,7 +708,7 @@ pub fn ingest(
     if batch_lines == 0 {
         return Err(CliError::Usage("--batch must be at least 1".into()));
     }
-    let recorder = if args.flag("profile") {
+    let recorder = if args.flag("profile") || args.raw("metrics-out").is_some() {
         let recorder = Arc::new(obs::MetricsRecorder::new());
         obs::install(recorder.clone());
         Some(recorder)
@@ -565,7 +721,13 @@ pub fn ingest(
     }
     result?;
     if let Some(recorder) = recorder {
-        render_profile(&recorder.report(), out)?;
+        let run = recorder.report();
+        if args.flag("profile") {
+            render_profile(&run, out)?;
+        }
+        if let Some(path) = args.raw("metrics-out") {
+            std::fs::write(path, run.to_json())?;
+        }
     }
     Ok(0)
 }
@@ -750,7 +912,16 @@ pub fn serve(
     }
     let host = args.raw("host").unwrap_or("127.0.0.1");
     let port: u16 = args.get("port", 0)?;
-    let server = crate::serve::Server::bind(format!("{host}:{port}"), manager, alphabet)?;
+    // The service always runs instrumented: it is long-lived, the
+    // per-request overhead is a few histogram increments, and /metrics,
+    // /debug/events, and `stats --watch` are useless without it.
+    let recorder = Arc::new(obs::MetricsRecorder::new());
+    let mut server = crate::serve::Server::bind(format!("{host}:{port}"), manager, alphabet)?
+        .with_recorder(recorder.clone());
+    if args.raw("slow-ms").is_some() {
+        let ms: u64 = args.require("slow-ms")?;
+        server = server.with_slow_threshold_ns(ms.saturating_mul(1_000_000));
+    }
     writeln!(
         out,
         "listening on {} with {} shards",
@@ -762,7 +933,10 @@ pub fn serve(
         .raw("max-conns")
         .map(|_| args.require("max-conns"))
         .transpose()?;
-    let summary = server.serve(max_conns)?;
+    obs::install(recorder);
+    let summary = server.serve(max_conns);
+    obs::uninstall();
+    let summary = summary?;
     if let Some(path) = args.raw("state-out") {
         std::fs::write(path, server.manager().dump()?)?;
         writeln!(out, "state written to {path}")?;

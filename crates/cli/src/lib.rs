@@ -54,8 +54,10 @@ COMMANDS:
   session-restore  rebuild one session from a state file and report its
               current candidate periods (--session <id>)
   serve       run the sharded multi-tenant session service over TCP
-              (length-prefixed wire protocol + HTTP/JSON on one port)
+              (length-prefixed wire protocol + HTTP/JSON on one port,
+              plus GET /metrics and GET /debug/events telemetry)
   metrics-check  validate a --metrics-out report against the JSON schema
+  prom-check  validate a Prometheus text exposition (a /metrics scrape)
   help        show this message
 
 COMMON OPTIONS:
@@ -71,9 +73,10 @@ COMMON OPTIONS:
                          for every value  [default: available parallelism]
   --limit <k>            cap printed rows                 [default 50]
 
-TELEMETRY OPTIONS (mine):
+TELEMETRY OPTIONS (mine, ingest):
   --profile              print a stage/counter breakdown after the report
   --metrics-out <path>   write the machine-readable JSON run report
+                         (includes latency histograms with p50/p90/p99/p999)
 
 INGEST OPTIONS:
   --max-sessions <n>     resident-session cap (LRU eviction past it)
@@ -94,11 +97,23 @@ SERVE OPTIONS:
   --max-conns <n>        stop after n connections (tests/CI; default: serve
                          until a SHUTDOWN frame arrives)
   --evict-batch-limit <n>  per-call eviction cap per shard [default 128]
+  --slow-ms <ms>         flight-recorder slow-request threshold [default 10]
   plus the INGEST session options (--max-sessions, --memory-budget,
-  --max-period, --threshold, --alphabet, --state-in, --state-out)
+  --max-period, --threshold, --alphabet, --state-in, --state-out).
+  The service always serves live telemetry: GET /metrics (Prometheus
+  text exposition) and GET /debug/events (flight-recorder ring).
+
+STATS --watch OPTIONS (live view of a running serve instance):
+  --addr <host:port>     the serve instance to poll (required)
+  --interval-ms <ms>     refresh interval                [default 1000]
+  --iterations <n>       frames to render (0 = forever)  [default 0]
 
 METRICS-CHECK OPTIONS:
   --schema <path>        schema document  [default docs/metrics.schema.json]
+
+PROM-CHECK:
+  reads a Prometheus text exposition (file or stdin) and exits 1 on any
+  format violation (bad names, non-cumulative buckets, missing +Inf)
 
 GENERATE OPTIONS:
   --length <n> --period <p> [--sigma <k>] [--dist uniform|normal]
@@ -133,6 +148,7 @@ pub fn run(
         "discretize" => commands::discretize(&args, stdin, stdout),
         "stats" => commands::stats(&args, stdin, stdout),
         "metrics-check" => commands::metrics_check(&args, stdin, stdout),
+        "prom-check" => commands::prom_check(&args, stdin, stdout),
         "ingest" => commands::ingest(&args, stdin, stdout),
         "session-dump" => commands::session_dump(&args, stdin, stdout),
         "session-restore" => commands::session_restore(&args, stdin, stdout),
@@ -183,6 +199,8 @@ mod tests {
 
     #[test]
     fn serve_parses_flags_and_reports_the_bound_address() {
+        // The serve command installs the global recorder for its lifetime.
+        let _guard = periodica_obs::test_guard();
         // --max-conns 0 returns before accepting, so this exercises flag
         // parsing, binding, and the summary line without a client.
         let (code, out) = invoke(
@@ -193,6 +211,52 @@ mod tests {
         assert!(out.contains("listening on 127.0.0.1:"), "{out}");
         assert!(out.contains("with 2 shards"), "{out}");
         assert!(out.contains("served 0 connections"), "{out}");
+        assert!(!periodica_obs::enabled(), "serve must uninstall on exit");
+    }
+
+    #[test]
+    fn stats_watch_renders_one_frame_from_a_live_server() {
+        let _guard = periodica_obs::test_guard();
+        use periodica_core::{SessionManager, ShardedSessionManager};
+        use periodica_series::Alphabet;
+        let alphabet = Alphabet::latin(26).expect("latin alphabet");
+        let manager =
+            ShardedSessionManager::new(SessionManager::builder(alphabet.clone()).window(16), 2);
+        let rec = std::sync::Arc::new(periodica_obs::MetricsRecorder::new());
+        periodica_obs::install(rec.clone());
+        let server = serve::Server::bind("127.0.0.1:0", manager, alphabet)
+            .expect("bind")
+            .with_recorder(rec);
+        let addr = server.local_addr().expect("local addr").to_string();
+        let handle = std::thread::spawn(move || server.serve(Some(2)).expect("serve"));
+
+        // One frame = one /stats connection + one /metrics connection; the
+        // /stats request itself lands in the http latency histogram before
+        // /metrics is scraped, so the frame shows a non-empty row.
+        let (code, out) = invoke(
+            &["stats", "--watch", "--addr", &addr, "--iterations", "1"],
+            "",
+        );
+        periodica_obs::uninstall();
+        handle.join().expect("server thread");
+        assert_eq!(code, 0);
+        assert!(out.contains("periodica"), "{out}");
+        assert!(out.contains("resident_bytes"), "{out}");
+        assert!(out.contains("serve.stats.http.latency_ns"), "{out}");
+    }
+
+    #[test]
+    fn prom_check_validates_expositions() {
+        let good = "# HELP periodica_x_total c\n# TYPE periodica_x_total counter\n\
+                    periodica_x_total 1\n";
+        let (code, out) = invoke(&["prom-check", "-"], good);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.starts_with("ok:"), "{out}");
+
+        let bad = "periodica bad name 1\n";
+        let (code, out) = invoke(&["prom-check", "-"], bad);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("violation"), "{out}");
     }
 
     #[test]

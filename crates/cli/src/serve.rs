@@ -22,22 +22,39 @@
 //! * **HTTP/1.1 + JSON** — anything that does not start with `PWIR` is
 //!   parsed as one HTTP request (`Connection: close` semantics):
 //!   `POST /ingest` with `{"records": [{"session": "...", "symbols":
-//!   "..."}]}`, `POST /query` with `{"session": "..."}`, `GET /stats`.
+//!   "..."}]}`, `POST /query` with `{"session": "..."}`, `GET /stats`,
+//!   `GET /metrics` (Prometheus text exposition), and `GET /debug/events`
+//!   (the flight-recorder ring as JSON).
 //!
 //! Connections are handled sequentially on the accepting thread; the
 //! concurrency lives *inside* [`ShardedSessionManager`], which fans each
 //! batch out across its shard workers. A pipelining client therefore
 //! saturates every shard without the server needing a thread per
 //! connection — and SHUTDOWN semantics stay trivially race-free.
+//!
+//! ## Telemetry
+//!
+//! Every request (wire frame or HTTP exchange) gets a process-unique
+//! request id; HTTP responses echo it as `X-Request-Id`. When telemetry is
+//! enabled the server records one latency sample per endpoint × protocol
+//! (`serve.<endpoint>.<wire|http>.latency_ns`), one response-size sample
+//! per protocol (`serve.<wire|http>.response_bytes`), and a `slow_request`
+//! flight-recorder event — tagged `<proto> <endpoint> req=<id>` — for any
+//! request over the slow threshold ([`Server::with_slow_threshold_ns`]).
+//! `GET /metrics` renders the counters, histograms, and shard gauges of
+//! the recorder handed to [`Server::with_recorder`]; without one, the
+//! observability endpoints answer 503 while the data plane keeps working.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use periodica_core::{
     Error as CoreError, IngestOutcome, OnlineCandidate, SessionId, ShardedSessionManager,
 };
-use periodica_obs::json;
+use periodica_obs::{self as obs, json, prom, EventKind, Hist, MetricsRecorder};
 use periodica_series::{Alphabet, SymbolId};
 
 use crate::error::CliError;
@@ -67,6 +84,47 @@ const MAX_HEAD: usize = 64 << 10;
 /// Per-connection socket timeout: a stalled client cannot wedge the
 /// accept loop forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default slow-request threshold: requests served slower than this are
+/// captured as `slow_request` flight-recorder events.
+pub const DEFAULT_SLOW_REQUEST_NS: u64 = 10_000_000;
+/// `Content-Type` of the Prometheus text exposition format.
+const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// An endpoint's display name and latency histogram, or `None` for
+/// requests that are not an instrumented endpoint (unknown ops, 404s).
+type Endpoint = Option<(&'static str, Hist)>;
+
+/// Which framing a request arrived through.
+#[derive(Clone, Copy)]
+enum Protocol {
+    Wire,
+    Http,
+}
+
+impl Protocol {
+    fn name(self) -> &'static str {
+        match self {
+            Protocol::Wire => "wire",
+            Protocol::Http => "http",
+        }
+    }
+
+    fn bytes_hist(self) -> Hist {
+        match self {
+            Protocol::Wire => Hist::ServeWireResponseBytes,
+            Protocol::Http => Hist::ServeHttpResponseBytes,
+        }
+    }
+}
+
+fn wire_endpoint(op: u8) -> Endpoint {
+    match op {
+        OP_INGEST => Some(("ingest", Hist::ServeIngestWireNs)),
+        OP_QUERY => Some(("query", Hist::ServeQueryWireNs)),
+        OP_STATS => Some(("stats", Hist::ServeStatsWireNs)),
+        _ => None,
+    }
+}
 
 /// What one [`Server::serve`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +142,13 @@ pub struct Server {
     listener: TcpListener,
     manager: ShardedSessionManager,
     alphabet: std::sync::Arc<Alphabet>,
+    /// Source for `GET /metrics` and `GET /debug/events`; the serving
+    /// path itself records through the process-global `obs` slot, so this
+    /// should be (a clone of) the recorder installed there.
+    recorder: Option<Arc<MetricsRecorder>>,
+    started: Instant,
+    next_request: AtomicU64,
+    slow_request_ns: u64,
 }
 
 impl Server {
@@ -98,7 +163,25 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             manager,
             alphabet,
+            recorder: None,
+            started: Instant::now(),
+            next_request: AtomicU64::new(0),
+            slow_request_ns: DEFAULT_SLOW_REQUEST_NS,
         })
+    }
+
+    /// Serves `recorder`'s counters/histograms on `GET /metrics` and its
+    /// flight recorder on `GET /debug/events`.
+    pub fn with_recorder(mut self, recorder: Arc<MetricsRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Overrides the [`DEFAULT_SLOW_REQUEST_NS`] flight-recorder
+    /// threshold (0 records every request).
+    pub fn with_slow_threshold_ns(mut self, nanos: u64) -> Self {
+        self.slow_request_ns = nanos;
+        self
     }
 
     /// The bound address (resolves the real port after binding port 0).
@@ -178,77 +261,189 @@ impl Server {
             }
             let mut payload = vec![0u8; len as usize];
             stream.read_exact(&mut payload)?;
-            match op[0] {
+            let request_id = self.next_request_id();
+            let timed = obs::enabled().then(Instant::now);
+            let (shutdown, status, body): (bool, u8, String) = match op[0] {
                 OP_INGEST => match self.ingest_records_text(&payload) {
-                    Ok(outcome) => {
-                        write_frame(&mut stream, STATUS_OK, outcome_json(&outcome).as_bytes())?
-                    }
-                    Err(e) => write_frame(&mut stream, STATUS_ERR, e.to_string().as_bytes())?,
+                    Ok(outcome) => (false, STATUS_OK, outcome_json(&outcome)),
+                    Err(e) => (false, STATUS_ERR, e.to_string()),
                 },
                 OP_QUERY => {
                     let id = String::from_utf8_lossy(&payload);
                     match self.query(id.trim()) {
-                        Ok(body) => write_frame(&mut stream, STATUS_OK, body.as_bytes())?,
-                        Err(e) => write_frame(&mut stream, STATUS_ERR, e.to_string().as_bytes())?,
+                        Ok(body) => (false, STATUS_OK, body),
+                        Err(e) => (false, STATUS_ERR, e.to_string()),
                     }
                 }
                 OP_STATS => match self.stats_json() {
-                    Ok(body) => write_frame(&mut stream, STATUS_OK, body.as_bytes())?,
-                    Err(e) => write_frame(&mut stream, STATUS_ERR, e.to_string().as_bytes())?,
+                    Ok(body) => (false, STATUS_OK, body),
+                    Err(e) => (false, STATUS_ERR, e.to_string()),
                 },
-                OP_SHUTDOWN => {
-                    write_frame(&mut stream, STATUS_OK, b"{}")?;
-                    return Ok(true);
-                }
-                other => {
-                    write_frame(
-                        &mut stream,
-                        STATUS_ERR,
-                        format!("unknown op {other}").as_bytes(),
-                    )?;
-                }
+                OP_SHUTDOWN => (true, STATUS_OK, "{}".to_string()),
+                other => (false, STATUS_ERR, format!("unknown op {other}")),
+            };
+            write_frame(&mut stream, status, body.as_bytes())?;
+            if let Some(start) = timed {
+                self.observe_request(
+                    start,
+                    request_id,
+                    wire_endpoint(op[0]),
+                    Protocol::Wire,
+                    body.len(),
+                );
             }
+            if shutdown {
+                return Ok(true);
+            }
+        }
+    }
+
+    fn next_request_id(&self) -> u64 {
+        self.next_request.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records one served request: endpoint latency, response size, and a
+    /// `slow_request` flight event when over the threshold.
+    fn observe_request(
+        &self,
+        start: Instant,
+        request_id: u64,
+        endpoint: Endpoint,
+        protocol: Protocol,
+        response_bytes: usize,
+    ) {
+        let Some((name, hist)) = endpoint else {
+            return;
+        };
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs::duration(hist, nanos);
+        obs::duration(protocol.bytes_hist(), response_bytes as u64);
+        if nanos >= self.slow_request_ns {
+            obs::event(EventKind::SlowRequest, nanos, || {
+                format!("{} {} req={}", protocol.name(), name, request_id)
+            });
         }
     }
 
     /// Serves one HTTP request, then closes.
     fn serve_http(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        let request_id = self.next_request_id();
+        let timed = obs::enabled().then(Instant::now);
         let (request_line, headers, body) = match read_http_request(&mut stream) {
             Ok(parts) => parts,
-            Err(msg) => return http_response(&mut stream, 400, "Bad Request", &error_json(&msg)),
+            Err(msg) => {
+                return http_response(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    &error_json(&msg),
+                    request_id,
+                )
+            }
         };
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or_default().to_ascii_uppercase();
         let target = parts.next().unwrap_or_default().to_string();
         let _ = headers;
-        match (method.as_str(), target.as_str()) {
-            ("POST", "/ingest") => match self.ingest_records_json(&body) {
-                Ok(outcome) => http_response(&mut stream, 200, "OK", &outcome_json(&outcome)),
-                Err(e) => http_error(&mut stream, &e),
-            },
-            ("POST", "/query") => {
-                let id = match parse_query_body(&body) {
-                    Ok(id) => id,
-                    Err(msg) => {
-                        return http_response(&mut stream, 400, "Bad Request", &error_json(&msg))
+        type Response = (u16, &'static str, &'static str, String, Endpoint);
+        let ok = |body: String, endpoint: Endpoint| -> Response {
+            (200, "OK", "application/json", body, endpoint)
+        };
+        let fail = |e: &CliError, endpoint: Endpoint| -> Response {
+            let (code, reason) = http_status_of(e);
+            (
+                code,
+                reason,
+                "application/json",
+                error_json(&e.to_string()),
+                endpoint,
+            )
+        };
+        let (code, reason, content_type, payload, endpoint): Response =
+            match (method.as_str(), target.as_str()) {
+                ("POST", "/ingest") => {
+                    let endpoint = Some(("ingest", Hist::ServeIngestHttpNs));
+                    match self.ingest_records_json(&body) {
+                        Ok(outcome) => ok(outcome_json(&outcome), endpoint),
+                        Err(e) => fail(&e, endpoint),
                     }
-                };
-                match self.query(&id) {
-                    Ok(body) => http_response(&mut stream, 200, "OK", &body),
-                    Err(e) => http_error(&mut stream, &e),
                 }
-            }
-            ("GET", "/stats") => match self.stats_json() {
-                Ok(body) => http_response(&mut stream, 200, "OK", &body),
-                Err(e) => http_error(&mut stream, &e),
-            },
-            _ => http_response(
-                &mut stream,
-                404,
-                "Not Found",
-                &error_json(&format!("no route for {method} {target}")),
-            ),
+                ("POST", "/query") => {
+                    let endpoint = Some(("query", Hist::ServeQueryHttpNs));
+                    match parse_query_body(&body) {
+                        Ok(id) => match self.query(&id) {
+                            Ok(body) => ok(body, endpoint),
+                            Err(e) => fail(&e, endpoint),
+                        },
+                        Err(msg) => (
+                            400,
+                            "Bad Request",
+                            "application/json",
+                            error_json(&msg),
+                            endpoint,
+                        ),
+                    }
+                }
+                ("GET", "/stats") => {
+                    let endpoint = Some(("stats", Hist::ServeStatsHttpNs));
+                    match self.stats_json() {
+                        Ok(body) => ok(body, endpoint),
+                        Err(e) => fail(&e, endpoint),
+                    }
+                }
+                ("GET", "/metrics") => {
+                    let endpoint = Some(("metrics", Hist::ServeMetricsHttpNs));
+                    match &self.recorder {
+                        Some(rec) => (
+                            200,
+                            "OK",
+                            PROM_CONTENT_TYPE,
+                            self.metrics_text(rec),
+                            endpoint,
+                        ),
+                        None => (
+                            503,
+                            "Service Unavailable",
+                            "application/json",
+                            error_json("telemetry recorder not installed"),
+                            endpoint,
+                        ),
+                    }
+                }
+                ("GET", "/debug/events") => {
+                    let endpoint = Some(("events", Hist::ServeEventsHttpNs));
+                    match &self.recorder {
+                        Some(rec) => ok(rec.flight().snapshot().to_json(), endpoint),
+                        None => (
+                            503,
+                            "Service Unavailable",
+                            "application/json",
+                            error_json("telemetry recorder not installed"),
+                            endpoint,
+                        ),
+                    }
+                }
+                _ => (
+                    404,
+                    "Not Found",
+                    "application/json",
+                    error_json(&format!("no route for {method} {target}")),
+                    None,
+                ),
+            };
+        http_response(
+            &mut stream,
+            code,
+            reason,
+            content_type,
+            &payload,
+            request_id,
+        )?;
+        if let Some(start) = timed {
+            self.observe_request(start, request_id, endpoint, Protocol::Http, payload.len());
         }
+        Ok(())
     }
 
     /// Ingests a batch given as `session<TAB>symbols` lines (the wire
@@ -328,21 +523,99 @@ impl Server {
 
     fn stats_json(&self) -> Result<String, CliError> {
         let stats = self.manager.shard_stats()?;
-        let mut out = String::from("{\"shards\":[");
-        for (i, s) in stats.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"shard\":{},\"resident\":{},\"parked\":{},\"resident_bytes\":{}}}",
-                s.shard, s.resident, s.parked, s.resident_bytes
-            ));
+        let shards: Vec<json::Value> = stats
+            .iter()
+            .map(|s| {
+                json::Value::object([
+                    ("shard", json::Value::Int(s.shard as u64)),
+                    ("resident", json::Value::Int(s.resident as u64)),
+                    ("parked", json::Value::Int(s.parked as u64)),
+                    ("resident_bytes", json::Value::Int(s.resident_bytes as u64)),
+                ])
+            })
+            .collect();
+        let sessions = stats.iter().map(|s| s.resident + s.parked).sum::<usize>();
+        let doc = json::Value::object([
+            ("shards", json::Value::Array(shards)),
+            ("sessions", json::Value::Int(sessions as u64)),
+            (
+                "uptime_ms",
+                json::Value::Int(self.started.elapsed().as_millis() as u64),
+            ),
+            (
+                "version",
+                json::Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+        ]);
+        Ok(doc.to_json_string())
+    }
+
+    /// Renders the Prometheus text exposition for `GET /metrics`: build
+    /// info, uptime, per-shard gauges, every pipeline counter, and every
+    /// latency/size histogram (empty ones included, so the scrape schema
+    /// is stable from the first request).
+    fn metrics_text(&self, rec: &MetricsRecorder) -> String {
+        let mut exp = prom::Exposition::new("periodica");
+        exp.gauge_with_label(
+            "build_info",
+            "Build metadata; the value is always 1.",
+            "version",
+            &[(env!("CARGO_PKG_VERSION").to_string(), 1.0)],
+        );
+        exp.gauge(
+            "uptime_seconds",
+            "Seconds since the server started.",
+            self.started.elapsed().as_secs_f64(),
+        );
+        if let Ok(stats) = self.manager.shard_stats() {
+            let sessions = stats.iter().map(|s| s.resident + s.parked).sum::<usize>();
+            exp.gauge(
+                "sessions",
+                "Sessions tracked across all shards (resident + parked).",
+                sessions as f64,
+            );
+            let label = |f: fn(&periodica_core::ShardStats) -> f64| -> Vec<(String, f64)> {
+                stats.iter().map(|s| (s.shard.to_string(), f(s))).collect()
+            };
+            exp.gauge_with_label(
+                "shard_resident",
+                "Sessions resident in memory, per shard.",
+                "shard",
+                &label(|s| s.resident as f64),
+            );
+            exp.gauge_with_label(
+                "shard_parked",
+                "Sessions parked to disk, per shard.",
+                "shard",
+                &label(|s| s.parked as f64),
+            );
+            exp.gauge_with_label(
+                "shard_resident_bytes",
+                "Estimated bytes held by resident sessions, per shard.",
+                "shard",
+                &label(|s| s.resident_bytes as f64),
+            );
         }
-        out.push_str(&format!(
-            "],\"sessions\":{}}}",
-            stats.iter().map(|s| s.resident + s.parked).sum::<usize>()
-        ));
-        Ok(out)
+        for counter in obs::Counter::ALL {
+            exp.counter(
+                counter.name(),
+                "Monotone pipeline counter.",
+                rec.counter(counter),
+            );
+        }
+        exp.counter(
+            "flight_events_dropped",
+            "Flight-recorder events overwritten by newer ones.",
+            rec.flight().snapshot().dropped,
+        );
+        for hist in Hist::ALL {
+            exp.histogram(
+                hist.name(),
+                "Log-bucketed latency/size distribution.",
+                &rec.hist(hist).report(),
+            );
+        }
+        exp.finish()
     }
 }
 
@@ -462,11 +735,13 @@ fn http_response(
     stream: &mut TcpStream,
     code: u16,
     reason: &str,
+    content_type: &str,
     body: &str,
+    request_id: u64,
 ) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nX-Request-Id: {request_id}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -474,13 +749,12 @@ fn http_response(
 }
 
 /// Maps a library error to the closest HTTP status.
-fn http_error(stream: &mut TcpStream, e: &CliError) -> std::io::Result<()> {
-    let (code, reason) = match e {
+fn http_status_of(e: &CliError) -> (u16, &'static str) {
+    match e {
         CliError::Core(CoreError::UnknownSession(_)) => (404, "Not Found"),
         CliError::Usage(_) => (400, "Bad Request"),
         _ => (500, "Internal Server Error"),
-    };
-    http_response(stream, code, reason, &error_json(&e.to_string()))
+    }
 }
 
 fn error_json(message: &str) -> String {
@@ -580,6 +854,7 @@ mod tests {
 
     #[test]
     fn wire_protocol_round_trips_on_one_connection() {
+        let _guard = obs::test_guard();
         let (addr, handle) = spawn_server(3, 1);
         let mut stream = TcpStream::connect(addr).expect("connect");
 
@@ -596,10 +871,15 @@ mod tests {
 
         let (status, body) = wire_call(&mut stream, OP_STATS, b"");
         assert_eq!(status, STATUS_OK, "stats failed: {body}");
-        assert!(body.contains("\"sessions\":2"), "body: {body}");
+        assert!(body.contains("\"sessions\": 2"), "body: {body}");
         assert!(
-            body.contains("\"shard\":2"),
+            body.contains("\"shard\": 2"),
             "three shards reported: {body}"
+        );
+        assert!(body.contains("\"uptime_ms\""), "body: {body}");
+        assert!(
+            body.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))),
+            "body: {body}"
         );
 
         let (status, _) = wire_call(&mut stream, OP_SHUTDOWN, b"");
@@ -611,6 +891,7 @@ mod tests {
 
     #[test]
     fn wire_answers_match_an_offline_manager() {
+        let _guard = obs::test_guard();
         let (addr, handle) = spawn_server(4, 1);
         let mut stream = TcpStream::connect(addr).expect("connect");
         let records = "s1\tabababab\ns2\tcdcdcdcd\ns3\tefefefef\n";
@@ -642,6 +923,7 @@ mod tests {
 
     #[test]
     fn wire_rejects_bad_frames_without_crashing() {
+        let _guard = obs::test_guard();
         let (addr, handle) = spawn_server(2, 2);
 
         // Unknown op: answered on the same connection, loop continues.
@@ -669,6 +951,7 @@ mod tests {
 
     #[test]
     fn http_endpoint_round_trips() {
+        let _guard = obs::test_guard();
         let (addr, handle) = spawn_server(3, 3);
 
         let response = http_post(
@@ -687,7 +970,8 @@ mod tests {
 
         let response = http_call(addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        assert!(response.contains("\"sessions\":2"), "{response}");
+        assert!(response.contains("\"sessions\": 2"), "{response}");
+        assert!(response.contains("X-Request-Id: "), "{response}");
 
         let summary = handle.join().expect("server thread");
         assert_eq!(summary.connections, 3);
@@ -695,6 +979,7 @@ mod tests {
 
     #[test]
     fn http_errors_carry_json_bodies_and_statuses() {
+        let _guard = obs::test_guard();
         let (addr, handle) = spawn_server(2, 4);
 
         let response = http_post(addr, "/query", r#"{"session":"ghost"}"#);
@@ -715,5 +1000,189 @@ mod tests {
         let summary = handle.join().expect("server thread");
         assert_eq!(summary.connections, 4);
         assert!(!summary.shutdown);
+    }
+
+    /// Forwards everything to a [`MetricsRecorder`] while keeping each raw
+    /// histogram sample, so tests can compare the bucketed quantiles the
+    /// server exposes against exact percentiles over the same samples.
+    struct TeeRecorder {
+        inner: Arc<MetricsRecorder>,
+        raw: std::sync::Mutex<Vec<(Hist, u64)>>,
+    }
+
+    impl obs::Recorder for TeeRecorder {
+        fn add(&self, counter: obs::Counter, delta: u64) {
+            self.inner.add(counter, delta);
+        }
+
+        fn record_duration(&self, hist: Hist, value: u64) {
+            self.raw.lock().expect("tee").push((hist, value));
+            self.inner.record_duration(hist, value);
+        }
+
+        fn record_event(&self, kind: EventKind, target: &str, value: u64) {
+            self.inner.record_event(kind, target, value);
+        }
+    }
+
+    #[test]
+    fn metrics_quantiles_agree_with_exact_percentiles() {
+        let _guard = obs::test_guard();
+        let rec = Arc::new(MetricsRecorder::new());
+        let tee = Arc::new(TeeRecorder {
+            inner: rec.clone(),
+            raw: std::sync::Mutex::new(Vec::new()),
+        });
+        obs::install(tee.clone());
+
+        let (builder, alphabet) = builder();
+        let manager = ShardedSessionManager::new(builder, 2);
+        let server = Server::bind("127.0.0.1:0", manager, alphabet)
+            .expect("bind")
+            .with_recorder(rec.clone());
+        let addr = server.local_addr().expect("local addr");
+        let handle = thread::spawn(move || server.serve(Some(2)).expect("serve"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let (status, _) = wire_call(&mut stream, OP_INGEST, b"alpha\tabababab\n");
+        assert_eq!(status, STATUS_OK);
+        for _ in 0..120 {
+            let (status, _) = wire_call(&mut stream, OP_QUERY, b"alpha");
+            assert_eq!(status, STATUS_OK);
+        }
+        drop(stream); // clean EOF ends connection 1
+
+        let response = http_call(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        obs::uninstall();
+        handle.join().expect("server thread");
+
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let summary = prom::check_exposition(body).expect("exposition is well-formed");
+        assert_eq!(summary.histograms, Hist::COUNT);
+        assert!(body.contains("periodica_build_info"), "{body}");
+        assert!(body.contains("periodica_sessions 1"), "{body}");
+
+        let series = prom::parse_histogram(body, "periodica_serve_query_wire_latency_ns")
+            .expect("query latency series");
+        let mut raw: Vec<u64> = tee
+            .raw
+            .lock()
+            .expect("tee")
+            .iter()
+            .filter(|(h, _)| *h == Hist::ServeQueryWireNs)
+            .map(|&(_, v)| v)
+            .collect();
+        raw.sort_unstable();
+        assert_eq!(series.total, raw.len() as u64);
+        assert_eq!(raw.len(), 120);
+        for q in [0.5, 0.9, 0.99] {
+            let est = prom::estimate_quantile(&series, q);
+            let rank = ((q * raw.len() as f64).ceil() as usize).clamp(1, raw.len());
+            let exact = raw[rank - 1];
+            let tolerance = (exact as f64 * periodica_obs::Histogram::RELATIVE_ERROR) as u64 + 1;
+            assert!(
+                est.abs_diff(exact) <= tolerance,
+                "q={q}: estimated {est} vs exact {exact} (tolerance {tolerance})"
+            );
+        }
+    }
+
+    #[test]
+    fn debug_events_capture_slow_requests_and_evictions() {
+        let _guard = obs::test_guard();
+        let rec = Arc::new(MetricsRecorder::new());
+        obs::install(rec.clone());
+
+        let alphabet = Alphabet::latin(26).expect("latin alphabet");
+        let builder = SessionManager::builder(alphabet.clone()).window(16).policy(
+            periodica_core::EvictionPolicy {
+                max_sessions: Some(1),
+                max_resident_bytes: None,
+            },
+        );
+        let manager = ShardedSessionManager::new(builder, 1);
+        let server = Server::bind("127.0.0.1:0", manager, alphabet)
+            .expect("bind")
+            .with_recorder(rec.clone())
+            .with_slow_threshold_ns(0); // every request is "slow"
+        let addr = server.local_addr().expect("local addr");
+        let handle = thread::spawn(move || server.serve(Some(2)).expect("serve"));
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let (status, _) = wire_call(&mut stream, OP_INGEST, b"a\tabab\nb\tcdcd\nc\tefef\n");
+        assert_eq!(status, STATUS_OK);
+        drop(stream);
+
+        let response = http_call(addr, "GET /debug/events HTTP/1.1\r\nHost: t\r\n\r\n");
+        obs::uninstall();
+        handle.join().expect("server thread");
+
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let doc = json::parse(body).expect("valid json");
+        let obj = doc.as_object().expect("object");
+        assert_eq!(obj.get("dropped").and_then(|v| v.as_u64()), Some(0));
+        let json::Value::Array(events) = obj.get("events").expect("events") else {
+            panic!("events is not an array: {body}");
+        };
+        let kind_of = |ev: &json::Value| -> String {
+            ev.as_object()
+                .and_then(|o| o.get("kind"))
+                .and_then(|v| v.as_str())
+                .expect("kind")
+                .to_string()
+        };
+        assert!(
+            events.iter().any(|e| kind_of(e) == "eviction"),
+            "no eviction event: {body}"
+        );
+        let slow: Vec<&json::Value> = events
+            .iter()
+            .filter(|e| kind_of(e) == "slow_request")
+            .collect();
+        assert!(!slow.is_empty(), "no slow_request event: {body}");
+        let target = slow[0]
+            .as_object()
+            .and_then(|o| o.get("target"))
+            .and_then(|v| v.as_str())
+            .expect("target");
+        assert!(
+            target.starts_with("wire ingest req="),
+            "unexpected target {target:?}"
+        );
+        let seqs: Vec<u64> = events
+            .iter()
+            .map(|e| {
+                e.as_object()
+                    .and_then(|o| o.get("seq"))
+                    .and_then(|v| v.as_u64())
+                    .expect("seq")
+            })
+            .collect();
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "seqs not monotone: {seqs:?}"
+        );
+    }
+
+    #[test]
+    fn observability_endpoints_answer_503_without_a_recorder() {
+        let _guard = obs::test_guard();
+        let (addr, handle) = spawn_server(1, 2);
+
+        let response = http_call(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(
+            response.contains("telemetry recorder not installed"),
+            "{response}"
+        );
+
+        let response = http_call(addr, "GET /debug/events HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+
+        let summary = handle.join().expect("server thread");
+        assert_eq!(summary.connections, 2);
     }
 }

@@ -580,6 +580,7 @@ impl SessionManager {
     /// are applied in order.
     pub fn ingest_batch(&mut self, batch: &[(SessionId, &[SymbolId])]) -> Result<IngestOutcome> {
         let _span = obs::span("session.ingest_batch");
+        let _hist = obs::time_hist(obs::Hist::SessionIngestBatchNs);
         obs::count(obs::Counter::SessionBatchesIngested, 1);
         let mut outcome = IngestOutcome::default();
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -819,6 +820,9 @@ impl SessionManager {
         }
         let detector = if let Some(bytes) = self.parked.remove(id) {
             obs::count(obs::Counter::SessionRestoreHits, 1);
+            obs::event(obs::EventKind::SnapshotRestore, bytes.len() as u64, || {
+                id.to_string()
+            });
             outcome.restored += 1;
             let snapshot = SessionSnapshot::from_bytes(&bytes)?;
             let (_, mut detector) = snapshot.into_detector()?;
@@ -895,10 +899,9 @@ impl SessionManager {
             evicted += 1;
         };
         if let Some(start) = stall_start {
-            obs::count(
-                obs::Counter::SessionEvictStallNs,
-                start.elapsed().as_nanos() as u64,
-            );
+            let stall_ns = start.elapsed().as_nanos() as u64;
+            obs::count(obs::Counter::SessionEvictStallNs, stall_ns);
+            obs::duration(obs::Hist::SessionEvictStallNs, stall_ns);
         }
         result
     }
@@ -911,6 +914,9 @@ impl SessionManager {
         self.resident_bytes -= entry.bytes;
         self.parked.insert(id.clone(), snapshot.to_bytes());
         obs::count(obs::Counter::SessionEvictions, 1);
+        obs::event(obs::EventKind::Eviction, entry.bytes as u64, || {
+            id.to_string()
+        });
         Ok(())
     }
 }

@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use periodica_obs as obs;
 use periodica_series::SymbolId;
@@ -72,6 +73,10 @@ pub struct ShardStats {
 enum Command {
     Ingest {
         batch: Vec<(SessionId, Vec<SymbolId>)>,
+        /// Submission time, set only when telemetry is enabled; the worker
+        /// turns it into a `shard.queue_wait_ns` histogram sample on
+        /// dequeue.
+        submitted: Option<Instant>,
         reply: Sender<Result<IngestOutcome>>,
     },
     Candidates {
@@ -123,7 +128,17 @@ fn worker(
     let mut mgr = builder.build();
     while let Ok(cmd) = rx.recv() {
         match cmd {
-            Command::Ingest { batch, reply } => {
+            Command::Ingest {
+                batch,
+                submitted,
+                reply,
+            } => {
+                if let Some(submitted) = submitted {
+                    obs::duration(
+                        obs::Hist::ShardQueueWaitNs,
+                        u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                }
                 let result = {
                     let _span = obs::span_with(|| format!("shard[{index}].ingest_batch"));
                     let view: Vec<(SessionId, &[SymbolId])> = batch
@@ -259,6 +274,7 @@ impl ShardedSessionManager {
                 shard,
                 Command::Ingest {
                     batch: sub,
+                    submitted: obs::enabled().then(Instant::now),
                     reply: tx,
                 },
             )?;
@@ -424,6 +440,10 @@ impl ShardedSessionManager {
     pub fn rebalance(&mut self, shards: usize) -> Result<()> {
         let shards = shards.max(1);
         obs::count(obs::Counter::ShardRebalances, 1);
+        let old = self.shards.len();
+        obs::event(obs::EventKind::Rebalance, shards as u64, || {
+            format!("{old} -> {shards}")
+        });
         let mut pending = Vec::new();
         for shard in 0..self.shards.len() {
             let (tx, rx) = mpsc::channel();

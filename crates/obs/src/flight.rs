@@ -1,0 +1,222 @@
+//! A fixed-capacity flight recorder for rare structured events.
+//!
+//! Histograms answer "how slow is the service overall"; the flight
+//! recorder answers "what were the last N *interesting* things that
+//! happened" — slow requests, evictions, shard rebalances, snapshot
+//! restores. It is a bounded ring: recording never allocates beyond the
+//! event's own target string, old events are overwritten (and counted as
+//! dropped), and every event carries a monotone sequence number so a
+//! consumer polling `GET /debug/events` can detect gaps.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json;
+
+/// Default ring capacity used by
+/// [`MetricsRecorder`](crate::MetricsRecorder).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// The kinds of events the flight recorder captures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request took longer than the server's slow threshold
+    /// (value = nanoseconds).
+    SlowRequest,
+    /// A session was parked to disk under memory pressure
+    /// (value = bytes released).
+    Eviction,
+    /// The shard pool was resized (value = new shard count).
+    Rebalance,
+    /// A parked session was restored on access (value = snapshot bytes
+    /// rehydrated).
+    SnapshotRestore,
+}
+
+impl EventKind {
+    /// Every event kind, in declaration order.
+    pub const ALL: [EventKind; 4] = [
+        EventKind::SlowRequest,
+        EventKind::Eviction,
+        EventKind::Rebalance,
+        EventKind::SnapshotRestore,
+    ];
+
+    /// Stable snake_case name used in JSON dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SlowRequest => "slow_request",
+            EventKind::Eviction => "eviction",
+            EventKind::Rebalance => "rebalance",
+            EventKind::SnapshotRestore => "snapshot_restore",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (0-based; gaps mean drops).
+    pub seq: u64,
+    /// Milliseconds since the recorder was created.
+    pub at_ms: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// What it happened to (session id, endpoint, shard span, ...).
+    pub target: String,
+    /// Kind-specific magnitude; see [`EventKind`] for units.
+    pub value: u64,
+}
+
+/// A bounded ring of [`FlightEvent`]s with drop accounting.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    started: Instant,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<FlightEvent>,
+}
+
+/// A point-in-time copy of the ring, ready to serialize.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlightSnapshot {
+    /// Retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+    /// Events overwritten since the recorder was created.
+    pub dropped: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates an empty recorder retaining at most `capacity` events
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        crate::note_state_allocation();
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            started: Instant::now(),
+            capacity,
+            inner: Mutex::new(Inner {
+                next_seq: 0,
+                dropped: 0,
+                ring: VecDeque::with_capacity(capacity),
+            }),
+        }
+    }
+
+    /// Appends an event, evicting (and counting) the oldest if full.
+    pub fn record(&self, kind: EventKind, target: &str, value: u64) {
+        let at_ms = self.started.elapsed().as_millis() as u64;
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(FlightEvent {
+            seq,
+            at_ms,
+            kind,
+            target: target.to_string(),
+            value,
+        });
+    }
+
+    /// Copies out the retained events and the drop count.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        FlightSnapshot {
+            events: inner.ring.iter().cloned().collect(),
+            dropped: inner.dropped,
+        }
+    }
+}
+
+impl FlightSnapshot {
+    /// Renders the snapshot as the `GET /debug/events` JSON document:
+    /// `{"events": [{"seq": …, "at_ms": …, "kind": …, "target": …,
+    /// "value": …}, …], "dropped": N}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"events\": [");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"seq\": {}, \"at_ms\": {}, \"kind\": \"{}\", \"target\": ",
+                ev.seq,
+                ev.at_ms,
+                ev.kind.name()
+            ));
+            json::write_string(&mut out, &ev.target);
+            out.push_str(&format!(", \"value\": {}}}", ev.value));
+        }
+        out.push_str(&format!("], \"dropped\": {}}}", self.dropped));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events_and_counts_drops() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record(EventKind::Eviction, &format!("s{i}"), i);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.dropped, 2);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(snap.events[0].target, "s2");
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let rec = FlightRecorder::new(8);
+        rec.record(EventKind::SlowRequest, "wire ingest req=7 \"q\"", 1_234_567);
+        rec.record(EventKind::Rebalance, "4 -> 8", 8);
+        let text = rec.snapshot().to_json();
+        let doc = json::parse(&text).expect("valid json");
+        let obj = doc.as_object().expect("object");
+        assert_eq!(obj.get("dropped").and_then(|v| v.as_u64()), Some(0));
+        let events = match obj.get("events").expect("events") {
+            json::Value::Array(items) => items,
+            other => panic!("expected array, got {}", other.type_name()),
+        };
+        assert_eq!(events.len(), 2);
+        let first = events[0].as_object().expect("event object");
+        assert_eq!(
+            first.get("kind").and_then(|v| v.as_str()),
+            Some("slow_request")
+        );
+        assert_eq!(
+            first.get("target").and_then(|v| v.as_str()),
+            Some("wire ingest req=7 \"q\"")
+        );
+        assert_eq!(first.get("value").and_then(|v| v.as_u64()), Some(1_234_567));
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+}

@@ -1,0 +1,443 @@
+//! Lock-free log-bucketed latency/size histograms (HDR-style).
+//!
+//! A [`Histogram`] spreads `u64` observations over base-2 **octaves**, each
+//! split into `2^5 = 32` linear sub-buckets — the classic HdrHistogram
+//! log-linear layout. Values below 32 land in exact unit buckets; a value
+//! `v >= 32` with bit length `e+1` lands in the sub-bucket selected by the
+//! five bits *below* its leading bit, so every bucket in that octave has
+//! width `2^(e-5)` and lower bound at least `32 * 2^(e-5)`.
+//!
+//! **Relative-error bound.** Quantile estimates are bucket midpoints, so an
+//! estimate differs from the exact nearest-rank sample by at most half a
+//! bucket width. Since a sample `v` in a bucket of width `w` satisfies
+//! `v >= 32 w`, the error is at most `w/2 <= v/64`: every reported quantile
+//! is within **1/64 ≈ 1.6 %** of the exact sample (values `< 64` are exact).
+//! [`Histogram::RELATIVE_ERROR`] exports the bound; the workspace proptests
+//! (`tests/histogram.rs`) pin it against an exact-percentile oracle.
+//!
+//! Recording is wait-free: one `fetch_add` on the bucket plus relaxed
+//! updates of count/sum/min/max. Histograms merge bucket-wise (associative,
+//! commutative, order-independent — also proptest-pinned), and snapshot into
+//! a plain [`HistReport`] for run reports and the `/metrics` endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each base-2 octave is split into `2^5 = 32`
+/// linear buckets.
+pub const SUB_BUCKET_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Total buckets covering the full `u64` range: 32 exact unit buckets plus
+/// 32 per octave for octaves 5..=63.
+pub const BUCKET_COUNT: usize = (64 - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS;
+
+/// The fixed vocabulary of histogram ids, mirroring [`Counter`]
+/// (crate::Counter): a closed enum keeps recording allocation-free and
+/// gives reports a stable schema. `*_ns` ids hold durations in
+/// nanoseconds; `*_bytes` ids hold sizes in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Wire-protocol INGEST frame service time.
+    ServeIngestWireNs,
+    /// HTTP `POST /ingest` service time.
+    ServeIngestHttpNs,
+    /// Wire-protocol QUERY frame service time.
+    ServeQueryWireNs,
+    /// HTTP `POST /query` service time.
+    ServeQueryHttpNs,
+    /// Wire-protocol STATS frame service time.
+    ServeStatsWireNs,
+    /// HTTP `GET /stats` service time.
+    ServeStatsHttpNs,
+    /// HTTP `GET /metrics` service time (the scrape observing itself).
+    ServeMetricsHttpNs,
+    /// HTTP `GET /debug/events` service time.
+    ServeEventsHttpNs,
+    /// Wire-protocol response payload sizes.
+    ServeWireResponseBytes,
+    /// HTTP response body sizes.
+    ServeHttpResponseBytes,
+    /// Time a sub-batch waited in a shard submission queue before its
+    /// worker dequeued it.
+    ShardQueueWaitNs,
+    /// `SessionManager::ingest_batch` service time (per call).
+    SessionIngestBatchNs,
+    /// Synchronous eviction stall per `ingest_batch`/`candidates` call —
+    /// the distribution behind the `session.evict_stall_ns` counter total.
+    SessionEvictStallNs,
+}
+
+impl Hist {
+    /// Every histogram id, in declaration order.
+    pub const ALL: [Hist; 13] = [
+        Hist::ServeIngestWireNs,
+        Hist::ServeIngestHttpNs,
+        Hist::ServeQueryWireNs,
+        Hist::ServeQueryHttpNs,
+        Hist::ServeStatsWireNs,
+        Hist::ServeStatsHttpNs,
+        Hist::ServeMetricsHttpNs,
+        Hist::ServeEventsHttpNs,
+        Hist::ServeWireResponseBytes,
+        Hist::ServeHttpResponseBytes,
+        Hist::ShardQueueWaitNs,
+        Hist::SessionIngestBatchNs,
+        Hist::SessionEvictStallNs,
+    ];
+
+    /// Number of histogram ids.
+    pub const COUNT: usize = Hist::ALL.len();
+
+    /// Stable dot-separated name used in reports and `/metrics`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::ServeIngestWireNs => "serve.ingest.wire.latency_ns",
+            Hist::ServeIngestHttpNs => "serve.ingest.http.latency_ns",
+            Hist::ServeQueryWireNs => "serve.query.wire.latency_ns",
+            Hist::ServeQueryHttpNs => "serve.query.http.latency_ns",
+            Hist::ServeStatsWireNs => "serve.stats.wire.latency_ns",
+            Hist::ServeStatsHttpNs => "serve.stats.http.latency_ns",
+            Hist::ServeMetricsHttpNs => "serve.metrics.http.latency_ns",
+            Hist::ServeEventsHttpNs => "serve.events.http.latency_ns",
+            Hist::ServeWireResponseBytes => "serve.wire.response_bytes",
+            Hist::ServeHttpResponseBytes => "serve.http.response_bytes",
+            Hist::ShardQueueWaitNs => "shard.queue_wait_ns",
+            Hist::SessionIngestBatchNs => "session.ingest_batch_ns",
+            Hist::SessionEvictStallNs => "session.evict_stall_ns",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The bucket a value is counted in.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize;
+    let block = exp - SUB_BUCKET_BITS as usize + 1;
+    let offset = ((value >> (exp - SUB_BUCKET_BITS as usize)) - SUB_BUCKETS as u64) as usize;
+    block * SUB_BUCKETS + offset
+}
+
+/// Smallest value counted in bucket `index`.
+#[inline]
+pub fn bucket_lower(index: usize) -> u64 {
+    let block = index / SUB_BUCKETS;
+    let offset = (index % SUB_BUCKETS) as u64;
+    if block == 0 {
+        offset
+    } else {
+        (SUB_BUCKETS as u64 + offset) << (block - 1)
+    }
+}
+
+/// Largest value counted in bucket `index` (inclusive — integer `le`).
+#[inline]
+pub fn bucket_upper(index: usize) -> u64 {
+    if index + 1 == BUCKET_COUNT {
+        u64::MAX
+    } else {
+        bucket_lower(index + 1) - 1
+    }
+}
+
+/// The midpoint quantile estimates report for bucket `index`.
+#[inline]
+fn bucket_midpoint(index: usize) -> u64 {
+    let lower = bucket_lower(index);
+    lower + (bucket_upper(index) - lower) / 2
+}
+
+/// A lock-free log-bucketed histogram of `u64` observations; see the
+/// [module docs](self) for the bucketing math and error bound.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Upper bound on the relative error of any quantile estimate:
+    /// `|estimate - exact| <= exact / 64` (see the [module docs](self)).
+    pub const RELATIVE_ERROR: f64 = 1.0 / 64.0;
+
+    /// Creates an empty histogram (one allocation for the bucket array).
+    pub fn new() -> Histogram {
+        crate::note_state_allocation();
+        Histogram {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Wait-free: five relaxed atomic updates.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Dense per-bucket counts ([`BUCKET_COUNT`] entries).
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Folds `other`'s observations into `self` bucket-wise. Associative,
+    /// commutative, and independent of recording order; `other` is
+    /// unchanged. Both sides may keep recording concurrently (the merge is
+    /// then a momentary snapshot of `other`).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Nearest-rank quantile estimate (`q` in `[0, 1]`), accurate to
+    /// [`Histogram::RELATIVE_ERROR`]; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_counts(&self.counts(), q)
+    }
+
+    /// Snapshots the histogram into a plain [`HistReport`] (exact min/max,
+    /// midpoint quantiles, sparse cumulative buckets).
+    pub fn report(&self) -> HistReport {
+        let mut report = report_from_counts(&self.counts(), self.sum());
+        if report.count > 0 {
+            report.min = self.min();
+            report.max = self.max();
+        }
+        report
+    }
+}
+
+/// Nearest-rank quantile estimate over dense bucket `counts`; 0 when empty.
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (index, &n) in counts.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_midpoint(index);
+        }
+    }
+    bucket_midpoint(counts.len().saturating_sub(1))
+}
+
+/// Plain-data snapshot of one histogram, as carried by
+/// [`RunReport`](crate::RunReport) and rendered to `/metrics`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistReport {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (bucket lower bound when built from counts).
+    pub min: u64,
+    /// Largest observation (bucket upper bound when built from counts).
+    pub max: u64,
+    /// Median estimate (bucket midpoint, nearest rank).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// 99.9th-percentile estimate.
+    pub p999: u64,
+    /// Sparse cumulative buckets, ascending: `(upper, n)` means `n`
+    /// observations were `<= upper` (inclusive integer `le`). Only buckets
+    /// whose own count is non-zero appear; the final `n` equals `count`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Builds a [`HistReport`] from dense bucket counts (e.g. the difference
+/// of two [`Histogram::counts`] snapshots, which benchmarks use to report
+/// per-phase distributions). `min`/`max` are the tightest bucket bounds —
+/// within one bucket width of the exact extremes.
+pub fn report_from_counts(counts: &[u64], sum: u64) -> HistReport {
+    let count: u64 = counts.iter().sum();
+    let mut buckets = Vec::new();
+    let mut cumulative = 0u64;
+    let mut min = 0u64;
+    let mut max = 0u64;
+    for (index, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if cumulative == 0 {
+            min = bucket_lower(index);
+        }
+        cumulative += n;
+        max = bucket_upper(index);
+        buckets.push((bucket_upper(index), cumulative));
+    }
+    HistReport {
+        count,
+        sum,
+        min,
+        max,
+        p50: quantile_from_counts(counts, 0.50),
+        p90: quantile_from_counts(counts, 0.90),
+        p99: quantile_from_counts(counts, 0.99),
+        p999: quantile_from_counts(counts, 0.999),
+        buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_names_are_unique_and_indices_dense() {
+        let mut names: Vec<_> = Hist::ALL.iter().map(|h| h.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Hist::COUNT);
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_tile_the_u64_range() {
+        // Every bucket starts where the previous one ends, and indexing is
+        // consistent with the bounds at and around every boundary.
+        for index in 0..BUCKET_COUNT {
+            let lower = bucket_lower(index);
+            let upper = bucket_upper(index);
+            assert!(lower <= upper, "bucket {index}");
+            assert_eq!(bucket_index(lower), index, "lower of {index}");
+            assert_eq!(bucket_index(upper), index, "upper of {index}");
+            if index + 1 < BUCKET_COUNT {
+                assert_eq!(bucket_upper(index) + 1, bucket_lower(index + 1));
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact_and_large_values_bounded() {
+        let h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        // Values < 64 sit in unit-width buckets: the median of 0..=63 is
+        // exact under nearest-rank.
+        assert_eq!(h.quantile(0.5), 31);
+        let h = Histogram::new();
+        h.record(1_000_000);
+        let est = h.quantile(0.99);
+        let err = est.abs_diff(1_000_000);
+        assert!(
+            err as f64 <= 1_000_000.0 * Histogram::RELATIVE_ERROR,
+            "estimate {est} off by {err}"
+        );
+    }
+
+    #[test]
+    fn report_has_cumulative_buckets_and_exact_extremes() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 1_000, 1_000_000] {
+            h.record(v);
+        }
+        let r = h.report();
+        assert_eq!(r.count, 5);
+        assert_eq!(r.sum, 1_001_060);
+        assert_eq!((r.min, r.max), (10, 1_000_000));
+        assert_eq!(r.buckets.last().expect("buckets").1, 5);
+        assert!(r.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(r.buckets.windows(2).all(|w| w[0].1 < w[1].1));
+        assert!(r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.p999);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * 37 % 10_000;
+            if v % 2 == 0 { &a } else { &b }.record(v);
+            all.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.counts(), all.counts());
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        let r = h.report();
+        assert_eq!(r, HistReport::default());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.min(), 0);
+    }
+}

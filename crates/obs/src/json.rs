@@ -65,6 +65,60 @@ impl Value {
             Value::Object(_) => "object",
         }
     }
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(entries: impl IntoIterator<Item = (K, Value)>) -> Value {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(key, value)| (key.into(), value))
+                .collect(),
+        )
+    }
+
+    /// Serialises the value as compact JSON. Object keys come out in
+    /// sorted order (the `BTreeMap` invariant), so the rendering is
+    /// deterministic; `parse(v.to_json_string()) == v` for every value
+    /// that does not contain NaN or infinity.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Appends the compact JSON rendering of the value to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(f) if f.is_finite() => out.push_str(&format!("{f:?}")),
+            Value::Float(_) => out.push_str("null"),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Parse `text` as a single JSON document.
@@ -336,6 +390,31 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\x\""] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn to_json_string_round_trips_and_sorts_keys() {
+        let doc = Value::object([
+            (
+                "shards",
+                Value::Array(vec![Value::object([
+                    ("shard", Value::Int(0)),
+                    ("resident", Value::Int(3)),
+                ])]),
+            ),
+            ("sessions", Value::Int(3)),
+            ("version", Value::Str("0.1.0".into())),
+            ("ratio", Value::Float(0.5)),
+            ("live", Value::Bool(true)),
+            ("nothing", Value::Null),
+        ]);
+        let text = doc.to_json_string();
+        assert_eq!(parse(&text).unwrap(), doc);
+        // Keys render sorted: deterministic output.
+        let live = text.find("\"live\"").unwrap();
+        let sessions = text.find("\"sessions\"").unwrap();
+        assert!(live < sessions);
+        assert!(text.contains("\"resident\": 3"));
     }
 
     #[test]

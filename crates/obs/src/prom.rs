@@ -1,0 +1,572 @@
+//! Hand-rolled Prometheus text exposition format, version 0.0.4.
+//!
+//! Three pieces, all zero-dependency so the serve path and CI can share
+//! them: an [`Exposition`] builder that renders counters, gauges, and
+//! cumulative-bucket histograms; a [`check_exposition`] validator used by
+//! `periodica prom-check` and the CI loopback leg (metric-name syntax,
+//! strictly increasing `le` bounds, monotone cumulative counts, a `+Inf`
+//! bucket equal to `_count`, a `_sum` sample per histogram); and a small
+//! scraper ([`parse_histogram`] / [`estimate_quantile`]) that `periodica
+//! stats --watch` and tests use to read quantiles back out of a scrape.
+//!
+//! Histograms render the inclusive integer bucket bounds produced by
+//! [`HistReport`]: `le="u"` means "observations ≤ u", upper bounds come
+//! from [`bucket_upper`](crate::hist::bucket_upper), and only buckets that
+//! actually hold observations are emitted (plus the mandatory `+Inf`).
+
+use crate::hist::HistReport;
+
+/// Joins a namespace prefix and a dotted metric name into a valid
+/// Prometheus family name: `metric_family("periodica",
+/// "serve.ingest.wire.latency_ns")` → `periodica_serve_ingest_wire_latency_ns`.
+pub fn metric_family(prefix: &str, name: &str) -> String {
+    format!("{}_{}", sanitize(prefix), sanitize(name))
+}
+
+/// Maps an arbitrary name onto the Prometheus metric-name alphabet
+/// (`[a-zA-Z0-9_:]`, not starting with a digit); every other byte becomes
+/// an underscore.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if ok && !(i == 0 && c.is_ascii_digit()) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn format_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Incrementally renders one text exposition document.
+#[derive(Debug)]
+pub struct Exposition {
+    prefix: String,
+    out: String,
+}
+
+impl Exposition {
+    /// Starts an empty document; every family is prefixed with
+    /// `<prefix>_`.
+    pub fn new(prefix: &str) -> Exposition {
+        Exposition {
+            prefix: prefix.to_string(),
+            out: String::new(),
+        }
+    }
+
+    fn header(&mut self, family: &str, help: &str, kind: &str) {
+        self.out.push_str(&format!("# HELP {family} {help}\n"));
+        self.out.push_str(&format!("# TYPE {family} {kind}\n"));
+    }
+
+    /// Renders a monotone counter; the family gets the conventional
+    /// `_total` suffix.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        let family = format!("{}_total", metric_family(&self.prefix, name));
+        self.header(&family, help, "counter");
+        self.out.push_str(&format!("{family} {value}\n"));
+    }
+
+    /// Renders an unlabelled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        let family = metric_family(&self.prefix, name);
+        self.header(&family, help, "gauge");
+        self.out
+            .push_str(&format!("{family} {}\n", format_value(value)));
+    }
+
+    /// Renders a gauge with one sample per `(label_value, value)` row,
+    /// labelled `label="label_value"`.
+    pub fn gauge_with_label(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        rows: &[(String, f64)],
+    ) {
+        let family = metric_family(&self.prefix, name);
+        self.header(&family, help, "gauge");
+        for (label_value, value) in rows {
+            self.out.push_str(&format!(
+                "{family}{{{label}=\"{}\"}} {}\n",
+                escape_label_value(label_value),
+                format_value(*value)
+            ));
+        }
+    }
+
+    /// Renders a [`HistReport`] as cumulative `_bucket{le="…"}` samples
+    /// (inclusive integer bounds) plus `+Inf`, `_sum`, and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, report: &HistReport) {
+        let family = metric_family(&self.prefix, name);
+        self.header(&family, help, "histogram");
+        for (upper, cumulative) in &report.buckets {
+            self.out
+                .push_str(&format!("{family}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+        }
+        self.out.push_str(&format!(
+            "{family}_bucket{{le=\"+Inf\"}} {}\n",
+            report.count
+        ));
+        self.out.push_str(&format!("{family}_sum {}\n", report.sum));
+        self.out
+            .push_str(&format!("{family}_count {}\n", report.count));
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// What [`check_exposition`] verified.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Number of sample (non-comment) lines.
+    pub samples: usize,
+    /// Number of histogram families validated.
+    pub histograms: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_le(raw: &str) -> Option<f64> {
+    if raw == "+Inf" {
+        Some(f64::INFINITY)
+    } else {
+        raw.parse::<f64>().ok().filter(|v| v.is_finite())
+    }
+}
+
+/// One parsed sample line: name, labels, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces: {line}"))?;
+            if close < brace {
+                return Err(format!("malformed labels: {line}"));
+            }
+            let labels = parse_labels(&line[brace + 1..close])?;
+            let name = &line[..brace];
+            let value_part = line[close + 1..].trim();
+            return finish_sample(name, labels, value_part, line);
+        }
+        None => {
+            let mut parts = line.splitn(2, [' ', '\t']);
+            let name = parts.next().unwrap_or_default();
+            (name, parts.next().unwrap_or_default().trim())
+        }
+    };
+    finish_sample(name_part, Vec::new(), rest, line)
+}
+
+fn finish_sample(
+    name: &str,
+    labels: Vec<(String, String)>,
+    value_part: &str,
+    line: &str,
+) -> Result<Sample, String> {
+    if !valid_metric_name(name) {
+        return Err(format!("invalid metric name `{name}` in: {line}"));
+    }
+    // Samples may carry an optional trailing timestamp; take the first token.
+    let value_token = value_part
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| format!("missing value in: {line}"))?;
+    let value = match value_token {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparsable value `{other}` in: {line}"))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=`: {rest}"))?;
+        let name = rest[..eq].trim().to_string();
+        if !valid_metric_name(&name) {
+            return Err(format!("invalid label name `{name}`"));
+        }
+        let after = rest[eq + 1..].trim_start();
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value after `{name}=`"));
+        }
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return Err("dangling escape in label value".to_string()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                other => value.push(other),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for `{name}`"))?;
+        labels.push((name, value));
+        rest = after[1 + end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+/// Validates a text exposition document. Checks metric-name and sample
+/// syntax everywhere, and for every family declared `# TYPE … histogram`:
+/// strictly increasing `le` bounds ending in `+Inf`, non-decreasing
+/// cumulative bucket counts, `_count` present and equal to the `+Inf`
+/// bucket, and `_sum` present. Returns all violations, or a summary.
+#[allow(clippy::result_large_err)]
+pub fn check_exposition(text: &str) -> Result<CheckSummary, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut histogram_families = Vec::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            if parts.next() == Some("TYPE") {
+                let family = parts.next().unwrap_or_default().to_string();
+                let kind = parts.next().unwrap_or_default().trim();
+                if !valid_metric_name(&family) {
+                    errors.push(format!("invalid family name in TYPE line: {line}"));
+                } else if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    errors.push(format!("unknown metric type `{kind}` for {family}"));
+                } else if kind == "histogram" {
+                    histogram_families.push(family);
+                }
+            }
+            continue;
+        }
+        match parse_sample(line) {
+            Ok(sample) => samples.push(sample),
+            Err(e) => errors.push(e),
+        }
+    }
+    for family in &histogram_families {
+        check_histogram(family, &samples, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(CheckSummary {
+            samples: samples.len(),
+            histograms: histogram_families.len(),
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_histogram(family: &str, samples: &[Sample], errors: &mut Vec<String>) {
+    let bucket_name = format!("{family}_bucket");
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    let mut sum = None;
+    let mut count = None;
+    for sample in samples {
+        if sample.name == bucket_name {
+            match sample
+                .labels
+                .iter()
+                .find(|(name, _)| name == "le")
+                .and_then(|(_, raw)| parse_le(raw))
+            {
+                Some(le) => buckets.push((le, sample.value)),
+                None => errors.push(format!("{bucket_name} sample without a valid le label")),
+            }
+        } else if sample.name == format!("{family}_sum") {
+            sum = Some(sample.value);
+        } else if sample.name == format!("{family}_count") {
+            count = Some(sample.value);
+        }
+    }
+    if buckets.is_empty() {
+        errors.push(format!("histogram {family} has no buckets"));
+        return;
+    }
+    for pair in buckets.windows(2) {
+        if pair[1].0 <= pair[0].0 {
+            errors.push(format!(
+                "{family}: le bounds not strictly increasing ({} then {})",
+                pair[0].0, pair[1].0
+            ));
+        }
+        if pair[1].1 < pair[0].1 {
+            errors.push(format!(
+                "{family}: cumulative counts decrease ({} then {})",
+                pair[0].1, pair[1].1
+            ));
+        }
+    }
+    let last = buckets.last().expect("non-empty buckets");
+    if last.0.is_finite() {
+        errors.push(format!("{family}: missing le=\"+Inf\" bucket"));
+    }
+    match count {
+        None => errors.push(format!("{family}: missing {family}_count")),
+        Some(total) if total != last.1 => errors.push(format!(
+            "{family}: _count {} != +Inf bucket {}",
+            total, last.1
+        )),
+        Some(_) => {}
+    }
+    if sum.is_none() {
+        errors.push(format!("{family}: missing {family}_sum"));
+    }
+}
+
+/// One histogram family scraped back out of an exposition document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSeries {
+    /// Finite cumulative buckets, ascending `(le, cumulative)` with the
+    /// inclusive integer bounds this crate renders.
+    pub buckets: Vec<(u64, u64)>,
+    /// The `+Inf` bucket (total observations).
+    pub total: u64,
+    /// The `_sum` sample.
+    pub sum: u64,
+}
+
+/// Extracts one histogram family from an exposition document; `family` is
+/// the full metric name (e.g. from [`metric_family`]). Returns `None` if
+/// the family or its `+Inf` bucket is absent.
+pub fn parse_histogram(text: &str, family: &str) -> Option<HistogramSeries> {
+    let bucket_name = format!("{family}_bucket");
+    let sum_name = format!("{family}_sum");
+    let mut buckets = Vec::new();
+    let mut total = None;
+    let mut sum = 0u64;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Ok(sample) = parse_sample(line.trim_end()) else {
+            continue;
+        };
+        if sample.name == bucket_name {
+            let le = sample
+                .labels
+                .iter()
+                .find(|(name, _)| name == "le")
+                .and_then(|(_, raw)| parse_le(raw))?;
+            if le.is_finite() {
+                buckets.push((le as u64, sample.value as u64));
+            } else {
+                total = Some(sample.value as u64);
+            }
+        } else if sample.name == sum_name {
+            sum = sample.value as u64;
+        }
+    }
+    Some(HistogramSeries {
+        buckets,
+        total: total?,
+        sum,
+    })
+}
+
+/// Nearest-rank quantile estimate from scraped cumulative buckets, using
+/// the same midpoint rule as [`Histogram`](crate::Histogram) — so a scrape
+/// of a live histogram reproduces its quantiles exactly. Returns 0 when
+/// empty.
+///
+/// The exposition renders only non-empty buckets, so the lower bound of
+/// each `le` is recovered from the crate's log-linear grid
+/// ([`bucket_lower`](crate::hist::bucket_lower) of the bucket `le` falls
+/// in) rather than from the previous rendered bucket — a run of empty
+/// buckets below the target must not drag the midpoint down.
+pub fn estimate_quantile(series: &HistogramSeries, q: f64) -> u64 {
+    if series.total == 0 {
+        return 0;
+    }
+    let rank = ((q * series.total as f64).ceil() as u64).clamp(1, series.total);
+    for &(le, cumulative) in &series.buckets {
+        if cumulative >= rank {
+            let lower = crate::hist::bucket_lower(crate::hist::bucket_index(le));
+            return lower + (le - lower) / 2;
+        }
+    }
+    series.buckets.last().map(|&(le, _)| le).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{report_from_counts, Histogram};
+
+    fn sample_exposition() -> String {
+        let hist = Histogram::new();
+        for v in [120u64, 450, 450, 9_000, 120_000] {
+            hist.record(v);
+        }
+        let mut exp = Exposition::new("periodica");
+        exp.counter("serve.connections", "Connections accepted.", 42);
+        exp.gauge("uptime_seconds", "Seconds since start.", 12.5);
+        exp.gauge_with_label(
+            "shard_resident",
+            "Resident sessions per shard.",
+            "shard",
+            &[("0".to_string(), 3.0), ("1".to_string(), 5.0)],
+        );
+        exp.histogram(
+            "serve.ingest.wire.latency_ns",
+            "Ingest latency.",
+            &hist.report(),
+        );
+        exp.finish()
+    }
+
+    #[test]
+    fn rendered_exposition_passes_the_checker() {
+        let text = sample_exposition();
+        let summary = check_exposition(&text).expect("valid exposition");
+        assert_eq!(summary.histograms, 1);
+        assert!(summary.samples >= 8, "got {} samples", summary.samples);
+    }
+
+    #[test]
+    fn scraping_a_render_reproduces_the_quantiles() {
+        let hist = Histogram::new();
+        for v in 0..1000u64 {
+            hist.record(v * v % 100_000);
+        }
+        let mut exp = Exposition::new("periodica");
+        exp.histogram("session.ingest_batch_ns", "Service time.", &hist.report());
+        let text = exp.finish();
+        let family = metric_family("periodica", "session.ingest_batch_ns");
+        let series = parse_histogram(&text, &family).expect("family present");
+        assert_eq!(series.total, 1000);
+        assert_eq!(series.sum, hist.sum());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(estimate_quantile(&series, q), hist.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn checker_rejects_broken_histograms() {
+        let bad = "\
+# TYPE periodica_x histogram
+periodica_x_bucket{le=\"100\"} 5
+periodica_x_bucket{le=\"50\"} 3
+periodica_x_bucket{le=\"+Inf\"} 4
+periodica_x_sum 1234
+periodica_x_count 9
+";
+        let errors = check_exposition(bad).expect_err("invalid");
+        assert!(errors.iter().any(|e| e.contains("strictly increasing")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("cumulative counts decrease")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("_count 9 != +Inf bucket 4")));
+    }
+
+    #[test]
+    fn checker_rejects_bad_names_and_values() {
+        let errors = check_exposition("9bad_name 1\nok_name abc\n").expect_err("invalid");
+        assert_eq!(errors.len(), 2);
+        assert!(check_exposition("").is_ok());
+    }
+
+    #[test]
+    fn empty_histograms_render_validly() {
+        let mut exp = Exposition::new("p");
+        exp.histogram("empty_ns", "Nothing yet.", &report_from_counts(&[], 0));
+        let text = exp.finish();
+        assert!(check_exposition(&text).is_ok());
+        let series = parse_histogram(&text, "p_empty_ns").expect("present");
+        assert_eq!(series.total, 0);
+        assert_eq!(estimate_quantile(&series, 0.99), 0);
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_parsed_back() {
+        let mut exp = Exposition::new("p");
+        exp.gauge_with_label(
+            "weird",
+            "Escapes.",
+            "name",
+            &[("a\"b\\c\nd".to_string(), 1.0)],
+        );
+        let text = exp.finish();
+        check_exposition(&text).expect("valid");
+        let line = text.lines().last().expect("sample line");
+        let sample = parse_sample(line).expect("parses");
+        assert_eq!(sample.labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn sanitize_maps_arbitrary_names_onto_the_metric_alphabet() {
+        assert_eq!(
+            sanitize("serve.ingest.wire.latency_ns"),
+            "serve_ingest_wire_latency_ns"
+        );
+        assert_eq!(sanitize("7seas"), "_seas");
+        assert_eq!(sanitize(""), "_");
+        assert_eq!(
+            metric_family("periodica", "shard.queue_wait_ns"),
+            "periodica_shard_queue_wait_ns"
+        );
+    }
+}

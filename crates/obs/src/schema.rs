@@ -111,16 +111,30 @@ fn type_matches(value: &Value, expected: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Counter, MetricsRecorder, Recorder};
+    use crate::{Counter, Hist, MetricsRecorder, Recorder};
 
     const STAGE_SCHEMA: &str = r#"
     {
       "type": "object",
-      "required": ["counters", "stages", "thread_claims"],
+      "required": ["counters", "histograms", "stages", "thread_claims"],
       "additionalProperties": false,
       "properties": {
         "config": { "type": "object", "additionalProperties": { "type": "string" } },
         "counters": { "type": "object", "additionalProperties": { "type": "integer" } },
+        "histograms": {
+          "type": "object",
+          "additionalProperties": {
+            "type": "object",
+            "required": ["count", "sum", "p50", "p999", "buckets"],
+            "properties": {
+              "count": { "type": "integer" },
+              "sum": { "type": "integer" },
+              "p50": { "type": "integer" },
+              "p999": { "type": "integer" },
+              "buckets": { "type": "array" }
+            }
+          }
+        },
         "stages": {
           "type": "object",
           "additionalProperties": {
@@ -140,6 +154,7 @@ mod tests {
     fn real_reports_conform() {
         let rec = MetricsRecorder::new();
         rec.add(Counter::NttForward, 2);
+        rec.record_duration(Hist::SessionIngestBatchNs, 987_654);
         rec.record_span("spectrum.match", 1234);
         rec.record_thread_claim(0, 3);
         let text = rec.report().to_json();
@@ -160,7 +175,7 @@ mod tests {
     #[test]
     fn missing_required_keys_are_rejected() {
         let errors = validate_report_json("{}", STAGE_SCHEMA).unwrap_err();
-        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert_eq!(errors.len(), 4, "{errors:?}");
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Property tests for the lock-free log-bucketed [`Histogram`]: merge is a
+//! commutative monoid over bucket vectors, quantile estimates respect the
+//! documented `RELATIVE_ERROR` bound against an exact nearest-rank oracle,
+//! and concurrent recording is indistinguishable from a sequential replay.
+
+use periodica::obs::Histogram;
+use proptest::prelude::*;
+
+/// Value strategy spanning the exact range (< 64), several octaves of the
+/// log-bucketed range, and the nanosecond magnitudes the serving path
+/// actually records.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    collection::vec(
+        sample::select(vec![0u64, 1, 63, 64, 65])
+            .boxed()
+            .prop_flat_map(|small| {
+                (0u64..4_000_000_000).prop_map(move |big| if big % 3 == 0 { small } else { big })
+            }),
+        1..200,
+    )
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Full observable state of a histogram, for equality assertions.
+fn state(h: &Histogram) -> (Vec<u64>, u64, u64, u64, u64) {
+    (h.counts(), h.count(), h.sum(), h.min(), h.max())
+}
+
+/// Exact nearest-rank percentile over the raw values.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// merge(a, b) == merge(b, a), and folding three histograms is
+    /// independent of grouping: the merged state is a function of the
+    /// multiset of recorded values only.
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in values(),
+        b in values(),
+        c in values(),
+    ) {
+        let ab = hist_of(&a);
+        ab.merge_from(&hist_of(&b));
+        let ba = hist_of(&b);
+        ba.merge_from(&hist_of(&a));
+        prop_assert_eq!(state(&ab), state(&ba));
+
+        // (a + b) + c versus a + (b + c).
+        let left = hist_of(&a);
+        left.merge_from(&hist_of(&b));
+        left.merge_from(&hist_of(&c));
+        let bc = hist_of(&b);
+        bc.merge_from(&hist_of(&c));
+        let right = hist_of(&a);
+        right.merge_from(&bc);
+        prop_assert_eq!(state(&left), state(&right));
+    }
+
+    /// Recording a permutation of the same values, or the concatenation in
+    /// any split, yields the identical histogram.
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in values(),
+        b in values(),
+    ) {
+        let merged = hist_of(&a);
+        merged.merge_from(&hist_of(&b));
+        let mut all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        all.reverse();
+        prop_assert_eq!(state(&merged), state(&hist_of(&all)));
+    }
+
+    /// Every quantile estimate lands within `RELATIVE_ERROR` of the exact
+    /// nearest-rank value (+1 for the sub-64 integer-midpoint rounding).
+    #[test]
+    fn quantiles_respect_the_relative_error_bound(vals in values()) {
+        let h = hist_of(&vals);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for &q in &[0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            let tolerance = (exact as f64 * Histogram::RELATIVE_ERROR) as u64 + 1;
+            prop_assert!(
+                est.abs_diff(exact) <= tolerance,
+                "q={}: estimated {} vs exact {} (tolerance {})",
+                q, est, exact, tolerance
+            );
+        }
+    }
+
+    /// Racing writers lose nothing: recording the values from four scoped
+    /// threads produces the same state as one sequential replay.
+    #[test]
+    fn concurrent_recording_matches_sequential_replay(vals in values()) {
+        let concurrent = Histogram::new();
+        let shared = &concurrent;
+        std::thread::scope(|scope| {
+            for chunk in vals.chunks(vals.len().div_ceil(4)) {
+                scope.spawn(move || {
+                    for &v in chunk {
+                        shared.record(v);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(state(&concurrent), state(&hist_of(&vals)));
+    }
+}

@@ -14,7 +14,7 @@ use periodica::core::{
     mine_patterns_with_stats, DetectorConfig, MatchEngine, PatternMinerConfig, PatternMode,
     PeriodicityDetector,
 };
-use periodica::obs::{self, Counter, MetricsRecorder};
+use periodica::obs::{self, Counter, EventKind, Hist, MetricsRecorder};
 use periodica::prelude::*;
 
 fn series(text: &str, sigma: usize) -> SymbolSeries {
@@ -200,4 +200,58 @@ fn disabled_telemetry_allocates_nothing_and_stays_fast() {
         disabled <= enabled * 3 + Duration::from_millis(20),
         "disabled path ({disabled:?}) should not cost more than the armed path ({enabled:?})"
     );
+}
+
+/// Same zero-cost contract for the histogram and flight-recorder hooks:
+/// with no recorder installed, `duration`/`time_hist` allocate nothing and
+/// `event` never even builds its target string; once a recorder is armed,
+/// the identical call sites land in the histogram and the flight ring.
+#[test]
+fn disabled_duration_and_event_hooks_are_inert() {
+    let _guard = obs::test_guard();
+    obs::uninstall();
+
+    let allocations_before = obs::state_allocations();
+    let mut target_built = false;
+    obs::duration(Hist::SessionIngestBatchNs, 1_234);
+    {
+        let _t = obs::time_hist(Hist::ShardQueueWaitNs);
+    }
+    obs::event(EventKind::SlowRequest, 7, || {
+        target_built = true;
+        "never".to_string()
+    });
+    assert!(
+        !target_built,
+        "disabled event hook must not evaluate the target closure"
+    );
+    assert_eq!(
+        obs::state_allocations() - allocations_before,
+        0,
+        "disabled duration/event hooks must not allocate recorder state"
+    );
+
+    // Armed: the very same calls record.
+    let recorder = Arc::new(MetricsRecorder::new());
+    obs::install(recorder.clone());
+    obs::duration(Hist::SessionIngestBatchNs, 1_234);
+    {
+        let _t = obs::time_hist(Hist::ShardQueueWaitNs);
+    }
+    obs::event(EventKind::SlowRequest, 7, || "armed".to_string());
+    obs::uninstall();
+
+    assert_eq!(recorder.hist(Hist::SessionIngestBatchNs).count(), 1);
+    assert_eq!(recorder.hist(Hist::SessionIngestBatchNs).sum(), 1_234);
+    assert_eq!(
+        recorder.hist(Hist::ShardQueueWaitNs).count(),
+        1,
+        "armed time_hist must record on drop"
+    );
+    let snapshot = recorder.flight().snapshot();
+    assert_eq!(snapshot.dropped, 0);
+    assert_eq!(snapshot.events.len(), 1);
+    assert_eq!(snapshot.events[0].kind, EventKind::SlowRequest);
+    assert_eq!(snapshot.events[0].target, "armed");
+    assert_eq!(snapshot.events[0].value, 7);
 }
