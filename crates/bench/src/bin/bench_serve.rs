@@ -1,0 +1,296 @@
+//! Serving-edge benchmark: concurrent clients against an in-process
+//! `periodica serve` instance over loopback TCP.
+//!
+//! For each worker-pool size in the sweep the harness binds a fresh
+//! [`Server`] (shards = cores), pre-ingests a session population, then
+//! drives it with N client threads. Each client owns one keep-alive
+//! [`periodica_client::Client`] connection and issues a deterministic
+//! mixed workload (ingest batches, per-session queries, stats probes),
+//! recording every request's latency client-side into a streaming
+//! histogram. Requests/s is wall-clock over the total request count.
+//!
+//! After every phase the harness queries each session once and keeps
+//! the raw response strings; phases must agree byte-for-byte — the
+//! worker pool must change throughput, never answers. The sweep's
+//! scaling ratio (best phase over workers=1) and per-phase latency
+//! quantiles land in `BENCH_serve.json` at the repo root.
+//!
+//! Flags: `--smoke` shrinks the workload for CI and skips the file
+//! write; `--assert-scaling <x>` exits nonzero unless the sweep's
+//! scaling ratio reaches `x` (used by the multi-core CI leg, where the
+//! pool has real cores to spread over).
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use periodica_cli::serve::{ServeConfig, Server};
+use periodica_client::{Client, ClientBuilder, IngestRecord, Protocol};
+use periodica_core::SessionManager;
+use periodica_obs::Histogram;
+use periodica_series::Alphabet;
+
+const SIGMA: usize = 8;
+const WINDOW: usize = 64;
+
+/// Each session streams a clean periodic signal whose period depends on
+/// its index, so every phase's answers are predictable and comparable.
+fn session_period(session: usize) -> usize {
+    [4, 6, 8, 12][session % 4]
+}
+
+fn session_symbols(session: usize, offset: usize, len: usize) -> String {
+    let period = session_period(session);
+    (0..len)
+        .map(|i| (b'a' + (((offset + i) % period) % SIGMA) as u8) as char)
+        .collect()
+}
+
+fn client_for(addr: &str, protocol: Protocol) -> Client {
+    ClientBuilder::new(addr).protocol(protocol).build()
+}
+
+struct PhaseResult {
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    elapsed_secs: f64,
+    requests_per_sec: f64,
+    latency: Histogram,
+    answers: Vec<String>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    workers: usize,
+    shards: usize,
+    clients: usize,
+    sessions: usize,
+    requests_per_client: usize,
+) -> PhaseResult {
+    let alphabet = Alphabet::latin(SIGMA).expect("alphabet");
+    let config = ServeConfig::default()
+        .shards(shards)
+        .workers(workers)
+        .conn_queue(clients.max(1));
+    let builder = SessionManager::builder(alphabet.clone()).window(WINDOW);
+    let server = Server::bind(config, builder, alphabet).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server = Arc::new(server);
+    let serve_handle = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || server.serve().expect("serve"))
+    };
+
+    // Pre-ingest the session population on one connection.
+    let mut seed = client_for(&addr, Protocol::Wire);
+    for chunk in (0..sessions).collect::<Vec<_>>().chunks(64) {
+        let records: Vec<IngestRecord> = chunk
+            .iter()
+            .map(|&s| IngestRecord::new(format!("s{s}"), session_symbols(s, 0, WINDOW)))
+            .collect();
+        seed.ingest(&records).expect("seed ingest");
+    }
+    // Release the seed's keep-alive connection so it does not pin a
+    // pool worker while sitting idle through the load phase.
+    seed.disconnect();
+
+    let started = Instant::now();
+    let latency = Histogram::new();
+    thread::scope(|scope| {
+        for c in 0..clients {
+            let addr = &addr;
+            let latency = &latency;
+            scope.spawn(move || {
+                // Alternate protocols across client threads so both
+                // framings share the pool.
+                let protocol = if c % 2 == 0 {
+                    Protocol::Wire
+                } else {
+                    Protocol::Http
+                };
+                let mut client = client_for(addr, protocol);
+                // Each client owns a disjoint session range, so every
+                // session's symbol stream arrives in one deterministic
+                // order no matter how the pool schedules connections —
+                // that is what makes the cross-phase answer comparison
+                // exact.
+                let span = (sessions / clients).max(1);
+                for r in 0..requests_per_client {
+                    let pick = (c * 7 + r) % 10;
+                    let session = (c * span + (r % span)) % sessions;
+                    let t = Instant::now();
+                    if pick < 7 {
+                        let record = IngestRecord::new(
+                            format!("s{session}"),
+                            session_symbols(session, WINDOW + r, 16),
+                        );
+                        client
+                            .ingest(std::slice::from_ref(&record))
+                            .expect("ingest");
+                    } else if pick < 9 {
+                        client.query(&format!("s{session}")).expect("query");
+                    } else {
+                        client.stats().expect("stats");
+                    }
+                    latency.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    // Recycle the connection every few requests: a
+                    // worker owns a connection for its whole life, so
+                    // bounded bursts keep pools smaller than the client
+                    // count rotating fairly instead of starving.
+                    if r % 10 == 9 {
+                        client.disconnect();
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let requests = clients * requests_per_client;
+
+    // The answer set: one query per session, captured as raw JSON. The
+    // load above is deterministic (same per-session symbol stream in
+    // every phase), so these strings must match across pool sizes.
+    let answers: Vec<String> = (0..sessions)
+        .map(|s| {
+            let response = seed.query(&format!("s{s}")).expect("answer query");
+            format!("{response:?}")
+        })
+        .collect();
+    seed.shutdown().expect("shutdown");
+    let summary = serve_handle.join().expect("server thread");
+    assert!(summary.shutdown, "server should stop via SHUTDOWN");
+
+    PhaseResult {
+        workers,
+        clients,
+        requests,
+        elapsed_secs: elapsed,
+        requests_per_sec: requests as f64 / elapsed.max(1e-9),
+        latency,
+        answers,
+    }
+}
+
+fn phase_json(p: &PhaseResult) -> String {
+    format!(
+        "    {{ \"workers\": {}, \"clients\": {}, \"requests\": {}, \
+         \"elapsed_secs\": {:.4}, \"requests_per_sec\": {:.1}, \
+         \"latency_ns\": {{ \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }} }}",
+        p.workers,
+        p.clients,
+        p.requests,
+        p.elapsed_secs,
+        p.requests_per_sec,
+        p.latency.quantile(0.50),
+        p.latency.quantile(0.90),
+        p.latency.quantile(0.99),
+        p.latency.max(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let assert_scaling: Option<f64> = args.iter().position(|a| a == "--assert-scaling").map(|i| {
+        args.get(i + 1)
+            .expect("--assert-scaling needs a ratio")
+            .parse()
+            .expect("--assert-scaling ratio must be a number")
+    });
+    let workers_override: Option<Vec<usize>> =
+        args.iter().position(|a| a == "--workers").map(|i| {
+            args.get(i + 1)
+                .expect("--workers needs a comma-separated list")
+                .split(',')
+                .map(|w| w.parse().expect("worker counts must be integers"))
+                .collect()
+        });
+
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    let (clients, sessions, requests_per_client) = if smoke { (4, 32, 50) } else { (8, 256, 400) };
+    let sweep = workers_override.unwrap_or_else(|| {
+        let mut sweep = vec![1];
+        if cores >= 2 {
+            sweep.push(cores.min(8));
+        }
+        sweep
+    });
+
+    eprintln!(
+        "bench_serve: cores={cores} clients={clients} sessions={sessions} \
+         requests/client={requests_per_client} worker sweep {sweep:?}"
+    );
+    let mut phases = Vec::new();
+    for &workers in &sweep {
+        let phase = run_phase(workers, cores, clients, sessions, requests_per_client);
+        eprintln!(
+            "  workers={:<3} {:>9.1} req/s  p50 {:>9} ns  p99 {:>9} ns",
+            phase.workers,
+            phase.requests_per_sec,
+            phase.latency.quantile(0.50),
+            phase.latency.quantile(0.99),
+        );
+        phases.push(phase);
+    }
+
+    // Answers must be bit-identical across pool sizes.
+    for phase in &phases[1..] {
+        assert_eq!(
+            phase.answers, phases[0].answers,
+            "workers={} changed query answers vs workers={}",
+            phase.workers, phases[0].workers
+        );
+    }
+    eprintln!(
+        "  answers: {} sessions bit-identical across all {} phases",
+        phases[0].answers.len(),
+        phases.len()
+    );
+
+    let baseline = phases
+        .iter()
+        .find(|p| p.workers == 1)
+        .map(|p| p.requests_per_sec);
+    let best = phases
+        .iter()
+        .map(|p| p.requests_per_sec)
+        .fold(0.0f64, f64::max);
+    let scaling = baseline.map(|b| best / b.max(1e-9));
+    if let Some(s) = scaling {
+        eprintln!("  scaling (best / workers=1): {s:.2}x");
+    }
+    if let Some(want) = assert_scaling {
+        let got = scaling.expect("--assert-scaling requires workers=1 in the sweep");
+        assert!(
+            got >= want,
+            "scaling {got:.2}x below the required {want:.2}x"
+        );
+        eprintln!("  scaling assertion passed (>= {want:.2}x)");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"config\": {{ \"cores\": {cores}, \
+         \"clients\": {clients}, \"sessions\": {sessions}, \
+         \"requests_per_client\": {requests_per_client}, \"smoke\": {smoke} }},\n  \
+         \"phases\": [\n{}\n  ],\n  \"answers_identical\": true,\n  \
+         \"scaling_vs_one_worker\": {}\n}}\n",
+        phases
+            .iter()
+            .map(phase_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        scaling.map_or("null".to_string(), |s| format!("{s:.3}")),
+    );
+    if smoke {
+        eprintln!("smoke run: skipping BENCH_serve.json");
+        print!("{json}");
+        return;
+    }
+    let out_path = match std::env::var("CARGO_MANIFEST_DIR").ok() {
+        Some(dir) => format!("{dir}/../../BENCH_serve.json"),
+        None => "BENCH_serve.json".to_string(),
+    };
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {out_path}");
+}

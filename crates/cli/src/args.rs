@@ -15,6 +15,7 @@ const BARE_FLAGS: &[&str] = &[
     "fundamentals",
     "profile",
     "watch",
+    "keep-alive-off",
 ];
 
 /// Parsed command-line arguments for one subcommand.

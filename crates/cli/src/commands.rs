@@ -11,7 +11,7 @@ use periodica_obs as obs;
 use periodica_core::{
     fundamentals, DetectorConfig, EngineKind, EvictionPolicy, IngestOutcome, MiningReport,
     ObscureMiner, PatternMode, PeriodicityDetector, SessionId, SessionManager,
-    SessionManagerBuilder, ShardedSessionManager,
+    SessionManagerBuilder,
 };
 use periodica_series::discretize::{Discretizer, EqualFrequency, EqualWidth, GaussianBins};
 use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
@@ -661,13 +661,20 @@ fn session_alphabet(args: &CliArgs) -> Result<Arc<Alphabet>, CliError> {
     }
 }
 
+/// Deprecated name for [`session_builder`], kept one release for
+/// anyone driving the CLI crate as a library.
+#[deprecated(note = "renamed to `session_builder`")]
+pub fn session_manager_builder(args: &CliArgs) -> Result<SessionManagerBuilder, CliError> {
+    session_builder(args)
+}
+
 /// Builds a [`SessionManagerBuilder`] from the shared session flags
 /// (`--max-period`, `--threshold`, `--max-sessions`, `--memory-budget`,
 /// `--evict-batch-limit`). `serve` hands the builder to
-/// [`ShardedSessionManager`](periodica_core::ShardedSessionManager) so
+/// [`Server::bind`](crate::serve::Server::bind), which fans it out so
 /// every shard is configured identically; single-manager commands call
 /// [`session_manager`].
-pub(crate) fn session_manager_builder(args: &CliArgs) -> Result<SessionManagerBuilder, CliError> {
+pub fn session_builder(args: &CliArgs) -> Result<SessionManagerBuilder, CliError> {
     let policy = EvictionPolicy {
         max_sessions: args
             .raw("max-sessions")
@@ -689,9 +696,9 @@ pub(crate) fn session_manager_builder(args: &CliArgs) -> Result<SessionManagerBu
 }
 
 /// Builds a [`SessionManager`] from the shared session flags; see
-/// [`session_manager_builder`].
+/// [`session_builder`].
 fn session_manager(args: &CliArgs) -> Result<SessionManager, CliError> {
-    Ok(session_manager_builder(args)?.build())
+    Ok(session_builder(args)?.build())
 }
 
 /// `periodica ingest` — multi-tenant streaming ingest. Each input line is
@@ -900,41 +907,59 @@ pub fn serve(
     _stdin: &mut dyn BufRead,
     out: &mut dyn Write,
 ) -> Result<i32, CliError> {
-    let shards: usize = match args.raw("shards") {
-        Some(_) => args.require("shards")?,
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    };
-    let alphabet = session_alphabet(args)?;
-    let manager = ShardedSessionManager::new(session_manager_builder(args)?, shards);
-    if let Some(path) = args.raw("state-in") {
-        let restored = manager.restore_dump(&std::fs::read(path)?)?;
-        writeln!(out, "restored {restored} sessions from {path}")?;
+    let mut config = crate::serve::ServeConfig::default()
+        .host(args.raw("host").unwrap_or("127.0.0.1"))
+        .port(args.get("port", 0)?)
+        .shards(match args.raw("shards") {
+            Some(_) => args.require("shards")?,
+            None => 0, // bind() resolves 0 to the core count
+        })
+        .workers(match args.raw("workers") {
+            Some(_) => args.require("workers")?,
+            None => 0,
+        })
+        .keep_alive(!args.flag("keep-alive-off"))
+        .max_conns(
+            args.raw("max-conns")
+                .map(|_| args.require("max-conns"))
+                .transpose()?,
+        );
+    if args.raw("conn-queue").is_some() {
+        config = config.conn_queue(args.require("conn-queue")?);
     }
-    let host = args.raw("host").unwrap_or("127.0.0.1");
-    let port: u16 = args.get("port", 0)?;
+    if args.raw("read-timeout-ms").is_some() {
+        let ms: u64 = args.require("read-timeout-ms")?;
+        config = config.read_timeout(std::time::Duration::from_millis(ms));
+    }
+    if args.raw("idle-timeout-ms").is_some() {
+        let ms: u64 = args.require("idle-timeout-ms")?;
+        config = config.idle_timeout(std::time::Duration::from_millis(ms));
+    }
+    if args.raw("slow-ms").is_some() {
+        let ms: u64 = args.require("slow-ms")?;
+        config = config.slow_request_ns(ms.saturating_mul(1_000_000));
+    }
     // The service always runs instrumented: it is long-lived, the
     // per-request overhead is a few histogram increments, and /metrics,
     // /debug/events, and `stats --watch` are useless without it.
     let recorder = Arc::new(obs::MetricsRecorder::new());
-    let mut server = crate::serve::Server::bind(format!("{host}:{port}"), manager, alphabet)?
-        .with_recorder(recorder.clone());
-    if args.raw("slow-ms").is_some() {
-        let ms: u64 = args.require("slow-ms")?;
-        server = server.with_slow_threshold_ns(ms.saturating_mul(1_000_000));
+    let server =
+        crate::serve::Server::bind(config, session_builder(args)?, session_alphabet(args)?)?
+            .with_recorder(recorder.clone());
+    if let Some(path) = args.raw("state-in") {
+        let restored = server.manager().restore_dump(&std::fs::read(path)?)?;
+        writeln!(out, "restored {restored} sessions from {path}")?;
     }
     writeln!(
         out,
-        "listening on {} with {} shards",
+        "listening on {} with {} shards ({} workers)",
         server.local_addr()?,
-        shards
+        server.config().shard_count(),
+        server.config().worker_count(),
     )?;
     out.flush()?;
-    let max_conns: Option<usize> = args
-        .raw("max-conns")
-        .map(|_| args.require("max-conns"))
-        .transpose()?;
     obs::install(recorder);
-    let summary = server.serve(max_conns);
+    let summary = server.serve();
     obs::uninstall();
     let summary = summary?;
     if let Some(path) = args.raw("state-out") {

@@ -93,7 +93,15 @@ SERVE OPTIONS:
   --host <addr>          bind address                    [default 127.0.0.1]
   --port <p>             bind port (0 = ephemeral; the bound address is
                          printed before serving)         [default 0]
-  --shards <n>           worker shards                   [default cores]
+  --shards <n>           session shards                  [default cores]
+  --workers <n>          connection-worker pool size     [default cores]
+  --conn-queue <n>       pending-connection queue depth; a full queue
+                         pushes back on accept           [default 64]
+  --keep-alive-off       one HTTP request per connection (keep-alive and
+                         wire pipelining are on by default)
+  --read-timeout-ms <ms> per-request read deadline (slow-loris guard)
+                         [default 30000]
+  --idle-timeout-ms <ms> quiet-connection disconnect     [default 30000]
   --max-conns <n>        stop after n connections (tests/CI; default: serve
                          until a SHUTDOWN frame arrives)
   --evict-batch-limit <n>  per-call eviction cap per shard [default 128]
@@ -217,18 +225,24 @@ mod tests {
     #[test]
     fn stats_watch_renders_one_frame_from_a_live_server() {
         let _guard = periodica_obs::test_guard();
-        use periodica_core::{SessionManager, ShardedSessionManager};
+        use periodica_core::SessionManager;
         use periodica_series::Alphabet;
         let alphabet = Alphabet::latin(26).expect("latin alphabet");
-        let manager =
-            ShardedSessionManager::new(SessionManager::builder(alphabet.clone()).window(16), 2);
         let rec = std::sync::Arc::new(periodica_obs::MetricsRecorder::new());
         periodica_obs::install(rec.clone());
-        let server = serve::Server::bind("127.0.0.1:0", manager, alphabet)
-            .expect("bind")
-            .with_recorder(rec);
+        let config = serve::ServeConfig::default()
+            .shards(2)
+            .workers(2)
+            .max_conns(Some(2));
+        let server = serve::Server::bind(
+            config,
+            SessionManager::builder(alphabet.clone()).window(16),
+            alphabet,
+        )
+        .expect("bind")
+        .with_recorder(rec);
         let addr = server.local_addr().expect("local addr").to_string();
-        let handle = std::thread::spawn(move || server.serve(Some(2)).expect("serve"));
+        let handle = std::thread::spawn(move || server.serve().expect("serve"));
 
         // One frame = one /stats connection + one /metrics connection; the
         // /stats request itself lands in the http latency histogram before

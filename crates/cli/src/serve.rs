@@ -3,92 +3,216 @@
 //! One listener serves two protocols on the same port, distinguished by
 //! sniffing the first four bytes of each connection:
 //!
-//! * **PWIR wire protocol** — length-prefixed binary frames (the same
-//!   framing idiom as the PSNP snapshot format: magic, version, then
-//!   little-endian length-prefixed payload). A connection may pipeline
-//!   any number of request frames; each gets exactly one response frame.
+//! * **PWIR wire protocol** — length-prefixed binary frames (see
+//!   [`periodica_client::wire`]). A connection may pipeline any number
+//!   of request frames; each gets exactly one response frame, in
+//!   submission order.
+//! * **HTTP/1.1 + JSON** — anything that does not start with `PWIR`:
+//!   `POST /ingest`, `POST /query`, `GET /stats`, `GET /metrics`
+//!   (Prometheus text exposition), and `GET /debug/events`. HTTP/1.1
+//!   connections are kept alive between requests unless the client
+//!   sends `Connection: close` (or keep-alive is disabled in
+//!   [`ServeConfig`]).
 //!
-//!   ```text
-//!   request:  "PWIR" | version: u32 | op: u8    | len: u32 | payload
-//!   response: "PWIR" | version: u32 | status: u8| len: u32 | payload
-//!   ```
+//! ## Concurrency model
 //!
-//!   Ops: `1` INGEST (payload: UTF-8 `session<TAB>symbols` lines, one
-//!   batch), `2` QUERY (payload: session id), `3` STATS (empty payload),
-//!   `4` SHUTDOWN (empty payload; the server finishes the connection and
-//!   stops accepting). Status `0` is success (payload: JSON document),
-//!   `1` an error (payload: UTF-8 message).
+//! The accept loop runs on the serving thread and never touches request
+//! bytes: each accepted socket is pushed onto a bounded pending queue
+//! and picked up by one of a fixed pool of worker threads
+//! ([`ServeConfig::workers`]). A full queue applies backpressure — the
+//! accept loop stops pulling connections off the listener backlog until
+//! a worker frees a slot. Each worker owns its connection for the
+//! connection's whole life, so responses on one connection are always
+//! in submission order while the [`ShardedSessionManager`] underneath
+//! fans every batch across its shard threads concurrently.
 //!
-//! * **HTTP/1.1 + JSON** — anything that does not start with `PWIR` is
-//!   parsed as one HTTP request (`Connection: close` semantics):
-//!   `POST /ingest` with `{"records": [{"session": "...", "symbols":
-//!   "..."}]}`, `POST /query` with `{"session": "..."}`, `GET /stats`,
-//!   `GET /metrics` (Prometheus text exposition), and `GET /debug/events`
-//!   (the flight-recorder ring as JSON).
+//! Timeouts: a connection that never sends a byte, or goes quiet
+//! between requests, is dropped after [`ServeConfig::idle_timeout`];
+//! a request that dribbles in slower than [`ServeConfig::read_timeout`]
+//! (wall clock for the whole request — the slow-loris case) is answered
+//! with a timeout error, then dropped.
 //!
-//! Connections are handled sequentially on the accepting thread; the
-//! concurrency lives *inside* [`ShardedSessionManager`], which fans each
-//! batch out across its shard workers. A pipelining client therefore
-//! saturates every shard without the server needing a thread per
-//! connection — and SHUTDOWN semantics stay trivially race-free.
+//! Shutdown is graceful: a wire SHUTDOWN frame stops the accept loop,
+//! already-queued connections are still served, and in-flight
+//! keep-alive connections finish their current request before closing.
 //!
 //! ## Telemetry
 //!
 //! Every request (wire frame or HTTP exchange) gets a process-unique
-//! request id; HTTP responses echo it as `X-Request-Id`. When telemetry is
-//! enabled the server records one latency sample per endpoint × protocol
-//! (`serve.<endpoint>.<wire|http>.latency_ns`), one response-size sample
-//! per protocol (`serve.<wire|http>.response_bytes`), and a `slow_request`
-//! flight-recorder event — tagged `<proto> <endpoint> req=<id>` — for any
-//! request over the slow threshold ([`Server::with_slow_threshold_ns`]).
-//! `GET /metrics` renders the counters, histograms, and shard gauges of
-//! the recorder handed to [`Server::with_recorder`]; without one, the
-//! observability endpoints answer 503 while the data plane keeps working.
+//! request id; HTTP responses echo it as `X-Request-Id`, and error
+//! bodies carry it as `{"error": {"code", "message", "request_id"}}`.
+//! When telemetry is enabled the server records one latency sample per
+//! endpoint × protocol, response sizes per protocol, accept/queue/sniff
+//! counters (`serve.conns_accepted`, `serve.conn_queue_depth_peak`,
+//! `serve.sniff_rejected`, `serve.keepalive_requests`), the
+//! `serve.conn_queue_wait_ns` queue-wait histogram, and a
+//! `slow_request` flight-recorder event for any request over
+//! [`ServeConfig::slow_request_ns`]. `GET /metrics` renders the
+//! recorder handed to [`Server::with_recorder`]; without one, the
+//! observability endpoints answer 503 while the data plane keeps
+//! working.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
 
+use periodica_client::wire;
+pub use periodica_client::wire::{
+    decode_response, encode_request, MAX_PAYLOAD, OP_INGEST, OP_QUERY, OP_SHUTDOWN, OP_STATS,
+    STATUS_ERR, STATUS_OK, WIRE_MAGIC, WIRE_VERSION,
+};
 use periodica_core::{
-    Error as CoreError, IngestOutcome, OnlineCandidate, SessionId, ShardedSessionManager,
+    Error as CoreError, IngestOutcome, OnlineCandidate, SessionId, SessionManagerBuilder,
+    ShardedSessionManager,
 };
 use periodica_obs::{self as obs, json, prom, EventKind, Hist, MetricsRecorder};
 use periodica_series::{Alphabet, SymbolId};
 
 use crate::error::CliError;
 
-/// Magic prefix of every wire-protocol frame.
-pub const WIRE_MAGIC: &[u8; 4] = b"PWIR";
-/// Newest wire-protocol version this build speaks.
-pub const WIRE_VERSION: u32 = 1;
-/// Ingest a batch of `session<TAB>symbols` records.
-pub const OP_INGEST: u8 = 1;
-/// Query one session's candidate periods.
-pub const OP_QUERY: u8 = 2;
-/// Report per-shard resource usage.
-pub const OP_STATS: u8 = 3;
-/// Finish this connection, then stop accepting new ones.
-pub const OP_SHUTDOWN: u8 = 4;
-/// Response status: success, payload is a JSON document.
-pub const STATUS_OK: u8 = 0;
-/// Response status: failure, payload is a UTF-8 error message.
-pub const STATUS_ERR: u8 = 1;
-
-/// Largest accepted frame payload / HTTP body. Protects the server from
-/// a malformed length prefix, not a resource-accounting mechanism.
-const MAX_PAYLOAD: u32 = 64 << 20;
 /// Largest accepted HTTP request head (request line + headers).
 const MAX_HEAD: usize = 64 << 10;
-/// Per-connection socket timeout: a stalled client cannot wedge the
-/// accept loop forever.
-const IO_TIMEOUT: Duration = Duration::from_secs(30);
 /// Default slow-request threshold: requests served slower than this are
 /// captured as `slow_request` flight-recorder events.
 pub const DEFAULT_SLOW_REQUEST_NS: u64 = 10_000_000;
 /// `Content-Type` of the Prometheus text exposition format.
 const PROM_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+/// How long the accept loop sleeps when the listener has nothing for it
+/// (it polls so SHUTDOWN and the connection cap can end the loop).
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Configures a [`Server`]: where to listen, how wide the worker pool
+/// and shard fan-out are, and the connection-hygiene knobs. Shared by
+/// the CLI flags and tests so both construct servers the same way.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    host: String,
+    port: u16,
+    shards: usize,
+    workers: usize,
+    conn_queue: usize,
+    keep_alive: bool,
+    read_timeout: Duration,
+    idle_timeout: Duration,
+    slow_request_ns: u64,
+    max_conns: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    /// Loopback on an ephemeral port, auto-sized shards and workers
+    /// (one per core), a 64-connection pending queue, keep-alive on,
+    /// 30s timeouts, no connection cap.
+    fn default() -> Self {
+        ServeConfig {
+            host: "127.0.0.1".into(),
+            port: 0,
+            shards: 0,
+            workers: 0,
+            conn_queue: 64,
+            keep_alive: true,
+            read_timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(30),
+            slow_request_ns: DEFAULT_SLOW_REQUEST_NS,
+            max_conns: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the interface to bind.
+    pub fn host(mut self, host: impl Into<String>) -> Self {
+        self.host = host.into();
+        self
+    }
+
+    /// Sets the port to bind (0 = ephemeral).
+    pub fn port(mut self, port: u16) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Sets the shard count (0 = one per core).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the connection-worker pool size (0 = one per core).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the bounded pending-connection queue depth (clamped to at
+    /// least 1). A full queue blocks the accept loop — backpressure,
+    /// not connection drops.
+    pub fn conn_queue(mut self, depth: usize) -> Self {
+        self.conn_queue = depth.max(1);
+        self
+    }
+
+    /// Enables or disables HTTP keep-alive (`false` restores one
+    /// request per connection).
+    pub fn keep_alive(mut self, on: bool) -> Self {
+        self.keep_alive = on;
+        self
+    }
+
+    /// Caps the wall-clock time one request may take to arrive in full
+    /// (the slow-loris guard).
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Caps how long a connection may sit quiet: before its first byte,
+    /// between keep-alive requests, or between pipelined frames.
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Overrides the [`DEFAULT_SLOW_REQUEST_NS`] flight-recorder
+    /// threshold (0 records every request).
+    pub fn slow_request_ns(mut self, nanos: u64) -> Self {
+        self.slow_request_ns = nanos;
+        self
+    }
+
+    /// Stops accepting after this many successfully dispatched
+    /// connections (`None` = serve until SHUTDOWN). Connections whose
+    /// protocol sniff fails do not count.
+    pub fn max_conns(mut self, cap: Option<usize>) -> Self {
+        self.max_conns = cap;
+        self
+    }
+
+    /// The configured shard count (after [`Server::bind`] resolves 0 to
+    /// the core count).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The configured worker-pool size (after [`Server::bind`] resolves
+    /// 0 to the core count).
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    fn resolve(mut self) -> Self {
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        if self.shards == 0 {
+            self.shards = cores;
+        }
+        if self.workers == 0 {
+            self.workers = cores;
+        }
+        self
+    }
+}
 
 /// An endpoint's display name and latency histogram, or `None` for
 /// requests that are not an instrumented endpoint (unknown ops, 404s).
@@ -129,11 +253,68 @@ fn wire_endpoint(op: u8) -> Endpoint {
 /// What one [`Server::serve`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Connections accepted and handled.
+    /// Connections successfully sniffed and dispatched to a worker.
     pub connections: usize,
+    /// Connections dropped because the protocol sniff never saw a byte.
+    pub sniff_rejected: usize,
     /// Whether a SHUTDOWN frame ended the loop (as opposed to the
     /// connection limit).
     pub shutdown: bool,
+}
+
+/// What the protocol sniff decided about a fresh connection.
+enum Sniff {
+    Wire,
+    Http,
+    /// No byte ever arrived (client closed or stalled past the idle
+    /// timeout): drop without counting toward the connection cap.
+    Rejected,
+}
+
+/// Cross-thread serving state shared by the accept loop and workers.
+struct ServeState {
+    shutdown: AtomicBool,
+    dispatched: AtomicUsize,
+    sniff_rejected: AtomicUsize,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+}
+
+impl ServeState {
+    fn new() -> Self {
+        ServeState {
+            shutdown: AtomicBool::new(false),
+            dispatched: AtomicUsize::new(0),
+            sniff_rejected: AtomicUsize::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes the queue-depth high-water mark as a counter: each
+    /// submission bumps the counter by how much it raised the peak, so
+    /// the counter's value *is* the peak — exact under every
+    /// interleaving because `fetch_max` serializes the raises (the same
+    /// idiom as `shard.queue_depth_peak`).
+    fn note_enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let prev = self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        if depth > prev {
+            obs::count(obs::Counter::ServeConnQueueDepthPeak, depth - prev);
+        }
+    }
+
+    fn note_dequeue(&self, enqueued: Instant) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let waited = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs::duration(Hist::ServeConnQueueWaitNs, waited);
+    }
+}
+
+/// One accepted connection waiting for a worker.
+struct QueuedConn {
+    stream: TcpStream,
+    enqueued: Instant,
 }
 
 /// The TCP front end over a [`ShardedSessionManager`]; see the
@@ -141,32 +322,36 @@ pub struct ServeSummary {
 pub struct Server {
     listener: TcpListener,
     manager: ShardedSessionManager,
-    alphabet: std::sync::Arc<Alphabet>,
+    alphabet: Arc<Alphabet>,
+    config: ServeConfig,
     /// Source for `GET /metrics` and `GET /debug/events`; the serving
     /// path itself records through the process-global `obs` slot, so this
     /// should be (a clone of) the recorder installed there.
     recorder: Option<Arc<MetricsRecorder>>,
     started: Instant,
     next_request: AtomicU64,
-    slow_request_ns: u64,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) over an
-    /// already-configured manager.
+    /// Binds `config`'s address and builds the sharded manager behind
+    /// it: every shard is configured by `builder`, and `config.shards`
+    /// / `config.workers` values of 0 resolve to the core count.
     pub fn bind(
-        addr: impl ToSocketAddrs,
-        manager: ShardedSessionManager,
-        alphabet: std::sync::Arc<Alphabet>,
+        config: ServeConfig,
+        builder: SessionManagerBuilder,
+        alphabet: Arc<Alphabet>,
     ) -> Result<Self, CliError> {
+        let config = config.resolve();
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let manager = ShardedSessionManager::new(builder, config.shards);
         Ok(Server {
-            listener: TcpListener::bind(addr)?,
+            listener,
             manager,
             alphabet,
+            config,
             recorder: None,
             started: Instant::now(),
             next_request: AtomicU64::new(0),
-            slow_request_ns: DEFAULT_SLOW_REQUEST_NS,
         })
     }
 
@@ -177,112 +362,266 @@ impl Server {
         self
     }
 
-    /// Overrides the [`DEFAULT_SLOW_REQUEST_NS`] flight-recorder
-    /// threshold (0 records every request).
-    pub fn with_slow_threshold_ns(mut self, nanos: u64) -> Self {
-        self.slow_request_ns = nanos;
-        self
-    }
-
     /// The bound address (resolves the real port after binding port 0).
     pub fn local_addr(&self) -> Result<SocketAddr, CliError> {
         Ok(self.listener.local_addr()?)
     }
 
-    /// The manager being served (e.g. to dump state after serving).
+    /// The manager being served (e.g. to restore state before serving
+    /// or dump it after).
     pub fn manager(&self) -> &ShardedSessionManager {
         &self.manager
     }
 
-    /// Accepts and serves connections until a SHUTDOWN frame arrives or
-    /// `max_conns` connections have been handled (`None` = no limit).
-    /// Per-connection protocol errors are answered on that connection and
-    /// never abort the loop.
-    pub fn serve(&self, max_conns: Option<usize>) -> Result<ServeSummary, CliError> {
-        let mut summary = ServeSummary {
-            connections: 0,
-            shutdown: false,
-        };
-        while max_conns.is_none_or(|cap| summary.connections < cap) {
-            let (stream, _) = self.listener.accept()?;
-            summary.connections += 1;
-            match self.handle_connection(stream) {
-                Ok(true) => {
-                    summary.shutdown = true;
+    /// The resolved configuration this server runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Accepts connections and dispatches them to the worker pool until
+    /// a SHUTDOWN frame arrives or [`ServeConfig::max_conns`]
+    /// connections have been dispatched. Per-connection protocol errors
+    /// are answered on that connection and never abort the loop; on
+    /// shutdown, queued and in-flight connections drain before this
+    /// returns.
+    pub fn serve(&self) -> Result<ServeSummary, CliError> {
+        self.listener.set_nonblocking(true)?;
+        let state = ServeState::new();
+        let (tx, rx) = mpsc::sync_channel::<QueuedConn>(self.config.conn_queue);
+        let rx = Mutex::new(rx);
+        let result = thread::scope(|scope| -> io::Result<()> {
+            let rx = &rx;
+            let state = &state;
+            for _ in 0..self.config.workers {
+                scope.spawn(move || self.worker(rx, state));
+            }
+            let cap = self.config.max_conns;
+            loop {
+                if state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                Ok(false) => {}
-                // A client that vanished mid-request is its own problem.
-                Err(_) => {}
+                if cap.is_some_and(|c| state.dispatched.load(Ordering::SeqCst) >= c) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        obs::count(obs::Counter::ServeConnsAccepted, 1);
+                        state.note_enqueue();
+                        let mut item = QueuedConn {
+                            stream,
+                            enqueued: Instant::now(),
+                        };
+                        loop {
+                            match tx.try_send(item) {
+                                Ok(()) => break,
+                                Err(mpsc::TrySendError::Full(back)) => {
+                                    if state.shutdown.load(Ordering::SeqCst) {
+                                        // Drop the connection unserved:
+                                        // shutdown beats backpressure.
+                                        state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                                        break;
+                                    }
+                                    item = back;
+                                    thread::sleep(ACCEPT_POLL);
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => {
+                                    unreachable!("workers hold the receiver until tx drops")
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                    Err(e) => return Err(e),
+                }
             }
-        }
-        Ok(summary)
+            // Closing the channel lets workers drain what is queued,
+            // then exit; the scope joins them all before returning.
+            drop(tx);
+            Ok(())
+        });
+        let _ = self.listener.set_nonblocking(false);
+        result?;
+        Ok(ServeSummary {
+            connections: state.dispatched.load(Ordering::SeqCst),
+            sniff_rejected: state.sniff_rejected.load(Ordering::SeqCst),
+            shutdown: state.shutdown.load(Ordering::SeqCst),
+        })
     }
 
-    /// Serves one connection; returns whether it requested shutdown.
-    fn handle_connection(&self, stream: TcpStream) -> std::io::Result<bool> {
-        stream.set_read_timeout(Some(IO_TIMEOUT))?;
-        stream.set_write_timeout(Some(IO_TIMEOUT))?;
-        let mut sniff = [0u8; 4];
-        let n = stream.peek(&mut sniff)?;
-        if &sniff[..n] == WIRE_MAGIC {
-            self.serve_wire(stream)
-        } else {
-            self.serve_http(stream).map(|()| false)
-        }
-    }
-
-    /// Serves pipelined PWIR frames until EOF or a SHUTDOWN op.
-    fn serve_wire(&self, mut stream: TcpStream) -> std::io::Result<bool> {
+    /// One pool worker: pulls connections off the pending queue until
+    /// the accept loop closes it, serving each to completion.
+    fn worker(&self, rx: &Mutex<mpsc::Receiver<QueuedConn>>, state: &ServeState) {
         loop {
+            let next = rx.lock().expect("pending-connection queue lock").recv();
+            let Ok(conn) = next else {
+                return;
+            };
+            state.note_dequeue(conn.enqueued);
+            // A client that vanished mid-request is its own problem.
+            let _ = self.handle_connection(conn.stream, state);
+        }
+    }
+
+    /// Serves one connection end to end.
+    fn handle_connection(&self, stream: TcpStream, state: &ServeState) -> io::Result<()> {
+        // Accepted from a nonblocking listener: restore blocking mode
+        // so the per-phase socket timeouts below govern every read.
+        stream.set_nonblocking(false)?;
+        stream.set_write_timeout(Some(self.config.read_timeout))?;
+        // Responses are small header+body write pairs; leaving Nagle on
+        // costs a delayed-ACK round trip (~40ms) per response.
+        stream.set_nodelay(true)?;
+        match self.sniff(&stream) {
+            Sniff::Rejected => {
+                state.sniff_rejected.fetch_add(1, Ordering::SeqCst);
+                obs::count(obs::Counter::ServeSniffRejected, 1);
+                Ok(())
+            }
+            Sniff::Wire => {
+                state.dispatched.fetch_add(1, Ordering::SeqCst);
+                if self.serve_wire(stream, state)? {
+                    state.shutdown.store(true, Ordering::SeqCst);
+                }
+                Ok(())
+            }
+            Sniff::Http => {
+                state.dispatched.fetch_add(1, Ordering::SeqCst);
+                self.serve_http(stream, state)
+            }
+        }
+    }
+
+    /// Peeks the first bytes to pick a protocol. Waits (bounded by the
+    /// idle timeout) for enough bytes to tell a partial `PWIR` prefix
+    /// from HTTP; a connection that closes or stalls first is rejected.
+    fn sniff(&self, stream: &TcpStream) -> Sniff {
+        if stream
+            .set_read_timeout(Some(self.config.idle_timeout))
+            .is_err()
+        {
+            return Sniff::Rejected;
+        }
+        let deadline = Instant::now() + self.config.idle_timeout;
+        let mut buf = [0u8; 4];
+        loop {
+            match stream.peek(&mut buf) {
+                Ok(0) => return Sniff::Rejected,
+                Ok(n) if n >= 4 => {
+                    return if &buf == WIRE_MAGIC {
+                        Sniff::Wire
+                    } else {
+                        Sniff::Http
+                    }
+                }
+                Ok(n) => {
+                    if buf[..n] != WIRE_MAGIC[..n] {
+                        return Sniff::Http;
+                    }
+                    if Instant::now() >= deadline {
+                        return Sniff::Rejected;
+                    }
+                    // A strict prefix of "PWIR": wait for the rest.
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => return Sniff::Rejected,
+            }
+        }
+    }
+
+    /// Serves pipelined PWIR frames until EOF, idle timeout, or a
+    /// SHUTDOWN op; returns whether shutdown was requested.
+    fn serve_wire(&self, mut stream: TcpStream, state: &ServeState) -> io::Result<bool> {
+        let mut frames = 0usize;
+        loop {
+            // Between frames the connection may sit quiet up to the
+            // idle timeout; inside a frame the read deadline governs.
+            stream.set_read_timeout(Some(self.config.idle_timeout))?;
             let mut magic = [0u8; 4];
-            if !read_exact_or_eof(&mut stream, &mut magic)? {
-                return Ok(false); // clean EOF between frames
+            match read_exact_or_eof(&mut stream, &mut magic) {
+                Ok(false) => return Ok(false), // clean EOF between frames
+                Ok(true) => {}
+                Err(e) if timeoutish(&e) => return Ok(false), // idle disconnect
+                Err(e) => return Err(e),
             }
+            if frames > 0 {
+                obs::count(obs::Counter::ServeKeepaliveRequests, 1);
+            }
+            frames += 1;
+            let request_id = self.next_request_id();
+            stream.set_read_timeout(Some(self.config.read_timeout))?;
+            let deadline = Instant::now() + self.config.read_timeout;
             if &magic != WIRE_MAGIC {
-                write_frame(&mut stream, STATUS_ERR, b"bad frame magic")?;
-                return Ok(false);
-            }
-            let version = read_u32(&mut stream)?;
-            if version != WIRE_VERSION {
-                write_frame(
+                wire::write_frame(
                     &mut stream,
                     STATUS_ERR,
-                    format!("unsupported wire version {version}").as_bytes(),
+                    error_body("bad_request", "bad frame magic", request_id).as_bytes(),
+                )?;
+                return Ok(false);
+            }
+            let read = read_u32_deadline(&mut stream, deadline);
+            let Some(version) = self.wire_read(&mut stream, request_id, read)? else {
+                return Ok(false);
+            };
+            if version != WIRE_VERSION {
+                wire::write_frame(
+                    &mut stream,
+                    STATUS_ERR,
+                    error_body(
+                        "bad_request",
+                        &format!("unsupported wire version {version}"),
+                        request_id,
+                    )
+                    .as_bytes(),
                 )?;
                 return Ok(false);
             }
             let mut op = [0u8; 1];
-            stream.read_exact(&mut op)?;
-            let len = read_u32(&mut stream)?;
+            let read = read_exact_deadline(&mut stream, &mut op, deadline);
+            if self.wire_read(&mut stream, request_id, read)?.is_none() {
+                return Ok(false);
+            }
+            let read = read_u32_deadline(&mut stream, deadline);
+            let Some(len) = self.wire_read(&mut stream, request_id, read)? else {
+                return Ok(false);
+            };
             if len > MAX_PAYLOAD {
-                write_frame(&mut stream, STATUS_ERR, b"frame payload too large")?;
+                wire::write_frame(
+                    &mut stream,
+                    STATUS_ERR,
+                    error_body("bad_request", "frame payload too large", request_id).as_bytes(),
+                )?;
                 return Ok(false);
             }
             let mut payload = vec![0u8; len as usize];
-            stream.read_exact(&mut payload)?;
-            let request_id = self.next_request_id();
+            let read = read_exact_deadline(&mut stream, &mut payload, deadline);
+            if self.wire_read(&mut stream, request_id, read)?.is_none() {
+                return Ok(false);
+            }
             let timed = obs::enabled().then(Instant::now);
             let (shutdown, status, body): (bool, u8, String) = match op[0] {
                 OP_INGEST => match self.ingest_records_text(&payload) {
                     Ok(outcome) => (false, STATUS_OK, outcome_json(&outcome)),
-                    Err(e) => (false, STATUS_ERR, e.to_string()),
+                    Err(e) => (false, STATUS_ERR, error_body_of(&e, request_id)),
                 },
                 OP_QUERY => {
                     let id = String::from_utf8_lossy(&payload);
                     match self.query(id.trim()) {
                         Ok(body) => (false, STATUS_OK, body),
-                        Err(e) => (false, STATUS_ERR, e.to_string()),
+                        Err(e) => (false, STATUS_ERR, error_body_of(&e, request_id)),
                     }
                 }
                 OP_STATS => match self.stats_json() {
                     Ok(body) => (false, STATUS_OK, body),
-                    Err(e) => (false, STATUS_ERR, e.to_string()),
+                    Err(e) => (false, STATUS_ERR, error_body_of(&e, request_id)),
                 },
                 OP_SHUTDOWN => (true, STATUS_OK, "{}".to_string()),
-                other => (false, STATUS_ERR, format!("unknown op {other}")),
+                other => (
+                    false,
+                    STATUS_ERR,
+                    error_body("bad_request", &format!("unknown op {other}"), request_id),
+                ),
             };
-            write_frame(&mut stream, status, body.as_bytes())?;
+            wire::write_frame(&mut stream, status, body.as_bytes())?;
             if let Some(start) = timed {
                 self.observe_request(
                     start,
@@ -295,6 +634,33 @@ impl Server {
             if shutdown {
                 return Ok(true);
             }
+            if state.shutdown.load(Ordering::SeqCst) {
+                // Drain: the current frame was answered; close instead
+                // of waiting for more.
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Unwraps a mid-frame read: timeouts answer a structured timeout
+    /// error (slow-loris defense) and close; other errors propagate.
+    fn wire_read<T>(
+        &self,
+        stream: &mut TcpStream,
+        request_id: u64,
+        read: io::Result<T>,
+    ) -> io::Result<Option<T>> {
+        match read {
+            Ok(value) => Ok(Some(value)),
+            Err(e) if timeoutish(&e) => {
+                let _ = wire::write_frame(
+                    stream,
+                    STATUS_ERR,
+                    error_body("timeout", "request read timed out", request_id).as_bytes(),
+                );
+                Ok(None)
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -318,132 +684,197 @@ impl Server {
         let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         obs::duration(hist, nanos);
         obs::duration(protocol.bytes_hist(), response_bytes as u64);
-        if nanos >= self.slow_request_ns {
+        if nanos >= self.config.slow_request_ns {
             obs::event(EventKind::SlowRequest, nanos, || {
                 format!("{} {} req={}", protocol.name(), name, request_id)
             });
         }
     }
 
-    /// Serves one HTTP request, then closes.
-    fn serve_http(&self, mut stream: TcpStream) -> std::io::Result<()> {
-        let request_id = self.next_request_id();
-        let timed = obs::enabled().then(Instant::now);
-        let (request_line, headers, body) = match read_http_request(&mut stream) {
-            Ok(parts) => parts,
-            Err(msg) => {
-                return http_response(
-                    &mut stream,
-                    400,
-                    "Bad Request",
-                    "application/json",
-                    &error_json(&msg),
-                    request_id,
-                )
+    /// Serves HTTP requests on one connection, keeping it alive between
+    /// requests until the client closes, asks to close, goes idle, or
+    /// the server drains for shutdown.
+    fn serve_http(&self, mut stream: TcpStream, state: &ServeState) -> io::Result<()> {
+        let mut served = 0usize;
+        loop {
+            if served > 0 {
+                // Idle wait for the next request head.
+                stream.set_read_timeout(Some(self.config.idle_timeout))?;
+                let mut first = [0u8; 1];
+                match stream.peek(&mut first) {
+                    Ok(0) => return Ok(()), // client closed
+                    Ok(_) => {}
+                    Err(e) if timeoutish(&e) => return Ok(()), // idle disconnect
+                    Err(e) => return Err(e),
+                }
+                obs::count(obs::Counter::ServeKeepaliveRequests, 1);
             }
-        };
-        let mut parts = request_line.split_whitespace();
-        let method = parts.next().unwrap_or_default().to_ascii_uppercase();
-        let target = parts.next().unwrap_or_default().to_string();
-        let _ = headers;
-        type Response = (u16, &'static str, &'static str, String, Endpoint);
-        let ok = |body: String, endpoint: Endpoint| -> Response {
-            (200, "OK", "application/json", body, endpoint)
-        };
-        let fail = |e: &CliError, endpoint: Endpoint| -> Response {
-            let (code, reason) = http_status_of(e);
-            (
+            let request_id = self.next_request_id();
+            let timed = obs::enabled().then(Instant::now);
+            stream.set_read_timeout(Some(self.config.read_timeout))?;
+            let deadline = Instant::now() + self.config.read_timeout;
+            let (request_line, headers, body) = match read_http_request(&mut stream, deadline) {
+                Ok(parts) => parts,
+                Err(HttpReadError::Closed) => return Ok(()),
+                Err(HttpReadError::Timeout) => {
+                    // Slow loris: the head (or body) dribbled past the
+                    // request deadline.
+                    return http_response(
+                        &mut stream,
+                        408,
+                        "Request Timeout",
+                        "application/json",
+                        &error_body("timeout", "request read timed out", request_id),
+                        request_id,
+                        true,
+                    );
+                }
+                Err(HttpReadError::Bad(msg)) => {
+                    return http_response(
+                        &mut stream,
+                        400,
+                        "Bad Request",
+                        "application/json",
+                        &error_body("bad_request", &msg, request_id),
+                        request_id,
+                        true,
+                    );
+                }
+            };
+            let mut parts = request_line.split_whitespace();
+            let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+            let target = parts.next().unwrap_or_default().to_string();
+            let http11 = parts.next() == Some("HTTP/1.1");
+            let close_requested = headers
+                .iter()
+                .any(|(name, value)| name == "connection" && value.eq_ignore_ascii_case("close"));
+            let (code, reason, content_type, payload, endpoint) =
+                self.route(&method, &target, &body, request_id);
+            let close = !self.config.keep_alive
+                || !http11
+                || close_requested
+                || state.shutdown.load(Ordering::SeqCst);
+            http_response(
+                &mut stream,
                 code,
                 reason,
+                content_type,
+                &payload,
+                request_id,
+                close,
+            )?;
+            if let Some(start) = timed {
+                self.observe_request(start, request_id, endpoint, Protocol::Http, payload.len());
+            }
+            served += 1;
+            if close {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Dispatches one parsed HTTP request to its endpoint.
+    fn route(
+        &self,
+        method: &str,
+        target: &str,
+        body: &str,
+        request_id: u64,
+    ) -> (u16, &'static str, &'static str, String, Endpoint) {
+        let ok = |body: String, endpoint: Endpoint| (200, "OK", "application/json", body, endpoint);
+        let fail = |e: &CliError, endpoint: Endpoint| {
+            let (_, status, reason) = error_code_of(e);
+            (
+                status,
+                reason,
                 "application/json",
-                error_json(&e.to_string()),
+                error_body_of(e, request_id),
                 endpoint,
             )
         };
-        let (code, reason, content_type, payload, endpoint): Response =
-            match (method.as_str(), target.as_str()) {
-                ("POST", "/ingest") => {
-                    let endpoint = Some(("ingest", Hist::ServeIngestHttpNs));
-                    match self.ingest_records_json(&body) {
-                        Ok(outcome) => ok(outcome_json(&outcome), endpoint),
-                        Err(e) => fail(&e, endpoint),
-                    }
+        match (method, target) {
+            ("POST", "/ingest") => {
+                let endpoint = Some(("ingest", Hist::ServeIngestHttpNs));
+                match self.ingest_records_json(body) {
+                    Ok(outcome) => ok(outcome_json(&outcome), endpoint),
+                    Err(e) => fail(&e, endpoint),
                 }
-                ("POST", "/query") => {
-                    let endpoint = Some(("query", Hist::ServeQueryHttpNs));
-                    match parse_query_body(&body) {
-                        Ok(id) => match self.query(&id) {
-                            Ok(body) => ok(body, endpoint),
-                            Err(e) => fail(&e, endpoint),
-                        },
-                        Err(msg) => (
-                            400,
-                            "Bad Request",
-                            "application/json",
-                            error_json(&msg),
-                            endpoint,
-                        ),
-                    }
-                }
-                ("GET", "/stats") => {
-                    let endpoint = Some(("stats", Hist::ServeStatsHttpNs));
-                    match self.stats_json() {
+            }
+            ("POST", "/query") => {
+                let endpoint = Some(("query", Hist::ServeQueryHttpNs));
+                match parse_query_body(body) {
+                    Ok(id) => match self.query(&id) {
                         Ok(body) => ok(body, endpoint),
                         Err(e) => fail(&e, endpoint),
-                    }
+                    },
+                    Err(msg) => (
+                        400,
+                        "Bad Request",
+                        "application/json",
+                        error_body("bad_request", &msg, request_id),
+                        endpoint,
+                    ),
                 }
-                ("GET", "/metrics") => {
-                    let endpoint = Some(("metrics", Hist::ServeMetricsHttpNs));
-                    match &self.recorder {
-                        Some(rec) => (
-                            200,
-                            "OK",
-                            PROM_CONTENT_TYPE,
-                            self.metrics_text(rec),
-                            endpoint,
-                        ),
-                        None => (
-                            503,
-                            "Service Unavailable",
-                            "application/json",
-                            error_json("telemetry recorder not installed"),
-                            endpoint,
-                        ),
-                    }
+            }
+            ("GET", "/stats") => {
+                let endpoint = Some(("stats", Hist::ServeStatsHttpNs));
+                match self.stats_json() {
+                    Ok(body) => ok(body, endpoint),
+                    Err(e) => fail(&e, endpoint),
                 }
-                ("GET", "/debug/events") => {
-                    let endpoint = Some(("events", Hist::ServeEventsHttpNs));
-                    match &self.recorder {
-                        Some(rec) => ok(rec.flight().snapshot().to_json(), endpoint),
-                        None => (
-                            503,
-                            "Service Unavailable",
-                            "application/json",
-                            error_json("telemetry recorder not installed"),
-                            endpoint,
+            }
+            ("GET", "/metrics") => {
+                let endpoint = Some(("metrics", Hist::ServeMetricsHttpNs));
+                match &self.recorder {
+                    Some(rec) => (
+                        200,
+                        "OK",
+                        PROM_CONTENT_TYPE,
+                        self.metrics_text(rec),
+                        endpoint,
+                    ),
+                    None => (
+                        503,
+                        "Service Unavailable",
+                        "application/json",
+                        error_body(
+                            "unavailable",
+                            "telemetry recorder not installed",
+                            request_id,
                         ),
-                    }
+                        endpoint,
+                    ),
                 }
-                _ => (
-                    404,
-                    "Not Found",
-                    "application/json",
-                    error_json(&format!("no route for {method} {target}")),
-                    None,
+            }
+            ("GET", "/debug/events") => {
+                let endpoint = Some(("events", Hist::ServeEventsHttpNs));
+                match &self.recorder {
+                    Some(rec) => ok(rec.flight().snapshot().to_json(), endpoint),
+                    None => (
+                        503,
+                        "Service Unavailable",
+                        "application/json",
+                        error_body(
+                            "unavailable",
+                            "telemetry recorder not installed",
+                            request_id,
+                        ),
+                        endpoint,
+                    ),
+                }
+            }
+            _ => (
+                404,
+                "Not Found",
+                "application/json",
+                error_body(
+                    "not_found",
+                    &format!("no route for {method} {target}"),
+                    request_id,
                 ),
-            };
-        http_response(
-            &mut stream,
-            code,
-            reason,
-            content_type,
-            &payload,
-            request_id,
-        )?;
-        if let Some(start) = timed {
-            self.observe_request(start, request_id, endpoint, Protocol::Http, payload.len());
+                None,
+            ),
         }
-        Ok(())
     }
 
     /// Ingests a batch given as `session<TAB>symbols` lines (the wire
@@ -619,9 +1050,18 @@ impl Server {
     }
 }
 
+/// Whether an I/O error is a socket-timeout expiry (Linux reports
+/// `WouldBlock`, other platforms `TimedOut`).
+fn timeoutish(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 /// Reads exactly `buf.len()` bytes; `Ok(false)` means clean EOF before
 /// the first byte (no partial frame).
-fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<bool> {
+fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> io::Result<bool> {
     let mut filled = 0;
     while filled < buf.len() {
         let n = stream.read(&mut buf[filled..])?;
@@ -629,8 +1069,8 @@ fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<
             if filled == 0 {
                 return Ok(false);
             }
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
                 "truncated frame header",
             ));
         }
@@ -639,70 +1079,86 @@ fn read_exact_or_eof(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<
     Ok(true)
 }
 
-fn read_u32(stream: &mut TcpStream) -> std::io::Result<u32> {
-    let mut b = [0u8; 4];
-    stream.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-/// Writes one response frame.
-fn write_frame(stream: &mut TcpStream, status: u8, payload: &[u8]) -> std::io::Result<()> {
-    let mut out = Vec::with_capacity(13 + payload.len());
-    out.extend_from_slice(WIRE_MAGIC);
-    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-    out.push(status);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(payload);
-    stream.write_all(&out)
-}
-
-/// Encodes one client request frame — shared by tests and any Rust
-/// client that wants to speak the wire protocol.
-pub fn encode_request(op: u8, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13 + payload.len());
-    out.extend_from_slice(WIRE_MAGIC);
-    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-    out.push(op);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
-}
-
-/// Decodes one response frame from a reader. Returns `(status, payload)`.
-pub fn decode_response(stream: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
-    let mut header = [0u8; 13];
-    stream.read_exact(&mut header)?;
-    if &header[..4] != WIRE_MAGIC {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "bad response magic",
-        ));
+/// Reads exactly `buf.len()` bytes, failing with `TimedOut` once the
+/// request deadline passes — per-read socket timeouts alone cannot stop
+/// a client dribbling one byte per timeout window.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if Instant::now() > deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request read deadline exceeded",
+            ));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
-    let len = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes"));
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    Ok((header[8], payload))
+    Ok(())
+}
+
+fn read_u32_deadline(stream: &mut TcpStream, deadline: Instant) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    read_exact_deadline(stream, &mut b, deadline)?;
+    Ok(u32::from_le_bytes(b))
 }
 
 /// One parsed HTTP request: request line, `(name, value)` headers, body.
 type HttpRequest = (String, Vec<(String, String)>, String);
 
+/// Why one HTTP request could not be read.
+enum HttpReadError {
+    /// The client closed before sending anything: a clean end.
+    Closed,
+    /// The request dribbled in past the read deadline (slow loris).
+    Timeout,
+    /// The bytes were not a readable HTTP request.
+    Bad(String),
+}
+
 /// Reads one HTTP request: request line, headers, and the body promised
-/// by `Content-Length`.
-fn read_http_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
+/// by `Content-Length`, all before `deadline`.
+fn read_http_request(
+    stream: &mut TcpStream,
+    deadline: Instant,
+) -> Result<HttpRequest, HttpReadError> {
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
     while !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
         if head.len() >= MAX_HEAD {
-            return Err("request head too large".into());
+            return Err(HttpReadError::Bad("request head too large".into()));
+        }
+        if Instant::now() > deadline {
+            return Err(HttpReadError::Timeout);
         }
         match stream.read(&mut byte) {
-            Ok(0) => return Err("connection closed mid-request".into()),
+            Ok(0) => {
+                if head.is_empty() {
+                    return Err(HttpReadError::Closed);
+                }
+                return Err(HttpReadError::Bad("connection closed mid-request".into()));
+            }
             Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(format!("read error: {e}")),
+            Err(e) if timeoutish(&e) => return Err(HttpReadError::Timeout),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpReadError::Bad(format!("read error: {e}"))),
         }
     }
-    let head = String::from_utf8(head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let head = String::from_utf8(head)
+        .map_err(|_| HttpReadError::Bad("request head is not UTF-8".into()))?;
     let mut lines = head.lines();
     let request_line = lines.next().unwrap_or_default().to_string();
     let mut headers = Vec::new();
@@ -716,21 +1172,27 @@ fn read_http_request(stream: &mut TcpStream) -> Result<HttpRequest, String> {
         if name == "content-length" {
             content_length = value
                 .parse()
-                .map_err(|_| format!("bad content-length {value:?}"))?;
+                .map_err(|_| HttpReadError::Bad(format!("bad content-length {value:?}")))?;
             if content_length > MAX_PAYLOAD as usize {
-                return Err("request body too large".into());
+                return Err(HttpReadError::Bad("request body too large".into()));
             }
         }
         headers.push((name, value));
     }
     let mut body = vec![0u8; content_length];
-    stream
-        .read_exact(&mut body)
-        .map_err(|e| format!("short body: {e}"))?;
-    let body = String::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    read_exact_deadline(stream, &mut body, deadline).map_err(|e| {
+        if timeoutish(&e) || e.kind() == io::ErrorKind::TimedOut {
+            HttpReadError::Timeout
+        } else {
+            HttpReadError::Bad(format!("short body: {e}"))
+        }
+    })?;
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpReadError::Bad("request body is not UTF-8".into()))?;
     Ok((request_line, headers, body))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn http_response(
     stream: &mut TcpStream,
     code: u16,
@@ -738,30 +1200,46 @@ fn http_response(
     content_type: &str,
     body: &str,
     request_id: u64,
-) -> std::io::Result<()> {
+    close: bool,
+) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
         "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nX-Request-Id: {request_id}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nX-Request-Id: {request_id}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())
 }
 
-/// Maps a library error to the closest HTTP status.
-fn http_status_of(e: &CliError) -> (u16, &'static str) {
+/// Maps a library error to its structured error code, HTTP status, and
+/// reason phrase.
+fn error_code_of(e: &CliError) -> (&'static str, u16, &'static str) {
     match e {
-        CliError::Core(CoreError::UnknownSession(_)) => (404, "Not Found"),
-        CliError::Usage(_) => (400, "Bad Request"),
-        _ => (500, "Internal Server Error"),
+        CliError::Core(CoreError::UnknownSession(_)) => ("unknown_session", 404, "Not Found"),
+        CliError::Usage(_) => ("bad_request", 400, "Bad Request"),
+        CliError::Io(_) => ("io", 500, "Internal Server Error"),
+        _ => ("internal", 500, "Internal Server Error"),
     }
 }
 
-fn error_json(message: &str) -> String {
-    let mut out = String::from("{\"error\":");
+/// Renders the structured JSON error body every error path answers
+/// with: `{"error": {"code", "message", "request_id"}}`.
+fn error_body(code: &str, message: &str, request_id: u64) -> String {
+    let mut out = String::from("{\"error\":{\"code\":");
+    json::write_string(&mut out, code);
+    out.push_str(",\"message\":");
     json::write_string(&mut out, message);
-    out.push('}');
+    out.push_str(",\"request_id\":");
+    out.push_str(&request_id.to_string());
+    out.push_str("}}");
     out
+}
+
+/// [`error_body`] for a library error, using its mapped code.
+fn error_body_of(e: &CliError, request_id: u64) -> String {
+    let (code, _, _) = error_code_of(e);
+    error_body(code, &e.to_string(), request_id)
 }
 
 fn parse_query_body(body: &str) -> Result<String, String> {
@@ -803,386 +1281,453 @@ fn candidates_json(id: &str, alphabet: &Alphabet, candidates: &[OnlineCandidate]
 #[cfg(test)]
 mod tests {
     use super::*;
-    use periodica_core::{SessionManager, SessionManagerBuilder};
-    use std::thread;
+    use periodica_client::{ClientBuilder, IngestRecord};
+    use periodica_core::SessionManager;
 
-    fn builder() -> (SessionManagerBuilder, std::sync::Arc<Alphabet>) {
-        let alphabet = Alphabet::latin(26).expect("latin alphabet");
-        (
-            SessionManager::builder(alphabet.clone()).window(16),
-            alphabet,
-        )
+    fn alphabet() -> Arc<Alphabet> {
+        Alphabet::latin(26).expect("latin alphabet")
     }
 
-    /// Binds an ephemeral port and serves `conns` connections on a
-    /// background thread.
-    fn spawn_server(shards: usize, conns: usize) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
-        let (builder, alphabet) = builder();
-        let manager = ShardedSessionManager::new(builder, shards);
-        let server = Server::bind("127.0.0.1:0", manager, alphabet).expect("bind");
+    fn builder() -> SessionManagerBuilder {
+        SessionManager::builder(alphabet()).window(16)
+    }
+
+    /// Small pool + short idle timeout so disconnect tests run fast.
+    fn test_config() -> ServeConfig {
+        ServeConfig::default()
+            .shards(2)
+            .workers(2)
+            .idle_timeout(Duration::from_millis(400))
+            .read_timeout(Duration::from_secs(5))
+    }
+
+    fn spawn(config: ServeConfig) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
+        spawn_server(Server::bind(config, builder(), alphabet()).expect("bind"))
+    }
+
+    fn spawn_server(server: Server) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
         let addr = server.local_addr().expect("local addr");
-        let handle = thread::spawn(move || server.serve(Some(conns)).expect("serve"));
+        let handle = thread::spawn(move || server.serve().expect("serve"));
         (addr, handle)
     }
 
-    fn wire_call(stream: &mut TcpStream, op: u8, payload: &[u8]) -> (u8, String) {
-        stream
-            .write_all(&encode_request(op, payload))
-            .expect("send");
-        let (status, payload) = decode_response(stream).expect("response");
-        (status, String::from_utf8(payload).expect("UTF-8 payload"))
+    fn wire_call(addr: SocketAddr, op: u8, payload: &[u8]) -> (u8, Vec<u8>) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&encode_request(op, payload)).expect("send");
+        decode_response(&mut s).expect("decode")
     }
 
-    /// Sends one raw HTTP request and returns the full response text.
-    fn http_call(addr: SocketAddr, request: &str) -> String {
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream.write_all(request.as_bytes()).expect("send");
+    fn wire_shutdown(addr: SocketAddr) {
+        let (status, _) = wire_call(addr, OP_SHUTDOWN, b"");
+        assert_eq!(status, STATUS_OK);
+    }
+
+    fn http_exchange(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(request.as_bytes()).expect("send");
         let mut response = String::new();
-        stream.read_to_string(&mut response).expect("response");
+        s.read_to_string(&mut response).expect("read");
         response
     }
 
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        http_exchange(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
     fn http_post(addr: SocketAddr, path: &str, body: &str) -> String {
-        http_call(
+        http_exchange(
             addr,
             &format!(
-                "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
                 body.len()
             ),
         )
     }
 
     #[test]
-    fn wire_protocol_round_trips_on_one_connection() {
-        let _guard = obs::test_guard();
-        let (addr, handle) = spawn_server(3, 1);
-        let mut stream = TcpStream::connect(addr).expect("connect");
-
-        let (status, body) = wire_call(&mut stream, OP_INGEST, b"alpha\tababab\nbeta\tcdcdcdcd\n");
-        assert_eq!(status, STATUS_OK, "ingest failed: {body}");
-        assert!(body.contains("\"sessions_touched\":2"), "body: {body}");
-        assert!(body.contains("\"symbols_ingested\":14"), "body: {body}");
-        assert!(body.contains("\"created\":2"), "body: {body}");
-
-        let (status, body) = wire_call(&mut stream, OP_QUERY, b"alpha");
-        assert_eq!(status, STATUS_OK, "query failed: {body}");
-        assert!(body.contains("\"session\":\"alpha\""), "body: {body}");
-        assert!(body.contains("\"period\":2"), "body: {body}");
-
-        let (status, body) = wire_call(&mut stream, OP_STATS, b"");
-        assert_eq!(status, STATUS_OK, "stats failed: {body}");
-        assert!(body.contains("\"sessions\": 2"), "body: {body}");
-        assert!(
-            body.contains("\"shard\": 2"),
-            "three shards reported: {body}"
-        );
-        assert!(body.contains("\"uptime_ms\""), "body: {body}");
-        assert!(
-            body.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))),
-            "body: {body}"
-        );
-
-        let (status, _) = wire_call(&mut stream, OP_SHUTDOWN, b"");
+    fn wire_round_trip_then_shutdown() {
+        let (addr, handle) = spawn(test_config());
+        let (status, body) = wire_call(addr, OP_INGEST, b"alpha\tabababab");
         assert_eq!(status, STATUS_OK);
+        let body = String::from_utf8(body).expect("utf8");
+        assert!(body.contains("\"symbols_ingested\":8"), "{body}");
+
+        let (status, body) = wire_call(addr, OP_QUERY, b"alpha");
+        assert_eq!(status, STATUS_OK);
+        let body = String::from_utf8(body).expect("utf8");
+        assert!(body.contains("\"session\":\"alpha\""), "{body}");
+        assert!(body.contains("\"period\":2"), "{body}");
+
+        let (status, body) = wire_call(addr, OP_STATS, b"");
+        assert_eq!(status, STATUS_OK);
+        let body = String::from_utf8(body).expect("utf8");
+        assert!(body.contains("\"sessions\": 1"), "{body}");
+
+        wire_shutdown(addr);
         let summary = handle.join().expect("server thread");
         assert!(summary.shutdown);
-        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.connections, 4);
+        assert_eq!(summary.sniff_rejected, 0);
     }
 
     #[test]
-    fn wire_answers_match_an_offline_manager() {
-        let _guard = obs::test_guard();
-        let (addr, handle) = spawn_server(4, 1);
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        let records = "s1\tabababab\ns2\tcdcdcdcd\ns3\tefefefef\n";
-        let (status, _) = wire_call(&mut stream, OP_INGEST, records.as_bytes());
-        assert_eq!(status, STATUS_OK);
-        let (_, served) = wire_call(&mut stream, OP_QUERY, b"s2");
-        wire_call(&mut stream, OP_SHUTDOWN, b"");
+    fn wire_rejects_unknown_ops_versions_and_sessions() {
+        let (addr, handle) = spawn(test_config());
+        let (status, body) = wire_call(addr, 99, b"");
+        assert_eq!(status, STATUS_ERR);
+        let body = String::from_utf8(body).expect("utf8");
+        assert!(body.contains("unknown op"), "{body}");
+        assert!(body.contains("\"code\":\"bad_request\""), "{body}");
+
+        // A frame claiming wire version 7.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut frame = Vec::new();
+        frame.extend_from_slice(WIRE_MAGIC);
+        frame.extend_from_slice(&7u32.to_le_bytes());
+        frame.push(OP_STATS);
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        s.write_all(&frame).expect("send");
+        let (status, body) = decode_response(&mut s).expect("decode");
+        assert_eq!(status, STATUS_ERR);
+        assert!(String::from_utf8_lossy(&body).contains("version"));
+
+        let (status, body) = wire_call(addr, OP_QUERY, b"ghost");
+        assert_eq!(status, STATUS_ERR);
+        let body = String::from_utf8(body).expect("utf8");
+        let doc = json::parse(&body).expect("error body parses");
+        let error = doc.as_object().unwrap()["error"]
+            .as_object()
+            .unwrap()
+            .clone();
+        assert_eq!(error["code"].as_str(), Some("unknown_session"));
+        assert!(error["message"].as_str().unwrap().contains("ghost"));
+        assert!(error["request_id"].as_u64().is_some());
+
+        wire_shutdown(addr);
         handle.join().expect("server thread");
+    }
 
-        let (builder, alphabet) = builder();
-        let mut offline = builder.build();
-        for line in records.lines() {
-            let (id, symbols) = line.split_once('\t').expect("record");
-            let symbols: Vec<SymbolId> = symbols
-                .chars()
-                .map(|c| alphabet.lookup_char(c).expect("symbol"))
-                .collect();
-            offline
-                .ingest_batch(&[(SessionId::from(id), symbols.as_slice())])
-                .expect("ingest");
+    #[test]
+    fn pipelined_wire_frames_answer_in_submission_order() {
+        let (addr, handle) = spawn(test_config());
+        let (status, _) = wire_call(addr, OP_INGEST, b"s0\tabab\ns1\tabab\ns2\tabab");
+        assert_eq!(status, STATUS_OK);
+
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut burst = Vec::new();
+        for i in 0..3 {
+            burst.extend_from_slice(&encode_request(OP_QUERY, format!("s{i}").as_bytes()));
         }
-        let expected = candidates_json(
-            "s2",
-            &alphabet,
-            &offline.candidates(&SessionId::from("s2")).expect("query"),
-        );
-        assert_eq!(served, expected);
+        s.write_all(&burst).expect("send burst");
+        for i in 0..3 {
+            let (status, body) = decode_response(&mut s).expect("decode");
+            assert_eq!(status, STATUS_OK);
+            let body = String::from_utf8(body).expect("utf8");
+            assert!(
+                body.contains(&format!("\"session\":\"s{i}\"")),
+                "response {i} out of order: {body}"
+            );
+        }
+        drop(s);
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
     }
 
     #[test]
-    fn wire_rejects_bad_frames_without_crashing() {
-        let _guard = obs::test_guard();
-        let (addr, handle) = spawn_server(2, 2);
-
-        // Unknown op: answered on the same connection, loop continues.
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        let (status, body) = wire_call(&mut stream, 99, b"");
-        assert_eq!(status, STATUS_ERR);
-        assert!(body.contains("unknown op"), "body: {body}");
-        let (status, _) = wire_call(&mut stream, OP_STATS, b"");
-        assert_eq!(status, STATUS_OK, "connection should survive unknown op");
-        drop(stream);
-
-        // Bad version: answered, connection dropped, server keeps going.
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        let mut frame = encode_request(OP_STATS, b"");
-        frame[4..8].copy_from_slice(&7u32.to_le_bytes());
-        stream.write_all(&frame).expect("send");
-        let (status, payload) = decode_response(&mut stream).expect("response");
-        assert_eq!(status, STATUS_ERR);
-        assert!(String::from_utf8_lossy(&payload).contains("version"));
-
-        let summary = handle.join().expect("server thread");
-        assert_eq!(summary.connections, 2);
-        assert!(!summary.shutdown);
+    fn partial_frames_across_slow_writes_still_parse() {
+        let (addr, handle) = spawn(test_config());
+        let frame = encode_request(OP_STATS, b"");
+        let mut s = TcpStream::connect(addr).expect("connect");
+        // Dribble the 13-byte frame: 2 bytes (a strict "PW" prefix the
+        // sniffer must wait out), then 5, then the rest.
+        for chunk in [&frame[..2], &frame[2..7], &frame[7..]] {
+            s.write_all(chunk).expect("send chunk");
+            s.flush().expect("flush");
+            thread::sleep(Duration::from_millis(100));
+        }
+        let (status, body) = decode_response(&mut s).expect("decode");
+        assert_eq!(status, STATUS_OK);
+        assert!(String::from_utf8_lossy(&body).contains("shards"));
+        drop(s);
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
     }
 
     #[test]
-    fn http_endpoint_round_trips() {
-        let _guard = obs::test_guard();
-        let (addr, handle) = spawn_server(3, 3);
+    fn idle_wire_connections_are_disconnected() {
+        let (addr, handle) = spawn(test_config().idle_timeout(Duration::from_millis(250)));
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&encode_request(OP_STATS, b"")).expect("send");
+        let (status, _) = decode_response(&mut s).expect("decode");
+        assert_eq!(status, STATUS_OK);
+        // Stay quiet past the idle timeout: the server hangs up.
+        thread::sleep(Duration::from_millis(700));
+        let mut probe = [0u8; 1];
+        assert_eq!(s.read(&mut probe).expect("read after idle"), 0);
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
+    }
 
+    #[test]
+    fn slow_loris_http_heads_get_408() {
+        let (addr, handle) = spawn(test_config().read_timeout(Duration::from_millis(300)));
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /stats HT").expect("send prefix");
+        // ... and never finish the request line.
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        assert!(response.contains("\"code\":\"timeout\""), "{response}");
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn slow_loris_wire_frames_get_a_timeout_error() {
+        let (addr, handle) = spawn(test_config().read_timeout(Duration::from_millis(300)));
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let frame = encode_request(OP_STATS, b"");
+        s.write_all(&frame[..6]).expect("send partial frame");
+        // Stall mid-version-field past the request deadline.
+        let (status, body) = decode_response(&mut s).expect("decode");
+        assert_eq!(status, STATUS_ERR);
+        assert!(String::from_utf8_lossy(&body).contains("\"code\":\"timeout\""));
+        let mut probe = [0u8; 1];
+        assert_eq!(s.read(&mut probe).expect("read after timeout"), 0);
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn http_round_trip_with_structured_errors() {
+        let (addr, handle) = spawn(test_config());
         let response = http_post(
             addr,
             "/ingest",
-            r#"{"records":[{"session":"web","symbols":"abababab"},{"session":"db","symbols":"cdcd"}]}"#,
+            r#"{"records": [{"session": "web", "symbols": "abcabcabc"}]}"#,
         );
         assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        assert!(response.contains("\"sessions_touched\":2"), "{response}");
-        assert!(response.contains("\"symbols_ingested\":12"), "{response}");
+        assert!(response.contains("X-Request-Id:"), "{response}");
+        assert!(response.contains("\"symbols_ingested\":9"), "{response}");
 
-        let response = http_post(addr, "/query", r#"{"session":"web"}"#);
-        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        assert!(response.contains("\"session\":\"web\""), "{response}");
-        assert!(response.contains("\"period\":2"), "{response}");
+        let response = http_post(addr, "/query", r#"{"session": "web"}"#);
+        assert!(response.contains("\"period\":3"), "{response}");
 
-        let response = http_call(addr, "GET /stats HTTP/1.1\r\nHost: test\r\n\r\n");
-        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        assert!(response.contains("\"sessions\": 2"), "{response}");
-        assert!(response.contains("X-Request-Id: "), "{response}");
-
-        let summary = handle.join().expect("server thread");
-        assert_eq!(summary.connections, 3);
-    }
-
-    #[test]
-    fn http_errors_carry_json_bodies_and_statuses() {
-        let _guard = obs::test_guard();
-        let (addr, handle) = spawn_server(2, 4);
-
-        let response = http_post(addr, "/query", r#"{"session":"ghost"}"#);
+        let response = http_post(addr, "/query", r#"{"session": "ghost"}"#);
         assert!(response.starts_with("HTTP/1.1 404"), "{response}");
-        assert!(response.contains("unknown session"), "{response}");
+        assert!(
+            response.contains("\"code\":\"unknown_session\""),
+            "{response}"
+        );
+        assert!(response.contains("\"request_id\":"), "{response}");
 
-        let response = http_post(addr, "/ingest", "not json");
+        let response = http_post(addr, "/query", "not json");
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
         assert!(response.contains("\"error\""), "{response}");
 
-        let response = http_call(addr, "DELETE /everything HTTP/1.1\r\nHost: t\r\n\r\n");
+        let response = http_get(addr, "/nowhere");
         assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        assert!(response.contains("\"code\":\"not_found\""), "{response}");
 
-        // Garbage that is neither PWIR nor HTTP gets a structured 400.
-        let response = http_call(addr, "??\r\n\r\n");
-        assert!(response.starts_with("HTTP/1.1 4"), "{response}");
+        let response = http_get(addr, "/stats");
+        assert!(response.contains("\"sessions\": 1"), "{response}");
+
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn non_http11_and_garbage_requests_are_closed() {
+        let (addr, handle) = spawn(test_config());
+        // HTTP/1.0 gets served but not kept alive.
+        let response = http_exchange(addr, "GET /stats HTTP/1.0\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
+        // Garbage that is not the wire protocol parses as a bad request
+        // line and earns a JSON error, not a hang.
+        let response = http_exchange(addr, "?? garbage\r\n\r\n");
+        assert!(response.contains("\"error\""), "{response}");
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn keep_alive_disabled_closes_after_one_request() {
+        let (addr, handle) = spawn(test_config().keep_alive(false));
+        let response = http_exchange(
+            addr,
+            "GET /stats HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("Connection: close"), "{response}");
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn typed_clients_round_trip_and_agree_across_protocols() {
+        let (addr, handle) = spawn(test_config());
+        let mut wire = ClientBuilder::new(addr.to_string()).wire().build();
+        let summary = wire
+            .ingest(&[
+                IngestRecord::new("web", "ababababab"),
+                IngestRecord::new("api", "abcabcabc"),
+            ])
+            .expect("ingest");
+        assert_eq!(summary.symbols_ingested, 19);
+        assert_eq!(summary.created, 2);
+
+        let mut http = ClientBuilder::new(addr.to_string()).http().build();
+        let stats = http.stats().expect("stats");
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.shards.len(), 2);
+
+        // Both protocols see bit-identical answers for the same query.
+        let from_wire = wire.query("web").expect("wire query");
+        let from_http = http.query("web").expect("http query");
+        assert_eq!(from_wire, from_http);
+        assert!(from_wire.candidates.iter().any(|c| c.period == 2));
+
+        // Keep-alive: each client multiplexed its calls over one
+        // still-open connection.
+        assert!(wire.is_connected());
+        assert!(http.is_connected());
+
+        wire.shutdown().expect("shutdown");
+        let summary = handle.join().expect("server thread");
+        assert!(summary.shutdown);
+        assert_eq!(summary.connections, 2);
+    }
+
+    #[test]
+    fn drain_on_shutdown_answers_in_flight_connections() {
+        let (addr, handle) = spawn(test_config());
+        let mut a = TcpStream::connect(addr).expect("connect A");
+        a.write_all(&encode_request(OP_INGEST, b"drain\tabababab"))
+            .expect("send ingest");
+        let (status, _) = decode_response(&mut a).expect("decode ingest");
+        assert_eq!(status, STATUS_OK);
+
+        wire_shutdown(addr); // connection B
+        thread::sleep(Duration::from_millis(50));
+
+        // A is still open across the shutdown: its next request is
+        // answered before the server closes it.
+        a.write_all(&encode_request(OP_QUERY, b"drain"))
+            .expect("send query");
+        let (status, body) = decode_response(&mut a).expect("decode query");
+        assert_eq!(status, STATUS_OK);
+        assert!(String::from_utf8_lossy(&body).contains("\"period\":2"));
+        let mut probe = [0u8; 1];
+        assert_eq!(a.read(&mut probe).expect("read after drain"), 0);
 
         let summary = handle.join().expect("server thread");
-        assert_eq!(summary.connections, 4);
-        assert!(!summary.shutdown);
-    }
-
-    /// Forwards everything to a [`MetricsRecorder`] while keeping each raw
-    /// histogram sample, so tests can compare the bucketed quantiles the
-    /// server exposes against exact percentiles over the same samples.
-    struct TeeRecorder {
-        inner: Arc<MetricsRecorder>,
-        raw: std::sync::Mutex<Vec<(Hist, u64)>>,
-    }
-
-    impl obs::Recorder for TeeRecorder {
-        fn add(&self, counter: obs::Counter, delta: u64) {
-            self.inner.add(counter, delta);
-        }
-
-        fn record_duration(&self, hist: Hist, value: u64) {
-            self.raw.lock().expect("tee").push((hist, value));
-            self.inner.record_duration(hist, value);
-        }
-
-        fn record_event(&self, kind: EventKind, target: &str, value: u64) {
-            self.inner.record_event(kind, target, value);
-        }
+        assert!(summary.shutdown);
+        assert_eq!(summary.connections, 2);
     }
 
     #[test]
-    fn metrics_quantiles_agree_with_exact_percentiles() {
-        let _guard = obs::test_guard();
-        let rec = Arc::new(MetricsRecorder::new());
-        let tee = Arc::new(TeeRecorder {
-            inner: rec.clone(),
-            raw: std::sync::Mutex::new(Vec::new()),
-        });
-        obs::install(tee.clone());
+    fn sniff_rejected_connections_do_not_count_toward_the_cap() {
+        let config = test_config()
+            .idle_timeout(Duration::from_millis(200))
+            .max_conns(Some(1));
+        let (addr, handle) = spawn(config);
+        // Connect and hang up without a byte: sniff-rejected.
+        drop(TcpStream::connect(addr).expect("connect"));
+        thread::sleep(Duration::from_millis(50));
+        // The cap slot is still free for a real connection.
+        let (status, _) = wire_call(addr, OP_STATS, b"");
+        assert_eq!(status, STATUS_OK);
+        let summary = handle.join().expect("server thread");
+        assert!(!summary.shutdown);
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.sniff_rejected, 1);
+    }
 
-        let (builder, alphabet) = builder();
-        let manager = ShardedSessionManager::new(builder, 2);
-        let server = Server::bind("127.0.0.1:0", manager, alphabet)
+    #[test]
+    fn metrics_and_flight_recorder_are_served() {
+        let _guard = periodica_obs::test_guard();
+        let rec = Arc::new(MetricsRecorder::new());
+        periodica_obs::install(rec.clone());
+        let server = Server::bind(test_config().slow_request_ns(0), builder(), alphabet())
             .expect("bind")
             .with_recorder(rec.clone());
-        let addr = server.local_addr().expect("local addr");
-        let handle = thread::spawn(move || server.serve(Some(2)).expect("serve"));
+        let (addr, handle) = spawn_server(server);
 
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        let (status, _) = wire_call(&mut stream, OP_INGEST, b"alpha\tabababab\n");
+        let (status, _) = wire_call(addr, OP_INGEST, b"m\tabababab");
         assert_eq!(status, STATUS_OK);
-        for _ in 0..120 {
-            let (status, _) = wire_call(&mut stream, OP_QUERY, b"alpha");
-            assert_eq!(status, STATUS_OK);
-        }
-        drop(stream); // clean EOF ends connection 1
 
-        let response = http_call(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
-        obs::uninstall();
+        let response = http_get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains(PROM_CONTENT_TYPE), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).expect("metrics body");
+        let summary = prom::check_exposition(body).expect("valid exposition");
+        assert_eq!(summary.histograms, Hist::ALL.len());
+        assert!(
+            body.contains("periodica_serve_conns_accepted_total"),
+            "{body}"
+        );
+        assert!(
+            body.contains("periodica_serve_conn_queue_wait_ns"),
+            "{body}"
+        );
+
+        // slow_request_ns(0) records every request; the wire ingest above
+        // must be in the flight ring with its protocol/endpoint/id target.
+        let response = http_get(addr, "/debug/events");
+        assert!(response.contains("wire ingest req="), "{response}");
+
+        wire_shutdown(addr);
         handle.join().expect("server thread");
-
-        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
-        let body = response.split("\r\n\r\n").nth(1).expect("body");
-        let summary = prom::check_exposition(body).expect("exposition is well-formed");
-        assert_eq!(summary.histograms, Hist::COUNT);
-        assert!(body.contains("periodica_build_info"), "{body}");
-        assert!(body.contains("periodica_sessions 1"), "{body}");
-
-        let series = prom::parse_histogram(body, "periodica_serve_query_wire_latency_ns")
-            .expect("query latency series");
-        let mut raw: Vec<u64> = tee
-            .raw
-            .lock()
-            .expect("tee")
-            .iter()
-            .filter(|(h, _)| *h == Hist::ServeQueryWireNs)
-            .map(|&(_, v)| v)
-            .collect();
-        raw.sort_unstable();
-        assert_eq!(series.total, raw.len() as u64);
-        assert_eq!(raw.len(), 120);
-        for q in [0.5, 0.9, 0.99] {
-            let est = prom::estimate_quantile(&series, q);
-            let rank = ((q * raw.len() as f64).ceil() as usize).clamp(1, raw.len());
-            let exact = raw[rank - 1];
-            let tolerance = (exact as f64 * periodica_obs::Histogram::RELATIVE_ERROR) as u64 + 1;
-            assert!(
-                est.abs_diff(exact) <= tolerance,
-                "q={q}: estimated {est} vs exact {exact} (tolerance {tolerance})"
-            );
-        }
-    }
-
-    #[test]
-    fn debug_events_capture_slow_requests_and_evictions() {
-        let _guard = obs::test_guard();
-        let rec = Arc::new(MetricsRecorder::new());
-        obs::install(rec.clone());
-
-        let alphabet = Alphabet::latin(26).expect("latin alphabet");
-        let builder = SessionManager::builder(alphabet.clone()).window(16).policy(
-            periodica_core::EvictionPolicy {
-                max_sessions: Some(1),
-                max_resident_bytes: None,
-            },
-        );
-        let manager = ShardedSessionManager::new(builder, 1);
-        let server = Server::bind("127.0.0.1:0", manager, alphabet)
-            .expect("bind")
-            .with_recorder(rec.clone())
-            .with_slow_threshold_ns(0); // every request is "slow"
-        let addr = server.local_addr().expect("local addr");
-        let handle = thread::spawn(move || server.serve(Some(2)).expect("serve"));
-
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        let (status, _) = wire_call(&mut stream, OP_INGEST, b"a\tabab\nb\tcdcd\nc\tefef\n");
-        assert_eq!(status, STATUS_OK);
-        drop(stream);
-
-        let response = http_call(addr, "GET /debug/events HTTP/1.1\r\nHost: t\r\n\r\n");
-        obs::uninstall();
-        handle.join().expect("server thread");
-
-        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
-        let body = response.split("\r\n\r\n").nth(1).expect("body");
-        let doc = json::parse(body).expect("valid json");
-        let obj = doc.as_object().expect("object");
-        assert_eq!(obj.get("dropped").and_then(|v| v.as_u64()), Some(0));
-        let json::Value::Array(events) = obj.get("events").expect("events") else {
-            panic!("events is not an array: {body}");
-        };
-        let kind_of = |ev: &json::Value| -> String {
-            ev.as_object()
-                .and_then(|o| o.get("kind"))
-                .and_then(|v| v.as_str())
-                .expect("kind")
-                .to_string()
-        };
-        assert!(
-            events.iter().any(|e| kind_of(e) == "eviction"),
-            "no eviction event: {body}"
-        );
-        let slow: Vec<&json::Value> = events
-            .iter()
-            .filter(|e| kind_of(e) == "slow_request")
-            .collect();
-        assert!(!slow.is_empty(), "no slow_request event: {body}");
-        let target = slow[0]
-            .as_object()
-            .and_then(|o| o.get("target"))
-            .and_then(|v| v.as_str())
-            .expect("target");
-        assert!(
-            target.starts_with("wire ingest req="),
-            "unexpected target {target:?}"
-        );
-        let seqs: Vec<u64> = events
-            .iter()
-            .map(|e| {
-                e.as_object()
-                    .and_then(|o| o.get("seq"))
-                    .and_then(|v| v.as_u64())
-                    .expect("seq")
-            })
-            .collect();
-        assert!(
-            seqs.windows(2).all(|w| w[0] < w[1]),
-            "seqs not monotone: {seqs:?}"
-        );
+        periodica_obs::uninstall();
     }
 
     #[test]
     fn observability_endpoints_answer_503_without_a_recorder() {
-        let _guard = obs::test_guard();
-        let (addr, handle) = spawn_server(1, 2);
+        let (addr, handle) = spawn(test_config());
+        for path in ["/metrics", "/debug/events"] {
+            let response = http_get(addr, path);
+            assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+            assert!(
+                response.contains("telemetry recorder not installed"),
+                "{response}"
+            );
+            assert!(response.contains("\"code\":\"unavailable\""), "{response}");
+        }
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
+    }
 
-        let response = http_call(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
-        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
-        assert!(
-            response.contains("telemetry recorder not installed"),
-            "{response}"
-        );
+    #[test]
+    fn keep_alive_counts_reuse_and_queue_metrics_flow() {
+        let _guard = periodica_obs::test_guard();
+        let rec = Arc::new(MetricsRecorder::new());
+        periodica_obs::install(rec.clone());
+        let server = Server::bind(test_config(), builder(), alphabet())
+            .expect("bind")
+            .with_recorder(rec.clone());
+        let (addr, handle) = spawn_server(server);
 
-        let response = http_call(addr, "GET /debug/events HTTP/1.1\r\nHost: t\r\n\r\n");
-        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        let mut http = ClientBuilder::new(addr.to_string()).http().build();
+        http.ingest(&[IngestRecord::new("ka", "abababab")])
+            .expect("ingest");
+        http.stats().expect("stats");
+        http.query("ka").expect("query");
+        assert!(http.is_connected());
 
-        let summary = handle.join().expect("server thread");
-        assert_eq!(summary.connections, 2);
+        // Three requests over one connection = two keep-alive reuses.
+        assert!(rec.counter(obs::Counter::ServeKeepaliveRequests) >= 2);
+        assert!(rec.counter(obs::Counter::ServeConnsAccepted) >= 1);
+        // Every dispatched connection passed through the pending queue.
+        assert!(rec.counter(obs::Counter::ServeConnQueueDepthPeak) >= 1);
+        assert!(rec.hist(Hist::ServeConnQueueWaitNs).report().count >= 1);
+
+        wire_shutdown(addr);
+        handle.join().expect("server thread");
+        periodica_obs::uninstall();
     }
 }

@@ -1,0 +1,215 @@
+//! The client's single error surface.
+//!
+//! Transport problems surface as [`ClientError::Io`], malformed peer
+//! output as [`ClientError::Protocol`], and well-formed server error
+//! responses — wire `STATUS_ERR` frames and non-2xx HTTP statuses —
+//! as [`ClientError::Remote`] with the server's machine-readable
+//! [`ErrorCode`], message, and request id preserved.
+
+use std::fmt;
+
+use periodica_obs::json;
+
+/// Machine-readable category of a server-side error, mirroring the
+/// `"code"` field of the server's structured JSON error bodies and the
+/// HTTP status the server would pick for it.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed (HTTP 400, code `bad_request`).
+    BadRequest,
+    /// The named session does not exist (HTTP 404, code
+    /// `unknown_session`).
+    UnknownSession,
+    /// No route for the requested method/path (HTTP 404, code
+    /// `not_found`).
+    NotFound,
+    /// The client took too long to send a request (HTTP 408, code
+    /// `timeout`).
+    Timeout,
+    /// The requested facility is not enabled on the server (HTTP 503,
+    /// code `unavailable`).
+    Unavailable,
+    /// The server failed internally (HTTP 500, code `internal`).
+    Internal,
+    /// A code this client build does not know. The raw string is kept
+    /// so callers can still branch on it.
+    Other,
+}
+
+impl ErrorCode {
+    /// Parses the server's `"code"` string.
+    pub fn parse(code: &str) -> ErrorCode {
+        match code {
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_session" => ErrorCode::UnknownSession,
+            "not_found" => ErrorCode::NotFound,
+            "timeout" => ErrorCode::Timeout,
+            "unavailable" => ErrorCode::Unavailable,
+            "internal" | "io" => ErrorCode::Internal,
+            _ => ErrorCode::Other,
+        }
+    }
+
+    /// The closest category for a bare HTTP status (used when a
+    /// response carries no structured body).
+    pub fn from_http_status(status: u16) -> ErrorCode {
+        match status {
+            400 => ErrorCode::BadRequest,
+            404 => ErrorCode::NotFound,
+            408 => ErrorCode::Timeout,
+            503 => ErrorCode::Unavailable,
+            500..=599 => ErrorCode::Internal,
+            _ => ErrorCode::Other,
+        }
+    }
+}
+
+/// Everything that can go wrong talking to a periodica server.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed: connect, read, or write.
+    Io(std::io::Error),
+    /// The peer sent bytes this client could not make sense of
+    /// (bad frame magic, unparseable HTTP, malformed JSON).
+    Protocol(String),
+    /// The server answered with an error.
+    Remote {
+        /// Machine-readable error category.
+        code: ErrorCode,
+        /// HTTP status (wire errors map to their HTTP equivalent).
+        status: u16,
+        /// Human-readable message from the server.
+        message: String,
+        /// The server's request id, when the body carried one.
+        request_id: Option<u64>,
+    },
+}
+
+impl ClientError {
+    /// Builds a [`ClientError::Remote`] from a structured JSON error
+    /// body (`{"error": {"code", "message", "request_id"}}`), falling
+    /// back to the raw text as the message when the body is not in
+    /// that shape.
+    pub(crate) fn from_error_body(status: u16, body: &str) -> ClientError {
+        let parsed = json::parse(body).ok().and_then(|doc| {
+            let error = doc.as_object()?.get("error")?.as_object()?.clone();
+            let code = error
+                .get("code")
+                .and_then(|v| v.as_str())
+                .map(ErrorCode::parse)
+                .unwrap_or_else(|| ErrorCode::from_http_status(status));
+            let message = error
+                .get("message")
+                .and_then(|v| v.as_str())
+                .unwrap_or(body)
+                .to_string();
+            let request_id = error.get("request_id").and_then(|v| v.as_u64());
+            Some((code, message, request_id))
+        });
+        // Older servers answered `{"error": "message"}`.
+        let parsed = parsed.or_else(|| {
+            let doc = json::parse(body).ok()?;
+            let message = doc.as_object()?.get("error")?.as_str()?.to_string();
+            Some((ErrorCode::from_http_status(status), message, None))
+        });
+        let (code, message, request_id) = parsed.unwrap_or_else(|| {
+            (
+                ErrorCode::from_http_status(status),
+                body.trim().to_string(),
+                None,
+            )
+        });
+        ClientError::Remote {
+            code,
+            status,
+            message,
+            request_id,
+        }
+    }
+
+    /// Whether retrying the request on a fresh connection could help:
+    /// transport errors only, never server verdicts.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Io(_))
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Remote {
+                status,
+                message,
+                request_id,
+                ..
+            } => {
+                write!(f, "server error {status}: {message}")?;
+                if let Some(id) = request_id {
+                    write!(f, " (request {id})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_bodies_parse_to_remote_errors() {
+        let body = r#"{"error":{"code":"unknown_session","message":"unknown session \"x\"","request_id":7}}"#;
+        let ClientError::Remote {
+            code,
+            status,
+            message,
+            request_id,
+        } = ClientError::from_error_body(404, body)
+        else {
+            panic!("expected Remote");
+        };
+        assert_eq!(code, ErrorCode::UnknownSession);
+        assert_eq!(status, 404);
+        assert_eq!(message, "unknown session \"x\"");
+        assert_eq!(request_id, Some(7));
+    }
+
+    #[test]
+    fn legacy_and_unstructured_bodies_still_map() {
+        let ClientError::Remote { code, message, .. } =
+            ClientError::from_error_body(400, r#"{"error":"bad body"}"#)
+        else {
+            panic!("expected Remote");
+        };
+        assert_eq!(code, ErrorCode::BadRequest);
+        assert_eq!(message, "bad body");
+
+        let ClientError::Remote { code, message, .. } =
+            ClientError::from_error_body(500, "plain text")
+        else {
+            panic!("expected Remote");
+        };
+        assert_eq!(code, ErrorCode::Internal);
+        assert_eq!(message, "plain text");
+    }
+}

@@ -1,0 +1,777 @@
+//! # periodica-client
+//!
+//! A typed, blocking client for the `periodica serve` endpoint. The
+//! server speaks two protocols on one TCP port — the length-prefixed
+//! PWIR [`wire`] protocol and HTTP/1.1 + JSON — and this crate drives
+//! either through the same [`Client`] surface:
+//!
+//! ```no_run
+//! use periodica_client::{ClientBuilder, IngestRecord};
+//!
+//! let mut client = ClientBuilder::new("127.0.0.1:7734").build();
+//! let summary = client.ingest(&[
+//!     IngestRecord::new("web", "abababab"),
+//!     IngestRecord::new("db", "cdcdcdcd"),
+//! ])?;
+//! assert_eq!(summary.sessions_touched, 2);
+//! let answer = client.query("web")?;
+//! for c in &answer.candidates {
+//!     println!("{} every {} (bound {:.2})", c.symbol, c.period, c.confidence_bound);
+//! }
+//! let stats = client.stats()?;
+//! println!("{} sessions over {} shards", stats.sessions, stats.shards.len());
+//! # Ok::<(), periodica_client::ClientError>(())
+//! ```
+//!
+//! The client holds one connection and reuses it across requests
+//! (HTTP keep-alive / wire pipelining on the server side). If a
+//! *reused* connection turns out to be dead — the server restarted, an
+//! idle timeout closed it — the client transparently reconnects and
+//! retries the request once ([`ClientBuilder::retry`] disables this).
+//! Server verdicts (4xx/5xx, wire `STATUS_ERR`) are never retried;
+//! they surface as [`ClientError::Remote`] with the server's error
+//! code and request id intact.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod wire;
+
+pub use error::{ClientError, ErrorCode};
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use periodica_obs::json;
+
+/// Largest accepted HTTP response head (status line + headers).
+const MAX_HEAD: usize = 64 << 10;
+
+/// Which of the server's two framings this client speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Length-prefixed PWIR frames (the compact default).
+    Wire,
+    /// HTTP/1.1 with JSON bodies (curl-compatible).
+    Http,
+}
+
+/// One `(session, symbols)` record of an ingest batch. Symbols are the
+/// same single-character alphabet encoding the CLI uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestRecord {
+    /// The session to append to (created on first touch).
+    pub session: String,
+    /// The symbols to append, one character each.
+    pub symbols: String,
+}
+
+impl IngestRecord {
+    /// Builds one record.
+    pub fn new(session: impl Into<String>, symbols: impl Into<String>) -> IngestRecord {
+        IngestRecord {
+            session: session.into(),
+            symbols: symbols.into(),
+        }
+    }
+}
+
+/// What one ingest batch did, as reported by the server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Distinct sessions the batch touched.
+    pub sessions_touched: u64,
+    /// Total symbols accepted across the batch.
+    pub symbols_ingested: u64,
+    /// Sessions created for the first time by this batch.
+    pub created: u64,
+    /// Parked sessions transparently rehydrated by this batch.
+    pub restored: u64,
+    /// Sessions parked by budget enforcement during this batch.
+    pub evicted: u64,
+}
+
+/// One candidate periodicity from a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The candidate period.
+    pub period: u64,
+    /// The symbol (alphabet name) showing the periodicity.
+    pub symbol: String,
+    /// Matching positions observed so far.
+    pub matches: u64,
+    /// Upper bound on the candidate's confidence.
+    pub confidence_bound: f64,
+}
+
+/// A query answer: the session asked about and its candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The session the answer is about.
+    pub session: String,
+    /// Candidate periodicities, strongest first (server order).
+    pub candidates: Vec<Candidate>,
+}
+
+/// One shard's resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: u64,
+    /// Sessions resident in memory.
+    pub resident: u64,
+    /// Sessions parked as snapshots.
+    pub parked: u64,
+    /// Estimated bytes held by resident sessions.
+    pub resident_bytes: u64,
+}
+
+/// The server's `stats` answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsResponse {
+    /// Sessions tracked across all shards (resident + parked).
+    pub sessions: u64,
+    /// Per-shard usage, in shard order.
+    pub shards: Vec<ShardStat>,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// The server's crate version.
+    pub version: String,
+}
+
+/// Configures and constructs a [`Client`] — the same builder idiom as
+/// the rest of the workspace.
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: String,
+    protocol: Protocol,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    retry: bool,
+}
+
+impl ClientBuilder {
+    /// Starts a builder for the server at `addr` (`host:port`), with
+    /// the wire protocol, 5s connect / 30s I/O timeouts, and
+    /// retry-on-reconnect enabled.
+    pub fn new(addr: impl Into<String>) -> ClientBuilder {
+        ClientBuilder {
+            addr: addr.into(),
+            protocol: Protocol::Wire,
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            retry: true,
+        }
+    }
+
+    /// Selects the framing to speak.
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Shorthand for [`Protocol::Http`].
+    pub fn http(self) -> Self {
+        self.protocol(Protocol::Http)
+    }
+
+    /// Shorthand for [`Protocol::Wire`] (the default).
+    pub fn wire(self) -> Self {
+        self.protocol(Protocol::Wire)
+    }
+
+    /// Caps how long a connect attempt may take.
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Caps how long any single read or write may take.
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Whether a request that fails with a transport error on a
+    /// *reused* connection is retried once on a fresh one (default
+    /// `true`). Requests on fresh connections are never retried.
+    pub fn retry(mut self, retry: bool) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Finalizes the client. No connection is made until the first
+    /// request.
+    pub fn build(self) -> Client {
+        Client {
+            config: self,
+            stream: None,
+        }
+    }
+}
+
+/// A blocking connection-reusing client; see the [crate docs](self).
+#[derive(Debug)]
+pub struct Client {
+    config: ClientBuilder,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// The protocol this client speaks.
+    pub fn protocol(&self) -> Protocol {
+        self.config.protocol
+    }
+
+    /// Whether a live connection is currently held.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Ingests one batch of records.
+    pub fn ingest(&mut self, records: &[IngestRecord]) -> Result<IngestSummary, ClientError> {
+        let body = match self.config.protocol {
+            Protocol::Wire => {
+                let mut lines = String::new();
+                for r in records {
+                    lines.push_str(&r.session);
+                    lines.push('\t');
+                    lines.push_str(&r.symbols);
+                    lines.push('\n');
+                }
+                self.call_wire(wire::OP_INGEST, lines.into_bytes())?
+            }
+            Protocol::Http => {
+                let records: Vec<json::Value> = records
+                    .iter()
+                    .map(|r| {
+                        json::Value::object([
+                            ("session", json::Value::Str(r.session.clone())),
+                            ("symbols", json::Value::Str(r.symbols.clone())),
+                        ])
+                    })
+                    .collect();
+                let body = json::Value::object([("records", json::Value::Array(records))])
+                    .to_json_string();
+                self.call_http("POST", "/ingest", Some(body))?
+            }
+        };
+        parse_ingest_summary(&body)
+    }
+
+    /// Queries one session's candidate periods.
+    pub fn query(&mut self, session: &str) -> Result<QueryResponse, ClientError> {
+        let body = match self.config.protocol {
+            Protocol::Wire => self.call_wire(wire::OP_QUERY, session.as_bytes().to_vec())?,
+            Protocol::Http => {
+                let body = json::Value::object([("session", json::Value::Str(session.into()))])
+                    .to_json_string();
+                self.call_http("POST", "/query", Some(body))?
+            }
+        };
+        parse_query_response(&body)
+    }
+
+    /// Fetches per-shard resource usage.
+    pub fn stats(&mut self) -> Result<StatsResponse, ClientError> {
+        let body = match self.config.protocol {
+            Protocol::Wire => self.call_wire(wire::OP_STATS, Vec::new())?,
+            Protocol::Http => self.call_http("GET", "/stats", None)?,
+        };
+        parse_stats_response(&body)
+    }
+
+    /// Asks the server to finish draining and stop accepting new
+    /// connections. Wire protocol only.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.config.protocol {
+            Protocol::Wire => {
+                self.call_wire(wire::OP_SHUTDOWN, Vec::new())?;
+                // The server closes after honouring SHUTDOWN.
+                self.stream = None;
+                Ok(())
+            }
+            Protocol::Http => Err(ClientError::Protocol(
+                "shutdown is a wire-protocol op; build the client with .wire()".into(),
+            )),
+        }
+    }
+
+    /// Drops the held connection; the next request reconnects.
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    /// Runs `io` against a connected stream, reconnecting and retrying
+    /// once if a *reused* connection fails with a transport error.
+    fn call<T>(
+        &mut self,
+        io: impl Fn(&mut TcpStream) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let reused = self.stream.is_some();
+        let stream = self.connected()?;
+        match io(stream) {
+            Ok(value) => Ok(value),
+            Err(e) if e.is_transport() && reused && self.config.retry => {
+                self.stream = None;
+                let stream = self.connected()?;
+                io(stream).inspect_err(|_| self.stream = None)
+            }
+            Err(e) => {
+                // A transport or framing failure leaves the stream in an
+                // unknown state; server verdicts leave it reusable.
+                if !matches!(e, ClientError::Remote { .. }) {
+                    self.stream = None;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn call_wire(&mut self, op: u8, payload: Vec<u8>) -> Result<String, ClientError> {
+        let frame = wire::encode_request(op, &payload);
+        let response = self.call(move |stream| {
+            stream.write_all(&frame)?;
+            Ok(wire::decode_response(stream)?)
+        })?;
+        let (status, payload) = response;
+        let body = String::from_utf8(payload)
+            .map_err(|_| ClientError::Protocol("response payload is not UTF-8".into()))?;
+        match status {
+            wire::STATUS_OK => Ok(body),
+            wire::STATUS_ERR => Err(wire_error(&body)),
+            other => Err(ClientError::Protocol(format!(
+                "unknown response status {other}"
+            ))),
+        }
+    }
+
+    fn call_http(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+    ) -> Result<String, ClientError> {
+        let host = self.config.addr.clone();
+        let request = {
+            let body = body.as_deref().unwrap_or("");
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: {host}\r\n\
+                 Content-Type: application/json\r\nContent-Length: {}\r\n\
+                 Connection: keep-alive\r\n\r\n{body}",
+                body.len()
+            )
+        };
+        let (status, close, body) = self.call(move |stream| {
+            stream.write_all(request.as_bytes())?;
+            read_http_response(stream)
+        })?;
+        if close {
+            self.stream = None;
+        }
+        if (200..300).contains(&status) {
+            Ok(body)
+        } else {
+            Err(ClientError::from_error_body(status, &body))
+        }
+    }
+
+    fn connected(&mut self) -> Result<&mut TcpStream, ClientError> {
+        if self.stream.is_none() {
+            let addrs: Vec<SocketAddr> = self
+                .config
+                .addr
+                .to_socket_addrs()
+                .map_err(ClientError::Io)?
+                .collect();
+            let mut last = None;
+            for addr in addrs {
+                match TcpStream::connect_timeout(&addr, self.config.connect_timeout) {
+                    Ok(stream) => {
+                        stream.set_read_timeout(Some(self.config.io_timeout))?;
+                        stream.set_write_timeout(Some(self.config.io_timeout))?;
+                        stream.set_nodelay(true)?;
+                        self.stream = Some(stream);
+                        last = None;
+                        break;
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            if let Some(e) = last {
+                return Err(ClientError::Io(e));
+            }
+            if self.stream.is_none() {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::AddrNotAvailable,
+                    format!("{:?} resolved to no addresses", self.config.addr),
+                )));
+            }
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+}
+
+/// Maps a wire `STATUS_ERR` body to [`ClientError::Remote`], deriving
+/// the HTTP-equivalent status from the structured code when present.
+fn wire_error(body: &str) -> ClientError {
+    let status = json::parse(body)
+        .ok()
+        .and_then(|doc| {
+            let code = doc
+                .as_object()?
+                .get("error")?
+                .as_object()?
+                .get("code")?
+                .as_str()?
+                .to_string();
+            Some(match code.as_str() {
+                "bad_request" => 400,
+                "unknown_session" | "not_found" => 404,
+                "timeout" => 408,
+                "unavailable" => 503,
+                _ => 500,
+            })
+        })
+        .unwrap_or(500);
+    ClientError::from_error_body(status, body)
+}
+
+/// Reads one HTTP/1.1 response. Returns `(status, connection_close,
+/// body)`.
+fn read_http_response(stream: &mut TcpStream) -> Result<(u16, bool, String), ClientError> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(ClientError::Protocol("response head too large".into()));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                )))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(ClientError::Io(e)),
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| ClientError::Protocol("response head is not UTF-8".into()))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("bad content-length {value:?}")))?;
+            if content_length > wire::MAX_PAYLOAD as usize {
+                return Err(ClientError::Protocol("response body too large".into()));
+            }
+        } else if name == "connection" {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(ClientError::Io)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?;
+    Ok((status, close, body))
+}
+
+fn number(value: &json::Value) -> Option<f64> {
+    match value {
+        json::Value::Int(n) => Some(*n as f64),
+        json::Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn field_u64(obj: &std::collections::BTreeMap<String, json::Value>, key: &str) -> u64 {
+    obj.get(key).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn parse_ingest_summary(body: &str) -> Result<IngestSummary, ClientError> {
+    let doc = json::parse(body).map_err(ClientError::Protocol)?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| ClientError::Protocol("ingest answer is not an object".into()))?;
+    Ok(IngestSummary {
+        sessions_touched: field_u64(obj, "sessions_touched"),
+        symbols_ingested: field_u64(obj, "symbols_ingested"),
+        created: field_u64(obj, "created"),
+        restored: field_u64(obj, "restored"),
+        evicted: field_u64(obj, "evicted"),
+    })
+}
+
+fn parse_query_response(body: &str) -> Result<QueryResponse, ClientError> {
+    let doc = json::parse(body).map_err(ClientError::Protocol)?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| ClientError::Protocol("query answer is not an object".into()))?;
+    let session = obj
+        .get("session")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ClientError::Protocol("query answer is missing \"session\"".into()))?
+        .to_string();
+    let mut candidates = Vec::new();
+    if let Some(json::Value::Array(items)) = obj.get("candidates") {
+        for item in items {
+            let c = item
+                .as_object()
+                .ok_or_else(|| ClientError::Protocol("candidate is not an object".into()))?;
+            candidates.push(Candidate {
+                period: field_u64(c, "period"),
+                symbol: c
+                    .get("symbol")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+                matches: field_u64(c, "matches"),
+                confidence_bound: c
+                    .get("confidence_bound")
+                    .and_then(number)
+                    .unwrap_or_default(),
+            });
+        }
+    }
+    Ok(QueryResponse {
+        session,
+        candidates,
+    })
+}
+
+fn parse_stats_response(body: &str) -> Result<StatsResponse, ClientError> {
+    let doc = json::parse(body).map_err(ClientError::Protocol)?;
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| ClientError::Protocol("stats answer is not an object".into()))?;
+    let mut shards = Vec::new();
+    if let Some(json::Value::Array(items)) = obj.get("shards") {
+        for item in items {
+            let s = item
+                .as_object()
+                .ok_or_else(|| ClientError::Protocol("shard stat is not an object".into()))?;
+            shards.push(ShardStat {
+                shard: field_u64(s, "shard"),
+                resident: field_u64(s, "resident"),
+                parked: field_u64(s, "parked"),
+                resident_bytes: field_u64(s, "resident_bytes"),
+            });
+        }
+    }
+    Ok(StatsResponse {
+        sessions: field_u64(obj, "sessions"),
+        shards,
+        uptime_ms: field_u64(obj, "uptime_ms"),
+        version: obj
+            .get("version")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    /// A scripted wire server: answers `answers[i]` to the i-th request
+    /// frame of each connection, closing after `per_conn` requests.
+    fn mock_wire_server(
+        answers: Vec<(u8, &'static str)>,
+        per_conn: usize,
+        conns: usize,
+    ) -> (SocketAddr, Arc<AtomicUsize>, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let seen = accepted.clone();
+        let handle = thread::spawn(move || {
+            for _ in 0..conns {
+                let (mut stream, _) = listener.accept().expect("accept");
+                seen.fetch_add(1, Ordering::SeqCst);
+                for (status, body) in answers.iter().take(per_conn) {
+                    // Read one request frame: 13-byte header + payload.
+                    let mut header = [0u8; 13];
+                    if stream.read_exact(&mut header).is_err() {
+                        break;
+                    }
+                    let len = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes"));
+                    let mut payload = vec![0u8; len as usize];
+                    stream.read_exact(&mut payload).expect("payload");
+                    wire::write_frame(&mut stream, *status, body.as_bytes()).expect("reply");
+                }
+                // Dropping the stream closes the connection.
+            }
+        });
+        (addr, accepted, handle)
+    }
+
+    #[test]
+    fn wire_client_parses_typed_answers() {
+        let (addr, _, handle) = mock_wire_server(
+            vec![
+                (
+                    wire::STATUS_OK,
+                    r#"{"sessions_touched":2,"symbols_ingested":12,"created":2,"restored":0,"evicted":0}"#,
+                ),
+                (
+                    wire::STATUS_OK,
+                    r#"{"session":"web","candidates":[{"period":2,"symbol":"a","matches":3,"confidence_bound":0.75}]}"#,
+                ),
+            ],
+            2,
+            1,
+        );
+        let mut client = ClientBuilder::new(addr.to_string()).build();
+        let summary = client
+            .ingest(&[IngestRecord::new("web", "ababab")])
+            .expect("ingest");
+        assert_eq!(summary.sessions_touched, 2);
+        assert_eq!(summary.symbols_ingested, 12);
+        let answer = client.query("web").expect("query");
+        assert_eq!(answer.session, "web");
+        assert_eq!(answer.candidates.len(), 1);
+        assert_eq!(answer.candidates[0].period, 2);
+        assert_eq!(answer.candidates[0].symbol, "a");
+        assert!((answer.candidates[0].confidence_bound - 0.75).abs() < 1e-9);
+        drop(client);
+        handle.join().expect("server");
+    }
+
+    #[test]
+    fn dead_reused_connections_reconnect_and_retry_once() {
+        // Each connection answers exactly one request, then closes: the
+        // client's second request hits a dead socket and must retry on
+        // a fresh connection.
+        let (addr, accepted, handle) = mock_wire_server(
+            vec![(wire::STATUS_OK, r#"{"session":"s","candidates":[]}"#)],
+            1,
+            2,
+        );
+        let mut client = ClientBuilder::new(addr.to_string()).build();
+        client.query("s").expect("first");
+        client.query("s").expect("second (retried)");
+        assert_eq!(accepted.load(Ordering::SeqCst), 2);
+        drop(client);
+        handle.join().expect("server");
+    }
+
+    #[test]
+    fn retry_disabled_surfaces_the_transport_error() {
+        let (addr, _, handle) = mock_wire_server(
+            vec![(wire::STATUS_OK, r#"{"session":"s","candidates":[]}"#)],
+            1,
+            1,
+        );
+        let mut client = ClientBuilder::new(addr.to_string()).retry(false).build();
+        client.query("s").expect("first");
+        let err = client.query("s").expect_err("second must fail");
+        assert!(err.is_transport(), "unexpected error: {err}");
+        handle.join().expect("server");
+    }
+
+    #[test]
+    fn wire_errors_surface_as_remote_verdicts() {
+        let (addr, _, handle) = mock_wire_server(
+            vec![(
+                wire::STATUS_ERR,
+                r#"{"error":{"code":"unknown_session","message":"unknown session \"ghost\"","request_id":3}}"#,
+            )],
+            1,
+            1,
+        );
+        let mut client = ClientBuilder::new(addr.to_string()).build();
+        let err = client.query("ghost").expect_err("must fail");
+        let ClientError::Remote {
+            code,
+            status,
+            request_id,
+            ..
+        } = err
+        else {
+            panic!("expected Remote, got {err}");
+        };
+        assert_eq!(code, ErrorCode::UnknownSession);
+        assert_eq!(status, 404);
+        assert_eq!(request_id, Some(3));
+        handle.join().expect("server");
+    }
+
+    #[test]
+    fn http_client_speaks_keep_alive() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Two requests on one connection.
+            for body in [
+                r#"{"sessions_touched":1,"symbols_ingested":4,"created":1,"restored":0,"evicted":0}"#,
+                r#"{"sessions":1,"shards":[{"shard":0,"resident":1,"parked":0,"resident_bytes":64}],"uptime_ms":5,"version":"0.1.0"}"#,
+            ] {
+                let mut head = Vec::new();
+                let mut byte = [0u8; 1];
+                while !head.ends_with(b"\r\n\r\n") {
+                    stream.read_exact(&mut byte).expect("head");
+                    head.push(byte[0]);
+                }
+                let head = String::from_utf8(head).expect("utf8");
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(|v| v.trim().parse().expect("length"))
+                    })
+                    .unwrap_or(0);
+                let mut req_body = vec![0u8; content_length];
+                stream.read_exact(&mut req_body).expect("body");
+                let response = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                    body.len()
+                );
+                stream.write_all(response.as_bytes()).expect("reply");
+            }
+        });
+        let mut client = ClientBuilder::new(addr.to_string()).http().build();
+        let summary = client
+            .ingest(&[IngestRecord::new("web", "abab")])
+            .expect("ingest");
+        assert_eq!(summary.created, 1);
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.sessions, 1);
+        assert_eq!(stats.shards.len(), 1);
+        assert_eq!(stats.shards[0].resident_bytes, 64);
+        assert!(client.is_connected(), "keep-alive must hold the socket");
+        handle.join().expect("server");
+    }
+
+    #[test]
+    fn shutdown_over_http_is_a_usage_error() {
+        let mut client = ClientBuilder::new("127.0.0.1:1").http().build();
+        let err = client.shutdown().expect_err("must fail");
+        assert!(matches!(err, ClientError::Protocol(_)), "{err}");
+    }
+}

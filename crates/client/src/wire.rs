@@ -1,0 +1,120 @@
+//! The PWIR wire protocol: framing constants and codecs shared by the
+//! server (`periodica serve`) and the [`Client`](crate::Client).
+//!
+//! Every frame is `magic | version | tag | len | payload`, all integers
+//! little-endian:
+//!
+//! ```text
+//! request:  "PWIR" | version: u32 | op: u8     | len: u32 | payload
+//! response: "PWIR" | version: u32 | status: u8 | len: u32 | payload
+//! ```
+//!
+//! Ops: [`OP_INGEST`] (payload: UTF-8 `session<TAB>symbols` lines),
+//! [`OP_QUERY`] (payload: session id), [`OP_STATS`] (empty payload),
+//! [`OP_SHUTDOWN`] (empty payload). Status [`STATUS_OK`] carries a JSON
+//! document; [`STATUS_ERR`] carries a structured JSON error body
+//! (`{"error": {"code": ..., "message": ..., "request_id": ...}}`).
+
+use std::io::{Read, Write};
+
+/// Magic prefix of every wire-protocol frame.
+pub const WIRE_MAGIC: &[u8; 4] = b"PWIR";
+/// Newest wire-protocol version this build speaks.
+pub const WIRE_VERSION: u32 = 1;
+/// Ingest a batch of `session<TAB>symbols` records.
+pub const OP_INGEST: u8 = 1;
+/// Query one session's candidate periods.
+pub const OP_QUERY: u8 = 2;
+/// Report per-shard resource usage.
+pub const OP_STATS: u8 = 3;
+/// Finish this connection, then stop accepting new ones.
+pub const OP_SHUTDOWN: u8 = 4;
+/// Response status: success, payload is a JSON document.
+pub const STATUS_OK: u8 = 0;
+/// Response status: failure, payload is a JSON error body.
+pub const STATUS_ERR: u8 = 1;
+
+/// Largest accepted frame payload / HTTP body. Protects both sides from
+/// a malformed length prefix, not a resource-accounting mechanism.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Encodes one client request frame.
+pub fn encode_request(op: u8, payload: &[u8]) -> Vec<u8> {
+    encode_frame(op, payload)
+}
+
+/// Encodes one server response frame (same layout, tag is the status).
+pub fn encode_response(status: u8, payload: &[u8]) -> Vec<u8> {
+    encode_frame(status, payload)
+}
+
+fn encode_frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + payload.len());
+    out.extend_from_slice(WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one response frame.
+pub fn write_frame(stream: &mut impl Write, status: u8, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&encode_frame(status, payload))
+}
+
+/// Decodes one response frame from a reader. Returns `(status, payload)`.
+pub fn decode_response(stream: &mut impl Read) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 13];
+    stream.read_exact(&mut header)?;
+    if &header[..4] != WIRE_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad response magic",
+        ));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if version != WIRE_VERSION {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unsupported response version {version}"),
+        ));
+    }
+    let len = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response payload too large",
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok((header[8], payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let frame = encode_request(OP_QUERY, b"alpha");
+        assert_eq!(&frame[..4], WIRE_MAGIC);
+        assert_eq!(frame[8], OP_QUERY);
+        // A response frame has the same layout, so the decoder reads it.
+        let mut reader = frame.as_slice();
+        let (tag, payload) = decode_response(&mut reader).expect("decode");
+        assert_eq!(tag, OP_QUERY);
+        assert_eq!(payload, b"alpha");
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_and_version() {
+        let mut frame = encode_response(STATUS_OK, b"{}");
+        frame[0] = b'X';
+        assert!(decode_response(&mut frame.as_slice()).is_err());
+        let mut frame = encode_response(STATUS_OK, b"{}");
+        frame[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(decode_response(&mut frame.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! A common surface over single-threaded and sharded session stores.
+//!
+//! [`SessionManager`] owns its sessions directly and exposes `&mut self`
+//! methods; [`ShardedSessionManager`] fans the same operations out over
+//! worker threads behind `&self` methods. Code that only needs the four
+//! data-plane operations — batch ingest, candidate queries, snapshots,
+//! and whole-store dumps — can be generic over [`SessionBackend`] and
+//! run unchanged against either store. The serving edge's differential
+//! tests use this to replay identical traffic through both and compare
+//! the answers byte for byte.
+//!
+//! The trait takes `&mut self` receivers: that is what the single
+//! manager requires, and the sharded manager's `&self` methods satisfy
+//! it trivially. Callers that need the sharded manager's concurrent
+//! `&self` API (many threads submitting at once) should hold the
+//! concrete type; the trait is for sequential, backend-agnostic code.
+
+use crate::error::Result;
+use crate::online::OnlineCandidate;
+use crate::session::{IngestOutcome, SessionId, SessionManager, SessionSnapshot};
+use crate::shard::ShardedSessionManager;
+use periodica_series::SymbolId;
+
+/// The data-plane operations shared by [`SessionManager`] and
+/// [`ShardedSessionManager`].
+///
+/// ```
+/// use periodica_core::{SessionBackend, SessionId, SessionManager};
+/// use periodica_series::{Alphabet, SymbolId};
+///
+/// fn touch<B: SessionBackend>(backend: &mut B) -> usize {
+///     let id = SessionId::from("feed");
+///     let symbols: Vec<SymbolId> = (0..8).map(|i| SymbolId(i % 2)).collect();
+///     let outcome = backend
+///         .ingest_batch(&[(id.clone(), symbols.as_slice())])
+///         .unwrap();
+///     outcome.sessions_touched
+/// }
+///
+/// let alphabet = Alphabet::latin(2).unwrap();
+/// let mut single = SessionManager::builder(alphabet).window(8).build();
+/// assert_eq!(touch(&mut single), 1);
+/// ```
+pub trait SessionBackend {
+    /// Ingest a batch of `(session, symbols)` records, creating
+    /// sessions on first touch.
+    fn ingest_batch(&mut self, batch: &[(SessionId, &[SymbolId])]) -> Result<IngestOutcome>;
+
+    /// Current periodicity candidates for one session.
+    fn candidates(&mut self, id: &SessionId) -> Result<Vec<OnlineCandidate>>;
+
+    /// Serialize one session to a versioned snapshot.
+    fn snapshot(&mut self, id: &SessionId) -> Result<SessionSnapshot>;
+
+    /// Serialize the whole store to a byte-stable dump.
+    fn dump(&mut self) -> Result<Vec<u8>>;
+}
+
+impl SessionBackend for SessionManager {
+    fn ingest_batch(&mut self, batch: &[(SessionId, &[SymbolId])]) -> Result<IngestOutcome> {
+        SessionManager::ingest_batch(self, batch)
+    }
+
+    fn candidates(&mut self, id: &SessionId) -> Result<Vec<OnlineCandidate>> {
+        SessionManager::candidates(self, id)
+    }
+
+    fn snapshot(&mut self, id: &SessionId) -> Result<SessionSnapshot> {
+        SessionManager::snapshot(self, id)
+    }
+
+    fn dump(&mut self) -> Result<Vec<u8>> {
+        SessionManager::dump(self)
+    }
+}
+
+impl SessionBackend for ShardedSessionManager {
+    fn ingest_batch(&mut self, batch: &[(SessionId, &[SymbolId])]) -> Result<IngestOutcome> {
+        ShardedSessionManager::ingest_batch(self, batch)
+    }
+
+    fn candidates(&mut self, id: &SessionId) -> Result<Vec<OnlineCandidate>> {
+        ShardedSessionManager::candidates(self, id)
+    }
+
+    fn snapshot(&mut self, id: &SessionId) -> Result<SessionSnapshot> {
+        ShardedSessionManager::snapshot(self, id)
+    }
+
+    fn dump(&mut self) -> Result<Vec<u8>> {
+        ShardedSessionManager::dump(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use periodica_series::Alphabet;
+
+    fn feed<B: SessionBackend>(backend: &mut B) -> (IngestOutcome, Vec<u8>) {
+        let mut batch = Vec::new();
+        let symbols: Vec<Vec<SymbolId>> = (0..6)
+            .map(|s| (0..48).map(|i| SymbolId(((i + s) % 3) as u16)).collect())
+            .collect();
+        let ids: Vec<SessionId> = (0..6)
+            .map(|s| SessionId::from(format!("session-{s}")))
+            .collect();
+        for (id, syms) in ids.iter().zip(&symbols) {
+            batch.push((id.clone(), syms.as_slice()));
+        }
+        let outcome = backend.ingest_batch(&batch).expect("ingest");
+        for id in &ids {
+            backend.candidates(id).expect("candidates");
+            backend.snapshot(id).expect("snapshot");
+        }
+        (outcome, backend.dump().expect("dump"))
+    }
+
+    #[test]
+    fn single_and_sharded_backends_agree_through_the_trait() {
+        let alphabet = Alphabet::latin(3).expect("alphabet");
+        let builder = SessionManager::builder(alphabet).window(16).threshold(0.5);
+        let mut single = builder.clone().build();
+        let mut sharded = ShardedSessionManager::new(builder, 3);
+        let (outcome_a, dump_a) = feed(&mut single);
+        let (outcome_b, dump_b) = feed(&mut sharded);
+        assert_eq!(outcome_a.sessions_touched, outcome_b.sessions_touched);
+        assert_eq!(outcome_a.symbols_ingested, outcome_b.symbols_ingested);
+        assert_eq!(
+            dump_a, dump_b,
+            "dumps must be byte-identical across backends"
+        );
+    }
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod bitvec;
 pub mod closed;
 pub mod detect;
@@ -48,6 +49,7 @@ pub mod session;
 pub mod shard;
 pub mod stream;
 
+pub use backend::SessionBackend;
 pub use detect::{
     period_confidence, DetectionResult, DetectorConfig, PeriodicityDetector, SymbolPeriodicity,
 };

@@ -55,6 +55,9 @@ pub enum Hist {
     ServeEventsHttpNs,
     /// Wire-protocol response payload sizes.
     ServeWireResponseBytes,
+    /// Time an accepted connection waited in the serve edge's pending
+    /// queue before a pool worker dequeued it.
+    ServeConnQueueWaitNs,
     /// HTTP response body sizes.
     ServeHttpResponseBytes,
     /// Time a sub-batch waited in a shard submission queue before its
@@ -69,7 +72,7 @@ pub enum Hist {
 
 impl Hist {
     /// Every histogram id, in declaration order.
-    pub const ALL: [Hist; 13] = [
+    pub const ALL: [Hist; 14] = [
         Hist::ServeIngestWireNs,
         Hist::ServeIngestHttpNs,
         Hist::ServeQueryWireNs,
@@ -79,6 +82,7 @@ impl Hist {
         Hist::ServeMetricsHttpNs,
         Hist::ServeEventsHttpNs,
         Hist::ServeWireResponseBytes,
+        Hist::ServeConnQueueWaitNs,
         Hist::ServeHttpResponseBytes,
         Hist::ShardQueueWaitNs,
         Hist::SessionIngestBatchNs,
@@ -100,6 +104,7 @@ impl Hist {
             Hist::ServeMetricsHttpNs => "serve.metrics.http.latency_ns",
             Hist::ServeEventsHttpNs => "serve.events.http.latency_ns",
             Hist::ServeWireResponseBytes => "serve.wire.response_bytes",
+            Hist::ServeConnQueueWaitNs => "serve.conn_queue_wait_ns",
             Hist::ServeHttpResponseBytes => "serve.http.response_bytes",
             Hist::ShardQueueWaitNs => "shard.queue_wait_ns",
             Hist::SessionIngestBatchNs => "session.ingest_batch_ns",

@@ -60,7 +60,8 @@ pub mod prelude {
     pub use periodica_core::{
         mine_reader, period_confidence, DetectionResult, EngineKind, Error, EvictionPolicy,
         MinedPattern, MiningError, MiningReport, ObscureMiner, OneTouchMiner, OnlineDetector,
-        Pattern, PatternMode, SessionId, SessionManager, SessionSnapshot, SymbolPeriodicity,
+        Pattern, PatternMode, SessionBackend, SessionId, SessionManager, SessionSnapshot,
+        ShardedSessionManager, SymbolPeriodicity,
     };
     pub use periodica_series::{Alphabet, SeriesBuilder, SeriesError, SymbolId, SymbolSeries};
 }
