@@ -1,0 +1,214 @@
+//! Budget sweep for the out-of-core mining pipeline.
+//!
+//! Streams a planted-period series into the checksummed binary format
+//! (PSRB), mines it with [`OutOfCoreMiner`] under a ladder of memory
+//! budgets, and compares each run against the in-memory [`ObscureMiner`]
+//! on the same series. Every report is asserted bit-identical (both the
+//! periodicity list and the pattern list) before any number is written,
+//! and every resident peak is asserted under its budget, so the JSON can
+//! never describe a run that silently diverged or overflowed. Results
+//! land in `BENCH_outofcore.json` at the repo root.
+//!
+//! Deliberately std-only at runtime (xorshift input, hand-rolled JSON),
+//! matching the other bench binaries.
+
+use std::time::Instant;
+
+use periodica_core::{MinerConfig, ObscureMiner, OutOfCoreMiner};
+use periodica_series::{Alphabet, FileSeriesReader, SeriesFileWriter, SymbolId, SymbolSeries};
+
+// Sigma is sized so the spectrum prune bites: uniform background matches
+// a fraction ~1/sigma^2 of pairs, which stays under threshold/p for every
+// p <= max_period (0.6/96 > 1/256), so pass 2 allocates phase counters
+// only for the planted survivors. A small alphabet here would let every
+// large period survive pass 1 and the phase-counter memory — which the
+// budget planner does not charge for — would dominate the peak.
+const SIGMA: usize = 16;
+const PERIOD: usize = 48;
+
+struct Scale {
+    n: usize,
+    budgets: &'static [usize],
+    iters: usize,
+}
+
+/// Full run: an 8 Mi-symbol series (8 MiB on disk) swept from a budget
+/// 128x smaller than the file up to one that holds it whole.
+const FULL: Scale = Scale {
+    n: 1 << 23,
+    budgets: &[64 << 10, 256 << 10, 1 << 20, 8 << 20],
+    iters: 2,
+};
+
+/// `--smoke`: seconds, not minutes — CI checks the plumbing, not the curve.
+const SMOKE: Scale = Scale {
+    n: 1 << 17,
+    budgets: &[64 << 10, 1 << 20],
+    iters: 1,
+};
+
+/// Deterministic sigma-symbol series with a sparse planted period-48
+/// rhythm: four phase positions carry fixed symbols (with ~5% noise),
+/// everything else is uniform background (xorshift64; no external RNG
+/// crate). Sparse on purpose — a fully periodic template would make all
+/// 48 positions singleton-periodic and blow the Apriori candidate cap,
+/// which is a pattern-phase stress test, not an I/O benchmark.
+fn make_ids(n: usize) -> Vec<SymbolId> {
+    let mut state = 0xD1B5_4A32_D192_ED03_u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    const PLANTED: [(usize, usize); 4] = [(3, 0), (17, 2), (29, 4), (41, 1)];
+    (0..n)
+        .map(|i| {
+            let planted = PLANTED.iter().find(|&&(phase, _)| i % PERIOD == phase);
+            let k = match planted {
+                Some(&(_, sym)) if rng() % 20 != 0 => sym,
+                _ => (rng() % SIGMA as u64) as usize,
+            };
+            SymbolId::from_index(k)
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
+    let n = scale.n;
+
+    let alphabet = Alphabet::latin(SIGMA).expect("alphabet");
+    let ids = make_ids(n);
+    let series = SymbolSeries::from_ids(ids.clone(), alphabet.clone()).expect("series");
+
+    // Stream the series to disk in writer-sized slices, the way a
+    // producer larger than RAM would.
+    let path = std::env::temp_dir().join(format!(
+        "periodica-bench-outofcore-{}.series",
+        std::process::id()
+    ));
+    let t = Instant::now();
+    let mut writer = SeriesFileWriter::create(&path, &alphabet, n).expect("create");
+    for slice in ids.chunks(1 << 16) {
+        writer.push_slice(slice).expect("push");
+    }
+    writer.finish().expect("finish");
+    let write_secs = t.elapsed().as_secs_f64();
+    let file_bytes = std::fs::metadata(&path).expect("metadata").len();
+    eprintln!(
+        "wrote {n} symbols ({file_bytes} B) in {write_secs:.3}s to {}",
+        path.display()
+    );
+
+    // Two configurations per budget: detection-only, where the planner's
+    // budget is a hard bound on the resident peak (asserted), and the full
+    // pattern run, whose pair-index memory is output-sensitive (reported,
+    // not asserted — the ROADMAP's "budget the pattern phase" follow-up).
+    let full_config = MinerConfig {
+        threshold: 0.6,
+        max_period: Some(PERIOD * 2),
+        ..MinerConfig::default()
+    };
+    let detect_config = MinerConfig {
+        mine_patterns: false,
+        ..full_config.clone()
+    };
+
+    // In-memory baseline: the whole series resident.
+    let miner = ObscureMiner::from_config(full_config.clone());
+    let mut t_mem = f64::INFINITY;
+    let mut reference = None;
+    for _ in 0..scale.iters {
+        let t = Instant::now();
+        let report = miner.mine(&series).expect("in-memory mine");
+        t_mem = t_mem.min(t.elapsed().as_secs_f64());
+        reference = Some(report);
+    }
+    let reference = reference.expect("at least one iteration");
+    let resident_bytes = n * std::mem::size_of::<SymbolId>();
+    eprintln!(
+        "in-memory: {t_mem:.3}s ({resident_bytes} B resident, \
+         {} periodicities, {} patterns)",
+        reference.detection.periodicities.len(),
+        reference.patterns.len()
+    );
+
+    // Times one out-of-core configuration at one budget, asserting the
+    // trailer verified and the answers bit-identical on every run.
+    let run_at = |config: &MinerConfig, budget: usize, patterns: bool| -> (f64, usize) {
+        let miner = OutOfCoreMiner::new(config.clone(), budget).expect("out-of-core miner");
+        let mut best = f64::INFINITY;
+        let mut peak_bytes = 0usize;
+        for _ in 0..scale.iters {
+            let mut reader = FileSeriesReader::open(&path).expect("open");
+            let t = Instant::now();
+            let (report, peak) = miner.mine_with_peak(&mut reader).expect("out-of-core mine");
+            best = best.min(t.elapsed().as_secs_f64());
+            peak_bytes = peak;
+            assert!(
+                reader.checksum_verified(),
+                "budget {budget}: full pass finished without verifying the trailer"
+            );
+            assert_eq!(
+                report.detection.periodicities, reference.detection.periodicities,
+                "budget {budget}: out-of-core periodicities diverge from in-memory"
+            );
+            if patterns {
+                assert_eq!(
+                    report.patterns, reference.patterns,
+                    "budget {budget}: out-of-core patterns diverge from in-memory"
+                );
+            }
+        }
+        (best, peak_bytes)
+    };
+
+    let mut rows = Vec::new();
+    for &budget in scale.budgets {
+        let (detect_secs, detect_peak) = run_at(&detect_config, budget, false);
+        assert!(
+            detect_peak < budget,
+            "budget {budget}: detection resident peak {detect_peak} B exceeds the budget"
+        );
+        let (full_secs, full_peak) = run_at(&full_config, budget, true);
+        let frac = detect_peak as f64 / budget as f64;
+        let slowdown = full_secs / t_mem;
+        eprintln!(
+            "budget {budget:>9} B: detect {detect_secs:.3}s peak {detect_peak} B \
+             ({:.0}% of budget) | full {full_secs:.3}s ({slowdown:.2}x in-memory) \
+             peak {full_peak} B",
+            frac * 100.0
+        );
+        rows.push(format!(
+            "    {{ \"budget_bytes\": {budget}, \
+             \"detect_secs\": {detect_secs:.6}, \
+             \"detect_peak_bytes\": {detect_peak}, \
+             \"detect_peak_over_budget\": {frac:.4}, \
+             \"full_secs\": {full_secs:.6}, \
+             \"full_peak_bytes\": {full_peak}, \
+             \"full_slowdown_vs_in_memory\": {slowdown:.3} }}"
+        ));
+    }
+    std::fs::remove_file(&path).ok();
+
+    let json = format!(
+        "{{\n  \"config\": {{ \"sigma\": {SIGMA}, \"n\": {n}, \"period\": {PERIOD}, \
+         \"file_bytes\": {file_bytes}, \"threshold\": 0.6, \"max_period\": {} }},\n  \
+         \"in_memory\": {{ \"secs\": {t_mem:.6}, \"resident_bytes\": {resident_bytes} }},\n  \
+         \"budgets\": [\n{}\n  ],\n  \
+         \"bit_identical\": true\n}}\n",
+        PERIOD * 2,
+        rows.join(",\n")
+    );
+    let out_path = std::env::var("BENCH_OUTOFCORE_OUT").unwrap_or_else(|_| {
+        match option_env!("CARGO_MANIFEST_DIR") {
+            Some(dir) => format!("{dir}/../../BENCH_outofcore.json"),
+            None => "BENCH_outofcore.json".to_string(),
+        }
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_outofcore.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

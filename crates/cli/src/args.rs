@@ -16,6 +16,7 @@ const BARE_FLAGS: &[&str] = &[
     "profile",
     "watch",
     "keep-alive-off",
+    "sketch-prefilter",
 ];
 
 /// Parsed command-line arguments for one subcommand.

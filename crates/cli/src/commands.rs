@@ -9,14 +9,16 @@ use periodica_baselines::indyk::{PeriodicTrends, PeriodicTrendsConfig};
 use periodica_obs as obs;
 
 use periodica_core::{
-    fundamentals, DetectorConfig, EngineKind, EvictionPolicy, IngestOutcome, MiningReport,
-    ObscureMiner, PatternMode, PeriodicityDetector, SessionId, SessionManager,
-    SessionManagerBuilder,
+    fundamentals, DetectorConfig, EngineKind, EvictionPolicy, IngestOutcome, MinerConfig,
+    MiningReport, ObscureMiner, OutOfCoreMiner, PatternMode, PeriodicityDetector, SessionId,
+    SessionManager, SessionManagerBuilder,
 };
 use periodica_series::discretize::{Discretizer, EqualFrequency, EqualWidth, GaussianBins};
 use periodica_series::generate::{PeriodicSeriesSpec, SymbolDistribution};
 use periodica_series::noise::{NoiseKind, NoiseSpec};
-use periodica_series::{Alphabet, SymbolSeries};
+use periodica_series::{
+    Alphabet, FileSeriesReader, SeriesError, SeriesFileWriter, SeriesSource, SymbolId, SymbolSeries,
+};
 
 use crate::args::CliArgs;
 use crate::error::CliError;
@@ -81,8 +83,39 @@ fn detector_config(args: &CliArgs) -> Result<DetectorConfig, CliError> {
     })
 }
 
+/// Parses a byte count: plain digits, or a `KiB`/`MiB`/`GiB` suffix
+/// (`65536`, `64MiB`, `1GiB`).
+fn parse_bytes(key: &str, v: &str) -> Result<usize, CliError> {
+    let v = v.trim();
+    let (digits, scale) = if let Some(d) = v.strip_suffix("KiB") {
+        (d, 1usize << 10)
+    } else if let Some(d) = v.strip_suffix("MiB") {
+        (d, 1 << 20)
+    } else if let Some(d) = v.strip_suffix("GiB") {
+        (d, 1 << 30)
+    } else {
+        (v, 1)
+    };
+    let count: usize = digits.trim().parse().map_err(|_| {
+        CliError::Usage(format!(
+            "cannot parse --{key} value {v:?} (expected bytes or a KiB/MiB/GiB suffix)"
+        ))
+    })?;
+    count
+        .checked_mul(scale)
+        .ok_or_else(|| CliError::Usage(format!("--{key} value {v:?} overflows a byte count")))
+}
+
+/// Optional byte-count option with suffix support.
+fn byte_option(args: &CliArgs, key: &str) -> Result<Option<usize>, CliError> {
+    args.raw(key).map(|v| parse_bytes(key, v)).transpose()
+}
+
 /// `periodica mine` — the full pipeline.
 pub fn mine(args: &CliArgs, stdin: &mut dyn BufRead, out: &mut dyn Write) -> Result<i32, CliError> {
+    if args.raw("input").is_some() {
+        return mine_out_of_core(args, out);
+    }
     let series = read_series(args, stdin)?;
     let config = detector_config(args)?;
     let mut builder = ObscureMiner::builder()
@@ -116,7 +149,7 @@ pub fn mine(args: &CliArgs, stdin: &mut dyn BufRead, out: &mut dyn Write) -> Res
         obs::uninstall();
     }
     let report = mined?;
-    render_report(&series, &report, args, out)?;
+    render_report(series.alphabet(), series.len(), &report, args, out)?;
     if let Some(recorder) = recorder {
         let mut run = recorder.report();
         let simd = periodica_transform::simd::active();
@@ -132,6 +165,141 @@ pub fn mine(args: &CliArgs, stdin: &mut dyn BufRead, out: &mut dyn Write) -> Res
         }
     }
     Ok(0)
+}
+
+/// Default resident-byte target for `mine --input`.
+const DEFAULT_STREAM_BUDGET: usize = 256 << 20;
+
+/// Symbols of file prefix the `--sketch-prefilter` ranking reads.
+const SKETCH_PREFIX_SYMBOLS: usize = 1 << 20;
+
+/// `periodica mine --input <path>` — the out-of-core pipeline: the series
+/// streams from disk through [`OutOfCoreMiner`] in sequential chunks sized
+/// by `--memory-budget`, so files far larger than RAM mine in one pass.
+/// Detections and patterns are bit-identical to the in-memory path.
+fn mine_out_of_core(args: &CliArgs, out: &mut dyn Write) -> Result<i32, CliError> {
+    let path = args.raw("input").expect("caller checked --input");
+    let budget = byte_option(args, "memory-budget")?.unwrap_or(DEFAULT_STREAM_BUDGET);
+    let config = detector_config(args)?;
+    let Some(max_period) = config.max_period else {
+        return Err(CliError::Usage(
+            "out-of-core mining (--input) requires an explicit --max-period: the n/2 \
+             default would scale detector state with the file, not the budget"
+                .into(),
+        ));
+    };
+    let miner_config = MinerConfig {
+        threshold: config.threshold,
+        min_period: config.min_period,
+        max_period: Some(max_period),
+        prune: config.prune,
+        mine_patterns: !args.flag("no-patterns"),
+        pattern_mode: if args.flag("enumerate-all") {
+            PatternMode::EnumerateAll
+        } else {
+            PatternMode::Closed
+        },
+        threads: threads(args)?,
+        ..MinerConfig::default()
+    };
+    // An unreadable path is an I/O error (exit 3); a structurally bad file
+    // is a library error (exit 4).
+    let mut reader = open_series_file(path)?;
+    let alphabet = Arc::clone(reader.alphabet());
+    let series_len = reader.series_len();
+
+    if args.flag("sketch-prefilter") {
+        sketch_prefilter(args, path, max_period, out)?;
+    }
+
+    let recorder = if args.flag("profile") || args.raw("metrics-out").is_some() {
+        let recorder = Arc::new(obs::MetricsRecorder::new());
+        obs::install(recorder.clone());
+        Some(recorder)
+    } else {
+        None
+    };
+    let mined = OutOfCoreMiner::new(miner_config, budget)?.mine_with_peak(&mut reader);
+    if recorder.is_some() {
+        obs::uninstall();
+    }
+    let (report, peak) = mined?;
+    render_report(&alphabet, series_len, &report, args, out)?;
+    writeln!(
+        out,
+        "\nout-of-core: {} budget, resident peak ~{} bytes, checksum {}",
+        budget,
+        peak,
+        if reader.checksum_verified() {
+            "verified"
+        } else {
+            "not yet verified"
+        },
+    )?;
+    if let Some(recorder) = recorder {
+        let run = recorder.report();
+        if args.flag("profile") {
+            render_profile(&run, out)?;
+        }
+        if let Some(path) = args.raw("metrics-out") {
+            std::fs::write(path, run.to_json())?;
+        }
+    }
+    Ok(0)
+}
+
+/// Opens a series file, mapping plain I/O failures (missing file,
+/// permissions) to [`CliError::Io`] so they exit 3, while format errors
+/// (bad magic, truncation, checksum) stay library errors and exit 4.
+fn open_series_file(path: &str) -> Result<FileSeriesReader, CliError> {
+    FileSeriesReader::open(path).map_err(|e| match e {
+        SeriesError::Io(m) => CliError::Io(std::io::Error::other(m)),
+        other => other.into(),
+    })
+}
+
+/// `--sketch-prefilter`: rank candidate periods over a bounded file prefix
+/// with the Indyk sketch baseline before the exact pass. Advisory output
+/// only — the ranking never changes what the exact pass examines, so the
+/// mining results stay bit-identical with or without it. Uses a separate
+/// reader so the main reader's incremental-checksum pass stays sequential.
+fn sketch_prefilter(
+    args: &CliArgs,
+    path: &str,
+    max_period: usize,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut reader = open_series_file(path)?;
+    let take = reader.series_len().min(SKETCH_PREFIX_SYMBOLS);
+    if take < 4 {
+        writeln!(out, "sketch prefilter: series too short, skipped")?;
+        return Ok(());
+    }
+    let mut ids: Vec<SymbolId> = Vec::with_capacity(take);
+    let mut buf = Vec::new();
+    let mut at = 0usize;
+    while at < take {
+        let got = reader.read_at(at, (take - at).min(1 << 16), &mut buf)?;
+        ids.extend_from_slice(&buf[..got]);
+        at += got;
+    }
+    let alphabet = Arc::clone(reader.alphabet());
+    let prefix = SymbolSeries::from_ids(ids, alphabet)?;
+    let config = PeriodicTrendsConfig {
+        sketches: None,
+        seed: args.get("seed", 0x1DCD65)?,
+        normalize: false,
+    };
+    let ranked = PeriodicTrends::new(config).analyze(&prefix, max_period.min(prefix.len() / 2));
+    let top: Vec<String> = ranked.top(10).iter().map(|p| p.to_string()).collect();
+    writeln!(
+        out,
+        "sketch prefilter (first {} symbols): top candidate periods: {} \
+         (advisory; the exact pass below is unchanged)",
+        prefix.len(),
+        top.join(" "),
+    )?;
+    Ok(())
 }
 
 /// Human-readable stage/counter breakdown for `--profile`.
@@ -219,20 +387,17 @@ pub fn metrics_check(
 }
 
 fn render_report(
-    series: &SymbolSeries,
+    alphabet: &Arc<Alphabet>,
+    series_len: usize,
     report: &MiningReport,
     args: &CliArgs,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let alphabet = series.alphabet();
     let limit: usize = args.get("limit", 50)?;
     writeln!(
         out,
         "series: {} symbols over {} ({} periods examined, {} scanned)",
-        series.len(),
-        alphabet,
-        report.detection.examined_periods,
-        report.detection.scanned_periods,
+        series_len, alphabet, report.detection.examined_periods, report.detection.scanned_periods,
     )?;
 
     let shown: Vec<_> = if args.flag("fundamentals") {
@@ -354,8 +519,97 @@ pub fn trends(
     Ok(0)
 }
 
+/// Self-contained 64-bit LCG (PCG-ish output shift) for the streaming
+/// generator: no RNG crate, deterministic per seed, O(1) state.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+
+    fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() & ((1 << 53) - 1)) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// `periodica generate --binary-out <path>` — stream the series straight
+/// into the checksummed binary format with O(period) memory, so fixture
+/// files many times larger than RAM can be produced. Supports the uniform
+/// distribution and replacement noise (insertions/deletions need the whole
+/// series resident; use the stdout path for those).
+fn generate_binary(args: &CliArgs, path: &str, out: &mut dyn Write) -> Result<i32, CliError> {
+    let length: usize = args.require("length")?;
+    let period: usize = args.require("period")?;
+    let sigma: usize = args.get("sigma", 10)?;
+    if period == 0 || sigma == 0 {
+        return Err(CliError::Usage("--period and --sigma must be >= 1".into()));
+    }
+    if sigma > 26 {
+        return Err(CliError::Usage(
+            "generate emits one character per symbol; --sigma must be <= 26".into(),
+        ));
+    }
+    if args.raw("dist").unwrap_or("uniform") != "uniform" {
+        return Err(CliError::Usage(
+            "--binary-out streams with --dist uniform only".into(),
+        ));
+    }
+    let noise: f64 = args.get("noise", 0.0)?;
+    if !(0.0..=1.0).contains(&noise) {
+        return Err(CliError::Usage("--noise must be in [0, 1]".into()));
+    }
+    if noise > 0.0 && args.raw("noise-mix").unwrap_or("R") != "R" {
+        return Err(CliError::Usage(
+            "--binary-out streams with replacement noise only (--noise-mix R)".into(),
+        ));
+    }
+    let seed: u64 = args.get("seed", 0)?;
+    let mut rng = Lcg::new(seed ^ 0xB1A5_ED5E_51D5);
+    let template: Vec<SymbolId> = (0..period)
+        .map(|_| SymbolId::from_index(rng.next_below(sigma)))
+        .collect();
+    let alphabet = Alphabet::latin(sigma)?;
+    let mut writer = SeriesFileWriter::create(path, &alphabet, length)?;
+    let mut batch: Vec<SymbolId> = Vec::with_capacity(1 << 16);
+    for i in 0..length {
+        let mut sym = template[i % period];
+        if noise > 0.0 && rng.next_f64() < noise {
+            sym = SymbolId::from_index(rng.next_below(sigma));
+        }
+        batch.push(sym);
+        if batch.len() == batch.capacity() {
+            writer.push_slice(&batch)?;
+            batch.clear();
+        }
+    }
+    writer.push_slice(&batch)?;
+    writer.finish()?;
+    writeln!(
+        out,
+        "wrote {length} symbols (period {period}, sigma {sigma}, noise {noise}) to {path}"
+    )?;
+    Ok(0)
+}
+
 /// `periodica generate` — synthetic periodic series to stdout.
 pub fn generate(args: &CliArgs, out: &mut dyn Write) -> Result<i32, CliError> {
+    if let Some(path) = args.raw("binary-out") {
+        let path = path.to_string();
+        return generate_binary(args, &path, out);
+    }
     let length: usize = args.require("length")?;
     let period: usize = args.require("period")?;
     let sigma: usize = args.get("sigma", 10)?;
@@ -680,10 +934,7 @@ pub fn session_builder(args: &CliArgs) -> Result<SessionManagerBuilder, CliError
             .raw("max-sessions")
             .map(|_| args.require("max-sessions"))
             .transpose()?,
-        max_resident_bytes: args
-            .raw("memory-budget")
-            .map(|_| args.require("memory-budget"))
-            .transpose()?,
+        max_resident_bytes: byte_option(args, "memory-budget")?,
     };
     let mut builder = SessionManager::builder(session_alphabet(args)?)
         .window(args.get("max-period", 64)?)
@@ -977,4 +1228,36 @@ pub fn serve(
         }
     )?;
     Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bytes_accepts_plain_and_suffixed_values() {
+        assert_eq!(parse_bytes("memory-budget", "65536").expect("ok"), 65536);
+        assert_eq!(parse_bytes("memory-budget", "4KiB").expect("ok"), 4096);
+        assert_eq!(parse_bytes("memory-budget", "64MiB").expect("ok"), 64 << 20);
+        assert_eq!(parse_bytes("memory-budget", "2GiB").expect("ok"), 2 << 30);
+        assert_eq!(parse_bytes("memory-budget", " 8 KiB ").expect("ok"), 8192);
+        assert!(parse_bytes("memory-budget", "64MB").is_err());
+        assert!(parse_bytes("memory-budget", "lots").is_err());
+        assert!(parse_bytes("memory-budget", "99999999999999999999GiB").is_err());
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_in_range() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            let v = a.next_below(7);
+            b.next_below(7);
+            assert!(v < 7);
+            let f = a.next_f64();
+            b.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
 }

@@ -73,6 +73,18 @@ COMMON OPTIONS:
                          for every value  [default: available parallelism]
   --limit <k>            cap printed rows                 [default 50]
 
+OUT-OF-CORE OPTIONS (mine):
+  --input <path>         stream a .series file (binary PSRB or text PSRT;
+                         see generate --binary-out) from disk instead of
+                         reading stdin; mines under a fixed byte budget and
+                         requires an explicit --max-period. Output is
+                         bit-identical to in-memory mining.
+  --memory-budget <b>    resident-byte target for the streaming passes;
+                         plain bytes or a KiB/MiB/GiB suffix [default 256MiB]
+  --sketch-prefilter     rank candidate periods over a bounded prefix with
+                         the Indyk sketch baseline before the exact pass
+                         (advisory output only; results are unchanged)
+
 TELEMETRY OPTIONS (mine, ingest):
   --profile              print a stage/counter breakdown after the report
   --metrics-out <path>   write the machine-readable JSON run report
@@ -80,7 +92,8 @@ TELEMETRY OPTIONS (mine, ingest):
 
 INGEST OPTIONS:
   --max-sessions <n>     resident-session cap (LRU eviction past it)
-  --memory-budget <b>    resident-set byte budget (LRU eviction past it)
+  --memory-budget <b>    resident-set byte budget (LRU eviction past it);
+                         plain bytes or a KiB/MiB/GiB suffix
   --max-period <p>       watch window per session        [default 64]
   --batch <lines>        input lines per ingest batch    [default 256]
   --alphabet <chars>     session alphabet                [default a..z]
@@ -126,6 +139,9 @@ PROM-CHECK:
 GENERATE OPTIONS:
   --length <n> --period <p> [--sigma <k>] [--dist uniform|normal]
   [--seed <s>] [--noise <ratio>] [--noise-mix <RID subset, e.g. RI>]
+  [--binary-out <path>]  stream the series into a checksummed binary
+                         .series file with O(period) memory instead of
+                         printing text (uniform dist, replacement noise)
 
 DISCRETIZE OPTIONS:
   --levels <k> [--scheme width|freq|gauss]
@@ -548,6 +564,193 @@ mod tests {
         assert_eq!(err.exit_code(), 4);
         assert!(err.to_string().contains("ghost"));
         std::fs::remove_file(&state).ok();
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("periodica-cli-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn generate_binary_out_then_mine_input_matches_stdin_mining() {
+        let path = tmp("ooc-roundtrip.series");
+        let path_s = path.to_str().expect("utf8 temp path");
+        let (code, out) = invoke(
+            &[
+                "generate",
+                "--length",
+                "4000",
+                "--period",
+                "12",
+                "--sigma",
+                "5",
+                "--seed",
+                "9",
+                "--noise",
+                "0.05",
+                "--binary-out",
+                path_s,
+            ],
+            "",
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("wrote 4000 symbols"), "{out}");
+
+        // Materialize the file back to text and mine it over stdin.
+        let mut reader = periodica_series::FileSeriesReader::open(&path).expect("open");
+        let series = reader.read_all().expect("read");
+        let text = series.to_text().expect("latin alphabet");
+        let flags = ["--threshold", "0.8", "--max-period", "24"];
+        let (code, via_stdin) = invoke(&[&["mine", "-"], &flags[..]].concat(), &text);
+        assert_eq!(code, 0);
+
+        // The out-of-core path must print the identical report.
+        let (code, via_file) = invoke(
+            &[
+                &["mine", "--input", path_s],
+                &flags[..],
+                &["--memory-budget", "64KiB"],
+            ]
+            .concat(),
+            "",
+        );
+        assert_eq!(code, 0);
+        assert!(via_file.contains("period    12"), "{via_file}");
+        assert!(via_file.contains("checksum verified"), "{via_file}");
+        let report_part = via_file
+            .split("\nout-of-core:")
+            .next()
+            .expect("report precedes the footer");
+        assert_eq!(via_stdin.trim_end(), report_part.trim_end());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mine_input_requires_an_explicit_max_period() {
+        let argv: Vec<String> = ["mine", "--input", "whatever.series"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        let err = run(&argv, &mut stdin, &mut out).expect_err("should fail");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--max-period"), "{err}");
+    }
+
+    #[test]
+    fn mine_input_on_a_missing_file_is_an_io_error() {
+        let argv: Vec<String> = [
+            "mine",
+            "--input",
+            "/nonexistent/periodica-test.series",
+            "--max-period",
+            "16",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        let err = run(&argv, &mut stdin, &mut out).expect_err("should fail");
+        assert_eq!(err.exit_code(), 3, "{err}");
+    }
+
+    #[test]
+    fn mine_input_profile_reports_the_resident_peak() {
+        let _guard = periodica_obs::test_guard();
+        let path = tmp("ooc-profile.series");
+        let path_s = path.to_str().expect("utf8 temp path");
+        let (code, _) = invoke(
+            &[
+                "generate",
+                "--length",
+                "3000",
+                "--period",
+                "7",
+                "--sigma",
+                "4",
+                "--seed",
+                "3",
+                "--binary-out",
+                path_s,
+            ],
+            "",
+        );
+        assert_eq!(code, 0);
+        let (code, out) = invoke(
+            &[
+                "mine",
+                "--input",
+                path_s,
+                "--max-period",
+                "16",
+                "--memory-budget",
+                "32KiB",
+                "--profile",
+            ],
+            "",
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("series.resident_bytes_peak"), "{out}");
+        assert!(out.contains("miner.mine_out_of_core"), "{out}");
+        assert!(out.contains("resident peak ~"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sketch_prefilter_prints_an_advisory_ranking() {
+        let path = tmp("ooc-sketch.series");
+        let path_s = path.to_str().expect("utf8 temp path");
+        let (code, _) = invoke(
+            &[
+                "generate",
+                "--length",
+                "2000",
+                "--period",
+                "10",
+                "--sigma",
+                "5",
+                "--seed",
+                "11",
+                "--binary-out",
+                path_s,
+            ],
+            "",
+        );
+        assert_eq!(code, 0);
+        let base = ["mine", "--input", path_s, "--max-period", "20"];
+        let (code, with) = invoke(&[&base[..], &["--sketch-prefilter"]].concat(), "");
+        assert_eq!(code, 0);
+        assert!(with.contains("sketch prefilter"), "{with}");
+        assert!(with.contains("advisory"), "{with}");
+        // Advisory only: the mining report itself is unchanged.
+        let (code, without) = invoke(&base, "");
+        assert_eq!(code, 0);
+        let tail = with
+            .split("sketch prefilter")
+            .nth(1)
+            .and_then(|rest| rest.split_once('\n'))
+            .map(|(_, tail)| tail)
+            .expect("report follows the advisory line");
+        assert_eq!(tail, without);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_memory_budget_accepts_suffixes() {
+        let (code, out) = invoke(
+            &[
+                "ingest",
+                "-",
+                "--max-period",
+                "16",
+                "--memory-budget",
+                "1KiB",
+            ],
+            &format!("web\t{}\n", "abcd".repeat(40)),
+        );
+        assert_eq!(code, 0);
+        assert!(out.contains("ingested 160 symbols"), "{out}");
     }
 
     #[test]

@@ -55,6 +55,21 @@ pub fn mine_closed_for_period(
     stats: &mut MiningStats,
 ) -> Result<()> {
     let index = PairMatchIndex::from_detection(series, detection, period);
+    mine_closed_with_index(&index, min_support, output_cap, out, stats)
+}
+
+/// Mines all *closed* frequent patterns against a prebuilt pair index.
+///
+/// This is [`mine_closed_for_period`] with the transaction table supplied
+/// by the caller — the out-of-core driver builds indexes incrementally from
+/// disk chunks and mines them here without ever holding the series.
+pub fn mine_closed_with_index(
+    index: &PairMatchIndex,
+    min_support: f64,
+    output_cap: usize,
+    out: &mut Vec<MinedPattern>,
+    stats: &mut MiningStats,
+) -> Result<()> {
     if index.universe() == 0 || index.items().is_empty() {
         return Ok(());
     }
@@ -64,9 +79,9 @@ pub fn mine_closed_for_period(
 
     // Root: transactions where *anything* could match is the full universe.
     let full = BitVec::ones(index.universe());
-    let root_closure = closure_of(&index, &full);
+    let root_closure = closure_of(index, &full);
     let mut miner = ClosedMiner {
-        index: &index,
+        index,
         min_count,
         output_cap,
         out,

@@ -61,6 +61,10 @@ pub enum MiningError {
     /// A shard worker is gone (its thread panicked or was torn down while
     /// requests were still outstanding).
     ShardUnavailable(String),
+    /// Out-of-core mining was configured without an explicit largest
+    /// period; the in-core `n / 2` default would scale the detector's
+    /// state with the file instead of the memory budget.
+    MissingMaxPeriod,
 }
 
 impl fmt::Display for MiningError {
@@ -93,6 +97,11 @@ impl fmt::Display for MiningError {
                  version {supported}"
             ),
             MiningError::ShardUnavailable(m) => write!(f, "shard unavailable: {m}"),
+            MiningError::MissingMaxPeriod => write!(
+                f,
+                "out-of-core mining requires an explicit max period \
+                 (the n/2 default grows with the input, not the budget)"
+            ),
         }
     }
 }

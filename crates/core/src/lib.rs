@@ -18,6 +18,9 @@
 //! * [`pairbits`] — the shared bit-parallel verification index
 //!   ([`PairMatchIndex`]) every pattern consumer counts against;
 //! * [`miner`] — the [`ObscureMiner`] facade tying it together;
+//! * [`outofcore`] — the same pipeline over a chunked
+//!   [`SeriesSource`](periodica_series::SeriesSource) under a byte budget
+//!   ([`OutOfCoreMiner`]), bit-identical to the resident path;
 //! * [`stream`] — the one-pass ingestion contract ([`OneTouchMiner`]);
 //! * [`session`] — the multi-tenant streaming layer ([`SessionManager`]):
 //!   many named bounded-memory online miners behind one batched ingest
@@ -42,6 +45,7 @@ pub mod localize;
 pub mod mapping;
 pub mod miner;
 pub mod online;
+pub mod outofcore;
 pub mod pairbits;
 pub mod pattern;
 pub mod segment;
@@ -62,11 +66,12 @@ pub use localize::{
 };
 pub use miner::{MinerBuilder, MinerConfig, MiningReport, ObscureMiner};
 pub use online::{OnlineCandidate, OnlineDetector, OnlineDetectorBuilder, OnlineState};
-pub use pairbits::PairMatchIndex;
+pub use outofcore::OutOfCoreMiner;
+pub use pairbits::{PairIndexBuilder, PairMatchIndex};
 pub use pattern::{
-    cartesian_candidates, mine_patterns, mine_patterns_with_stats, pattern_support,
-    pattern_support_indexed, MinedPattern, MiningStats, Pattern, PatternMinerConfig, PatternMode,
-    SupportEstimate,
+    cartesian_candidates, mine_patterns, mine_patterns_with_indexes, mine_patterns_with_stats,
+    pattern_support, pattern_support_indexed, MinedPattern, MiningStats, Pattern,
+    PatternMinerConfig, PatternMode, SupportEstimate,
 };
 pub use segment::MaxSubpatternTree;
 pub use session::{

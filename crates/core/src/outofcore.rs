@@ -1,0 +1,583 @@
+//! Out-of-core mining: the full Fig.-2 pipeline over a [`SeriesSource`]
+//! that never has to fit in memory.
+//!
+//! [`ObscureMiner`](crate::miner::ObscureMiner) assumes a resident
+//! [`SymbolSeries`](periodica_series::SymbolSeries); this module re-plumbs
+//! each of its stages onto sequential chunked streaming so a multi-GB
+//! on-disk series mines under a fixed byte budget:
+//!
+//! 1. **Spectrum pass** — the per-symbol lag-match counts `C_k(p)` the
+//!    detector prunes with come from
+//!    [`SymbolSpectrumStreamer`](periodica_transform::external::SymbolSpectrumStreamer),
+//!    which folds each chunk through the overlap-save streaming
+//!    autocorrelator. Counts are exact `u64` totals, so the prune decisions
+//!    are bit-identical to the in-core engines.
+//! 2. **Phase pass** — periods surviving the prune get their
+//!    `F2(s, pi(p, l))` tables binned chunk-by-chunk, carrying the largest
+//!    surviving period as overlap so every cross-boundary pair is seen
+//!    exactly once. Def. 1 is then applied exactly as
+//!    [`PeriodicityDetector::detect`](crate::detect::PeriodicityDetector)
+//!    does, including its tolerance and output ordering.
+//! 3. **Index pass** — each detected period's [`PairMatchIndex`] is built
+//!    incrementally by a [`PairIndexBuilder`] from the same chunk stream,
+//!    then handed to [`mine_patterns_with_indexes`], which runs the
+//!    identical Apriori/LCM machinery the resident path uses.
+//!
+//! Every intermediate is an exact integer, and the floating-point
+//! divisions and comparisons happen in the same order with the same
+//! operands as the in-core path, so detections *and* patterns are
+//! bit-identical to [`ObscureMiner::mine`](crate::miner::ObscureMiner::mine)
+//! over the materialized series (asserted by the conformance suite over
+//! adversarial chunk sizes).
+//!
+//! Resident memory is tracked live: the chunk buffer, the demux scratch,
+//! the spectrum accumulators, the phase tables, and the index rows are
+//! summed after every chunk, and the high-water mark is published through
+//! [`Counter::SeriesResidentBytesPeak`](periodica_obs::Counter) with
+//! peak-delta semantics (the counter's final value *is* the peak).
+
+use periodica_obs as obs;
+use periodica_series::{for_each_chunk, pair_denominator, Alphabet, SeriesSource, SymbolId};
+use periodica_transform::external::SymbolSpectrumStreamer;
+use std::sync::Arc;
+
+use crate::detect::{DetectionResult, DetectorConfig, SymbolPeriodicity};
+use crate::error::{MiningError, Result};
+use crate::miner::{MinerConfig, MiningReport};
+use crate::pairbits::{PairIndexBuilder, PairMatchIndex};
+use crate::pattern::{mine_patterns_with_indexes, PatternMinerConfig};
+
+/// Tolerance for floating-point threshold comparisons (same constant as
+/// the in-core detector — the comparisons must agree bit for bit).
+const EPS: f64 = 1e-12;
+
+/// Smallest chunk the budget planner will pick: below this, per-chunk
+/// overheads dominate and the read histogram turns into noise.
+const MIN_CHUNK_SYMBOLS: usize = 4096;
+
+/// Smallest spectrum demux sub-block worth convolving: below this, the
+/// per-block fixed costs (tail copy, reversal, plan-cache lookup) stop
+/// amortizing even when the lag window is tiny.
+const MIN_SUB_BLOCK: usize = 1024;
+
+/// The out-of-core miner: [`MinerConfig`] semantics over a streaming
+/// [`SeriesSource`] under a byte budget.
+///
+/// The `engine` field of the config is ignored — streaming autocorrelation
+/// *is* the engine out here — and `max_period` must be explicit: the
+/// in-core `n / 2` default would scale the detector's own state with the
+/// file instead of the budget.
+#[derive(Debug, Clone)]
+pub struct OutOfCoreMiner {
+    config: MinerConfig,
+    budget_bytes: usize,
+    chunk_override: Option<usize>,
+}
+
+impl OutOfCoreMiner {
+    /// Creates a miner that keeps resident bytes near `budget_bytes`.
+    ///
+    /// Fails with [`MiningError::MissingMaxPeriod`] unless
+    /// `config.max_period` is set. The budget is a target, not a hard
+    /// wall: per-period accumulators are output-sensitive, and the actual
+    /// high-water mark is always published via
+    /// `series.resident_bytes_peak` (and returned by
+    /// [`Self::mine_with_peak`]) so callers can verify it.
+    pub fn new(config: MinerConfig, budget_bytes: usize) -> Result<Self> {
+        if config.max_period.is_none() {
+            return Err(MiningError::MissingMaxPeriod);
+        }
+        Ok(OutOfCoreMiner {
+            config,
+            budget_bytes,
+            chunk_override: None,
+        })
+    }
+
+    /// Overrides the budget-derived chunk size (in symbols, clamped to 1).
+    ///
+    /// The conformance harness sweeps this directly so chunk boundaries
+    /// land adversarially (period == chunk, period == chunk ± 1, a segment
+    /// spanning three chunks). Production callers should let
+    /// [`Self::new`]'s budget planner pick: a hand-set chunk bypasses the
+    /// `MIN_CHUNK_SYMBOLS` floor and the budget-halving headroom.
+    pub fn with_chunk_size(mut self, chunk: usize) -> Self {
+        self.chunk_override = Some(chunk.max(1));
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Mines `source` end to end; see the module docs for the passes.
+    pub fn mine<S: SeriesSource + ?Sized>(&self, source: &mut S) -> Result<MiningReport> {
+        self.mine_with_peak(source).map(|(report, _)| report)
+    }
+
+    /// [`Self::mine`], additionally returning the resident-bytes
+    /// high-water mark the run observed (the same value the
+    /// `series.resident_bytes_peak` counter accumulates).
+    pub fn mine_with_peak<S: SeriesSource + ?Sized>(
+        &self,
+        source: &mut S,
+    ) -> Result<(MiningReport, usize)> {
+        let _span = obs::span("miner.mine_out_of_core");
+        let n = source.series_len();
+        let threshold = self.config.threshold;
+        let detector_config = DetectorConfig {
+            threshold,
+            min_period: self.config.min_period,
+            max_period: self.config.max_period,
+            prune: self.config.prune,
+        };
+        let (min_p, max_p) = detector_config.validate(n)?;
+        let sigma = source.alphabet().len();
+
+        let mut detection = DetectionResult {
+            series_len: n,
+            threshold,
+            periodicities: Vec::new(),
+            examined_periods: 0,
+            scanned_periods: 0,
+        };
+        let mut peak = PeakTracker::default();
+        if n < 2 || min_p > max_p {
+            return Ok((
+                MiningReport {
+                    detection,
+                    patterns: Vec::new(),
+                },
+                peak.peak,
+            ));
+        }
+
+        let chunk = self
+            .chunk_override
+            .unwrap_or_else(|| chunk_for_budget(self.budget_bytes, max_p));
+        let mut source = Instrumented { inner: source };
+
+        // Pass 1: exact per-symbol lag-match spectrum, then the detector's
+        // sound prune. The streaming correlator carries its own `max_p`
+        // tail, so this pass needs no driver overlap.
+        let survivors: Vec<(usize, Vec<SymbolId>)> = {
+            let _span = obs::span("detect.spectrum");
+            // Cap the demux scratch (one u64 per sub-block element) at a
+            // quarter chunk — the 2 B/symbol the planner charges for it.
+            // Within that cap, prefer blocks a small multiple of the lag
+            // window: each push_block convolves tail + block, so per fresh
+            // element it costs ((l + max_p) / l) * log(l + max_p), which
+            // bottoms out near l ~ 8 * max_p and then *rises* with l as the
+            // NTT log factor grows — bigger scratch is slower, not faster.
+            let tuned = (8 * (max_p + 1)).max(MIN_SUB_BLOCK);
+            let sub_block = (chunk / 4).min(tuned).max(max_p + 1);
+            let mut streamer = SymbolSpectrumStreamer::with_sub_block(sigma, max_p, sub_block);
+            let mut ids: Vec<u16> = Vec::new();
+            for_each_chunk(&mut source, chunk, 0, |view| -> Result<()> {
+                ids.clear();
+                ids.extend(view.full().iter().map(|s| s.0));
+                streamer.push_ids(&ids)?;
+                peak.observe(
+                    buffer_bytes(chunk, 0) + ids.capacity() * 2 + streamer.resident_bytes(),
+                );
+                Ok(())
+            })?;
+
+            let mut survivors = Vec::new();
+            for p in min_p..=max_p {
+                detection.examined_periods += 1;
+                // Same two-denominator bound as the in-core detector.
+                let d_first = pair_denominator(n, p, 0);
+                if d_first == 0 {
+                    continue;
+                }
+                let d_min_pos = pair_denominator(n, p, p - 1).max(1);
+                let mut flagged: Vec<SymbolId> = Vec::new();
+                if self.config.prune {
+                    let bound = threshold * d_min_pos as f64 - EPS;
+                    for k in 0..sigma {
+                        if streamer.counts(k)[p] as f64 >= bound {
+                            flagged.push(SymbolId::from_index(k));
+                        }
+                    }
+                    if flagged.is_empty() {
+                        continue;
+                    }
+                } else {
+                    flagged.extend((0..sigma).map(SymbolId::from_index));
+                }
+                detection.scanned_periods += 1;
+                survivors.push((p, flagged));
+            }
+            survivors
+        };
+
+        // Pass 2: phase-binned F2 tables for every surviving period, all in
+        // one sweep with the largest survivor as carry.
+        if !survivors.is_empty() {
+            let _span = obs::span("detect.phase_scan");
+            let mut tables: Vec<Vec<Vec<u32>>> = survivors
+                .iter()
+                .map(|(p, flagged)| vec![vec![0u32; *p]; flagged.len()])
+                .collect();
+            let slots: Vec<Vec<usize>> = survivors
+                .iter()
+                .map(|(_, flagged)| {
+                    let mut slot = vec![usize::MAX; sigma];
+                    for (row, sym) in flagged.iter().enumerate() {
+                        slot[sym.index()] = row;
+                    }
+                    slot
+                })
+                .collect();
+            let tables_bytes: usize = survivors
+                .iter()
+                .map(|(p, flagged)| flagged.len() * *p * 4 + sigma * 8)
+                .sum();
+            let overlap = survivors.last().map(|&(p, _)| p).unwrap_or(0);
+            for_each_chunk(&mut source, chunk, overlap, |view| -> Result<()> {
+                let full = view.full();
+                let carry = view.carry().len();
+                let base = view.start() - carry;
+                for (si, &(p, _)) in survivors.iter().enumerate() {
+                    let slot = &slots[si];
+                    let table = &mut tables[si];
+                    // Right endpoints live in the fresh region only, so each
+                    // pair is counted exactly once; `carry >= p` whenever the
+                    // buffer has dropped its prefix, so the left endpoint is
+                    // always resident.
+                    for local_b in carry.max(p)..full.len() {
+                        let local_a = local_b - p;
+                        if full[local_a] == full[local_b] {
+                            let row = slot[full[local_a].index()];
+                            if row != usize::MAX {
+                                table[row][(base + local_a) % p] += 1;
+                            }
+                        }
+                    }
+                }
+                peak.observe(buffer_bytes(chunk, overlap) + tables_bytes);
+                Ok(())
+            })?;
+
+            // Def. 1, verbatim from the in-core detector: same operands,
+            // same order, same tolerance.
+            for ((p, flagged), table) in survivors.iter().zip(&tables) {
+                for (&sym, row) in flagged.iter().zip(table) {
+                    for (l, &f2) in row.iter().enumerate() {
+                        let denom = pair_denominator(n, *p, l);
+                        if denom == 0 {
+                            continue;
+                        }
+                        let confidence = f2 as f64 / denom as f64;
+                        if confidence + EPS >= threshold {
+                            detection.periodicities.push(SymbolPeriodicity {
+                                symbol: sym,
+                                period: *p,
+                                phase: l,
+                                f2,
+                                denominator: denom as u32,
+                                confidence,
+                            });
+                        }
+                    }
+                }
+            }
+            detection
+                .periodicities
+                .sort_by_key(|s| (s.period, s.phase, s.symbol));
+        }
+
+        // Pass 3: stream-build each detected period's transaction table,
+        // then run the ordinary pattern machinery against them.
+        let patterns = if self.config.mine_patterns && !detection.periodicities.is_empty() {
+            let indexes = {
+                let _span = obs::span("mining.pairindex_stream");
+                let periods = detection.detected_periods();
+                let mut builders: Vec<PairIndexBuilder> = periods
+                    .iter()
+                    .map(|&p| {
+                        PairIndexBuilder::new(
+                            n,
+                            p,
+                            detection
+                                .at_period(p)
+                                .iter()
+                                .map(|sp| (sp.phase, sp.symbol)),
+                        )
+                    })
+                    .collect();
+                let overlap = periods.last().copied().unwrap_or(0);
+                for_each_chunk(&mut source, chunk, overlap, |view| -> Result<()> {
+                    let full = view.full();
+                    let carry = view.carry().len();
+                    let base = view.start() - carry;
+                    for builder in &mut builders {
+                        let p = builder.period();
+                        for local_b in carry.max(p)..full.len() {
+                            let local_a = local_b - p;
+                            if full[local_a] == full[local_b] {
+                                builder.record_match(base + local_a, full[local_a]);
+                            }
+                        }
+                    }
+                    peak.observe(
+                        buffer_bytes(chunk, overlap)
+                            + builders
+                                .iter()
+                                .map(PairIndexBuilder::resident_bytes)
+                                .sum::<usize>(),
+                    );
+                    Ok(())
+                })?;
+                builders
+                    .into_iter()
+                    .map(PairIndexBuilder::finish)
+                    .collect::<Vec<PairMatchIndex>>()
+            };
+            let pm_config = PatternMinerConfig {
+                min_support: self.config.min_support.unwrap_or(threshold),
+                max_positions: self.config.max_pattern_positions,
+                candidate_cap: self.config.candidate_cap,
+                mode: self.config.pattern_mode,
+                threads: self.config.threads,
+            };
+            mine_patterns_with_indexes(&indexes, &detection, &pm_config)?
+        } else {
+            Vec::new()
+        };
+
+        Ok((
+            MiningReport {
+                detection,
+                patterns,
+            },
+            peak.peak,
+        ))
+    }
+}
+
+/// Symbols per chunk for a byte budget: each in-flight symbol costs
+/// ~8 bytes at once — the driver's carry buffer (2), its fresh staging
+/// read (2), pass 1's `u16` demux ids (2), and the spectrum streamer's
+/// `u64` indicator scratch capped at a quarter chunk (2 amortized) — so
+/// those get half the budget, and the other half is headroom for the pass
+/// accumulators.
+fn chunk_for_budget(budget_bytes: usize, overlap: usize) -> usize {
+    let per_symbol = 4 * std::mem::size_of::<SymbolId>();
+    ((budget_bytes / 2) / per_symbol)
+        .saturating_sub(overlap)
+        .max(overlap)
+        .max(MIN_CHUNK_SYMBOLS)
+}
+
+/// Heap bytes of the driver's buffers at capacity: the carry + fresh
+/// assembly buffer plus the staging buffer `for_each_chunk` reads into.
+fn buffer_bytes(chunk: usize, overlap: usize) -> usize {
+    (2 * chunk + overlap) * std::mem::size_of::<SymbolId>()
+}
+
+/// Resident-bytes high-water mark, published as peak deltas so the
+/// counter's accumulated value equals the peak (see
+/// [`Counter::SeriesResidentBytesPeak`](periodica_obs::Counter)).
+#[derive(Default)]
+struct PeakTracker {
+    peak: usize,
+}
+
+impl PeakTracker {
+    fn observe(&mut self, resident: usize) {
+        if resident > self.peak {
+            obs::count(
+                obs::Counter::SeriesResidentBytesPeak,
+                (resident - self.peak) as u64,
+            );
+            self.peak = resident;
+        }
+    }
+}
+
+/// Wraps a source so every chunk read lands in the `series.chunk_read_ns`
+/// and `series.chunk_read_bytes` histograms.
+struct Instrumented<'s, S: ?Sized> {
+    inner: &'s mut S,
+}
+
+impl<S: SeriesSource + ?Sized> SeriesSource for Instrumented<'_, S> {
+    fn series_len(&self) -> usize {
+        self.inner.series_len()
+    }
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        self.inner.alphabet()
+    }
+
+    fn read_at(
+        &mut self,
+        at: usize,
+        max: usize,
+        buf: &mut Vec<SymbolId>,
+    ) -> std::result::Result<usize, periodica_series::SeriesError> {
+        let timer = obs::time_hist(obs::Hist::SeriesChunkReadNs);
+        let read = self.inner.read_at(at, max, buf)?;
+        drop(timer);
+        obs::duration(
+            obs::Hist::SeriesChunkReadBytes,
+            (read * std::mem::size_of::<SymbolId>()) as u64,
+        );
+        Ok(read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::ObscureMiner;
+    use crate::pattern::PatternMode;
+    use periodica_series::{MemorySource, SymbolSeries};
+
+    /// xorshift64 series — deterministic, no RNG crate.
+    fn random_series(len: usize, sigma: usize, mut state: u64) -> SymbolSeries {
+        let a = Alphabet::latin(sigma).expect("alphabet");
+        let ids: Vec<SymbolId> = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                SymbolId::from_index((state % sigma as u64) as usize)
+            })
+            .collect();
+        SymbolSeries::from_ids(ids, a).expect("series")
+    }
+
+    fn planted_series(len: usize, period: usize, sigma: usize, noise_every: usize) -> SymbolSeries {
+        let a = Alphabet::latin(sigma).expect("alphabet");
+        let ids: Vec<SymbolId> = (0..len)
+            .map(|i| {
+                if noise_every != 0 && i % noise_every == noise_every - 1 {
+                    SymbolId::from_index((i / noise_every) % sigma)
+                } else {
+                    SymbolId::from_index(i % period % sigma)
+                }
+            })
+            .collect();
+        SymbolSeries::from_ids(ids, a).expect("series")
+    }
+
+    fn assert_reports_identical(a: &MiningReport, b: &MiningReport) {
+        assert_eq!(
+            a.detection.periodicities.len(),
+            b.detection.periodicities.len()
+        );
+        for (x, y) in a
+            .detection
+            .periodicities
+            .iter()
+            .zip(&b.detection.periodicities)
+        {
+            assert_eq!(
+                (x.symbol, x.period, x.phase, x.f2, x.denominator),
+                (y.symbol, y.period, y.phase, y.f2, y.denominator)
+            );
+            assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+        }
+        assert_eq!(a.detection.examined_periods, b.detection.examined_periods);
+        assert_eq!(a.detection.scanned_periods, b.detection.scanned_periods);
+        assert_eq!(a.patterns.len(), b.patterns.len());
+        for (x, y) in a.patterns.iter().zip(&b.patterns) {
+            assert_eq!(x.pattern, y.pattern);
+            assert_eq!(x.support.count, y.support.count);
+            assert_eq!(x.support.denominator, y.support.denominator);
+            assert_eq!(x.support.support.to_bits(), y.support.support.to_bits());
+        }
+    }
+
+    #[test]
+    fn streamed_report_is_bit_identical_to_the_resident_miner() {
+        for (len, sigma, seed) in [(400usize, 3usize, 1u64), (777, 4, 2), (1203, 5, 3)] {
+            let series = random_series(len, sigma, seed.wrapping_mul(0x9E37_79B9));
+            for mode in [PatternMode::Closed, PatternMode::EnumerateAll] {
+                let config = MinerConfig {
+                    threshold: 0.35,
+                    max_period: Some(40),
+                    pattern_mode: mode,
+                    threads: Some(1),
+                    ..Default::default()
+                };
+                let resident = ObscureMiner::from_config(config.clone())
+                    .mine(&series)
+                    .expect("resident mine");
+                // Tiny budget: forces many chunks (MIN_CHUNK_SYMBOLS floor).
+                let miner = OutOfCoreMiner::new(config, 1).expect("miner");
+                let mut source = MemorySource::from(&series);
+                let streamed = miner.mine(&mut source).expect("streamed mine");
+                assert_reports_identical(&streamed, &resident);
+            }
+        }
+    }
+
+    #[test]
+    fn planted_period_survives_streaming_with_bounded_peak() {
+        let series = planted_series(60_000, 13, 4, 17);
+        let config = MinerConfig {
+            threshold: 0.8,
+            max_period: Some(64),
+            ..Default::default()
+        };
+        let resident = ObscureMiner::from_config(config.clone())
+            .mine(&series)
+            .expect("resident");
+        let budget = 64 * 1024;
+        let miner = OutOfCoreMiner::new(config, budget).expect("miner");
+        let mut source = MemorySource::from(&series);
+        let (streamed, peak) = miner.mine_with_peak(&mut source).expect("streamed");
+        assert_reports_identical(&streamed, &resident);
+        assert!(streamed.detection.detected_periods().contains(&13));
+        assert!(peak > 0);
+        // The series is 120 KB resident; the pipeline must not have
+        // buffered anything close to all of it.
+        assert!(
+            peak < series.len() * std::mem::size_of::<SymbolId>(),
+            "peak {peak} should undercut the resident series"
+        );
+    }
+
+    #[test]
+    fn explicit_max_period_is_required() {
+        let config = MinerConfig::default();
+        assert!(matches!(
+            OutOfCoreMiner::new(config, 1 << 20),
+            Err(MiningError::MissingMaxPeriod)
+        ));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        for text_len in [0usize, 1] {
+            let series = random_series(text_len, 2, 7);
+            let config = MinerConfig {
+                max_period: Some(8),
+                ..Default::default()
+            };
+            let miner = OutOfCoreMiner::new(config, 1 << 16).expect("miner");
+            let mut source = MemorySource::from(&series);
+            let report = miner.mine(&mut source).expect("mine");
+            assert!(report.detection.periodicities.is_empty());
+            assert!(report.patterns.is_empty());
+        }
+    }
+
+    #[test]
+    fn chunk_planner_respects_floors() {
+        assert_eq!(chunk_for_budget(0, 10), MIN_CHUNK_SYMBOLS);
+        assert!(chunk_for_budget(1 << 30, 128) > MIN_CHUNK_SYMBOLS);
+        // Overlap never exceeds the chunk, so the driver always progresses.
+        assert!(chunk_for_budget(1, 1 << 20) >= 1 << 20);
+    }
+}

@@ -208,6 +208,95 @@ impl PairMatchIndex {
     }
 }
 
+/// Chunk-incremental [`PairMatchIndex`] construction for the out-of-core
+/// path: the caller streams the series once and reports every lag-`period`
+/// match it encounters; the finished index is bit-identical to
+/// [`PairMatchIndex::build`] over the resident series.
+///
+/// Bit placement mirrors the in-core pass exactly: a match at left index `a`
+/// (so `t_a = t_{a+p}`) lands in transaction `a / p` of phase `a % p`, and
+/// `a + p < n` guarantees `a / p < universe`, so every reported match has a
+/// defined bit.
+#[derive(Debug)]
+pub struct PairIndexBuilder {
+    period: usize,
+    series_len: usize,
+    universe: usize,
+    items: Vec<(usize, SymbolId)>,
+    rows: Vec<BitVec>,
+}
+
+impl PairIndexBuilder {
+    /// Starts a builder for `period` over a series of `series_len` symbols,
+    /// indexing the given `(phase, symbol)` items (deduplicated and sorted
+    /// internally, exactly as [`PairMatchIndex::build`] does).
+    pub fn new<I>(series_len: usize, period: usize, items: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, SymbolId)>,
+    {
+        let universe = if period == 0 {
+            0
+        } else {
+            pair_denominator(series_len, period, 0)
+        };
+        let mut items: Vec<(usize, SymbolId)> = items
+            .into_iter()
+            .filter(|&(l, _)| l < period.max(1))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        let rows = vec![BitVec::zeros(universe); items.len()];
+        PairIndexBuilder {
+            period,
+            series_len,
+            universe,
+            items,
+            rows,
+        }
+    }
+
+    /// The period under construction.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Heap bytes held by the transaction rows — this builder's
+    /// contribution to resident-memory accounting (output-sensitive:
+    /// `items × universe` bits).
+    pub fn resident_bytes(&self) -> usize {
+        self.items.len() * self.universe.div_ceil(64) * 8
+    }
+
+    /// Records a lag-`period` match: `t_a = t_{a + period} = symbol`, with
+    /// `a + period < series_len`. Matches on `(phase, symbol)` combinations
+    /// that were not indexed are ignored, as in the in-core pass.
+    #[inline]
+    pub fn record_match(&mut self, a: usize, symbol: SymbolId) {
+        if self.period == 0 {
+            return;
+        }
+        debug_assert!(a + self.period < self.series_len);
+        let phase = a % self.period;
+        if let Ok(j) = self.items.binary_search(&(phase, symbol)) {
+            let i = a / self.period;
+            debug_assert!(i < self.universe);
+            self.rows[j].set(i);
+        }
+    }
+
+    /// Finalizes the index.
+    pub fn finish(self) -> PairMatchIndex {
+        obs::count(obs::Counter::PairIndexRowsBuilt, self.items.len() as u64);
+        PairMatchIndex {
+            period: self.period,
+            series_len: self.series_len,
+            universe: self.universe,
+            items: self.items,
+            rows: self.rows,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +415,41 @@ mod tests {
         let short = PairMatchIndex::build(&s, 10, [(0, SymbolId(0))]);
         assert_eq!(short.universe(), 0);
         assert_eq!(short.row(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn streaming_builder_matches_the_in_core_build() {
+        for (len, sigma, seed) in [(47usize, 3usize, 5u64), (200, 4, 6), (333, 2, 7)] {
+            let s = random_series(len, sigma, seed.wrapping_mul(0x9E37_79B9));
+            let data = s.symbols();
+            for p in [1usize, 2, 3, 7, 13, len - 1] {
+                let all_items: Vec<(usize, SymbolId)> = (0..p.min(9))
+                    .flat_map(|l| (0..sigma).map(move |k| (l, SymbolId::from_index(k))))
+                    .collect();
+                let reference = PairMatchIndex::build(&s, p, all_items.iter().copied());
+                let mut builder = PairIndexBuilder::new(len, p, all_items.iter().copied());
+                // Stream matches right-endpoint-first, as the chunked
+                // driver does.
+                for b in p..len {
+                    let a = b - p;
+                    if data[a] == data[b] {
+                        builder.record_match(a, data[a]);
+                    }
+                }
+                let streamed = builder.finish();
+                assert_eq!(streamed.universe(), reference.universe());
+                assert_eq!(streamed.items(), reference.items());
+                for j in 0..reference.items().len() {
+                    for i in 0..reference.universe() {
+                        assert_eq!(
+                            streamed.row(j).get(i),
+                            reference.row(j).get(i),
+                            "len={len} p={p} item={j} pair={i}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

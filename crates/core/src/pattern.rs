@@ -23,6 +23,7 @@
 //! (see [`PatternMinerConfig::threads`]); the merge is deterministic and
 //! the output bit-identical to the serial path.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -412,6 +413,40 @@ impl MiningStats {
     }
 }
 
+/// Where a period's [`PairMatchIndex`] comes from: built on demand from a
+/// resident series (the classic path), or looked up in a caller-supplied
+/// table of prebuilt indexes (the out-of-core path, which constructed them
+/// incrementally from disk chunks and no longer holds the series).
+#[derive(Clone, Copy)]
+enum IndexSource<'a> {
+    Series(&'a SymbolSeries),
+    Prebuilt(&'a [PairMatchIndex]),
+}
+
+impl<'a> IndexSource<'a> {
+    /// The transaction table for `period`. Borrowed when prebuilt, owned
+    /// when derived from the series; identical bits either way.
+    fn index_for(
+        &self,
+        detection: &DetectionResult,
+        period: usize,
+    ) -> Result<Cow<'a, PairMatchIndex>> {
+        match *self {
+            IndexSource::Series(series) => Ok(Cow::Owned(PairMatchIndex::from_detection(
+                series, detection, period,
+            ))),
+            IndexSource::Prebuilt(indexes) => indexes
+                .binary_search_by_key(&period, PairMatchIndex::period)
+                .map(|i| Cow::Borrowed(&indexes[i]))
+                .map_err(|_| {
+                    MiningError::InvalidPattern(format!(
+                        "no prebuilt pair index for detected period {period}"
+                    ))
+                }),
+        }
+    }
+}
+
 /// Mines the periodic patterns meeting `config.min_support`, grown from the
 /// single-symbol periodicities in `detection`.
 ///
@@ -432,6 +467,34 @@ pub fn mine_patterns_with_stats(
     detection: &DetectionResult,
     config: &PatternMinerConfig,
 ) -> Result<(Vec<MinedPattern>, MiningStats)> {
+    mine_with_source(IndexSource::Series(series), detection, config)
+}
+
+/// [`mine_patterns`] against prebuilt per-period transaction tables instead
+/// of a resident series.
+///
+/// `indexes` must be sorted ascending by [`PairMatchIndex::period`] and
+/// contain one entry for every period `detection` reports (extras are
+/// ignored); a missing period is an [`MiningError::InvalidPattern`] error.
+/// Given indexes bit-identical to what [`PairMatchIndex::from_detection`]
+/// builds — e.g. from the chunk-incremental
+/// [`PairIndexBuilder`](crate::pairbits::PairIndexBuilder) — the mined
+/// patterns are bit-identical to [`mine_patterns`] on the resident series.
+pub fn mine_patterns_with_indexes(
+    indexes: &[PairMatchIndex],
+    detection: &DetectionResult,
+    config: &PatternMinerConfig,
+) -> Result<Vec<MinedPattern>> {
+    debug_assert!(indexes.windows(2).all(|w| w[0].period() < w[1].period()));
+    mine_with_source(IndexSource::Prebuilt(indexes), detection, config)
+        .map(|(patterns, _)| patterns)
+}
+
+fn mine_with_source(
+    source: IndexSource<'_>,
+    detection: &DetectionResult,
+    config: &PatternMinerConfig,
+) -> Result<(Vec<MinedPattern>, MiningStats)> {
     let _span = obs::span("mining.mine_patterns");
     let periods = detection.detected_periods();
     let threads = config
@@ -447,7 +510,7 @@ pub fn mine_patterns_with_stats(
         let mut out = Vec::new();
         let mut stats = MiningStats::default();
         for &period in &periods {
-            let (patterns, period_stats) = mine_one_period(series, detection, period, config)?;
+            let (patterns, period_stats) = mine_one_period(source, detection, period, config)?;
             out.extend(patterns);
             stats.merge(&period_stats);
         }
@@ -481,7 +544,7 @@ pub fn mine_patterns_with_stats(
                     let Some(&period) = periods.get(i) else {
                         break;
                     };
-                    let result = mine_one_period(series, detection, period, config);
+                    let result = mine_one_period(source, detection, period, config);
                     if result.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -521,7 +584,7 @@ pub fn mine_patterns_with_stats(
 /// the per-period fan-out schedules; also the whole story at
 /// `threads == 1`.
 fn mine_one_period(
-    series: &SymbolSeries,
+    source: IndexSource<'_>,
     detection: &DetectionResult,
     period: usize,
     config: &PatternMinerConfig,
@@ -531,16 +594,16 @@ fn mine_one_period(
     match config.mode {
         PatternMode::EnumerateAll => {
             let _span = obs::span_with(|| format!("mining.period[{period}].apriori_join"));
-            mine_patterns_for_period(series, detection, period, config, &mut out, &mut stats)?;
+            let index = source.index_for(detection, period)?;
+            mine_patterns_for_period(&index, detection, period, config, &mut out, &mut stats)?;
         }
         PatternMode::Closed => {
             let _span = obs::span_with(|| format!("mining.period[{period}].closed"));
             emit_singles(detection, period, config, &mut out, &mut stats)?;
+            let index = source.index_for(detection, period)?;
             let mut closed = Vec::new();
-            crate::closed::mine_closed_for_period(
-                series,
-                detection,
-                period,
+            crate::closed::mine_closed_with_index(
+                &index,
                 config.min_support,
                 config.candidate_cap,
                 &mut closed,
@@ -590,7 +653,7 @@ fn emit_singles(
 }
 
 fn mine_patterns_for_period(
-    series: &SymbolSeries,
+    index: &PairMatchIndex,
     detection: &DetectionResult,
     period: usize,
     config: &PatternMinerConfig,
@@ -601,10 +664,9 @@ fn mine_patterns_for_period(
     // confidence *is* their Def.-2 support.
     let seeds = emit_singles(detection, period, config, out, stats)?;
 
-    // The shared verification substrate: one series pass builds every
-    // detected item's transaction row; all level-wise support counts are
+    // The shared verification substrate (one series pass built every
+    // detected item's transaction row): all level-wise support counts are
     // intersection popcounts against it.
-    let index = PairMatchIndex::from_detection(series, detection, period);
     let universe = index.universe();
     if universe == 0 {
         // No whole-segment pair: multi-symbol supports are all 0/0, which

@@ -1,0 +1,214 @@
+//! Chunk-boundary-adversarial series for the out-of-core pipeline.
+//!
+//! The out-of-core miner (DESIGN.md §17) streams the series through
+//! fixed-size chunks with an overlap carry; the bugs that class of code
+//! grows are all at the seams — a lag-`p` pair whose endpoints land in
+//! different chunks, a phase whose residue arithmetic must survive the
+//! carry offset, a repeating segment longer than the chunk itself. This
+//! module plants periodicities positioned exactly on those seams:
+//!
+//! * period == chunk: every lag-`p` pair straddles exactly one boundary;
+//! * period == chunk ± 1: the straddle point *drifts* by one position per
+//!   chunk, sweeping every in-chunk offset over the file;
+//! * period == 2.5 × chunk: one period-length segment spans three chunks,
+//!   so the left endpoint of a pair is only reachable through the carry.
+//!
+//! The canonical configurations ([`conformance_fixtures`]) are frozen into
+//! `tests/fixtures/chunk-boundary-*.json` by the oracle's `gen_fixtures`
+//! example and re-verified by the conformance harness, which sweeps the
+//! actual chunk size across and around [`CONFORMANCE_CHUNK`].
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use periodica_series::{Alphabet, Result, SeriesError, SymbolId, SymbolSeries};
+
+/// The chunk size (in symbols) the frozen conformance fixtures are
+/// adversarial against, and the smallest size the conformance sweep runs.
+pub const CONFORMANCE_CHUNK: usize = 64;
+
+/// Configuration for one chunk-boundary-adversarial series.
+///
+/// The series repeats a seeded random template of `period` symbols over
+/// `length` positions, then replaces `noise_pct`% of positions with
+/// uniform noise — the same planted-period construction the rest of the
+/// fixture corpus uses, with the period chosen relative to a chunk size
+/// instead of a length residue.
+#[derive(Debug, Clone)]
+pub struct ChunkEdgeConfig {
+    /// Planted period (chosen relative to the adversarial chunk size).
+    pub period: usize,
+    /// Alphabet size.
+    pub sigma: usize,
+    /// Series length in symbols.
+    pub length: usize,
+    /// Percentage of positions replaced by uniform noise.
+    pub noise_pct: usize,
+    /// RNG seed (template and noise).
+    pub seed: u64,
+}
+
+impl ChunkEdgeConfig {
+    /// A series whose planted period equals the chunk size: every lag-`p`
+    /// pair straddles exactly one chunk boundary.
+    pub fn period_equals_chunk(chunk: usize) -> Self {
+        ChunkEdgeConfig {
+            period: chunk,
+            sigma: 5,
+            length: 6 * chunk + 1,
+            noise_pct: 12,
+            seed: 0xC4E0 ^ chunk as u64,
+        }
+    }
+
+    /// A series whose planted period is `chunk + delta` for `delta` in
+    /// `{-1, +1}`: the boundary-straddle offset drifts one position per
+    /// chunk, sweeping every in-chunk alignment over the series.
+    pub fn period_off_by(chunk: usize, delta: i64) -> Self {
+        let period = (chunk as i64 + delta).max(2) as usize;
+        ChunkEdgeConfig {
+            period,
+            sigma: 5,
+            length: 6 * period + 5,
+            noise_pct: 12,
+            seed: 0x0FF1 ^ (chunk as u64) << 8 ^ delta as u64,
+        }
+    }
+
+    /// A series whose period-length segment spans three chunks
+    /// (`period = 2.5 × chunk`): the left endpoint of every lag-`p` pair
+    /// is two chunk boundaries behind the right one, reachable only
+    /// through the overlap carry.
+    pub fn segment_spans_three_chunks(chunk: usize) -> Self {
+        ChunkEdgeConfig {
+            period: 2 * chunk + chunk / 2,
+            sigma: 5,
+            length: 4 * (2 * chunk + chunk / 2) + 17,
+            noise_pct: 12,
+            seed: 0x5E63 ^ chunk as u64,
+        }
+    }
+
+    /// Generates the series.
+    pub fn generate(&self) -> Result<SymbolSeries> {
+        if self.period == 0 || self.sigma == 0 {
+            return Err(SeriesError::InvalidGenerator(format!(
+                "chunk-edge period {} and sigma {} must be positive",
+                self.period, self.sigma
+            )));
+        }
+        if self.noise_pct > 100 {
+            return Err(SeriesError::InvalidGenerator(format!(
+                "chunk-edge noise percentage {} exceeds 100",
+                self.noise_pct
+            )));
+        }
+        let alphabet = Alphabet::latin(self.sigma)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let template: Vec<usize> = (0..self.period)
+            .map(|_| rng.random_range(0..self.sigma))
+            .collect();
+        let ids: Vec<SymbolId> = (0..self.length)
+            .map(|i| {
+                let id = if rng.random_range(0..100) < self.noise_pct {
+                    rng.random_range(0..self.sigma)
+                } else {
+                    template[i % self.period]
+                };
+                SymbolId::from_index(id)
+            })
+            .collect();
+        SymbolSeries::from_ids(ids, Arc::clone(&alphabet))
+    }
+}
+
+/// The canonical fixture set frozen into `tests/fixtures/`: name and
+/// configuration of every chunk-boundary-adversarial series, all pinned
+/// against [`CONFORMANCE_CHUNK`].
+///
+/// The oracle's `gen_fixtures` example generates the corpus from this
+/// list, and the regeneration test in `tests/conformance.rs` asserts the
+/// committed fixtures still match it symbol for symbol.
+pub fn conformance_fixtures() -> Vec<(&'static str, ChunkEdgeConfig)> {
+    vec![
+        (
+            "chunk-boundary-period-eq-chunk",
+            ChunkEdgeConfig::period_equals_chunk(CONFORMANCE_CHUNK),
+        ),
+        (
+            "chunk-boundary-period-chunk-minus-1",
+            ChunkEdgeConfig::period_off_by(CONFORMANCE_CHUNK, -1),
+        ),
+        (
+            "chunk-boundary-period-chunk-plus-1",
+            ChunkEdgeConfig::period_off_by(CONFORMANCE_CHUNK, 1),
+        ),
+        (
+            "chunk-boundary-segment-spans-three-chunks",
+            ChunkEdgeConfig::segment_spans_three_chunks(CONFORMANCE_CHUNK),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = ChunkEdgeConfig::period_equals_chunk(64);
+        let a = config.generate().expect("ok");
+        let b = config.generate().expect("ok");
+        assert_eq!(a.symbols(), b.symbols());
+        assert_eq!(a.len(), 6 * 64 + 1);
+    }
+
+    #[test]
+    fn planted_period_dominates_the_series() {
+        for (_, config) in conformance_fixtures() {
+            let s = config.generate().expect("ok");
+            let p = config.period;
+            let matches = (p..s.len())
+                .filter(|&b| s.get(b - p).expect("a") == s.get(b).expect("b"))
+                .count();
+            let total = s.len() - p;
+            // 12% replacement noise over sigma = 5 leaves ~80% of lag-p
+            // pairs matching; random data would sit near 1/sigma = 20%.
+            assert!(
+                matches * 10 > total * 6,
+                "period {p} not planted: {matches}/{total} lag-p matches"
+            );
+        }
+    }
+
+    #[test]
+    fn off_by_one_periods_bracket_the_chunk() {
+        let minus = ChunkEdgeConfig::period_off_by(64, -1);
+        let plus = ChunkEdgeConfig::period_off_by(64, 1);
+        assert_eq!(minus.period, 63);
+        assert_eq!(plus.period, 65);
+        assert_eq!(ChunkEdgeConfig::segment_spans_three_chunks(64).period, 160);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = ChunkEdgeConfig {
+            period: 0,
+            sigma: 5,
+            length: 10,
+            noise_pct: 0,
+            seed: 1,
+        };
+        assert!(bad.generate().is_err());
+        let noisy = ChunkEdgeConfig {
+            period: 4,
+            sigma: 5,
+            length: 10,
+            noise_pct: 101,
+            seed: 1,
+        };
+        assert!(noisy.generate().is_err());
+    }
+}

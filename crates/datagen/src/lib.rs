@@ -13,11 +13,14 @@
 //! * [`power`] — daily household consumption, five levels, period 7 and
 //!   multiples;
 //! * [`eventlog`] — the intro's network event log with planted heartbeats;
-//! * [`sampling`] — Poisson / normal samplers shared by the generators.
+//! * [`sampling`] — Poisson / normal samplers shared by the generators;
+//! * [`chunkedge`] — chunk-boundary-adversarial series for the out-of-core
+//!   pipeline's conformance corpus.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chunkedge;
 pub mod composite;
 pub mod eventlog;
 pub mod export;
@@ -25,6 +28,7 @@ pub mod power;
 pub mod retail;
 pub mod sampling;
 
+pub use chunkedge::{ChunkEdgeConfig, CONFORMANCE_CHUNK};
 pub use eventlog::{EventLogConfig, Heartbeat};
 pub use power::{power_alphabet, power_levels, PowerConfig};
 pub use retail::{retail_alphabet, RetailConfig, RetailLevels};

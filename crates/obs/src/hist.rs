@@ -68,11 +68,16 @@ pub enum Hist {
     /// Synchronous eviction stall per `ingest_batch`/`candidates` call —
     /// the distribution behind the `session.evict_stall_ns` counter total.
     SessionEvictStallNs,
+    /// Time one out-of-core chunk read spent in the series source
+    /// (disk + decode + checksum fold).
+    SeriesChunkReadNs,
+    /// Payload bytes delivered per out-of-core chunk read.
+    SeriesChunkReadBytes,
 }
 
 impl Hist {
     /// Every histogram id, in declaration order.
-    pub const ALL: [Hist; 14] = [
+    pub const ALL: [Hist; 16] = [
         Hist::ServeIngestWireNs,
         Hist::ServeIngestHttpNs,
         Hist::ServeQueryWireNs,
@@ -87,6 +92,8 @@ impl Hist {
         Hist::ShardQueueWaitNs,
         Hist::SessionIngestBatchNs,
         Hist::SessionEvictStallNs,
+        Hist::SeriesChunkReadNs,
+        Hist::SeriesChunkReadBytes,
     ];
 
     /// Number of histogram ids.
@@ -109,6 +116,8 @@ impl Hist {
             Hist::ShardQueueWaitNs => "shard.queue_wait_ns",
             Hist::SessionIngestBatchNs => "session.ingest_batch_ns",
             Hist::SessionEvictStallNs => "session.evict_stall_ns",
+            Hist::SeriesChunkReadNs => "series.chunk_read_ns",
+            Hist::SeriesChunkReadBytes => "series.chunk_read_bytes",
         }
     }
 

@@ -290,6 +290,34 @@ fn main() {
     );
     fixtures.push(f);
 
+    // --- Chunk-boundary adversaries for the out-of-core pipeline. ---------
+    // Periods pinned to the conformance chunk size (== chunk, chunk ± 1,
+    // and a segment spanning three chunks); the conformance harness mines
+    // these through the file-backed streaming path across a chunk-size
+    // sweep and diffs bit-for-bit against the in-core engine and these
+    // oracle expectations.
+    for (name, config) in periodica_datagen::chunkedge::conformance_fixtures() {
+        let series = config.generate().expect("chunk-edge series");
+        let desc = format!(
+            "Chunk-boundary adversary: planted period {} against the {}-symbol \
+             conformance chunk, n = {}, {}% replacement noise",
+            config.period,
+            periodica_datagen::chunkedge::CONFORMANCE_CHUNK,
+            config.length,
+            config.noise_pct
+        );
+        fixtures.push(Fixture::from_series(
+            name,
+            &desc,
+            &series,
+            3,
+            5,
+            1,
+            config.period + 6,
+            PATTERN_CAP,
+        ));
+    }
+
     // --- A sparse heartbeat among noise (the intro's event-log shape). ----
     let mut lcg = Lcg(0xBEA7);
     let heartbeat: Vec<SymbolId> = (0..37)
@@ -318,7 +346,7 @@ fn main() {
 
     // ----------------------------------------------------------------------
     assert!(
-        fixtures.len() >= 13,
+        fixtures.len() >= 17,
         "corpus shrank to {} fixtures",
         fixtures.len()
     );

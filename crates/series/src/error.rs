@@ -33,6 +33,36 @@ pub enum SeriesError {
     InvalidGenerator(String),
     /// Underlying I/O failure.
     Io(String),
+    /// A series file's structure is invalid (bad magic, mangled header,
+    /// out-of-range symbol id, garbage field). `offset` is the byte offset
+    /// of the offending data.
+    CorruptSeriesFile {
+        /// Byte offset where corruption was detected.
+        offset: u64,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A series file ended before the length promised by its header.
+    TruncatedSeriesFile {
+        /// Bytes the header implies the file must hold.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A series file's FNV-1a trailer disagrees with its contents.
+    SeriesChecksumMismatch {
+        /// Checksum stored in the trailer.
+        expected: u64,
+        /// Checksum computed over the file.
+        actual: u64,
+    },
+    /// A series file was written by an unsupported format version.
+    UnsupportedSeriesVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for SeriesError {
@@ -56,6 +86,27 @@ impl fmt::Display for SeriesError {
             SeriesError::InvalidNoiseRatio(r) => write!(f, "noise ratio {r} is outside [0, 1]"),
             SeriesError::InvalidGenerator(m) => write!(f, "invalid generator: {m}"),
             SeriesError::Io(m) => write!(f, "I/O error: {m}"),
+            SeriesError::CorruptSeriesFile { offset, message } => {
+                write!(f, "corrupt series file at byte {offset}: {message}")
+            }
+            SeriesError::TruncatedSeriesFile { expected, actual } => {
+                write!(
+                    f,
+                    "truncated series file: header promises {expected} bytes, found {actual}"
+                )
+            }
+            SeriesError::SeriesChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "series file checksum mismatch: trailer {expected:#018x}, computed {actual:#018x}"
+                )
+            }
+            SeriesError::UnsupportedSeriesVersion { found, supported } => {
+                write!(
+                    f,
+                    "series file version {found} is not supported (newest readable: {supported})"
+                )
+            }
         }
     }
 }

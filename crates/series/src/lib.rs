@@ -12,7 +12,10 @@
 //!   paper's mixtures;
 //! * [`generate`] — the paper's synthetic periodic workloads (U/N
 //!   distributions);
-//! * [`io`] — text/CSV persistence and a one-pass streaming decoder.
+//! * [`io`] — text/CSV persistence and a one-pass streaming decoder;
+//! * [`source`] — out-of-core access: the [`SeriesSource`] abstraction, the
+//!   checksummed binary/text on-disk series formats, and the chunk/overlap
+//!   streaming driver.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,12 +28,17 @@ pub mod generate;
 pub mod io;
 pub mod noise;
 pub mod series;
+pub mod source;
 pub mod stats;
 pub mod symbol;
 
 pub use alphabet::Alphabet;
 pub use error::{Result, SeriesError};
 pub use series::{pair_denominator, projection_len, SeriesBuilder, SymbolSeries};
+pub use source::{
+    for_each_chunk, write_series_file, write_text_series_file, ChunkView, FileSeriesReader,
+    MemorySource, SeriesFileWriter, SeriesSource,
+};
 pub use symbol::SymbolId;
 
 #[cfg(test)]

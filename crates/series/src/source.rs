@@ -1,0 +1,979 @@
+//! Out-of-core series access: the [`SeriesSource`] abstraction plus an
+//! on-disk series format with a checksummed streaming reader and writer.
+//!
+//! The paper's one-pass claim stops at RAM size if the whole series must be
+//! resident. This module removes that limit: a [`FileSeriesReader`] streams a
+//! disk-resident series in caller-sized chunks through the same code paths
+//! that consume in-memory series, and [`for_each_chunk`] supplies the
+//! overlap carry that lag-window consumers (autocorrelation, pair matching)
+//! need at chunk boundaries.
+//!
+//! # On-disk format
+//!
+//! Two self-describing encodings, both ending in an FNV-1a 64 trailer over
+//! every preceding byte (the same integrity scheme as the PSNP snapshot
+//! format):
+//!
+//! * **Binary** (`PSRB`, streamed): magic, `u32` version, `u8` symbol width
+//!   (1 when `sigma <= 256`, else 2), `u32` alphabet size, per-symbol
+//!   `u16`-length-prefixed UTF-8 names, `u64` series length, then the
+//!   payload (one little-endian id per symbol), then the trailer.
+//! * **Text** (`PSRT`, a convenience for small fixtures; the reader
+//!   materializes it): a `PSRT 1` header line, `alphabet`/`length` lines,
+//!   80-column symbol-character lines, and an `fnv1a <hex>` trailer line.
+//!
+//! The binary reader verifies the trailer *incrementally*: a full sequential
+//! pass (which the out-of-core miner always performs first) costs no extra
+//! read, and corruption surfaces as a typed
+//! [`SeriesError::SeriesChecksumMismatch`] before any result is trusted.
+//! Structural damage — bad magic, mangled header, out-of-range ids, missing
+//! bytes — is rejected eagerly with byte-offset context.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::alphabet::Alphabet;
+use crate::error::{Result, SeriesError};
+use crate::series::SymbolSeries;
+use crate::symbol::SymbolId;
+
+/// Magic prefix of the binary series format.
+pub const BINARY_MAGIC: [u8; 4] = *b"PSRB";
+/// Magic prefix of the text series format.
+pub const TEXT_MAGIC: [u8; 4] = *b"PSRT";
+/// Newest format version this build reads and the only one it writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Abstract random-access view of a symbol series, resident or disk-backed.
+///
+/// Implementations serve reads of any `(at, max)` window, but the intended
+/// access pattern is sequential front-to-back passes: [`FileSeriesReader`]
+/// optimizes that case (no seeks, incremental checksum verification) and the
+/// out-of-core miner performs nothing else.
+pub trait SeriesSource {
+    /// Total symbols in the series.
+    fn series_len(&self) -> usize;
+
+    /// The series' alphabet.
+    fn alphabet(&self) -> &Arc<Alphabet>;
+
+    /// Reads up to `max` symbols starting at index `at` into `buf` (cleared
+    /// first) and returns the count actually read: `min(max, len - at)`, or
+    /// 0 once `at >= len`.
+    fn read_at(&mut self, at: usize, max: usize, buf: &mut Vec<SymbolId>) -> Result<usize>;
+}
+
+/// [`SeriesSource`] over an in-memory [`SymbolSeries`].
+#[derive(Debug)]
+pub struct MemorySource<'a> {
+    series: &'a SymbolSeries,
+}
+
+impl<'a> MemorySource<'a> {
+    /// Wraps a resident series.
+    pub fn new(series: &'a SymbolSeries) -> Self {
+        MemorySource { series }
+    }
+}
+
+impl<'a> From<&'a SymbolSeries> for MemorySource<'a> {
+    fn from(series: &'a SymbolSeries) -> Self {
+        MemorySource::new(series)
+    }
+}
+
+impl SeriesSource for MemorySource<'_> {
+    fn series_len(&self) -> usize {
+        self.series.len()
+    }
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        self.series.alphabet()
+    }
+
+    fn read_at(&mut self, at: usize, max: usize, buf: &mut Vec<SymbolId>) -> Result<usize> {
+        buf.clear();
+        let n = self.series.len();
+        if at >= n {
+            return Ok(0);
+        }
+        let count = max.min(n - at);
+        buf.extend_from_slice(&self.series.symbols()[at..at + count]);
+        Ok(count)
+    }
+}
+
+/// One chunk handed to a [`for_each_chunk`] callback: `carry_len` symbols of
+/// retained context (the symbols immediately preceding `start`) followed by
+/// the fresh symbols of this chunk, contiguous in one buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkView<'a> {
+    buf: &'a [SymbolId],
+    carry_len: usize,
+    start: usize,
+}
+
+impl<'a> ChunkView<'a> {
+    /// Carry context: the last `overlap` symbols before [`Self::start`]
+    /// (shorter near the front of the series).
+    pub fn carry(&self) -> &'a [SymbolId] {
+        &self.buf[..self.carry_len]
+    }
+
+    /// The fresh symbols of this chunk, series indices
+    /// `start .. start + fresh().len()`.
+    pub fn fresh(&self) -> &'a [SymbolId] {
+        &self.buf[self.carry_len..]
+    }
+
+    /// Carry and fresh symbols as one contiguous slice; its first element is
+    /// series index `start - carry().len()`.
+    pub fn full(&self) -> &'a [SymbolId] {
+        self.buf
+    }
+
+    /// Global series index of the first *fresh* symbol.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+}
+
+/// Drives sequential chunked iteration over a source, retaining an `overlap`
+/// carry so lag-`p` consumers (`p <= overlap`) see every cross-boundary pair.
+///
+/// `chunk` is the fresh-symbol count per callback (the last chunk may be
+/// shorter); resident memory is `chunk + overlap` symbols regardless of
+/// series length. The error type is generic so core-crate callbacks can
+/// return their own error as long as it converts from [`SeriesError`].
+pub fn for_each_chunk<S, E, F>(
+    source: &mut S,
+    chunk: usize,
+    overlap: usize,
+    mut f: F,
+) -> std::result::Result<(), E>
+where
+    S: SeriesSource + ?Sized,
+    E: From<SeriesError>,
+    F: FnMut(ChunkView<'_>) -> std::result::Result<(), E>,
+{
+    let n = source.series_len();
+    let chunk = chunk.max(1);
+    let mut buf: Vec<SymbolId> = Vec::with_capacity(overlap + chunk);
+    let mut fresh: Vec<SymbolId> = Vec::with_capacity(chunk);
+    let mut carry_len = 0usize;
+    let mut at = 0usize;
+    while at < n {
+        let got = source.read_at(at, chunk.min(n - at), &mut fresh)?;
+        debug_assert!(got > 0, "source returned no symbols before its end");
+        buf.truncate(carry_len);
+        buf.extend_from_slice(&fresh[..got]);
+        f(ChunkView {
+            buf: &buf,
+            carry_len,
+            start: at,
+        })?;
+        at += got;
+        let keep = overlap.min(buf.len());
+        let cut = buf.len() - keep;
+        buf.copy_within(cut.., 0);
+        buf.truncate(keep);
+        carry_len = keep;
+    }
+    Ok(())
+}
+
+fn read_exact_at(r: &mut impl Read, buf: &mut [u8], off: u64, total: u64) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SeriesError::TruncatedSeriesFile {
+                expected: off + buf.len() as u64,
+                actual: total,
+            }
+        } else {
+            SeriesError::Io(e.to_string())
+        }
+    })
+}
+
+struct BinaryState {
+    file: BufReader<File>,
+    width: usize,
+    payload_start: u64,
+    /// Symbol index the file cursor currently points at.
+    pos: usize,
+    /// Length of the prefix (in symbols) folded into `hash` so far.
+    hashed: usize,
+    /// Running FNV-1a over header + hashed payload prefix.
+    hash: u64,
+    trailer: u64,
+    verified: bool,
+    byte_buf: Vec<u8>,
+}
+
+enum ReaderKind {
+    Binary(BinaryState),
+    /// Text files are a small-fixture convenience; the reader materializes
+    /// them at open time (checksum verified eagerly).
+    Text(Vec<SymbolId>),
+}
+
+/// Streaming reader for the on-disk series formats.
+///
+/// Binary files are read with bounded memory: `read_at` touches only the
+/// requested window, and a sequential front-to-back pass additionally folds
+/// every byte into the FNV-1a state so the trailer is verified exactly once,
+/// at the end of the first full pass, with no dedicated integrity read.
+pub struct FileSeriesReader {
+    kind: ReaderKind,
+    alphabet: Arc<Alphabet>,
+    len: usize,
+}
+
+impl std::fmt::Debug for FileSeriesReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSeriesReader")
+            .field("len", &self.len)
+            .field("sigma", &self.alphabet.len())
+            .field(
+                "format",
+                &match self.kind {
+                    ReaderKind::Binary(_) => "binary",
+                    ReaderKind::Text(_) => "text",
+                },
+            )
+            .finish()
+    }
+}
+
+impl FileSeriesReader {
+    /// Opens a series file, sniffing the format from its magic. Header
+    /// structure and file size are validated here; payload integrity is
+    /// verified incrementally (binary) or eagerly (text).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = File::open(path.as_ref())?;
+        let total = file.metadata()?.len();
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        read_exact_at(&mut r, &mut magic, 0, total)?;
+        match &magic {
+            m if *m == BINARY_MAGIC => Self::open_binary(r, total),
+            m if *m == TEXT_MAGIC => Self::open_text(r, total),
+            m => Err(SeriesError::CorruptSeriesFile {
+                offset: 0,
+                message: format!("bad magic {m:?} (expected PSRB or PSRT)"),
+            }),
+        }
+    }
+
+    fn open_binary(mut r: BufReader<File>, total: u64) -> Result<Self> {
+        let mut hash = fnv1a(FNV_OFFSET, &BINARY_MAGIC);
+        let mut off = 4u64;
+        let mut scratch = [0u8; 8];
+
+        let take = |r: &mut BufReader<File>,
+                    n: usize,
+                    hash: &mut u64,
+                    off: &mut u64,
+                    scratch: &mut [u8; 8]|
+         -> Result<[u8; 8]> {
+            read_exact_at(r, &mut scratch[..n], *off, total)?;
+            *hash = fnv1a(*hash, &scratch[..n]);
+            *off += n as u64;
+            let mut out = [0u8; 8];
+            out[..n].copy_from_slice(&scratch[..n]);
+            Ok(out)
+        };
+
+        let version = u32::from_le_bytes(
+            take(&mut r, 4, &mut hash, &mut off, &mut scratch)?[..4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if version != FORMAT_VERSION {
+            return Err(SeriesError::UnsupportedSeriesVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let width_off = off;
+        let width = take(&mut r, 1, &mut hash, &mut off, &mut scratch)?[0] as usize;
+        if width != 1 && width != 2 {
+            return Err(SeriesError::CorruptSeriesFile {
+                offset: width_off,
+                message: format!("symbol width {width} (expected 1 or 2)"),
+            });
+        }
+        let sigma_off = off;
+        let sigma = u32::from_le_bytes(
+            take(&mut r, 4, &mut hash, &mut off, &mut scratch)?[..4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if sigma == 0 || sigma > usize::from(u16::MAX) + 1 {
+            return Err(SeriesError::CorruptSeriesFile {
+                offset: sigma_off,
+                message: format!("alphabet size {sigma} (expected 1..=65536)"),
+            });
+        }
+        if width == 1 && sigma > 256 {
+            return Err(SeriesError::CorruptSeriesFile {
+                offset: sigma_off,
+                message: format!("alphabet size {sigma} does not fit symbol width 1"),
+            });
+        }
+        let mut names = Vec::with_capacity(sigma);
+        let mut name_buf = Vec::new();
+        for _ in 0..sigma {
+            let name_off = off;
+            let len = u16::from_le_bytes(
+                take(&mut r, 2, &mut hash, &mut off, &mut scratch)?[..2]
+                    .try_into()
+                    .expect("2 bytes"),
+            ) as usize;
+            name_buf.resize(len, 0);
+            read_exact_at(&mut r, &mut name_buf, off, total)?;
+            hash = fnv1a(hash, &name_buf);
+            off += len as u64;
+            let name = String::from_utf8(name_buf.clone()).map_err(|_| {
+                SeriesError::CorruptSeriesFile {
+                    offset: name_off,
+                    message: "symbol name is not valid UTF-8".into(),
+                }
+            })?;
+            names.push(name);
+        }
+        let alphabet = Alphabet::from_symbols(names)?;
+        let len_off = off;
+        let len64 = u64::from_le_bytes(take(&mut r, 8, &mut hash, &mut off, &mut scratch)?);
+        let len = usize::try_from(len64).map_err(|_| SeriesError::CorruptSeriesFile {
+            offset: len_off,
+            message: format!("series length {len64} exceeds the address space"),
+        })?;
+
+        let payload_start = off;
+        let expected = payload_start + len64 * width as u64 + 8;
+        if total < expected {
+            return Err(SeriesError::TruncatedSeriesFile {
+                expected,
+                actual: total,
+            });
+        }
+        if total > expected {
+            return Err(SeriesError::CorruptSeriesFile {
+                offset: expected,
+                message: format!("{} trailing bytes past the trailer", total - expected),
+            });
+        }
+        r.seek(SeekFrom::Start(total - 8))?;
+        let mut tr = [0u8; 8];
+        read_exact_at(&mut r, &mut tr, total - 8, total)?;
+        let trailer = u64::from_le_bytes(tr);
+        r.seek(SeekFrom::Start(payload_start))?;
+
+        Ok(FileSeriesReader {
+            kind: ReaderKind::Binary(BinaryState {
+                file: r,
+                width,
+                payload_start,
+                pos: 0,
+                hashed: 0,
+                hash,
+                trailer,
+                verified: len == 0 && {
+                    // Empty payload: the trailer must match the header hash.
+                    if hash != trailer {
+                        return Err(SeriesError::SeriesChecksumMismatch {
+                            expected: trailer,
+                            actual: hash,
+                        });
+                    }
+                    true
+                },
+                byte_buf: Vec::new(),
+            }),
+            alphabet,
+            len,
+        })
+    }
+
+    fn open_text(mut r: BufReader<File>, total: u64) -> Result<Self> {
+        // Text files are small by contract: slurp, verify, materialize.
+        let mut bytes = Vec::with_capacity(total as usize);
+        bytes.extend_from_slice(&TEXT_MAGIC);
+        r.read_to_end(&mut bytes)?;
+        let text = std::str::from_utf8(&bytes).map_err(|e| SeriesError::CorruptSeriesFile {
+            offset: e.valid_up_to() as u64,
+            message: "text series file is not valid UTF-8".into(),
+        })?;
+
+        // Locate the trailer line (last non-empty line).
+        let trimmed = text.trim_end_matches('\n');
+        let trailer_start = trimmed.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let trailer_line = &trimmed[trailer_start..];
+        let hex = trailer_line
+            .strip_prefix("fnv1a ")
+            .ok_or(SeriesError::CorruptSeriesFile {
+                offset: trailer_start as u64,
+                message: "missing `fnv1a <hex>` trailer line".into(),
+            })?;
+        let trailer =
+            u64::from_str_radix(hex.trim(), 16).map_err(|_| SeriesError::CorruptSeriesFile {
+                offset: trailer_start as u64,
+                message: format!("unparseable trailer checksum {hex:?}"),
+            })?;
+        let actual = fnv1a(FNV_OFFSET, &bytes[..trailer_start]);
+        if actual != trailer {
+            return Err(SeriesError::SeriesChecksumMismatch {
+                expected: trailer,
+                actual,
+            });
+        }
+
+        let mut lines = text[..trailer_start].lines();
+        let mut off = 0u64;
+        let header = lines.next().unwrap_or("");
+        if header.trim() != format!("PSRT {FORMAT_VERSION}") {
+            if let Some(v) = header.trim().strip_prefix("PSRT ") {
+                if let Ok(found) = v.trim().parse::<u32>() {
+                    return Err(SeriesError::UnsupportedSeriesVersion {
+                        found,
+                        supported: FORMAT_VERSION,
+                    });
+                }
+            }
+            return Err(SeriesError::CorruptSeriesFile {
+                offset: 0,
+                message: format!("bad text header line {header:?}"),
+            });
+        }
+        off += header.len() as u64 + 1;
+        let alpha_line = lines.next().unwrap_or("");
+        let names: Vec<String> = alpha_line
+            .strip_prefix("alphabet ")
+            .ok_or(SeriesError::CorruptSeriesFile {
+                offset: off,
+                message: "expected `alphabet <names...>` line".into(),
+            })?
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect();
+        let alphabet = Alphabet::from_symbols(names)?;
+        off += alpha_line.len() as u64 + 1;
+        let len_line = lines.next().unwrap_or("");
+        let len: usize = len_line
+            .strip_prefix("length ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or(SeriesError::CorruptSeriesFile {
+                offset: off,
+                message: "expected `length <n>` line".into(),
+            })?;
+        off += len_line.len() as u64 + 1;
+
+        let mut ids = Vec::with_capacity(len);
+        for line in lines {
+            for c in line.chars() {
+                let id = alphabet
+                    .lookup_char(c)
+                    .map_err(|_| SeriesError::CorruptSeriesFile {
+                        offset: off,
+                        message: format!("symbol {c:?} is not in the alphabet"),
+                    })?;
+                ids.push(id);
+            }
+            off += line.len() as u64 + 1;
+        }
+        if ids.len() != len {
+            return Err(SeriesError::CorruptSeriesFile {
+                offset: off,
+                message: format!("payload holds {} of {len} declared symbols", ids.len()),
+            });
+        }
+        Ok(FileSeriesReader {
+            kind: ReaderKind::Text(ids),
+            alphabet,
+            len,
+        })
+    }
+
+    /// Total symbols in the file.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes one payload symbol occupies on disk (text files count the
+    /// in-memory id width, since they are materialized at open).
+    pub fn symbol_width(&self) -> usize {
+        match &self.kind {
+            ReaderKind::Binary(b) => b.width,
+            ReaderKind::Text(_) => std::mem::size_of::<SymbolId>(),
+        }
+    }
+
+    /// Whether the FNV-1a trailer has been verified yet. Text files verify
+    /// at open; binary files verify at the end of the first full sequential
+    /// pass (or via [`Self::verify`]).
+    pub fn checksum_verified(&self) -> bool {
+        match &self.kind {
+            ReaderKind::Binary(b) => b.verified,
+            ReaderKind::Text(_) => true,
+        }
+    }
+
+    /// Forces one sequential integrity pass over the payload.
+    pub fn verify(&mut self) -> Result<()> {
+        let mut buf = Vec::new();
+        let mut at = 0usize;
+        while at < self.len {
+            at += self.read_at(at, 1 << 16, &mut buf)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the whole file as an in-memory [`SymbolSeries`]
+    /// (verifying the checksum on the way).
+    pub fn read_all(&mut self) -> Result<SymbolSeries> {
+        let mut ids = Vec::with_capacity(self.len);
+        let mut buf = Vec::new();
+        let mut at = 0usize;
+        while at < self.len {
+            let got = self.read_at(at, 1 << 16, &mut buf)?;
+            ids.extend_from_slice(&buf[..got]);
+            at += got;
+        }
+        SymbolSeries::from_ids(ids, Arc::clone(&self.alphabet))
+    }
+}
+
+impl SeriesSource for FileSeriesReader {
+    fn series_len(&self) -> usize {
+        self.len
+    }
+
+    fn alphabet(&self) -> &Arc<Alphabet> {
+        &self.alphabet
+    }
+
+    fn read_at(&mut self, at: usize, max: usize, buf: &mut Vec<SymbolId>) -> Result<usize> {
+        buf.clear();
+        if at >= self.len {
+            return Ok(0);
+        }
+        let count = max.min(self.len - at);
+        let sigma = self.alphabet.len();
+        match &mut self.kind {
+            ReaderKind::Text(ids) => {
+                buf.extend_from_slice(&ids[at..at + count]);
+            }
+            ReaderKind::Binary(b) => {
+                if b.pos != at {
+                    b.file
+                        .seek(SeekFrom::Start(b.payload_start + (at * b.width) as u64))?;
+                    b.pos = at;
+                }
+                let nbytes = count * b.width;
+                b.byte_buf.resize(nbytes, 0);
+                let off = b.payload_start + (at * b.width) as u64;
+                let total = b.payload_start + (self.len * b.width) as u64 + 8;
+                let BinaryState { file, byte_buf, .. } = b;
+                read_exact_at(file, byte_buf, off, total)?;
+                // A sequential pass extends the running checksum; once the
+                // final symbol is hashed the trailer must agree.
+                if !b.verified && at == b.hashed {
+                    b.hash = fnv1a(b.hash, &b.byte_buf);
+                    b.hashed += count;
+                    if b.hashed == self.len {
+                        if b.hash != b.trailer {
+                            return Err(SeriesError::SeriesChecksumMismatch {
+                                expected: b.trailer,
+                                actual: b.hash,
+                            });
+                        }
+                        b.verified = true;
+                    }
+                }
+                buf.reserve(count);
+                if b.width == 1 {
+                    for (i, &raw) in b.byte_buf.iter().enumerate() {
+                        let id = usize::from(raw);
+                        if id >= sigma {
+                            return Err(SeriesError::CorruptSeriesFile {
+                                offset: b.payload_start + ((at + i) * b.width) as u64,
+                                message: format!("symbol id {id} >= alphabet size {sigma}"),
+                            });
+                        }
+                        buf.push(SymbolId(raw.into()));
+                    }
+                } else {
+                    for (i, pair) in b.byte_buf.chunks_exact(2).enumerate() {
+                        let raw = u16::from_le_bytes([pair[0], pair[1]]);
+                        if usize::from(raw) >= sigma {
+                            return Err(SeriesError::CorruptSeriesFile {
+                                offset: b.payload_start + ((at + i) * b.width) as u64,
+                                message: format!("symbol id {raw} >= alphabet size {sigma}"),
+                            });
+                        }
+                        buf.push(SymbolId(raw));
+                    }
+                }
+                b.pos = at + count;
+            }
+        }
+        Ok(count)
+    }
+}
+
+/// Streaming writer for the binary format: declare the alphabet and length
+/// up front, push symbols in any batch sizes, finish to emit the trailer.
+/// Memory stays O(1) regardless of series length.
+#[derive(Debug)]
+pub struct SeriesFileWriter {
+    out: BufWriter<File>,
+    width: usize,
+    len: usize,
+    written: usize,
+    sigma: usize,
+    hash: u64,
+}
+
+impl SeriesFileWriter {
+    /// Creates the file and writes the header. `len` is the exact number of
+    /// symbols that must be pushed before [`Self::finish`].
+    pub fn create(path: impl AsRef<Path>, alphabet: &Alphabet, len: usize) -> Result<Self> {
+        let sigma = alphabet.len();
+        let width = if sigma <= 256 { 1 } else { 2 };
+        let mut header = Vec::new();
+        header.extend_from_slice(&BINARY_MAGIC);
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.push(width as u8);
+        header.extend_from_slice(&(sigma as u32).to_le_bytes());
+        for name in alphabet.names() {
+            let bytes = name.as_bytes();
+            debug_assert!(bytes.len() <= usize::from(u16::MAX));
+            header.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+            header.extend_from_slice(bytes);
+        }
+        header.extend_from_slice(&(len as u64).to_le_bytes());
+        let mut out = BufWriter::new(File::create(path.as_ref())?);
+        out.write_all(&header)?;
+        Ok(SeriesFileWriter {
+            out,
+            width,
+            len,
+            written: 0,
+            sigma,
+            hash: fnv1a(FNV_OFFSET, &header),
+        })
+    }
+
+    /// Symbols pushed so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Appends one symbol. Panics if more than the declared `len` symbols
+    /// are pushed (a caller bug, not an input condition).
+    pub fn push(&mut self, id: SymbolId) -> Result<()> {
+        self.push_slice(std::slice::from_ref(&id))
+    }
+
+    /// Appends a batch of symbols.
+    pub fn push_slice(&mut self, ids: &[SymbolId]) -> Result<()> {
+        assert!(
+            self.written + ids.len() <= self.len,
+            "series file writer declared {} symbols, given more",
+            self.len
+        );
+        let mut bytes = [0u8; 512];
+        for batch in ids.chunks(bytes.len() / self.width) {
+            let mut used = 0;
+            for &id in batch {
+                if usize::from(id.0) >= self.sigma {
+                    return Err(SeriesError::SymbolOutOfRange {
+                        index: usize::from(id.0),
+                        alphabet: self.sigma,
+                    });
+                }
+                if self.width == 1 {
+                    bytes[used] = id.0 as u8;
+                } else {
+                    bytes[used..used + 2].copy_from_slice(&id.0.to_le_bytes());
+                }
+                used += self.width;
+            }
+            self.out.write_all(&bytes[..used])?;
+            self.hash = fnv1a(self.hash, &bytes[..used]);
+        }
+        self.written += ids.len();
+        Ok(())
+    }
+
+    /// Writes the FNV-1a trailer and flushes. Errors if fewer than the
+    /// declared `len` symbols were pushed.
+    pub fn finish(mut self) -> Result<()> {
+        if self.written != self.len {
+            return Err(SeriesError::TruncatedSeriesFile {
+                expected: (self.len * self.width) as u64,
+                actual: (self.written * self.width) as u64,
+            });
+        }
+        let trailer = self.hash.to_le_bytes();
+        self.out.write_all(&trailer)?;
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Writes a resident series to `path` in the binary format.
+pub fn write_series_file(path: impl AsRef<Path>, series: &SymbolSeries) -> Result<()> {
+    let mut w = SeriesFileWriter::create(path, series.alphabet(), series.len())?;
+    w.push_slice(series.symbols())?;
+    w.finish()
+}
+
+/// Writes a resident series to `path` in the text format. Requires
+/// single-character symbol names (the text payload is one char per symbol).
+pub fn write_text_series_file(path: impl AsRef<Path>, series: &SymbolSeries) -> Result<()> {
+    let alphabet = series.alphabet();
+    let mut body = String::new();
+    body.push_str(&format!("PSRT {FORMAT_VERSION}\nalphabet"));
+    for name in alphabet.names() {
+        if name.chars().count() != 1 {
+            return Err(SeriesError::InvalidGenerator(format!(
+                "text series format requires single-character symbol names, got {name:?}"
+            )));
+        }
+        body.push(' ');
+        body.push_str(name);
+    }
+    body.push_str(&format!("\nlength {}\n", series.len()));
+    for (i, &id) in series.symbols().iter().enumerate() {
+        body.push_str(alphabet.name(id));
+        if (i + 1) % 80 == 0 {
+            body.push('\n');
+        }
+    }
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    let hash = fnv1a(FNV_OFFSET, body.as_bytes());
+    body.push_str(&format!("fnv1a {hash:016x}\n"));
+    let mut out = BufWriter::new(File::create(path.as_ref())?);
+    out.write_all(body.as_bytes())?;
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn sample(n: usize, sigma: usize) -> SymbolSeries {
+        let alphabet = Alphabet::latin(sigma).expect("ok");
+        let ids: Vec<SymbolId> = (0..n)
+            .map(|i| SymbolId::from_index((i * 7 + i / 3) % sigma))
+            .collect();
+        SymbolSeries::from_ids(ids, alphabet).expect("ok")
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("periodica-source-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_series() {
+        let s = sample(1000, 5);
+        let path = tmp("bin-rt.series");
+        write_series_file(&path, &s).expect("write");
+        let mut r = FileSeriesReader::open(&path).expect("open");
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.symbol_width(), 1);
+        assert!(!r.checksum_verified());
+        let back = r.read_all().expect("read");
+        assert!(r.checksum_verified());
+        assert_eq!(back.symbols(), s.symbols());
+        assert_eq!(back.alphabet().names(), s.alphabet().names());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wide_alphabet_uses_two_byte_payload() {
+        let names: Vec<String> = (0..300).map(|i| format!("s{i}")).collect();
+        let alphabet = Alphabet::from_symbols(names).expect("ok");
+        let ids: Vec<SymbolId> = (0..500).map(|i| SymbolId::from_index(i % 300)).collect();
+        let s = SymbolSeries::from_ids(ids, alphabet).expect("ok");
+        let path = tmp("wide.series");
+        write_series_file(&path, &s).expect("write");
+        let mut r = FileSeriesReader::open(&path).expect("open");
+        assert_eq!(r.symbol_width(), 2);
+        assert_eq!(r.read_all().expect("read").symbols(), s.symbols());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_round_trip_preserves_series() {
+        let s = sample(300, 4);
+        let path = tmp("text-rt.series");
+        write_text_series_file(&path, &s).expect("write");
+        let mut r = FileSeriesReader::open(&path).expect("open");
+        assert!(r.checksum_verified());
+        assert_eq!(r.read_all().expect("read").symbols(), s.symbols());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_driver_sees_every_symbol_once_with_correct_carry() {
+        let s = sample(257, 3);
+        for chunk in [1usize, 7, 64, 256, 257, 300] {
+            for overlap in [0usize, 5, 64] {
+                let mut seen: Vec<SymbolId> = Vec::new();
+                let mut src = MemorySource::new(&s);
+                for_each_chunk::<_, SeriesError, _>(&mut src, chunk, overlap, |view| {
+                    assert_eq!(view.start(), seen.len());
+                    let expect_carry = overlap.min(seen.len());
+                    assert_eq!(view.carry().len(), expect_carry);
+                    assert_eq!(view.carry(), &seen[seen.len() - expect_carry..]);
+                    assert_eq!(view.full().len(), expect_carry + view.fresh().len());
+                    seen.extend_from_slice(view.fresh());
+                    Ok(())
+                })
+                .expect("ok");
+                assert_eq!(seen, s.symbols(), "chunk={chunk} overlap={overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let s = sample(200, 4);
+        let path = tmp("trunc.series");
+        write_series_file(&path, &s).expect("write");
+        let full = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() - 20]).expect("rewrite");
+        match FileSeriesReader::open(&path) {
+            Err(SeriesError::TruncatedSeriesFile { expected, actual }) => {
+                assert_eq!(expected, full.len() as u64);
+                assert_eq!(actual, full.len() as u64 - 20);
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let s = sample(200, 4);
+        let path = tmp("flip.series");
+        write_series_file(&path, &s).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() - 50;
+        bytes[mid] ^= 0x01; // still a valid id for sigma=4? 0x01 flip keeps id < 4 sometimes
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let mut r = FileSeriesReader::open(&path).expect("header is intact");
+        let err = r.verify().expect_err("must fail");
+        assert!(
+            matches!(
+                err,
+                SeriesError::SeriesChecksumMismatch { .. } | SeriesError::CorruptSeriesFile { .. }
+            ),
+            "got {err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_bad_version_are_typed() {
+        let s = sample(50, 3);
+        let path = tmp("magic.series");
+        write_series_file(&path, &s).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let orig = bytes.clone();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(matches!(
+            FileSeriesReader::open(&path),
+            Err(SeriesError::CorruptSeriesFile { offset: 0, .. })
+        ));
+        let mut bytes = orig;
+        bytes[4] = 9; // version 9
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(matches!(
+            FileSeriesReader::open(&path),
+            Err(SeriesError::UnsupportedSeriesVersion {
+                found: 9,
+                supported: FORMAT_VERSION
+            })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_trailer_checksum_is_typed() {
+        let s = sample(120, 3);
+        let path = tmp("trailer.series");
+        write_series_file(&path, &s).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let mut r = FileSeriesReader::open(&path).expect("header is intact");
+        assert!(matches!(
+            r.verify(),
+            Err(SeriesError::SeriesChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_rejects_short_writes_and_foreign_ids() {
+        let alphabet = Alphabet::latin(3).expect("ok");
+        let path = tmp("short.series");
+        let mut w = SeriesFileWriter::create(&path, &alphabet, 10).expect("create");
+        w.push(SymbolId(0)).expect("ok");
+        assert!(matches!(
+            w.push(SymbolId(7)),
+            Err(SeriesError::SymbolOutOfRange { .. })
+        ));
+        let mut w = SeriesFileWriter::create(&path, &alphabet, 10).expect("create");
+        w.push(SymbolId(1)).expect("ok");
+        assert!(matches!(
+            w.finish(),
+            Err(SeriesError::TruncatedSeriesFile { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_series_round_trips() {
+        let alphabet = Alphabet::latin(2).expect("ok");
+        let s = SymbolSeries::from_ids(Vec::new(), alphabet).expect("ok");
+        let path = tmp("empty.series");
+        write_series_file(&path, &s).expect("write");
+        let mut r = FileSeriesReader::open(&path).expect("open");
+        assert_eq!(r.len(), 0);
+        assert!(r.checksum_verified());
+        assert!(r.read_all().expect("read").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -193,6 +193,85 @@ impl StreamingAutocorrelator {
     }
 }
 
+/// Per-symbol streaming spectra over one interleaved id stream.
+///
+/// The out-of-core detector needs, for every symbol `k`, the lag-limited
+/// autocorrelation of `k`'s 0/1 indicator. This wrapper owns one
+/// [`StreamingAutocorrelator`] per symbol plus a single shared indicator
+/// scratch buffer, demultiplexing raw symbol ids in sub-blocks so transform
+/// scratch stays bounded no matter how large the caller's disk chunks are.
+///
+/// Ids are plain `u16` indices (`0..sigma`) so this crate stays free of the
+/// series-substrate dependency.
+#[derive(Debug)]
+pub struct SymbolSpectrumStreamer {
+    streams: Vec<StreamingAutocorrelator>,
+    scratch: Vec<u64>,
+    sub_block: usize,
+}
+
+impl SymbolSpectrumStreamer {
+    /// Creates per-symbol accumulators for lags `0..=max_lag` over an
+    /// alphabet of `sigma` symbols, demultiplexing pushes in sub-blocks of
+    /// [`DEFAULT_BLOCK`] (clamped up to `max_lag + 1`).
+    pub fn new(sigma: usize, max_lag: usize) -> Self {
+        Self::with_sub_block(sigma, max_lag, DEFAULT_BLOCK)
+    }
+
+    /// [`Self::new`] with an explicit demux sub-block size. The `u64`
+    /// indicator scratch holds one word per sub-block element, so memory-
+    /// budgeted callers (the out-of-core miner) cap it; it is clamped up
+    /// to `max_lag + 1` where block convolution stops paying for itself.
+    pub fn with_sub_block(sigma: usize, max_lag: usize, sub_block: usize) -> Self {
+        SymbolSpectrumStreamer {
+            streams: (0..sigma)
+                .map(|_| StreamingAutocorrelator::new(max_lag))
+                .collect(),
+            scratch: Vec::new(),
+            sub_block: sub_block.max(max_lag + 1),
+        }
+    }
+
+    /// Alphabet size.
+    pub fn sigma(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Feeds one block of symbol ids; each id must be `< sigma` (checked by
+    /// the caller — out-of-range ids contribute to no symbol's indicator).
+    pub fn push_ids(&mut self, ids: &[u16]) -> Result<()> {
+        for sub in ids.chunks(self.sub_block) {
+            self.scratch.resize(sub.len(), 0);
+            for (k, stream) in self.streams.iter_mut().enumerate() {
+                let k = k as u16;
+                for (slot, &id) in self.scratch.iter_mut().zip(sub) {
+                    *slot = u64::from(id == k);
+                }
+                stream.push_block(&self.scratch)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-symbol counts so far: `counts(k)[p] = C_k(p)` over everything
+    /// consumed.
+    pub fn counts(&self, symbol: usize) -> &[u64] {
+        self.streams[symbol].counts()
+    }
+
+    /// Heap bytes held by the accumulators and scratch (counts + tails +
+    /// indicator buffer) — the spectrum pass's contribution to resident
+    /// memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        let per_stream: usize = self
+            .streams
+            .iter()
+            .map(|s| (s.counts().len() + s.tail().len()) * 8)
+            .sum();
+        per_stream + self.scratch.capacity() * 8
+    }
+}
+
 /// One-shot convenience over [`StreamingAutocorrelator`].
 pub fn autocorrelate_stream<I: IntoIterator<Item = u64>>(
     iter: I,
@@ -326,6 +405,31 @@ mod tests {
         assert!(StreamingAutocorrelator::from_parts(4, vec![0; 5], vec![1, 0], 1).is_err());
         // Fresh-state restore is fine.
         assert!(StreamingAutocorrelator::from_parts(4, vec![0; 5], vec![], 0).is_ok());
+    }
+
+    #[test]
+    fn symbol_streamer_matches_per_symbol_in_core() {
+        let sigma = 4usize;
+        let ids: Vec<u16> = (0..3_000u32)
+            .map(|i| {
+                let mut x = u64::from(i).wrapping_mul(0x9E3779B97F4A7C15);
+                x ^= x >> 29;
+                (x % sigma as u64) as u16
+            })
+            .collect();
+        let mut streamer = SymbolSpectrumStreamer::new(sigma, 48);
+        for chunk in ids.chunks(577) {
+            streamer.push_ids(chunk).expect("ok");
+        }
+        assert!(streamer.resident_bytes() > 0);
+        for k in 0..sigma {
+            let indicator: Vec<u64> = ids.iter().map(|&id| u64::from(id == k as u16)).collect();
+            assert_eq!(
+                streamer.counts(k),
+                autocorrelate_in_core(&indicator, 48),
+                "symbol {k}"
+            );
+        }
     }
 
     #[test]

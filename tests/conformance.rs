@@ -42,15 +42,17 @@ use periodica_core::engine::{
 };
 use periodica_core::{
     decode_dump, mine_patterns, pattern_support, pattern_support_indexed, DetectionResult,
-    DetectorConfig, EngineKind, EvictionPolicy, MinedPattern, OnlineDetector, PairMatchIndex,
-    Pattern, PatternMinerConfig, PatternMode, PeriodicityDetector, SessionId, SessionManager,
-    SessionSnapshot, ShardedSessionManager,
+    DetectorConfig, EngineKind, EvictionPolicy, MinedPattern, MinerConfig, ObscureMiner,
+    OnlineDetector, OutOfCoreMiner, PairMatchIndex, Pattern, PatternMinerConfig, PatternMode,
+    PeriodicityDetector, SessionId, SessionManager, SessionSnapshot, ShardedSessionManager,
 };
 use periodica_datagen::{EventLogConfig, Heartbeat, PowerConfig, RetailConfig};
 use periodica_oracle::diff::{diff_counts, diff_patterns, diff_periodicities, Workload};
 use periodica_oracle::fixture::Fixture;
 use periodica_oracle::naive::{self, OraclePattern, OraclePeriodicity, OracleSupport};
-use periodica_series::{Alphabet, SymbolId, SymbolSeries};
+use periodica_series::{
+    write_series_file, Alphabet, FileSeriesReader, MemorySource, SymbolId, SymbolSeries,
+};
 
 // --------------------------------------------------------------------------
 // Conversions: production vocabulary -> oracle vocabulary.
@@ -549,7 +551,7 @@ fn golden_fixture_corpus_conforms() {
         .collect();
     entries.sort();
     assert!(
-        entries.len() >= 13,
+        entries.len() >= 17,
         "corpus shrank: {} files",
         entries.len()
     );
@@ -621,12 +623,158 @@ fn golden_fixture_corpus_conforms() {
         "boundary-n-mod-p-0",
         "boundary-n-mod-p-1",
         "boundary-n-mod-p-minus-1",
+        "chunk-boundary-period-eq-chunk",
+        "chunk-boundary-period-chunk-minus-1",
+        "chunk-boundary-period-chunk-plus-1",
+        "chunk-boundary-segment-spans-three-chunks",
     ] {
         assert!(
             names.iter().any(|n| n == required),
             "missing fixture {required}"
         );
     }
+}
+
+// --------------------------------------------------------------------------
+// Out-of-core differential legs: the file-backed streaming miner versus the
+// in-memory engine and the oracle, swept across adversarial chunk sizes.
+
+/// Chunk sizes the out-of-core leg sweeps for a series of length `n`: the
+/// conformance chunk the fixtures are pinned against, two budget-planner
+/// scales, and the whole-series edge cases.
+fn chunk_sweep(n: usize) -> Vec<usize> {
+    vec![64, 1024, 4096, n.saturating_sub(1).max(1), n.max(1), n + 7]
+}
+
+/// The committed chunk-boundary fixtures must match their datagen
+/// generator symbol for symbol — regenerating the corpus is a no-op unless
+/// the generator itself changed.
+#[test]
+fn chunk_boundary_fixtures_match_their_generator() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for (name, config) in periodica_datagen::chunkedge::conformance_fixtures() {
+        let path = dir.join(format!("{name}.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {name} missing from tests/fixtures: {e}"));
+        let fixture = Fixture::from_json(&text).expect("parse fixture");
+        let committed = fixture.build_series().expect("series");
+        let generated = config.generate().expect("generator");
+        assert_eq!(
+            committed.symbols(),
+            generated.symbols(),
+            "fixture {name} drifted from its generator; rerun \
+             `cargo run -p periodica-oracle --example gen_fixtures`"
+        );
+        assert_eq!(
+            committed.sigma(),
+            generated.sigma(),
+            "alphabet drifted on {name}"
+        );
+    }
+}
+
+/// The tentpole acceptance check: mining a fixture through the file-backed
+/// one-pass path is bit-identical — detections and patterns — to the
+/// in-memory engine and to the committed oracle expectations, for every
+/// chunk size in the sweep (including chunks smaller than the period, where
+/// pair endpoints are only reachable through the overlap carry).
+#[test]
+fn out_of_core_mining_is_bit_identical_across_chunk_sizes() {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/fixtures exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    let tmp = std::env::temp_dir().join(format!("periodica-conformance-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("temp dir");
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let fixture = Fixture::from_json(&text).expect("parse fixture");
+        let series = fixture.build_series().expect("series");
+        if series.len() < 2 {
+            continue;
+        }
+        let config = MinerConfig {
+            threshold: fixture.psi(),
+            min_period: fixture.min_period,
+            max_period: Some(fixture.max_period),
+            ..MinerConfig::default()
+        };
+
+        // The in-memory reference answer for this fixture.
+        let reference = ObscureMiner::from_config(config.clone())
+            .mine(&series)
+            .expect("in-memory mine");
+
+        // ... which must itself agree with the oracle expectations.
+        let workload = Workload {
+            label: format!("outofcore:{}", fixture.name),
+            seed: 0,
+            n: series.len(),
+            sigma: series.sigma(),
+            psi: fixture.psi(),
+            max_period: fixture.max_period,
+        };
+        if let Some(d) = diff_periodicities(
+            &workload,
+            "outofcore/in-memory-vs-oracle",
+            &fixture.expected_periodicities(),
+            &to_oracle_periodicities(&reference.detection),
+        ) {
+            panic!("{d}");
+        }
+
+        let file = tmp.join(format!("{}.series", fixture.name));
+        write_series_file(&file, &series).expect("write series file");
+
+        for chunk in chunk_sweep(series.len()) {
+            // File-backed streaming path.
+            let mut reader = FileSeriesReader::open(&file).expect("open series file");
+            let report = OutOfCoreMiner::new(config.clone(), 1 << 16)
+                .expect("out-of-core miner")
+                .with_chunk_size(chunk)
+                .mine(&mut reader)
+                .expect("out-of-core mine");
+            assert_eq!(
+                reference.detection.periodicities, report.detection.periodicities,
+                "out-of-core detections diverged on {} at chunk {chunk}",
+                fixture.name
+            );
+            assert_eq!(
+                reference.patterns, report.patterns,
+                "out-of-core patterns diverged on {} at chunk {chunk}",
+                fixture.name
+            );
+            assert!(
+                reader.checksum_verified(),
+                "sequential pass should have verified the FNV trailer on {}",
+                fixture.name
+            );
+
+            // The in-memory SeriesSource takes the same streaming code path;
+            // it must be indistinguishable from the file.
+            let mut memory = MemorySource::new(&series);
+            let from_memory = OutOfCoreMiner::new(config.clone(), 1 << 16)
+                .expect("out-of-core miner")
+                .with_chunk_size(chunk)
+                .mine(&mut memory)
+                .expect("memory-source mine");
+            assert_eq!(
+                report.detection.periodicities, from_memory.detection.periodicities,
+                "memory-source detections diverged on {} at chunk {chunk}",
+                fixture.name
+            );
+            assert_eq!(
+                report.patterns, from_memory.patterns,
+                "memory-source patterns diverged on {} at chunk {chunk}",
+                fixture.name
+            );
+        }
+        std::fs::remove_file(&file).ok();
+    }
+    std::fs::remove_dir_all(&tmp).ok();
 }
 
 #[test]

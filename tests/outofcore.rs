@@ -1,0 +1,209 @@
+//! Out-of-core pipeline properties: file round trips and chunk invariance.
+//!
+//! The deterministic legs live in `tests/conformance.rs` (the fixture-backed
+//! bit-identity sweep) and `tests/robustness.rs` (corrupt files). This file
+//! holds the shrinking property tests the ISSUE asks for:
+//!
+//! * writing any series to disk and reading it back through
+//!   [`FileSeriesReader`] — in arbitrary chunk sizes, binary and text —
+//!   reassembles the original exactly;
+//! * detection and mining output is invariant to the streaming chunk size
+//!   and to the memory budget (the budget decides *when* bytes are
+//!   resident, never *what* is computed);
+//! * a series much larger than the budget mines in one sequential pass with
+//!   the resident high-water mark under the budget.
+//!
+//! Failures persist to `proptest-regressions/outofcore.txt` and re-run
+//! first forever after.
+
+use std::path::PathBuf;
+
+use periodica_core::{MinerConfig, ObscureMiner, OutOfCoreMiner};
+use periodica_series::source::{write_series_file, write_text_series_file};
+use periodica_series::{
+    Alphabet, FileSeriesReader, MemorySource, SeriesFileWriter, SeriesSource, SymbolId,
+    SymbolSeries,
+};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("periodica-outofcore-{}-{name}", std::process::id()))
+}
+
+fn series_from(ids: &[usize], sigma: usize) -> SymbolSeries {
+    let alphabet = Alphabet::latin(sigma.clamp(1, 26)).expect("alphabet");
+    let ids: Vec<SymbolId> = ids
+        .iter()
+        .map(|&i| SymbolId::from_index(i % alphabet.len()))
+        .collect();
+    SymbolSeries::from_ids(ids, alphabet).expect("series")
+}
+
+/// Reads a file back through `read_at` in the given (cycling) chunk sizes.
+fn reassemble(reader: &mut FileSeriesReader, chunks: &[usize]) -> Vec<SymbolId> {
+    let mut out = Vec::with_capacity(reader.len());
+    let mut buf = Vec::new();
+    let mut at = 0usize;
+    let mut turn = 0usize;
+    while at < reader.len() {
+        let want = chunks[turn % chunks.len()].max(1);
+        let got = reader
+            .read_at(at, want.min(reader.len() - at), &mut buf)
+            .expect("read_at");
+        assert!(got > 0, "reader stalled at {at}");
+        out.extend_from_slice(&buf[..got]);
+        at += got;
+        turn += 1;
+    }
+    out
+}
+
+mod properties {
+    use super::*;
+    use proptest::collection;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Binary and text round trips reassemble the original series for
+        /// arbitrary content and arbitrary read-chunk schedules.
+        #[test]
+        fn file_round_trip_reassembles_the_series(
+            ids in collection::vec(0usize..9, 1..400),
+            sigma in 1usize..9,
+            chunks in collection::vec(1usize..97, 1..6),
+            case in 0u32..1_000_000,
+        ) {
+            let series = series_from(&ids, sigma);
+            let bin = tmp(&format!("prop-bin-{case}"));
+            let txt = tmp(&format!("prop-txt-{case}"));
+            write_series_file(&bin, &series).expect("write binary");
+            write_text_series_file(&txt, &series).expect("write text");
+
+            for path in [&bin, &txt] {
+                let mut reader = FileSeriesReader::open(path).expect("open");
+                prop_assert_eq!(reader.len(), series.len());
+                prop_assert_eq!(reader.alphabet().len(), series.sigma());
+                let got = reassemble(&mut reader, &chunks);
+                prop_assert_eq!(got.as_slice(), series.symbols());
+                prop_assert!(reader.checksum_verified() || path == &txt);
+                // And the convenience materializer agrees.
+                let mut reader = FileSeriesReader::open(path).expect("open");
+                let whole = reader.read_all().expect("read_all");
+                prop_assert_eq!(whole.symbols(), series.symbols());
+            }
+            std::fs::remove_file(&bin).ok();
+            std::fs::remove_file(&txt).ok();
+        }
+
+        /// Detections and patterns are invariant to the streaming chunk
+        /// size and to the byte budget: only residency timing may change.
+        #[test]
+        fn mining_is_invariant_to_chunk_size_and_budget(
+            period in 2usize..14,
+            reps in 3usize..9,
+            residue in 0usize..4,
+            noise in collection::vec((0usize..10_000, 0usize..5), 0..10),
+            chunk_a in 1usize..50,
+            chunk_b in 50usize..5_000,
+            budget in 1usize..(1 << 22),
+        ) {
+            let n = period * reps + residue;
+            let mut ids: Vec<usize> = (0..n).map(|i| i % period % 5).collect();
+            for &(at, sym) in &noise {
+                let at = at % n;
+                ids[at] = sym;
+            }
+            let series = series_from(&ids, 5);
+            let config = MinerConfig {
+                threshold: 0.5,
+                max_period: Some((n / 2).max(1)),
+                ..MinerConfig::default()
+            };
+            let reference = ObscureMiner::from_config(config.clone())
+                .mine(&series)
+                .expect("in-memory mine");
+            for chunk in [chunk_a, chunk_b] {
+                let (report, _) = OutOfCoreMiner::new(config.clone(), budget)
+                    .expect("miner")
+                    .with_chunk_size(chunk)
+                    .mine_with_peak(&mut MemorySource::new(&series))
+                    .expect("streamed mine");
+                prop_assert_eq!(
+                    &reference.detection.periodicities,
+                    &report.detection.periodicities,
+                    "detections changed at chunk {}", chunk
+                );
+                prop_assert_eq!(
+                    &reference.patterns, &report.patterns,
+                    "patterns changed at chunk {}", chunk
+                );
+            }
+            // The planner path (no override): the budget may pick any chunk,
+            // the answer must not move.
+            let report = OutOfCoreMiner::new(config, budget)
+                .expect("miner")
+                .mine(&mut MemorySource::new(&series))
+                .expect("budgeted mine");
+            prop_assert_eq!(
+                &reference.detection.periodicities,
+                &report.detection.periodicities
+            );
+            prop_assert_eq!(&reference.patterns, &report.patterns);
+        }
+    }
+}
+
+/// The acceptance shape, scaled to test time: a file ~16x the budget mines
+/// in one sequential pass with the resident high-water mark under budget.
+#[test]
+fn resident_peak_stays_under_a_small_budget() {
+    let path = tmp("budget");
+    let alphabet = Alphabet::latin(6).expect("alphabet");
+    let n = 1usize << 19; // 512 Ki symbols -> ~1 MiB on disk (u16 payload)
+    let budget = 64 << 10; // 64 KiB
+    {
+        let mut writer = SeriesFileWriter::create(&path, &alphabet, n).expect("create writer");
+        // A planted period-48 template with a deterministic blip every 97.
+        for i in 0..n {
+            let id = if i % 97 == 3 { 5 } else { i % 48 % 5 };
+            writer.push(SymbolId::from_index(id)).expect("push");
+        }
+        writer.finish().expect("finish");
+    }
+    let file_bytes = std::fs::metadata(&path).expect("metadata").len() as usize;
+    assert!(
+        file_bytes >= 8 * budget,
+        "file ({file_bytes} B) should dwarf the budget ({budget} B)"
+    );
+
+    let config = MinerConfig {
+        threshold: 0.6,
+        max_period: Some(64),
+        mine_patterns: false, // pattern rows are output-sensitive; CI smoke
+        // runs the same shape with --no-patterns
+        ..MinerConfig::default()
+    };
+    let mut reader = FileSeriesReader::open(&path).expect("open");
+    let (report, peak) = OutOfCoreMiner::new(config, budget)
+        .expect("miner")
+        .mine_with_peak(&mut reader)
+        .expect("mine");
+    assert!(
+        peak < budget,
+        "resident peak {peak} B exceeded the {budget} B budget"
+    );
+    assert!(
+        reader.checksum_verified(),
+        "one sequential pass should verify"
+    );
+    assert!(
+        report
+            .detection
+            .periodicities
+            .iter()
+            .any(|sp| sp.period == 48),
+        "planted period 48 not detected"
+    );
+    std::fs::remove_file(&path).ok();
+}

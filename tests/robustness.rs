@@ -149,3 +149,158 @@ fn single_symbol_alphabet_is_fully_periodic() {
         assert!(at.iter().all(|sp| (sp.confidence - 1.0).abs() < 1e-12));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Corrupt on-disk series files: every damage class must surface as a typed
+// `SeriesError` through the library and as the documented exit code through
+// the CLI (2 = usage, 3 = I/O, 4 = core/format; see crates/cli).
+
+mod corrupt_series_files {
+    use super::*;
+    use periodica::series::source::{write_series_file, FileSeriesReader};
+    use periodica::series::SeriesError;
+    use std::io::Cursor;
+    use std::path::PathBuf;
+
+    /// Writes a small valid binary series file and returns its path + bytes.
+    fn valid_series_file(tag: &str) -> (PathBuf, Vec<u8>) {
+        let series = planted(500, 10, 6);
+        let path = std::env::temp_dir().join(format!(
+            "periodica-robustness-{}-{tag}.series",
+            std::process::id()
+        ));
+        write_series_file(&path, &series).expect("write series file");
+        let bytes = std::fs::read(&path).expect("read back");
+        (path, bytes)
+    }
+
+    /// Runs `periodica mine --input <path>` and returns (exit code, output).
+    fn mine_file(path: &std::path::Path) -> (i32, String) {
+        let argv: Vec<String> = [
+            "mine",
+            "--input",
+            path.to_str().expect("utf8 path"),
+            "--max-period",
+            "20",
+            "--threshold",
+            "0.5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut stdin = Cursor::new(Vec::new());
+        let mut out = Vec::new();
+        match periodica_cli::run(&argv, &mut stdin, &mut out) {
+            Ok(code) => (code, String::from_utf8(out).expect("utf8")),
+            // main() maps CliError to the exit-code table; mirror it here.
+            Err(e) => (i32::from(e.exit_code()), e.to_string()),
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error_and_exit_4() {
+        let (path, bytes) = valid_series_file("truncated");
+        std::fs::write(&path, &bytes[..bytes.len() - 12]).expect("truncate");
+        // Library: the damage is typed, not a panic or a generic I/O error.
+        let err = FileSeriesReader::open(&path)
+            .and_then(|mut r| r.verify())
+            .expect_err("truncated file must not verify");
+        assert!(
+            matches!(err, SeriesError::TruncatedSeriesFile { .. }),
+            "unexpected error: {err:?}"
+        );
+        // CLI: format damage is a core error (exit 4), not usage or I/O.
+        let (code, out) = mine_file(&path);
+        assert_eq!(code, 4, "output: {out}");
+        assert!(out.contains("truncated"), "output: {out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_header_byte_is_a_typed_error_and_exit_4() {
+        let (path, bytes) = valid_series_file("header");
+        // Damage the magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0x40;
+        std::fs::write(&path, &bad).expect("write");
+        let err = FileSeriesReader::open(&path).expect_err("bad magic must not open");
+        assert!(
+            matches!(err, SeriesError::CorruptSeriesFile { .. }),
+            "unexpected error: {err:?}"
+        );
+        let (code, out) = mine_file(&path);
+        assert_eq!(code, 4, "output: {out}");
+
+        // Damage the format version instead: a from-the-future document.
+        let mut future = bytes.clone();
+        future[4] ^= 0x20;
+        std::fs::write(&path, &future).expect("write");
+        let err = FileSeriesReader::open(&path).expect_err("future version must not open");
+        assert!(
+            matches!(err, SeriesError::UnsupportedSeriesVersion { .. }),
+            "unexpected error: {err:?}"
+        );
+        let (code, out) = mine_file(&path);
+        assert_eq!(code, 4, "output: {out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_trailer_checksum_is_a_typed_error_and_exit_4() {
+        let (path, bytes) = valid_series_file("trailer");
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01; // the FNV-1a trailer is the final 8 bytes
+        std::fs::write(&path, &bad).expect("write");
+        // The header still parses; the damage surfaces at the end of the
+        // first sequential pass.
+        let mut reader = FileSeriesReader::open(&path).expect("open");
+        assert!(!reader.checksum_verified());
+        let err = reader.verify().expect_err("bad trailer must not verify");
+        assert!(
+            matches!(err, SeriesError::SeriesChecksumMismatch { .. }),
+            "unexpected error: {err:?}"
+        );
+        let (code, out) = mine_file(&path);
+        assert_eq!(code, 4, "output: {out}");
+        assert!(out.contains("checksum"), "output: {out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let (path, bytes) = valid_series_file("payload");
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2; // comfortably inside the payload
+        bad[mid] ^= 0x04;
+        std::fs::write(&path, &bad).expect("write");
+        let mut reader = FileSeriesReader::open(&path).expect("open");
+        let result = reader.verify();
+        assert!(
+            matches!(
+                result,
+                Err(SeriesError::SeriesChecksumMismatch { .. })
+                    | Err(SeriesError::CorruptSeriesFile { .. })
+            ),
+            "payload damage escaped the trailer: {result:?}"
+        );
+        let (code, _) = mine_file(&path);
+        assert_eq!(code, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error_and_exit_3() {
+        let path = std::env::temp_dir().join(format!(
+            "periodica-robustness-{}-definitely-missing.series",
+            std::process::id()
+        ));
+        let err = FileSeriesReader::open(&path).expect_err("missing file must not open");
+        assert!(
+            matches!(err, SeriesError::Io(_)),
+            "unexpected error: {err:?}"
+        );
+        let (code, _) = mine_file(&path);
+        assert_eq!(code, 3, "missing input is an I/O error, not a format error");
+    }
+}
